@@ -1,0 +1,135 @@
+(* mlvasm — assembler/disassembler/runner for the AS ISA.
+
+   Subcommands:
+     asm      assemble a text program to 64-bit hex words
+     disasm   decode hex words back to assembly
+     opt      optimize a text program (dead code, nops)
+     run      execute a text program on a zero-filled DRAM image and
+              print final registers and a DRAM window *)
+
+open Cmdliner
+module Program = Mlv_isa.Program
+module Asm = Mlv_isa.Asm
+module Encoding = Mlv_isa.Encoding
+module Opt = Mlv_isa.Opt
+module Exec = Mlv_isa.Exec
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let load_program path =
+  match Asm.of_string (read_file path) with
+  | Ok p -> (
+    match Program.validate p with
+    | [] -> Ok p
+    | errs -> Error (String.concat "\n" errs))
+  | Error e -> Error e
+
+let run_asm path =
+  match load_program path with
+  | Error e ->
+    prerr_endline e;
+    1
+  | Ok p ->
+    Array.iter (fun w -> print_endline (Encoding.to_hex w)) (Encoding.encode_program p);
+    0
+
+let run_disasm path =
+  let words =
+    read_file path |> String.split_on_char '\n' |> List.map String.trim
+    |> List.filter (fun l -> l <> "")
+  in
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | l :: rest -> (
+      match Encoding.of_hex l with
+      | Ok w -> go (w :: acc) rest
+      | Error e -> Error e)
+  in
+  (match go [] words with
+  | Error e ->
+    prerr_endline e;
+    1
+  | Ok ws -> (
+    match Encoding.decode_program (Array.of_list ws) with
+    | Error e ->
+      prerr_endline e;
+      1
+    | Ok p ->
+      print_string (Asm.to_string p);
+      0))
+
+let run_opt path =
+  match load_program path with
+  | Error e ->
+    prerr_endline e;
+    1
+  | Ok p ->
+    let q = Opt.optimize p in
+    Printf.eprintf "eliminated %d of %d instructions\n"
+      (Opt.eliminated ~before:p ~after:q)
+      (Program.length p);
+    print_string (Asm.to_string q);
+    0
+
+let run_run path dram_words exact watch =
+  match load_program path with
+  | Error e ->
+    prerr_endline e;
+    1
+  | Ok p -> (
+    let dram = Array.make dram_words 0.0 in
+    let ex = Exec.create ~exact ~dram p in
+    match Exec.run ex ~max_steps:10_000_000 with
+    | Exec.Stalled ->
+      prerr_endline "program stalled on a synchronization read";
+      1
+    | Exec.Running ->
+      prerr_endline "step budget exhausted";
+      1
+    | Exec.Done ->
+      Printf.printf "executed %d instructions\n" (Exec.executed ex);
+      List.iter
+        (fun r ->
+          match Exec.vreg ex r with
+          | v ->
+            Printf.printf "v%d = [%s%s]\n" r
+              (String.concat "; "
+                 (List.map (Printf.sprintf "%g")
+                    (Array.to_list (Array.sub v 0 (min 8 (Array.length v))))))
+              (if Array.length v > 8 then "; ..." else "")
+          | exception Invalid_argument _ -> ())
+        watch;
+      0)
+
+let file_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Program file")
+
+let dram_arg =
+  Arg.(value & opt int 65536 & info [ "dram" ] ~docv:"WORDS" ~doc:"DRAM image size")
+
+let exact_arg =
+  Arg.(value & flag & info [ "exact" ] ~doc:"Float64 datapath (no BFP/fp16 rounding)")
+
+let watch_arg =
+  Arg.(
+    value & opt_all int []
+    & info [ "watch" ] ~docv:"REG" ~doc:"Print vector register $(docv) after the run")
+
+let () =
+  let info = Cmd.info "mlvasm" ~version:"1.0.0" ~doc:"AS ISA assembler and runner" in
+  let cmds =
+    [
+      Cmd.v (Cmd.info "asm" ~doc:"Assemble to hex words") Term.(const run_asm $ file_arg);
+      Cmd.v (Cmd.info "disasm" ~doc:"Decode hex words") Term.(const run_disasm $ file_arg);
+      Cmd.v (Cmd.info "opt" ~doc:"Optimize a program") Term.(const run_opt $ file_arg);
+      Cmd.v
+        (Cmd.info "run" ~doc:"Execute a program")
+        Term.(const run_run $ file_arg $ dram_arg $ exact_arg $ watch_arg);
+    ]
+  in
+  exit (Cmd.eval' (Cmd.group info cmds))

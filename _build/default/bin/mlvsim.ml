@@ -1,0 +1,108 @@
+(* mlvsim — system-level simulation driver.
+
+   Plays a Table-1 workload set against the heterogeneous cluster
+   under a chosen runtime policy and reports throughput and latency
+   statistics. *)
+
+open Cmdliner
+module Runtime = Mlv_core.Runtime
+module Genset = Mlv_workload.Genset
+module Sysim = Mlv_sysim.Sysim
+
+let policy_of_string = function
+  | "greedy" -> Ok Runtime.greedy
+  | "restricted" -> Ok Runtime.restricted
+  | "baseline" -> Ok Runtime.baseline
+  | "first-fit" -> Ok Runtime.first_fit
+  | s -> Error (`Msg (Printf.sprintf "unknown policy %s" s))
+
+let policy_conv =
+  Arg.conv
+    ( (fun s -> policy_of_string s),
+      fun fmt p -> Format.pp_print_string fmt p.Runtime.policy_name )
+
+let report set composition policy tasks seed (r : Sysim.result) =
+  Printf.printf "workload set %d (%s), policy %s, %d tasks, seed %d\n" set
+    (Genset.composition_name composition)
+    policy.Runtime.policy_name tasks seed;
+  Printf.printf "  completed:       %d\n" r.Sysim.completed;
+  Printf.printf "  makespan:        %.1f ms\n" (r.Sysim.makespan_us /. 1000.0);
+  Printf.printf "  throughput:      %.2f tasks/s\n" r.Sysim.throughput_per_s;
+  Printf.printf "  mean latency:    %.1f ms\n" (r.Sysim.mean_latency_us /. 1000.0);
+  Printf.printf "  mean wait:       %.1f ms\n" (r.Sysim.mean_wait_us /. 1000.0);
+  Printf.printf "  mean service:    %.1f ms\n" (r.Sysim.mean_service_us /. 1000.0);
+  Printf.printf "  peak queue:      %d\n" r.Sysim.peak_queue;
+  Printf.printf "  SLO misses:      %d of %d\n" r.Sysim.slo_misses r.Sysim.completed;
+  (match Mlv_workload.Metrics.summarize (List.map (fun l -> l /. 1000.0) r.Sysim.latencies_us) with
+  | Some s ->
+    Format.printf "  latency (ms):    %a@." (Mlv_workload.Metrics.pp_summary ~unit_name:"ms") s
+  | None -> ())
+
+let run set policy tasks seed interarrival repeats compare =
+  if set < 1 || set > 10 then begin
+    prerr_endline "workload set must be 1..10";
+    1
+  end
+  else begin
+    Printf.printf "building the mapping database (10 accelerator instances)...\n%!";
+    let registry = Sysim.build_registry () in
+    let composition = Genset.table1.(set - 1) in
+    let run_one policy =
+      let cfg =
+        {
+          Sysim.policy;
+          composition;
+          tasks;
+          mean_interarrival_us = interarrival;
+          seed;
+          repeats_per_task = repeats;
+          slo_multiplier = 20.0;
+        }
+      in
+      report set composition policy tasks seed (Sysim.run ~registry cfg)
+    in
+    if compare then
+      List.iter run_one [ Runtime.baseline; Runtime.restricted; Runtime.greedy ]
+    else run_one policy;
+    0
+  end
+
+let set_arg =
+  Arg.(value & opt int 7 & info [ "set" ] ~docv:"N" ~doc:"Table-1 workload set (1-10)")
+
+let policy_arg =
+  Arg.(
+    value
+    & opt policy_conv Runtime.greedy
+    & info [ "policy" ] ~docv:"POLICY"
+        ~doc:"Runtime policy: greedy, restricted, baseline or first-fit")
+
+let tasks_arg = Arg.(value & opt int 120 & info [ "tasks" ] ~docv:"N" ~doc:"Task count")
+let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"S" ~doc:"PRNG seed")
+
+let interarrival_arg =
+  Arg.(
+    value & opt float 200.0
+    & info [ "interarrival" ] ~docv:"US" ~doc:"Mean inter-arrival time (microseconds)")
+
+let repeats_arg =
+  Arg.(
+    value & opt int 20
+    & info [ "repeats" ] ~docv:"N" ~doc:"Inferences served per deployment")
+
+let compare_arg =
+  Arg.(
+    value & flag
+    & info [ "compare" ] ~doc:"Run baseline, restricted and greedy policies side by side")
+
+let () =
+  let info =
+    Cmd.info "mlvsim" ~version:"1.0.0"
+      ~doc:"Workload simulation on the virtualized heterogeneous FPGA cluster"
+  in
+  let term =
+    Term.(
+      const run $ set_arg $ policy_arg $ tasks_arg $ seed_arg $ interarrival_arg
+      $ repeats_arg $ compare_arg)
+  in
+  exit (Cmd.eval' (Cmd.v info term))

@@ -1,0 +1,1 @@
+examples/custom_accelerator.ml: Format List Mlv_core Mlv_rtl Printf String

@@ -1,0 +1,1 @@
+examples/hypervisor_shell.ml: List Mlv_cluster Mlv_core Printf

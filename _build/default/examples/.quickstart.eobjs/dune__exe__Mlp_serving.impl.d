@@ -1,0 +1,1 @@
+examples/mlp_serving.ml: Array Float List Mlv_accel Mlv_core Mlv_fpga Mlv_isa Mlv_util Printf

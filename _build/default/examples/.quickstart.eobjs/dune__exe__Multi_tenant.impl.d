@@ -1,0 +1,1 @@
+examples/multi_tenant.ml: Array List Mlv_core Mlv_sysim Mlv_util Mlv_workload Printf String

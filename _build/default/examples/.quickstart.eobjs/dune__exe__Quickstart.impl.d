@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Float List Mlv_accel Mlv_cluster Mlv_core Mlv_fpga Mlv_isa Mlv_rtl Mlv_util Mlv_vital Printf String

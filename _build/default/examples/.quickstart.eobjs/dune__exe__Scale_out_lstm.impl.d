@@ -1,0 +1,1 @@
+examples/scale_out_lstm.ml: Array Float Format List Mlv_accel Mlv_core Mlv_fpga Mlv_isa Mlv_util Printf

@@ -1,0 +1,55 @@
+(* Hypervisor integration (paper Fig. 7): the system controller
+   exposes a command API to the high-level system.  This example
+   scripts a session: inspect the cluster, deploy accelerators until
+   the cluster saturates, inspect placement, and release everything.
+
+     dune exec examples/hypervisor_shell.exe *)
+
+module Framework = Mlv_core.Framework
+module Registry = Mlv_core.Registry
+module Runtime = Mlv_core.Runtime
+module Hypervisor = Mlv_core.Hypervisor
+module Cluster = Mlv_cluster.Cluster
+
+let () =
+  let registry = Registry.create () in
+  List.iter
+    (fun tiles ->
+      match Framework.build_npu ~tiles () with
+      | Ok npu -> Registry.register registry npu.Framework.mapping
+      | Error e -> failwith e)
+    [ 6; 13; 21 ];
+  let cluster = Cluster.create () in
+  let runtime = Runtime.create ~policy:Runtime.greedy cluster registry in
+  let hv = Hypervisor.create runtime in
+  let session =
+    [
+      "help";
+      "list";
+      "status";
+      "nodes";
+      "deploy npu-t21";
+      "deploy npu-t13";
+      "deploy npu-t6";
+      "deploy npu-t6";
+      "status";
+      "nodes";
+      "deployments";
+      "deploy npu-t21";
+      (* likely refused: cluster is loaded *)
+      "undeploy 0";
+      "status";
+      "deploy npu-t13";
+      "deployments";
+      "undeploy 1";
+      "undeploy 2";
+      "undeploy 3";
+      "undeploy 4";
+      "status";
+    ]
+  in
+  List.iter
+    (fun cmd ->
+      let resp = Hypervisor.handle hv cmd in
+      Printf.printf "> %s\n  %s\n" cmd resp)
+    session

@@ -1,0 +1,1 @@
+lib/accel/config.ml: Format Printf

@@ -1,0 +1,1 @@
+lib/accel/perf.ml: Array Board Config Device Float List Mlv_fpga Mlv_isa Resource_model

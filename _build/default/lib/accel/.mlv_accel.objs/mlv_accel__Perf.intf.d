@@ -1,0 +1,1 @@
+lib/accel/perf.mli: Board Config Device Mlv_fpga Mlv_isa

@@ -1,0 +1,1 @@
+lib/accel/resource_model.ml: Config Device Float Floorplan Mlv_fpga Resource

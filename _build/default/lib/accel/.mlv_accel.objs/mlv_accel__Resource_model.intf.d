@@ -1,0 +1,1 @@
+lib/accel/resource_model.mli: Config Device Mlv_fpga Resource

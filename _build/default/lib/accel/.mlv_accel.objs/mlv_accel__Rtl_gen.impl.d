@@ -1,0 +1,1 @@
+lib/accel/rtl_gen.ml: Ast Config Design List Mlv_rtl Printf

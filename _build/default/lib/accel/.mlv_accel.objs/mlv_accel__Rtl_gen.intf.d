@@ -1,0 +1,1 @@
+lib/accel/rtl_gen.mli: Config Design Mlv_rtl

@@ -1,0 +1,1 @@
+lib/accel/sync_module.ml: Ast Estimate List Mlv_fpga Mlv_rtl

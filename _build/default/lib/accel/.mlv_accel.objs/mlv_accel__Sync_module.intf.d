@@ -1,0 +1,1 @@
+lib/accel/sync_module.mli: Ast Mlv_fpga Mlv_rtl Resource

@@ -1,0 +1,45 @@
+type mem_kind = Bram_only | Bram_uram
+
+type t = {
+  tiles : int;
+  lanes : int;
+  rows_per_tile : int;
+  vrf_words : int;
+  instr_buffer_words : int;
+  mem_kind : mem_kind;
+  mvm_mantissa_bits : int;
+}
+
+let make ?(lanes = 128) ?(rows_per_tile = 16) ?(vrf_words = 2048)
+    ?(instr_buffer_words = 16384) ?(mem_kind = Bram_uram) ?(mvm_mantissa_bits = 6)
+    ~tiles () =
+  if tiles <= 0 then invalid_arg "Config.make: tiles must be positive";
+  if lanes <= 0 || rows_per_tile <= 0 then
+    invalid_arg "Config.make: lanes and rows_per_tile must be positive";
+  { tiles; lanes; rows_per_tile; vrf_words; instr_buffer_words; mem_kind; mvm_mantissa_bits }
+
+let macs_per_cycle t = t.tiles * t.rows_per_tile * t.lanes
+
+(* One tile's weight memory holds ~3.5 Mb (Table 2 back-derivation).
+   Stored weights average ~3 bits each: narrow BFP mantissas with the
+   shared exponents amortized over a block (BrainWave's ms-fp
+   encodings).  This reproduces Table 4's fit line exactly: LSTM
+   h=1536 (18.9M weights) fits the 21-tile XCVU37P instance but not
+   the 13-tile XCKU115 one; GRU h=1536 (14.2M) fits both; GRU h=2560
+   (39.3M) fits neither and needs two FPGAs, as in Fig. 11. *)
+let tile_weight_bits = 3_600 * 1024
+let stored_bits_per_weight = 3
+
+let weight_capacity_words t = t.tiles * tile_weight_bits / stored_bits_per_weight
+
+let scale_down t ~tiles =
+  if tiles <= 0 || tiles > t.tiles then
+    invalid_arg "Config.scale_down: tiles out of range";
+  { t with tiles }
+
+let name t = Printf.sprintf "npu-t%d" t.tiles
+
+let pp fmt t =
+  Format.fprintf fmt "npu{tiles=%d; lanes=%d; rows=%d; mem=%s}" t.tiles t.lanes
+    t.rows_per_tile
+    (match t.mem_kind with Bram_only -> "bram" | Bram_uram -> "bram+uram")

@@ -1,0 +1,66 @@
+(** Parameterized BrainWave-like accelerator configuration (paper §3).
+
+    The accelerator is a soft NPU: a control path (instruction buffer,
+    decoder, sequencer) plus a data path of [tiles] identical engines.
+    Each engine holds one MVM tile — [rows_per_tile] dot-product units
+    of [lanes] BFP multipliers — its slice of weight memory, and its
+    slice of the float16 multi-function units.  The number of tiles is
+    the scaling knob used to generate accelerator instances with
+    different compute capability, and the unit in which the scale-down
+    transform shrinks an accelerator. *)
+
+type mem_kind =
+  | Bram_only  (** devices without URAM (XCKU115) *)
+  | Bram_uram  (** URAM-capable devices (XCVU37P) *)
+
+type t = {
+  tiles : int;  (** number of MVM tile engines *)
+  lanes : int;  (** BFP multipliers per dot-product unit (native dim) *)
+  rows_per_tile : int;  (** dot-product units per tile *)
+  vrf_words : int;  (** vector register file capacity, words *)
+  instr_buffer_words : int;  (** on-chip instruction buffer entries *)
+  mem_kind : mem_kind;  (** weight-memory technology parameterization *)
+  mvm_mantissa_bits : int;  (** BFP mantissa width (sign included) *)
+}
+
+(** [make ?lanes ?rows_per_tile ?vrf_words ?instr_buffer_words
+    ?mem_kind ?mvm_mantissa_bits ~tiles ()] with BrainWave-like
+    defaults: 128 lanes, 16 rows, 6-bit mantissas, 2048-word VRF,
+    16384-entry instruction buffer, BRAM+URAM memory.
+    @raise Invalid_argument if [tiles <= 0]. *)
+val make :
+  ?lanes:int ->
+  ?rows_per_tile:int ->
+  ?vrf_words:int ->
+  ?instr_buffer_words:int ->
+  ?mem_kind:mem_kind ->
+  ?mvm_mantissa_bits:int ->
+  tiles:int ->
+  unit ->
+  t
+
+(** [macs_per_cycle t] is the whole accelerator's multiplier count:
+    [tiles * rows_per_tile * lanes]. *)
+val macs_per_cycle : t -> int
+
+(** [weight_capacity_words t] is how many BFP weights fit in the
+    accelerator's on-chip weight memory (one tile contributes
+    a fixed budget; see {!Resource_model}). *)
+val weight_capacity_words : t -> int
+
+(** Average stored bits per weight (narrow BFP mantissas with
+    amortized shared exponents). *)
+val stored_bits_per_weight : int
+
+(** One tile's weight-memory budget in bits. *)
+val tile_weight_bits : int
+
+(** [scale_down t ~tiles] is a copy with fewer tiles — the control
+    path is unchanged, so the same programs still run (paper §2.3).
+    @raise Invalid_argument unless [0 < tiles <= t.tiles]. *)
+val scale_down : t -> tiles:int -> t
+
+(** [name t] is a short identifier like ["npu-t21"]. *)
+val name : t -> string
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,86 @@
+open Mlv_fpga
+
+(* Calibration (see DESIGN.md): solving Table 2's two data points
+   gives ~26k LUTs / 28k DFFs / 305 DSPs / 3.4 Mb weight memory per
+   tile and ~64k LUTs / 71k DFFs / 1106 DSPs / 2 Mb fixed. *)
+
+let fixed_luts = 64_000
+let fixed_dffs = 71_000
+let fixed_bram_kb = 2_048
+let fixed_dsps = 1_106
+let tile_luts = 26_000
+let tile_dffs = 28_000
+let tile_dsps = 305
+let tile_bram_uram_dev_kb = 2_360 (* BRAM share when URAM carries the rest *)
+let tile_uram_kb = 1_097
+let tile_bram_only_kb = 3_330
+
+let scale_device (d : Device.t) r =
+  {
+    r with
+    Resource.luts = int_of_float (Float.round (d.Device.lut_factor *. float_of_int r.Resource.luts));
+    Resource.dffs = int_of_float (Float.round (d.Device.dff_factor *. float_of_int r.Resource.dffs));
+  }
+
+let fixed_resources (d : Device.t) =
+  scale_device d
+    (Resource.make ~luts:fixed_luts ~dffs:fixed_dffs ~bram_kb:fixed_bram_kb
+       ~dsps:fixed_dsps ())
+
+let tile_resources (d : Device.t) =
+  let mem =
+    if d.Device.has_uram then
+      Resource.make ~bram_kb:tile_bram_uram_dev_kb ~uram_kb:tile_uram_kb ()
+    else Resource.make ~bram_kb:tile_bram_only_kb ()
+  in
+  scale_device d
+    (Resource.add (Resource.make ~luts:tile_luts ~dffs:tile_dffs ~dsps:tile_dsps ()) mem)
+
+let accel_resources (c : Config.t) d =
+  (* Lanes/rows scale the tile linearly against the 128x16 reference. *)
+  let shape_factor =
+    float_of_int (c.Config.lanes * c.Config.rows_per_tile) /. float_of_int (128 * 16)
+  in
+  Resource.add (fixed_resources d)
+    (Resource.scale_f (float_of_int c.Config.tiles *. shape_factor) (tile_resources d))
+
+let utilization c d =
+  Resource.utilization ~used:(accel_resources c d) ~cap:d.Device.capacity
+
+(* Routability caps observed across the paper's baselines: BRAM-heavy
+   designs stop routing past ~73%, DSP columns saturate at ~92%,
+   logic at ~85%. *)
+let caps cap =
+  Resource.make
+    ~luts:(int_of_float (0.85 *. float_of_int cap.Resource.luts))
+    ~dffs:(int_of_float (0.85 *. float_of_int cap.Resource.dffs))
+    ~bram_kb:(int_of_float (0.73 *. float_of_int cap.Resource.bram_kb))
+    ~uram_kb:cap.Resource.uram_kb
+    ~dsps:(int_of_float (0.92 *. float_of_int cap.Resource.dsps))
+    ()
+
+let mem_kind_for (d : Device.t) =
+  if d.Device.has_uram then Config.Bram_uram else Config.Bram_only
+
+let fits c d =
+  Resource.fits ~need:(accel_resources c d) ~avail:(caps d.Device.capacity)
+
+let max_tiles d =
+  let rec search n =
+    if n = 0 then 0
+    else if fits (Config.make ~tiles:n ~mem_kind:(mem_kind_for d) ()) d then n
+    else search (n - 1)
+  in
+  search 64
+
+let baseline_config d = Config.make ~tiles:(max_tiles d) ~mem_kind:(mem_kind_for d) ()
+
+let achieved_freq_mhz c d ~floorplanned =
+  Floorplan.achieved_freq_mhz d ~utilization:(utilization c d) ~floorplanned
+
+let peak_tflops c d =
+  let freq = achieved_freq_mhz c d ~floorplanned:true *. 1e6 in
+  let mvm_ops = 2.0 *. float_of_int (Config.macs_per_cycle c) in
+  (* MFU: one fp16 multiply-add lane group per tile. *)
+  let mfu_ops = 2.0 *. float_of_int (c.Config.tiles * c.Config.lanes) in
+  (mvm_ops +. mfu_ops) *. freq /. 1e12

@@ -1,0 +1,52 @@
+(** Calibrated resource/implementation model of the BrainWave-like
+    accelerator, reproducing Tables 2 and 3 of the paper.
+
+    Per-tile and fixed (control + converters + VRF) costs are
+    back-derived from the paper's two baseline data points (BW-V37:
+    21 tiles on XCVU37P; BW-K115: 13 tiles on XCKU115); device
+    synthesis factors absorb the small per-part mapping differences.
+    This model is the authority for what fits where; the RTL census
+    ({!Mlv_fpga.Estimate} over {!Rtl_gen}) is a structural
+    cross-check. *)
+
+open Mlv_fpga
+
+(** [fixed_resources device] is the tile-independent part: control
+    path, instruction buffer, format converters, vector register
+    file, DRAM/network interfaces and the shared MFU front-end. *)
+val fixed_resources : Device.t -> Resource.t
+
+(** [tile_resources device] is the marginal cost of one tile engine
+    (dot units, weight memory, MFU slice) on the given device.  On
+    URAM devices part of the weight memory maps to URAM. *)
+val tile_resources : Device.t -> Resource.t
+
+(** [accel_resources config device] is the whole accelerator. *)
+val accel_resources : Config.t -> Device.t -> Resource.t
+
+(** [utilization config device] is the max component ratio of
+    [accel_resources] against the device capacity. *)
+val utilization : Config.t -> Device.t -> float
+
+(** [fits config device] checks the accelerator routes on the device
+    (within the routable-utilization envelope). *)
+val fits : Config.t -> Device.t -> bool
+
+(** [max_tiles device] is the largest tile count that stays inside
+    the per-resource routability caps the paper's baselines respect
+    (21 on XCVU37P, 13 on XCKU115). *)
+val max_tiles : Device.t -> int
+
+(** [baseline_config device] is the paper's baseline accelerator for
+    the device ([max_tiles] tiles, memory kind matching URAM
+    availability). *)
+val baseline_config : Device.t -> Config.t
+
+(** [achieved_freq_mhz config device ~floorplanned] is the post-route
+    frequency of the accelerator. *)
+val achieved_freq_mhz : Config.t -> Device.t -> floorplanned:bool -> float
+
+(** [peak_tflops config device] is peak throughput at the
+    floorplanned frequency: 2 ops per MAC per cycle plus the float16
+    MFU contribution. *)
+val peak_tflops : Config.t -> Device.t -> float

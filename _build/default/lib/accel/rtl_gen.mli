@@ -1,0 +1,41 @@
+(** Structural RTL generator for the BrainWave-like accelerator.
+
+    Emits the module hierarchy of paper Fig. 9 as {!Mlv_rtl} IR:
+
+    {v
+      bw_npu
+      |- control_path      (attr control_path; instruction buffer,
+      |                     decoder, sequencer)
+      |- fp16_to_bfp       (format converter)
+      |- vector_rf         (vector register file)
+      |- engine x tiles    (identical: weight mem + dot units + MFU)
+      |  |- dot_unit x rows_per_tile (identical, data-parallel)
+      |  |- accum
+      |  |- mfu_slice
+      |- writeback         (per-engine result collection)
+    v}
+
+    The engines are identical modules all feeding [writeback], which
+    is what the decomposer's inter-block data-parallelism step
+    groups; inside an engine the dot units form a second
+    data-parallel level under a pipeline — giving the multi-level
+    tree of paper Fig. 2.  The paper's case-study adjustment (moving
+    the converter and VRF into the control block, §3) is expressed at
+    decompose time via {!control_companions}. *)
+
+open Mlv_rtl
+
+(** [generate config] builds the design; the top module is
+    ["bw_npu"]. *)
+val generate : Config.t -> Design.t
+
+(** Module names of the small components the case study moves into
+    the control-path soft block so the data path root becomes
+    purely data-parallel: converter, VRF and writeback. *)
+val control_companions : string list
+
+(** [top_name] = ["bw_npu"], [control_name] = ["control_path"]. *)
+val top_name : string
+
+val control_name : string
+val engine_name : string

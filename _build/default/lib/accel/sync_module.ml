@@ -1,0 +1,114 @@
+open Mlv_rtl
+open Mlv_fpga
+
+type params = {
+  sync_base : int;
+  buffer_words : int;
+  data_width : int;
+  index_stride : int;
+}
+
+let make ?(buffer_words = 4096) ?(data_width = 512) ?(index_stride = 1) ~sync_base () =
+  if sync_base <= 0 then invalid_arg "Sync_module.make: sync_base must be positive";
+  if buffer_words <= 0 || data_width <= 0 || index_stride <= 0 then
+    invalid_arg "Sync_module.make: parameters must be positive";
+  { sync_base; buffer_words; data_width; index_stride }
+
+let addr_bits = 32
+
+let rtl p =
+  let w = p.data_width in
+  let conn formal actual = { Ast.formal; actual } in
+  let prim name pr conns = { Ast.inst_name = name; master = Ast.M_prim pr; conns } in
+  let net name width = { Ast.net_name = name; net_width = width } in
+  let buf_addr_bits =
+    max 1 (int_of_float (ceil (log (float_of_int p.buffer_words) /. log 2.0)))
+  in
+  {
+    Ast.mod_name = "sync_template";
+    ports =
+      [
+        { Ast.port_name = "addr"; dir = Ast.Input; width = addr_bits };
+        { Ast.port_name = "wdata"; dir = Ast.Input; width = w };
+        { Ast.port_name = "wen"; dir = Ast.Input; width = 1 };
+        { Ast.port_name = "dram_rdata"; dir = Ast.Input; width = w };
+        { Ast.port_name = "net_rdata"; dir = Ast.Input; width = w };
+        { Ast.port_name = "net_valid"; dir = Ast.Input; width = 1 };
+        { Ast.port_name = "buf_waddr"; dir = Ast.Input; width = buf_addr_bits };
+        { Ast.port_name = "buf_raddr"; dir = Ast.Input; width = buf_addr_bits };
+        { Ast.port_name = "net_send"; dir = Ast.Output; width = 1 };
+        { Ast.port_name = "net_wdata"; dir = Ast.Output; width = w };
+        { Ast.port_name = "rdata"; dir = Ast.Output; width = w };
+        { Ast.port_name = "stall"; dir = Ast.Output; width = 1 };
+      ];
+    nets =
+      [
+        net "base" addr_bits;
+        net "is_sync_raw" 1;
+        net "not_sync" 1;
+        net "hit_wr" 1;
+        net "flag_next" 1;
+        net "flag_q" 1;
+        net "buffered" w;
+        net "merged" w;
+        net "not_valid" 1;
+      ];
+    instances =
+      [
+        prim "basec"
+          (Ast.P_const { width = addr_bits; value = p.sync_base })
+          [ conn "o" "base" ];
+        (* addr >= base  <=>  not (addr < base) *)
+        prim "cmp" (Ast.P_cmp_lt addr_bits)
+          [ conn "a" "addr"; conn "b" "base"; conn "o" "not_sync" ];
+        prim "inv" (Ast.P_not 1) [ conn "a" "not_sync"; conn "o" "is_sync_raw" ];
+        (* a sync write is forwarded to the network *)
+        prim "wgate" (Ast.P_and 1)
+          [ conn "a" "is_sync_raw"; conn "b" "wen"; conn "o" "hit_wr" ];
+        prim "sendr" (Ast.P_reg 1) [ conn "d" "hit_wr"; conn "q" "net_send" ];
+        prim "wbuf" (Ast.P_reg w) [ conn "d" "wdata"; conn "q" "net_wdata" ];
+        (* the flag is set while a sync read waits for network data *)
+        prim "flagmux" (Ast.P_mux 1)
+          [
+            conn "sel" "net_valid";
+            conn "a" "net_valid";
+            conn "b" "is_sync_raw";
+            conn "o" "flag_next";
+          ];
+        prim "flagr" (Ast.P_reg 1) [ conn "d" "flag_next"; conn "q" "flag_q" ];
+        (* receive buffer *)
+        prim "rxbuf"
+          (Ast.P_ram { words = p.buffer_words; width = w })
+          [
+            conn "waddr" "buf_waddr";
+            conn "wdata" "net_rdata";
+            conn "wen" "net_valid";
+            conn "raddr" "buf_raddr";
+            conn "rdata" "buffered";
+          ];
+        (* merge received data with local DRAM data per the index reg *)
+        prim "merge" (Ast.P_mux w)
+          [
+            conn "sel" "flag_q";
+            conn "a" "buffered";
+            conn "b" "dram_rdata";
+            conn "o" "merged";
+          ];
+        prim "outal"
+          (Ast.P_slice { width = w; lo = 0; out_width = w })
+          [ conn "a" "merged"; conn "o" "rdata" ];
+        (* stall the in-order core until data arrives *)
+        prim "nv" (Ast.P_not 1) [ conn "a" "net_valid"; conn "o" "not_valid" ];
+        prim "stl" (Ast.P_and 1)
+          [ conn "a" "is_sync_raw"; conn "b" "not_valid"; conn "o" "stall" ];
+      ];
+    attrs = [];
+  }
+
+let resources p =
+  Estimate.of_census
+    (List.map (fun i -> (i, 1))
+       (List.filter_map
+          (fun (inst : Ast.instance) ->
+            match inst.master with Ast.M_prim pr -> Some pr | Ast.M_module _ -> None)
+          (rtl p).Ast.instances))

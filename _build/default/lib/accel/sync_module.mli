@@ -1,0 +1,43 @@
+(** The parameterized synchronization template module (paper §2.3,
+    Fig. 8b).
+
+    The module monitors the accelerator's DRAM interface.  A write to
+    the pre-defined out-of-range address is forwarded to the partner
+    accelerator over the inter-FPGA network; a read of that address
+    blocks until the partner's data has arrived (barrier
+    synchronization for an in-order processor), and the returned
+    vector is the received data merged with the local DRAM data
+    according to the index register.  Parameters are fixed at offline
+    compilation time.
+
+    The behavioural side (send/recv/merge) is implemented by the
+    runtime harness in [Mlv_core.Scale_out]; this module provides the
+    hardware template: its RTL, resource cost, and parameter
+    checking. *)
+
+open Mlv_rtl
+open Mlv_fpga
+
+type params = {
+  sync_base : int;  (** first intercepted DRAM word address *)
+  buffer_words : int;  (** receive-buffer capacity (vector words) *)
+  data_width : int;  (** DRAM interface width in bits *)
+  index_stride : int;  (** merge granularity from the index register *)
+}
+
+(** [make ?buffer_words ?data_width ?index_stride ~sync_base ()]
+    builds parameters with defaults (4096-word buffer, 512-bit
+    interface, stride 1).
+    @raise Invalid_argument on non-positive values. *)
+val make :
+  ?buffer_words:int -> ?data_width:int -> ?index_stride:int -> sync_base:int -> unit -> params
+
+(** [rtl p] emits the template as a basic RTL module
+    ([sync_template]): address comparator, receive FIFO, merge mux
+    and the flag register of Fig. 8b. *)
+val rtl : params -> Ast.module_def
+
+(** [resources p] is the fabric cost of one instantiated template —
+    small compared to a tile engine, which is why the scale-down
+    transform is cheap. *)
+val resources : params -> Resource.t

@@ -1,0 +1,1 @@
+lib/cluster/cluster.ml: Array Board Device List Mlv_fpga Network Node Printf Sim

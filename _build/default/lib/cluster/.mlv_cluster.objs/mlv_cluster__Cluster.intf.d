@@ -1,0 +1,1 @@
+lib/cluster/cluster.mli: Board Device Mlv_fpga Network Node Sim

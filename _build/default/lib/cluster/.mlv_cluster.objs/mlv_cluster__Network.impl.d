@@ -1,0 +1,1 @@
+lib/cluster/network.ml: Array Board Float List Mlv_fpga Printf Sim

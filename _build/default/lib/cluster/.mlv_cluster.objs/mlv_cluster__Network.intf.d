@@ -1,0 +1,1 @@
+lib/cluster/network.mli: Board Mlv_fpga Sim

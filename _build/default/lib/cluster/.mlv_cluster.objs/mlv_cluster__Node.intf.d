@@ -1,0 +1,1 @@
+lib/cluster/node.mli: Board Device Format Mlv_fpga Mlv_vital

@@ -1,0 +1,1 @@
+lib/cluster/trace.ml: Array Format List String

@@ -1,0 +1,1 @@
+lib/cluster/trace.mli: Format

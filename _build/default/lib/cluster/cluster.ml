@@ -1,0 +1,29 @@
+open Mlv_fpga
+
+type t = { sim : Sim.t; nodes : Node.t array; network : Network.t; board : Board.t }
+
+let paper_kinds = [ Device.XCVU37P; Device.XCVU37P; Device.XCVU37P; Device.XCKU115 ]
+
+let create ?(board = Board.default) ?(kinds = paper_kinds) () =
+  if kinds = [] then invalid_arg "Cluster.create: empty device list";
+  let sim = Sim.create () in
+  let nodes =
+    Array.of_list (List.mapi (fun id kind -> Node.create ~id ~kind ~board) kinds)
+  in
+  let network = Network.create sim ~nodes:(Array.length nodes) ~board in
+  { sim; nodes; network; board }
+
+let node t i =
+  if i < 0 || i >= Array.length t.nodes then
+    invalid_arg (Printf.sprintf "Cluster.node: %d out of range" i);
+  t.nodes.(i)
+
+let node_count t = Array.length t.nodes
+
+let nodes_of_kind t kind =
+  Array.to_list t.nodes
+  |> List.filter_map (fun (n : Node.t) ->
+         if Device.equal_kind n.Node.kind kind then Some n.Node.id else None)
+
+let total_free_vbs t =
+  Array.fold_left (fun acc n -> acc + Node.free_vbs n) 0 t.nodes

@@ -1,0 +1,25 @@
+(** The evaluation cluster: FPGAs on a PCIe host, connected by a
+    bidirectional ring (paper §4.2: three XCVU37P and one XCKU115). *)
+
+open Mlv_fpga
+
+type t = { sim : Sim.t; nodes : Node.t array; network : Network.t; board : Board.t }
+
+(** [create ?board ?kinds ()] builds a cluster.  Default [kinds] is
+    the paper's: [[XCVU37P; XCVU37P; XCVU37P; XCKU115]]. *)
+val create : ?board:Board.t -> ?kinds:Device.kind list -> unit -> t
+
+(** [paper_kinds] is the default device mix. *)
+val paper_kinds : Device.kind list
+
+(** [node t i] fetches a node.
+    @raise Invalid_argument when out of range. *)
+val node : t -> int -> Node.t
+
+val node_count : t -> int
+
+(** [nodes_of_kind t kind] lists ring positions of that device type. *)
+val nodes_of_kind : t -> Device.kind -> int list
+
+(** [total_free_vbs t] sums free virtual blocks across the cluster. *)
+val total_free_vbs : t -> int

@@ -1,0 +1,101 @@
+open Mlv_fpga
+
+type t = {
+  sim : Sim.t;
+  nodes : int;
+  board : Board.t;
+  mutable added_latency_us : float;
+  mutable bytes_sent : int;
+  mutable transfers : int;
+  (* Directed ring segments: index 2*i is the clockwise link leaving
+     node i, 2*i+1 the counter-clockwise one.  Each holds the time
+     the link becomes free; concurrent transfers over the same
+     segment queue behind each other. *)
+  seg_free : float array;
+  mutable queueing_us : float;
+}
+
+let create sim ~nodes ~board =
+  if nodes <= 0 then invalid_arg "Network.create: nodes must be positive";
+  {
+    sim;
+    nodes;
+    board;
+    added_latency_us = 0.0;
+    bytes_sent = 0;
+    transfers = 0;
+    seg_free = Array.make (2 * nodes) 0.0;
+    queueing_us = 0.0;
+  }
+
+let set_added_latency_us t us = t.added_latency_us <- Float.max 0.0 us
+let added_latency_us t = t.added_latency_us
+
+let check_node t i =
+  if i < 0 || i >= t.nodes then invalid_arg (Printf.sprintf "Network: node %d out of range" i)
+
+let hops t ~src ~dst =
+  check_node t src;
+  check_node t dst;
+  if src = dst then 0
+  else begin
+    let d = abs (dst - src) in
+    min d (t.nodes - d)
+  end
+
+let transfer_time_us t ~src ~dst ~bytes =
+  let hops = hops t ~src ~dst in
+  if hops = 0 then 0.0
+  else begin
+    (* Store-and-forward: each hop pays latency plus serialization. *)
+    let serialization =
+      float_of_int bytes /. (t.board.Board.ring_bandwidth_gbps *. 1e9) *. 1e6
+    in
+    float_of_int hops
+    *. (t.board.Board.ring_latency_us +. t.added_latency_us +. serialization)
+  end
+
+(* The directed segments along the shortest path (clockwise on a
+   tie). *)
+let path_segments t ~src ~dst =
+  if src = dst then []
+  else begin
+    let fwd = (dst - src + t.nodes) mod t.nodes in
+    let clockwise = fwd <= t.nodes - fwd in
+    let hops = if clockwise then fwd else t.nodes - fwd in
+    let rec go node i acc =
+      if i = hops then List.rev acc
+      else if clockwise then go ((node + 1) mod t.nodes) (i + 1) ((2 * node) :: acc)
+      else
+        go ((node - 1 + t.nodes) mod t.nodes) (i + 1) (((2 * ((node - 1 + t.nodes) mod t.nodes)) + 1) :: acc)
+    in
+    go src 0 []
+  end
+
+let transfer t ~src ~dst ~bytes k =
+  check_node t src;
+  check_node t dst;
+  t.bytes_sent <- t.bytes_sent + bytes;
+  t.transfers <- t.transfers + 1;
+  if src = dst then Sim.schedule t.sim ~delay:0.0 k
+  else begin
+    (* Store-and-forward over each segment, queueing behind earlier
+       transfers holding the link. *)
+    let serialization = float_of_int bytes /. (t.board.Board.ring_bandwidth_gbps *. 1e9) *. 1e6 in
+    let per_hop = t.board.Board.ring_latency_us +. t.added_latency_us in
+    let now = Sim.now t.sim in
+    let clock = ref now in
+    List.iter
+      (fun seg ->
+        let start = Float.max !clock t.seg_free.(seg) in
+        t.queueing_us <- t.queueing_us +. (start -. !clock);
+        let finish = start +. per_hop +. serialization in
+        t.seg_free.(seg) <- finish;
+        clock := finish)
+      (path_segments t ~src ~dst);
+    Sim.schedule t.sim ~delay:(!clock -. now) k
+  end
+
+let bytes_sent t = t.bytes_sent
+let transfers t = t.transfers
+let queueing_us t = t.queueing_us

@@ -1,0 +1,41 @@
+(** The secondary bidirectional ring network connecting the FPGAs
+    (paper §4.2), with the programmable delay module of §4.3 used to
+    inject extra latency for the Fig. 11 sweep. *)
+
+open Mlv_fpga
+
+type t
+
+(** [create sim ~nodes ~board] builds a ring over [nodes] FPGA
+    positions using [board]'s link parameters. *)
+val create : Sim.t -> nodes:int -> board:Board.t -> t
+
+(** [set_added_latency_us t us] programs the artificial delay counter
+    (applied per hop, as the on-fabric module does). *)
+val set_added_latency_us : t -> float -> unit
+
+val added_latency_us : t -> float
+
+(** [hops t ~src ~dst] is the shortest direction around the ring. *)
+val hops : t -> src:int -> dst:int -> int
+
+(** [transfer t ~src ~dst ~bytes k] delivers [bytes] from node [src]
+    to node [dst], invoking [k ()] at arrival time.  Transfers hold
+    the directed ring segments along the shortest path
+    (store-and-forward), so concurrent transfers sharing a segment
+    queue behind each other; opposite directions do not contend.
+    @raise Invalid_argument on out-of-range nodes. *)
+val transfer : t -> src:int -> dst:int -> bytes:int -> (unit -> unit) -> unit
+
+(** [transfer_time_us t ~src ~dst ~bytes] is the contention-free
+    duration estimate (no scheduling, no segment state change). *)
+val transfer_time_us : t -> src:int -> dst:int -> bytes:int -> float
+
+(** [queueing_us t] accumulates time transfers spent waiting for busy
+    segments — the congestion signal. *)
+val queueing_us : t -> float
+
+(** Cumulative statistics. *)
+val bytes_sent : t -> int
+
+val transfers : t -> int

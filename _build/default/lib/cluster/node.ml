@@ -1,0 +1,17 @@
+open Mlv_fpga
+
+type t = {
+  id : int;
+  kind : Device.kind;
+  controller : Mlv_vital.Controller.t;
+  board : Board.t;
+}
+
+let create ~id ~kind ~board = { id; kind; controller = Mlv_vital.Controller.create kind; board }
+
+let free_vbs t = Mlv_vital.Controller.free_vbs t.controller
+let total_vbs t = Mlv_vital.Controller.total_vbs t.controller
+
+let pp fmt t =
+  Format.fprintf fmt "node%d(%s, %d/%d VBs free)" t.id (Device.kind_name t.kind)
+    (free_vbs t) (total_vbs t)

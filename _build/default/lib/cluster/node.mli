@@ -1,0 +1,19 @@
+(** One physical FPGA position in the cluster: a device with its
+    ViTAL low-level controller and board peripherals. *)
+
+open Mlv_fpga
+
+type t = {
+  id : int;  (** ring position *)
+  kind : Device.kind;
+  controller : Mlv_vital.Controller.t;
+  board : Board.t;
+}
+
+val create : id:int -> kind:Device.kind -> board:Board.t -> t
+
+(** [free_vbs t] forwards to the controller. *)
+val free_vbs : t -> int
+
+val total_vbs : t -> int
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,44 @@
+module Pqueue = Mlv_util.Pqueue
+
+type t = {
+  queue : (unit -> unit) Pqueue.t;
+  mutable now : float;
+  mutable processed : int;
+}
+
+let create () = { queue = Pqueue.create (); now = 0.0; processed = 0 }
+let now t = t.now
+
+let schedule t ~delay f =
+  if delay < 0.0 then invalid_arg "Sim.schedule: negative delay";
+  Pqueue.push t.queue (t.now +. delay) f
+
+let schedule_at t ~at f =
+  if at < t.now then invalid_arg "Sim.schedule_at: time in the past";
+  Pqueue.push t.queue at f
+
+let step t =
+  match Pqueue.pop t.queue with
+  | None -> false
+  | Some (time, f) ->
+    t.now <- time;
+    t.processed <- t.processed + 1;
+    f ();
+    true
+
+let run ?until t =
+  let continue () =
+    match until with
+    | None -> true
+    | Some limit -> (
+      match Pqueue.peek t.queue with
+      | Some (time, _) -> time <= limit
+      | None -> false)
+  in
+  while (not (Pqueue.is_empty t.queue)) && continue () do
+    ignore (step t)
+  done;
+  match until with Some limit when t.now < limit && Pqueue.is_empty t.queue -> t.now <- limit | _ -> ()
+
+let pending t = Pqueue.length t.queue
+let events_processed t = t.processed

@@ -1,0 +1,33 @@
+(** Deterministic discrete-event simulation engine.
+
+    Time is in microseconds.  Events scheduled for the same instant
+    fire in scheduling order (the priority queue is FIFO on ties), so
+    runs are exactly reproducible. *)
+
+type t
+
+val create : unit -> t
+
+(** [now t] is the current simulation time (µs). *)
+val now : t -> float
+
+(** [schedule t ~delay f] runs [f] at [now t +. delay].
+    @raise Invalid_argument on negative delays. *)
+val schedule : t -> delay:float -> (unit -> unit) -> unit
+
+(** [schedule_at t ~at f] runs [f] at absolute time [at].
+    @raise Invalid_argument if [at] is in the past. *)
+val schedule_at : t -> at:float -> (unit -> unit) -> unit
+
+(** [run ?until t] processes events in time order until the queue is
+    empty or the next event is later than [until]. *)
+val run : ?until:float -> t -> unit
+
+(** [step t] processes one event; false when the queue is empty. *)
+val step : t -> bool
+
+(** [pending t] is the number of queued events. *)
+val pending : t -> int
+
+(** [events_processed t] counts events fired so far. *)
+val events_processed : t -> int

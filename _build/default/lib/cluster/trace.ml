@@ -1,0 +1,40 @@
+type t = {
+  capacity : int;
+  buf : (float * string) option array;
+  mutable next : int;
+  mutable total : int;
+}
+
+let create ?(capacity = 4096) () =
+  if capacity <= 0 then invalid_arg "Trace.create: capacity must be positive";
+  { capacity; buf = Array.make capacity None; next = 0; total = 0 }
+
+let record t ~at label =
+  t.buf.(t.next) <- Some (at, label);
+  t.next <- (t.next + 1) mod t.capacity;
+  t.total <- t.total + 1
+
+let events t =
+  let n = min t.total t.capacity in
+  let start = if t.total <= t.capacity then 0 else t.next in
+  List.init n (fun i ->
+      match t.buf.((start + i) mod t.capacity) with
+      | Some e -> e
+      | None -> assert false)
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec at i = i + nn <= nh && (String.sub hay i nn = needle || at (i + 1)) in
+  nn = 0 || at 0
+
+let matching t sub = List.filter (fun (_, label) -> contains label sub) (events t)
+let length t = min t.total t.capacity
+let dropped t = max 0 (t.total - t.capacity)
+
+let clear t =
+  Array.fill t.buf 0 t.capacity None;
+  t.next <- 0;
+  t.total <- 0
+
+let pp fmt t =
+  List.iter (fun (at, label) -> Format.fprintf fmt "%12.2f %s@." at label) (events t)

@@ -1,0 +1,33 @@
+(** Timestamped event tracing for simulations.
+
+    A bounded ring of (time, label) events; the runtime and the
+    system simulation record deployment decisions and task lifecycle
+    events here so tests and tools can assert on system behaviour
+    without scraping stdout. *)
+
+type t
+
+(** [create ?capacity ()] makes a trace keeping the last [capacity]
+    events (default 4096). *)
+val create : ?capacity:int -> unit -> t
+
+(** [record t ~at label] appends an event. *)
+val record : t -> at:float -> string -> unit
+
+(** [events t] lists retained events oldest first. *)
+val events : t -> (float * string) list
+
+(** [matching t substring] filters events whose label contains
+    [substring]. *)
+val matching : t -> string -> (float * string) list
+
+(** [length t] / [dropped t] count retained and evicted events. *)
+val length : t -> int
+
+val dropped : t -> int
+
+(** [clear t] empties the trace. *)
+val clear : t -> unit
+
+(** [pp] prints one event per line. *)
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/core/decompose.ml: Array Ast Design Extract Fun Graph Hashtbl List Mlv_eqcheck Mlv_fpga Mlv_rtl Printf Soft_block String Transform

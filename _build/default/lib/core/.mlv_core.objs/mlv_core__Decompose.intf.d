@@ -1,0 +1,1 @@
+lib/core/decompose.mli: Design Mlv_eqcheck Mlv_rtl Soft_block

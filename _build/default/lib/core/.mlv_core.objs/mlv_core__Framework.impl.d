@@ -1,0 +1,1 @@
+lib/core/framework.ml: Decompose List Mapping Mlv_accel Mlv_rtl Printf Registry

@@ -1,0 +1,1 @@
+lib/core/framework.mli: Decompose Design Mapping Mlv_accel Mlv_rtl Registry

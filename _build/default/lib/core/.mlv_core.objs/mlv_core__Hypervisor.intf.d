@@ -1,0 +1,1 @@
+lib/core/hypervisor.mli: Runtime

@@ -1,0 +1,1 @@
+lib/core/mapping.mli: Device Mlv_fpga Mlv_vital Partition Resource Soft_block

@@ -1,0 +1,1 @@
+lib/core/pattern.ml: List Printf Soft_block

@@ -1,0 +1,1 @@
+lib/core/runtime.ml: Array Device Fun Hashtbl List Mapping Mlv_cluster Mlv_fpga Mlv_vital Printf Registry

@@ -1,0 +1,1 @@
+lib/core/runtime.mli: Mlv_cluster Mlv_vital Registry

@@ -1,0 +1,1 @@
+lib/core/scale_out.ml: Array Codegen Exec Hashtbl Instr List Mlp Mlv_accel Mlv_fpga Mlv_isa Mlv_util Program

@@ -1,0 +1,1 @@
+lib/core/scale_out.mli: Codegen Exec Mlp Mlv_accel Mlv_fpga Mlv_isa Program

@@ -1,0 +1,1 @@
+lib/core/soft_block.ml: Buffer Format List Mlv_fpga Printf Resource String

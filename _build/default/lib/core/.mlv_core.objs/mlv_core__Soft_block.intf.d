@@ -1,0 +1,1 @@
+lib/core/soft_block.mli: Format Mlv_fpga Resource

@@ -1,0 +1,1 @@
+lib/core/top_down.ml: Array Ast Decompose Design Graph Hashtbl List Mlv_eqcheck Mlv_fpga Mlv_rtl Printf Soft_block String

@@ -1,0 +1,37 @@
+type npu = {
+  config : Mlv_accel.Config.t;
+  design : Mlv_rtl.Design.t;
+  decomposed : Decompose.decomposition;
+  mapping : Mapping.t;
+}
+
+let decompose_config =
+  {
+    Decompose.default_config with
+    Decompose.control_modules = Mlv_accel.Rtl_gen.control_companions;
+  }
+
+let accel_name ~tiles = Printf.sprintf "npu-t%d" tiles
+
+let build_npu ?(iterations = 2) ~tiles () =
+  let config = Mlv_accel.Config.make ~tiles () in
+  let design = Mlv_accel.Rtl_gen.generate config in
+  match Decompose.run ~config:decompose_config design ~top:Mlv_accel.Rtl_gen.top_name with
+  | Error e -> Error (Printf.sprintf "decompose failed: %s" e)
+  | Ok decomposed ->
+    let mapping =
+      Mapping.compile ~cost_model:Mapping.npu_cost_model ~iterations
+        ~name:(accel_name ~tiles) ~control:decomposed.Decompose.control
+        ~data:decomposed.Decompose.data ()
+    in
+    Ok { config; design; decomposed; mapping }
+
+let npu_registry ?(iterations = 2) ~tile_counts () =
+  let registry = Registry.create () in
+  List.iter
+    (fun tiles ->
+      match build_npu ~iterations ~tiles () with
+      | Ok npu -> Registry.register registry npu.mapping
+      | Error e -> failwith (Printf.sprintf "npu_registry: tiles=%d: %s" tiles e))
+    tile_counts;
+  registry

@@ -1,0 +1,35 @@
+(** Top-level facade: the full compile flow of the paper in one call.
+
+    [build_npu] generates the BrainWave-like accelerator's RTL,
+    decomposes it onto the system abstraction (with the case-study
+    adjustment moving the converter, VRF and writeback into the
+    control block), partitions it, and maps every piece onto every
+    device type.  [npu_registry] builds the runtime database with one
+    accelerator instance per requested tile count — the "multiple
+    accelerator instances with different numbers of MVM tiles" of
+    §4.2. *)
+
+open Mlv_rtl
+
+type npu = {
+  config : Mlv_accel.Config.t;
+  design : Design.t;
+  decomposed : Decompose.decomposition;
+  mapping : Mapping.t;
+}
+
+(** [build_npu ?iterations ~tiles ()] runs the full flow.
+    [iterations] is the partitioning depth (default 2). *)
+val build_npu : ?iterations:int -> tiles:int -> unit -> (npu, string) result
+
+(** [accel_name ~tiles] is the registry key, e.g. ["npu-t21"]. *)
+val accel_name : tiles:int -> string
+
+(** [npu_registry ?iterations ~tile_counts ()] compiles one instance
+    per tile count and registers them all.
+    @raise Failure if any build fails. *)
+val npu_registry : ?iterations:int -> tile_counts:int list -> unit -> Registry.t
+
+(** [decompose_config] is the decomposer configuration used for the
+    NPU (control-path marking plus the case-study companions). *)
+val decompose_config : Decompose.config

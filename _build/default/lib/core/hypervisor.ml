@@ -1,0 +1,107 @@
+type t = {
+  runtime : Runtime.t;
+  table : (int, Runtime.deployment) Hashtbl.t;
+  mutable next_id : int;
+}
+
+let create runtime = { runtime; table = Hashtbl.create 16; next_id = 0 }
+
+let live_handles t =
+  Hashtbl.fold (fun id _ acc -> id :: acc) t.table [] |> List.sort compare
+
+let help =
+  "ok commands: deploy <accel> | undeploy <id> | status | nodes | list | deployments | \
+   rebalance | fail <node> | restore <node> | help"
+
+let do_deploy t accel =
+  match Runtime.deploy t.runtime ~accel with
+  | Error e -> "error " ^ e
+  | Ok d ->
+    let id = t.next_id in
+    t.next_id <- t.next_id + 1;
+    Hashtbl.replace t.table id d;
+    let nodes =
+      String.concat "," (List.map string_of_int (Runtime.nodes_used d))
+    in
+    let vbs =
+      List.fold_left
+        (fun acc (p : Runtime.placement) ->
+          acc + p.Runtime.bitstream.Mlv_vital.Bitstream.vbs)
+        0 d.Runtime.placements
+    in
+    Printf.sprintf "ok id=%d nodes=%s vbs=%d tiles=%d" id nodes vbs
+      (Runtime.tiles_deployed d)
+
+let do_undeploy t id_str =
+  match int_of_string_opt id_str with
+  | None -> Printf.sprintf "error bad deployment id %S" id_str
+  | Some id -> (
+    match Hashtbl.find_opt t.table id with
+    | None -> Printf.sprintf "error unknown deployment %d" id
+    | Some d ->
+      Runtime.undeploy t.runtime d;
+      Hashtbl.remove t.table id;
+      "ok")
+
+let do_status t =
+  let s = Runtime.stats t.runtime in
+  Printf.sprintf "ok live=%d vbs=%d/%d util=%.1f%%" s.Runtime.live s.Runtime.vbs_used
+    s.Runtime.vbs_total
+    (Runtime.cluster_utilization t.runtime *. 100.0)
+
+let do_nodes t =
+  let s = Runtime.stats t.runtime in
+  "ok "
+  ^ String.concat " "
+      (List.map (fun (i, used, total) -> Printf.sprintf "%d:%d/%d" i used total) s.Runtime.per_node)
+
+let do_deployments t =
+  let entries =
+    live_handles t
+    |> List.map (fun id ->
+           let d = Hashtbl.find t.table id in
+           Printf.sprintf "%d:%s:%s" id d.Runtime.accel
+             (String.concat "," (List.map string_of_int (Runtime.nodes_used d))))
+  in
+  "ok " ^ String.concat " " entries
+
+let handle t line =
+  let words =
+    String.split_on_char ' ' (String.trim line) |> List.filter (fun w -> w <> "")
+  in
+  match words with
+  | [ "deploy"; accel ] -> do_deploy t accel
+  | [ "undeploy"; id ] -> do_undeploy t id
+  | [ "status" ] -> do_status t
+  | [ "nodes" ] -> do_nodes t
+  | [ "list" ] -> "ok " ^ String.concat " " (Registry.names (Runtime.registry t.runtime))
+  | [ "deployments" ] -> do_deployments t
+  | [ "rebalance" ] -> (
+    match Runtime.rebalance t.runtime with
+    | Ok moved -> Printf.sprintf "ok moved=%d" moved
+    | Error e -> "error " ^ e)
+  | [ "fail"; node ] -> (
+    match int_of_string_opt node with
+    | None -> Printf.sprintf "error bad node %S" node
+    | Some n -> (
+      match Runtime.fail_node t.runtime n with
+      | f ->
+        (* deployments that could not be re-placed lose their ids *)
+        let lost_ids =
+          Hashtbl.fold
+            (fun id d acc -> if List.memq d f.Runtime.lost then id :: acc else acc)
+            t.table []
+        in
+        List.iter (Hashtbl.remove t.table) lost_ids;
+        Printf.sprintf "ok recovered=%d lost=%d" f.Runtime.recovered
+          (List.length f.Runtime.lost)
+      | exception Invalid_argument e -> "error " ^ e))
+  | [ "restore"; node ] -> (
+    match int_of_string_opt node with
+    | None -> Printf.sprintf "error bad node %S" node
+    | Some n ->
+      Runtime.restore_node t.runtime n;
+      "ok")
+  | [ "help" ] -> help
+  | [] -> "error empty command"
+  | cmd :: _ -> Printf.sprintf "error unknown command %S (try help)" cmd

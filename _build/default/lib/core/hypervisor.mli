@@ -1,0 +1,32 @@
+(** Integration API for the high-level system (paper Fig. 7: "this
+    system controller also provides APIs for communicating with the
+    high-level system to enable an easy system integration").
+
+    A thin command/response layer over {!Runtime}: the hypervisor
+    sends line-oriented textual commands; responses are single lines
+    starting with [ok] or [error].  Deployments receive stable ids so
+    they can be released later.
+
+    {v
+      deploy <accel>        ->  ok id=<n> nodes=<i,j> vbs=<k> tiles=<t>
+      undeploy <id>         ->  ok
+      status                ->  ok live=<n> vbs=<used>/<total> util=<pct>
+      nodes                 ->  ok 0:<used>/<total>:<kind> 1:...
+      list                  ->  ok <accel> <accel> ...
+      deployments           ->  ok <id>:<accel>:<nodes> ...
+      rebalance             ->  ok moved=<n>
+      help                  ->  ok <command list>
+    v} *)
+
+type t
+
+(** [create runtime] wraps a runtime controller. *)
+val create : Runtime.t -> t
+
+(** [handle t command] executes one command line and returns the
+    response line.  Never raises: malformed input yields
+    [error ...]. *)
+val handle : t -> string -> string
+
+(** [live_handles t] lists currently tracked deployment ids. *)
+val live_handles : t -> int list

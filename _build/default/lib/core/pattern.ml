@@ -1,0 +1,26 @@
+let replicate ~name n block =
+  if n < 1 then invalid_arg "Pattern.replicate: n must be >= 1";
+  Soft_block.data_par ~name (List.init n (fun _ -> block))
+
+let int_pow base e =
+  let rec go acc e = if e = 0 then acc else go (acc * base) (e - 1) in
+  go 1 e
+
+let reduction ~name ~fan_in ~levels leaf_gen =
+  if fan_in < 2 then invalid_arg "Pattern.reduction: fan_in must be >= 2";
+  if levels < 1 then invalid_arg "Pattern.reduction: levels must be >= 1";
+  let stage level =
+    let width = int_pow fan_in (levels - 1 - level) in
+    if width = 1 then leaf_gen ~level ~index:0
+    else
+      Soft_block.data_par
+        ~name:(Printf.sprintf "%s_l%d" name level)
+        (List.init width (fun index -> leaf_gen ~level ~index))
+  in
+  if levels = 1 then stage 0
+  else Soft_block.pipeline ~name (List.init levels stage)
+
+let map_pipeline ~name ~ways stages =
+  if ways < 1 then invalid_arg "Pattern.map_pipeline: ways must be >= 1";
+  let pipe i = Soft_block.pipeline ~name:(Printf.sprintf "%s_pipe%d" name i) stages in
+  Soft_block.data_par ~name (List.init ways pipe)

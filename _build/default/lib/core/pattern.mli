@@ -1,0 +1,26 @@
+(** Combinators for building complex parallel patterns from the two
+    primitives (paper Fig. 2c): the primitives are closed under
+    composition, so reductions, maps over pipelines, pipelines of
+    maps, etc. are all expressible. *)
+
+(** [replicate ~name n block] is an [n]-way data-parallel node over
+    copies of [block].
+    @raise Invalid_argument if [n < 1]. *)
+val replicate : name:string -> int -> Soft_block.t -> Soft_block.t
+
+(** [reduction ~name ~fan_in ~levels leaf_gen] builds the reduction
+    tree of Fig. 2c: [levels] pipeline stages, stage [i] a
+    data-parallel group of [fan_in^(levels-1-i)] reducers produced by
+    [leaf_gen ~level ~index].
+    @raise Invalid_argument if [fan_in < 2] or [levels < 1]. *)
+val reduction :
+  name:string ->
+  fan_in:int ->
+  levels:int ->
+  (level:int -> index:int -> Soft_block.t) ->
+  Soft_block.t
+
+(** [map_pipeline ~name ~ways stages] is a data-parallel group of
+    [ways] identical pipelines (a SIMD unit whose inner structure is
+    a pipeline — the shape the paper's partition tool must not cut). *)
+val map_pipeline : name:string -> ways:int -> Soft_block.t list -> Soft_block.t

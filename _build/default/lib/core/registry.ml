@@ -1,0 +1,13 @@
+type t = (string, Mapping.t) Hashtbl.t
+
+let create () = Hashtbl.create 16
+let register t (m : Mapping.t) = Hashtbl.replace t m.Mapping.accel_name m
+let find t name = Hashtbl.find_opt t name
+
+let names t =
+  Hashtbl.fold (fun name _ acc -> name :: acc) t [] |> List.sort compare
+
+let deployment_options t name =
+  match find t name with
+  | None -> []
+  | Some m -> Mapping.levels_fewest_first m

@@ -1,0 +1,22 @@
+(** The mapping-results database of the system controller
+    (paper Fig. 7): per accelerator, the compiled partitioning
+    results for every level and device type. *)
+
+type t
+
+val create : unit -> t
+
+(** [register t mapping] stores (or replaces) an accelerator's
+    mapping results. *)
+val register : t -> Mapping.t -> unit
+
+(** [find t name] looks up an accelerator. *)
+val find : t -> string -> Mapping.t option
+
+(** [names t] lists registered accelerators alphabetically. *)
+val names : t -> string list
+
+(** [deployment_options t name] returns the piece lists sorted by
+    piece count ascending (the greedy policy's search order), or []
+    when unknown. *)
+val deployment_options : t -> string -> Mapping.compiled_piece list list

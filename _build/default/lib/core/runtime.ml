@@ -1,0 +1,320 @@
+open Mlv_fpga
+module Cluster = Mlv_cluster.Cluster
+module Node = Mlv_cluster.Node
+module Controller = Mlv_vital.Controller
+module Bitstream = Mlv_vital.Bitstream
+
+type policy = {
+  policy_name : string;
+  fewest_first : bool;
+  same_type_only : bool;
+  whole_device : bool;
+  best_fit : bool;
+}
+
+let greedy =
+  {
+    policy_name = "greedy";
+    fewest_first = true;
+    same_type_only = false;
+    whole_device = false;
+    best_fit = true;
+  }
+
+let restricted = { greedy with policy_name = "restricted"; same_type_only = true }
+
+let baseline =
+  {
+    greedy with
+    policy_name = "baseline";
+    whole_device = true;
+    same_type_only = true;
+  }
+
+let first_fit = { greedy with policy_name = "first_fit"; best_fit = false }
+
+type placement = {
+  node_id : int;
+  bitstream : Bitstream.t;
+  handle : Controller.handle;
+}
+
+type deployment = {
+  accel : string;
+  mutable placements : placement list;
+  mutable reconfig_us : float;
+}
+
+let nodes_used d = List.map (fun p -> p.node_id) d.placements |> List.sort_uniq compare
+
+let tiles_deployed d =
+  List.fold_left (fun acc p -> acc + p.bitstream.Bitstream.tiles) 0 d.placements
+
+type t = {
+  cluster : Cluster.t;
+  registry : Registry.t;
+  policy : policy;
+  mutable live : deployment list;
+  failed : (int, unit) Hashtbl.t;
+}
+
+let create ?(policy = greedy) cluster registry =
+  { cluster; registry; policy; live = []; failed = Hashtbl.create 4 }
+
+let failed_nodes t = Hashtbl.fold (fun i () acc -> i :: acc) t.failed [] |> List.sort compare
+let policy t = t.policy
+let registry t = t.registry
+let deployments t = t.live
+
+(* Tentative assignment of pieces to nodes against a snapshot of free
+   virtual blocks.  Returns (node, bitstream) per piece or None. *)
+let try_assign t ~kind_filter (pieces : Mapping.compiled_piece list) =
+  let n = Cluster.node_count t.cluster in
+  let free = Array.init n (fun i -> Node.free_vbs (Cluster.node t.cluster i)) in
+  let total = Array.init n (fun i -> Node.total_vbs (Cluster.node t.cluster i)) in
+  (* Pieces with fewer device options first would be smarter; the
+     paper sorts by size, so allocate biggest-first for packing. *)
+  let order =
+    List.sort
+      (fun (a : Mapping.compiled_piece) b -> compare b.Mapping.tiles a.Mapping.tiles)
+      pieces
+  in
+  let choose_node (bs : Bitstream.t) =
+    let need =
+      if t.policy.whole_device then
+        (* whole-device granularity: demand an empty device *)
+        fun i -> free.(i) = total.(i) && free.(i) >= bs.Bitstream.vbs
+      else fun i -> free.(i) >= bs.Bitstream.vbs
+    in
+    let candidates =
+      List.filter
+        (fun i ->
+          (not (Hashtbl.mem t.failed i))
+          && Device.equal_kind (Cluster.node t.cluster i).Node.kind bs.Bitstream.device
+          && need i)
+        (List.init n Fun.id)
+    in
+    match candidates with
+    | [] -> None
+    | first :: _ ->
+      if t.policy.best_fit then
+        Some
+          (List.fold_left
+             (fun best i -> if free.(i) < free.(best) then i else best)
+             first candidates)
+      else Some first
+  in
+  let rec assign acc = function
+    | [] -> Some (List.rev acc)
+    | (piece : Mapping.compiled_piece) :: rest -> (
+      (* Try the piece's device options (filtered) in turn. *)
+      let options =
+        List.filter (fun (kind, _) -> kind_filter kind) piece.Mapping.bitstreams
+      in
+      let rec try_options = function
+        | [] -> None
+        | (_, bs) :: more -> (
+          match choose_node bs with
+          | Some node ->
+            let vbs =
+              if t.policy.whole_device then total.(node) else bs.Bitstream.vbs
+            in
+            free.(node) <- free.(node) - vbs;
+            (match assign ((node, bs) :: acc) rest with
+            | Some _ as ok -> ok
+            | None ->
+              free.(node) <- free.(node) + vbs;
+              try_options more)
+          | None -> try_options more)
+      in
+      try_options options)
+  in
+  assign [] order
+
+let perform t accel assignment =
+  let reconfig = ref 0.0 in
+  let placements =
+    List.map
+      (fun (node_id, bs) ->
+        let node = Cluster.node t.cluster node_id in
+        let bs_load =
+          if t.policy.whole_device then
+            { bs with Bitstream.vbs = Node.total_vbs node }
+          else bs
+        in
+        match Controller.load node.Node.controller bs_load with
+        | Ok (handle, time_us) ->
+          reconfig := !reconfig +. time_us;
+          { node_id; bitstream = bs_load; handle }
+        | Error msg -> failwith ("Runtime.deploy: controller refused: " ^ msg))
+      assignment
+  in
+  let d = { accel; placements; reconfig_us = !reconfig } in
+  t.live <- d :: t.live;
+  d
+
+let deploy t ~accel =
+  match Registry.find t.registry accel with
+  | None -> Error (Printf.sprintf "unknown accelerator %s" accel)
+  | Some mapping ->
+    let levels = Mapping.levels_fewest_first mapping in
+    let levels = if t.policy.fewest_first then levels else List.rev levels in
+    let levels =
+      if t.policy.whole_device then
+        (* AS-ISA-only management has no multi-FPGA support. *)
+        List.filter (fun l -> List.length l = 1) levels
+      else levels
+    in
+    let kind_filters =
+      if t.policy.same_type_only then
+        List.map (fun k -> fun kind -> Device.equal_kind kind k) Device.kinds
+      else [ (fun _ -> true) ]
+    in
+    let rec try_levels = function
+      | [] ->
+        Error
+          (Printf.sprintf "no feasible allocation for %s under policy %s" accel
+             t.policy.policy_name)
+      | pieces :: rest -> (
+        let rec try_filters = function
+          | [] -> try_levels rest
+          | f :: more -> (
+            match try_assign t ~kind_filter:f pieces with
+            | Some assignment -> Ok (perform t accel assignment)
+            | None -> try_filters more)
+        in
+        try_filters kind_filters)
+    in
+    try_levels levels
+
+type stats = {
+  live : int;
+  vbs_used : int;
+  vbs_total : int;
+  per_node : (int * int * int) list;
+}
+
+let stats t =
+  let n = Cluster.node_count t.cluster in
+  let per_node =
+    List.init n (fun i ->
+        let node = Cluster.node t.cluster i in
+        let total = Node.total_vbs node in
+        (i, total - Node.free_vbs node, total))
+  in
+  let vbs_used = List.fold_left (fun acc (_, u, _) -> acc + u) 0 per_node in
+  let vbs_total = List.fold_left (fun acc (_, _, tot) -> acc + tot) 0 per_node in
+  { live = List.length t.live; vbs_used; vbs_total; per_node }
+
+let cluster_utilization t =
+  let s = stats t in
+  if s.vbs_total = 0 then 0.0 else float_of_int s.vbs_used /. float_of_int s.vbs_total
+
+let rebalance (t : t) =
+  let live = t.live in
+  (* Tear everything down, remembering enough to restore on failure. *)
+  let snapshot =
+    List.map
+      (fun d ->
+        List.iter
+          (fun p -> Controller.unload (Cluster.node t.cluster p.node_id).Node.controller p.handle)
+          d.placements;
+        (d, d.placements))
+      live
+  in
+  let order =
+    List.sort (fun (a, _) (b, _) -> compare (tiles_deployed b) (tiles_deployed a)) snapshot
+  in
+  let redeployed = ref [] in
+  let rec place = function
+    | [] -> Ok ()
+    | (d, _) :: rest -> (
+      match deploy t ~accel:d.accel with
+      | Ok fresh ->
+        redeployed := (d, fresh) :: !redeployed;
+        place rest
+      | Error e -> Error e)
+  in
+  (* deploy pushes fresh deployments onto t.live; take them back off
+     as we go and graft their placements onto the original values. *)
+  t.live <- [];
+  match place order with
+  | Ok () ->
+    let moved = ref 0 in
+    List.iter
+      (fun (original, fresh) ->
+        if nodes_used original <> nodes_used fresh then incr moved;
+        original.placements <- fresh.placements;
+        original.reconfig_us <- original.reconfig_us +. fresh.reconfig_us)
+      !redeployed;
+    t.live <- live;
+    Ok !moved
+  | Error e ->
+    (* Roll back: free whatever we re-placed, then restore the
+       original placements. *)
+    List.iter
+      (fun (_, fresh) ->
+        List.iter
+          (fun p -> Controller.unload (Cluster.node t.cluster p.node_id).Node.controller p.handle)
+          fresh.placements)
+      !redeployed;
+    List.iter
+      (fun (d, placements) ->
+        let restored =
+          List.map
+            (fun p ->
+              let node = Cluster.node t.cluster p.node_id in
+              match Controller.load node.Node.controller p.bitstream with
+              | Ok (handle, _) -> { p with handle }
+              | Error msg -> failwith ("Runtime.rebalance: rollback failed: " ^ msg))
+            placements
+        in
+        d.placements <- restored)
+      snapshot;
+    t.live <- live;
+    Error e
+
+let undeploy t d =
+  List.iter
+    (fun p ->
+      let node = Cluster.node t.cluster p.node_id in
+      Controller.unload node.Node.controller p.handle)
+    d.placements;
+  t.live <- List.filter (fun x -> x != d) t.live
+
+type failover = { recovered : int; lost : deployment list }
+
+let fail_node (t : t) node_id =
+  if node_id < 0 || node_id >= Cluster.node_count t.cluster then
+    invalid_arg (Printf.sprintf "Runtime.fail_node: node %d out of range" node_id);
+  Hashtbl.replace t.failed node_id ();
+  let affected, unaffected =
+    List.partition (fun d -> List.mem node_id (nodes_used d)) t.live
+  in
+  (* Release every placement of the affected deployments (the failed
+     node's blocks are gone anyway; surviving nodes' blocks free up),
+     then try to place each deployment again on the healthy nodes. *)
+  List.iter
+    (fun d ->
+      List.iter
+        (fun p ->
+          Controller.unload (Cluster.node t.cluster p.node_id).Node.controller p.handle)
+        d.placements)
+    affected;
+  t.live <- unaffected;
+  let recovered = ref 0 in
+  let lost = ref [] in
+  List.iter
+    (fun d ->
+      match deploy t ~accel:d.accel with
+      | Ok fresh ->
+        (* graft so the caller's handle stays valid *)
+        d.placements <- fresh.placements;
+        d.reconfig_us <- d.reconfig_us +. fresh.reconfig_us;
+        t.live <- d :: List.filter (fun x -> x != fresh) t.live;
+        incr recovered
+      | Error _ -> lost := d :: !lost)
+    affected;
+  { recovered = !recovered; lost = List.rev !lost }
+
+let restore_node (t : t) node_id = Hashtbl.remove t.failed node_id

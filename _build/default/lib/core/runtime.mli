@@ -1,0 +1,118 @@
+(** The runtime management system (paper §2.3, Fig. 7).
+
+    The system controller receives deployment requests, searches the
+    mapping database for feasible results, and drives the low-level
+    ViTAL controllers to configure physical FPGAs.  The default
+    policy is the paper's greedy one: try mapping results in
+    ascending order of soft-block count, minimizing allocated FPGAs
+    and therefore inter-FPGA communication.
+
+    Policy variants cover the paper's comparisons and our ablations:
+    - [greedy] — the proposed policy (heterogeneous devices allowed);
+    - [restricted] — one accelerator only spans devices of a single
+      type (emulates existing HS abstractions' multi-FPGA support,
+      the 16%-loss comparison of Fig. 12);
+    - [baseline] — AS-ISA-only management: whole-device granularity,
+      no spatial sharing, no multi-FPGA deployment;
+    - [first_fit] — greedy order but first-fitting nodes instead of
+      best-fitting (ablation). *)
+
+type policy = {
+  policy_name : string;
+  fewest_first : bool;  (** search fewest-piece mapping results first *)
+  same_type_only : bool;  (** all pieces on one device type *)
+  whole_device : bool;  (** per-device granularity (no sharing) *)
+  best_fit : bool;  (** node choice minimizes leftover blocks *)
+}
+
+val greedy : policy
+val restricted : policy
+val baseline : policy
+val first_fit : policy
+
+type placement = {
+  node_id : int;
+  bitstream : Mlv_vital.Bitstream.t;
+  handle : Mlv_vital.Controller.handle;
+}
+
+type deployment = {
+  accel : string;
+  mutable placements : placement list;
+  mutable reconfig_us : float;  (** summed partial-reconfiguration time *)
+}
+
+(** [nodes_used d] / [tiles_deployed d] summarize a deployment. *)
+val nodes_used : deployment -> int list
+
+val tiles_deployed : deployment -> int
+
+type t
+
+val create : ?policy:policy -> Mlv_cluster.Cluster.t -> Registry.t -> t
+
+val policy : t -> policy
+
+(** [registry t] is the mapping database the controller serves from. *)
+val registry : t -> Registry.t
+
+(** [deploy t ~accel] finds and performs a feasible allocation, or
+    explains why none exists. *)
+val deploy : t -> accel:string -> (deployment, string) result
+
+(** [undeploy t d] releases every placement. *)
+val undeploy : t -> deployment -> unit
+
+(** Node failure handling: a failed node's virtual blocks stop being
+    allocation candidates, and every deployment that had a placement
+    there is torn down and redeployed on the healthy nodes. *)
+type failover = {
+  recovered : int;  (** deployments successfully re-placed *)
+  lost : deployment list;  (** deployments that no longer fit *)
+}
+
+(** [fail_node t node] marks [node] failed and fails over its
+    deployments.  Surviving deployment values keep working as
+    handles (their placements are updated in place).
+    @raise Invalid_argument on an out-of-range node. *)
+val fail_node : t -> int -> failover
+
+(** [restore_node t node] returns a node to service (existing
+    deployments are not moved back; see {!rebalance}). *)
+val restore_node : t -> int -> unit
+
+(** [failed_nodes t] lists nodes currently marked failed. *)
+val failed_nodes : t -> int list
+
+(** [rebalance t] repacks every live deployment (paper §2.3 closes
+    with runtime-policy exploration as future work; this implements
+    the obvious next step).  Over time, arrivals and departures
+    fragment the virtual-block pool so that an accelerator which
+    would fit in the cluster's total free blocks fits on no single
+    device.  Rebalancing tears all live deployments down and places
+    them again, largest first — live migration through partial
+    reconfiguration.  Returns the number of deployments whose node
+    set changed, or [Error] (with the cluster restored) if some
+    deployment could not be placed again.
+
+    Existing {!deployment} values remain valid handles: their
+    placements are updated in place semantically (callers must use
+    the return of {!deployments} afterwards for fresh placement
+    data). *)
+val rebalance : t -> (int, string) result
+
+(** [deployments t] lists live deployments. *)
+val deployments : t -> deployment list
+
+(** Cluster occupancy snapshot. *)
+type stats = {
+  live : int;  (** live deployments *)
+  vbs_used : int;
+  vbs_total : int;
+  per_node : (int * int * int) list;  (** (node, used, total) *)
+}
+
+val stats : t -> stats
+
+(** [cluster_utilization t] is used / total virtual blocks. *)
+val cluster_utilization : t -> float

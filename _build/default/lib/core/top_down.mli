@@ -1,0 +1,26 @@
+(** The top-down decomposing flow (paper §2.2.1, Fig. 3b).
+
+    Where the bottom-up flow ({!Decompose.run}) dissolves the module
+    hierarchy into basic blocks and re-discovers structure by
+    merging, the top-down flow follows the hierarchy: a non-leaf
+    module's instances are grouped — identical siblings with matching
+    connectivity become a data-parallel node, producer-consumer
+    chains become pipelines — and each child is decomposed
+    recursively until basic modules remain.
+
+    The paper notes the two flows are alternatives; its automation
+    tool uses bottom-up "due to the ease of implementation".  We
+    provide both and test that they extract the same tree shape on
+    the case-study accelerator. *)
+
+open Mlv_rtl
+
+(** [run ?config design ~top] decomposes with the top-down flow.
+    Shares {!Decompose.config} (control marking, equivalence
+    effort).  Intra-block lane extraction (step 2) is a bottom-up
+    notion and is not applied here. *)
+val run :
+  ?config:Decompose.config ->
+  Design.t ->
+  top:string ->
+  (Decompose.decomposition, string) result

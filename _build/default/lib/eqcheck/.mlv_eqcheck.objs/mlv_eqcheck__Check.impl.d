@@ -1,0 +1,1 @@
+lib/eqcheck/check.ml: Ast Extract Int64 List Mlv_rtl Mlv_util Sig_hash Sim

@@ -1,0 +1,1 @@
+lib/eqcheck/check.mli: Ast Design Mlv_rtl

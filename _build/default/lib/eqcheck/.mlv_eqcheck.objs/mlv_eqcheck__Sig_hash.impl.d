@@ -1,0 +1,1 @@
+lib/eqcheck/sig_hash.ml: Array Ast Hashtbl List Mlv_rtl Printf

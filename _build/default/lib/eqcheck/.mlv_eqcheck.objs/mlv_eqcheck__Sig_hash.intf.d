@@ -1,0 +1,1 @@
+lib/eqcheck/sig_hash.mli: Ast Mlv_rtl

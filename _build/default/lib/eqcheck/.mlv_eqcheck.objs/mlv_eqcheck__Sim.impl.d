@@ -1,0 +1,1 @@
+lib/eqcheck/sim.ml: Array Ast Hashtbl Int64 List Mlv_rtl Printf Queue

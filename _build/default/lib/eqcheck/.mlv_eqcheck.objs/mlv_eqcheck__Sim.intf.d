@@ -1,0 +1,1 @@
+lib/eqcheck/sim.mli: Ast Mlv_rtl

@@ -1,0 +1,61 @@
+open Mlv_rtl
+module Rng = Mlv_util.Rng
+
+type config = { restarts : int; cycles : int; seed : int }
+
+let default_config = { restarts = 4; cycles = 48; seed = 0x5EED }
+
+let interface_shape (m : Ast.module_def) =
+  List.map (fun (p : Ast.port) -> (p.dir = Ast.Input, p.width)) m.ports
+  |> List.sort compare
+
+let simulate_equal config a b ports_a ports_b =
+  let sim_a = Sim.create a and sim_b = Sim.create b in
+  let in_a = List.filter (fun (p : Ast.port) -> p.dir = Ast.Input) ports_a in
+  let in_b = List.filter (fun (p : Ast.port) -> p.dir = Ast.Input) ports_b in
+  let out_a = List.filter (fun (p : Ast.port) -> p.dir = Ast.Output) ports_a in
+  let out_b = List.filter (fun (p : Ast.port) -> p.dir = Ast.Output) ports_b in
+  let ok = ref (List.length in_a = List.length in_b && List.length out_a = List.length out_b) in
+  let episode ep =
+    Sim.reset sim_a;
+    Sim.reset sim_b;
+    let rng = Rng.create (config.seed + (ep * 7919)) in
+    for _cycle = 1 to config.cycles do
+      if !ok then begin
+        List.iter2
+          (fun (pa : Ast.port) (pb : Ast.port) ->
+            let v = Rng.bits64 rng in
+            Sim.set_input sim_a pa.port_name v;
+            Sim.set_input sim_b pb.port_name v)
+          in_a in_b;
+        Sim.step sim_a;
+        Sim.step sim_b;
+        List.iter2
+          (fun (pa : Ast.port) (pb : Ast.port) ->
+            if
+              not
+                (Int64.equal
+                   (Sim.get_output sim_a pa.port_name)
+                   (Sim.get_output sim_b pb.port_name))
+            then ok := false)
+          out_a out_b
+      end
+    done
+  in
+  for ep = 1 to config.restarts do
+    if !ok then episode ep
+  done;
+  !ok
+
+let modules_equivalent ?(config = default_config) a b =
+  interface_shape a = interface_shape b
+  && Sig_hash.signature a = Sig_hash.signature b
+  && simulate_equal config a b (Sig_hash.canonical_ports a) (Sig_hash.canonical_ports b)
+
+let equivalent ?(config = default_config) design name_a name_b =
+  if name_a = name_b then true
+  else begin
+    let a = Extract.flatten design name_a in
+    let b = Extract.flatten design name_b in
+    modules_equivalent ~config a b
+  end

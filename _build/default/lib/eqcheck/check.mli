@@ -1,0 +1,31 @@
+(** Equivalence checking of RTL modules (paper §2.2.1, step 2).
+
+    The check is two-phase: a structural signature comparison
+    ({!Sig_hash}) prunes obvious mismatches, then random simulation
+    ({!Sim}) over the canonical port correspondence confirms.  False
+    negatives (reporting inequivalence for an equivalent pair) only
+    cost extracted parallelism; false positives are what matter, and
+    the simulation phase makes them vanishingly unlikely for
+    word-level datapaths. *)
+
+open Mlv_rtl
+
+(** Simulation effort knobs. *)
+type config = {
+  restarts : int;  (** independent random episodes (state reset) *)
+  cycles : int;  (** clock steps per episode *)
+  seed : int;  (** base PRNG seed *)
+}
+
+(** Reasonable defaults: 4 restarts of 48 cycles. *)
+val default_config : config
+
+(** [modules_equivalent ?config a b] decides equivalence of two basic
+    modules up to renaming of ports, nets and instances.
+    @raise Invalid_argument if either module is not basic. *)
+val modules_equivalent : ?config:config -> Ast.module_def -> Ast.module_def -> bool
+
+(** [equivalent ?config design a b] flattens modules named [a] and [b]
+    in [design] and compares them.
+    @raise Failure if either name is unknown. *)
+val equivalent : ?config:config -> Design.t -> string -> string -> bool

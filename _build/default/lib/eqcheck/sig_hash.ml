@@ -1,0 +1,99 @@
+open Mlv_rtl
+
+(* Shape of a primitive: its constructor and static parameters, which
+   is exactly what polymorphic hash gives us on the prim value. *)
+let prim_shape (p : Ast.prim) = Hashtbl.hash p
+
+let check_basic (m : Ast.module_def) =
+  if not (Ast.is_basic m) then
+    invalid_arg
+      (Printf.sprintf "Sig_hash: module %s is not basic (flatten it first)" m.mod_name)
+
+(* Colour refinement.  Nets and instances carry colours; each round,
+   a net's colour absorbs the sorted colours of its driver and sink
+   pins (tagged with the formal port name so that e.g. the a and b
+   pins of a subtractor stay distinguishable), and an instance's
+   colour absorbs the colours of its connected nets per formal. *)
+let refine (m : Ast.module_def) ~rounds =
+  let net_color : (string, int) Hashtbl.t = Hashtbl.create 64 in
+  let seed_net name width is_input is_output =
+    Hashtbl.replace net_color name (Hashtbl.hash (width, is_input, is_output))
+  in
+  List.iter (fun (n : Ast.net) -> seed_net n.net_name n.net_width false false) m.nets;
+  List.iter
+    (fun (p : Ast.port) ->
+      seed_net p.port_name p.width (p.dir = Ast.Input) (p.dir = Ast.Output))
+    m.ports;
+  let insts = Array.of_list m.instances in
+  let inst_color =
+    Array.map
+      (fun (inst : Ast.instance) ->
+        match inst.master with
+        | Ast.M_prim p -> prim_shape p
+        | Ast.M_module _ -> assert false)
+      insts
+  in
+  (* net -> list of (formal, instance index) pin references *)
+  let net_pins : (string, (string * int) list) Hashtbl.t = Hashtbl.create 64 in
+  Array.iteri
+    (fun i (inst : Ast.instance) ->
+      List.iter
+        (fun (c : Ast.conn) ->
+          let cur = try Hashtbl.find net_pins c.actual with Not_found -> [] in
+          Hashtbl.replace net_pins c.actual ((c.formal, i) :: cur))
+        inst.conns)
+    insts;
+  for _round = 1 to rounds do
+    (* Nets first, from the instance colours of their pins. *)
+    let new_net_colors =
+      Hashtbl.fold
+        (fun net color acc ->
+          let pins = try Hashtbl.find net_pins net with Not_found -> [] in
+          let pin_colors =
+            List.map (fun (formal, i) -> Hashtbl.hash (formal, inst_color.(i))) pins
+            |> List.sort compare
+          in
+          (net, Hashtbl.hash (color, pin_colors)) :: acc)
+        net_color []
+    in
+    List.iter (fun (net, c) -> Hashtbl.replace net_color net c) new_net_colors;
+    (* Then instances, from their connected net colours per formal. *)
+    Array.iteri
+      (fun i (inst : Ast.instance) ->
+        let conn_colors =
+          List.map
+            (fun (c : Ast.conn) ->
+              (c.formal, try Hashtbl.find net_color c.actual with Not_found -> 0))
+            inst.conns
+          |> List.sort compare
+        in
+        inst_color.(i) <- Hashtbl.hash (inst_color.(i), conn_colors))
+      insts
+  done;
+  (net_color, inst_color)
+
+let default_rounds = 6
+
+let signature (m : Ast.module_def) =
+  check_basic m;
+  let net_color, inst_color = refine m ~rounds:default_rounds in
+  let inst_colors = Array.to_list inst_color |> List.sort compare in
+  let port_colors =
+    List.map
+      (fun (p : Ast.port) ->
+        (p.dir = Ast.Input, p.width, Hashtbl.find net_color p.port_name))
+      m.ports
+    |> List.sort compare
+  in
+  (* Dangling nets (no pins) are semantically irrelevant; only the
+     instance and port colours define the signature. *)
+  Hashtbl.hash (inst_colors, port_colors)
+
+let canonical_ports (m : Ast.module_def) =
+  check_basic m;
+  let net_color, _ = refine m ~rounds:default_rounds in
+  let key (p : Ast.port) =
+    let dir_rank = match p.dir with Ast.Input -> 0 | Ast.Output -> 1 in
+    (dir_rank, p.width, Hashtbl.find net_color p.port_name, p.port_name)
+  in
+  List.sort (fun a b -> compare (key a) (key b)) m.ports

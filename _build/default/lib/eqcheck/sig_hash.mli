@@ -1,0 +1,21 @@
+(** Structural signatures of basic modules.
+
+    A signature is invariant under renaming of nets and instances: it
+    is computed by Weisfeiler-Lehman-style colour refinement over the
+    bipartite instance/net graph, seeded with primitive shapes and
+    net widths.  Equal signatures are a strong (but not
+    sound-complete) indication of structural isomorphism; the
+    decomposer always confirms with random simulation ({!Simeq}). *)
+
+open Mlv_rtl
+
+(** [signature m] is the structural hash of basic module [m].
+    @raise Invalid_argument if [m] instantiates user modules. *)
+val signature : Ast.module_def -> int
+
+(** [canonical_ports m] orders [m]'s ports canonically: inputs before
+    outputs, then by width, then by the final WL colour of the port's
+    net, then by name.  Two isomorphic modules receive compatible
+    orders (up to colour ties), giving the simulation step its port
+    correspondence. *)
+val canonical_ports : Ast.module_def -> Ast.port list

@@ -1,0 +1,231 @@
+open Mlv_rtl
+
+let mask_of width =
+  if width >= 64 then -1L
+  else Int64.sub (Int64.shift_left 1L width) 1L
+
+let mask width v = Int64.logand v (mask_of width)
+
+(* Deterministic ROM contents: every ROM of a given shape holds the
+   same pseudo-random table, so isomorphic circuits agree. *)
+let rom_word width addr =
+  let z = Int64.of_int (addr + 0x9E37) in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 13)) 0xBF58476D1CE4E5B9L in
+  mask width (Int64.logxor z (Int64.shift_right_logical z 29))
+
+type seq_state =
+  | S_reg of int64 ref
+  | S_ram of { mem : (int, int64) Hashtbl.t; mutable rdata : int64 }
+  | S_rom of { mutable rdata : int64 }
+  | S_mac of int64 ref
+
+type t = {
+  values : (string, int64 ref) Hashtbl.t;
+  comb_order : Ast.instance array;
+  seq_insts : (Ast.instance * seq_state) array;
+  input_ports : Ast.port list;
+  output_ports : Ast.port list;
+}
+
+let conn_net (inst : Ast.instance) formal =
+  match List.find_opt (fun (c : Ast.conn) -> c.formal = formal) inst.conns with
+  | Some c -> c.actual
+  | None ->
+    failwith
+      (Printf.sprintf "Sim: instance %s has unconnected port %s" inst.inst_name formal)
+
+let prim_of (inst : Ast.instance) =
+  match inst.master with
+  | Ast.M_prim p -> p
+  | Ast.M_module _ -> assert false
+
+(* Topological sort of combinational instances (Kahn).  Sources are
+   module inputs, constants and sequential outputs. *)
+let comb_topo_order (m : Ast.module_def) comb =
+  let n = Array.length comb in
+  if n = 0 then [||]
+  else begin
+  (* net -> index of the comb instance driving it *)
+  let comb_driver = Hashtbl.create 64 in
+  Array.iteri
+    (fun i (inst : Ast.instance) ->
+      let ports = Ast.prim_ports (prim_of inst) in
+      List.iter
+        (fun (c : Ast.conn) ->
+          match List.find_opt (fun (p : Ast.port) -> p.port_name = c.formal) ports with
+          | Some { dir = Ast.Output; _ } -> Hashtbl.replace comb_driver c.actual i
+          | Some { dir = Ast.Input; _ } | None -> ())
+        inst.conns)
+    comb;
+  let deps = Array.make (max 1 n) [] in
+  let indeg = Array.make (max 1 n) 0 in
+  let dependents = Array.make (max 1 n) [] in
+  Array.iteri
+    (fun i (inst : Ast.instance) ->
+      let ports = Ast.prim_ports (prim_of inst) in
+      List.iter
+        (fun (c : Ast.conn) ->
+          match List.find_opt (fun (p : Ast.port) -> p.port_name = c.formal) ports with
+          | Some { dir = Ast.Input; _ } -> (
+            match Hashtbl.find_opt comb_driver c.actual with
+            | Some j when j <> i -> deps.(i) <- j :: deps.(i)
+            | Some _ | None -> ())
+          | Some { dir = Ast.Output; _ } | None -> ())
+        inst.conns)
+    comb;
+  Array.iteri
+    (fun i ds ->
+      let ds = List.sort_uniq compare ds in
+      deps.(i) <- ds;
+      indeg.(i) <- List.length ds;
+      List.iter (fun j -> dependents.(j) <- i :: dependents.(j)) ds)
+    deps;
+  let queue = Queue.create () in
+  Array.iteri (fun i d -> if d = 0 then Queue.add i queue) indeg;
+  let order = ref [] in
+  let emitted = ref 0 in
+  while not (Queue.is_empty queue) do
+    let i = Queue.pop queue in
+    order := i :: !order;
+    incr emitted;
+    List.iter
+      (fun j ->
+        indeg.(j) <- indeg.(j) - 1;
+        if indeg.(j) = 0 then Queue.add j queue)
+      dependents.(i)
+  done;
+  if !emitted <> n then
+    failwith (Printf.sprintf "Sim: combinational cycle in module %s" m.mod_name);
+  List.rev !order |> List.map (fun i -> comb.(i)) |> Array.of_list
+  end
+
+let create (m : Ast.module_def) =
+  if not (Ast.is_basic m) then
+    invalid_arg (Printf.sprintf "Sim.create: module %s is not basic" m.mod_name);
+  let values = Hashtbl.create 64 in
+  List.iter (fun (n : Ast.net) -> Hashtbl.replace values n.net_name (ref 0L)) m.nets;
+  List.iter (fun (p : Ast.port) -> Hashtbl.replace values p.port_name (ref 0L)) m.ports;
+  let comb, seq =
+    List.partition
+      (fun inst -> not (Ast.prim_is_sequential (prim_of inst)))
+      m.instances
+  in
+  let comb_order = comb_topo_order m (Array.of_list comb) in
+  let seq_insts =
+    List.map
+      (fun inst ->
+        let state =
+          match prim_of inst with
+          | Ast.P_reg _ -> S_reg (ref 0L)
+          | Ast.P_ram _ -> S_ram { mem = Hashtbl.create 64; rdata = 0L }
+          | Ast.P_rom _ -> S_rom { rdata = 0L }
+          | Ast.P_mac _ -> S_mac (ref 0L)
+          | _ -> assert false
+        in
+        (inst, state))
+      seq
+    |> Array.of_list
+  in
+  let input_ports = List.filter (fun (p : Ast.port) -> p.dir = Ast.Input) m.ports in
+  let output_ports = List.filter (fun (p : Ast.port) -> p.dir = Ast.Output) m.ports in
+  { values; comb_order; seq_insts; input_ports; output_ports }
+
+let reset t =
+  Hashtbl.iter (fun _ r -> r := 0L) t.values;
+  Array.iter
+    (fun (_, state) ->
+      match state with
+      | S_reg r -> r := 0L
+      | S_ram s ->
+        Hashtbl.reset s.mem;
+        s.rdata <- 0L
+      | S_rom s -> s.rdata <- 0L
+      | S_mac r -> r := 0L)
+    t.seq_insts
+
+let value t net =
+  match Hashtbl.find_opt t.values net with
+  | Some r -> !r
+  | None -> failwith (Printf.sprintf "Sim: unknown net %s" net)
+
+let set_net t net v =
+  match Hashtbl.find_opt t.values net with
+  | Some r -> r := v
+  | None -> failwith (Printf.sprintf "Sim: unknown net %s" net)
+
+let set_input t port v =
+  match List.find_opt (fun (p : Ast.port) -> p.port_name = port) t.input_ports with
+  | Some p -> set_net t port (mask p.width v)
+  | None -> invalid_arg (Printf.sprintf "Sim.set_input: %s is not an input" port)
+
+let get_output t port =
+  match List.find_opt (fun (p : Ast.port) -> p.port_name = port) t.output_ports with
+  | Some _ -> value t port
+  | None -> invalid_arg (Printf.sprintf "Sim.get_output: %s is not an output" port)
+
+let eval_comb t (inst : Ast.instance) =
+  let get formal = value t (conn_net inst formal) in
+  let put formal v = set_net t (conn_net inst formal) v in
+  match prim_of inst with
+  | Ast.P_and w -> put "o" (mask w (Int64.logand (get "a") (get "b")))
+  | Ast.P_or w -> put "o" (mask w (Int64.logor (get "a") (get "b")))
+  | Ast.P_xor w -> put "o" (mask w (Int64.logxor (get "a") (get "b")))
+  | Ast.P_not w -> put "o" (mask w (Int64.lognot (get "a")))
+  | Ast.P_mux w ->
+    put "o" (mask w (if Int64.logand (get "sel") 1L = 1L then get "a" else get "b"))
+  | Ast.P_add w -> put "o" (mask w (Int64.add (get "a") (get "b")))
+  | Ast.P_sub w -> put "o" (mask w (Int64.sub (get "a") (get "b")))
+  | Ast.P_mul w -> put "o" (mask w (Int64.mul (get "a") (get "b")))
+  | Ast.P_const { width; value } -> put "o" (mask width (Int64.of_int value))
+  | Ast.P_concat { wa = _; wb } ->
+    put "o" (Int64.logor (Int64.shift_left (get "a") (min 63 wb)) (get "b"))
+  | Ast.P_slice { lo; out_width; _ } ->
+    put "o" (mask out_width (Int64.shift_right_logical (get "a") (min 63 lo)))
+  | Ast.P_cmp_lt _ ->
+    (* Unsigned comparison on masked non-negative words. *)
+    put "o" (if Int64.unsigned_compare (get "a") (get "b") < 0 then 1L else 0L)
+  | Ast.P_cmp_eq _ -> put "o" (if Int64.equal (get "a") (get "b") then 1L else 0L)
+  | Ast.P_reg _ | Ast.P_ram _ | Ast.P_rom _ | Ast.P_mac _ -> assert false
+
+let present t =
+  Array.iter
+    (fun ((inst : Ast.instance), state) ->
+      let put formal v = set_net t (conn_net inst formal) v in
+      match (prim_of inst, state) with
+      | Ast.P_reg _, S_reg r -> put "q" !r
+      | Ast.P_ram _, S_ram s -> put "rdata" s.rdata
+      | Ast.P_rom _, S_rom s -> put "rdata" s.rdata
+      | Ast.P_mac _, S_mac r -> put "o" !r
+      | _ -> assert false)
+    t.seq_insts
+
+let latch t =
+  Array.iter
+    (fun ((inst : Ast.instance), state) ->
+      let get formal = value t (conn_net inst formal) in
+      match (prim_of inst, state) with
+      | Ast.P_reg w, S_reg r -> r := mask w (get "d")
+      | Ast.P_ram { words; width }, S_ram s ->
+        let raddr = Int64.to_int (get "raddr") mod max 1 words in
+        s.rdata <-
+          (try Hashtbl.find s.mem raddr with Not_found -> 0L);
+        if Int64.logand (get "wen") 1L = 1L then begin
+          let waddr = Int64.to_int (get "waddr") mod max 1 words in
+          Hashtbl.replace s.mem waddr (mask width (get "wdata"))
+        end
+      | Ast.P_rom { words; width }, S_rom s ->
+        let raddr = Int64.to_int (get "raddr") mod max 1 words in
+        s.rdata <- rom_word width raddr
+      | Ast.P_mac w, S_mac r ->
+        let acc = if Int64.logand (get "clr") 1L = 1L then 0L else !r in
+        r := mask (min 64 (2 * w)) (Int64.add acc (Int64.mul (get "a") (get "b")))
+      | _ -> assert false)
+    t.seq_insts
+
+let step t =
+  present t;
+  Array.iter (eval_comb t) t.comb_order;
+  latch t
+
+let inputs t = t.input_ports
+let outputs t = t.output_ports

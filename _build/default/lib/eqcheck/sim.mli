@@ -1,0 +1,37 @@
+(** Word-level functional simulator for basic modules.
+
+    Nets carry up-to-64-bit words (wider buses are truncated to 64
+    bits — consistently for all circuits under comparison, which is
+    all the equivalence checker needs).  Sequential primitives
+    (registers, RAM/ROM, MAC accumulators) hold state between
+    clock steps; combinational primitives are evaluated in
+    topological order. *)
+
+open Mlv_rtl
+
+type t
+
+(** [create m] builds a simulator instance for basic module [m].
+    @raise Invalid_argument if [m] instantiates user modules.
+    @raise Failure on combinational cycles. *)
+val create : Ast.module_def -> t
+
+(** [reset t] zeroes all state and nets. *)
+val reset : t -> unit
+
+(** [set_input t port v] drives input [port] for the upcoming step.
+    @raise Invalid_argument on unknown or non-input ports. *)
+val set_input : t -> string -> int64 -> unit
+
+(** [step t] performs one clock cycle: presents sequential state,
+    propagates combinational logic, then latches next state. *)
+val step : t -> unit
+
+(** [get_output t port] reads output [port] as of the last [step].
+    @raise Invalid_argument on unknown or non-output ports. *)
+val get_output : t -> string -> int64
+
+(** [inputs t] / [outputs t] list the ports in declaration order. *)
+val inputs : t -> Ast.port list
+
+val outputs : t -> Ast.port list

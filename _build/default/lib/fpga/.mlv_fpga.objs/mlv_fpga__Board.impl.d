@@ -1,0 +1,1 @@
+lib/fpga/board.ml:

@@ -1,0 +1,1 @@
+lib/fpga/estimate.ml: Ast Design List Mlv_rtl Resource

@@ -1,0 +1,1 @@
+lib/fpga/estimate.mli: Ast Design Mlv_rtl Resource

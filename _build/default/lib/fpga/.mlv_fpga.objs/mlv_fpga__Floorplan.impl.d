@@ -1,0 +1,1 @@
+lib/fpga/floorplan.ml: Device Float

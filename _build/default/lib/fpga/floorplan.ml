@@ -1,0 +1,19 @@
+let clamp lo hi x = Float.max lo (Float.min hi x)
+
+(* Frequency derating: an empty device routes at base frequency; a
+   full one loses up to 30% without floorplanning.  Floorplanning
+   recovers 5/6 of the loss (the paper's floorplanned designs hit
+   their 400/300 MHz targets at 46-92% utilization). *)
+let achieved_freq_mhz (d : Device.t) ~utilization ~floorplanned =
+  let u = clamp 0.0 1.0 utilization in
+  let loss =
+    if floorplanned then
+      (* Manual floorplanning holds the target clock up to the
+         routability point (the paper's baselines reach 400/300 MHz at
+         83-92% utilization); only the last few percent degrade. *)
+      0.30 *. (Float.max 0.0 (u -. 0.92) /. 0.08) ** 2.0 *. 0.2
+    else 0.30 *. (u ** 2.0)
+  in
+  d.base_freq_mhz *. (1.0 -. loss)
+
+let route_success (_ : Device.t) ~utilization = utilization <= 0.98

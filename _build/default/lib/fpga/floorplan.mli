@@ -1,0 +1,21 @@
+(** Placement-quality model.
+
+    The paper uses Vivado's manual floorplanning to bring both the
+    baseline accelerators and ViTAL's virtual blocks to their target
+    frequencies (Fig. 10).  Physical place-and-route is out of scope
+    here; this module models its *outcome*: achieved frequency as a
+    function of device, fabric utilization and whether floorplanning
+    was applied.  The curve is monotonic — higher utilization routes
+    worse — and floorplanning recovers most of the loss, which is all
+    the evaluation depends on. *)
+
+(** [achieved_freq_mhz device ~utilization ~floorplanned] is the
+    post-route clock frequency.  [utilization] is the max
+    component-wise ratio from {!Resource.utilization} (clamped to
+    [0, 1]). *)
+val achieved_freq_mhz : Device.t -> utilization:float -> floorplanned:bool -> float
+
+(** [route_success device ~utilization] is false when the design
+    cannot be routed at all (utilization beyond the routable point,
+    ~0.98 of fabric). *)
+val route_success : Device.t -> utilization:float -> bool

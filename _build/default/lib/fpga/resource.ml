@@ -1,0 +1,64 @@
+type t = { luts : int; dffs : int; bram_kb : int; uram_kb : int; dsps : int }
+
+let zero = { luts = 0; dffs = 0; bram_kb = 0; uram_kb = 0; dsps = 0 }
+
+let make ?(luts = 0) ?(dffs = 0) ?(bram_kb = 0) ?(uram_kb = 0) ?(dsps = 0) () =
+  { luts; dffs; bram_kb; uram_kb; dsps }
+
+let map2 f a b =
+  {
+    luts = f a.luts b.luts;
+    dffs = f a.dffs b.dffs;
+    bram_kb = f a.bram_kb b.bram_kb;
+    uram_kb = f a.uram_kb b.uram_kb;
+    dsps = f a.dsps b.dsps;
+  }
+
+let add = map2 ( + )
+let sub = map2 ( - )
+
+let scale k r =
+  {
+    luts = k * r.luts;
+    dffs = k * r.dffs;
+    bram_kb = k * r.bram_kb;
+    uram_kb = k * r.uram_kb;
+    dsps = k * r.dsps;
+  }
+
+let scale_f k r =
+  let s x = int_of_float (Float.round (k *. float_of_int x)) in
+  {
+    luts = s r.luts;
+    dffs = s r.dffs;
+    bram_kb = s r.bram_kb;
+    uram_kb = s r.uram_kb;
+    dsps = s r.dsps;
+  }
+
+let fits ~need ~avail =
+  need.luts <= avail.luts && need.dffs <= avail.dffs
+  && need.bram_kb <= avail.bram_kb && need.uram_kb <= avail.uram_kb
+  && need.dsps <= avail.dsps
+
+let ratio used cap =
+  if cap = 0 then if used = 0 then 0.0 else infinity
+  else float_of_int used /. float_of_int cap
+
+let utilization ~used ~cap =
+  List.fold_left max 0.0
+    [
+      ratio used.luts cap.luts;
+      ratio used.dffs cap.dffs;
+      ratio used.bram_kb cap.bram_kb;
+      ratio used.uram_kb cap.uram_kb;
+      ratio used.dsps cap.dsps;
+    ]
+
+let mb kb = Printf.sprintf "%.1fMb" (float_of_int kb /. 1024.0)
+
+let pp fmt r =
+  Format.fprintf fmt "{luts=%d; dffs=%d; bram=%s; uram=%s; dsps=%d}" r.luts r.dffs
+    (mb r.bram_kb) (mb r.uram_kb) r.dsps
+
+let equal (a : t) b = a = b

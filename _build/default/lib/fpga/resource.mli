@@ -1,0 +1,53 @@
+(** FPGA resource vectors.
+
+    Quantities follow the paper's Tables 2-3: LUTs, flip-flops, BRAM
+    and URAM capacity in kilobits, and DSP slices.  The vector forms
+    a lattice under component-wise operations; [fits] is the partial
+    order used everywhere resource feasibility is decided. *)
+
+type t = {
+  luts : int;
+  dffs : int;
+  bram_kb : int;  (** block RAM, kilobits *)
+  uram_kb : int;  (** ultra RAM, kilobits; 0 on devices without URAM *)
+  dsps : int;
+}
+
+val zero : t
+
+(** [make ?luts ?dffs ?bram_kb ?uram_kb ?dsps ()] builds a vector with
+    unspecified components zero. *)
+val make :
+  ?luts:int -> ?dffs:int -> ?bram_kb:int -> ?uram_kb:int -> ?dsps:int -> unit -> t
+
+(** [add a b] / [sub a b] are component-wise. [sub] may go negative;
+    use [fits] to test feasibility first. *)
+val add : t -> t -> t
+
+val sub : t -> t -> t
+
+(** [scale k r] multiplies every component by integer [k]. *)
+val scale : int -> t -> t
+
+(** [scale_f k r] multiplies every component by float [k], rounding to
+    nearest. *)
+val scale_f : float -> t -> t
+
+(** [fits ~need ~avail] is true when [need] <= [avail] component-wise. *)
+val fits : need:t -> avail:t -> bool
+
+(** [utilization ~used ~cap] is the maximum component-wise ratio, the
+    number a floorplanner cares about.  Components with zero capacity
+    and zero use are ignored; zero capacity with nonzero use yields
+    [infinity]. *)
+val utilization : used:t -> cap:t -> float
+
+(** [mb kb] renders a kilobit count as megabits with one decimal,
+    e.g. ["51.5Mb"]. *)
+val mb : int -> string
+
+(** [pp] formats a vector compactly for logs and tables. *)
+val pp : Format.formatter -> t -> unit
+
+(** [equal] is structural equality. *)
+val equal : t -> t -> bool

@@ -1,0 +1,1 @@
+lib/isa/asm.ml: Buffer Format Fun Instr List Printf Program String

@@ -1,0 +1,1 @@
+lib/isa/bfp.ml: Array Float

@@ -1,0 +1,1 @@
+lib/isa/codegen.ml: Array Instr List Mlv_util Program

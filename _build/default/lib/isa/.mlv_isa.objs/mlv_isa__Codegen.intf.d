@@ -1,0 +1,1 @@
+lib/isa/codegen.mli: Instr Mlv_util Program

@@ -1,0 +1,1 @@
+lib/isa/encoding.ml: Array Fp16 Instr Int64 List Printf Program String

@@ -1,0 +1,1 @@
+lib/isa/exec.ml: Array Bfp Float Fp16 Instr Printf Program

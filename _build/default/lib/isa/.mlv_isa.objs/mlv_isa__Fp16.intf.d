@@ -1,0 +1,1 @@
+lib/isa/fp16.mli:

@@ -1,0 +1,1 @@
+lib/isa/mlp.ml: Array Codegen Float Instr List Mlv_util Program

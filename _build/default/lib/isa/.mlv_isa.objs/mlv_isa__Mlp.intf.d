@@ -1,0 +1,1 @@
+lib/isa/mlp.mli: Codegen Instr Mlv_util Program

@@ -1,0 +1,1 @@
+lib/isa/opt.ml: Array Instr List Program

@@ -1,0 +1,140 @@
+let to_string p =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun instr -> Buffer.add_string buf (Format.asprintf "%a\n" Instr.pp instr))
+    (Program.to_list p);
+  Buffer.contents buf
+
+exception Asm_error of string
+
+let strip_comment line =
+  match String.index_opt line '#' with
+  | Some i -> String.sub line 0 i
+  | None -> line
+
+let split_operands s =
+  String.split_on_char ',' s |> List.map String.trim |> List.filter (fun x -> x <> "")
+
+let parse_reg ~line_no prefix s =
+  let n = String.length s in
+  if n >= 2 && s.[0] = prefix then
+    match int_of_string_opt (String.sub s 1 (n - 1)) with
+    | Some r -> r
+    | None -> raise (Asm_error (Printf.sprintf "line %d: bad register %s" line_no s))
+  else raise (Asm_error (Printf.sprintf "line %d: expected %c-register, got %s" line_no prefix s))
+
+let parse_int ~line_no s =
+  match int_of_string_opt s with
+  | Some v -> v
+  | None -> raise (Asm_error (Printf.sprintf "line %d: bad integer %s" line_no s))
+
+let parse_float ~line_no s =
+  match float_of_string_opt s with
+  | Some v -> v
+  | None -> raise (Asm_error (Printf.sprintf "line %d: bad float %s" line_no s))
+
+let parse_line ~line_no line =
+  let line = String.trim (strip_comment line) in
+  if line = "" then None
+  else begin
+    let op, rest =
+      match String.index_opt line ' ' with
+      | Some i ->
+        (String.sub line 0 i, String.sub line i (String.length line - i))
+      | None -> (line, "")
+    in
+    let ops = split_operands rest in
+    let vreg = parse_reg ~line_no 'v' in
+    let mreg = parse_reg ~line_no 'm' in
+    let int_ = parse_int ~line_no in
+    let float_ = parse_float ~line_no in
+    let arity n =
+      if List.length ops <> n then
+        raise
+          (Asm_error
+             (Printf.sprintf "line %d: %s expects %d operands, got %d" line_no op n
+                (List.length ops)))
+    in
+    let instr =
+      match op with
+      | "nop" ->
+        arity 0;
+        Instr.Nop
+      | "endloop" ->
+        arity 0;
+        Instr.End_loop
+      | "loop" ->
+        arity 1;
+        (match ops with
+        | [ n ] -> Instr.Loop { count = int_ n }
+        | _ -> assert false)
+      | "vrdi" ->
+        arity 4;
+        (match ops with
+        | [ d; b; st; l ] ->
+          Instr.V_rd_i { dst = vreg d; base = int_ b; stride = int_ st; len = int_ l }
+        | _ -> assert false)
+      | "vwri" ->
+        arity 4;
+        (match ops with
+        | [ sr; b; st; l ] ->
+          Instr.V_wr_i { src = vreg sr; base = int_ b; stride = int_ st; len = int_ l }
+        | _ -> assert false)
+      | "vrd" ->
+        arity 3;
+        (match ops with
+        | [ d; a; l ] -> Instr.V_rd { dst = vreg d; addr = int_ a; len = int_ l }
+        | _ -> assert false)
+      | "vwr" ->
+        arity 3;
+        (match ops with
+        | [ s; a; l ] -> Instr.V_wr { src = vreg s; addr = int_ a; len = int_ l }
+        | _ -> assert false)
+      | "vfill" ->
+        arity 3;
+        (match ops with
+        | [ d; l; v ] -> Instr.V_fill { dst = vreg d; len = int_ l; value = float_ v }
+        | _ -> assert false)
+      | "mrd" ->
+        arity 4;
+        (match ops with
+        | [ d; a; r; c ] ->
+          Instr.M_rd { dst = mreg d; addr = int_ a; rows = int_ r; cols = int_ c }
+        | _ -> assert false)
+      | "mvm" ->
+        arity 3;
+        (match ops with
+        | [ d; m; s ] -> Instr.Mvm { dst = vreg d; mat = mreg m; src = vreg s }
+        | _ -> assert false)
+      | "vadd" | "vsub" | "vmul" ->
+        arity 3;
+        (match ops with
+        | [ d; a; b ] ->
+          let d = vreg d and a = vreg a and b = vreg b in
+          (match op with
+          | "vadd" -> Instr.Vv_add { dst = d; a; b }
+          | "vsub" -> Instr.Vv_sub { dst = d; a; b }
+          | _ -> Instr.Vv_mul { dst = d; a; b })
+        | _ -> assert false)
+      | "act" ->
+        arity 3;
+        (match ops with
+        | [ d; s; f ] -> (
+          match Instr.act_of_name f with
+          | Some f -> Instr.Act { dst = vreg d; src = vreg s; f }
+          | None ->
+            raise (Asm_error (Printf.sprintf "line %d: unknown activation %s" line_no f)))
+        | _ -> assert false)
+      | _ -> raise (Asm_error (Printf.sprintf "line %d: unknown opcode %s" line_no op))
+    in
+    Some instr
+  end
+
+let of_string ?vregs ?mregs src =
+  match
+    String.split_on_char '\n' src
+    |> List.mapi (fun i line -> parse_line ~line_no:(i + 1) line)
+    |> List.filter_map Fun.id
+  with
+  | instrs -> Ok (Program.make ?vregs ?mregs instrs)
+  | exception Asm_error msg -> Error msg

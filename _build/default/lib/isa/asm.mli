@@ -1,0 +1,21 @@
+(** Textual assembler for the AS ISA.
+
+    One instruction per line; [#] starts a comment.  Register
+    operands are written [v3] / [m1]; numeric operands are decimal.
+    Example:
+    {v
+      mrd m0, 4096, 128, 128
+      loop 100                  # hardware loop, 100 iterations
+      vrdi v0, 0, 128, 128      # indexed: base, stride, len
+      mvm v1, m0, v0
+      act v2, v1, tanh
+      vwri v2, 16384, 128, 128
+      endloop
+    v} *)
+
+(** [to_string p] disassembles a program. *)
+val to_string : Program.t -> string
+
+(** [of_string src] assembles.  Returns [Error msg] with a
+    line-numbered message on syntax errors. *)
+val of_string : ?vregs:int -> ?mregs:int -> string -> (Program.t, string) result

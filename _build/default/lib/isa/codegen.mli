@@ -1,0 +1,55 @@
+(** Program generation for GRU and LSTM inference (batch size 1), the
+    workloads of the paper's evaluation (DeepBench layers, §4.1).
+
+    The generated programs load all weight matrices into tile memory
+    once, then run the recurrence over the timesteps, reading each
+    input vector from DRAM and writing each hidden state back.  The
+    DRAM layout is returned so callers (tests, the golden reference
+    model, the benchmark harness) can populate weights and inputs and
+    find outputs. *)
+
+type kind = Lstm | Gru
+
+(** One weight matrix in DRAM: register slot, address, shape. *)
+type weight_spec = { mreg : Instr.mreg; addr : int; rows : int; cols : int }
+
+type layout = {
+  kind : kind;
+  hidden : int;
+  input : int;
+  timesteps : int;
+  weights : weight_spec list;
+  x_base : int;  (** timestep [t]'s input vector at [x_base + t*input] *)
+  h_out_base : int;  (** hidden state [t] at [h_out_base + t*hidden] *)
+  dram_words : int;  (** minimum DRAM image size *)
+}
+
+(** [generate kind ~hidden ~input ~timesteps] emits the inference
+    program with the time loop fully unrolled.
+    @raise Invalid_argument on non-positive dimensions. *)
+val generate : kind -> hidden:int -> input:int -> timesteps:int -> Program.t * layout
+
+(** [generate_looped kind ~hidden ~input ~timesteps] emits the same
+    computation as a hardware loop with indexed DRAM addressing — the
+    compact code the AS ISA exists for: the program size becomes
+    independent of [timesteps], so it always fits the on-chip
+    instruction buffer.  Semantically identical to {!generate} (same
+    layout, same results). *)
+val generate_looped :
+  kind -> hidden:int -> input:int -> timesteps:int -> Program.t * layout
+
+(** [kind_name k] is ["LSTM"] or ["GRU"]. *)
+val kind_name : kind -> string
+
+(** [init_dram ~rng layout] allocates a DRAM image of
+    [layout.dram_words] and fills weights and inputs with small
+    random values (uniform in [-0.5, 0.5], suitable for stable
+    recurrences). *)
+val init_dram : rng:Mlv_util.Rng.t -> layout -> float array
+
+(** [golden layout dram] runs a float64 reference implementation of
+    the recurrence directly from the DRAM image and returns the
+    hidden state after every timestep ([timesteps] arrays of length
+    [hidden]).  Used to validate generated programs and the scale-out
+    rewrite. *)
+val golden : layout -> float array -> float array array

@@ -1,0 +1,200 @@
+(* Field packing helpers: [put v ~width ~at] places [v] with its LSB
+   at bit [at]. *)
+
+let check name v width =
+  if v < 0 || (width < 63 && v >= 1 lsl width) then
+    invalid_arg (Printf.sprintf "Encoding: %s = %d exceeds %d bits" name v width)
+
+let put v ~width ~at acc =
+  ignore width;
+  Int64.logor acc (Int64.shift_left (Int64.of_int v) at)
+
+let get w ~width ~at =
+  Int64.to_int (Int64.logand (Int64.shift_right_logical w at) (Int64.sub (Int64.shift_left 1L width) 1L))
+
+let op_nop = 0
+let op_vrd = 1
+let op_vwr = 2
+let op_vfill = 3
+let op_mrd = 4
+let op_mvm = 5
+let op_vadd = 6
+let op_vsub = 7
+let op_vmul = 8
+let op_act = 9
+let op_loop = 10
+let op_endloop = 11
+let op_vrdi = 12
+let op_vwri = 13
+
+let act_code = function
+  | Instr.Sigmoid -> 0
+  | Instr.Tanh -> 1
+  | Instr.Relu -> 2
+  | Instr.Identity -> 3
+
+let act_of_code = function
+  | 0 -> Instr.Sigmoid
+  | 1 -> Instr.Tanh
+  | 2 -> Instr.Relu
+  | _ -> Instr.Identity
+
+let with_op op = put op ~width:6 ~at:58 0L
+
+let encode (i : Instr.t) =
+  match i with
+  | Instr.Nop -> with_op op_nop
+  | Instr.V_rd { dst; addr; len } ->
+    check "vreg" dst 5;
+    check "len" len 16;
+    if addr < 0 || addr > 0xFFFFFFFF then invalid_arg "Encoding: addr exceeds 32 bits";
+    with_op op_vrd |> put dst ~width:5 ~at:53 |> put addr ~width:32 ~at:21
+    |> put len ~width:16 ~at:5
+  | Instr.V_wr { src; addr; len } ->
+    check "vreg" src 5;
+    check "len" len 16;
+    if addr < 0 || addr > 0xFFFFFFFF then invalid_arg "Encoding: addr exceeds 32 bits";
+    with_op op_vwr |> put src ~width:5 ~at:53 |> put addr ~width:32 ~at:21
+    |> put len ~width:16 ~at:5
+  | Instr.V_fill { dst; len; value } ->
+    check "vreg" dst 5;
+    check "len" len 16;
+    with_op op_vfill |> put dst ~width:5 ~at:53 |> put len ~width:16 ~at:37
+    |> put (Fp16.to_bits (Fp16.of_float value)) ~width:16 ~at:21
+  | Instr.M_rd { dst; addr; rows; cols } ->
+    check "mreg" dst 4;
+    check "rows" rows 12;
+    check "cols" cols 12;
+    check "addr" addr 30;
+    with_op op_mrd |> put dst ~width:4 ~at:54 |> put addr ~width:30 ~at:24
+    |> put rows ~width:12 ~at:12 |> put cols ~width:12 ~at:0
+  | Instr.Mvm { dst; mat; src } ->
+    check "vreg" dst 5;
+    check "mreg" mat 4;
+    check "vreg" src 5;
+    with_op op_mvm |> put dst ~width:5 ~at:53 |> put mat ~width:4 ~at:49
+    |> put src ~width:5 ~at:44
+  | Instr.Vv_add { dst; a; b } | Instr.Vv_sub { dst; a; b } | Instr.Vv_mul { dst; a; b }
+    ->
+    check "vreg" dst 5;
+    check "vreg" a 5;
+    check "vreg" b 5;
+    let op =
+      match i with
+      | Instr.Vv_add _ -> op_vadd
+      | Instr.Vv_sub _ -> op_vsub
+      | _ -> op_vmul
+    in
+    with_op op |> put dst ~width:5 ~at:53 |> put a ~width:5 ~at:48 |> put b ~width:5 ~at:43
+  | Instr.Act { dst; src; f } ->
+    check "vreg" dst 5;
+    check "vreg" src 5;
+    with_op op_act |> put dst ~width:5 ~at:53 |> put src ~width:5 ~at:48
+    |> put (act_code f) ~width:2 ~at:46
+  | Instr.Loop { count } ->
+    check "count" count 26;
+    with_op op_loop |> put count ~width:26 ~at:32
+  | Instr.End_loop -> with_op op_endloop
+  | Instr.V_rd_i { dst; base; stride; len } ->
+    check "vreg" dst 5;
+    check "base" base 28;
+    check "stride" stride 13;
+    check "len" len 12;
+    with_op op_vrdi |> put dst ~width:5 ~at:53 |> put base ~width:28 ~at:25
+    |> put stride ~width:13 ~at:12 |> put len ~width:12 ~at:0
+  | Instr.V_wr_i { src; base; stride; len } ->
+    check "vreg" src 5;
+    check "base" base 28;
+    check "stride" stride 13;
+    check "len" len 12;
+    with_op op_vwri |> put src ~width:5 ~at:53 |> put base ~width:28 ~at:25
+    |> put stride ~width:13 ~at:12 |> put len ~width:12 ~at:0
+
+let decode w =
+  let op = get w ~width:6 ~at:58 in
+  if op = op_nop then Ok Instr.Nop
+  else if op = op_vrd then
+    Ok
+      (Instr.V_rd
+         { dst = get w ~width:5 ~at:53; addr = get w ~width:32 ~at:21; len = get w ~width:16 ~at:5 })
+  else if op = op_vwr then
+    Ok
+      (Instr.V_wr
+         { src = get w ~width:5 ~at:53; addr = get w ~width:32 ~at:21; len = get w ~width:16 ~at:5 })
+  else if op = op_vfill then
+    Ok
+      (Instr.V_fill
+         {
+           dst = get w ~width:5 ~at:53;
+           len = get w ~width:16 ~at:37;
+           value = Fp16.to_float (Fp16.of_bits (get w ~width:16 ~at:21));
+         })
+  else if op = op_mrd then
+    Ok
+      (Instr.M_rd
+         {
+           dst = get w ~width:4 ~at:54;
+           addr = get w ~width:30 ~at:24;
+           rows = get w ~width:12 ~at:12;
+           cols = get w ~width:12 ~at:0;
+         })
+  else if op = op_mvm then
+    Ok
+      (Instr.Mvm
+         { dst = get w ~width:5 ~at:53; mat = get w ~width:4 ~at:49; src = get w ~width:5 ~at:44 })
+  else if op = op_vadd || op = op_vsub || op = op_vmul then begin
+    let dst = get w ~width:5 ~at:53 and a = get w ~width:5 ~at:48 and b = get w ~width:5 ~at:43 in
+    if op = op_vadd then Ok (Instr.Vv_add { dst; a; b })
+    else if op = op_vsub then Ok (Instr.Vv_sub { dst; a; b })
+    else Ok (Instr.Vv_mul { dst; a; b })
+  end
+  else if op = op_act then
+    Ok
+      (Instr.Act
+         {
+           dst = get w ~width:5 ~at:53;
+           src = get w ~width:5 ~at:48;
+           f = act_of_code (get w ~width:2 ~at:46);
+         })
+  else if op = op_loop then Ok (Instr.Loop { count = get w ~width:26 ~at:32 })
+  else if op = op_endloop then Ok Instr.End_loop
+  else if op = op_vrdi then
+    Ok
+      (Instr.V_rd_i
+         {
+           dst = get w ~width:5 ~at:53;
+           base = get w ~width:28 ~at:25;
+           stride = get w ~width:13 ~at:12;
+           len = get w ~width:12 ~at:0;
+         })
+  else if op = op_vwri then
+    Ok
+      (Instr.V_wr_i
+         {
+           src = get w ~width:5 ~at:53;
+           base = get w ~width:28 ~at:25;
+           stride = get w ~width:13 ~at:12;
+           len = get w ~width:12 ~at:0;
+         })
+  else Error (Printf.sprintf "unknown opcode %d" op)
+
+let encode_program p = Array.map encode p.Program.instrs
+
+let decode_program ?vregs ?mregs ws =
+  let exception Bad of string in
+  match
+    Array.to_list ws
+    |> List.mapi (fun i w ->
+           match decode w with
+           | Ok instr -> instr
+           | Error e -> raise (Bad (Printf.sprintf "word %d: %s" i e)))
+  with
+  | instrs -> Ok (Program.make ?vregs ?mregs instrs)
+  | exception Bad e -> Error e
+
+let to_hex w = Printf.sprintf "%016Lx" w
+
+let of_hex s =
+  match Int64.of_string_opt ("0x" ^ String.trim s) with
+  | Some w -> Ok w
+  | None -> Error (Printf.sprintf "bad hex word %S" s)

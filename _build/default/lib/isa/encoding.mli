@@ -1,0 +1,41 @@
+(** Binary instruction encoding.
+
+    Instructions pack into the 64-bit words the on-chip instruction
+    buffer stores (the [ibuf] ROM of the generated control path is
+    64 bits wide).  Field layout, MSB first:
+
+    {v
+      all:     [63:58] opcode
+      vrd/vwr: [57:53] vreg   [52:21] addr(32)   [20:5] len(16)
+      vfill:   [57:53] dst    [52:37] len(16)    [36:21] fp16 value
+      mrd:     [57:54] mreg   [53:24] addr(30)   [23:12] rows  [11:0] cols
+      mvm:     [57:53] dst    [52:49] mat        [48:44] src
+      vadd/vsub/vmul:
+               [57:53] dst    [52:48] a          [47:43] b
+      act:     [57:53] dst    [52:48] src        [47:46] function
+      nop:     -
+    v}
+
+    [V_fill] immediates are stored as float16, so
+    [decode (encode i)] equals [i] up to fp16 rounding of the
+    immediate; every other instruction round-trips exactly within the
+    field ranges. *)
+
+(** [encode i] packs one instruction.
+    @raise Invalid_argument when a field exceeds its range (e.g. a
+    vector register above 31, an address above 2^32). *)
+val encode : Instr.t -> int64
+
+(** [decode w] unpacks one word. *)
+val decode : int64 -> (Instr.t, string) result
+
+(** [encode_program p] packs all instructions. *)
+val encode_program : Program.t -> int64 array
+
+(** [decode_program ?vregs ?mregs ws] unpacks a word array. *)
+val decode_program : ?vregs:int -> ?mregs:int -> int64 array -> (Program.t, string) result
+
+(** [to_hex w] / [of_hex s] render one word as 16 hex digits. *)
+val to_hex : int64 -> string
+
+val of_hex : string -> (int64, string) result

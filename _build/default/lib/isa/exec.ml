@@ -1,0 +1,234 @@
+type port = {
+  send : addr:int -> float array -> unit;
+  recv : addr:int -> len:int -> float array option;
+}
+
+type status = Running | Stalled | Done
+
+type matrix = { rows : int; cols : int; data : float array array (* row-major *) }
+
+type t = {
+  program : Program.t;
+  dram : float array;
+  vregs : float array option array;
+  mregs : matrix option array;
+  exact : bool;
+  mantissa_bits : int;
+  sync_base : int;
+  port : port option;
+  mutable pc : int;
+  mutable executed : int;
+  (* Hardware loop stack: (body start pc, remaining repeats, iter). *)
+  mutable loops : (int * int * int) list;
+}
+
+let create ?(exact = false) ?(mantissa_bits = 6) ?(sync_base = max_int) ?port ~dram
+    program =
+  {
+    program;
+    dram;
+    vregs = Array.make program.Program.vregs None;
+    mregs = Array.make program.Program.mregs None;
+    exact;
+    mantissa_bits;
+    sync_base;
+    port;
+    pc = 0;
+    executed = 0;
+    loops = [];
+  }
+
+let pc t = t.pc
+let executed t = t.executed
+let dram t = t.dram
+
+let vreg t r =
+  match t.vregs.(r) with
+  | Some v -> v
+  | None -> invalid_arg (Printf.sprintf "Exec.vreg: v%d never written" r)
+
+let read_vreg t r =
+  match t.vregs.(r) with
+  | Some v -> v
+  | None -> failwith (Printf.sprintf "Exec: read of uninitialized v%d at pc %d" r t.pc)
+
+let read_mreg t r =
+  match t.mregs.(r) with
+  | Some m -> m
+  | None -> failwith (Printf.sprintf "Exec: read of uninitialized m%d at pc %d" r t.pc)
+
+let check_range t addr len =
+  if addr < 0 || addr + len > Array.length t.dram then
+    failwith
+      (Printf.sprintf "Exec: DRAM access [%d, %d) out of range (size %d) at pc %d" addr
+         (addr + len) (Array.length t.dram) t.pc)
+
+let fp16_round t x = if t.exact then x else Fp16.round_float x
+
+(* MVM datapath: each row and the source vector pass through BFP
+   quantization, the dot product accumulates exactly, and the result
+   rounds to float16 on the way into the VRF. *)
+let mvm t (m : matrix) src =
+  if Array.length src <> m.cols then
+    failwith
+      (Printf.sprintf "Exec: mvm shape mismatch (matrix %dx%d, vector %d) at pc %d"
+         m.rows m.cols (Array.length src) t.pc);
+  if t.exact then
+    Array.map
+      (fun row ->
+        let acc = ref 0.0 in
+        Array.iteri (fun i w -> acc := !acc +. (w *. src.(i))) row;
+        !acc)
+      m.data
+  else begin
+    let src_q = Bfp.encode ~mantissa_bits:t.mantissa_bits src in
+    Array.map
+      (fun row ->
+        let row_q = Bfp.encode ~mantissa_bits:t.mantissa_bits row in
+        Fp16.round_float (Bfp.dot row_q src_q))
+      m.data
+  end
+
+let activation t f x =
+  let y =
+    match f with
+    | Instr.Sigmoid -> 1.0 /. (1.0 +. exp (-.x))
+    | Instr.Tanh -> tanh x
+    | Instr.Relu -> Float.max 0.0 x
+    | Instr.Identity -> x
+  in
+  fp16_round t y
+
+let pointwise2 t f a b =
+  let va = read_vreg t a and vb = read_vreg t b in
+  if Array.length va <> Array.length vb then
+    failwith
+      (Printf.sprintf "Exec: pointwise length mismatch (%d vs %d) at pc %d"
+         (Array.length va) (Array.length vb) t.pc);
+  Array.init (Array.length va) (fun i -> fp16_round t (f va.(i) vb.(i)))
+
+let step t =
+  if t.pc >= Program.length t.program then Done
+  else begin
+    let instr = t.program.Program.instrs.(t.pc) in
+    let retire () =
+      t.pc <- t.pc + 1;
+      t.executed <- t.executed + 1;
+      if t.pc >= Program.length t.program then Done else Running
+    in
+    match instr with
+    | Instr.Nop -> retire ()
+    | Instr.V_fill { dst; len; value } ->
+      t.vregs.(dst) <- Some (Array.make len (fp16_round t value));
+      retire ()
+    | Instr.V_rd { dst; addr; len } ->
+      if addr >= t.sync_base then begin
+        match t.port with
+        | None -> failwith (Printf.sprintf "Exec: sync read at pc %d without a port" t.pc)
+        | Some port -> (
+          match port.recv ~addr ~len with
+          | None -> Stalled
+          | Some data ->
+            if Array.length data <> len then
+              failwith
+                (Printf.sprintf "Exec: sync read expected %d words, got %d at pc %d" len
+                   (Array.length data) t.pc);
+            t.vregs.(dst) <- Some (Array.copy data);
+            retire ())
+      end
+      else begin
+        check_range t addr len;
+        t.vregs.(dst) <- Some (Array.sub t.dram addr len);
+        retire ()
+      end
+    | Instr.V_wr { src; addr; len } ->
+      let v = read_vreg t src in
+      if Array.length v <> len then
+        failwith
+          (Printf.sprintf "Exec: vwr length mismatch (v%d has %d, len %d) at pc %d" src
+             (Array.length v) len t.pc);
+      if addr >= t.sync_base then begin
+        match t.port with
+        | None -> failwith (Printf.sprintf "Exec: sync write at pc %d without a port" t.pc)
+        | Some port ->
+          port.send ~addr (Array.copy v);
+          retire ()
+      end
+      else begin
+        check_range t addr len;
+        Array.blit v 0 t.dram addr len;
+        retire ()
+      end
+    | Instr.M_rd { dst; addr; rows; cols } ->
+      check_range t addr (rows * cols);
+      let data =
+        Array.init rows (fun r -> Array.sub t.dram (addr + (r * cols)) cols)
+      in
+      t.mregs.(dst) <- Some { rows; cols; data };
+      retire ()
+    | Instr.Mvm { dst; mat; src } ->
+      let m = read_mreg t mat in
+      t.vregs.(dst) <- Some (mvm t m (read_vreg t src));
+      retire ()
+    | Instr.Vv_add { dst; a; b } ->
+      t.vregs.(dst) <- Some (pointwise2 t ( +. ) a b);
+      retire ()
+    | Instr.Vv_sub { dst; a; b } ->
+      t.vregs.(dst) <- Some (pointwise2 t ( -. ) a b);
+      retire ()
+    | Instr.Vv_mul { dst; a; b } ->
+      t.vregs.(dst) <- Some (pointwise2 t ( *. ) a b);
+      retire ()
+    | Instr.Act { dst; src; f } ->
+      t.vregs.(dst) <- Some (Array.map (activation t f) (read_vreg t src));
+      retire ()
+    | Instr.Loop { count } ->
+      t.loops <- (t.pc + 1, count - 1, 0) :: t.loops;
+      retire ()
+    | Instr.End_loop -> (
+      match t.loops with
+      | [] -> failwith (Printf.sprintf "Exec: endloop without loop at pc %d" t.pc)
+      | (start, remaining, iter) :: rest ->
+        t.executed <- t.executed + 1;
+        if remaining > 0 then begin
+          t.loops <- (start, remaining - 1, iter + 1) :: rest;
+          t.pc <- start;
+          Running
+        end
+        else begin
+          t.loops <- rest;
+          t.pc <- t.pc + 1;
+          if t.pc >= Program.length t.program then Done else Running
+        end)
+    | Instr.V_rd_i { dst; base; stride; len } ->
+      let iter = match t.loops with (_, _, i) :: _ -> i | [] -> 0 in
+      let addr = base + (iter * stride) in
+      check_range t addr len;
+      t.vregs.(dst) <- Some (Array.sub t.dram addr len);
+      retire ()
+    | Instr.V_wr_i { src; base; stride; len } ->
+      let v = read_vreg t src in
+      if Array.length v <> len then
+        failwith
+          (Printf.sprintf "Exec: vwri length mismatch (v%d has %d, len %d) at pc %d" src
+             (Array.length v) len t.pc);
+      let iter = match t.loops with (_, _, i) :: _ -> i | [] -> 0 in
+      let addr = base + (iter * stride) in
+      check_range t addr len;
+      Array.blit v 0 t.dram addr len;
+      retire ()
+  end
+
+let run t ~max_steps =
+  let rec loop budget =
+    if budget = 0 then
+      if t.pc >= Program.length t.program then Done
+      else failwith "Exec.run: step budget exhausted"
+    else begin
+      match step t with
+      | Done -> Done
+      | Stalled -> Stalled
+      | Running -> loop (budget - 1)
+    end
+  in
+  loop max_steps

@@ -1,0 +1,61 @@
+(** Functional executor for AS ISA programs.
+
+    Executes one in-order instruction stream against a DRAM image and
+    a vector/matrix register file.  The numeric datapath mirrors the
+    accelerator: matrix-vector multiplies run through the block
+    floating point pipeline ({!Bfp}), pointwise operations round to
+    float16 ({!Fp16}).  Pass [~exact:true] to disable both and obtain
+    a float64 golden reference.
+
+    For scale-out, DRAM accesses at or beyond [sync_base] are routed
+    to the [port] callbacks instead of memory — exactly the behaviour
+    of the synchronization template module of paper §2.3: a write to
+    the pre-defined out-of-range address becomes a send on the
+    inter-FPGA network, and a read from it blocks ([`Stalled]) until
+    the partner's data arrives. *)
+
+(** Inter-accelerator port.  [recv] returns [None] while no data is
+    available for that address. *)
+type port = {
+  send : addr:int -> float array -> unit;
+  recv : addr:int -> len:int -> float array option;
+}
+
+type status = Running | Stalled | Done
+
+type t
+
+(** [create ?exact ?mantissa_bits ?sync_base ?port ~dram program]
+    builds an executor.  [dram] is shared (mutated in place by
+    [vwr]).  Default [mantissa_bits] is 6 (BrainWave-like),
+    [sync_base] is [max_int] (no interception), [exact] is false. *)
+val create :
+  ?exact:bool ->
+  ?mantissa_bits:int ->
+  ?sync_base:int ->
+  ?port:port ->
+  dram:float array ->
+  Program.t ->
+  t
+
+(** [step t] executes the instruction at the program counter.
+    [`Stalled] leaves the counter unchanged (a blocked sync read). *)
+val step : t -> status
+
+(** [run t ~max_steps] steps until [Done], a stall, or the budget is
+    exhausted.
+    @raise Failure if the budget is exhausted while still [Running]. *)
+val run : t -> max_steps:int -> status
+
+(** [pc t] is the current instruction index. *)
+val pc : t -> int
+
+(** [executed t] counts instructions retired so far. *)
+val executed : t -> int
+
+(** [vreg t r] reads a vector register.
+    @raise Invalid_argument when the register was never written. *)
+val vreg : t -> int -> float array
+
+(** [dram t] is the underlying (live) DRAM image. *)
+val dram : t -> float array

@@ -1,0 +1,63 @@
+type t = int
+
+let zero = 0
+let one = 0x3C00
+
+(* Conversion via the float32 bit pattern, standard algorithm with
+   round-to-nearest-even. *)
+let of_float f =
+  let bits = Int32.to_int (Int32.bits_of_float f) land 0xFFFFFFFF in
+  let sign = (bits lsr 16) land 0x8000 in
+  let exp32 = (bits lsr 23) land 0xFF in
+  let mant32 = bits land 0x7FFFFF in
+  if exp32 = 0xFF then
+    (* Inf / NaN *)
+    if mant32 = 0 then sign lor 0x7C00 else sign lor 0x7E00
+  else begin
+    (* Re-bias from 127 to 15. *)
+    let exp16 = exp32 - 127 + 15 in
+    if exp16 >= 0x1F then sign lor 0x7C00 (* overflow to inf *)
+    else if exp16 <= 0 then begin
+      (* Subnormal half (or underflow to zero). *)
+      if exp16 < -10 then sign
+      else begin
+        let mant = mant32 lor 0x800000 in
+        let shift = 14 - exp16 in
+        let half = mant lsr shift in
+        let rem = mant land ((1 lsl shift) - 1) in
+        let midpoint = 1 lsl (shift - 1) in
+        let rounded =
+          if rem > midpoint || (rem = midpoint && half land 1 = 1) then half + 1
+          else half
+        in
+        sign lor rounded
+      end
+    end
+    else begin
+      let half = (exp16 lsl 10) lor (mant32 lsr 13) in
+      let rem = mant32 land 0x1FFF in
+      let rounded =
+        if rem > 0x1000 || (rem = 0x1000 && half land 1 = 1) then half + 1 else half
+      in
+      (* Mantissa carry may overflow into the exponent; that is the
+         correct behaviour (1.111..*2^e rounds to 1.0*2^(e+1)). *)
+      sign lor rounded
+    end
+  end
+
+let to_float h =
+  let sign = if h land 0x8000 <> 0 then -1.0 else 1.0 in
+  let exp = (h lsr 10) land 0x1F in
+  let mant = h land 0x3FF in
+  if exp = 0 then sign *. (float_of_int mant *. (2.0 ** -24.0))
+  else if exp = 0x1F then if mant = 0 then sign *. infinity else nan
+  else sign *. ((1.0 +. (float_of_int mant /. 1024.0)) *. (2.0 ** float_of_int (exp - 15)))
+
+let of_bits b = b land 0xFFFF
+let to_bits h = h
+
+let add a b = of_float (to_float a +. to_float b)
+let sub a b = of_float (to_float a -. to_float b)
+let mul a b = of_float (to_float a *. to_float b)
+let round_float f = to_float (of_float f)
+let is_finite h = (h lsr 10) land 0x1F <> 0x1F

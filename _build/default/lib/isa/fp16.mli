@@ -1,0 +1,39 @@
+(** IEEE 754 half-precision (binary16) emulation.
+
+    The accelerator's multi-function units operate in float16 for the
+    secondary (non-MVM) operations to avoid quantization noise
+    (paper §3).  Values are stored as their 16-bit patterns; all
+    arithmetic is performed by converting to float64, computing, and
+    rounding back — bit-accurate for the round-to-nearest-even
+    single-operation case. *)
+
+type t = private int  (** the 16-bit pattern *)
+
+val zero : t
+val one : t
+
+(** [of_float f] rounds a float to the nearest half (ties to even),
+    with overflow to infinity and subnormal support. *)
+val of_float : float -> t
+
+(** [to_float h] is exact. *)
+val to_float : t -> float
+
+(** [of_bits b] reinterprets the low 16 bits. *)
+val of_bits : int -> t
+
+val to_bits : t -> int
+
+(** Arithmetic with intermediate rounding after each operation, as
+    the hardware would. *)
+val add : t -> t -> t
+
+val sub : t -> t -> t
+val mul : t -> t -> t
+
+(** [round_float f] is [to_float (of_float f)] — the value a float16
+    datapath would produce. *)
+val round_float : float -> float
+
+(** [is_finite h] rejects infinities and NaNs. *)
+val is_finite : t -> bool

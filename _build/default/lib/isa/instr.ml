@@ -1,0 +1,138 @@
+type vreg = int
+type mreg = int
+type act = Sigmoid | Tanh | Relu | Identity
+
+type t =
+  | V_rd of { dst : vreg; addr : int; len : int }
+  | V_wr of { src : vreg; addr : int; len : int }
+  | V_fill of { dst : vreg; len : int; value : float }
+  | M_rd of { dst : mreg; addr : int; rows : int; cols : int }
+  | Mvm of { dst : vreg; mat : mreg; src : vreg }
+  | Vv_add of { dst : vreg; a : vreg; b : vreg }
+  | Vv_sub of { dst : vreg; a : vreg; b : vreg }
+  | Vv_mul of { dst : vreg; a : vreg; b : vreg }
+  | Act of { dst : vreg; src : vreg; f : act }
+  | Nop
+  | Loop of { count : int }
+  | End_loop
+  | V_rd_i of { dst : vreg; base : int; stride : int; len : int }
+  | V_wr_i of { src : vreg; base : int; stride : int; len : int }
+
+type effects = {
+  vreads : vreg list;
+  vwrites : vreg list;
+  mreads : mreg list;
+  mwrites : mreg list;
+  mem_read : (int * int) option;
+  mem_write : (int * int) option;
+  mem_read_wild : bool;
+  mem_write_wild : bool;
+  barrier : bool;
+}
+
+let no_effects =
+  {
+    vreads = [];
+    vwrites = [];
+    mreads = [];
+    mwrites = [];
+    mem_read = None;
+    mem_write = None;
+    mem_read_wild = false;
+    mem_write_wild = false;
+    barrier = false;
+  }
+
+let effects = function
+  | V_rd { dst; addr; len } ->
+    { no_effects with vwrites = [ dst ]; mem_read = Some (addr, len) }
+  | V_wr { src; addr; len } ->
+    { no_effects with vreads = [ src ]; mem_write = Some (addr, len) }
+  | V_fill { dst; _ } -> { no_effects with vwrites = [ dst ] }
+  | M_rd { dst; addr; rows; cols } ->
+    { no_effects with mwrites = [ dst ]; mem_read = Some (addr, rows * cols) }
+  | Mvm { dst; mat; src } -> { no_effects with vreads = [ src ]; vwrites = [ dst ]; mreads = [ mat ] }
+  | Vv_add { dst; a; b } | Vv_sub { dst; a; b } | Vv_mul { dst; a; b } ->
+    { no_effects with vreads = [ a; b ]; vwrites = [ dst ] }
+  | Act { dst; src; _ } -> { no_effects with vreads = [ src ]; vwrites = [ dst ] }
+  | Nop -> no_effects
+  | Loop _ | End_loop -> { no_effects with barrier = true }
+  | V_rd_i { dst; _ } -> { no_effects with vwrites = [ dst ]; mem_read_wild = true }
+  | V_wr_i { src; _ } -> { no_effects with vreads = [ src ]; mem_write_wild = true }
+
+let ranges_overlap a b =
+  match (a, b) with
+  | Some (a0, alen), Some (b0, blen) -> a0 < b0 + blen && b0 < a0 + alen
+  | _, None | None, _ -> false
+
+let intersects a b = List.exists (fun x -> List.mem x b) a
+
+let depends ~earlier ~later =
+  let e = effects earlier and l = effects later in
+  e.barrier || l.barrier
+  (* Wild (loop-indexed) accesses conflict with any memory access. *)
+  || (e.mem_write_wild && (l.mem_read <> None || l.mem_write <> None || l.mem_read_wild || l.mem_write_wild))
+  || (l.mem_write_wild && (e.mem_read <> None || e.mem_write <> None || e.mem_read_wild))
+  || (e.mem_read_wild && (l.mem_write <> None || l.mem_write_wild))
+  || (l.mem_read_wild && e.mem_write <> None)
+  (* Register hazards. *)
+  || intersects e.vwrites l.vreads (* RAW *)
+  || intersects e.vreads l.vwrites (* WAR *)
+  || intersects e.vwrites l.vwrites (* WAW *)
+  || intersects e.mwrites l.mreads
+  || intersects e.mreads l.mwrites
+  || intersects e.mwrites l.mwrites
+  (* Memory hazards: write/read, read/write and write/write on
+     overlapping ranges. *)
+  || ranges_overlap e.mem_write l.mem_read
+  || ranges_overlap e.mem_read l.mem_write
+  || ranges_overlap e.mem_write l.mem_write
+
+let opcode = function
+  | V_rd _ -> "vrd"
+  | V_wr _ -> "vwr"
+  | V_fill _ -> "vfill"
+  | M_rd _ -> "mrd"
+  | Mvm _ -> "mvm"
+  | Vv_add _ -> "vadd"
+  | Vv_sub _ -> "vsub"
+  | Vv_mul _ -> "vmul"
+  | Act _ -> "act"
+  | Nop -> "nop"
+  | Loop _ -> "loop"
+  | End_loop -> "endloop"
+  | V_rd_i _ -> "vrdi"
+  | V_wr_i _ -> "vwri"
+
+let act_name = function
+  | Sigmoid -> "sigmoid"
+  | Tanh -> "tanh"
+  | Relu -> "relu"
+  | Identity -> "identity"
+
+let act_of_name = function
+  | "sigmoid" -> Some Sigmoid
+  | "tanh" -> Some Tanh
+  | "relu" -> Some Relu
+  | "identity" -> Some Identity
+  | _ -> None
+
+let pp fmt i =
+  match i with
+  | V_rd { dst; addr; len } -> Format.fprintf fmt "vrd v%d, %d, %d" dst addr len
+  | V_wr { src; addr; len } -> Format.fprintf fmt "vwr v%d, %d, %d" src addr len
+  | V_fill { dst; len; value } -> Format.fprintf fmt "vfill v%d, %d, %g" dst len value
+  | M_rd { dst; addr; rows; cols } ->
+    Format.fprintf fmt "mrd m%d, %d, %d, %d" dst addr rows cols
+  | Mvm { dst; mat; src } -> Format.fprintf fmt "mvm v%d, m%d, v%d" dst mat src
+  | Vv_add { dst; a; b } -> Format.fprintf fmt "vadd v%d, v%d, v%d" dst a b
+  | Vv_sub { dst; a; b } -> Format.fprintf fmt "vsub v%d, v%d, v%d" dst a b
+  | Vv_mul { dst; a; b } -> Format.fprintf fmt "vmul v%d, v%d, v%d" dst a b
+  | Act { dst; src; f } -> Format.fprintf fmt "act v%d, v%d, %s" dst src (act_name f)
+  | Nop -> Format.fprintf fmt "nop"
+  | Loop { count } -> Format.fprintf fmt "loop %d" count
+  | End_loop -> Format.fprintf fmt "endloop"
+  | V_rd_i { dst; base; stride; len } ->
+    Format.fprintf fmt "vrdi v%d, %d, %d, %d" dst base stride len
+  | V_wr_i { src; base; stride; len } ->
+    Format.fprintf fmt "vwri v%d, %d, %d, %d" src base stride len

@@ -1,0 +1,124 @@
+type spec = { layer_dims : int list; activation : Instr.act }
+
+let make_spec ?(activation = Instr.Relu) dims =
+  if List.length dims < 2 then invalid_arg "Mlp.make_spec: need at least two dims";
+  if List.exists (fun d -> d <= 0) dims then
+    invalid_arg "Mlp.make_spec: dimensions must be positive";
+  { layer_dims = dims; activation }
+
+type layout = {
+  spec : spec;
+  batch : int;
+  weights : Codegen.weight_spec list;
+  x_base : int;
+  y_base : int;
+  input_dim : int;
+  output_dim : int;
+  dram_words : int;
+}
+
+let layer_shapes spec =
+  let rec shapes = function
+    | din :: (dout :: _ as rest) -> (dout, din) :: shapes rest
+    | _ -> []
+  in
+  shapes spec.layer_dims
+
+let weight_words spec =
+  List.fold_left (fun acc (r, c) -> acc + (r * c)) 0 (layer_shapes spec)
+
+let make_layout spec ~batch =
+  if batch <= 0 then invalid_arg "Mlp: batch must be positive";
+  let shapes = layer_shapes spec in
+  let weights = ref [] in
+  let addr = ref 0 in
+  List.iteri
+    (fun i (rows, cols) ->
+      weights := { Codegen.mreg = i; addr = !addr; rows; cols } :: !weights;
+      addr := !addr + (rows * cols))
+    shapes;
+  let input_dim = List.hd spec.layer_dims in
+  let output_dim = List.nth spec.layer_dims (List.length spec.layer_dims - 1) in
+  let x_base = !addr in
+  let y_base = x_base + (batch * input_dim) in
+  {
+    spec;
+    batch;
+    weights = List.rev !weights;
+    x_base;
+    y_base;
+    input_dim;
+    output_dim;
+    dram_words = y_base + (batch * output_dim);
+  }
+
+(* Registers: v0 = current activation, v1 = next. *)
+let sample_instrs lay b =
+  let n_layers = List.length lay.weights in
+  let load = Instr.V_rd { dst = 0; addr = lay.x_base + (b * lay.input_dim); len = lay.input_dim } in
+  let per_layer i =
+    let last = i = n_layers - 1 in
+    [ Instr.Mvm { dst = 1; mat = i; src = 0 } ]
+    @ [
+        Instr.Act
+          { dst = 0; src = 1; f = (if last then Instr.Identity else lay.spec.activation) };
+      ]
+  in
+  (load :: List.concat (List.init n_layers per_layer))
+  @ [ Instr.V_wr { src = 0; addr = lay.y_base + (b * lay.output_dim); len = lay.output_dim } ]
+
+let generate spec ~batch =
+  let lay = make_layout spec ~batch in
+  let loads =
+    List.map
+      (fun (w : Codegen.weight_spec) ->
+        Instr.M_rd
+          { dst = w.Codegen.mreg; addr = w.Codegen.addr; rows = w.Codegen.rows; cols = w.Codegen.cols })
+      lay.weights
+  in
+  let body = List.concat (List.init batch (sample_instrs lay)) in
+  (Program.make ~vregs:8 ~mregs:(max 1 (List.length lay.weights)) (loads @ body), lay)
+
+let init_dram ~rng lay =
+  let dram = Array.make lay.dram_words 0.0 in
+  let fill base count =
+    for i = base to base + count - 1 do
+      dram.(i) <- Mlv_util.Rng.float rng 1.0 -. 0.5
+    done
+  in
+  List.iter (fun (w : Codegen.weight_spec) -> fill w.Codegen.addr (w.Codegen.rows * w.Codegen.cols)) lay.weights;
+  fill lay.x_base (lay.batch * lay.input_dim);
+  dram
+
+let apply_act f x =
+  match f with
+  | Instr.Sigmoid -> 1.0 /. (1.0 +. exp (-.x))
+  | Instr.Tanh -> tanh x
+  | Instr.Relu -> Float.max 0.0 x
+  | Instr.Identity -> x
+
+let golden lay dram =
+  let matrices =
+    List.map
+      (fun (w : Codegen.weight_spec) ->
+        Array.init w.Codegen.rows (fun r ->
+            Array.sub dram (w.Codegen.addr + (r * w.Codegen.cols)) w.Codegen.cols))
+      lay.weights
+  in
+  let n_layers = List.length matrices in
+  Array.init lay.batch (fun b ->
+      let x = ref (Array.sub dram (lay.x_base + (b * lay.input_dim)) lay.input_dim) in
+      List.iteri
+        (fun i m ->
+          let y =
+            Array.map
+              (fun row ->
+                let acc = ref 0.0 in
+                Array.iteri (fun j w -> acc := !acc +. (w *. !x.(j))) row;
+                !acc)
+              m
+          in
+          let f = if i = n_layers - 1 then Instr.Identity else lay.spec.activation in
+          x := Array.map (apply_act f) y)
+        matrices;
+      !x)

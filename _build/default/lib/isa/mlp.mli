@@ -1,0 +1,48 @@
+(** Multi-layer perceptron / GEMV serving programs.
+
+    The AS ISA is not tied to recurrent models: DeepBench's other
+    kernel class is dense GEMM/GEMV, which serves MLP-style scoring
+    models (ranking, recommendation).  This module generates
+    feed-forward inference programs — a chain of matrix-vector
+    products with pointwise activations — plus the matching golden
+    model, exercising the framework on a second accelerator workload
+    with a different dependence structure: no recurrence, so
+    consecutive samples are fully independent. *)
+
+type spec = {
+  layer_dims : int list;
+      (** [d0; d1; ...; dn]: input dimension then each layer's output
+          dimension; layer i is a (d{i+1} x di) matrix *)
+  activation : Instr.act;  (** applied after every layer but the last *)
+}
+
+(** [make_spec ?activation dims] builds a spec.
+    @raise Invalid_argument with fewer than two dims or non-positive
+    dimensions. *)
+val make_spec : ?activation:Instr.act -> int list -> spec
+
+type layout = {
+  spec : spec;
+  batch : int;
+  weights : Codegen.weight_spec list;  (** one per layer, in order *)
+  x_base : int;  (** sample [b]'s input at [x_base + b * input_dim] *)
+  y_base : int;  (** sample [b]'s output at [y_base + b * output_dim] *)
+  input_dim : int;
+  output_dim : int;
+  dram_words : int;
+}
+
+(** [generate spec ~batch] emits the program scoring [batch]
+    independent samples. *)
+val generate : spec -> batch:int -> Program.t * layout
+
+(** [weight_words spec] counts model parameters. *)
+val weight_words : spec -> int
+
+(** [init_dram ~rng layout] fills weights and inputs with small
+    random values. *)
+val init_dram : rng:Mlv_util.Rng.t -> layout -> float array
+
+(** [golden layout dram] computes the reference outputs, one array
+    of [output_dim] per sample. *)
+val golden : layout -> float array -> float array array

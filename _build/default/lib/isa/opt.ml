@@ -1,0 +1,52 @@
+let has_control_flow p =
+  Array.exists
+    (fun i ->
+      match i with
+      | Instr.Loop _ | Instr.End_loop | Instr.V_rd_i _ | Instr.V_wr_i _ -> true
+      | _ -> false)
+    p.Program.instrs
+
+let remove_nops p =
+  Program.make ~vregs:p.Program.vregs ~mregs:p.Program.mregs
+    (List.filter (fun i -> i <> Instr.Nop) (Program.to_list p))
+
+(* Backward liveness over vector and matrix registers.  Registers are
+   live at program exit (the host may read final values), so an
+   instruction is dead only when everything it writes is overwritten
+   before any read and it has no memory side effect. *)
+let dead_code p =
+  if has_control_flow p then p
+  else begin
+  let instrs = p.Program.instrs in
+  let n = Array.length instrs in
+  let vlive = Array.make p.Program.vregs true in
+  let mlive = Array.make p.Program.mregs true in
+  let keep = Array.make n true in
+  for i = n - 1 downto 0 do
+    let e = Instr.effects instrs.(i) in
+    let side_effect = e.Instr.mem_write <> None in
+    let writes_live =
+      List.exists (fun r -> vlive.(r)) e.Instr.vwrites
+      || List.exists (fun r -> mlive.(r)) e.Instr.mwrites
+    in
+    let pure_write = e.Instr.vwrites <> [] || e.Instr.mwrites <> [] in
+    if side_effect || writes_live || not pure_write then begin
+      List.iter (fun r -> vlive.(r) <- false) e.Instr.vwrites;
+      List.iter (fun r -> mlive.(r) <- false) e.Instr.mwrites;
+      List.iter (fun r -> vlive.(r) <- true) e.Instr.vreads;
+      List.iter (fun r -> mlive.(r) <- true) e.Instr.mreads
+    end
+    else keep.(i) <- false
+  done;
+  let kept = ref [] in
+  for i = n - 1 downto 0 do
+    if keep.(i) then kept := instrs.(i) :: !kept
+  done;
+  Program.make ~vregs:p.Program.vregs ~mregs:p.Program.mregs !kept
+  end
+
+let rec optimize p =
+  let q = dead_code (remove_nops p) in
+  if Program.length q = Program.length p then q else optimize q
+
+let eliminated ~before ~after = Program.length before - Program.length after

@@ -1,0 +1,1 @@
+lib/rtl/design.ml: Ast Hashtbl List Printf String

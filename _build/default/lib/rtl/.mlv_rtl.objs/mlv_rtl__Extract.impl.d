@@ -1,0 +1,1 @@
+lib/rtl/extract.ml: Array Ast Design Hashtbl List Printf

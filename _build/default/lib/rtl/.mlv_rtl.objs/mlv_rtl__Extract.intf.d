@@ -1,0 +1,1 @@
+lib/rtl/extract.mli: Ast Design

@@ -1,0 +1,1 @@
+lib/rtl/graph.ml: Array Ast Design Hashtbl List Mlv_util Printf

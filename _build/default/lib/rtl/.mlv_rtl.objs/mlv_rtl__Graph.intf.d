@@ -1,0 +1,1 @@
+lib/rtl/graph.mli: Ast Design

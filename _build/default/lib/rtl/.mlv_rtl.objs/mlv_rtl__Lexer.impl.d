@@ -1,0 +1,1 @@
+lib/rtl/lexer.ml: Buffer List Printf String

@@ -1,0 +1,1 @@
+lib/rtl/parser.ml: Array Ast Design Hashtbl Lexer List Printf String

@@ -1,0 +1,1 @@
+lib/rtl/printer.ml: Ast Buffer Design List Printf String

@@ -1,0 +1,1 @@
+lib/rtl/printer.mli: Ast Design

@@ -1,0 +1,1 @@
+lib/rtl/stats.ml: Ast Design Format Hashtbl List

@@ -1,0 +1,1 @@
+lib/rtl/transform.ml: Array Ast Hashtbl List Option Printf

@@ -1,0 +1,58 @@
+(** A design is a table of RTL modules with hierarchy queries,
+    validation and flattened primitive censuses. *)
+
+type t
+
+(** [create ()] is an empty design. *)
+val create : unit -> t
+
+(** [add t m] registers module [m].
+    @raise Invalid_argument if a module of that name already exists. *)
+val add : t -> Ast.module_def -> unit
+
+(** [of_modules ms] builds a design from a list of modules. *)
+val of_modules : Ast.module_def list -> t
+
+(** [find t name] looks up a module. *)
+val find : t -> string -> Ast.module_def option
+
+(** [find_exn t name] looks up a module.
+    @raise Not_found if absent. *)
+val find_exn : t -> string -> Ast.module_def
+
+(** [mem t name] tests for presence. *)
+val mem : t -> string -> bool
+
+(** [modules t] lists modules in registration order. *)
+val modules : t -> Ast.module_def list
+
+(** [top t] is the unique module never instantiated by another.
+    @raise Failure if there is no unique top. *)
+val top : t -> Ast.module_def
+
+(** [validate t] checks that every instantiated master exists, every
+    connection binds an existing formal port to an existing net/port of
+    matching width, and the hierarchy is acyclic.  Returns the list of
+    human-readable errors (empty when valid). *)
+val validate : t -> string list
+
+(** [children t name] is the list of distinct user-module masters
+    instantiated by [name]. *)
+val children : t -> string -> string list
+
+(** [topo_order t] lists module names so that each module appears
+    after all modules it instantiates (leaves first).
+    @raise Failure on hierarchy cycles. *)
+val topo_order : t -> string list
+
+(** [prim_census t name] is the flattened multiset of primitives
+    reachable from module [name], as (primitive, count) pairs. *)
+val prim_census : t -> string -> (Ast.prim * int) list
+
+(** [flat_instance_count t name] is the total number of primitive
+    instances under [name] after full flattening. *)
+val flat_instance_count : t -> string -> int
+
+(** [basic_modules t] lists the names of basic modules (those that
+    instantiate no user modules), in registration order. *)
+val basic_modules : t -> string list

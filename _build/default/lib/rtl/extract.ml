@@ -1,0 +1,137 @@
+let master_ports design (inst : Ast.instance) =
+  match inst.master with
+  | Ast.M_prim p -> Ast.prim_ports p
+  | Ast.M_module name -> (
+    match Design.find design name with
+    | Some m -> m.ports
+    | None -> failwith (Printf.sprintf "Extract: unknown master %s" name))
+
+(* Per-net driver/sink instance indices; -1 encodes the module
+   boundary (an input port drives its net, an output port sinks it). *)
+let net_users design (m : Ast.module_def) =
+  let tbl : (string, int list * int list) Hashtbl.t = Hashtbl.create 64 in
+  let add_driver net i =
+    let d, s = try Hashtbl.find tbl net with Not_found -> ([], []) in
+    Hashtbl.replace tbl net (i :: d, s)
+  in
+  let add_sink net i =
+    let d, s = try Hashtbl.find tbl net with Not_found -> ([], []) in
+    Hashtbl.replace tbl net (d, i :: s)
+  in
+  List.iter
+    (fun (p : Ast.port) ->
+      match p.dir with
+      | Ast.Input -> add_driver p.port_name (-1)
+      | Ast.Output -> add_sink p.port_name (-1))
+    m.ports;
+  List.iteri
+    (fun i (inst : Ast.instance) ->
+      let ports = master_ports design inst in
+      List.iter
+        (fun (c : Ast.conn) ->
+          match List.find_opt (fun (p : Ast.port) -> p.port_name = c.formal) ports with
+          | None ->
+            failwith (Printf.sprintf "Extract: no port %s on %s" c.formal inst.inst_name)
+          | Some p -> (
+            match p.dir with
+            | Ast.Input -> add_sink c.actual i
+            | Ast.Output -> add_driver c.actual i))
+        inst.conns)
+    m.instances;
+  tbl
+
+let component ~name design (parent : Ast.module_def) indices =
+  let inside = Hashtbl.create 16 in
+  List.iter (fun i -> Hashtbl.replace inside i ()) indices;
+  let users = net_users design parent in
+  let inputs = ref [] and outputs = ref [] and internal = ref [] in
+  Hashtbl.iter
+    (fun net (drivers, sinks) ->
+      let driven_inside = List.exists (fun i -> i >= 0 && Hashtbl.mem inside i) drivers in
+      let sunk_inside = List.exists (fun i -> i >= 0 && Hashtbl.mem inside i) sinks in
+      let driven_outside =
+        List.exists (fun i -> i = -1 || not (Hashtbl.mem inside i)) drivers
+      in
+      let sunk_outside =
+        List.exists (fun i -> i = -1 || not (Hashtbl.mem inside i)) sinks
+      in
+      let width = Ast.net_width parent net in
+      if sunk_inside && (not driven_inside) && driven_outside then
+        inputs := (net, width) :: !inputs
+      else if driven_inside && sunk_outside then outputs := (net, width) :: !outputs
+      else if driven_inside && sunk_inside then internal := (net, width) :: !internal)
+    users;
+  let sort = List.sort (fun (a, _) (b, _) -> compare a b) in
+  let ports =
+    List.map (fun (n, w) -> { Ast.port_name = n; dir = Ast.Input; width = w }) (sort !inputs)
+    @ List.map
+        (fun (n, w) -> { Ast.port_name = n; dir = Ast.Output; width = w })
+        (sort !outputs)
+  in
+  let nets =
+    List.map (fun (n, w) -> { Ast.net_name = n; net_width = w }) (sort !internal)
+  in
+  let all = Array.of_list parent.instances in
+  let instances =
+    List.sort compare indices |> List.map (fun i -> all.(i))
+  in
+  { Ast.mod_name = name; ports; nets; instances; attrs = [] }
+
+let flatten design top_name =
+  let top =
+    match Design.find design top_name with
+    | Some m -> m
+    | None -> failwith (Printf.sprintf "Extract.flatten: unknown module %s" top_name)
+  in
+  let nets = ref [] in
+  let instances = ref [] in
+  (* [env] maps a module's local net/port names to flattened names. *)
+  let rec inline prefix (m : Ast.module_def) env =
+    let resolve local =
+      match Hashtbl.find_opt env local with
+      | Some flat -> flat
+      | None -> failwith (Printf.sprintf "Extract.flatten: unresolved net %s" local)
+    in
+    List.iter
+      (fun (n : Ast.net) ->
+        let flat = prefix ^ n.net_name in
+        Hashtbl.replace env n.net_name flat;
+        nets := { Ast.net_name = flat; net_width = n.net_width } :: !nets)
+      m.nets;
+    List.iter
+      (fun (inst : Ast.instance) ->
+        match inst.master with
+        | Ast.M_prim _ ->
+          let conns =
+            List.map (fun (c : Ast.conn) -> { c with actual = resolve c.actual }) inst.conns
+          in
+          instances :=
+            { inst with inst_name = prefix ^ inst.inst_name; conns } :: !instances
+        | Ast.M_module child_name ->
+          let child = Design.find_exn design child_name in
+          let child_env = Hashtbl.create 16 in
+          List.iter
+            (fun (c : Ast.conn) -> Hashtbl.replace child_env c.formal (resolve c.actual))
+            inst.conns;
+          (* Unconnected child ports get a fresh dangling net. *)
+          List.iter
+            (fun (p : Ast.port) ->
+              if not (Hashtbl.mem child_env p.port_name) then begin
+                let flat = prefix ^ inst.inst_name ^ "$" ^ p.port_name in
+                Hashtbl.replace child_env p.port_name flat;
+                nets := { Ast.net_name = flat; net_width = p.width } :: !nets
+              end)
+            child.ports;
+          inline (prefix ^ inst.inst_name ^ "$") child child_env)
+      m.instances
+  in
+  let env = Hashtbl.create 16 in
+  List.iter (fun (p : Ast.port) -> Hashtbl.replace env p.port_name p.port_name) top.ports;
+  inline "" top env;
+  {
+    Ast.mod_name = top.mod_name;
+    ports = top.ports;
+    nets = List.rev !nets;
+    instances = List.rev !instances;
+    attrs = top.attrs;
+  }

@@ -1,0 +1,27 @@
+(** Extraction of a subset of a module's instances into a standalone
+    module.
+
+    The decomposer's intra-block data-parallelism step (paper
+    §2.2.1, step 2) splits a basic module into connected components
+    and checks the components for equivalence; each component must
+    therefore be materialised as a module of its own, with ports
+    synthesised for every net that crosses the component boundary. *)
+
+(** [component ~name design parent indices] builds a module named
+    [name] containing exactly the instances of [parent] at positions
+    [indices] (0-based, in declaration order).
+
+    A net becomes an input port when it is consumed inside the
+    component but driven outside it (including by a [parent] input
+    port), and an output port when driven inside and consumed outside
+    (including by a [parent] output port).  Purely internal nets stay
+    wires.  Port order is deterministic: inputs sorted by name, then
+    outputs sorted by name. *)
+val component :
+  name:string -> Design.t -> Ast.module_def -> int list -> Ast.module_def
+
+(** [flatten design name] inlines the full hierarchy under module
+    [name] into one equivalent basic module (prefixing nested nets
+    and instances with their instance path).
+    @raise Failure if [name] is unknown. *)
+val flatten : Design.t -> string -> Ast.module_def

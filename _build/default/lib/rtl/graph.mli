@@ -1,0 +1,55 @@
+(** Instance-level connectivity graph of one module.
+
+    Nodes are the module's instances; a directed edge [src -> dst]
+    with weight [w] means nets totalling [w] bits are driven by [src]
+    and consumed by [dst].  The decomposer uses connected components
+    to find data-parallel lanes, and the partitioner uses edge weights
+    as the communication-bandwidth proxy for its minimal-bandwidth
+    cut (paper §2.2.2). *)
+
+type t
+
+(** [build design m] constructs the graph of [m].  Masters are looked
+    up in [design] to determine port directions.
+    @raise Failure on dangling references (run {!Design.validate}
+    first for friendlier errors). *)
+val build : Design.t -> Ast.module_def -> t
+
+(** [node_count t] is the number of instances. *)
+val node_count : t -> int
+
+(** [instance t i] is the i-th instance (stable order = declaration
+    order). *)
+val instance : t -> int -> Ast.instance
+
+(** [index_of t name] finds a node by instance name. *)
+val index_of : t -> string -> int option
+
+(** [edges t] lists directed edges as [(src, dst, bits)], aggregated
+    per node pair. *)
+val edges : t -> (int * int * int) list
+
+(** [edge_weight t a b] is the aggregated bit width driven from [a]
+    to [b] (0 when unconnected). *)
+val edge_weight : t -> int -> int -> int
+
+(** [succs t i] / [preds t i] are the distinct successor /
+    predecessor node indices. *)
+val succs : t -> int -> int list
+
+val preds : t -> int -> int list
+
+(** [reads_port t i] is true when instance [i] consumes a module
+    input port directly; [writes_port t i] when it drives a module
+    output port. *)
+val reads_port : t -> int -> bool
+
+val writes_port : t -> int -> bool
+
+(** [components ?include_port_nets t] partitions nodes into connected
+    components of the undirected graph.  By default nets that touch
+    the module's ports do not join instances (broadcast inputs would
+    otherwise merge independent data-parallel lanes); pass
+    [~include_port_nets:true] to join through them as well.  Each
+    component is sorted; components are sorted by first element. *)
+val components : ?include_port_nets:bool -> t -> int list list

@@ -1,0 +1,181 @@
+type token =
+  | ID of string
+  | INT of int
+  | SIZED of int * int
+  | ATTR of string list
+  | LPAREN
+  | RPAREN
+  | LBRACK
+  | RBRACK
+  | LBRACE
+  | RBRACE
+  | SEMI
+  | COMMA
+  | DOT
+  | COLON
+  | HASH
+  | EQ
+  | QUESTION
+  | AMP
+  | PIPE
+  | CARET
+  | TILDE
+  | PLUS
+  | MINUS
+  | STAR
+  | LT
+  | EQEQ
+  | EOF
+
+type located = { tok : token; line : int }
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9') || c = '$'
+let is_digit c = c >= '0' && c <= '9'
+
+let describe = function
+  | ID s -> Printf.sprintf "identifier %s" s
+  | INT n -> Printf.sprintf "integer %d" n
+  | SIZED (w, v) -> Printf.sprintf "literal %d'd%d" w v
+  | ATTR attrs -> Printf.sprintf "(* %s *)" (String.concat ", " attrs)
+  | LPAREN -> "(" | RPAREN -> ")"
+  | LBRACK -> "[" | RBRACK -> "]"
+  | LBRACE -> "{" | RBRACE -> "}"
+  | SEMI -> ";" | COMMA -> "," | DOT -> "." | COLON -> ":"
+  | HASH -> "#" | EQ -> "=" | QUESTION -> "?"
+  | AMP -> "&" | PIPE -> "|" | CARET -> "^" | TILDE -> "~"
+  | PLUS -> "+" | MINUS -> "-" | STAR -> "*"
+  | LT -> "<" | EQEQ -> "=="
+  | EOF -> "end of input"
+
+let tokenize src =
+  let n = String.length src in
+  let pos = ref 0 in
+  let line = ref 1 in
+  let out = ref [] in
+  let fail msg = failwith (Printf.sprintf "line %d: %s" !line msg) in
+  let peek k = if !pos + k < n then Some src.[!pos + k] else None in
+  let emit tok = out := { tok; line = !line } :: !out in
+  let read_while p =
+    let start = !pos in
+    while !pos < n && p src.[!pos] do
+      incr pos
+    done;
+    String.sub src start (!pos - start)
+  in
+  (* Reads the number whose first digit is at the cursor; handles the
+     Verilog sized form width'base digits (bases d, h, b). *)
+  let read_number () =
+    let digits = read_while is_digit in
+    let value = int_of_string digits in
+    match peek 0 with
+    | Some '\'' ->
+      incr pos;
+      let base =
+        match peek 0 with
+        | Some ('d' | 'D') -> 10
+        | Some ('h' | 'H') -> 16
+        | Some ('b' | 'B') -> 2
+        | _ -> fail "expected base character after ' in sized literal"
+      in
+      incr pos;
+      let body =
+        read_while (fun c ->
+            is_digit c || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F') || c = '_')
+      in
+      let body = String.concat "" (String.split_on_char '_' body) in
+      if body = "" then fail "empty sized literal";
+      let v =
+        match base with
+        | 10 -> int_of_string body
+        | 16 -> int_of_string ("0x" ^ body)
+        | _ -> int_of_string ("0b" ^ body)
+      in
+      emit (SIZED (value, v))
+    | _ -> emit (INT value)
+  in
+  let read_attr () =
+    (* Cursor is just past "(*". *)
+    let buf = Buffer.create 16 in
+    let rec loop () =
+      if !pos + 1 < n && src.[!pos] = '*' && src.[!pos + 1] = ')' then pos := !pos + 2
+      else if !pos >= n then fail "unterminated attribute"
+      else begin
+        if src.[!pos] = '\n' then incr line;
+        Buffer.add_char buf src.[!pos];
+        incr pos;
+        loop ()
+      end
+    in
+    loop ();
+    let attrs =
+      Buffer.contents buf |> String.split_on_char ',' |> List.map String.trim
+      |> List.filter (fun s -> s <> "")
+    in
+    emit (ATTR attrs)
+  in
+  while !pos < n do
+    let c = src.[!pos] in
+    if c = '\n' then begin
+      incr line;
+      incr pos
+    end
+    else if c = ' ' || c = '\t' || c = '\r' then incr pos
+    else if c = '/' && peek 1 = Some '/' then begin
+      while !pos < n && src.[!pos] <> '\n' do
+        incr pos
+      done
+    end
+    else if c = '/' && peek 1 = Some '*' then begin
+      pos := !pos + 2;
+      let rec skip () =
+        if !pos + 1 >= n then fail "unterminated comment"
+        else if src.[!pos] = '*' && src.[!pos + 1] = '/' then pos := !pos + 2
+        else begin
+          if src.[!pos] = '\n' then incr line;
+          incr pos;
+          skip ()
+        end
+      in
+      skip ()
+    end
+    else if c = '(' && peek 1 = Some '*' then begin
+      pos := !pos + 2;
+      read_attr ()
+    end
+    else if is_ident_start c then emit (ID (read_while is_ident_char))
+    else if is_digit c then read_number ()
+    else begin
+      incr pos;
+      match c with
+      | '(' -> emit LPAREN
+      | ')' -> emit RPAREN
+      | '[' -> emit LBRACK
+      | ']' -> emit RBRACK
+      | '{' -> emit LBRACE
+      | '}' -> emit RBRACE
+      | ';' -> emit SEMI
+      | ',' -> emit COMMA
+      | '.' -> emit DOT
+      | ':' -> emit COLON
+      | '#' -> emit HASH
+      | '?' -> emit QUESTION
+      | '&' -> emit AMP
+      | '|' -> emit PIPE
+      | '^' -> emit CARET
+      | '~' -> emit TILDE
+      | '+' -> emit PLUS
+      | '-' -> emit MINUS
+      | '*' -> emit STAR
+      | '<' -> emit LT
+      | '=' ->
+        if peek 0 = Some '=' then begin
+          incr pos;
+          emit EQEQ
+        end
+        else emit EQ
+      | _ -> fail (Printf.sprintf "unexpected character %c" c)
+    end
+  done;
+  emit EOF;
+  List.rev !out

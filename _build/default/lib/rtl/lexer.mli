@@ -1,0 +1,41 @@
+(** Tokenizer for the structural-Verilog subset accepted by
+    {!Parser}.  Handles [//] and [/* */] comments and Verilog-style
+    [(* attribute *)] markers. *)
+
+type token =
+  | ID of string
+  | INT of int
+  | SIZED of int * int  (** [SIZED (width, value)] from e.g. [8'd255] *)
+  | ATTR of string list  (** [(* a, b *)] *)
+  | LPAREN
+  | RPAREN
+  | LBRACK
+  | RBRACK
+  | LBRACE
+  | RBRACE
+  | SEMI
+  | COMMA
+  | DOT
+  | COLON
+  | HASH
+  | EQ
+  | QUESTION
+  | AMP
+  | PIPE
+  | CARET
+  | TILDE
+  | PLUS
+  | MINUS
+  | STAR
+  | LT
+  | EQEQ
+  | EOF
+
+type located = { tok : token; line : int }
+
+(** [tokenize src] lexes [src].
+    @raise Failure with a line-numbered message on lexical errors. *)
+val tokenize : string -> located list
+
+(** [describe tok] is a short printable form, for error messages. *)
+val describe : token -> string

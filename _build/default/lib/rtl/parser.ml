@@ -1,0 +1,662 @@
+type template = { tparams : (string * int) list; ttoks : Lexer.located array }
+
+type state = {
+  toks : Lexer.located array;
+  mutable pos : int;
+  mutable fresh : int; (* counter for generated net/instance names *)
+  design : Design.t;
+  templates : (string, template) Hashtbl.t;
+}
+
+exception Parse_error of string
+
+let fail st msg =
+  let line = if st.pos < Array.length st.toks then st.toks.(st.pos).line else 0 in
+  raise (Parse_error (Printf.sprintf "line %d: %s" line msg))
+
+let cur st = st.toks.(st.pos).tok
+let advance st = st.pos <- st.pos + 1
+
+let expect st tok =
+  if cur st = tok then advance st
+  else
+    fail st
+      (Printf.sprintf "expected %s but found %s" (Lexer.describe tok)
+         (Lexer.describe (cur st)))
+
+let accept st tok =
+  if cur st = tok then begin
+    advance st;
+    true
+  end
+  else false
+
+let ident st =
+  match cur st with
+  | Lexer.ID s ->
+    advance st;
+    s
+  | t -> fail st (Printf.sprintf "expected identifier but found %s" (Lexer.describe t))
+
+let integer st =
+  match cur st with
+  | Lexer.INT n ->
+    advance st;
+    n
+  | t -> fail st (Printf.sprintf "expected integer but found %s" (Lexer.describe t))
+
+(* Constant expressions: +, -, * and parentheses over integers.
+   Identifiers are rejected here — template parameters have already
+   been substituted by the time these positions are parsed. *)
+let rec const_expr st = const_sum st
+
+and const_sum st =
+  let rec loop acc =
+    if accept st Lexer.PLUS then loop (acc + const_term st)
+    else if accept st Lexer.MINUS then loop (acc - const_term st)
+    else acc
+  in
+  loop (const_term st)
+
+and const_term st =
+  let rec loop acc =
+    if accept st Lexer.STAR then loop (acc * const_atom st) else acc
+  in
+  loop (const_atom st)
+
+and const_atom st =
+  match cur st with
+  | Lexer.INT n ->
+    advance st;
+    n
+  | Lexer.SIZED (_, v) ->
+    advance st;
+    v
+  | Lexer.LPAREN ->
+    advance st;
+    let v = const_expr st in
+    expect st Lexer.RPAREN;
+    v
+  | Lexer.ID name ->
+    fail st (Printf.sprintf "identifier %s is not a constant (undefined parameter?)" name)
+  | t -> fail st (Printf.sprintf "expected constant expression, found %s" (Lexer.describe t))
+
+(* ------------------------------------------------------------------ *)
+(* Expressions (for assign lowering)                                   *)
+(* ------------------------------------------------------------------ *)
+
+type expr =
+  | E_id of string
+  | E_lit of int option * int (* optional width, value *)
+  | E_not of expr
+  | E_bin of bin * expr * expr
+  | E_mux of expr * expr * expr
+  | E_concat of expr list
+  | E_slice of string * int * int (* net, msb, lsb *)
+
+and bin = B_and | B_or | B_xor | B_add | B_sub | B_mul | B_lt | B_eq
+
+(* Precedence climbing: ?: < | < ^ < & < (== <) < (+ -) < * < unary *)
+
+let rec parse_expr st = parse_ternary st
+
+and parse_ternary st =
+  let cond = parse_or st in
+  if accept st Lexer.QUESTION then begin
+    let a = parse_expr st in
+    expect st Lexer.COLON;
+    let b = parse_expr st in
+    E_mux (cond, a, b)
+  end
+  else cond
+
+and parse_or st =
+  let rec loop acc =
+    if accept st Lexer.PIPE then loop (E_bin (B_or, acc, parse_xor st)) else acc
+  in
+  loop (parse_xor st)
+
+and parse_xor st =
+  let rec loop acc =
+    if accept st Lexer.CARET then loop (E_bin (B_xor, acc, parse_and st)) else acc
+  in
+  loop (parse_and st)
+
+and parse_and st =
+  let rec loop acc =
+    if accept st Lexer.AMP then loop (E_bin (B_and, acc, parse_cmp st)) else acc
+  in
+  loop (parse_cmp st)
+
+and parse_cmp st =
+  let lhs = parse_sum st in
+  if accept st Lexer.LT then E_bin (B_lt, lhs, parse_sum st)
+  else if accept st Lexer.EQEQ then E_bin (B_eq, lhs, parse_sum st)
+  else lhs
+
+and parse_sum st =
+  let rec loop acc =
+    if accept st Lexer.PLUS then loop (E_bin (B_add, acc, parse_term st))
+    else if accept st Lexer.MINUS then loop (E_bin (B_sub, acc, parse_term st))
+    else acc
+  in
+  loop (parse_term st)
+
+and parse_term st =
+  let rec loop acc =
+    if accept st Lexer.STAR then loop (E_bin (B_mul, acc, parse_unary st)) else acc
+  in
+  loop (parse_unary st)
+
+and parse_unary st =
+  if accept st Lexer.TILDE then E_not (parse_unary st) else parse_primary st
+
+and parse_primary st =
+  match cur st with
+  | Lexer.LPAREN ->
+    advance st;
+    let e = parse_expr st in
+    expect st Lexer.RPAREN;
+    e
+  | Lexer.LBRACE ->
+    advance st;
+    let rec elems acc =
+      let e = parse_expr st in
+      if accept st Lexer.COMMA then elems (e :: acc) else List.rev (e :: acc)
+    in
+    let es = elems [] in
+    expect st Lexer.RBRACE;
+    E_concat es
+  | Lexer.INT n ->
+    advance st;
+    E_lit (None, n)
+  | Lexer.SIZED (w, v) ->
+    advance st;
+    E_lit (Some w, v)
+  | Lexer.ID name ->
+    advance st;
+    if accept st Lexer.LBRACK then begin
+      let msb = integer st in
+      let lsb = if accept st Lexer.COLON then integer st else msb in
+      expect st Lexer.RBRACK;
+      E_slice (name, msb, lsb)
+    end
+    else E_id name
+  | t -> fail st (Printf.sprintf "expected expression but found %s" (Lexer.describe t))
+
+(* ------------------------------------------------------------------ *)
+(* Module bodies                                                       *)
+(* ------------------------------------------------------------------ *)
+
+type body = {
+  mutable ports : (string * Ast.direction * int) list; (* reversed *)
+  mutable nets : Ast.net list; (* reversed *)
+  mutable instances : Ast.instance list; (* reversed *)
+  header_ports : string list;
+}
+
+let body_net_width st body name =
+  match List.find_opt (fun (n : Ast.net) -> n.net_name = name) body.nets with
+  | Some n -> n.net_width
+  | None -> (
+    match List.find_opt (fun (p, _, _) -> p = name) body.ports with
+    | Some (_, _, w) -> w
+    | None -> fail st (Printf.sprintf "unknown net %s" name))
+
+let fresh_net st body width prefix =
+  let name = Printf.sprintf "_%s_%d" prefix st.fresh in
+  st.fresh <- st.fresh + 1;
+  body.nets <- { Ast.net_name = name; net_width = width } :: body.nets;
+  name
+
+let fresh_inst st prefix =
+  let name = Printf.sprintf "_%s_i%d" prefix st.fresh in
+  st.fresh <- st.fresh + 1;
+  name
+
+let add_prim st body prim conns =
+  let inst_name = fresh_inst st (Ast.prim_name prim) in
+  body.instances <-
+    { Ast.inst_name; master = Ast.M_prim prim; conns } :: body.instances
+
+(* Width of an expression given the width expected by its context.
+   Comparison results are 1 bit; concats sum their parts; unsized
+   literals adopt the context width. *)
+let rec expr_width st body ctx = function
+  | E_id name -> body_net_width st body name
+  | E_lit (Some w, _) -> w
+  | E_lit (None, _) -> ctx
+  | E_not e -> expr_width st body ctx e
+  | E_bin ((B_lt | B_eq), _, _) -> 1
+  | E_bin (_, a, b) ->
+    let wa = expr_width st body ctx a and wb = expr_width st body ctx b in
+    max wa wb
+  | E_mux (_, a, b) ->
+    let wa = expr_width st body ctx a and wb = expr_width st body ctx b in
+    max wa wb
+  | E_concat es -> List.fold_left (fun acc e -> acc + expr_width st body ctx e) 0 es
+  | E_slice (_, msb, lsb) -> msb - lsb + 1
+
+(* Lowers [e] into primitive instances; returns the net carrying the
+   result.  [ctx] is the width imposed by the surrounding context. *)
+let rec lower st body ctx e =
+  match e with
+  | E_id name -> name
+  | E_lit (wopt, value) ->
+    let width = match wopt with Some w -> w | None -> ctx in
+    let o = fresh_net st body width "const" in
+    add_prim st body (Ast.P_const { width; value }) [ { Ast.formal = "o"; actual = o } ];
+    o
+  | E_not a ->
+    let w = expr_width st body ctx e in
+    let na = lower st body w a in
+    let o = fresh_net st body w "not" in
+    add_prim st body (Ast.P_not w)
+      [ { Ast.formal = "a"; actual = na }; { Ast.formal = "o"; actual = o } ];
+    o
+  | E_bin (op, a, b) ->
+    let operand_w =
+      match op with
+      | B_lt | B_eq ->
+        (* Compare at the natural width of the operands. *)
+        let wa = expr_width st body ctx a and wb = expr_width st body ctx b in
+        max wa wb
+      | B_and | B_or | B_xor | B_add | B_sub | B_mul -> expr_width st body ctx e
+    in
+    let na = lower st body operand_w a in
+    let nb = lower st body operand_w b in
+    let prim, out_w =
+      match op with
+      | B_and -> (Ast.P_and operand_w, operand_w)
+      | B_or -> (Ast.P_or operand_w, operand_w)
+      | B_xor -> (Ast.P_xor operand_w, operand_w)
+      | B_add -> (Ast.P_add operand_w, operand_w)
+      | B_sub -> (Ast.P_sub operand_w, operand_w)
+      | B_mul -> (Ast.P_mul operand_w, operand_w)
+      | B_lt -> (Ast.P_cmp_lt operand_w, 1)
+      | B_eq -> (Ast.P_cmp_eq operand_w, 1)
+    in
+    let o = fresh_net st body out_w "bin" in
+    add_prim st body prim
+      [
+        { Ast.formal = "a"; actual = na };
+        { Ast.formal = "b"; actual = nb };
+        { Ast.formal = "o"; actual = o };
+      ];
+    o
+  | E_mux (c, a, b) ->
+    let w = expr_width st body ctx e in
+    let nc = lower st body 1 c in
+    let na = lower st body w a in
+    let nb = lower st body w b in
+    let o = fresh_net st body w "mux" in
+    add_prim st body (Ast.P_mux w)
+      [
+        { Ast.formal = "sel"; actual = nc };
+        { Ast.formal = "a"; actual = na };
+        { Ast.formal = "b"; actual = nb };
+        { Ast.formal = "o"; actual = o };
+      ];
+    o
+  | E_concat es ->
+    (* Fold left-to-right: {a, b, c} = {{a, b}, c}; MSB first as in
+       Verilog, so earlier elements occupy higher bits. *)
+    let lowered =
+      List.map (fun e -> (lower st body ctx e, expr_width st body ctx e)) es
+    in
+    (match lowered with
+    | [] -> fail st "empty concatenation"
+    | (first, _) :: rest ->
+      List.fold_left
+        (fun (acc_net : string) (net, w) ->
+          let wa = body_net_width st body acc_net in
+          let o = fresh_net st body (wa + w) "concat" in
+          add_prim st body (Ast.P_concat { wa; wb = w })
+            [
+              { Ast.formal = "a"; actual = acc_net };
+              { Ast.formal = "b"; actual = net };
+              { Ast.formal = "o"; actual = o };
+            ];
+          o)
+        first rest)
+  | E_slice (name, msb, lsb) ->
+    let src_w = body_net_width st body name in
+    if msb >= src_w || lsb > msb then
+      fail st (Printf.sprintf "slice %s[%d:%d] out of range (width %d)" name msb lsb src_w);
+    let out_width = msb - lsb + 1 in
+    let o = fresh_net st body out_width "slice" in
+    add_prim st body (Ast.P_slice { width = src_w; lo = lsb; out_width })
+      [ { Ast.formal = "a"; actual = name }; { Ast.formal = "o"; actual = o } ];
+    o
+
+(* ------------------------------------------------------------------ *)
+(* Declarations, instances, assigns                                    *)
+(* ------------------------------------------------------------------ *)
+
+let parse_range st =
+  if accept st Lexer.LBRACK then begin
+    let msb = const_expr st in
+    expect st Lexer.COLON;
+    let lsb = const_expr st in
+    expect st Lexer.RBRACK;
+    if lsb <> 0 then fail st "only [msb:0] ranges are supported in declarations";
+    msb + 1
+  end
+  else 1
+
+let parse_decl st body kind =
+  let width = parse_range st in
+  let rec names () =
+    let name = ident st in
+    (match kind with
+    | `Input -> body.ports <- (name, Ast.Input, width) :: body.ports
+    | `Output -> body.ports <- (name, Ast.Output, width) :: body.ports
+    | `Wire -> body.nets <- { Ast.net_name = name; net_width = width } :: body.nets);
+    if accept st Lexer.COMMA then names ()
+  in
+  names ();
+  expect st Lexer.SEMI
+
+let parse_params st =
+  if accept st Lexer.HASH then begin
+    expect st Lexer.LPAREN;
+    let rec loop acc =
+      expect st Lexer.DOT;
+      let name = ident st in
+      expect st Lexer.LPAREN;
+      let v = const_expr st in
+      expect st Lexer.RPAREN;
+      let acc = (name, v) :: acc in
+      if accept st Lexer.COMMA then loop acc
+      else begin
+        expect st Lexer.RPAREN;
+        List.rev acc
+      end
+    in
+    loop []
+  end
+  else []
+
+let parse_conns st =
+  expect st Lexer.LPAREN;
+  if accept st Lexer.RPAREN then []
+  else begin
+    let rec loop acc =
+      expect st Lexer.DOT;
+      let formal = ident st in
+      expect st Lexer.LPAREN;
+      let actual = ident st in
+      expect st Lexer.RPAREN;
+      let acc = { Ast.formal; actual } :: acc in
+      if accept st Lexer.COMMA then loop acc
+      else begin
+        expect st Lexer.RPAREN;
+        List.rev acc
+      end
+    in
+    loop []
+  end
+
+let param params name =
+  match List.assoc_opt name params with Some v -> Some v | None -> None
+
+let conn_width st body conns formal =
+  match List.find_opt (fun (c : Ast.conn) -> c.formal = formal) conns with
+  | Some c -> body_net_width st body c.actual
+  | None -> fail st (Printf.sprintf "primitive instance missing port %s" formal)
+
+let prim_of_master st body master params conns =
+  let w formal = conn_width st body conns formal in
+  let p name =
+    match param params name with
+    | Some v -> v
+    | None -> fail st (Printf.sprintf "missing parameter %s for %s" name master)
+  in
+  match master with
+  | "mlv_and" -> Ast.P_and (w "o")
+  | "mlv_or" -> Ast.P_or (w "o")
+  | "mlv_xor" -> Ast.P_xor (w "o")
+  | "mlv_not" -> Ast.P_not (w "o")
+  | "mlv_mux" -> Ast.P_mux (w "o")
+  | "mlv_add" -> Ast.P_add (w "o")
+  | "mlv_sub" -> Ast.P_sub (w "o")
+  | "mlv_mul" -> Ast.P_mul (w "o")
+  | "mlv_mac" -> Ast.P_mac (w "a")
+  | "mlv_reg" -> Ast.P_reg (w "q")
+  | "mlv_ram" -> Ast.P_ram { words = p "WORDS"; width = p "WIDTH" }
+  | "mlv_rom" -> Ast.P_rom { words = p "WORDS"; width = p "WIDTH" }
+  | "mlv_const" -> Ast.P_const { width = w "o"; value = p "VALUE" }
+  | "mlv_concat" -> Ast.P_concat { wa = w "a"; wb = w "b" }
+  | "mlv_slice" -> Ast.P_slice { width = w "a"; lo = p "LO"; out_width = w "o" }
+  | "mlv_cmp_lt" -> Ast.P_cmp_lt (w "a")
+  | "mlv_cmp_eq" -> Ast.P_cmp_eq (w "a")
+  | _ -> fail st (Printf.sprintf "unknown primitive %s" master)
+
+let parse_assign st body =
+  let lhs = ident st in
+  expect st Lexer.EQ;
+  let rhs = parse_expr st in
+  expect st Lexer.SEMI;
+  let width = body_net_width st body lhs in
+  let result = lower st body width rhs in
+  (* Tie the result net to the lhs with a zero-cost alias: a 1-input
+     or-gate would distort the census, so emit nothing when the lower
+     step already produced a named net we can rename.  Renaming is
+     fragile; instead connect through a P_slice identity which the
+     resource model prices at zero LUTs. *)
+  let rw = body_net_width st body result in
+  if rw <> width then
+    fail st (Printf.sprintf "assign %s: width mismatch (%d vs %d)" lhs width rw);
+  add_prim st body (Ast.P_slice { width; lo = 0; out_width = width })
+    [ { Ast.formal = "a"; actual = result }; { Ast.formal = "o"; actual = lhs } ]
+
+(* Monomorphize a parameterized module template for a concrete
+   parameter binding: substitute the parameter identifiers with
+   integer literals in the captured token stream, rename the module,
+   and parse the result as an ordinary module.  The elaborated name
+   is e.g. [fir$W16$T8]. *)
+let mangle name env =
+  name ^ String.concat "" (List.map (fun (p, v) -> Printf.sprintf "$%s%d" p v) env)
+
+let rec elaborate_template st master overrides =
+  let tpl = Hashtbl.find st.templates master in
+  List.iter
+    (fun (p, _) ->
+      if not (List.mem_assoc p tpl.tparams) then
+        fail st (Printf.sprintf "module %s has no parameter %s" master p))
+    overrides;
+  let env =
+    List.map
+      (fun (p, default) ->
+        (p, match List.assoc_opt p overrides with Some v -> v | None -> default))
+      tpl.tparams
+  in
+  let name = mangle master env in
+  if not (Design.mem st.design name) then begin
+    (* Substitute parameter identifiers with their values — except
+       directly after a dot, where an identifier is a formal (port or
+       parameter) name. *)
+    let substituted =
+      Array.mapi
+        (fun i (lt : Lexer.located) ->
+          match lt.Lexer.tok with
+          | Lexer.ID id when not (i > 0 && tpl.ttoks.(i - 1).Lexer.tok = Lexer.DOT) -> (
+            match List.assoc_opt id env with
+            | Some v -> { lt with Lexer.tok = Lexer.INT v }
+            | None -> lt)
+          | _ -> lt)
+        tpl.ttoks
+    in
+    let sub_st =
+      { toks = substituted; pos = 0; fresh = 0; design = st.design;
+        templates = st.templates }
+    in
+    let m = parse_module sub_st [] in
+    Design.add st.design { m with Ast.mod_name = name }
+  end;
+  name
+
+and parse_instance st body master =
+  let params = parse_params st in
+  let inst_name = ident st in
+  let conns = parse_conns st in
+  expect st Lexer.SEMI;
+  let m =
+    if String.length master >= 4 && String.sub master 0 4 = "mlv_" then
+      Ast.M_prim (prim_of_master st body master params conns)
+    else if Hashtbl.mem st.templates master then
+      Ast.M_module (elaborate_template st master params)
+    else begin
+      if params <> [] then
+        fail st (Printf.sprintf "module %s is not parameterized" master);
+      Ast.M_module master
+    end
+  in
+  body.instances <- { Ast.inst_name; master = m; conns } :: body.instances
+
+(* ------------------------------------------------------------------ *)
+(* Modules                                                             *)
+(* ------------------------------------------------------------------ *)
+
+and parse_module st attrs =
+  let name = ident st in
+  expect st Lexer.LPAREN;
+  let header_ports =
+    if cur st = Lexer.RPAREN then []
+    else begin
+      let rec loop acc =
+        let p = ident st in
+        if accept st Lexer.COMMA then loop (p :: acc) else List.rev (p :: acc)
+      in
+      loop []
+    end
+  in
+  expect st Lexer.RPAREN;
+  expect st Lexer.SEMI;
+  let body = { ports = []; nets = []; instances = []; header_ports } in
+  let rec items () =
+    match cur st with
+    | Lexer.ID "endmodule" -> advance st
+    | Lexer.ID "input" ->
+      advance st;
+      parse_decl st body `Input;
+      items ()
+    | Lexer.ID "output" ->
+      advance st;
+      parse_decl st body `Output;
+      items ()
+    | Lexer.ID "wire" ->
+      advance st;
+      parse_decl st body `Wire;
+      items ()
+    | Lexer.ID "assign" ->
+      advance st;
+      parse_assign st body;
+      items ()
+    | Lexer.ID master ->
+      advance st;
+      parse_instance st body master;
+      items ()
+    | t -> fail st (Printf.sprintf "unexpected %s in module body" (Lexer.describe t))
+  in
+  items ();
+  (* Ports must all be declared and every declared port listed. *)
+  let declared = List.rev body.ports in
+  List.iter
+    (fun hp ->
+      if not (List.exists (fun (n, _, _) -> n = hp) declared) then
+        fail st (Printf.sprintf "port %s of %s has no input/output declaration" hp name))
+    header_ports;
+  let ports =
+    List.map
+      (fun (port_name, dir, width) -> { Ast.port_name; dir; width })
+      declared
+  in
+  {
+    Ast.mod_name = name;
+    ports;
+    nets = List.rev body.nets;
+    instances = List.rev body.instances;
+    attrs;
+  }
+
+let parse_design st =
+  let rec loop pending_attrs =
+    match cur st with
+    | Lexer.EOF -> st.design
+    | Lexer.ATTR attrs ->
+      advance st;
+      loop (pending_attrs @ attrs)
+    | Lexer.ID "module" ->
+      advance st;
+      let name_tok_idx = st.pos in
+      let name = ident st in
+      if cur st = Lexer.HASH then begin
+        (* Parameterized module: capture the body as a template and
+           monomorphize on demand at each instantiation. *)
+        if pending_attrs <> [] then
+          fail st "attributes on parameterized modules are not supported";
+        advance st;
+        expect st Lexer.LPAREN;
+        let rec params acc =
+          let p = ident st in
+          expect st Lexer.EQ;
+          let v = const_expr st in
+          let acc = (p, v) :: acc in
+          if accept st Lexer.COMMA then params acc
+          else begin
+            expect st Lexer.RPAREN;
+            List.rev acc
+          end
+        in
+        let tparams = params [] in
+        let start = st.pos in
+        let rec skip () =
+          match cur st with
+          | Lexer.ID "endmodule" -> advance st
+          | Lexer.EOF -> fail st "unterminated parameterized module"
+          | _ ->
+            advance st;
+            skip ()
+        in
+        skip ();
+        let body = Array.sub st.toks start (st.pos - start) in
+        let name_tok = st.toks.(name_tok_idx) in
+        let eof = { name_tok with Lexer.tok = Lexer.EOF } in
+        Hashtbl.replace st.templates name
+          { tparams; ttoks = Array.concat [ [| name_tok |]; body; [| eof |] ] };
+        loop []
+      end
+      else begin
+        st.pos <- name_tok_idx;
+        let m = parse_module st pending_attrs in
+        Design.add st.design m;
+        loop []
+      end
+    | t -> fail st (Printf.sprintf "expected module but found %s" (Lexer.describe t))
+  in
+  loop []
+
+let parse_string ?(filename = "<string>") src =
+  match
+    let toks = Array.of_list (Lexer.tokenize src) in
+    parse_design
+      {
+        toks;
+        pos = 0;
+        fresh = 0;
+        design = Design.create ();
+        templates = Hashtbl.create 8;
+      }
+  with
+  | design -> Ok design
+  | exception Parse_error msg -> Error (Printf.sprintf "%s: %s" filename msg)
+  | exception Failure msg -> Error (Printf.sprintf "%s: %s" filename msg)
+  | exception Invalid_argument msg -> Error (Printf.sprintf "%s: %s" filename msg)
+
+let parse_file path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let src = really_input_string ic len in
+  close_in ic;
+  parse_string ~filename:path src

@@ -1,0 +1,30 @@
+(** Recursive-descent parser for a structural Verilog subset.
+
+    Accepted constructs:
+    - [module name (p1, p2, ...); ... endmodule], optionally preceded
+      by an attribute such as [(* control_path *)];
+    - [input]/[output]/[wire] declarations with an optional
+      [\[msb:lsb\]] range and comma-separated names;
+    - module instantiations with named port connections
+      [master #(.P(42)) inst (.port(net), ...);] where masters named
+      [mlv_*] denote built-in primitives;
+    - parameterized modules [module name #(W = 8, D = 4) (ports...);]
+      — instantiations monomorphize the template per parameter
+      binding (the elaborated copy is named e.g. [name$W16$D4] and
+      shared across identical instantiations); parameters may appear
+      in declaration ranges and parameter values, which accept
+      constant expressions over [+ - *] and parentheses;
+    - [assign lhs = expr;] where [expr] ranges over identifiers,
+      (sized) literals, [~ & | ^ + - * < ==], the ternary mux
+      [c ? a : b], concatenation [{a, b}] and constant bit-selects
+      [x\[msb:lsb\]] / [x\[i\]].  Assignments are lowered to primitive
+      instances during parsing, so the resulting IR is purely
+      structural. *)
+
+(** [parse_string ?filename src] parses the given source text into a
+    design.  Returns [Error msg] with a line-located message on
+    lexical, syntactic or width errors. *)
+val parse_string : ?filename:string -> string -> (Design.t, string) result
+
+(** [parse_file path] reads and parses [path]. *)
+val parse_file : string -> (Design.t, string) result

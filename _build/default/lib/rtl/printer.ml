@@ -1,0 +1,53 @@
+let range_of width = if width = 1 then "" else Printf.sprintf "[%d:0] " (width - 1)
+
+let prim_params (p : Ast.prim) =
+  match p with
+  | Ast.P_ram { words; width } | Ast.P_rom { words; width } ->
+    [ ("WORDS", words); ("WIDTH", width) ]
+  | Ast.P_const { value; _ } -> [ ("VALUE", value) ]
+  | Ast.P_slice { lo; _ } -> [ ("LO", lo) ]
+  | Ast.P_and _ | Ast.P_or _ | Ast.P_xor _ | Ast.P_not _ | Ast.P_mux _ | Ast.P_add _
+  | Ast.P_sub _ | Ast.P_mul _ | Ast.P_mac _ | Ast.P_reg _ | Ast.P_concat _
+  | Ast.P_cmp_lt _ | Ast.P_cmp_eq _ -> []
+
+let module_to_string (m : Ast.module_def) =
+  let buf = Buffer.create 512 in
+  let pf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  if m.attrs <> [] then pf "(* %s *)\n" (String.concat ", " m.attrs);
+  let port_names = List.map (fun (p : Ast.port) -> p.port_name) m.ports in
+  pf "module %s (%s);\n" m.mod_name (String.concat ", " port_names);
+  List.iter
+    (fun (p : Ast.port) ->
+      let kw = match p.dir with Ast.Input -> "input" | Ast.Output -> "output" in
+      pf "  %s %s%s;\n" kw (range_of p.width) p.port_name)
+    m.ports;
+  List.iter
+    (fun (n : Ast.net) -> pf "  wire %s%s;\n" (range_of n.net_width) n.net_name)
+    m.nets;
+  List.iter
+    (fun (inst : Ast.instance) ->
+      let master_name, params =
+        match inst.master with
+        | Ast.M_module name -> (name, [])
+        | Ast.M_prim p -> (Ast.prim_name p, prim_params p)
+      in
+      let params_str =
+        match params with
+        | [] -> ""
+        | ps ->
+          let entries = List.map (fun (k, v) -> Printf.sprintf ".%s(%d)" k v) ps in
+          Printf.sprintf " #(%s)" (String.concat ", " entries)
+      in
+      let conns =
+        List.map
+          (fun (c : Ast.conn) -> Printf.sprintf ".%s(%s)" c.formal c.actual)
+          inst.conns
+      in
+      pf "  %s%s %s (%s);\n" master_name params_str inst.inst_name
+        (String.concat ", " conns))
+    m.instances;
+  pf "endmodule\n";
+  Buffer.contents buf
+
+let design_to_string d =
+  Design.modules d |> List.map module_to_string |> String.concat "\n"

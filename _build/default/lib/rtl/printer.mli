@@ -1,0 +1,9 @@
+(** Emits a design back to the textual Verilog subset accepted by
+    {!Parser}, so generated accelerators can be inspected and
+    round-tripped in tests. *)
+
+(** [module_to_string m] renders one module. *)
+val module_to_string : Ast.module_def -> string
+
+(** [design_to_string d] renders every module in registration order. *)
+val design_to_string : Design.t -> string

@@ -1,0 +1,52 @@
+type t = {
+  modules : int;
+  basic_modules : int;
+  total_instances : int;
+  flat_primitives : int;
+  hierarchy_depth : int;
+  prim_histogram : (string * int) list;
+}
+
+let of_design design =
+  let top = Design.top design in
+  let modules = List.length (Design.modules design) in
+  let basic_modules = List.length (Design.basic_modules design) in
+  let total_instances =
+    List.fold_left
+      (fun acc (m : Ast.module_def) -> acc + List.length m.Ast.instances)
+      0 (Design.modules design)
+  in
+  let flat_primitives = Design.flat_instance_count design top.Ast.mod_name in
+  let rec depth name =
+    match Design.children design name with
+    | [] -> 1
+    | children -> 1 + List.fold_left (fun acc c -> max acc (depth c)) 0 children
+  in
+  let census = Design.prim_census design top.Ast.mod_name in
+  let by_name = Hashtbl.create 16 in
+  List.iter
+    (fun (p, n) ->
+      let name = Ast.prim_name p in
+      let cur = try Hashtbl.find by_name name with Not_found -> 0 in
+      Hashtbl.replace by_name name (cur + n))
+    census;
+  let prim_histogram =
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) by_name []
+    |> List.sort (fun (_, a) (_, b) -> compare b a)
+  in
+  {
+    modules;
+    basic_modules;
+    total_instances;
+    flat_primitives;
+    hierarchy_depth = depth top.Ast.mod_name;
+    prim_histogram;
+  }
+
+let pp fmt t =
+  Format.fprintf fmt "modules: %d (%d basic)@." t.modules t.basic_modules;
+  Format.fprintf fmt "instances: %d declared, %d primitives flattened@."
+    t.total_instances t.flat_primitives;
+  Format.fprintf fmt "hierarchy depth: %d@." t.hierarchy_depth;
+  Format.fprintf fmt "primitives:@.";
+  List.iter (fun (name, n) -> Format.fprintf fmt "  %-12s %d@." name n) t.prim_histogram

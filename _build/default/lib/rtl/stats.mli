@@ -1,0 +1,19 @@
+(** Design statistics for reports and the CLI. *)
+
+type t = {
+  modules : int;
+  basic_modules : int;
+  total_instances : int;  (** unflattened, across all modules *)
+  flat_primitives : int;  (** flattened under the top module *)
+  hierarchy_depth : int;  (** instantiation levels from the top *)
+  prim_histogram : (string * int) list;
+      (** flattened counts per primitive mnemonic, descending *)
+}
+
+(** [of_design design] computes statistics for the design's top
+    module.
+    @raise Failure when the design has no unique top. *)
+val of_design : Design.t -> t
+
+(** [pp] renders a short multi-line report. *)
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,177 @@
+let check_basic (m : Ast.module_def) =
+  if not (Ast.is_basic m) then
+    invalid_arg (Printf.sprintf "Transform: module %s is not basic" m.Ast.mod_name)
+
+let mask width v =
+  if width >= 63 then v else v land ((1 lsl width) - 1)
+
+let conn_net (inst : Ast.instance) formal =
+  match List.find_opt (fun (c : Ast.conn) -> c.Ast.formal = formal) inst.Ast.conns with
+  | Some c -> Some c.Ast.actual
+  | None -> None
+
+let prim_of (inst : Ast.instance) =
+  match inst.Ast.master with Ast.M_prim p -> p | Ast.M_module _ -> assert false
+
+(* Evaluate a combinational primitive over known-constant inputs.
+   Returns (output formal, width, value) or None when not foldable. *)
+let fold_prim value_of (inst : Ast.instance) =
+  let v formal = Option.bind (conn_net inst formal) value_of in
+  let open Ast in
+  match prim_of inst with
+  | P_and w -> (
+    match (v "a", v "b") with
+    | Some a, Some b -> Some ("o", w, mask w (a land b))
+    | _ -> None)
+  | P_or w -> (
+    match (v "a", v "b") with
+    | Some a, Some b -> Some ("o", w, mask w (a lor b))
+    | _ -> None)
+  | P_xor w -> (
+    match (v "a", v "b") with
+    | Some a, Some b -> Some ("o", w, mask w (a lxor b))
+    | _ -> None)
+  | P_not w -> (
+    match v "a" with Some a -> Some ("o", w, mask w (lnot a)) | None -> None)
+  | P_mux w -> (
+    match (v "sel", v "a", v "b") with
+    | Some s, Some a, Some b -> Some ("o", w, mask w (if s land 1 = 1 then a else b))
+    | _ -> None)
+  | P_add w -> (
+    match (v "a", v "b") with
+    | Some a, Some b -> Some ("o", w, mask w (a + b))
+    | _ -> None)
+  | P_sub w -> (
+    match (v "a", v "b") with
+    | Some a, Some b -> Some ("o", w, mask w (a - b))
+    | _ -> None)
+  | P_mul w -> (
+    match (v "a", v "b") with
+    | Some a, Some b -> Some ("o", w, mask w (a * b))
+    | _ -> None)
+  | P_cmp_lt _ -> (
+    match (v "a", v "b") with
+    | Some a, Some b -> Some ("o", 1, if a < b then 1 else 0)
+    | _ -> None)
+  | P_cmp_eq _ -> (
+    match (v "a", v "b") with
+    | Some a, Some b -> Some ("o", 1, if a = b then 1 else 0)
+    | _ -> None)
+  | P_concat { wa; wb } -> (
+    match (v "a", v "b") with
+    | Some a, Some b when wa + wb < 62 -> Some ("o", wa + wb, (a lsl wb) lor b)
+    | _ -> None)
+  | P_slice { lo; out_width; _ } -> (
+    match v "a" with
+    | Some a when lo < 62 -> Some ("o", out_width, mask out_width (a lsr lo))
+    | _ -> None)
+  (* State-holding primitives never fold. *)
+  | P_reg _ | P_ram _ | P_rom _ | P_mac _ | P_const _ -> None
+
+let constant_fold (m : Ast.module_def) =
+  check_basic m;
+  (* Net -> constant value, seeded by const drivers; iterate. *)
+  let const_nets : (string, int) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun (inst : Ast.instance) ->
+      match prim_of inst with
+      | Ast.P_const { value; width } -> (
+        match conn_net inst "o" with
+        | Some net -> Hashtbl.replace const_nets net (mask width value)
+        | None -> ())
+      | _ -> ())
+    m.Ast.instances;
+  let value_of net = Hashtbl.find_opt const_nets net in
+  let folded : (string, int * int) Hashtbl.t = Hashtbl.create 16 in
+  (* inst_name -> (width, value) *)
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun (inst : Ast.instance) ->
+        if not (Hashtbl.mem folded inst.Ast.inst_name) then begin
+          match prim_of inst with
+          | Ast.P_const _ -> ()
+          | _ -> (
+            match fold_prim value_of inst with
+            | Some (formal, width, value) -> (
+              match conn_net inst formal with
+              | Some net ->
+                Hashtbl.replace folded inst.Ast.inst_name (width, value);
+                Hashtbl.replace const_nets net value;
+                changed := true
+              | None -> ())
+            | None -> ())
+        end)
+      m.Ast.instances
+  done;
+  let instances =
+    List.map
+      (fun (inst : Ast.instance) ->
+        match Hashtbl.find_opt folded inst.Ast.inst_name with
+        | Some (width, value) ->
+          let out = Option.get (conn_net inst "o") in
+          {
+            Ast.inst_name = inst.Ast.inst_name;
+            master = Ast.M_prim (Ast.P_const { width; value });
+            conns = [ { Ast.formal = "o"; actual = out } ];
+          }
+        | None -> inst)
+      m.Ast.instances
+  in
+  { m with Ast.instances }
+
+let dead_prims (m : Ast.module_def) =
+  check_basic m;
+  (* Backward reachability from output ports over driver edges. *)
+  let live_nets : (string, unit) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun (p : Ast.port) ->
+      if p.Ast.dir = Ast.Output then Hashtbl.replace live_nets p.Ast.port_name ())
+    m.Ast.ports;
+  let insts = Array.of_list m.Ast.instances in
+  let live_inst = Array.make (Array.length insts) false in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Array.iteri
+      (fun i (inst : Ast.instance) ->
+        if not live_inst.(i) then begin
+          let ports = Ast.prim_ports (prim_of inst) in
+          let drives_live =
+            List.exists
+              (fun (c : Ast.conn) ->
+                match List.find_opt (fun (q : Ast.port) -> q.Ast.port_name = c.Ast.formal) ports with
+                | Some { Ast.dir = Ast.Output; _ } -> Hashtbl.mem live_nets c.Ast.actual
+                | _ -> false)
+              inst.Ast.conns
+          in
+          if drives_live then begin
+            live_inst.(i) <- true;
+            changed := true;
+            List.iter
+              (fun (c : Ast.conn) ->
+                match List.find_opt (fun (q : Ast.port) -> q.Ast.port_name = c.Ast.formal) ports with
+                | Some { Ast.dir = Ast.Input; _ } ->
+                  if not (Hashtbl.mem live_nets c.Ast.actual) then
+                    Hashtbl.replace live_nets c.Ast.actual ()
+                | _ -> ())
+              inst.Ast.conns
+          end
+        end)
+      insts
+  done;
+  let instances =
+    Array.to_list insts |> List.filteri (fun i _ -> live_inst.(i))
+  in
+  let nets =
+    List.filter (fun (n : Ast.net) -> Hashtbl.mem live_nets n.Ast.net_name) m.Ast.nets
+  in
+  { m with Ast.instances; nets }
+
+let rec simplify m =
+  let m' = dead_prims (constant_fold m) in
+  if List.length m'.Ast.instances = List.length m.Ast.instances then m' else simplify m'
+
+let removed ~before ~after =
+  List.length before.Ast.instances - List.length after.Ast.instances

@@ -1,0 +1,29 @@
+(** Semantics-preserving simplification of basic modules.
+
+    Generated RTL (and HLS output in general) carries foldable
+    constants and unobservable logic; running these passes before
+    decomposition shrinks the block graph and the resource
+    estimates without changing behaviour.
+
+    - [constant_fold] evaluates combinational primitives whose inputs
+      are all constant drivers and replaces them with constants;
+    - [dead_prims] removes primitives whose outputs cannot reach a
+      module output port;
+    - [simplify] iterates both to a fixpoint.
+
+    All three require a basic module and preserve its port
+    interface. *)
+
+(** [constant_fold m].
+    @raise Invalid_argument if [m] is not basic. *)
+val constant_fold : Ast.module_def -> Ast.module_def
+
+(** [dead_prims m].
+    @raise Invalid_argument if [m] is not basic. *)
+val dead_prims : Ast.module_def -> Ast.module_def
+
+(** [simplify m] = fixpoint of the above. *)
+val simplify : Ast.module_def -> Ast.module_def
+
+(** [removed ~before ~after] counts eliminated instances. *)
+val removed : before:Ast.module_def -> after:Ast.module_def -> int

@@ -1,0 +1,1 @@
+lib/sysim/sysim.mli: Deepbench Genset Mlv_core Mlv_workload

@@ -1,0 +1,229 @@
+open Mlv_workload
+module Runtime = Mlv_core.Runtime
+module Registry = Mlv_core.Registry
+module Framework = Mlv_core.Framework
+module Scale_out = Mlv_core.Scale_out
+module Config = Mlv_accel.Config
+module Perf = Mlv_accel.Perf
+module Device = Mlv_fpga.Device
+module Cluster = Mlv_cluster.Cluster
+module Node = Mlv_cluster.Node
+module Sim = Mlv_cluster.Sim
+module Rng = Mlv_util.Rng
+module Codegen = Mlv_isa.Codegen
+
+type config = {
+  policy : Runtime.policy;
+  composition : Genset.composition;
+  tasks : int;
+  mean_interarrival_us : float;
+  seed : int;
+  repeats_per_task : int;
+  slo_multiplier : float;
+}
+
+let default_config ~policy ~composition =
+  {
+    policy;
+    composition;
+    tasks = 120;
+    mean_interarrival_us = 200.0;
+    seed = 42;
+    repeats_per_task = 20;
+    slo_multiplier = 20.0;
+  }
+
+type result = {
+  completed : int;
+  makespan_us : float;
+  throughput_per_s : float;
+  mean_latency_us : float;
+  mean_wait_us : float;
+  mean_service_us : float;
+  p95_latency_us : float;
+  peak_queue : int;
+  latencies_us : float list;
+  slo_misses : int;
+}
+
+(* Ten accelerator instances (paper §4.3); the largest two exceed any
+   single device and exist purely as multi-FPGA deployments. *)
+let instance_tile_counts = [ 4; 6; 8; 10; 13; 16; 18; 21; 32; 42 ]
+
+let build_registry () =
+  Framework.npu_registry ~iterations:2 ~tile_counts:instance_tile_counts ()
+
+let tiles_needed point =
+  let words = Deepbench.weight_words point in
+  let bits = words * Config.stored_bits_per_weight in
+  (bits + Config.tile_weight_bits - 1) / Config.tile_weight_bits
+
+let max_single_device_tiles =
+  List.fold_left
+    (fun acc kind -> max acc (Mlv_accel.Resource_model.max_tiles (Device.get kind)))
+    0 Device.kinds
+
+let instance_for ~policy point =
+  let need = max 6 (tiles_needed point) in
+  let cap =
+    if policy.Runtime.whole_device then max_single_device_tiles else max_int
+  in
+  let candidates = List.filter (fun t -> t >= need && t <= cap) instance_tile_counts in
+  match candidates with
+  | t :: _ -> t
+  | [] ->
+    (* Oversized model under a single-device policy: take the largest
+       instance and stream the overflow from DRAM. *)
+    List.fold_left min max_int (List.filter (fun t -> t <= cap) instance_tile_counts)
+    |> fun smallest ->
+    List.fold_left (fun acc t -> if t <= cap then max acc t else acc) smallest
+      instance_tile_counts
+
+(* Modeled service time of one deployed inference task. *)
+let service_cache : (string, float) Hashtbl.t = Hashtbl.create 64
+
+let service_latency_us ~policy (point : Deepbench.point) (d : Runtime.deployment) =
+  let nodes = Runtime.nodes_used d in
+  let tiles = Runtime.tiles_deployed d in
+  let kinds =
+    List.map (fun (p : Runtime.placement) -> p.Runtime.bitstream.Mlv_vital.Bitstream.device)
+      d.Runtime.placements
+    |> List.sort_uniq compare
+  in
+  let device_kind = match kinds with k :: _ -> k | [] -> Device.XCVU37P in
+  (* Heterogeneous pieces: the barrier waits for the slowest device. *)
+  let partner_slowdown =
+    let fastest =
+      List.fold_left (fun acc k -> Float.max acc (Device.get k).Device.base_freq_mhz) 1.0 kinds
+    in
+    let slowest =
+      List.fold_left
+        (fun acc k -> Float.min acc (Device.get k).Device.base_freq_mhz)
+        infinity kinds
+    in
+    if slowest = infinity then 1.0 else fastest /. slowest
+  in
+  let key =
+    Printf.sprintf "%s/%d/%d/%s/%.2f/%b" (Deepbench.name point) tiles (List.length nodes)
+      (Device.kind_name device_kind) partner_slowdown policy.Runtime.whole_device
+  in
+  match Hashtbl.find_opt service_cache key with
+  | Some v -> v
+  | None ->
+    let device = Device.get device_kind in
+    let mem_kind = if device.Device.has_uram then Config.Bram_uram else Config.Bram_only in
+    let v =
+      if List.length nodes >= 2 then begin
+        (* Scale-out across the allocated nodes with the overlap
+           optimization. *)
+        let parts = List.length nodes in
+        let per_part = max 1 (tiles / parts) in
+        let cfg = Config.make ~tiles:per_part ~mem_kind () in
+        (* parts must divide hidden for the slice layout; fall back
+           to 2 when it does not. *)
+        let parts = if point.Deepbench.hidden mod parts = 0 then parts else 2 in
+        Scale_out.multi_fpga_latency_us ~partner_slowdown ~parts ~config:cfg ~device
+          ~added_latency_us:0.0 ~reordered:true point.Deepbench.kind
+          ~hidden:point.Deepbench.hidden ~input:point.Deepbench.hidden
+          ~timesteps:point.Deepbench.timesteps
+      end
+      else begin
+        let cfg = Config.make ~tiles ~mem_kind () in
+        let program, _ =
+          Codegen.generate point.Deepbench.kind ~hidden:point.Deepbench.hidden
+            ~input:point.Deepbench.hidden ~timesteps:point.Deepbench.timesteps
+        in
+        let deploy =
+          if policy.Runtime.whole_device then Perf.bare
+          else begin
+            let vbs =
+              List.fold_left
+                (fun acc p -> acc + p.Runtime.bitstream.Mlv_vital.Bitstream.vbs)
+                0 d.Runtime.placements
+            in
+            Perf.vital_deploy ~virtual_blocks:vbs ~pattern_aware:true
+          end
+        in
+        (Perf.program_latency cfg device ~deploy program).Perf.total_us
+      end
+    in
+    Hashtbl.replace service_cache key v;
+    v
+
+type pending = { task : Genset.task; accel : string }
+
+let run ~registry cfg =
+  let cluster = Cluster.create () in
+  let runtime = Runtime.create ~policy:cfg.policy cluster registry in
+  let sim = cluster.Cluster.sim in
+  let rng = Rng.create cfg.seed in
+  let tasks =
+    Genset.generate ~rng ~composition:cfg.composition ~tasks:cfg.tasks
+      ~mean_interarrival_us:cfg.mean_interarrival_us
+  in
+  let queue : pending Queue.t = Queue.create () in
+  let completed = ref 0 in
+  let latencies = ref [] in
+  let waits = ref [] in
+  let services = ref [] in
+  let peak_queue = ref 0 in
+  let slo_misses = ref 0 in
+  let makespan = ref 0.0 in
+  let rec try_start () =
+    if not (Queue.is_empty queue) then begin
+      let p = Queue.peek queue in
+      match Runtime.deploy runtime ~accel:p.accel with
+      | Error _ -> () (* head blocks; FIFO to avoid starvation *)
+      | Ok d ->
+        ignore (Queue.pop queue);
+        let now = Sim.now sim in
+        waits := now -. p.task.Genset.arrival_us :: !waits;
+        let service =
+          d.Runtime.reconfig_us
+          +. (float_of_int cfg.repeats_per_task
+             *. service_latency_us ~policy:cfg.policy p.task.Genset.point d)
+        in
+        services := service :: !services;
+        Sim.schedule sim ~delay:service (fun () ->
+            Runtime.undeploy runtime d;
+            incr completed;
+            let finished = Sim.now sim in
+            let sojourn = finished -. p.task.Genset.arrival_us in
+            latencies := sojourn :: !latencies;
+            (* SLO: a task should finish within slo_multiplier x its
+               unqueued service time. *)
+            if sojourn > cfg.slo_multiplier *. service then incr slo_misses;
+            makespan := Float.max !makespan finished;
+            try_start ());
+        try_start ()
+    end
+  in
+  List.iter
+    (fun (task : Genset.task) ->
+      Sim.schedule_at sim ~at:task.Genset.arrival_us (fun () ->
+          let accel =
+            Framework.accel_name
+              ~tiles:(instance_for ~policy:cfg.policy task.Genset.point)
+          in
+          Queue.add { task; accel } queue;
+          peak_queue := max !peak_queue (Queue.length queue);
+          try_start ()))
+    tasks;
+  Sim.run sim;
+  let mean xs = Mlv_util.Stats.mean xs in
+  let p95 =
+    match !latencies with [] -> 0.0 | xs -> Mlv_util.Stats.percentile 95.0 xs
+  in
+  {
+    completed = !completed;
+    makespan_us = !makespan;
+    throughput_per_s =
+      (if !makespan > 0.0 then float_of_int !completed /. (!makespan /. 1e6) else 0.0);
+    mean_latency_us = mean !latencies;
+    mean_wait_us = mean !waits;
+    mean_service_us = mean !services;
+    p95_latency_us = p95;
+    peak_queue = !peak_queue;
+    latencies_us = List.rev !latencies;
+    slo_misses = !slo_misses;
+  }

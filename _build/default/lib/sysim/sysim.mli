@@ -1,0 +1,58 @@
+(** System-level simulation: a workload set played against the
+    heterogeneous cluster under a runtime policy (paper §4.4,
+    Fig. 12).
+
+    Tasks arrive over time; each selects the smallest accelerator
+    instance whose on-chip weight capacity covers its model, asks the
+    system controller to deploy it, runs for its modeled inference
+    latency, and releases its resources.  Tasks that cannot be placed
+    queue FIFO.  Everything is deterministic given the seed. *)
+
+open Mlv_workload
+
+type config = {
+  policy : Mlv_core.Runtime.policy;
+  composition : Genset.composition;
+  tasks : int;
+  mean_interarrival_us : float;
+  seed : int;
+  repeats_per_task : int;
+      (** inferences served per deployment (amortizes reconfiguration,
+          as a real serving system would) *)
+  slo_multiplier : float;
+      (** a task misses its service-level objective when its sojourn
+          exceeds this multiple of its unqueued service time *)
+}
+
+(** [default_config ~policy ~composition] gives 120 tasks, 200 µs
+    mean inter-arrival, 20 inferences per deployment, seed 42. *)
+val default_config :
+  policy:Mlv_core.Runtime.policy -> composition:Genset.composition -> config
+
+type result = {
+  completed : int;
+  makespan_us : float;
+  throughput_per_s : float;  (** completed tasks / makespan *)
+  mean_latency_us : float;  (** arrival to completion *)
+  mean_wait_us : float;  (** arrival to deployment *)
+  mean_service_us : float;
+  p95_latency_us : float;
+  peak_queue : int;
+  latencies_us : float list;  (** per task, completion order *)
+  slo_misses : int;
+}
+
+(** The accelerator instances compiled into the mapping database —
+    ten tile counts, as in the paper's evaluation (§4.3). *)
+val instance_tile_counts : int list
+
+(** [build_registry ()] compiles every instance (expensive; share the
+    result across runs). *)
+val build_registry : unit -> Mlv_core.Registry.t
+
+(** [instance_for ~policy point] selects the registry instance a task
+    of this benchmark point requests. *)
+val instance_for : policy:Mlv_core.Runtime.policy -> Deepbench.point -> int
+
+(** [run ~registry config] plays the workload to completion. *)
+val run : registry:Mlv_core.Registry.t -> config -> result

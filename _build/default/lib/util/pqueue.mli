@@ -1,0 +1,28 @@
+(** Mutable binary-heap priority queue keyed by float priority
+    (lowest priority pops first).  Ties are broken by insertion order
+    so that the discrete-event simulator is deterministic. *)
+
+type 'a t
+
+(** [create ()] is an empty queue. *)
+val create : unit -> 'a t
+
+(** [length t] is the number of queued elements. *)
+val length : 'a t -> int
+
+(** [is_empty t] is [length t = 0]. *)
+val is_empty : 'a t -> bool
+
+(** [push t priority v] inserts [v]. *)
+val push : 'a t -> float -> 'a -> unit
+
+(** [pop t] removes and returns the minimum-priority element with its
+    priority, or [None] when empty.  Equal priorities pop in insertion
+    order (FIFO). *)
+val pop : 'a t -> (float * 'a) option
+
+(** [peek t] returns the minimum without removing it. *)
+val peek : 'a t -> (float * 'a) option
+
+(** [clear t] removes every element. *)
+val clear : 'a t -> unit

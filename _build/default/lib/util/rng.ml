@@ -1,0 +1,54 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let mix64 z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let create seed = { state = mix64 (Int64.of_int seed) }
+
+let bits64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix64 t.state
+
+let split t =
+  let s = bits64 t in
+  { state = mix64 s }
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* Mask to the native 63-bit non-negative range before reducing. *)
+  let r = Int64.to_int (Int64.logand (bits64 t) (Int64.of_int max_int)) in
+  r mod bound
+
+let float t bound =
+  let r = Int64.to_float (Int64.shift_right_logical (bits64 t) 11) in
+  (* 53 significant bits, same construction as Random.float *)
+  r /. 9007199254740992.0 *. bound
+
+let bool t = Int64.logand (bits64 t) 1L = 1L
+
+let exponential t ~mean =
+  let u = float t 1.0 in
+  (* Avoid log 0 *)
+  let u = if u <= 0.0 then 1e-12 else u in
+  -.mean *. log u
+
+let gaussian t ~mu ~sigma =
+  let u1 = max 1e-12 (float t 1.0) in
+  let u2 = float t 1.0 in
+  mu +. (sigma *. sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2))
+
+let shuffle t arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done
+
+let choose t = function
+  | [] -> invalid_arg "Rng.choose: empty list"
+  | lst -> List.nth lst (int t (List.length lst))

@@ -1,0 +1,63 @@
+let mean = function
+  | [] -> 0.0
+  | xs -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+let stddev = function
+  | [] | [ _ ] -> 0.0
+  | xs ->
+    let m = mean xs in
+    let sq = List.fold_left (fun acc x -> acc +. ((x -. m) ** 2.0)) 0.0 xs in
+    sqrt (sq /. float_of_int (List.length xs))
+
+let percentile p = function
+  | [] -> invalid_arg "Stats.percentile: empty list"
+  | xs ->
+    if p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile: p out of range";
+    let arr = Array.of_list xs in
+    Array.sort compare arr;
+    let n = Array.length arr in
+    let rank = p /. 100.0 *. float_of_int (n - 1) in
+    let lo = int_of_float (floor rank) in
+    let hi = int_of_float (ceil rank) in
+    if lo = hi then arr.(lo)
+    else begin
+      let w = rank -. float_of_int lo in
+      (arr.(lo) *. (1.0 -. w)) +. (arr.(hi) *. w)
+    end
+
+let median xs = percentile 50.0 xs
+
+let geomean = function
+  | [] -> invalid_arg "Stats.geomean: empty list"
+  | xs ->
+    let sum_log =
+      List.fold_left
+        (fun acc x ->
+          if x <= 0.0 then invalid_arg "Stats.geomean: non-positive sample";
+          acc +. log x)
+        0.0 xs
+    in
+    exp (sum_log /. float_of_int (List.length xs))
+
+module Acc = struct
+  type t = {
+    mutable count : int;
+    mutable sum : float;
+    mutable min : float;
+    mutable max : float;
+  }
+
+  let create () = { count = 0; sum = 0.0; min = infinity; max = neg_infinity }
+
+  let add t x =
+    t.count <- t.count + 1;
+    t.sum <- t.sum +. x;
+    if x < t.min then t.min <- x;
+    if x > t.max then t.max <- x
+
+  let count t = t.count
+  let mean t = if t.count = 0 then 0.0 else t.sum /. float_of_int t.count
+  let min t = t.min
+  let max t = t.max
+  let sum t = t.sum
+end

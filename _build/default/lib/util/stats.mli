@@ -1,0 +1,35 @@
+(** Small statistics helpers used by the benchmark harness and the
+    runtime metrics collector. *)
+
+(** [mean xs] is the arithmetic mean; 0 on the empty list. *)
+val mean : float list -> float
+
+(** [stddev xs] is the population standard deviation; 0 if fewer than
+    two samples. *)
+val stddev : float list -> float
+
+(** [percentile p xs] is the [p]-th percentile (0 <= p <= 100) using
+    linear interpolation between closest ranks.
+    @raise Invalid_argument on the empty list or out-of-range [p]. *)
+val percentile : float -> float list -> float
+
+(** [median xs] is [percentile 50. xs]. *)
+val median : float list -> float
+
+(** [geomean xs] is the geometric mean of strictly positive samples.
+    @raise Invalid_argument if any sample is non-positive or the list
+    is empty. *)
+val geomean : float list -> float
+
+(** Streaming accumulator: O(1) space mean / min / max / count. *)
+module Acc : sig
+  type t
+
+  val create : unit -> t
+  val add : t -> float -> unit
+  val count : t -> int
+  val mean : t -> float
+  val min : t -> float
+  val max : t -> float
+  val sum : t -> float
+end

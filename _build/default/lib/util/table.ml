@@ -1,0 +1,83 @@
+type align = Left | Right
+type row = Cells of string list | Sep
+
+type t = {
+  title : string option;
+  headers : string list;
+  ncols : int;
+  mutable aligns : align array;
+  mutable rows : row list; (* reversed *)
+}
+
+let create ?title headers =
+  let ncols = List.length headers in
+  let aligns = Array.make (max 1 ncols) Right in
+  if ncols > 0 then aligns.(0) <- Left;
+  { title; headers; ncols; aligns; rows = [] }
+
+let set_align t col align = t.aligns.(col) <- align
+
+let add_row t cells =
+  if List.length cells <> t.ncols then
+    invalid_arg "Table.add_row: arity mismatch";
+  t.rows <- Cells cells :: t.rows
+
+let add_sep t = t.rows <- Sep :: t.rows
+
+let pad align width s =
+  let n = String.length s in
+  if n >= width then s
+  else begin
+    let fill = String.make (width - n) ' ' in
+    match align with Left -> s ^ fill | Right -> fill ^ s
+  end
+
+let render t =
+  let rows = List.rev t.rows in
+  let widths = Array.make t.ncols 0 in
+  let measure cells =
+    List.iteri (fun i c -> widths.(i) <- max widths.(i) (String.length c)) cells
+  in
+  measure t.headers;
+  List.iter (function Cells c -> measure c | Sep -> ()) rows;
+  let buf = Buffer.create 256 in
+  let hline () =
+    Buffer.add_char buf '+';
+    Array.iter
+      (fun w ->
+        Buffer.add_string buf (String.make (w + 2) '-');
+        Buffer.add_char buf '+')
+      widths;
+    Buffer.add_char buf '\n'
+  in
+  let emit cells =
+    Buffer.add_char buf '|';
+    List.iteri
+      (fun i c ->
+        Buffer.add_char buf ' ';
+        Buffer.add_string buf (pad t.aligns.(i) widths.(i) c);
+        Buffer.add_string buf " |")
+      cells;
+    Buffer.add_char buf '\n'
+  in
+  (match t.title with
+  | Some title ->
+    Buffer.add_string buf title;
+    Buffer.add_char buf '\n'
+  | None -> ());
+  hline ();
+  emit t.headers;
+  hline ();
+  List.iter (function Cells c -> emit c | Sep -> hline ()) rows;
+  hline ();
+  Buffer.contents buf
+
+let print t = print_string (render t)
+
+let fmt_float ?(digits = 4) x =
+  let s = Printf.sprintf "%.*f" digits x in
+  (* Trim trailing zeros but keep at least one decimal. *)
+  let rec trim i = if i > 0 && s.[i] = '0' && s.[i - 1] <> '.' then trim (i - 1) else i in
+  if String.contains s '.' then String.sub s 0 (trim (String.length s - 1) + 1) else s
+
+let fmt_pct x = Printf.sprintf "%.1f%%" (x *. 100.0)

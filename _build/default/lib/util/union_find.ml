@@ -1,0 +1,42 @@
+type t = { parent : int array; rank : int array }
+
+let create n = { parent = Array.init n (fun i -> i); rank = Array.make n 0 }
+
+let rec find t i =
+  let p = t.parent.(i) in
+  if p = i then i
+  else begin
+    let root = find t p in
+    t.parent.(i) <- root;
+    root
+  end
+
+let union t i j =
+  let ri = find t i and rj = find t j in
+  if ri = rj then ri
+  else if t.rank.(ri) < t.rank.(rj) then begin
+    t.parent.(ri) <- rj;
+    rj
+  end
+  else if t.rank.(ri) > t.rank.(rj) then begin
+    t.parent.(rj) <- ri;
+    ri
+  end
+  else begin
+    t.parent.(rj) <- ri;
+    t.rank.(ri) <- t.rank.(ri) + 1;
+    ri
+  end
+
+let same t i j = find t i = find t j
+
+let groups t =
+  let tbl = Hashtbl.create 16 in
+  let n = Array.length t.parent in
+  for i = n - 1 downto 0 do
+    let r = find t i in
+    let members = try Hashtbl.find tbl r with Not_found -> [] in
+    Hashtbl.replace tbl r (i :: members)
+  done;
+  Hashtbl.fold (fun r members acc -> (r, members) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)

@@ -1,0 +1,21 @@
+(** Classic disjoint-set forest with path compression and union by
+    rank.  Used by the decomposer to cluster equivalent soft blocks. *)
+
+type t
+
+(** [create n] makes [n] singleton sets labelled [0 .. n-1]. *)
+val create : int -> t
+
+(** [find t i] is the canonical representative of [i]'s set. *)
+val find : t -> int -> int
+
+(** [union t i j] merges the sets of [i] and [j]; returns the
+    representative of the merged set. *)
+val union : t -> int -> int -> int
+
+(** [same t i j] tests whether [i] and [j] are in the same set. *)
+val same : t -> int -> int -> bool
+
+(** [groups t] lists the sets as (representative, members) with members
+    in increasing order. *)
+val groups : t -> (int * int list) list

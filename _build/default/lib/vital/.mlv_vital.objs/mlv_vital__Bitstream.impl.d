@@ -1,0 +1,1 @@
+lib/vital/bitstream.ml: Device Format Mlv_fpga Printf

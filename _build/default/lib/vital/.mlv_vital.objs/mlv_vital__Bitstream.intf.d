@@ -1,0 +1,1 @@
+lib/vital/bitstream.mli: Device Format Mlv_fpga

@@ -1,0 +1,1 @@
+lib/vital/compile.ml: Array Device Hashtbl List Mlv_fpga Printf Resource Virtual_block

@@ -1,0 +1,1 @@
+lib/vital/compile.mli: Device Mlv_fpga Resource

@@ -1,0 +1,1 @@
+lib/vital/controller.mli: Bitstream Device Mlv_fpga

@@ -1,0 +1,1 @@
+lib/vital/virtual_block.ml: Device Mlv_fpga Resource

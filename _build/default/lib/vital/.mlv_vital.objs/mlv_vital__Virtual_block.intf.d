@@ -1,0 +1,1 @@
+lib/vital/virtual_block.mli: Device Mlv_fpga Resource

@@ -1,0 +1,20 @@
+open Mlv_fpga
+
+type t = {
+  accel_name : string;
+  partition_id : string;
+  device : Device.kind;
+  vbs : int;
+  crossings : int;
+  freq_mhz : float;
+  tiles : int;
+}
+
+let make ~accel_name ~partition_id ~device ~vbs ~crossings ~freq_mhz ~tiles =
+  { accel_name; partition_id; device; vbs; crossings; freq_mhz; tiles }
+
+let id t = Printf.sprintf "%s/%s@%s" t.accel_name t.partition_id (Device.kind_name t.device)
+
+let pp fmt t =
+  Format.fprintf fmt "%s{vbs=%d; crossings=%d; %.0fMHz; tiles=%d}" (id t) t.vbs
+    t.crossings t.freq_mhz t.tiles

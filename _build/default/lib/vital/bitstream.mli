@@ -1,0 +1,34 @@
+(** Compiled deployment artifacts.
+
+    One bitstream is the result of mapping one partition (a cluster
+    of soft blocks) onto one device type's virtual blocks.  The
+    mapping database of the runtime (paper Fig. 7) stores, per
+    accelerator, one bitstream per (partition, device type) pair so
+    deployment never recompiles. *)
+
+open Mlv_fpga
+
+type t = {
+  accel_name : string;  (** the accelerator this belongs to *)
+  partition_id : string;  (** which partition unit, e.g. ["p2/0"] *)
+  device : Device.kind;
+  vbs : int;  (** virtual blocks occupied *)
+  crossings : int;
+  freq_mhz : float;
+  tiles : int;  (** engines contained in this partition *)
+}
+
+val make :
+  accel_name:string ->
+  partition_id:string ->
+  device:Device.kind ->
+  vbs:int ->
+  crossings:int ->
+  freq_mhz:float ->
+  tiles:int ->
+  t
+
+(** [id t] is a unique key, e.g. ["npu-t21/p2/0@XCVU37P"]. *)
+val id : t -> string
+
+val pp : Format.formatter -> t -> unit

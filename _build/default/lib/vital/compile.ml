@@ -1,0 +1,189 @@
+open Mlv_fpga
+
+type unit_req = { unit_name : string; resources : Resource.t; replicas : int }
+type placement = { unit_name : string; replica : int; vb_index : int }
+
+type mapping = {
+  device : Device.kind;
+  placements : placement list;
+  vbs_used : int;
+  crossings : int;
+  freq_mhz : float;
+  per_vb_used : Resource.t array;
+}
+
+type strategy = Pipeline_order | Best_fit_decreasing
+
+(* Scalar size of a unit relative to the region: the max component
+   ratio, i.e. the bin-packing 'height'. *)
+let size_of region r = Resource.utilization ~used:r ~cap:region
+
+let compile_bfd kind units =
+  let region = Virtual_block.region kind in
+  let max_vbs = Virtual_block.count kind in
+  let items =
+    List.concat_map
+      (fun (u : unit_req) ->
+        List.init u.replicas (fun replica -> (u, replica)))
+      units
+  in
+  (* Remember pipeline order for the crossing count. *)
+  let order_index = Hashtbl.create 32 in
+  List.iteri
+    (fun i ((u : unit_req), replica) -> Hashtbl.replace order_index (u.unit_name, replica) i)
+    items;
+  let sorted =
+    List.sort
+      (fun ((a : unit_req), _) (b, _) ->
+        compare (size_of region b.resources) (size_of region a.resources))
+      items
+  in
+  let per_vb = Array.make max_vbs Resource.zero in
+  let used = ref 0 in
+  let placements = ref [] in
+  let error = ref None in
+  List.iter
+    (fun ((u : unit_req), replica) ->
+      if !error = None then begin
+        if not (Resource.fits ~need:u.resources ~avail:region) then
+          error :=
+            Some
+              (Printf.sprintf "unit %s exceeds one virtual block region on %s" u.unit_name
+                 (Device.kind_name kind))
+        else begin
+          (* best fit: the open bin with the least residual that fits *)
+          let best = ref (-1) in
+          let best_resid = ref infinity in
+          for i = 0 to !used - 1 do
+            if Resource.fits ~need:(Resource.add per_vb.(i) u.resources) ~avail:region
+            then begin
+              let resid =
+                1.0 -. size_of region (Resource.add per_vb.(i) u.resources)
+              in
+              if resid < !best_resid then begin
+                best := i;
+                best_resid := resid
+              end
+            end
+          done;
+          let bin =
+            if !best >= 0 then !best
+            else if !used < max_vbs then begin
+              incr used;
+              !used - 1
+            end
+            else -1
+          in
+          if bin < 0 then
+            error :=
+              Some
+                (Printf.sprintf "out of virtual blocks on %s (%d available)"
+                   (Device.kind_name kind) max_vbs)
+          else begin
+            per_vb.(bin) <- Resource.add per_vb.(bin) u.resources;
+            placements := { unit_name = u.unit_name; replica; vb_index = bin } :: !placements
+          end
+        end
+      end)
+    sorted;
+  match !error with
+  | Some msg -> Error msg
+  | None ->
+    (* crossings over the original pipeline order *)
+    let by_order =
+      List.sort
+        (fun a b ->
+          compare
+            (Hashtbl.find order_index (a.unit_name, a.replica))
+            (Hashtbl.find order_index (b.unit_name, b.replica)))
+        !placements
+    in
+    let crossings = ref 0 in
+    let rec count = function
+      | a :: (b :: _ as rest) ->
+        if a.vb_index <> b.vb_index then incr crossings;
+        count rest
+      | _ -> ()
+    in
+    count by_order;
+    Ok
+      {
+        device = kind;
+        placements = by_order;
+        vbs_used = !used;
+        crossings = !crossings;
+        freq_mhz = (Device.get kind).Device.base_freq_mhz;
+        per_vb_used = Array.sub per_vb 0 (max 1 !used);
+      }
+
+let compile ?(strategy = Pipeline_order) kind units =
+  match strategy with Best_fit_decreasing -> compile_bfd kind units | Pipeline_order ->
+  let region = Virtual_block.region kind in
+  let max_vbs = Virtual_block.count kind in
+  let per_vb = Array.make max_vbs Resource.zero in
+  let placements = ref [] in
+  let crossings = ref 0 in
+  let current = ref 0 in
+  let prev_vb = ref (-1) in
+  let error = ref None in
+  let place (u : unit_req) replica =
+    if !error = None then begin
+      if not (Resource.fits ~need:u.resources ~avail:region) then
+        error :=
+          Some
+            (Printf.sprintf "unit %s exceeds one virtual block region on %s" u.unit_name
+               (Device.kind_name kind))
+      else begin
+        (* First-fit starting from the current block so pipeline
+           neighbours co-locate. *)
+        let rec find i =
+          if i >= max_vbs then None
+          else if
+            Resource.fits
+              ~need:(Resource.add per_vb.(i) u.resources)
+              ~avail:region
+          then Some i
+          else find (i + 1)
+        in
+        match find !current with
+        | None ->
+          error :=
+            Some
+              (Printf.sprintf "out of virtual blocks on %s (%d available)"
+                 (Device.kind_name kind) max_vbs)
+        | Some i ->
+          per_vb.(i) <- Resource.add per_vb.(i) u.resources;
+          current := i;
+          placements := { unit_name = u.unit_name; replica; vb_index = i } :: !placements;
+          if !prev_vb >= 0 && !prev_vb <> i then incr crossings;
+          prev_vb := i
+      end
+    end
+  in
+  List.iter
+    (fun u ->
+      for replica = 0 to u.replicas - 1 do
+        place u replica
+      done)
+    units;
+  match !error with
+  | Some msg -> Error msg
+  | None ->
+    let vbs_used =
+      Array.fold_left
+        (fun acc r -> if Resource.equal r Resource.zero then acc else acc + 1)
+        0 per_vb
+    in
+    let freq_mhz = (Device.get kind).Device.base_freq_mhz in
+    Ok
+      {
+        device = kind;
+        placements = List.rev !placements;
+        vbs_used;
+        crossings = !crossings;
+        freq_mhz;
+        per_vb_used = Array.sub per_vb 0 (max 1 vbs_used);
+      }
+
+let vbs_needed kind units =
+  match compile kind units with Ok r -> Some r.vbs_used | Error _ -> None

@@ -1,0 +1,46 @@
+(** Mapping placeable units onto virtual blocks.
+
+    The framework's partitioning step hands this compiler a list of
+    units (soft-block clusters with resource annotations, in pipeline
+    order); the compiler bin-packs them into virtual blocks
+    (first-fit in order, so pipeline neighbours share blocks) and
+    reports how many blocks the deployment needs and how many
+    inter-block crossings the pipeline suffers — the quantity the
+    latency-insensitive-interface overhead scales with. *)
+
+open Mlv_fpga
+
+(** One placeable unit. *)
+type unit_req = {
+  unit_name : string;
+  resources : Resource.t;
+  replicas : int;  (** identical copies (a data-parallel group) *)
+}
+
+type placement = { unit_name : string; replica : int; vb_index : int }
+
+type mapping = {
+  device : Device.kind;
+  placements : placement list;
+  vbs_used : int;
+  crossings : int;  (** pipeline edges that cross a block boundary *)
+  freq_mhz : float;
+  per_vb_used : Resource.t array;
+}
+
+(** Packing strategies.  [Pipeline_order] (default) first-fits units
+    in pipeline order so neighbours co-locate — it minimizes
+    latency-insensitive-interface crossings.  [Best_fit_decreasing]
+    is the classical bin-packing heuristic — it can squeeze a mapping
+    into fewer blocks at the price of more crossings. *)
+type strategy = Pipeline_order | Best_fit_decreasing
+
+(** [compile ?strategy kind units] maps [units] (in pipeline order)
+    onto the device type's virtual blocks.  Returns [Error reason]
+    when a unit exceeds a whole region or the device runs out of
+    blocks. *)
+val compile : ?strategy:strategy -> Device.kind -> unit_req list -> (mapping, string) result
+
+(** [vbs_needed kind units] is just the block count (or [None] if
+    infeasible) — the runtime's feasibility query. *)
+val vbs_needed : Device.kind -> unit_req list -> int option

@@ -1,0 +1,77 @@
+open Mlv_fpga
+
+type handle = { hid : int; owner : int }
+
+type entry = { bitstream : Bitstream.t; vb_indices : int list }
+
+type t = {
+  kind : Device.kind;
+  uid : int;
+  occupied : bool array;
+  table : (int, entry) Hashtbl.t;
+  mutable next_hid : int;
+}
+
+let uid_counter = ref 0
+
+let create kind =
+  incr uid_counter;
+  {
+    kind;
+    uid = !uid_counter;
+    occupied = Array.make (Virtual_block.count kind) false;
+    table = Hashtbl.create 8;
+    next_hid = 0;
+  }
+
+let device t = t.kind
+let total_vbs t = Array.length t.occupied
+
+let free_vbs t =
+  Array.fold_left (fun acc o -> if o then acc else acc + 1) 0 t.occupied
+
+(* Partial reconfiguration streams ~30 MB per region over PCIe. *)
+let reconfig_time_us kind ~vbs =
+  let bytes_per_region =
+    match kind with Device.XCVU37P -> 30_000_000 | Device.XCKU115 -> 18_000_000
+  in
+  Board.pcie_transfer_time_us Board.default ~bytes:(vbs * bytes_per_region)
+
+let load t (b : Bitstream.t) =
+  if not (Device.equal_kind b.Bitstream.device t.kind) then
+    Error
+      (Printf.sprintf "bitstream %s targets %s, device is %s" (Bitstream.id b)
+         (Device.kind_name b.Bitstream.device)
+         (Device.kind_name t.kind))
+  else if free_vbs t < b.Bitstream.vbs then
+    Error
+      (Printf.sprintf "device has %d free virtual blocks, bitstream needs %d"
+         (free_vbs t) b.Bitstream.vbs)
+  else begin
+    let indices = ref [] in
+    let needed = ref b.Bitstream.vbs in
+    Array.iteri
+      (fun i occ ->
+        if (not occ) && !needed > 0 then begin
+          t.occupied.(i) <- true;
+          indices := i :: !indices;
+          decr needed
+        end)
+      t.occupied;
+    let hid = t.next_hid in
+    t.next_hid <- t.next_hid + 1;
+    Hashtbl.replace t.table hid { bitstream = b; vb_indices = !indices };
+    Ok ({ hid; owner = t.uid }, reconfig_time_us t.kind ~vbs:b.Bitstream.vbs)
+  end
+
+let unload t (h : handle) =
+  if h.owner <> t.uid then invalid_arg "Controller.unload: foreign handle";
+  match Hashtbl.find_opt t.table h.hid with
+  | None -> ()
+  | Some entry ->
+    List.iter (fun i -> t.occupied.(i) <- false) entry.vb_indices;
+    Hashtbl.remove t.table h.hid
+
+let loaded t =
+  Hashtbl.fold (fun _ e acc -> e.bitstream :: acc) t.table []
+  |> List.sort (fun a b -> compare (Bitstream.id a) (Bitstream.id b))

@@ -1,0 +1,46 @@
+open Mlv_fpga
+
+let region kind = (Device.get kind).Device.vb_region
+let count kind = (Device.get kind).Device.virtual_block_count
+
+(* Per-engine usage when mapped through ViTAL (Table 3 usage divided
+   by the two engines one block hosts).  Slightly below the bare
+   per-tile cost because the shared MFU front-end stays with the
+   control block. *)
+let engine_mapped_resources kind =
+  match kind with
+  | Device.XCVU37P ->
+    Resource.make ~luts:22_450 ~dffs:24_400 ~bram_kb:1_997 ~uram_kb:1_075 ~dsps:288 ()
+  | Device.XCKU115 ->
+    Resource.make ~luts:19_950 ~dffs:17_450 ~bram_kb:2_304 ~dsps:276 ()
+
+let engines_per_block kind =
+  let r = region kind in
+  let e = engine_mapped_resources kind in
+  let rec fit n =
+    if n = 0 then 0
+    else if Resource.fits ~need:(Resource.scale n e) ~avail:r then n
+    else fit (n - 1)
+  in
+  fit 8
+
+type impl_report = {
+  device : Device.kind;
+  used : Resource.t;
+  utilization : float;
+  freq_mhz : float;
+  peak_tflops : float;
+}
+
+let implementation_report kind =
+  let d = Device.get kind in
+  let n = engines_per_block kind in
+  let used = Resource.scale n (engine_mapped_resources kind) in
+  let utilization = Resource.utilization ~used ~cap:(region kind) in
+  (* ViTAL floorplans each virtual block once; mapped blocks run at
+     the device target frequency (paper Fig. 10b). *)
+  let freq_mhz = d.Device.base_freq_mhz in
+  (* One engine: 16 rows x 128 lanes of BFP MACs plus the fp16 MFU. *)
+  let ops_per_cycle = float_of_int (n * ((2 * 16 * 128) + (2 * 128))) in
+  let peak_tflops = ops_per_cycle *. freq_mhz *. 1e6 /. 1e12 in
+  { device = kind; used; utilization; freq_mhz; peak_tflops }

@@ -1,0 +1,42 @@
+(** ViTAL-style virtual blocks (the HS abstraction of the paper's
+    case study, [Zha & Li, ASPLOS 2020]).
+
+    Each device type is statically divided into identical
+    virtual-block regions with latency-insensitive interfaces between
+    them; a compiled accelerator occupies an integer number of blocks
+    and can be loaded into any free ones.  Region shapes come from
+    the device catalog and reproduce the paper's Table 3 when the
+    decomposed BrainWave-like accelerator is mapped in. *)
+
+open Mlv_fpga
+
+(** [region kind] is the fabric capacity of one virtual block on the
+    given device type. *)
+val region : Device.kind -> Resource.t
+
+(** [count kind] is the number of virtual blocks per device. *)
+val count : Device.kind -> int
+
+(** [engine_mapped_resources kind] is the fabric one accelerator
+    engine (MVM tile + MFU slice) occupies when mapped into a
+    virtual block — Table 3's per-block usage divided by the two
+    engines a block hosts. *)
+val engine_mapped_resources : Device.kind -> Resource.t
+
+(** [engines_per_block kind] is how many engines pack into one
+    region (2 on both evaluated devices, DSP-bound). *)
+val engines_per_block : Device.kind -> int
+
+(** One row of Table 3: per-block usage, utilization of the region,
+    achieved frequency and per-block peak TFLOPS. *)
+type impl_report = {
+  device : Device.kind;
+  used : Resource.t;
+  utilization : float;
+  freq_mhz : float;
+  peak_tflops : float;
+}
+
+(** [implementation_report kind] evaluates one virtual block hosting
+    its full complement of engines. *)
+val implementation_report : Device.kind -> impl_report

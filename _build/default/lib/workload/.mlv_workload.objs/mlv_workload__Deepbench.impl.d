@@ -1,0 +1,1 @@
+lib/workload/deepbench.ml: Mlv_isa Printf

@@ -1,0 +1,1 @@
+lib/workload/deepbench.mli: Mlv_isa

@@ -1,0 +1,1 @@
+lib/workload/genset.ml: Deepbench Float List Mlv_util Printf Sizes String

@@ -1,0 +1,1 @@
+lib/workload/genset.mli: Deepbench Mlv_util Sizes

@@ -1,0 +1,35 @@
+module Codegen = Mlv_isa.Codegen
+
+type point = { kind : Codegen.kind; hidden : int; timesteps : int }
+
+let table4_points =
+  [
+    { kind = Codegen.Gru; hidden = 512; timesteps = 1 };
+    { kind = Codegen.Gru; hidden = 1024; timesteps = 1500 };
+    { kind = Codegen.Gru; hidden = 1536; timesteps = 375 };
+    { kind = Codegen.Lstm; hidden = 256; timesteps = 150 };
+    { kind = Codegen.Lstm; hidden = 512; timesteps = 25 };
+    { kind = Codegen.Lstm; hidden = 1024; timesteps = 25 };
+    { kind = Codegen.Lstm; hidden = 1536; timesteps = 50 };
+  ]
+
+let extended_points =
+  table4_points
+  @ [
+      { kind = Codegen.Gru; hidden = 768; timesteps = 100 };
+      { kind = Codegen.Lstm; hidden = 2048; timesteps = 50 };
+      { kind = Codegen.Gru; hidden = 2048; timesteps = 100 };
+      { kind = Codegen.Gru; hidden = 2560; timesteps = 100 };
+      { kind = Codegen.Lstm; hidden = 2560; timesteps = 25 };
+      { kind = Codegen.Lstm; hidden = 3072; timesteps = 25 };
+    ]
+
+let name p =
+  Printf.sprintf "%s h=%d t=%d" (Codegen.kind_name p.kind) p.hidden p.timesteps
+
+let weight_words p =
+  let n = match p.kind with Codegen.Lstm -> 8 | Codegen.Gru -> 6 in
+  n * p.hidden * p.hidden
+
+let program p =
+  Codegen.generate p.kind ~hidden:p.hidden ~input:p.hidden ~timesteps:p.timesteps

@@ -1,0 +1,28 @@
+(** DeepBench-derived GRU/LSTM inference benchmarks (paper §4.1).
+
+    Table 4 evaluates seven specific (model, hidden, timesteps)
+    points at batch size one; the system-level workload generator
+    draws from a wider set binned into the S/M/L classes of
+    Table 1. *)
+
+type point = {
+  kind : Mlv_isa.Codegen.kind;
+  hidden : int;
+  timesteps : int;
+}
+
+(** The seven Table 4 benchmark points, in table order. *)
+val table4_points : point list
+
+(** Additional points used by the synthetic workload sets. *)
+val extended_points : point list
+
+(** [name p] e.g. ["GRU h=1024 t=1500"]. *)
+val name : point -> string
+
+(** [weight_words p] is the model's weight count (the quantity that
+    decides on-chip residency). *)
+val weight_words : point -> int
+
+(** [program p] generates the inference program and layout. *)
+val program : point -> Mlv_isa.Program.t * Mlv_isa.Codegen.layout

@@ -1,0 +1,54 @@
+module Rng = Mlv_util.Rng
+
+type composition = { s : float; m : float; l : float }
+
+let table1 =
+  [|
+    { s = 1.0; m = 0.0; l = 0.0 };
+    { s = 0.0; m = 1.0; l = 0.0 };
+    { s = 0.0; m = 0.0; l = 1.0 };
+    { s = 0.5; m = 0.5; l = 0.0 };
+    { s = 0.5; m = 0.0; l = 0.5 };
+    { s = 0.0; m = 0.5; l = 0.5 };
+    { s = 0.33; m = 0.33; l = 0.34 };
+    { s = 0.1; m = 0.3; l = 0.6 };
+    { s = 0.3; m = 0.6; l = 0.1 };
+    { s = 0.6; m = 0.1; l = 0.3 };
+  |]
+
+let composition_name c =
+  let parts = ref [] in
+  let add pct cls = if pct > 0.0 then parts := Printf.sprintf "%.0f%%%s" (pct *. 100.0) cls :: !parts in
+  add c.l "L";
+  add c.m "M";
+  add c.s "S";
+  String.concat "+" !parts
+
+type task = {
+  task_id : int;
+  point : Deepbench.point;
+  model_class : Sizes.model_class;
+  arrival_us : float;
+}
+
+let generate ~rng ~composition ~tasks ~mean_interarrival_us =
+  if tasks <= 0 then invalid_arg "Genset.generate: tasks must be positive";
+  let total = composition.s +. composition.m +. composition.l in
+  if Float.abs (total -. 1.0) > 0.02 then
+    invalid_arg "Genset.generate: composition must sum to 1";
+  let sample_class () =
+    let u = Rng.float rng 1.0 *. total in
+    if u < composition.s then Sizes.S
+    else if u < composition.s +. composition.m then Sizes.M
+    else Sizes.L
+  in
+  let clock = ref 0.0 in
+  List.init tasks (fun task_id ->
+      clock := !clock +. Rng.exponential rng ~mean:mean_interarrival_us;
+      let model_class = sample_class () in
+      let point = Rng.choose rng (Sizes.points_of_class model_class) in
+      { task_id; point; model_class; arrival_us = !clock })
+
+let class_histogram tasks =
+  let count c = List.length (List.filter (fun t -> t.model_class = c) tasks) in
+  [ (Sizes.S, count Sizes.S); (Sizes.M, count Sizes.M); (Sizes.L, count Sizes.L) ]

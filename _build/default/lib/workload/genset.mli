@@ -1,0 +1,35 @@
+(** Synthetic workload sets (paper §4.1, Table 1).
+
+    Each set is a sequence of GRU/LSTM inference tasks arriving at
+    random intervals; the composition controls the S/M/L mix.  All
+    randomness flows through a caller-provided seeded generator so
+    every experiment is reproducible. *)
+
+type composition = { s : float; m : float; l : float }
+
+(** The ten compositions of Table 1, index 0 = set 1. *)
+val table1 : composition array
+
+(** [composition_name c] e.g. ["50%S+50%L"]. *)
+val composition_name : composition -> string
+
+type task = {
+  task_id : int;
+  point : Deepbench.point;
+  model_class : Sizes.model_class;
+  arrival_us : float;  (** absolute arrival time *)
+}
+
+(** [generate ~rng ~composition ~tasks ~mean_interarrival_us] draws
+    [tasks] tasks with exponential inter-arrival times.
+    @raise Invalid_argument if the composition does not sum to ~1 or
+    [tasks <= 0]. *)
+val generate :
+  rng:Mlv_util.Rng.t ->
+  composition:composition ->
+  tasks:int ->
+  mean_interarrival_us:float ->
+  task list
+
+(** [class_histogram tasks] counts tasks per class. *)
+val class_histogram : task list -> (Sizes.model_class * int) list

@@ -1,0 +1,46 @@
+module Stats = Mlv_util.Stats
+
+type summary = {
+  count : int;
+  mean : float;
+  p50 : float;
+  p90 : float;
+  p95 : float;
+  p99 : float;
+  min : float;
+  max : float;
+}
+
+let summarize = function
+  | [] -> None
+  | xs ->
+    Some
+      {
+        count = List.length xs;
+        mean = Stats.mean xs;
+        p50 = Stats.percentile 50.0 xs;
+        p90 = Stats.percentile 90.0 xs;
+        p95 = Stats.percentile 95.0 xs;
+        p99 = Stats.percentile 99.0 xs;
+        min = List.fold_left Float.min infinity xs;
+        max = List.fold_left Float.max neg_infinity xs;
+      }
+
+let pp_summary ~unit_name fmt s =
+  Format.fprintf fmt "n=%d mean=%.1f%s p50=%.1f p90=%.1f p95=%.1f p99=%.1f max=%.1f"
+    s.count s.mean unit_name s.p50 s.p90 s.p95 s.p99 s.max
+
+let throughput_windows ~window completions =
+  if window <= 0.0 then invalid_arg "Metrics.throughput_windows: window must be positive";
+  match completions with
+  | [] -> []
+  | xs ->
+    let tbl = Hashtbl.create 16 in
+    List.iter
+      (fun t ->
+        let bucket = int_of_float (Float.max 0.0 t /. window) in
+        let cur = try Hashtbl.find tbl bucket with Not_found -> 0 in
+        Hashtbl.replace tbl bucket (cur + 1))
+      xs;
+    Hashtbl.fold (fun b n acc -> (float_of_int b *. window, n) :: acc) tbl []
+    |> List.sort compare

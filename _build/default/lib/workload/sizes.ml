@@ -1,0 +1,10 @@
+type model_class = S | M | L
+
+let classify hidden = if hidden <= 1024 then S else if hidden <= 2048 then M else L
+let classify_point (p : Deepbench.point) = classify p.Deepbench.hidden
+
+let points_of_class c =
+  List.filter (fun p -> classify_point p = c) Deepbench.extended_points
+
+let name = function S -> "S" | M -> "M" | L -> "L"
+let pp fmt c = Format.pp_print_string fmt (name c)

@@ -1,0 +1,17 @@
+(** Model size classes of Table 1: S (hidden <= 1024),
+    M (1024 < hidden <= 2048), L (hidden > 2048). *)
+
+type model_class = S | M | L
+
+(** [classify hidden] bins a hidden size. *)
+val classify : int -> model_class
+
+(** [classify_point p] bins a benchmark point. *)
+val classify_point : Deepbench.point -> model_class
+
+(** [points_of_class c] lists the benchmark points in class [c]
+    (drawn from {!Deepbench.extended_points}). *)
+val points_of_class : model_class -> Deepbench.point list
+
+val name : model_class -> string
+val pp : Format.formatter -> model_class -> unit

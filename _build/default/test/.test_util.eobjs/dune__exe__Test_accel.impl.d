@@ -1,0 +1,1 @@
+test/test_accel.ml: Alcotest Float List Mlv_accel Mlv_fpga Mlv_isa Mlv_rtl Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_cluster.ml: Alcotest Float List Mlv_cluster Mlv_fpga Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_eqcheck.ml: Alcotest Buffer List Mlv_eqcheck Mlv_rtl Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_fpga.ml: Alcotest Float List Mlv_fpga Mlv_rtl

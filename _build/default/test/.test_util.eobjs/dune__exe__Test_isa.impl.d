@@ -1,0 +1,1 @@
+test/test_isa.ml: Alcotest Array Float Gen Hashtbl List Mlv_isa Mlv_util Printf QCheck QCheck_alcotest

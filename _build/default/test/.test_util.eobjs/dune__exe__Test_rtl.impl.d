@@ -1,0 +1,1 @@
+test/test_rtl.ml: Alcotest Buffer List Mlv_core Mlv_eqcheck Mlv_rtl Option Printf QCheck QCheck_alcotest String

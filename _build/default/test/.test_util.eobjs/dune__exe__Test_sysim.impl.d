@@ -1,0 +1,1 @@
+test/test_sysim.ml: Alcotest Array Lazy List Mlv_core Mlv_isa Mlv_sysim Mlv_workload Printf

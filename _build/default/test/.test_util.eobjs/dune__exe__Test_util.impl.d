@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Float Fun Int64 List Mlv_util String

@@ -1,0 +1,1 @@
+test/test_vital.ml: Alcotest Array Float List Mlv_fpga Mlv_vital Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Float List Mlv_isa Mlv_util Mlv_workload QCheck QCheck_alcotest

@@ -1,0 +1,450 @@
+(* Tests for the equivalence checker: signatures, simulation, and the
+   two-phase module check. *)
+
+module Ast = Mlv_rtl.Ast
+module Design = Mlv_rtl.Design
+module Parser = Mlv_rtl.Parser
+module Extract = Mlv_rtl.Extract
+module Sig_hash = Mlv_eqcheck.Sig_hash
+module Sim = Mlv_eqcheck.Sim
+module Check = Mlv_eqcheck.Check
+
+let parse_ok src =
+  match Parser.parse_string src with
+  | Ok d -> d
+  | Error msg -> Alcotest.failf "parse error: %s" msg
+
+(* ---------------- Sim ---------------- *)
+
+let sim_of src name =
+  let d = parse_ok src in
+  Sim.create (Design.find_exn d name)
+
+let test_sim_comb_add () =
+  let s =
+    sim_of
+      {|
+module m (a, b, o);
+  input [7:0] a;
+  input [7:0] b;
+  output [7:0] o;
+  mlv_add g (.a(a), .b(b), .o(o));
+endmodule
+|}
+      "m"
+  in
+  Sim.set_input s "a" 200L;
+  Sim.set_input s "b" 100L;
+  Sim.step s;
+  (* 300 mod 256 = 44 *)
+  Alcotest.(check int64) "wraps" 44L (Sim.get_output s "o")
+
+let test_sim_mux () =
+  let s =
+    sim_of
+      {|
+module m (sel, a, b, o);
+  input sel;
+  input [3:0] a;
+  input [3:0] b;
+  output [3:0] o;
+  mlv_mux g (.sel(sel), .a(a), .b(b), .o(o));
+endmodule
+|}
+      "m"
+  in
+  Sim.set_input s "sel" 1L;
+  Sim.set_input s "a" 5L;
+  Sim.set_input s "b" 9L;
+  Sim.step s;
+  Alcotest.(check int64) "sel=1 -> a" 5L (Sim.get_output s "o");
+  Sim.set_input s "sel" 0L;
+  Sim.step s;
+  Alcotest.(check int64) "sel=0 -> b" 9L (Sim.get_output s "o")
+
+let test_sim_reg_delay () =
+  let s =
+    sim_of
+      {|
+module m (d, q);
+  input [3:0] d;
+  output [3:0] q;
+  mlv_reg r (.d(d), .q(q));
+endmodule
+|}
+      "m"
+  in
+  Sim.set_input s "d" 7L;
+  Sim.step s;
+  (* Register output shows the previous state (0), latches 7. *)
+  Alcotest.(check int64) "cycle 1" 0L (Sim.get_output s "q");
+  Sim.set_input s "d" 3L;
+  Sim.step s;
+  Alcotest.(check int64) "cycle 2" 7L (Sim.get_output s "q")
+
+let test_sim_ram () =
+  let s =
+    sim_of
+      {|
+module m (waddr, wdata, wen, raddr, rdata);
+  input [3:0] waddr;
+  input [7:0] wdata;
+  input wen;
+  input [3:0] raddr;
+  output [7:0] rdata;
+  mlv_ram #(.WORDS(16), .WIDTH(8)) r (.waddr(waddr), .wdata(wdata), .wen(wen), .raddr(raddr), .rdata(rdata));
+endmodule
+|}
+      "m"
+  in
+  (* Write 42 to address 3. *)
+  Sim.set_input s "waddr" 3L;
+  Sim.set_input s "wdata" 42L;
+  Sim.set_input s "wen" 1L;
+  Sim.set_input s "raddr" 3L;
+  Sim.step s;
+  (* Read-before-write RAM with a registered output: the write lands
+     at the end of cycle 1, the read of address 3 is captured at the
+     end of cycle 2, and the data is presented in cycle 3. *)
+  Sim.set_input s "wen" 0L;
+  Sim.step s;
+  Alcotest.(check int64) "not yet visible" 0L (Sim.get_output s "rdata");
+  Sim.step s;
+  Alcotest.(check int64) "read back" 42L (Sim.get_output s "rdata")
+
+let test_sim_comb_chain () =
+  let s =
+    sim_of
+      {|
+module m (a, o);
+  input [7:0] a;
+  output [7:0] o;
+  wire [7:0] t1;
+  wire [7:0] t2;
+  mlv_not n1 (.a(a), .o(t1));
+  mlv_not n2 (.a(t1), .o(t2));
+  mlv_add n3 (.a(t2), .b(a), .o(o));
+endmodule
+|}
+      "m"
+  in
+  Sim.set_input s "a" 17L;
+  Sim.step s;
+  Alcotest.(check int64) "double negation" 34L (Sim.get_output s "o")
+
+let test_sim_comb_cycle_rejected () =
+  let src =
+    {|
+module m (a, o);
+  input [3:0] a;
+  output [3:0] o;
+  wire [3:0] t;
+  mlv_add g1 (.a(a), .b(o), .o(t));
+  mlv_not g2 (.a(t), .o(o));
+endmodule
+|}
+  in
+  let d = parse_ok src in
+  Alcotest.(check bool) "cycle detected" true
+    (try
+       ignore (Sim.create (Design.find_exn d "m"));
+       false
+     with Failure _ -> true)
+
+let test_sim_nonbasic_rejected () =
+  let d =
+    parse_ok
+      {|
+module leaf (a, o);
+  input a;
+  output o;
+  mlv_not n (.a(a), .o(o));
+endmodule
+module m (a, o);
+  input a;
+  output o;
+  leaf l (.a(a), .o(o));
+endmodule
+|}
+  in
+  Alcotest.(check bool) "rejected" true
+    (try
+       ignore (Sim.create (Design.find_exn d "m"));
+       false
+     with Invalid_argument _ -> true)
+
+(* ---------------- Signatures ---------------- *)
+
+let renamed_pair =
+  ( {|
+module a (x, y, o);
+  input [7:0] x;
+  input [7:0] y;
+  output [7:0] o;
+  wire [7:0] t;
+  mlv_add g1 (.a(x), .b(y), .o(t));
+  mlv_reg g2 (.d(t), .q(o));
+endmodule
+|},
+    {|
+module b (p, q, r);
+  input [7:0] p;
+  input [7:0] q;
+  output [7:0] r;
+  wire [7:0] w;
+  mlv_add u1 (.a(p), .b(q), .o(w));
+  mlv_reg u2 (.d(w), .q(r));
+endmodule
+|} )
+
+let test_sig_rename_invariant () =
+  let src_a, src_b = renamed_pair in
+  let da = parse_ok src_a and db = parse_ok src_b in
+  let ma = Design.find_exn da "a" and mb = Design.find_exn db "b" in
+  Alcotest.(check int) "same signature" (Sig_hash.signature ma) (Sig_hash.signature mb)
+
+let test_sig_distinguishes_ops () =
+  let make op =
+    parse_ok
+      (Printf.sprintf
+         {|
+module m (x, y, o);
+  input [7:0] x;
+  input [7:0] y;
+  output [7:0] o;
+  %s g1 (.a(x), .b(y), .o(o));
+endmodule
+|}
+         op)
+  in
+  let ma = Design.find_exn (make "mlv_add") "m" in
+  let mb = Design.find_exn (make "mlv_sub") "m" in
+  Alcotest.(check bool) "different" true (Sig_hash.signature ma <> Sig_hash.signature mb)
+
+let test_sig_distinguishes_widths () =
+  let make w =
+    parse_ok
+      (Printf.sprintf
+         {|
+module m (x, o);
+  input [%d:0] x;
+  output [%d:0] o;
+  mlv_not g (.a(x), .o(o));
+endmodule
+|}
+         w w)
+  in
+  let m8 = Design.find_exn (make 7) "m" in
+  let m16 = Design.find_exn (make 15) "m" in
+  Alcotest.(check bool) "different" true (Sig_hash.signature m8 <> Sig_hash.signature m16)
+
+let test_sig_distinguishes_topology () =
+  (* a+(b+c) vs (a+b)+c with different sharing: chain vs balanced over
+     4 inputs — same census, different wiring depth. *)
+  let chain =
+    {|
+module m (a, b, c, d, o);
+  input [7:0] a; input [7:0] b; input [7:0] c; input [7:0] d;
+  output [7:0] o;
+  wire [7:0] t1; wire [7:0] t2;
+  mlv_add g1 (.a(a), .b(b), .o(t1));
+  mlv_add g2 (.a(t1), .b(c), .o(t2));
+  mlv_add g3 (.a(t2), .b(d), .o(o));
+endmodule
+|}
+  in
+  let balanced =
+    {|
+module m (a, b, c, d, o);
+  input [7:0] a; input [7:0] b; input [7:0] c; input [7:0] d;
+  output [7:0] o;
+  wire [7:0] t1; wire [7:0] t2;
+  mlv_add g1 (.a(a), .b(b), .o(t1));
+  mlv_add g2 (.a(c), .b(d), .o(t2));
+  mlv_add g3 (.a(t1), .b(t2), .o(o));
+endmodule
+|}
+  in
+  let mc = Design.find_exn (parse_ok chain) "m" in
+  let mb = Design.find_exn (parse_ok balanced) "m" in
+  Alcotest.(check bool) "different" true (Sig_hash.signature mc <> Sig_hash.signature mb)
+
+let test_canonical_ports_compatible () =
+  let src_a, src_b = renamed_pair in
+  let ma = Design.find_exn (parse_ok src_a) "a" in
+  let mb = Design.find_exn (parse_ok src_b) "b" in
+  let ka = List.map (fun (p : Ast.port) -> (p.dir, p.width)) (Sig_hash.canonical_ports ma) in
+  let kb = List.map (fun (p : Ast.port) -> (p.dir, p.width)) (Sig_hash.canonical_ports mb) in
+  Alcotest.(check bool) "same shape order" true (ka = kb)
+
+(* ---------------- Check ---------------- *)
+
+let test_check_equivalent_renamed () =
+  let src_a, src_b = renamed_pair in
+  let ma = Design.find_exn (parse_ok src_a) "a" in
+  let mb = Design.find_exn (parse_ok src_b) "b" in
+  Alcotest.(check bool) "equivalent" true (Check.modules_equivalent ma mb)
+
+let test_check_inequivalent_op () =
+  let src_a, _ = renamed_pair in
+  let src_c =
+    {|
+module c (x, y, o);
+  input [7:0] x;
+  input [7:0] y;
+  output [7:0] o;
+  wire [7:0] t;
+  mlv_sub g1 (.a(x), .b(y), .o(t));
+  mlv_reg g2 (.d(t), .q(o));
+endmodule
+|}
+  in
+  let ma = Design.find_exn (parse_ok src_a) "a" in
+  let mc = Design.find_exn (parse_ok src_c) "c" in
+  Alcotest.(check bool) "not equivalent" false (Check.modules_equivalent ma mc)
+
+let test_check_hierarchy_flattened () =
+  (* One module instantiates the adder through a wrapper; the check
+     flattens and still matches. *)
+  let d =
+    parse_ok
+      {|
+module adder (x, y, o);
+  input [7:0] x;
+  input [7:0] y;
+  output [7:0] o;
+  mlv_add g (.a(x), .b(y), .o(o));
+endmodule
+
+module wrapped (x, y, o);
+  input [7:0] x;
+  input [7:0] y;
+  output [7:0] o;
+  adder u (.x(x), .y(y), .o(o));
+endmodule
+
+module direct (x, y, o);
+  input [7:0] x;
+  input [7:0] y;
+  output [7:0] o;
+  mlv_add g (.a(x), .b(y), .o(o));
+endmodule
+|}
+  in
+  Alcotest.(check bool) "equivalent" true (Check.equivalent d "wrapped" "direct");
+  Alcotest.(check bool) "reflexive" true (Check.equivalent d "wrapped" "wrapped")
+
+let test_check_interface_mismatch () =
+  let ma =
+    Design.find_exn
+      (parse_ok
+         {|
+module m (x, o);
+  input [7:0] x;
+  output [7:0] o;
+  mlv_not g (.a(x), .o(o));
+endmodule
+|})
+      "m"
+  in
+  let mb =
+    Design.find_exn
+      (parse_ok
+         {|
+module m (x, y, o);
+  input [7:0] x;
+  input [7:0] y;
+  output [7:0] o;
+  mlv_and g (.a(x), .b(y), .o(o));
+endmodule
+|})
+      "m"
+  in
+  Alcotest.(check bool) "different interface" false (Check.modules_equivalent ma mb)
+
+(* Property: a random small adder-tree module is always equivalent to
+   a port/net/instance renaming of itself. *)
+let prop_rename_equivalence =
+  let build_src prefix n_adds =
+    let buf = Buffer.create 256 in
+    Buffer.add_string buf
+      (Printf.sprintf "module %sm (%sa, %sb, %so);\n" prefix prefix prefix prefix);
+    Buffer.add_string buf
+      (Printf.sprintf "  input [7:0] %sa;\n  input [7:0] %sb;\n  output [7:0] %so;\n"
+         prefix prefix prefix);
+    for i = 0 to n_adds - 2 do
+      Buffer.add_string buf (Printf.sprintf "  wire [7:0] %st%d;\n" prefix i)
+    done;
+    let net i =
+      if i = n_adds - 1 then Printf.sprintf "%so" prefix else Printf.sprintf "%st%d" prefix i
+    in
+    let src i = if i = 0 then Printf.sprintf "%sa" prefix else net (i - 1) in
+    for i = 0 to n_adds - 1 do
+      Buffer.add_string buf
+        (Printf.sprintf "  mlv_add %sg%d (.a(%s), .b(%sb), .o(%s));\n" prefix i (src i)
+           prefix (net i))
+    done;
+    Buffer.add_string buf "endmodule\n";
+    Buffer.contents buf
+  in
+  QCheck.Test.make ~name:"rename equivalence" ~count:20
+    QCheck.(int_range 1 6)
+    (fun n ->
+      let ma = Design.find_exn (parse_ok (build_src "p_" n)) "p_m" in
+      let mb = Design.find_exn (parse_ok (build_src "q_" n)) "q_m" in
+      Check.modules_equivalent ma mb)
+
+(* Property: adding one extra gate breaks equivalence. *)
+let prop_extra_gate_breaks =
+  QCheck.Test.make ~name:"extra gate inequivalence" ~count:20
+    QCheck.(int_range 1 5)
+    (fun n ->
+      let build extra =
+        let total = if extra then n + 1 else n in
+        let buf = Buffer.create 256 in
+        Buffer.add_string buf "module m (a, o);\n  input [7:0] a;\n  output [7:0] o;\n";
+        for i = 0 to total - 2 do
+          Buffer.add_string buf (Printf.sprintf "  wire [7:0] t%d;\n" i)
+        done;
+        let net i = if i = total - 1 then "o" else Printf.sprintf "t%d" i in
+        let src i = if i = 0 then "a" else net (i - 1) in
+        for i = 0 to total - 1 do
+          Buffer.add_string buf
+            (Printf.sprintf "  mlv_not g%d (.a(%s), .o(%s));\n" i (src i) (net i))
+        done;
+        Buffer.add_string buf "endmodule\n";
+        Design.find_exn (parse_ok (Buffer.contents buf)) "m"
+      in
+      not (Check.modules_equivalent (build false) (build true)))
+
+let () =
+  Alcotest.run "eqcheck"
+    [
+      ( "sim",
+        [
+          Alcotest.test_case "combinational add" `Quick test_sim_comb_add;
+          Alcotest.test_case "mux" `Quick test_sim_mux;
+          Alcotest.test_case "register delay" `Quick test_sim_reg_delay;
+          Alcotest.test_case "ram write/read" `Quick test_sim_ram;
+          Alcotest.test_case "combinational chain" `Quick test_sim_comb_chain;
+          Alcotest.test_case "combinational cycle rejected" `Quick test_sim_comb_cycle_rejected;
+          Alcotest.test_case "non-basic rejected" `Quick test_sim_nonbasic_rejected;
+        ] );
+      ( "sig_hash",
+        [
+          Alcotest.test_case "rename invariant" `Quick test_sig_rename_invariant;
+          Alcotest.test_case "distinguishes ops" `Quick test_sig_distinguishes_ops;
+          Alcotest.test_case "distinguishes widths" `Quick test_sig_distinguishes_widths;
+          Alcotest.test_case "distinguishes topology" `Quick test_sig_distinguishes_topology;
+          Alcotest.test_case "canonical ports compatible" `Quick test_canonical_ports_compatible;
+        ] );
+      ( "check",
+        [
+          Alcotest.test_case "equivalent renamed" `Quick test_check_equivalent_renamed;
+          Alcotest.test_case "inequivalent op" `Quick test_check_inequivalent_op;
+          Alcotest.test_case "hierarchy flattened" `Quick test_check_hierarchy_flattened;
+          Alcotest.test_case "interface mismatch" `Quick test_check_interface_mismatch;
+          QCheck_alcotest.to_alcotest prop_rename_equivalence;
+          QCheck_alcotest.to_alcotest prop_extra_gate_breaks;
+        ] );
+    ]

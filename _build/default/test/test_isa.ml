@@ -1,0 +1,834 @@
+(* Tests for the AS ISA substrate: number formats, instructions,
+   programs, assembler, executor and GRU/LSTM code generation. *)
+
+module Rng = Mlv_util.Rng
+module Fp16 = Mlv_isa.Fp16
+module Bfp = Mlv_isa.Bfp
+module Instr = Mlv_isa.Instr
+module Program = Mlv_isa.Program
+module Asm = Mlv_isa.Asm
+module Exec = Mlv_isa.Exec
+module Codegen = Mlv_isa.Codegen
+module Encoding = Mlv_isa.Encoding
+module Opt = Mlv_isa.Opt
+module Mlp = Mlv_isa.Mlp
+
+(* ---------------- Fp16 ---------------- *)
+
+let test_fp16_roundtrip_exact () =
+  List.iter
+    (fun f ->
+      Alcotest.(check (float 0.0)) (string_of_float f) f Fp16.(to_float (of_float f)))
+    [ 0.0; 1.0; -1.0; 0.5; 2.0; 1024.0; 0.25; -0.125; 65504.0 ]
+
+let test_fp16_one () = Alcotest.(check (float 0.0)) "one" 1.0 (Fp16.to_float Fp16.one)
+
+let test_fp16_overflow () =
+  let h = Fp16.of_float 1e6 in
+  Alcotest.(check bool) "inf" true (Float.is_integer (Fp16.to_float h) = false || Fp16.to_float h = infinity);
+  Alcotest.(check bool) "not finite" false (Fp16.is_finite h)
+
+let test_fp16_rounding_error_bound () =
+  let rng = Rng.create 5 in
+  for _ = 1 to 1000 do
+    let f = (Rng.float rng 2.0 -. 1.0) *. 100.0 in
+    let r = Fp16.round_float f in
+    let rel = Float.abs (r -. f) /. Float.max 1e-9 (Float.abs f) in
+    (* half has 11 significand bits: relative error <= 2^-11 *)
+    Alcotest.(check bool) "rel err" true (rel <= 1.0 /. 2048.0 +. 1e-12)
+  done
+
+let test_fp16_subnormal () =
+  let tiny = 2.0 ** -24.0 in
+  Alcotest.(check (float 0.0)) "smallest subnormal" tiny Fp16.(to_float (of_float tiny))
+
+let test_fp16_arith () =
+  let a = Fp16.of_float 1.5 and b = Fp16.of_float 2.25 in
+  Alcotest.(check (float 0.0)) "add" 3.75 Fp16.(to_float (add a b));
+  Alcotest.(check (float 0.0)) "sub" (-0.75) Fp16.(to_float (sub a b));
+  Alcotest.(check (float 0.0)) "mul" 3.375 Fp16.(to_float (mul a b))
+
+(* ---------------- Bfp ---------------- *)
+
+let test_bfp_roundtrip_pow2 () =
+  (* Powers of two within mantissa range encode exactly. *)
+  let xs = [| 1.0; 2.0; 4.0; -8.0; 0.5 |] in
+  let b = Bfp.encode ~mantissa_bits:8 xs in
+  let ys = Bfp.decode b in
+  Array.iteri (fun i x -> Alcotest.(check (float 1e-9)) "exact" x ys.(i)) xs
+
+let test_bfp_zero_block () =
+  let b = Bfp.encode ~mantissa_bits:6 [| 0.0; 0.0 |] in
+  Alcotest.(check (array (float 0.0))) "zero" [| 0.0; 0.0 |] (Bfp.decode b)
+
+let test_bfp_quantization_error () =
+  let rng = Rng.create 7 in
+  let mantissa_bits = 6 in
+  for _ = 1 to 200 do
+    let xs = Array.init 64 (fun _ -> Rng.float rng 2.0 -. 1.0) in
+    let ys = Bfp.quantize ~mantissa_bits xs in
+    let max_mag = Array.fold_left (fun m x -> Float.max m (Float.abs x)) 0.0 xs in
+    (* Absolute error bounded by one mantissa step. *)
+    let step = max_mag /. float_of_int (1 lsl (mantissa_bits - 2)) in
+    Array.iteri
+      (fun i x ->
+        Alcotest.(check bool) "bounded" true (Float.abs (x -. ys.(i)) <= step +. 1e-12))
+      xs
+  done
+
+let test_bfp_dot_matches_quantized () =
+  let rng = Rng.create 11 in
+  let xs = Array.init 32 (fun _ -> Rng.float rng 2.0 -. 1.0) in
+  let ys = Array.init 32 (fun _ -> Rng.float rng 2.0 -. 1.0) in
+  let bx = Bfp.encode ~mantissa_bits:8 xs and by = Bfp.encode ~mantissa_bits:8 ys in
+  let dot = Bfp.dot bx by in
+  let qx = Bfp.decode bx and qy = Bfp.decode by in
+  let expect = ref 0.0 in
+  Array.iteri (fun i x -> expect := !expect +. (x *. qy.(i))) qx;
+  Alcotest.(check (float 1e-9)) "exact integer dot" !expect dot
+
+let test_bfp_dot_length_mismatch () =
+  let a = Bfp.encode ~mantissa_bits:6 [| 1.0 |] in
+  let b = Bfp.encode ~mantissa_bits:6 [| 1.0; 2.0 |] in
+  Alcotest.check_raises "mismatch" (Invalid_argument "Bfp.dot: length mismatch")
+    (fun () -> ignore (Bfp.dot a b))
+
+(* ---------------- Instructions / programs ---------------- *)
+
+let test_instr_dependencies () =
+  let w1 = Instr.V_fill { dst = 1; len = 8; value = 0.0 } in
+  let r1 = Instr.Act { dst = 2; src = 1; f = Instr.Tanh } in
+  let w1b = Instr.V_fill { dst = 1; len = 8; value = 1.0 } in
+  Alcotest.(check bool) "RAW" true (Instr.depends ~earlier:w1 ~later:r1);
+  Alcotest.(check bool) "WAR" true (Instr.depends ~earlier:r1 ~later:w1b);
+  Alcotest.(check bool) "WAW" true (Instr.depends ~earlier:w1 ~later:w1b);
+  let indep = Instr.Act { dst = 3; src = 4; f = Instr.Relu } in
+  Alcotest.(check bool) "independent" false (Instr.depends ~earlier:w1 ~later:indep)
+
+let test_instr_memory_dependencies () =
+  let wr = Instr.V_wr { src = 0; addr = 100; len = 10 } in
+  let rd_overlap = Instr.V_rd { dst = 1; addr = 105; len = 10 } in
+  let rd_disjoint = Instr.V_rd { dst = 1; addr = 200; len = 10 } in
+  let rd2 = Instr.V_rd { dst = 2; addr = 100; len = 4 } in
+  Alcotest.(check bool) "write-read overlap" true (Instr.depends ~earlier:wr ~later:rd_overlap);
+  Alcotest.(check bool) "write-read disjoint" false (Instr.depends ~earlier:wr ~later:rd_disjoint);
+  (* two reads commute even when overlapping *)
+  let rd3 = Instr.V_rd { dst = 3; addr = 102; len = 4 } in
+  Alcotest.(check bool) "read-read" false (Instr.depends ~earlier:rd2 ~later:rd3)
+
+let test_program_validate_ok () =
+  let p =
+    Program.make
+      [
+        Instr.V_fill { dst = 0; len = 4; value = 1.0 };
+        Instr.Act { dst = 1; src = 0; f = Instr.Relu };
+      ]
+  in
+  Alcotest.(check (list string)) "valid" [] (Program.validate p)
+
+let test_program_validate_uninitialized () =
+  let p = Program.make [ Instr.Act { dst = 1; src = 0; f = Instr.Relu } ] in
+  Alcotest.(check bool) "catches" true (Program.validate p <> [])
+
+let test_program_validate_bounds () =
+  let p = Program.make ~vregs:2 [ Instr.V_fill { dst = 5; len = 4; value = 0.0 } ] in
+  Alcotest.(check bool) "catches oob" true (Program.validate p <> [])
+
+let test_program_dep_predecessors () =
+  let p =
+    Program.make
+      [
+        Instr.V_fill { dst = 0; len = 4; value = 1.0 };
+        (* 0 *)
+        Instr.V_fill { dst = 1; len = 4; value = 2.0 };
+        (* 1 *)
+        Instr.Vv_add { dst = 2; a = 0; b = 1 };
+        (* 2: deps 0,1 *)
+      ]
+  in
+  let preds = Program.dep_predecessors p in
+  Alcotest.(check (list int)) "instr 2 deps" [ 0; 1 ] preds.(2);
+  Alcotest.(check (list int)) "instr 1 deps" [] preds.(1)
+
+let test_program_histogram () =
+  let p =
+    Program.make
+      [
+        Instr.V_fill { dst = 0; len = 4; value = 1.0 };
+        Instr.V_fill { dst = 1; len = 4; value = 1.0 };
+        Instr.Vv_add { dst = 2; a = 0; b = 1 };
+      ]
+  in
+  Alcotest.(check (list (pair string int)))
+    "histogram"
+    [ ("vadd", 1); ("vfill", 2) ]
+    (Program.opcode_histogram p)
+
+(* ---------------- Assembler ---------------- *)
+
+let test_asm_roundtrip () =
+  let p, _ = Codegen.generate Codegen.Gru ~hidden:8 ~input:8 ~timesteps:2 in
+  let text = Asm.to_string p in
+  match Asm.of_string text with
+  | Error msg -> Alcotest.fail msg
+  | Ok p2 ->
+    Alcotest.(check int) "same length" (Program.length p) (Program.length p2);
+    Alcotest.(check string) "same text" text (Asm.to_string p2)
+
+let test_asm_comments_and_blanks () =
+  let src = "# a comment\n\n  vfill v0, 4, 1.5  # trailing\nnop\n" in
+  match Asm.of_string src with
+  | Error msg -> Alcotest.fail msg
+  | Ok p -> Alcotest.(check int) "two instrs" 2 (Program.length p)
+
+let test_asm_errors () =
+  (match Asm.of_string "bogus v0, v1" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "accepted bogus opcode");
+  (match Asm.of_string "mvm v0, v1, v2" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "accepted wrong register class");
+  match Asm.of_string "act v0, v1, bogus" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "accepted bogus activation"
+
+(* ---------------- Executor ---------------- *)
+
+let test_exec_vector_ops () =
+  let p =
+    Program.make
+      [
+        Instr.V_fill { dst = 0; len = 4; value = 2.0 };
+        Instr.V_fill { dst = 1; len = 4; value = 3.0 };
+        Instr.Vv_add { dst = 2; a = 0; b = 1 };
+        Instr.Vv_mul { dst = 3; a = 0; b = 1 };
+        Instr.Vv_sub { dst = 4; a = 1; b = 0 };
+      ]
+  in
+  let ex = Exec.create ~dram:(Array.make 16 0.0) p in
+  (match Exec.run ex ~max_steps:100 with
+  | Exec.Done -> ()
+  | _ -> Alcotest.fail "did not finish");
+  Alcotest.(check (array (float 1e-6))) "add" (Array.make 4 5.0) (Exec.vreg ex 2);
+  Alcotest.(check (array (float 1e-6))) "mul" (Array.make 4 6.0) (Exec.vreg ex 3);
+  Alcotest.(check (array (float 1e-6))) "sub" (Array.make 4 1.0) (Exec.vreg ex 4)
+
+let test_exec_dram_roundtrip () =
+  let dram = Array.init 32 float_of_int in
+  let p =
+    Program.make
+      [
+        Instr.V_rd { dst = 0; addr = 4; len = 8 };
+        Instr.V_wr { src = 0; addr = 20; len = 8 };
+      ]
+  in
+  let ex = Exec.create ~dram p in
+  ignore (Exec.run ex ~max_steps:10);
+  Alcotest.(check (array (float 0.0))) "copied" (Array.init 8 (fun i -> float_of_int (i + 4)))
+    (Array.sub dram 20 8)
+
+let test_exec_dram_oob () =
+  let p = Program.make [ Instr.V_rd { dst = 0; addr = 100; len = 8 } ] in
+  let ex = Exec.create ~dram:(Array.make 16 0.0) p in
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Exec.run ex ~max_steps:10);
+       false
+     with Failure _ -> true)
+
+let test_exec_mvm_exact () =
+  (* 2x2 identity matrix times [3;4] = [3;4]. *)
+  let dram = Array.make 16 0.0 in
+  dram.(0) <- 1.0;
+  dram.(3) <- 1.0;
+  dram.(4) <- 3.0;
+  dram.(5) <- 4.0;
+  let p =
+    Program.make
+      [
+        Instr.M_rd { dst = 0; addr = 0; rows = 2; cols = 2 };
+        Instr.V_rd { dst = 0; addr = 4; len = 2 };
+        Instr.Mvm { dst = 1; mat = 0; src = 0 };
+      ]
+  in
+  let ex = Exec.create ~exact:true ~dram p in
+  ignore (Exec.run ex ~max_steps:10);
+  Alcotest.(check (array (float 1e-9))) "identity mvm" [| 3.0; 4.0 |] (Exec.vreg ex 1)
+
+let test_exec_mvm_quantized_close () =
+  let rng = Rng.create 21 in
+  let h = 16 in
+  let dram = Array.make (h * h * 2) 0.0 in
+  for i = 0 to (h * h) - 1 do
+    dram.(i) <- Rng.float rng 1.0 -. 0.5
+  done;
+  for i = 0 to h - 1 do
+    dram.((h * h) + i) <- Rng.float rng 1.0 -. 0.5
+  done;
+  let p =
+    Program.make
+      [
+        Instr.M_rd { dst = 0; addr = 0; rows = h; cols = h };
+        Instr.V_rd { dst = 0; addr = h * h; len = h };
+        Instr.Mvm { dst = 1; mat = 0; src = 0 };
+      ]
+  in
+  let run exact =
+    let ex = Exec.create ~exact ~dram:(Array.copy dram) p in
+    ignore (Exec.run ex ~max_steps:10);
+    Exec.vreg ex 1
+  in
+  let q = run false and e = run true in
+  Array.iteri
+    (fun i x ->
+      Alcotest.(check bool) "close" true (Float.abs (x -. e.(i)) < 0.25))
+    q
+
+let test_exec_activations () =
+  let p =
+    Program.make
+      [
+        Instr.V_fill { dst = 0; len = 1; value = 0.0 };
+        Instr.Act { dst = 1; src = 0; f = Instr.Sigmoid };
+        Instr.Act { dst = 2; src = 0; f = Instr.Tanh };
+        Instr.V_fill { dst = 3; len = 1; value = -2.0 };
+        Instr.Act { dst = 4; src = 3; f = Instr.Relu };
+      ]
+  in
+  let ex = Exec.create ~exact:true ~dram:(Array.make 4 0.0) p in
+  ignore (Exec.run ex ~max_steps:10);
+  Alcotest.(check (float 1e-9)) "sigmoid(0)" 0.5 (Exec.vreg ex 1).(0);
+  Alcotest.(check (float 1e-9)) "tanh(0)" 0.0 (Exec.vreg ex 2).(0);
+  Alcotest.(check (float 1e-9)) "relu(-2)" 0.0 (Exec.vreg ex 4).(0)
+
+let test_exec_sync_port () =
+  (* A write to the sync address goes to the port; a read stalls until
+     data arrives. *)
+  let mailbox : (int, float array) Hashtbl.t = Hashtbl.create 4 in
+  let port =
+    {
+      Exec.send = (fun ~addr data -> Hashtbl.replace mailbox addr data);
+      recv = (fun ~addr ~len:_ -> Hashtbl.find_opt mailbox addr);
+    }
+  in
+  let sync_base = 1000 in
+  let p =
+    Program.make
+      [
+        Instr.V_fill { dst = 0; len = 4; value = 7.0 };
+        Instr.V_rd { dst = 1; addr = sync_base; len = 4 };
+      ]
+  in
+  let ex = Exec.create ~sync_base ~port ~dram:(Array.make 8 0.0) p in
+  (* First run stalls at the sync read. *)
+  (match Exec.run ex ~max_steps:10 with
+  | Exec.Stalled -> ()
+  | _ -> Alcotest.fail "expected stall");
+  Alcotest.(check int) "pc stuck at read" 1 (Exec.pc ex);
+  (* Deliver data, then it completes. *)
+  Hashtbl.replace mailbox sync_base [| 1.0; 2.0; 3.0; 4.0 |];
+  (match Exec.run ex ~max_steps:10 with
+  | Exec.Done -> ()
+  | _ -> Alcotest.fail "expected done");
+  Alcotest.(check (array (float 0.0))) "received" [| 1.0; 2.0; 3.0; 4.0 |] (Exec.vreg ex 1)
+
+let test_exec_sync_send () =
+  let sent = ref None in
+  let port =
+    {
+      Exec.send = (fun ~addr data -> sent := Some (addr, data));
+      recv = (fun ~addr:_ ~len:_ -> None);
+    }
+  in
+  let sync_base = 1000 in
+  let p =
+    Program.make
+      [
+        Instr.V_fill { dst = 0; len = 2; value = 5.0 };
+        Instr.V_wr { src = 0; addr = sync_base + 3; len = 2 };
+      ]
+  in
+  let ex = Exec.create ~sync_base ~port ~dram:(Array.make 8 0.0) p in
+  ignore (Exec.run ex ~max_steps:10);
+  match !sent with
+  | Some (addr, data) ->
+    Alcotest.(check int) "addr" (sync_base + 3) addr;
+    Alcotest.(check (array (float 0.0))) "data" [| 5.0; 5.0 |] data
+  | None -> Alcotest.fail "nothing sent"
+
+(* ---------------- Codegen vs golden model ---------------- *)
+
+let check_codegen kind =
+  let hidden = 24 and input = 24 and timesteps = 5 in
+  let p, layout = Codegen.generate kind ~hidden ~input ~timesteps in
+  Alcotest.(check (list string)) "program valid" [] (Program.validate p);
+  let rng = Rng.create 31 in
+  let dram = Codegen.init_dram ~rng layout in
+  let golden = Codegen.golden layout (Array.copy dram) in
+  (* exact executor must match golden almost exactly *)
+  let ex = Exec.create ~exact:true ~dram:(Array.copy dram) p in
+  (match Exec.run ex ~max_steps:1_000_000 with
+  | Exec.Done -> ()
+  | _ -> Alcotest.fail "exact run did not finish");
+  let h_exact = Exec.vreg ex 1 in
+  Array.iteri
+    (fun i g ->
+      Alcotest.(check (float 1e-9)) (Printf.sprintf "h[%d]" i) g h_exact.(i))
+    golden.(timesteps - 1);
+  (* quantized executor stays within BFP/fp16 noise *)
+  let exq = Exec.create ~dram:(Array.copy dram) p in
+  (match Exec.run exq ~max_steps:1_000_000 with
+  | Exec.Done -> ()
+  | _ -> Alcotest.fail "quantized run did not finish");
+  let h_q = Exec.vreg exq 1 in
+  Array.iteri
+    (fun i g ->
+      Alcotest.(check bool)
+        (Printf.sprintf "h_q[%d] close (%g vs %g)" i h_q.(i) g)
+        true
+        (Float.abs (h_q.(i) -. g) < 0.15))
+    golden.(timesteps - 1)
+
+let test_codegen_lstm () = check_codegen Codegen.Lstm
+let test_codegen_gru () = check_codegen Codegen.Gru
+
+let test_codegen_layout () =
+  let _, layout = Codegen.generate Codegen.Lstm ~hidden:4 ~input:3 ~timesteps:2 in
+  Alcotest.(check int) "8 weights" 8 (List.length layout.Codegen.weights);
+  (* 4 input-facing 4x3 + 4 recurrent 4x4 *)
+  let total = List.fold_left (fun a (w : Codegen.weight_spec) -> a + (w.rows * w.cols)) 0 layout.Codegen.weights in
+  Alcotest.(check int) "weight words" ((4 * (4 * 3)) + (4 * (4 * 4))) total;
+  Alcotest.(check int) "dram size" (total + (2 * 3) + (2 * 4)) layout.Codegen.dram_words
+
+let test_codegen_writes_every_step () =
+  let hidden = 8 and input = 8 and timesteps = 3 in
+  let p, layout = Codegen.generate Codegen.Gru ~hidden ~input ~timesteps in
+  let rng = Rng.create 41 in
+  let dram = Codegen.init_dram ~rng layout in
+  let golden = Codegen.golden layout (Array.copy dram) in
+  let ex = Exec.create ~exact:true ~dram p in
+  ignore (Exec.run ex ~max_steps:100_000);
+  for t = 0 to timesteps - 1 do
+    let h = Array.sub dram (layout.Codegen.h_out_base + (t * hidden)) hidden in
+    Array.iteri
+      (fun i g -> Alcotest.(check (float 1e-9)) (Printf.sprintf "t%d h[%d]" t i) g h.(i))
+      golden.(t)
+  done
+
+(* Property: assembler round-trips arbitrary well-formed programs. *)
+let prop_asm_roundtrip =
+  let gen =
+    QCheck.Gen.(
+      let instr =
+        oneof
+          [
+            map (fun (d, l) -> Instr.V_fill { dst = d; len = l + 1; value = 1.0 })
+              (pair (int_bound 15) (int_bound 63));
+            map (fun (d, m, s) -> Instr.Mvm { dst = d; mat = m; src = s })
+              (triple (int_bound 15) (int_bound 7) (int_bound 15));
+            map (fun (d, a, b) -> Instr.Vv_add { dst = d; a; b })
+              (triple (int_bound 15) (int_bound 15) (int_bound 15));
+            map (fun (d, a, l) -> Instr.V_rd { dst = d; addr = a; len = l + 1 })
+              (triple (int_bound 15) (int_bound 1000) (int_bound 63));
+            return Instr.Nop;
+          ]
+      in
+      list_size (int_range 1 40) instr)
+  in
+  QCheck.Test.make ~name:"asm round-trip" ~count:100
+    (QCheck.make gen) (fun instrs ->
+      let p = Program.make instrs in
+      match Asm.of_string (Asm.to_string p) with
+      | Ok p2 -> Asm.to_string p = Asm.to_string p2
+      | Error _ -> false)
+
+(* Property: fp16 round-trip is idempotent. *)
+let prop_fp16_idempotent =
+  QCheck.Test.make ~name:"fp16 idempotent" ~count:500
+    (QCheck.float_range (-1000.0) 1000.0) (fun f ->
+      let once = Fp16.round_float f in
+      Fp16.round_float once = once)
+
+(* Property: BFP quantization is idempotent. *)
+let prop_bfp_idempotent =
+  QCheck.Test.make ~name:"bfp idempotent" ~count:200
+    QCheck.(list_of_size (QCheck.Gen.int_range 1 32) (float_range (-10.0) 10.0))
+    (fun xs ->
+      let xs = Array.of_list xs in
+      let once = Bfp.quantize ~mantissa_bits:6 xs in
+      let twice = Bfp.quantize ~mantissa_bits:6 once in
+      Array.for_all2 (fun a b -> Float.abs (a -. b) < 1e-9) once twice)
+
+
+(* ---------------- Encoding ---------------- *)
+
+let test_encoding_roundtrip_program () =
+  let p, _ = Codegen.generate Codegen.Lstm ~hidden:16 ~input:16 ~timesteps:2 in
+  let words = Encoding.encode_program p in
+  match Encoding.decode_program ~vregs:p.Program.vregs ~mregs:p.Program.mregs words with
+  | Error e -> Alcotest.fail e
+  | Ok q ->
+    Alcotest.(check string) "identical disassembly" (Asm.to_string p) (Asm.to_string q)
+
+let test_encoding_fp16_immediate () =
+  let w = Encoding.encode (Instr.V_fill { dst = 3; len = 8; value = 0.333 }) in
+  match Encoding.decode w with
+  | Ok (Instr.V_fill { value; _ }) ->
+    Alcotest.(check (float 1e-9)) "fp16 rounded" (Fp16.round_float 0.333) value
+  | _ -> Alcotest.fail "wrong decode"
+
+let test_encoding_field_ranges () =
+  Alcotest.(check bool) "vreg range" true
+    (try
+       ignore (Encoding.encode (Instr.Mvm { dst = 32; mat = 0; src = 0 }));
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "addr range" true
+    (try
+       ignore (Encoding.encode (Instr.V_rd { dst = 0; addr = 0x1_0000_0000; len = 1 }));
+       false
+     with Invalid_argument _ -> true)
+
+let test_encoding_bad_opcode () =
+  match Encoding.decode 0xFC00000000000000L with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "accepted invalid opcode"
+
+let test_encoding_hex () =
+  let w = Encoding.encode Instr.Nop in
+  Alcotest.(check string) "nop hex" "0000000000000000" (Encoding.to_hex w);
+  (match Encoding.of_hex "00000000000000ff" with
+  | Ok v -> Alcotest.(check int64) "parsed" 255L v
+  | Error e -> Alcotest.fail e);
+  match Encoding.of_hex "zz" with Error _ -> () | Ok _ -> Alcotest.fail "bad hex accepted"
+
+let prop_encoding_roundtrip =
+  let gen =
+    QCheck.Gen.(
+      oneof
+        [
+          map (fun (d, a, l) -> Instr.V_rd { dst = d; addr = a; len = l + 1 })
+            (triple (int_bound 31) (int_bound 1_000_000) (int_bound 65534));
+          map (fun (d, a, l) -> Instr.V_wr { src = d; addr = a; len = l + 1 })
+            (triple (int_bound 31) (int_bound 1_000_000) (int_bound 65534));
+          map (fun (d, m, s) -> Instr.Mvm { dst = d; mat = m; src = s })
+            (triple (int_bound 31) (int_bound 15) (int_bound 31));
+          map (fun (d, a, b) -> Instr.Vv_sub { dst = d; a; b })
+            (triple (int_bound 31) (int_bound 31) (int_bound 31));
+          map (fun (d, a, r, c) ->
+              Instr.M_rd { dst = d; addr = a; rows = r + 1; cols = c + 1 })
+            (quad (int_bound 15) (int_bound 100_000) (int_bound 4094) (int_bound 4094));
+          return Instr.Nop;
+        ])
+  in
+  QCheck.Test.make ~name:"encoding round-trip" ~count:300 (QCheck.make gen) (fun i ->
+      match Encoding.decode (Encoding.encode i) with Ok j -> i = j | Error _ -> false)
+
+(* ---------------- Optimizer ---------------- *)
+
+let test_opt_removes_nops () =
+  let p = Program.make [ Instr.Nop; Instr.V_fill { dst = 0; len = 1; value = 1.0 }; Instr.Nop ] in
+  Alcotest.(check int) "one left" 1 (Program.length (Opt.remove_nops p))
+
+let test_opt_dead_overwrite () =
+  let p =
+    Program.make
+      [
+        Instr.V_fill { dst = 0; len = 4; value = 1.0 };
+        (* dead *)
+        Instr.V_fill { dst = 0; len = 4; value = 2.0 };
+        Instr.V_wr { src = 0; addr = 0; len = 4 };
+      ]
+  in
+  let q = Opt.optimize p in
+  Alcotest.(check int) "dead removed" 2 (Program.length q)
+
+let test_opt_keeps_read_values () =
+  let p =
+    Program.make
+      [
+        Instr.V_fill { dst = 0; len = 4; value = 1.0 };
+        Instr.Act { dst = 1; src = 0; f = Instr.Relu };
+        Instr.V_fill { dst = 0; len = 4; value = 2.0 };
+        Instr.V_wr { src = 1; addr = 0; len = 4 };
+      ]
+  in
+  (* The first fill is read by the act; the second is live at exit. *)
+  Alcotest.(check int) "nothing removed" 4 (Program.length (Opt.optimize p))
+
+let test_opt_codegen_is_clean () =
+  (* The generator should not emit removable instructions. *)
+  let p, _ = Codegen.generate Codegen.Gru ~hidden:16 ~input:16 ~timesteps:3 in
+  Alcotest.(check int) "already minimal" (Program.length p) (Program.length (Opt.optimize p))
+
+let prop_opt_preserves_semantics =
+  QCheck.Test.make ~name:"optimizer preserves DRAM semantics" ~count:50
+    QCheck.(list_of_size (Gen.int_range 1 25) (int_bound 1000))
+    (fun seeds ->
+      (* Build a random straight-line program from seeds. *)
+      let instr k =
+        match k mod 6 with
+        | 0 -> Instr.V_fill { dst = k mod 8; len = 4; value = float_of_int (k mod 9) }
+        | 1 -> Instr.Nop
+        | 2 -> Instr.V_fill { dst = (k / 7) mod 8; len = 4; value = 2.0 }
+        | 3 -> Instr.V_rd { dst = k mod 8; addr = 4 * (k mod 10); len = 4 }
+        | 4 -> Instr.V_wr { src = k mod 8; addr = 4 * (k mod 10); len = 4 }
+        | _ -> Instr.Act { dst = k mod 8; src = (k / 3) mod 8; f = Instr.Relu }
+      in
+      (* Initialize every register first so reads are always valid. *)
+      let init = List.init 8 (fun r -> Instr.V_fill { dst = r; len = 4; value = 0.0 }) in
+      let p = Program.make (init @ List.map instr seeds) in
+      let run prog =
+        let dram = Array.make 64 0.5 in
+        let ex = Exec.create ~exact:true ~dram prog in
+        ignore (Exec.run ex ~max_steps:10_000);
+        dram
+      in
+      run p = run (Opt.optimize p))
+
+
+(* ---------------- MLP ---------------- *)
+
+let test_mlp_spec_validation () =
+  Alcotest.(check bool) "one dim" true
+    (try
+       ignore (Mlp.make_spec [ 8 ]);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "bad dim" true
+    (try
+       ignore (Mlp.make_spec [ 8; 0 ]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_mlp_weight_words () =
+  let spec = Mlp.make_spec [ 10; 20; 5 ] in
+  Alcotest.(check int) "params" ((20 * 10) + (5 * 20)) (Mlp.weight_words spec)
+
+let test_mlp_matches_golden () =
+  let spec = Mlp.make_spec ~activation:Instr.Tanh [ 16; 24; 8 ] in
+  let batch = 4 in
+  let p, lay = Mlp.generate spec ~batch in
+  Alcotest.(check (list string)) "valid" [] (Program.validate p);
+  let rng = Rng.create 17 in
+  let dram = Mlp.init_dram ~rng lay in
+  let golden = Mlp.golden lay (Array.copy dram) in
+  let ex = Exec.create ~exact:true ~dram p in
+  (match Exec.run ex ~max_steps:100_000 with
+  | Exec.Done -> ()
+  | _ -> Alcotest.fail "did not finish");
+  Array.iteri
+    (fun b g ->
+      let y = Array.sub dram (lay.Mlp.y_base + (b * lay.Mlp.output_dim)) lay.Mlp.output_dim in
+      Array.iteri
+        (fun i v -> Alcotest.(check (float 1e-9)) (Printf.sprintf "b%d y[%d]" b i) g.(i) v)
+        y)
+    golden
+
+let test_mlp_quantized_close () =
+  let spec = Mlp.make_spec [ 16; 16 ] in
+  let p, lay = Mlp.generate spec ~batch:1 in
+  let rng = Rng.create 23 in
+  let dram = Mlp.init_dram ~rng lay in
+  let golden = Mlp.golden lay (Array.copy dram) in
+  let ex = Exec.create ~dram p in
+  ignore (Exec.run ex ~max_steps:100_000);
+  let y = Array.sub dram lay.Mlp.y_base lay.Mlp.output_dim in
+  Array.iteri
+    (fun i v ->
+      Alcotest.(check bool) "close" true (Float.abs (v -. golden.(0).(i)) < 0.3))
+    y
+
+
+(* ---------------- Hardware loops ---------------- *)
+
+let test_loop_matches_unrolled () =
+  List.iter
+    (fun kind ->
+      let hidden = 16 and timesteps = 4 in
+      let pu, lay = Codegen.generate kind ~hidden ~input:hidden ~timesteps in
+      let pl, _ = Codegen.generate_looped kind ~hidden ~input:hidden ~timesteps in
+      Alcotest.(check (list string)) "looped valid" [] (Program.validate pl);
+      Alcotest.(check bool) "much smaller" true
+        (Program.length pl * 2 < Program.length pu);
+      let rng = Rng.create 13 in
+      let dram = Codegen.init_dram ~rng lay in
+      let run p =
+        let d = Array.copy dram in
+        let ex = Exec.create ~exact:true ~dram:d p in
+        (match Exec.run ex ~max_steps:1_000_000 with
+        | Exec.Done -> ()
+        | _ -> Alcotest.fail "did not finish");
+        d
+      in
+      Alcotest.(check bool) (Codegen.kind_name kind ^ " identical DRAM") true
+        (run pu = run pl))
+    [ Codegen.Lstm; Codegen.Gru ]
+
+let test_loop_validate_errors () =
+  let unterminated = Program.make [ Instr.Loop { count = 3 }; Instr.Nop ] in
+  Alcotest.(check bool) "unterminated" true (Program.validate unterminated <> []);
+  let dangling = Program.make [ Instr.Nop; Instr.End_loop ] in
+  Alcotest.(check bool) "dangling endloop" true (Program.validate dangling <> []);
+  let zero = Program.make [ Instr.Loop { count = 0 }; Instr.End_loop ] in
+  Alcotest.(check bool) "zero count" true (Program.validate zero <> [])
+
+let test_loop_nested () =
+  (* 3 x 4 inner fills: the indexed write sees the inner iteration. *)
+  let p =
+    Program.make
+      [
+        Instr.V_fill { dst = 0; len = 2; value = 1.0 };
+        Instr.Loop { count = 3 };
+        Instr.Loop { count = 4 };
+        Instr.V_wr_i { src = 0; base = 0; stride = 2; len = 2 };
+        Instr.End_loop;
+        Instr.End_loop;
+      ]
+  in
+  let dram = Array.make 16 0.0 in
+  let ex = Exec.create ~exact:true ~dram p in
+  (match Exec.run ex ~max_steps:1000 with
+  | Exec.Done -> ()
+  | _ -> Alcotest.fail "did not finish");
+  (* inner loop writes slots 0..7; executed = 1 + outer(1 + 3*(1 + 4*2...)) *)
+  Alcotest.(check (float 0.0)) "slot 0" 1.0 dram.(0);
+  Alcotest.(check (float 0.0)) "slot 7" 1.0 dram.(7);
+  Alcotest.(check (float 0.0)) "slot 8 untouched" 0.0 dram.(8);
+  (* fill(1) + outer loop(1) + 3 x (inner loop(1) + 4 x (write + endloop)) + 3 outer endloops *)
+  Alcotest.(check int) "instruction count" (1 + 1 + (3 * (1 + (4 * 2))) + 3) (Exec.executed ex)
+
+let test_loop_asm_roundtrip () =
+  let p, _ = Codegen.generate_looped Codegen.Gru ~hidden:8 ~input:8 ~timesteps:3 in
+  match Asm.of_string (Asm.to_string p) with
+  | Ok q -> Alcotest.(check string) "same" (Asm.to_string p) (Asm.to_string q)
+  | Error e -> Alcotest.fail e
+
+let test_loop_encoding_roundtrip () =
+  List.iter
+    (fun i ->
+      match Encoding.decode (Encoding.encode i) with
+      | Ok j -> Alcotest.(check bool) "roundtrip" true (i = j)
+      | Error e -> Alcotest.fail e)
+    [
+      Instr.Loop { count = 1500 };
+      Instr.End_loop;
+      Instr.V_rd_i { dst = 3; base = 1_000_000; stride = 1024; len = 512 };
+      Instr.V_wr_i { src = 7; base = 42; stride = 8; len = 8 };
+    ]
+
+let test_loop_opt_conservative () =
+  let p, _ = Codegen.generate_looped Codegen.Lstm ~hidden:8 ~input:8 ~timesteps:2 in
+  Alcotest.(check int) "unchanged" (Program.length p) (Program.length (Opt.optimize p))
+
+let test_loop_depends_barrier () =
+  let loop = Instr.Loop { count = 2 } in
+  let any = Instr.V_fill { dst = 0; len = 1; value = 0.0 } in
+  Alcotest.(check bool) "barrier before" true (Instr.depends ~earlier:loop ~later:any);
+  Alcotest.(check bool) "barrier after" true (Instr.depends ~earlier:any ~later:Instr.End_loop);
+  (* wild accesses conflict with overlapping-agnostic writes *)
+  let wild_rd = Instr.V_rd_i { dst = 1; base = 0; stride = 4; len = 4 } in
+  let wr = Instr.V_wr { src = 0; addr = 500; len = 4 } in
+  Alcotest.(check bool) "wild read vs write" true (Instr.depends ~earlier:wr ~later:wild_rd)
+
+let () =
+  Alcotest.run "isa"
+    [
+      ( "fp16",
+        [
+          Alcotest.test_case "roundtrip exact values" `Quick test_fp16_roundtrip_exact;
+          Alcotest.test_case "one" `Quick test_fp16_one;
+          Alcotest.test_case "overflow to inf" `Quick test_fp16_overflow;
+          Alcotest.test_case "rounding error bound" `Quick test_fp16_rounding_error_bound;
+          Alcotest.test_case "subnormal" `Quick test_fp16_subnormal;
+          Alcotest.test_case "arithmetic" `Quick test_fp16_arith;
+          QCheck_alcotest.to_alcotest prop_fp16_idempotent;
+          QCheck_alcotest.to_alcotest
+            (QCheck.Test.make ~name:"fp16 bits roundtrip" ~count:500
+               QCheck.(int_bound 0xFFFF)
+               (fun b ->
+                 let h = Fp16.of_bits b in
+                 Fp16.to_bits h = b land 0xFFFF));
+        ] );
+      ( "bfp",
+        [
+          Alcotest.test_case "powers of two exact" `Quick test_bfp_roundtrip_pow2;
+          Alcotest.test_case "zero block" `Quick test_bfp_zero_block;
+          Alcotest.test_case "quantization error bound" `Quick test_bfp_quantization_error;
+          Alcotest.test_case "dot matches quantized" `Quick test_bfp_dot_matches_quantized;
+          Alcotest.test_case "dot length mismatch" `Quick test_bfp_dot_length_mismatch;
+          QCheck_alcotest.to_alcotest prop_bfp_idempotent;
+        ] );
+      ( "instr",
+        [
+          Alcotest.test_case "register dependencies" `Quick test_instr_dependencies;
+          Alcotest.test_case "memory dependencies" `Quick test_instr_memory_dependencies;
+        ] );
+      ( "program",
+        [
+          Alcotest.test_case "validate ok" `Quick test_program_validate_ok;
+          Alcotest.test_case "validate uninitialized" `Quick test_program_validate_uninitialized;
+          Alcotest.test_case "validate bounds" `Quick test_program_validate_bounds;
+          Alcotest.test_case "dependency predecessors" `Quick test_program_dep_predecessors;
+          Alcotest.test_case "opcode histogram" `Quick test_program_histogram;
+        ] );
+      ( "asm",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_asm_roundtrip;
+          Alcotest.test_case "comments and blanks" `Quick test_asm_comments_and_blanks;
+          Alcotest.test_case "errors" `Quick test_asm_errors;
+          QCheck_alcotest.to_alcotest prop_asm_roundtrip;
+        ] );
+      ( "exec",
+        [
+          Alcotest.test_case "vector ops" `Quick test_exec_vector_ops;
+          Alcotest.test_case "dram roundtrip" `Quick test_exec_dram_roundtrip;
+          Alcotest.test_case "dram out of bounds" `Quick test_exec_dram_oob;
+          Alcotest.test_case "mvm exact" `Quick test_exec_mvm_exact;
+          Alcotest.test_case "mvm quantized close" `Quick test_exec_mvm_quantized_close;
+          Alcotest.test_case "activations" `Quick test_exec_activations;
+          Alcotest.test_case "sync port stall/resume" `Quick test_exec_sync_port;
+          Alcotest.test_case "sync port send" `Quick test_exec_sync_send;
+        ] );
+      ( "encoding",
+        [
+          Alcotest.test_case "program roundtrip" `Quick test_encoding_roundtrip_program;
+          Alcotest.test_case "fp16 immediate" `Quick test_encoding_fp16_immediate;
+          Alcotest.test_case "field ranges" `Quick test_encoding_field_ranges;
+          Alcotest.test_case "bad opcode" `Quick test_encoding_bad_opcode;
+          Alcotest.test_case "hex" `Quick test_encoding_hex;
+          QCheck_alcotest.to_alcotest prop_encoding_roundtrip;
+        ] );
+      ( "opt",
+        [
+          Alcotest.test_case "removes nops" `Quick test_opt_removes_nops;
+          Alcotest.test_case "dead overwrite" `Quick test_opt_dead_overwrite;
+          Alcotest.test_case "keeps read values" `Quick test_opt_keeps_read_values;
+          Alcotest.test_case "codegen is clean" `Quick test_opt_codegen_is_clean;
+          QCheck_alcotest.to_alcotest prop_opt_preserves_semantics;
+        ] );
+      ( "loops",
+        [
+          Alcotest.test_case "matches unrolled" `Quick test_loop_matches_unrolled;
+          Alcotest.test_case "validate errors" `Quick test_loop_validate_errors;
+          Alcotest.test_case "nested" `Quick test_loop_nested;
+          Alcotest.test_case "asm roundtrip" `Quick test_loop_asm_roundtrip;
+          Alcotest.test_case "encoding roundtrip" `Quick test_loop_encoding_roundtrip;
+          Alcotest.test_case "optimizer conservative" `Quick test_loop_opt_conservative;
+          Alcotest.test_case "loop barriers" `Quick test_loop_depends_barrier;
+        ] );
+      ( "mlp",
+        [
+          Alcotest.test_case "spec validation" `Quick test_mlp_spec_validation;
+          Alcotest.test_case "weight words" `Quick test_mlp_weight_words;
+          Alcotest.test_case "matches golden" `Quick test_mlp_matches_golden;
+          Alcotest.test_case "quantized close" `Quick test_mlp_quantized_close;
+        ] );
+      ( "codegen",
+        [
+          Alcotest.test_case "lstm matches golden" `Quick test_codegen_lstm;
+          Alcotest.test_case "gru matches golden" `Quick test_codegen_gru;
+          Alcotest.test_case "layout" `Quick test_codegen_layout;
+          Alcotest.test_case "writes every step" `Quick test_codegen_writes_every_step;
+        ] );
+    ]

@@ -1,0 +1,111 @@
+(* Tests for the system-level simulation: policy comparisons at small
+   scale (the full Fig. 12 runs live in the benchmark harness). *)
+
+module Sysim = Mlv_sysim.Sysim
+module Runtime = Mlv_core.Runtime
+module Genset = Mlv_workload.Genset
+module Deepbench = Mlv_workload.Deepbench
+module Codegen = Mlv_isa.Codegen
+
+(* The registry build compiles ten accelerator instances; share it. *)
+let registry = lazy (Sysim.build_registry ())
+
+let run ?(tasks = 40) policy set =
+  let cfg = Sysim.default_config ~policy ~composition:Genset.table1.(set) in
+  Sysim.run ~registry:(Lazy.force registry) { cfg with Sysim.tasks }
+
+let test_instances_registered () =
+  let names = Mlv_core.Registry.names (Lazy.force registry) in
+  Alcotest.(check int) "10 instances" 10 (List.length names);
+  Alcotest.(check bool) "has t21" true (List.mem "npu-t21" names)
+
+let test_instance_selection () =
+  let small = { Deepbench.kind = Codegen.Gru; hidden = 512; timesteps = 1 } in
+  let large = { Deepbench.kind = Codegen.Gru; hidden = 2560; timesteps = 100 } in
+  let t_small = Sysim.instance_for ~policy:Runtime.greedy small in
+  let t_large = Sysim.instance_for ~policy:Runtime.greedy large in
+  Alcotest.(check bool) "small gets small" true (t_small <= 8);
+  Alcotest.(check bool) "large gets multi-FPGA instance" true (t_large >= 32);
+  (* The baseline cannot use instances beyond a single device. *)
+  let t_large_base = Sysim.instance_for ~policy:Runtime.baseline large in
+  Alcotest.(check int) "baseline capped" 21 t_large_base
+
+let test_all_tasks_complete () =
+  List.iter
+    (fun policy ->
+      let r = run policy 6 in
+      Alcotest.(check int) policy.Runtime.policy_name 40 r.Sysim.completed;
+      Alcotest.(check bool) "positive throughput" true (r.Sysim.throughput_per_s > 0.0))
+    [ Runtime.baseline; Runtime.restricted; Runtime.greedy ]
+
+let test_deterministic () =
+  let a = run Runtime.greedy 6 in
+  let b = run Runtime.greedy 6 in
+  Alcotest.(check (float 1e-9)) "same throughput" a.Sysim.throughput_per_s
+    b.Sysim.throughput_per_s;
+  Alcotest.(check (float 1e-9)) "same makespan" a.Sysim.makespan_us b.Sysim.makespan_us
+
+let test_slo_misses_grow_with_load () =
+  (* A saturated arrival rate misses more SLOs than a relaxed one. *)
+  let run_rate interarrival =
+    let cfg =
+      Sysim.default_config ~policy:Runtime.greedy ~composition:Genset.table1.(6)
+    in
+    Sysim.run ~registry:(Lazy.force registry)
+      { cfg with Sysim.tasks = 40; mean_interarrival_us = interarrival }
+  in
+  let tight = run_rate 50.0 in
+  let relaxed = run_rate 100_000.0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "tight %d vs relaxed %d misses" tight.Sysim.slo_misses
+       relaxed.Sysim.slo_misses)
+    true
+    (tight.Sysim.slo_misses >= relaxed.Sysim.slo_misses);
+  Alcotest.(check int) "no misses unloaded" 0 relaxed.Sysim.slo_misses
+
+let test_greedy_beats_baseline () =
+  (* The headline claim at small scale: spatial sharing plus
+     multi-FPGA deployment outperforms per-device management. *)
+  let g = run Runtime.greedy 6 in
+  let b = run Runtime.baseline 6 in
+  Alcotest.(check bool)
+    (Printf.sprintf "greedy %.1f vs baseline %.1f" g.Sysim.throughput_per_s
+       b.Sysim.throughput_per_s)
+    true
+    (g.Sysim.throughput_per_s > 1.5 *. b.Sysim.throughput_per_s)
+
+let test_greedy_beats_restricted () =
+  let g = run Runtime.greedy 7 in
+  (* L-heavy set: heterogeneity matters most *)
+  let r = run Runtime.restricted 7 in
+  Alcotest.(check bool)
+    (Printf.sprintf "greedy %.1f vs restricted %.1f" g.Sysim.throughput_per_s
+       r.Sysim.throughput_per_s)
+    true
+    (g.Sysim.throughput_per_s >= r.Sysim.throughput_per_s)
+
+let test_wait_reasonable () =
+  let r = run ~tasks:20 Runtime.greedy 0 in
+  (* an all-S set at this arrival rate should barely queue *)
+  Alcotest.(check bool) "waits bounded" true (r.Sysim.mean_wait_us < r.Sysim.makespan_us);
+  Alcotest.(check bool) "service positive" true (r.Sysim.mean_service_us > 0.0);
+  Alcotest.(check bool) "p95 >= mean" true (r.Sysim.p95_latency_us >= r.Sysim.mean_latency_us *. 0.5);
+  Alcotest.(check int) "latency per task" r.Sysim.completed (List.length r.Sysim.latencies_us);
+  Alcotest.(check bool) "slo misses bounded" true
+    (r.Sysim.slo_misses >= 0 && r.Sysim.slo_misses <= r.Sysim.completed)
+
+let () =
+  Alcotest.run "sysim"
+    [
+      ( "sysim",
+        [
+          Alcotest.test_case "instances registered" `Quick test_instances_registered;
+          Alcotest.test_case "instance selection" `Quick test_instance_selection;
+          Alcotest.test_case "all tasks complete" `Quick test_all_tasks_complete;
+          Alcotest.test_case "deterministic" `Quick test_deterministic;
+          Alcotest.test_case "greedy beats baseline" `Quick test_greedy_beats_baseline;
+          Alcotest.test_case "SLO misses grow with load" `Quick test_slo_misses_grow_with_load;
+          Alcotest.test_case "greedy vs restricted" `Quick test_greedy_beats_restricted;
+          Alcotest.test_case "waits reasonable" `Quick test_wait_reasonable;
+        ] );
+    ]

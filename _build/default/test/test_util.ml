@@ -1,0 +1,251 @@
+(* Tests for the utility substrate: PRNG, statistics, priority queue,
+   union-find and table rendering. *)
+
+module Rng = Mlv_util.Rng
+module Stats = Mlv_util.Stats
+module Pqueue = Mlv_util.Pqueue
+module Union_find = Mlv_util.Union_find
+module Table = Mlv_util.Table
+
+let test_rng_deterministic () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.bits64 a) (Rng.bits64 b)
+  done
+
+let test_rng_seed_sensitivity () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Int64.equal (Rng.bits64 a) (Rng.bits64 b) then incr same
+  done;
+  Alcotest.(check bool) "streams differ" true (!same < 4)
+
+let test_rng_split_independent () =
+  let parent = Rng.create 7 in
+  let child = Rng.split parent in
+  let xs = List.init 32 (fun _ -> Rng.bits64 parent) in
+  let ys = List.init 32 (fun _ -> Rng.bits64 child) in
+  Alcotest.(check bool) "different streams" true (xs <> ys)
+
+let test_rng_int_bounds () =
+  let rng = Rng.create 3 in
+  for _ = 1 to 1000 do
+    let v = Rng.int rng 17 in
+    Alcotest.(check bool) "in [0,17)" true (v >= 0 && v < 17)
+  done
+
+let test_rng_int_invalid () =
+  let rng = Rng.create 3 in
+  Alcotest.check_raises "zero bound" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Rng.int rng 0))
+
+let test_rng_float_bounds () =
+  let rng = Rng.create 9 in
+  for _ = 1 to 1000 do
+    let v = Rng.float rng 2.5 in
+    Alcotest.(check bool) "in [0,2.5)" true (v >= 0.0 && v < 2.5)
+  done
+
+let test_rng_exponential_mean () =
+  let rng = Rng.create 11 in
+  let n = 20000 in
+  let sum = ref 0.0 in
+  for _ = 1 to n do
+    sum := !sum +. Rng.exponential rng ~mean:4.0
+  done;
+  let mean = !sum /. float_of_int n in
+  Alcotest.(check bool) "mean ~ 4" true (Float.abs (mean -. 4.0) < 0.2)
+
+let test_rng_gaussian_moments () =
+  let rng = Rng.create 13 in
+  let n = 20000 in
+  let xs = List.init n (fun _ -> Rng.gaussian rng ~mu:2.0 ~sigma:3.0) in
+  let mean = Stats.mean xs in
+  let sd = Stats.stddev xs in
+  Alcotest.(check bool) "mu ~ 2" true (Float.abs (mean -. 2.0) < 0.1);
+  Alcotest.(check bool) "sigma ~ 3" true (Float.abs (sd -. 3.0) < 0.1)
+
+let test_rng_shuffle_permutation () =
+  let rng = Rng.create 17 in
+  let arr = Array.init 50 Fun.id in
+  Rng.shuffle rng arr;
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "is permutation" (Array.init 50 Fun.id) sorted
+
+let test_rng_choose () =
+  let rng = Rng.create 19 in
+  for _ = 1 to 100 do
+    let v = Rng.choose rng [ 1; 2; 3 ] in
+    Alcotest.(check bool) "member" true (List.mem v [ 1; 2; 3 ])
+  done
+
+let test_stats_mean () =
+  Alcotest.(check (float 1e-9)) "mean" 2.5 (Stats.mean [ 1.0; 2.0; 3.0; 4.0 ]);
+  Alcotest.(check (float 1e-9)) "empty" 0.0 (Stats.mean [])
+
+let test_stats_stddev () =
+  Alcotest.(check (float 1e-9)) "constant" 0.0 (Stats.stddev [ 5.0; 5.0; 5.0 ]);
+  (* population stddev: variance = (4 + 0 + 4) / 3 *)
+  Alcotest.(check (float 1e-6)) "known" (sqrt (8.0 /. 3.0)) (Stats.stddev [ 1.0; 3.0; 5.0 ])
+
+let test_stats_percentile () =
+  let xs = [ 1.0; 2.0; 3.0; 4.0; 5.0 ] in
+  Alcotest.(check (float 1e-9)) "p0" 1.0 (Stats.percentile 0.0 xs);
+  Alcotest.(check (float 1e-9)) "p50" 3.0 (Stats.percentile 50.0 xs);
+  Alcotest.(check (float 1e-9)) "p100" 5.0 (Stats.percentile 100.0 xs);
+  Alcotest.(check (float 1e-9)) "p25" 2.0 (Stats.percentile 25.0 xs)
+
+let test_stats_median_interpolates () =
+  Alcotest.(check (float 1e-9)) "even count" 2.5 (Stats.median [ 1.0; 2.0; 3.0; 4.0 ])
+
+let test_stats_geomean () =
+  Alcotest.(check (float 1e-9)) "geomean" 4.0 (Stats.geomean [ 2.0; 8.0 ]);
+  Alcotest.check_raises "non-positive"
+    (Invalid_argument "Stats.geomean: non-positive sample") (fun () ->
+      ignore (Stats.geomean [ 1.0; 0.0 ]))
+
+let test_stats_acc () =
+  let acc = Stats.Acc.create () in
+  List.iter (Stats.Acc.add acc) [ 3.0; 1.0; 2.0 ];
+  Alcotest.(check int) "count" 3 (Stats.Acc.count acc);
+  Alcotest.(check (float 1e-9)) "mean" 2.0 (Stats.Acc.mean acc);
+  Alcotest.(check (float 1e-9)) "min" 1.0 (Stats.Acc.min acc);
+  Alcotest.(check (float 1e-9)) "max" 3.0 (Stats.Acc.max acc);
+  Alcotest.(check (float 1e-9)) "sum" 6.0 (Stats.Acc.sum acc)
+
+let test_pqueue_order () =
+  let q = Pqueue.create () in
+  Pqueue.push q 3.0 "c";
+  Pqueue.push q 1.0 "a";
+  Pqueue.push q 2.0 "b";
+  let pops = List.init 3 (fun _ -> Pqueue.pop q) in
+  let values = List.map (function Some (_, v) -> v | None -> "?") pops in
+  Alcotest.(check (list string)) "sorted" [ "a"; "b"; "c" ] values;
+  Alcotest.(check bool) "empty after" true (Pqueue.is_empty q)
+
+let test_pqueue_fifo_ties () =
+  let q = Pqueue.create () in
+  List.iter (fun v -> Pqueue.push q 1.0 v) [ "first"; "second"; "third" ];
+  let values =
+    List.init 3 (fun _ -> match Pqueue.pop q with Some (_, v) -> v | None -> "?")
+  in
+  Alcotest.(check (list string)) "insertion order" [ "first"; "second"; "third" ] values
+
+let test_pqueue_interleaved () =
+  let q = Pqueue.create () in
+  Pqueue.push q 5.0 5;
+  Pqueue.push q 1.0 1;
+  (match Pqueue.pop q with
+  | Some (p, v) ->
+    Alcotest.(check (float 0.0)) "priority" 1.0 p;
+    Alcotest.(check int) "value" 1 v
+  | None -> Alcotest.fail "unexpected empty");
+  Pqueue.push q 0.5 0;
+  (match Pqueue.peek q with
+  | Some (_, v) -> Alcotest.(check int) "peek" 0 v
+  | None -> Alcotest.fail "unexpected empty");
+  Alcotest.(check int) "length" 2 (Pqueue.length q)
+
+let test_pqueue_stress_sorted () =
+  let rng = Rng.create 23 in
+  let q = Pqueue.create () in
+  for _ = 1 to 2000 do
+    Pqueue.push q (Rng.float rng 100.0) ()
+  done;
+  let prev = ref neg_infinity in
+  let ok = ref true in
+  let rec drain () =
+    match Pqueue.pop q with
+    | None -> ()
+    | Some (p, ()) ->
+      if p < !prev then ok := false;
+      prev := p;
+      drain ()
+  in
+  drain ();
+  Alcotest.(check bool) "monotone" true !ok
+
+let test_union_find_basic () =
+  let uf = Union_find.create 6 in
+  ignore (Union_find.union uf 0 1);
+  ignore (Union_find.union uf 2 3);
+  Alcotest.(check bool) "same 0 1" true (Union_find.same uf 0 1);
+  Alcotest.(check bool) "not same 0 2" false (Union_find.same uf 0 2);
+  ignore (Union_find.union uf 1 2);
+  Alcotest.(check bool) "same 0 3" true (Union_find.same uf 0 3)
+
+let test_union_find_groups () =
+  let uf = Union_find.create 5 in
+  ignore (Union_find.union uf 0 4);
+  ignore (Union_find.union uf 1 2);
+  let groups = Union_find.groups uf |> List.map snd in
+  Alcotest.(check (list (list int))) "groups" [ [ 0; 4 ]; [ 1; 2 ]; [ 3 ] ] groups
+
+let test_table_render () =
+  let t = Table.create ~title:"T" [ "name"; "value" ] in
+  Table.add_row t [ "a"; "1" ];
+  Table.add_row t [ "bb"; "22" ];
+  let s = Table.render t in
+  Alcotest.(check bool) "has title" true (String.length s > 0 && s.[0] = 'T');
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec at i = i + nn <= nh && (String.sub hay i nn = needle || at (i + 1)) in
+    at 0
+  in
+  Alcotest.(check bool) "contains row" true (contains s "bb")
+
+let test_table_arity () =
+  let t = Table.create [ "a"; "b" ] in
+  Alcotest.check_raises "arity" (Invalid_argument "Table.add_row: arity mismatch")
+    (fun () -> Table.add_row t [ "only-one" ])
+
+let test_table_fmt () =
+  Alcotest.(check string) "pct" "7.8%" (Table.fmt_pct 0.078);
+  Alcotest.(check string) "float trim" "1.5" (Table.fmt_float ~digits:4 1.5)
+
+let () =
+  Alcotest.run "util"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "seed sensitivity" `Quick test_rng_seed_sensitivity;
+          Alcotest.test_case "split independence" `Quick test_rng_split_independent;
+          Alcotest.test_case "int bounds" `Quick test_rng_int_bounds;
+          Alcotest.test_case "int invalid" `Quick test_rng_int_invalid;
+          Alcotest.test_case "float bounds" `Quick test_rng_float_bounds;
+          Alcotest.test_case "exponential mean" `Quick test_rng_exponential_mean;
+          Alcotest.test_case "gaussian moments" `Quick test_rng_gaussian_moments;
+          Alcotest.test_case "shuffle permutation" `Quick test_rng_shuffle_permutation;
+          Alcotest.test_case "choose membership" `Quick test_rng_choose;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "mean" `Quick test_stats_mean;
+          Alcotest.test_case "stddev" `Quick test_stats_stddev;
+          Alcotest.test_case "percentile" `Quick test_stats_percentile;
+          Alcotest.test_case "median interpolation" `Quick test_stats_median_interpolates;
+          Alcotest.test_case "geomean" `Quick test_stats_geomean;
+          Alcotest.test_case "streaming accumulator" `Quick test_stats_acc;
+        ] );
+      ( "pqueue",
+        [
+          Alcotest.test_case "pop order" `Quick test_pqueue_order;
+          Alcotest.test_case "FIFO on ties" `Quick test_pqueue_fifo_ties;
+          Alcotest.test_case "interleaved ops" `Quick test_pqueue_interleaved;
+          Alcotest.test_case "stress sorted" `Quick test_pqueue_stress_sorted;
+        ] );
+      ( "union_find",
+        [
+          Alcotest.test_case "basic union/same" `Quick test_union_find_basic;
+          Alcotest.test_case "groups" `Quick test_union_find_groups;
+        ] );
+      ( "table",
+        [
+          Alcotest.test_case "render" `Quick test_table_render;
+          Alcotest.test_case "arity check" `Quick test_table_arity;
+          Alcotest.test_case "formatters" `Quick test_table_fmt;
+        ] );
+    ]
