@@ -1,0 +1,31 @@
+# Convenience entry points; everything is plain dune underneath.
+
+.PHONY: all build check fmt test bench clean
+
+all: build
+
+build:
+	dune build @all
+
+# Gate on ocamlformat being installed: CI images without it still get
+# a meaningful `make check` (build + tests).
+fmt:
+	@if command -v ocamlformat >/dev/null 2>&1; then \
+	  dune build @fmt --auto-promote; \
+	else \
+	  echo "ocamlformat not installed; skipping format check"; \
+	fi
+
+test:
+	dune runtest
+
+# The one-stop pre-commit gate.
+check: build fmt test
+
+# Regenerates every table/figure and leaves BENCH_obs.json (the
+# observability registry of the run) next to the console output.
+bench:
+	dune exec bench/main.exe
+
+clean:
+	dune clean

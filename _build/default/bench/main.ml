@@ -802,12 +802,23 @@ let experiments =
     ("micro", micro);
   ]
 
+(* Dump the observability registry accumulated by the experiments so a
+   bench run leaves a machine-readable artifact next to the tables. *)
+let dump_obs () =
+  let path = "BENCH_obs.json" in
+  Mlv_obs.Obs.write_json path;
+  Printf.printf "\nobservability metrics written to %s\n" path
+
 let () =
   match Sys.argv with
-  | [| _ |] -> List.iter (fun (_, f) -> f ()) experiments
+  | [| _ |] ->
+    List.iter (fun (_, f) -> f ()) experiments;
+    dump_obs ()
   | [| _; name |] -> (
     match List.assoc_opt name experiments with
-    | Some f -> f ()
+    | Some f ->
+      f ();
+      dump_obs ()
     | None ->
       Printf.eprintf "unknown experiment %s; available: %s\n" name
         (String.concat " " (List.map fst experiments));

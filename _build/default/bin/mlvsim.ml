@@ -38,7 +38,7 @@ let report set composition policy tasks seed (r : Sysim.result) =
     Format.printf "  latency (ms):    %a@." (Mlv_workload.Metrics.pp_summary ~unit_name:"ms") s
   | None -> ())
 
-let run set policy tasks seed interarrival repeats compare =
+let run set policy tasks seed interarrival repeats compare metrics_out =
   if set < 1 || set > 10 then begin
     prerr_endline "workload set must be 1..10";
     1
@@ -64,7 +64,16 @@ let run set policy tasks seed interarrival repeats compare =
     if compare then
       List.iter run_one [ Runtime.baseline; Runtime.restricted; Runtime.greedy ]
     else run_one policy;
-    0
+    (match metrics_out with
+    | None -> 0
+    | Some path -> (
+      try
+        Mlv_obs.Obs.write_json path;
+        Printf.printf "metrics written to %s\n" path;
+        0
+      with Sys_error e ->
+        Printf.eprintf "cannot write metrics: %s\n" e;
+        1))
   end
 
 let set_arg =
@@ -95,6 +104,15 @@ let compare_arg =
     value & flag
     & info [ "compare" ] ~doc:"Run baseline, restricted and greedy policies side by side")
 
+let metrics_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics-out" ] ~docv:"FILE"
+        ~doc:
+          "Write the observability registry (counters, histograms, spans) as \
+           JSON to $(docv) after the run")
+
 let () =
   let info =
     Cmd.info "mlvsim" ~version:"1.0.0"
@@ -103,6 +121,6 @@ let () =
   let term =
     Term.(
       const run $ set_arg $ policy_arg $ tasks_arg $ seed_arg $ interarrival_arg
-      $ repeats_arg $ compare_arg)
+      $ repeats_arg $ compare_arg $ metrics_out_arg)
   in
   exit (Cmd.eval' (Cmd.v info term))

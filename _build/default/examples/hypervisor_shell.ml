@@ -46,6 +46,11 @@ let () =
       "undeploy 3";
       "undeploy 4";
       "status";
+      (* the observability registry accumulated by the session *)
+      "metrics";
+      "trace deploy";
+      "counters reset";
+      "trace deploy";
     ]
   in
   List.iter

@@ -1,1 +1,1 @@
-lib/cluster/sim.ml: Mlv_util
+lib/cluster/sim.ml: Mlv_obs Mlv_util

@@ -1,20 +1,39 @@
 module Pqueue = Mlv_util.Pqueue
+module Obs = Mlv_obs.Obs
 
 type t = {
   queue : (unit -> unit) Pqueue.t;
   mutable now : float;
   mutable processed : int;
+  events_counter : Obs.Counter.t;
+  scheduled_counter : Obs.Counter.t;
 }
 
-let create () = { queue = Pqueue.create (); now = 0.0; processed = 0 }
+let create () =
+  let t =
+    {
+      queue = Pqueue.create ();
+      now = 0.0;
+      processed = 0;
+      events_counter = Obs.Counter.get "sim.events_processed";
+      scheduled_counter = Obs.Counter.get "sim.events_scheduled";
+    }
+  in
+  (* Spans opened while this simulator is live report its clock as
+     the simulation time; the most recently created simulator wins. *)
+  Obs.set_sim_clock (fun () -> t.now);
+  t
+
 let now t = t.now
 
 let schedule t ~delay f =
   if delay < 0.0 then invalid_arg "Sim.schedule: negative delay";
+  Obs.Counter.incr t.scheduled_counter;
   Pqueue.push t.queue (t.now +. delay) f
 
 let schedule_at t ~at f =
   if at < t.now then invalid_arg "Sim.schedule_at: time in the past";
+  Obs.Counter.incr t.scheduled_counter;
   Pqueue.push t.queue at f
 
 let step t =
@@ -23,6 +42,7 @@ let step t =
   | Some (time, f) ->
     t.now <- time;
     t.processed <- t.processed + 1;
+    Obs.Counter.incr t.events_counter;
     f ();
     true
 
@@ -38,7 +58,11 @@ let run ?until t =
   while (not (Pqueue.is_empty t.queue)) && continue () do
     ignore (step t)
   done;
-  match until with Some limit when t.now < limit && Pqueue.is_empty t.queue -> t.now <- limit | _ -> ()
+  (* The clock always reaches the limit, whether the queue drained or
+     the next event lies beyond it; otherwise utilization windows and
+     rate computations against [now] are measured over a short
+     interval. *)
+  match until with Some limit when t.now < limit -> t.now <- limit | _ -> ()
 
 let pending t = Pqueue.length t.queue
 let events_processed t = t.processed

@@ -20,7 +20,10 @@ val schedule : t -> delay:float -> (unit -> unit) -> unit
 val schedule_at : t -> at:float -> (unit -> unit) -> unit
 
 (** [run ?until t] processes events in time order until the queue is
-    empty or the next event is later than [until]. *)
+    empty or the next event is later than [until].  When [until] is
+    given, the clock always advances to it afterwards — also when
+    later events remain queued — so rates measured against [now]
+    cover the full interval. *)
 val run : ?until:float -> t -> unit
 
 (** [step t] processes one event; false when the queue is empty. *)

@@ -1,1 +1,1 @@
-lib/core/decompose.ml: Array Ast Design Extract Fun Graph Hashtbl List Mlv_eqcheck Mlv_fpga Mlv_rtl Printf Soft_block String Transform
+lib/core/decompose.ml: Array Ast Design Extract Fun Graph Hashtbl List Mlv_eqcheck Mlv_fpga Mlv_obs Mlv_rtl Printf Soft_block String Transform

@@ -1,1 +1,1 @@
-lib/core/framework.ml: Decompose List Mapping Mlv_accel Mlv_rtl Printf Registry
+lib/core/framework.ml: Decompose List Mapping Mlv_accel Mlv_obs Mlv_rtl Printf Registry

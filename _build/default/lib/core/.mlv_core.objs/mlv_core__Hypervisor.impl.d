@@ -1,1 +1,1 @@
-lib/core/hypervisor.ml: Hashtbl List Mlv_vital Printf Registry Runtime String
+lib/core/hypervisor.ml: Hashtbl List Mlv_obs Mlv_vital Printf Registry Runtime String

@@ -1,1 +1,1 @@
-lib/core/mapping.ml: Device Float List Mlv_accel Mlv_fpga Mlv_vital Partition Printf Resource Soft_block
+lib/core/mapping.ml: Device Float List Mlv_accel Mlv_fpga Mlv_obs Mlv_vital Partition Printf Resource Soft_block

@@ -1,1 +1,1 @@
-lib/core/partition.ml: Array List Printf Soft_block
+lib/core/partition.ml: Array List Mlv_obs Printf Soft_block

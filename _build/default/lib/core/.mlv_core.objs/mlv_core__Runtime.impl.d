@@ -1,1 +1,1 @@
-lib/core/runtime.ml: Array Device Fun Hashtbl List Mapping Mlv_cluster Mlv_fpga Mlv_vital Printf Registry
+lib/core/runtime.ml: Array Device Fun Hashtbl List Mapping Mlv_cluster Mlv_fpga Mlv_obs Mlv_vital Printf Registry

@@ -412,7 +412,7 @@ let leaf_resources design bmodule =
     Resource.make ~luts:1 ()
   else Estimate.of_module design bmodule
 
-let run ?(config = default_config) design ~top =
+let run_untraced ?(config = default_config) design ~top =
   match Design.find design top with
   | None -> Error (Printf.sprintf "no module named %s" top)
   | Some _ -> (
@@ -557,3 +557,6 @@ let run ?(config = default_config) design ~top =
           Ok { control; data; stats }
         end
       end)
+
+let run ?(config = default_config) design ~top =
+  Mlv_obs.Obs.Span.with_ "decompose" (fun () -> run_untraced ~config design ~top)

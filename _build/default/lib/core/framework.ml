@@ -14,17 +14,20 @@ let decompose_config =
 let accel_name ~tiles = Printf.sprintf "npu-t%d" tiles
 
 let build_npu ?(iterations = 2) ~tiles () =
-  let config = Mlv_accel.Config.make ~tiles () in
-  let design = Mlv_accel.Rtl_gen.generate config in
-  match Decompose.run ~config:decompose_config design ~top:Mlv_accel.Rtl_gen.top_name with
-  | Error e -> Error (Printf.sprintf "decompose failed: %s" e)
-  | Ok decomposed ->
-    let mapping =
-      Mapping.compile ~cost_model:Mapping.npu_cost_model ~iterations
-        ~name:(accel_name ~tiles) ~control:decomposed.Decompose.control
-        ~data:decomposed.Decompose.data ()
-    in
-    Ok { config; design; decomposed; mapping }
+  Mlv_obs.Obs.Span.with_ "build_npu" (fun () ->
+      let config = Mlv_accel.Config.make ~tiles () in
+      let design = Mlv_accel.Rtl_gen.generate config in
+      match
+        Decompose.run ~config:decompose_config design ~top:Mlv_accel.Rtl_gen.top_name
+      with
+      | Error e -> Error (Printf.sprintf "decompose failed: %s" e)
+      | Ok decomposed ->
+        let mapping =
+          Mapping.compile ~cost_model:Mapping.npu_cost_model ~iterations
+            ~name:(accel_name ~tiles) ~control:decomposed.Decompose.control
+            ~data:decomposed.Decompose.data ()
+        in
+        Ok { config; design; decomposed; mapping })
 
 let npu_registry ?(iterations = 2) ~tile_counts () =
   let registry = Registry.create () in

@@ -1,3 +1,5 @@
+module Obs = Mlv_obs.Obs
+
 type t = {
   runtime : Runtime.t;
   table : (int, Runtime.deployment) Hashtbl.t;
@@ -11,7 +13,8 @@ let live_handles t =
 
 let help =
   "ok commands: deploy <accel> | undeploy <id> | status | nodes | list | deployments | \
-   rebalance | fail <node> | restore <node> | help"
+   rebalance | fail <node> | restore <node> | metrics [json] | trace <substring> | \
+   counters reset | help"
 
 let do_deploy t accel =
   match Runtime.deploy t.runtime ~accel with
@@ -65,6 +68,26 @@ let do_deployments t =
   in
   "ok " ^ String.concat " " entries
 
+let do_metrics () =
+  let counters = Obs.counters () in
+  let histograms = Obs.histograms () in
+  Printf.sprintf "ok counters=%d histograms=%d spans=%d\n%s" (List.length counters)
+    (List.length histograms)
+    (List.length (Obs.spans ()))
+    (Obs.render ())
+
+let do_trace sub =
+  let matched = Obs.spans_matching sub in
+  let lines =
+    List.map
+      (fun (r : Obs.span_record) ->
+        Printf.sprintf "  %s%s wall=%.1fus sim=%.1fus"
+          (String.make (2 * r.depth) ' ')
+          r.name r.wall_us r.sim_us)
+      matched
+  in
+  String.concat "\n" (Printf.sprintf "ok matched=%d" (List.length matched) :: lines)
+
 let handle t line =
   let words =
     String.split_on_char ' ' (String.trim line) |> List.filter (fun w -> w <> "")
@@ -102,6 +125,14 @@ let handle t line =
     | Some n ->
       Runtime.restore_node t.runtime n;
       "ok")
+  | [ "metrics" ] -> do_metrics ()
+  | [ "metrics"; "json" ] -> "ok " ^ Obs.json_string ()
+  | [ "trace"; sub ] -> do_trace sub
+  | [ "trace" ] -> "error usage: trace <substring>"
+  | [ "counters"; "reset" ] ->
+    Obs.reset ();
+    "ok"
+  | "counters" :: _ -> "error usage: counters reset"
   | [ "help" ] -> help
   | [] -> "error empty command"
   | cmd :: _ -> Printf.sprintf "error unknown command %S (try help)" cmd

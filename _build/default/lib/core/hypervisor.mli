@@ -3,9 +3,10 @@
     high-level system to enable an easy system integration").
 
     A thin command/response layer over {!Runtime}: the hypervisor
-    sends line-oriented textual commands; responses are single lines
-    starting with [ok] or [error].  Deployments receive stable ids so
-    they can be released later.
+    sends line-oriented textual commands; responses start with [ok]
+    or [error] on the first line ([metrics] and [trace] append
+    detail lines).  Deployments receive stable ids so they can be
+    released later.
 
     {v
       deploy <accel>        ->  ok id=<n> nodes=<i,j> vbs=<k> tiles=<t>
@@ -15,6 +16,11 @@
       list                  ->  ok <accel> <accel> ...
       deployments           ->  ok <id>:<accel>:<nodes> ...
       rebalance             ->  ok moved=<n>
+      metrics               ->  ok counters=<n> histograms=<m> spans=<k>
+                                followed by the live Obs registry
+      metrics json          ->  ok <one-line JSON export>
+      trace <substring>     ->  ok matched=<n> followed by span lines
+      counters reset        ->  ok   (zeroes counters/histograms/spans)
       help                  ->  ok <command list>
     v} *)
 

@@ -89,8 +89,12 @@ let tiles_of_units units =
      in
      group units)
 
-let compile ?(cost_model = estimate_cost_model) ?(iterations = 2) ~name ~control ~data
-    () =
+let rec compile ?(cost_model = estimate_cost_model) ?(iterations = 2) ~name ~control
+    ~data () =
+  Mlv_obs.Obs.Span.with_ "mapping.compile" (fun () ->
+      compile_untraced ~cost_model ~iterations ~name ~control ~data ())
+
+and compile_untraced ~cost_model ~iterations ~name ~control ~data () =
   let levels = Partition.run data ~iterations in
   let compiled_levels =
     List.map

@@ -2,6 +2,7 @@ type t = (string, Mapping.t) Hashtbl.t
 
 let create () = Hashtbl.create 16
 let register t (m : Mapping.t) = Hashtbl.replace t m.Mapping.accel_name m
+let remove t name = Hashtbl.remove t name
 let find t name = Hashtbl.find_opt t name
 
 let names t =

@@ -10,6 +10,12 @@ val create : unit -> t
     mapping results. *)
 val register : t -> Mapping.t -> unit
 
+(** [remove t name] deletes an accelerator's mapping results; no-op
+    when unknown.  Live deployments of it keep working, but new
+    deploys (and rebalances touching it) fail with an unknown-
+    accelerator error. *)
+val remove : t -> string -> unit
+
 (** [find t name] looks up an accelerator. *)
 val find : t -> string -> Mapping.t option
 

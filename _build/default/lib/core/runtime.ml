@@ -3,6 +3,7 @@ module Cluster = Mlv_cluster.Cluster
 module Node = Mlv_cluster.Node
 module Controller = Mlv_vital.Controller
 module Bitstream = Mlv_vital.Bitstream
+module Obs = Mlv_obs.Obs
 
 type policy = {
   policy_name : string;
@@ -153,7 +154,7 @@ let perform t accel assignment =
   t.live <- d :: t.live;
   d
 
-let deploy t ~accel =
+let deploy_untraced t ~accel =
   match Registry.find t.registry accel with
   | None -> Error (Printf.sprintf "unknown accelerator %s" accel)
   | Some mapping ->
@@ -187,6 +188,17 @@ let deploy t ~accel =
     in
     try_levels levels
 
+let deploy t ~accel =
+  Obs.Span.with_ "deploy" (fun () ->
+      match deploy_untraced t ~accel with
+      | Ok d ->
+        Obs.Counter.incr (Obs.Counter.get "runtime.deploy.ok");
+        Obs.Histogram.observe (Obs.Histogram.get "runtime.reconfig_us") d.reconfig_us;
+        Ok d
+      | Error _ as e ->
+        Obs.Counter.incr (Obs.Counter.get "runtime.deploy.fail");
+        e)
+
 type stats = {
   live : int;
   vbs_used : int;
@@ -210,7 +222,7 @@ let cluster_utilization t =
   let s = stats t in
   if s.vbs_total = 0 then 0.0 else float_of_int s.vbs_used /. float_of_int s.vbs_total
 
-let rebalance (t : t) =
+let rebalance_untraced (t : t) =
   let live = t.live in
   (* Tear everything down, remembering enough to restore on failure. *)
   let snapshot =
@@ -274,17 +286,29 @@ let rebalance (t : t) =
     t.live <- live;
     Error e
 
+let rebalance (t : t) =
+  Obs.Span.with_ "rebalance" (fun () ->
+      match rebalance_untraced t with
+      | Ok moved ->
+        Obs.Counter.incr (Obs.Counter.get "runtime.rebalance.ok");
+        Obs.Counter.add (Obs.Counter.get "runtime.rebalance.moved") moved;
+        Ok moved
+      | Error _ as e ->
+        Obs.Counter.incr (Obs.Counter.get "runtime.rebalance.fail");
+        e)
+
 let undeploy t d =
   List.iter
     (fun p ->
       let node = Cluster.node t.cluster p.node_id in
       Controller.unload node.Node.controller p.handle)
     d.placements;
-  t.live <- List.filter (fun x -> x != d) t.live
+  t.live <- List.filter (fun x -> x != d) t.live;
+  Obs.Counter.incr (Obs.Counter.get "runtime.undeploy")
 
 type failover = { recovered : int; lost : deployment list }
 
-let fail_node (t : t) node_id =
+let fail_node_untraced (t : t) node_id =
   if node_id < 0 || node_id >= Cluster.node_count t.cluster then
     invalid_arg (Printf.sprintf "Runtime.fail_node: node %d out of range" node_id);
   Hashtbl.replace t.failed node_id ();
@@ -316,5 +340,13 @@ let fail_node (t : t) node_id =
       | Error _ -> lost := d :: !lost)
     affected;
   { recovered = !recovered; lost = List.rev !lost }
+
+let fail_node (t : t) node_id =
+  Obs.Span.with_ "failover" (fun () ->
+      let f = fail_node_untraced t node_id in
+      Obs.Counter.incr (Obs.Counter.get "runtime.fail_node");
+      Obs.Counter.add (Obs.Counter.get "runtime.failover.recovered") f.recovered;
+      Obs.Counter.add (Obs.Counter.get "runtime.failover.lost") (List.length f.lost);
+      f)
 
 let restore_node (t : t) node_id = Hashtbl.remove t.failed node_id

@@ -1,0 +1,1 @@
+lib/obs/obs.ml: Array Buffer Char Float Format Fun Hashtbl List Mlv_util Printf Stdlib String Unix

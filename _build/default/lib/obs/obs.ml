@@ -1,0 +1,510 @@
+module Stats = Mlv_util.Stats
+
+(* ------------------------------------------------------------------ *)
+(* JSON                                                                *)
+(* ------------------------------------------------------------------ *)
+
+module Json = struct
+  type t =
+    | Null
+    | Bool of bool
+    | Int of int
+    | Float of float
+    | String of string
+    | List of t list
+    | Obj of (string * t) list
+
+  let escape s =
+    let buf = Buffer.create (String.length s + 2) in
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string buf "\\\""
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '\n' -> Buffer.add_string buf "\\n"
+        | '\r' -> Buffer.add_string buf "\\r"
+        | '\t' -> Buffer.add_string buf "\\t"
+        | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char buf c)
+      s;
+    Buffer.contents buf
+
+  let to_string v =
+    let buf = Buffer.create 1024 in
+    let rec go = function
+      | Null -> Buffer.add_string buf "null"
+      | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+      | Int i -> Buffer.add_string buf (string_of_int i)
+      | Float f ->
+        if Float.is_integer f && Float.abs f < 1e15 then
+          Buffer.add_string buf (Printf.sprintf "%.0f" f)
+        else if Float.is_nan f || Float.abs f = infinity then
+          Buffer.add_string buf "null"
+        else Buffer.add_string buf (Printf.sprintf "%.6g" f)
+      | String s ->
+        Buffer.add_char buf '"';
+        Buffer.add_string buf (escape s);
+        Buffer.add_char buf '"'
+      | List xs ->
+        Buffer.add_char buf '[';
+        List.iteri
+          (fun i x ->
+            if i > 0 then Buffer.add_char buf ',';
+            go x)
+          xs;
+        Buffer.add_char buf ']'
+      | Obj fields ->
+        Buffer.add_char buf '{';
+        List.iteri
+          (fun i (k, x) ->
+            if i > 0 then Buffer.add_char buf ',';
+            Buffer.add_char buf '"';
+            Buffer.add_string buf (escape k);
+            Buffer.add_string buf "\":";
+            go x)
+          fields;
+        Buffer.add_char buf '}'
+    in
+    go v;
+    Buffer.contents buf
+
+  (* Minimal recursive-descent validator: accepts exactly one JSON
+     value (plus surrounding whitespace). *)
+  let is_valid s =
+    let n = String.length s in
+    let pos = ref 0 in
+    let peek () = if !pos < n then Some s.[!pos] else None in
+    let advance () = incr pos in
+    let skip_ws () =
+      while
+        !pos < n && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+      do
+        advance ()
+      done
+    in
+    let fail () = raise Exit in
+    let expect c = match peek () with Some x when x = c -> advance () | _ -> fail () in
+    let literal word =
+      let l = String.length word in
+      if !pos + l <= n && String.sub s !pos l = word then pos := !pos + l else fail ()
+    in
+    let rec value () =
+      skip_ws ();
+      match peek () with
+      | None -> fail ()
+      | Some '{' -> obj ()
+      | Some '[' -> arr ()
+      | Some '"' -> string_lit ()
+      | Some 't' -> literal "true"
+      | Some 'f' -> literal "false"
+      | Some 'n' -> literal "null"
+      | Some ('-' | '0' .. '9') -> number ()
+      | Some _ -> fail ()
+    and obj () =
+      expect '{';
+      skip_ws ();
+      if peek () = Some '}' then advance ()
+      else begin
+        let rec members () =
+          skip_ws ();
+          string_lit ();
+          skip_ws ();
+          expect ':';
+          value ();
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            members ()
+          | Some '}' -> advance ()
+          | _ -> fail ()
+        in
+        members ()
+      end
+    and arr () =
+      expect '[';
+      skip_ws ();
+      if peek () = Some ']' then advance ()
+      else begin
+        let rec elements () =
+          value ();
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            elements ()
+          | Some ']' -> advance ()
+          | _ -> fail ()
+        in
+        elements ()
+      end
+    and string_lit () =
+      expect '"';
+      let rec chars () =
+        match peek () with
+        | None -> fail ()
+        | Some '"' -> advance ()
+        | Some '\\' ->
+          advance ();
+          (match peek () with
+          | Some ('"' | '\\' | '/' | 'b' | 'f' | 'n' | 'r' | 't') ->
+            advance ();
+            chars ()
+          | Some 'u' ->
+            advance ();
+            for _ = 1 to 4 do
+              match peek () with
+              | Some ('0' .. '9' | 'a' .. 'f' | 'A' .. 'F') -> advance ()
+              | _ -> fail ()
+            done;
+            chars ()
+          | _ -> fail ())
+        | Some _ ->
+          advance ();
+          chars ()
+      in
+      chars ()
+    and number () =
+      if peek () = Some '-' then advance ();
+      let digits () =
+        let saw = ref false in
+        while (match peek () with Some '0' .. '9' -> true | _ -> false) do
+          saw := true;
+          advance ()
+        done;
+        if not !saw then fail ()
+      in
+      digits ();
+      if peek () = Some '.' then begin
+        advance ();
+        digits ()
+      end;
+      match peek () with
+      | Some ('e' | 'E') ->
+        advance ();
+        (match peek () with Some ('+' | '-') -> advance () | _ -> ());
+        digits ()
+      | _ -> ()
+    in
+    match
+      value ();
+      skip_ws ();
+      !pos = n
+    with
+    | complete -> complete
+    | exception Exit -> false
+end
+
+(* ------------------------------------------------------------------ *)
+(* Clocks                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let wall_us () = Unix.gettimeofday () *. 1e6
+
+let sim_clock : (unit -> float) option ref = ref None
+let set_sim_clock f = sim_clock := Some f
+let clear_sim_clock () = sim_clock := None
+let sim_us () = match !sim_clock with Some f -> f () | None -> 0.0
+
+(* ------------------------------------------------------------------ *)
+(* Counters                                                            *)
+(* ------------------------------------------------------------------ *)
+
+module Counter = struct
+  type t = { cname : string; mutable v : int }
+
+  let registry : (string, t) Hashtbl.t = Hashtbl.create 32
+
+  let get name =
+    match Hashtbl.find_opt registry name with
+    | Some c -> c
+    | None ->
+      let c = { cname = name; v = 0 } in
+      Hashtbl.replace registry name c;
+      c
+
+  let incr t = t.v <- t.v + 1
+  let add t n = t.v <- t.v + n
+  let value t = t.v
+  let name t = t.cname
+end
+
+(* ------------------------------------------------------------------ *)
+(* Histograms                                                          *)
+(* ------------------------------------------------------------------ *)
+
+module Histogram = struct
+  (* Ten log buckets per decade: sample v > 0 lands in bucket
+     round(10 * log10 v), so bucket k represents 10^(k/10). *)
+  type t = {
+    hname : string;
+    buckets : (int, int) Hashtbl.t;
+    mutable zero_count : int;  (* samples <= 0 *)
+    mutable acc : Stats.Acc.t;
+  }
+
+  let registry : (string, t) Hashtbl.t = Hashtbl.create 32
+
+  let get name =
+    match Hashtbl.find_opt registry name with
+    | Some h -> h
+    | None ->
+      let h =
+        { hname = name; buckets = Hashtbl.create 32; zero_count = 0;
+          acc = Stats.Acc.create () }
+      in
+      Hashtbl.replace registry name h;
+      h
+
+  let observe t v =
+    if Float.is_nan v || Float.abs v = infinity then
+      invalid_arg "Obs.Histogram.observe: sample must be finite";
+    Stats.Acc.add t.acc v;
+    if v <= 0.0 then t.zero_count <- t.zero_count + 1
+    else begin
+      let b = int_of_float (Float.round (log10 v *. 10.0)) in
+      let cur = try Hashtbl.find t.buckets b with Not_found -> 0 in
+      Hashtbl.replace t.buckets b (cur + 1)
+    end
+
+  let count t = Stats.Acc.count t.acc
+  let mean t = Stats.Acc.mean t.acc
+  let min t = if count t = 0 then 0.0 else Stats.Acc.min t.acc
+  let max t = if count t = 0 then 0.0 else Stats.Acc.max t.acc
+  let sum t = Stats.Acc.sum t.acc
+  let name t = t.hname
+
+  let percentile t p =
+    if p < 0.0 || p > 100.0 then invalid_arg "Obs.Histogram.percentile: p out of range";
+    let total = count t in
+    if total = 0 then 0.0
+    else begin
+      let target =
+        let r = int_of_float (ceil (p /. 100.0 *. float_of_int total)) in
+        Stdlib.min total (Stdlib.max 1 r)
+      in
+      if t.zero_count >= target then Stdlib.min 0.0 (min t)
+      else begin
+        let keys =
+          Hashtbl.fold (fun k _ acc -> k :: acc) t.buckets [] |> List.sort compare
+        in
+        let cum = ref t.zero_count in
+        let result = ref (max t) in
+        (try
+           List.iter
+             (fun k ->
+               cum := !cum + Hashtbl.find t.buckets k;
+               if !cum >= target then begin
+                 result := 10.0 ** (float_of_int k /. 10.0);
+                 raise Exit
+               end)
+             keys
+         with Exit -> ());
+        (* The bucket midpoint can overshoot the true extremes; clamp
+           to the exactly tracked range. *)
+        Float.min (max t) (Float.max (min t) !result)
+      end
+    end
+
+  let clear t =
+    Hashtbl.reset t.buckets;
+    t.zero_count <- 0;
+    t.acc <- Stats.Acc.create ()
+end
+
+(* ------------------------------------------------------------------ *)
+(* Spans                                                               *)
+(* ------------------------------------------------------------------ *)
+
+type span_record = {
+  id : int;
+  parent : int option;
+  name : string;
+  depth : int;
+  start_wall_us : float;
+  wall_us : float;
+  start_sim_us : float;
+  sim_us : float;
+}
+
+let span_capacity = 8192
+let completed : span_record option array = Array.make span_capacity None
+let completed_next = ref 0
+let completed_total = ref 0
+
+let record_completed r =
+  completed.(!completed_next) <- Some r;
+  completed_next := (!completed_next + 1) mod span_capacity;
+  incr completed_total
+
+let spans () =
+  let n = Stdlib.min !completed_total span_capacity in
+  let start = if !completed_total <= span_capacity then 0 else !completed_next in
+  List.init n (fun i ->
+      match completed.((start + i) mod span_capacity) with
+      | Some r -> r
+      | None -> assert false)
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec at i = i + nn <= nh && (String.sub hay i nn = needle || at (i + 1)) in
+  nn = 0 || at 0
+
+let spans_matching sub = List.filter (fun r -> contains r.name sub) (spans ())
+let dropped_spans () = Stdlib.max 0 (!completed_total - span_capacity)
+
+module Span = struct
+  type t = {
+    sid : int;
+    sname : string;
+    parent : int option;
+    depth : int;
+    t0_wall_us : float;
+    t0_sim_us : float;
+    mutable closed : bool;
+  }
+
+  let next_id = ref 0
+  let stack : t list ref = ref []
+
+  let enter name =
+    let id = !next_id in
+    Stdlib.incr next_id;
+    let parent, depth =
+      match !stack with [] -> (None, 0) | p :: _ -> (Some p.sid, p.depth + 1)
+    in
+    let s =
+      { sid = id; sname = name; parent; depth; t0_wall_us = wall_us ();
+        t0_sim_us = sim_us (); closed = false }
+    in
+    stack := s :: !stack;
+    s
+
+  let exit s =
+    if not s.closed then begin
+      s.closed <- true;
+      (* Pop to (and including) this span; children left open by an
+         exception unwind close implicitly. *)
+      let rec pop = function
+        | [] -> []
+        | top :: rest -> if top.sid = s.sid then rest else pop rest
+      in
+      if List.exists (fun x -> x.sid = s.sid) !stack then stack := pop !stack;
+      let wall = Float.max 0.0 (wall_us () -. s.t0_wall_us) in
+      let sim = Float.max 0.0 (sim_us () -. s.t0_sim_us) in
+      record_completed
+        { id = s.sid; parent = s.parent; name = s.sname; depth = s.depth;
+          start_wall_us = s.t0_wall_us; wall_us = wall;
+          start_sim_us = s.t0_sim_us; sim_us = sim };
+      Histogram.observe (Histogram.get ("span." ^ s.sname ^ ".wall_us")) wall
+    end
+
+  let with_ name f =
+    let s = enter name in
+    Fun.protect ~finally:(fun () -> exit s) f
+end
+
+(* ------------------------------------------------------------------ *)
+(* Registry-wide views                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let counters () =
+  Hashtbl.fold (fun name c acc -> (name, Counter.value c) :: acc) Counter.registry []
+  |> List.sort compare
+
+let histograms () =
+  Hashtbl.fold (fun name h acc -> (name, h) :: acc) Histogram.registry []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let reset () =
+  Hashtbl.iter (fun _ (c : Counter.t) -> c.Counter.v <- 0) Counter.registry;
+  Hashtbl.iter (fun _ h -> Histogram.clear h) Histogram.registry;
+  Array.fill completed 0 span_capacity None;
+  completed_next := 0;
+  completed_total := 0;
+  Span.stack := []
+
+(* ------------------------------------------------------------------ *)
+(* Exporters                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let histogram_json h =
+  Json.Obj
+    [
+      ("count", Json.Int (Histogram.count h));
+      ("sum", Json.Float (Histogram.sum h));
+      ("mean", Json.Float (Histogram.mean h));
+      ("min", Json.Float (Histogram.min h));
+      ("max", Json.Float (Histogram.max h));
+      ("p50", Json.Float (Histogram.percentile h 50.0));
+      ("p90", Json.Float (Histogram.percentile h 90.0));
+      ("p99", Json.Float (Histogram.percentile h 99.0));
+    ]
+
+let span_json (r : span_record) =
+  Json.Obj
+    [
+      ("id", Json.Int r.id);
+      ("parent", match r.parent with None -> Json.Null | Some p -> Json.Int p);
+      ("name", Json.String r.name);
+      ("depth", Json.Int r.depth);
+      ("start_wall_us", Json.Float r.start_wall_us);
+      ("wall_us", Json.Float r.wall_us);
+      ("start_sim_us", Json.Float r.start_sim_us);
+      ("sim_us", Json.Float r.sim_us);
+    ]
+
+let to_json () =
+  Json.Obj
+    [
+      ("version", Json.Int 1);
+      ("counters", Json.Obj (List.map (fun (n, v) -> (n, Json.Int v)) (counters ())));
+      ( "histograms",
+        Json.Obj (List.map (fun (n, h) -> (n, histogram_json h)) (histograms ())) );
+      ("spans", Json.List (List.map span_json (spans ())));
+      ("spans_dropped", Json.Int (dropped_spans ()));
+    ]
+
+let json_string () = Json.to_string (to_json ())
+
+let write_json path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (json_string ());
+      output_char oc '\n')
+
+let render () =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "counters:\n";
+  List.iter
+    (fun (n, v) -> Buffer.add_string buf (Printf.sprintf "  %-40s %d\n" n v))
+    (counters ());
+  Buffer.add_string buf "histograms:\n";
+  List.iter
+    (fun (n, h) ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "  %-40s n=%d mean=%.2f p50=%.2f p90=%.2f p99=%.2f min=%.2f max=%.2f\n" n
+           (Histogram.count h) (Histogram.mean h)
+           (Histogram.percentile h 50.0)
+           (Histogram.percentile h 90.0)
+           (Histogram.percentile h 99.0)
+           (Histogram.min h) (Histogram.max h)))
+    (histograms ());
+  Buffer.add_string buf
+    (Printf.sprintf "spans: %d recorded, %d dropped\n"
+       (List.length (spans ()))
+       (dropped_spans ()));
+  List.iter
+    (fun (r : span_record) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  %s%-30s wall=%.1fus sim=%.1fus\n"
+           (String.make (2 * r.depth) ' ')
+           r.name r.wall_us r.sim_us))
+    (spans ());
+  Buffer.contents buf
+
+let pp fmt () = Format.pp_print_string fmt (render ())

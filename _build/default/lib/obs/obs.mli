@@ -1,0 +1,145 @@
+(** Structured observability for the virtualization stack.
+
+    One process-wide registry of named monotonic {!Counter}s,
+    log-scale latency {!Histogram}s (p50/p90/p99 estimates) and
+    nested {!Span}s carrying both wall-clock and simulation time.
+    The runtime layers (decompose, partition, mapping, deploy,
+    reconfiguration, failover, the discrete-event simulator) record
+    into it; the hypervisor's [metrics] / [trace] commands, the
+    [mlvsim --metrics-out] flag and the bench harness export it as
+    JSON or human-readable text.
+
+    The registry is global and deterministic in structure (names and
+    counts); wall-clock durations naturally vary run to run.  All
+    operations are cheap enough for simulator hot paths: counters are
+    a single int increment behind a cached handle, histogram
+    observation is one hash-table bump. *)
+
+(** Minimal JSON tree: exporters build values, [to_string] renders
+    them, [is_valid] checks a rendered string parses back (used by
+    tests and CI on emitted metric files). *)
+module Json : sig
+  type t =
+    | Null
+    | Bool of bool
+    | Int of int
+    | Float of float  (** non-finite floats render as [null] *)
+    | String of string
+    | List of t list
+    | Obj of (string * t) list
+
+  val to_string : t -> string
+
+  (** [is_valid s] is true when [s] is one complete JSON value. *)
+  val is_valid : string -> bool
+end
+
+(** Named monotonic counters. *)
+module Counter : sig
+  type t
+
+  (** [get name] returns the process-wide counter [name], creating it
+      at zero on first use.  Handles stay valid across {!reset}. *)
+  val get : string -> t
+
+  val incr : t -> unit
+  val add : t -> int -> unit
+  val value : t -> int
+  val name : t -> string
+end
+
+(** Log-scale histograms: ten buckets per decade (~12% relative
+    resolution), plus an exact streaming count/sum/min/max. *)
+module Histogram : sig
+  type t
+
+  (** [get name] returns the process-wide histogram [name], creating
+      it empty on first use.  Handles stay valid across {!reset}. *)
+  val get : string -> t
+
+  (** [observe t v] records a sample.
+      @raise Invalid_argument on NaN or infinite samples. *)
+  val observe : t -> float -> unit
+
+  val count : t -> int
+  val mean : t -> float
+  val min : t -> float
+  val max : t -> float
+  val sum : t -> float
+
+  (** [percentile t p] estimates the [p]-th percentile from the log
+      buckets (exact to bucket resolution, clamped to the observed
+      min/max); 0 when empty.
+      @raise Invalid_argument if [p] is outside [0, 100]. *)
+  val percentile : t -> float -> float
+
+  val name : t -> string
+end
+
+(** A completed span, oldest first in {!spans}. *)
+type span_record = {
+  id : int;
+  parent : int option;  (** id of the enclosing span, if any *)
+  name : string;
+  depth : int;  (** 0 for root spans *)
+  start_wall_us : float;  (** wall-clock µs since the Unix epoch *)
+  wall_us : float;  (** wall-clock duration *)
+  start_sim_us : float;  (** registered sim clock at entry (0 if none) *)
+  sim_us : float;  (** sim-clock duration (0 if no sim clock) *)
+}
+
+(** Nested timing spans.  Entering while another span is open makes
+    the new span its child.  Each exit also feeds the histogram
+    [span.<name>.wall_us]. *)
+module Span : sig
+  type t
+
+  val enter : string -> t
+
+  (** [exit t] closes the span (idempotent) and records it. *)
+  val exit : t -> unit
+
+  (** [with_ name f] runs [f] inside a span, closing it on any
+      exit including exceptions. *)
+  val with_ : string -> (unit -> 'a) -> 'a
+end
+
+(** [set_sim_clock f] makes [f] the source of simulation time for
+    spans.  The discrete-event simulator registers itself on
+    creation; the most recently created simulator wins. *)
+val set_sim_clock : (unit -> float) -> unit
+
+val clear_sim_clock : unit -> unit
+
+(** Registry inspection (sorted by name). *)
+val counters : unit -> (string * int) list
+
+val histograms : unit -> (string * Histogram.t) list
+
+(** [spans ()] lists retained completed spans, oldest first (bounded
+    ring; see {!dropped_spans}). *)
+val spans : unit -> span_record list
+
+(** [spans_matching sub] filters {!spans} by substring of the name. *)
+val spans_matching : string -> span_record list
+
+val dropped_spans : unit -> int
+
+(** [reset ()] zeroes every counter, empties every histogram and
+    drops all span records.  Existing handles stay valid. *)
+val reset : unit -> unit
+
+(** [to_json ()] renders the whole registry; schema documented in
+    DESIGN.md §Observability. *)
+val to_json : unit -> Json.t
+
+val json_string : unit -> string
+
+(** [write_json path] writes {!json_string} to [path]. *)
+val write_json : string -> unit
+
+(** [render ()] is the human-readable multi-line summary behind the
+    hypervisor's [metrics] command. *)
+val render : unit -> string
+
+val pp : Format.formatter -> unit -> unit

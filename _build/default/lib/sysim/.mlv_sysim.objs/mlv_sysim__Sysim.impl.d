@@ -1,1 +1,1 @@
-lib/sysim/sysim.ml: Deepbench Float Genset Hashtbl List Mlv_accel Mlv_cluster Mlv_core Mlv_fpga Mlv_isa Mlv_util Mlv_vital Mlv_workload Printf Queue
+lib/sysim/sysim.ml: Deepbench Float Genset Hashtbl List Mlv_accel Mlv_cluster Mlv_core Mlv_fpga Mlv_isa Mlv_obs Mlv_util Mlv_vital Mlv_workload Printf Queue

@@ -11,6 +11,7 @@ module Node = Mlv_cluster.Node
 module Sim = Mlv_cluster.Sim
 module Rng = Mlv_util.Rng
 module Codegen = Mlv_isa.Codegen
+module Obs = Mlv_obs.Obs
 
 type config = {
   policy : Runtime.policy;
@@ -152,7 +153,10 @@ let service_latency_us ~policy (point : Deepbench.point) (d : Runtime.deployment
 
 type pending = { task : Genset.task; accel : string }
 
-let run ~registry cfg =
+let rec run ~registry cfg =
+  Obs.Span.with_ "sysim.run" (fun () -> run_untraced ~registry cfg)
+
+and run_untraced ~registry cfg =
   let cluster = Cluster.create () in
   let runtime = Runtime.create ~policy:cfg.policy cluster registry in
   let sim = cluster.Cluster.sim in
@@ -177,22 +181,30 @@ let run ~registry cfg =
       | Ok d ->
         ignore (Queue.pop queue);
         let now = Sim.now sim in
-        waits := now -. p.task.Genset.arrival_us :: !waits;
+        let wait = now -. p.task.Genset.arrival_us in
+        waits := wait :: !waits;
+        Obs.Histogram.observe (Obs.Histogram.get "sysim.task_wait_us") wait;
         let service =
           d.Runtime.reconfig_us
           +. (float_of_int cfg.repeats_per_task
              *. service_latency_us ~policy:cfg.policy p.task.Genset.point d)
         in
         services := service :: !services;
+        Obs.Histogram.observe (Obs.Histogram.get "sysim.task_service_us") service;
         Sim.schedule sim ~delay:service (fun () ->
             Runtime.undeploy runtime d;
             incr completed;
+            Obs.Counter.incr (Obs.Counter.get "sysim.tasks.completed");
             let finished = Sim.now sim in
             let sojourn = finished -. p.task.Genset.arrival_us in
             latencies := sojourn :: !latencies;
+            Obs.Histogram.observe (Obs.Histogram.get "sysim.task_sojourn_us") sojourn;
             (* SLO: a task should finish within slo_multiplier x its
                unqueued service time. *)
-            if sojourn > cfg.slo_multiplier *. service then incr slo_misses;
+            if sojourn > cfg.slo_multiplier *. service then begin
+              incr slo_misses;
+              Obs.Counter.incr (Obs.Counter.get "sysim.slo_misses")
+            end;
             makespan := Float.max !makespan finished;
             try_start ());
         try_start ()
@@ -201,6 +213,7 @@ let run ~registry cfg =
   List.iter
     (fun (task : Genset.task) ->
       Sim.schedule_at sim ~at:task.Genset.arrival_us (fun () ->
+          Obs.Counter.incr (Obs.Counter.get "sysim.tasks.arrived");
           let accel =
             Framework.accel_name
               ~tiles:(instance_for ~policy:cfg.policy task.Genset.point)

@@ -1,1 +1,1 @@
-lib/util/stats.ml: Array List
+lib/util/stats.ml: Array Float List

@@ -63,8 +63,18 @@ let pop t =
     t.size <- t.size - 1;
     if t.size > 0 then begin
       t.heap.(0) <- t.heap.(t.size);
-      sift_down t 0
-    end;
+      sift_down t 0;
+      (* Overwrite the vacated slot: it still held the last entry,
+         keeping the moved value (and with it e.g. popped simulator
+         closures capturing whole deployments) reachable until the
+         slot was reused.  Aliasing a live entry makes the slot hold
+         nothing extra. *)
+      t.heap.(t.size) <- t.heap.(0)
+    end
+    else
+      (* Shrink on clear: the queue is empty, so drop the backing
+         array rather than pin its entries. *)
+      t.heap <- [||];
     Some (top.prio, top.value)
   end
 

@@ -14,7 +14,13 @@ let percentile p = function
   | xs ->
     if p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile: p out of range";
     let arr = Array.of_list xs in
-    Array.sort compare arr;
+    (* Polymorphic compare silently misorders NaN (it sorts below
+       every float, skewing every rank); reject it and sort with the
+       float-aware comparison. *)
+    Array.iter
+      (fun x -> if Float.is_nan x then invalid_arg "Stats.percentile: NaN sample")
+      arr;
+    Array.sort Float.compare arr;
     let n = Array.length arr in
     let rank = p /. 100.0 *. float_of_int (n - 1) in
     let lo = int_of_float (floor rank) in

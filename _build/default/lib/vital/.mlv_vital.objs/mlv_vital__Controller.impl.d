@@ -1,1 +1,1 @@
-lib/vital/controller.ml: Array Bitstream Board Device Hashtbl List Mlv_fpga Printf Virtual_block
+lib/vital/controller.ml: Array Bitstream Board Device Hashtbl List Mlv_fpga Mlv_obs Printf Virtual_block

@@ -42,5 +42,9 @@ let throughput_windows ~window completions =
         let cur = try Hashtbl.find tbl bucket with Not_found -> 0 in
         Hashtbl.replace tbl bucket (cur + 1))
       xs;
-    Hashtbl.fold (fun b n acc -> (float_of_int b *. window, n) :: acc) tbl []
-    |> List.sort compare
+    (* Emit every bucket up to the last observed one: omitting empty
+       windows inflates the mean throughput of gappy traces. *)
+    let max_bucket = Hashtbl.fold (fun b _ acc -> max acc b) tbl 0 in
+    List.init (max_bucket + 1) (fun b ->
+        ( float_of_int b *. window,
+          try Hashtbl.find tbl b with Not_found -> 0 ))

@@ -1,1 +1,1 @@
-test/test_core.ml: Alcotest Array Buffer Format Gen Lazy List Mlv_accel Mlv_cluster Mlv_core Mlv_fpga Mlv_isa Mlv_rtl Mlv_util Printf QCheck QCheck_alcotest String
+test/test_core.ml: Alcotest Array Buffer Format Gen Lazy List Mlv_accel Mlv_cluster Mlv_core Mlv_fpga Mlv_isa Mlv_obs Mlv_rtl Mlv_util Mlv_vital Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_obs.ml: Alcotest Filename Float List Mlv_obs String Sys

@@ -1,1 +1,1 @@
-test/test_util.ml: Alcotest Array Float Fun Int64 List Mlv_util String
+test/test_util.ml: Alcotest Array Float Fun Gc Int64 List Mlv_util String Weak

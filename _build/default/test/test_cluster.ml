@@ -50,6 +50,23 @@ let test_sim_until () =
   Sim.run sim;
   Alcotest.(check int) "all fired" 10 !count
 
+(* Regression: with pending events strictly beyond the limit, [run
+   ~until] used to stop the clock at the last processed event instead
+   of advancing it to the limit, so back-to-back bounded runs drifted. *)
+let test_sim_until_advances_clock () =
+  let sim = Sim.create () in
+  let fired = ref 0 in
+  Sim.schedule sim ~delay:1.0 (fun () -> incr fired);
+  Sim.schedule sim ~delay:10.0 (fun () -> incr fired);
+  Sim.run ~until:5.0 sim;
+  Alcotest.(check int) "one fired" 1 !fired;
+  Alcotest.(check int) "one pending" 1 (Sim.pending sim);
+  Alcotest.(check (float 1e-9)) "clock at limit" 5.0 (Sim.now sim);
+  (* also with an empty queue *)
+  let sim2 = Sim.create () in
+  Sim.run ~until:3.0 sim2;
+  Alcotest.(check (float 1e-9)) "empty queue clock" 3.0 (Sim.now sim2)
+
 let test_sim_negative_delay () =
   let sim = Sim.create () in
   Alcotest.(check bool) "rejected" true
@@ -220,6 +237,8 @@ let () =
           Alcotest.test_case "fifo ties" `Quick test_sim_fifo_ties;
           Alcotest.test_case "nested schedule" `Quick test_sim_nested_schedule;
           Alcotest.test_case "run until" `Quick test_sim_until;
+          Alcotest.test_case "run until advances clock" `Quick
+            test_sim_until_advances_clock;
           Alcotest.test_case "negative delay" `Quick test_sim_negative_delay;
           Alcotest.test_case "counts" `Quick test_sim_counts;
         ] );

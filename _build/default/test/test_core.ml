@@ -22,6 +22,7 @@ module Codegen = Mlv_isa.Codegen
 module Program = Mlv_isa.Program
 module Instr = Mlv_isa.Instr
 module Rng = Mlv_util.Rng
+module Obs = Mlv_obs.Obs
 
 let parse_ok src =
   match Parser.parse_string src with
@@ -927,6 +928,106 @@ let test_runtime_rebalance_empty () =
   | Ok moved -> Alcotest.(check int) "nothing to move" 0 moved
   | Error e -> Alcotest.fail e
 
+let per_node_free rt =
+  List.map
+    (fun (node, used, total) -> (node, total - used))
+    (Runtime.stats rt).Runtime.per_node
+
+let test_runtime_rebalance_rollback () =
+  (* When a redeploy inside rebalance fails, every torn-down placement
+     must be restored with the controllers' free-block counts exactly
+     where they started. *)
+  let rt, cluster = runtime_fixture Runtime.greedy in
+  let ds =
+    List.init 3 (fun _ ->
+        match Runtime.deploy rt ~accel:"npu-t6" with
+        | Ok d -> d
+        | Error e -> Alcotest.failf "deploy failed: %s" e)
+  in
+  let free_before = per_node_free rt in
+  let nodes_before = List.map Runtime.nodes_used ds in
+  (* make every redeploy fail mid-rebalance *)
+  Registry.remove (Runtime.registry rt) "npu-t6";
+  (match Runtime.rebalance rt with
+  | Ok _ -> Alcotest.fail "rebalance should fail with the accel unregistered"
+  | Error _ -> ());
+  Alcotest.(check (list (pair int int))) "free blocks restored exactly" free_before
+    (per_node_free rt);
+  Alcotest.(check int) "deployments survive" 3 (List.length (Runtime.deployments rt));
+  List.iter2
+    (fun d nodes ->
+      Alcotest.(check (list int)) "placement back on original nodes" nodes
+        (Runtime.nodes_used d))
+    ds nodes_before;
+  (* handles grafted by the rollback stay usable *)
+  List.iter (Runtime.undeploy rt) ds;
+  Alcotest.(check int) "all freed" 55 (Cluster.total_free_vbs cluster)
+
+let test_runtime_failover_frees_exactly () =
+  (* fail_node must fully release the victim's blocks and charge the
+     destination nodes exactly the re-placed deployment's blocks. *)
+  let rt, cluster = runtime_fixture Runtime.greedy in
+  let d =
+    match Runtime.deploy rt ~accel:"npu-t6" with
+    | Ok d -> d
+    | Error e -> Alcotest.failf "deploy failed: %s" e
+  in
+  let victim =
+    match Runtime.nodes_used d with
+    | [ n ] -> n
+    | _ -> Alcotest.fail "expected single-node deployment"
+  in
+  let free_before = per_node_free rt in
+  let f = Runtime.fail_node rt victim in
+  Alcotest.(check int) "recovered" 1 f.Runtime.recovered;
+  Alcotest.(check int) "nothing lost" 0 (List.length f.Runtime.lost);
+  let free_after = per_node_free rt in
+  let totals =
+    List.map (fun (node, _, total) -> (node, total)) (Runtime.stats rt).Runtime.per_node
+  in
+  Alcotest.(check int) "victim fully free" (List.assoc victim totals)
+    (List.assoc victim free_after);
+  let placed_on node =
+    List.fold_left
+      (fun acc (p : Runtime.placement) ->
+        if p.Runtime.node_id = node then
+          acc + p.Runtime.bitstream.Mlv_vital.Bitstream.vbs
+        else acc)
+      0 d.Runtime.placements
+  in
+  List.iter
+    (fun (node, before) ->
+      if node <> victim then
+        Alcotest.(check int)
+          (Printf.sprintf "node %d free count" node)
+          (before - placed_on node)
+          (List.assoc node free_after))
+    free_before;
+  Runtime.undeploy rt d;
+  Runtime.restore_node rt victim;
+  Alcotest.(check int) "all freed" 55 (Cluster.total_free_vbs cluster)
+
+let test_hypervisor_metrics_commands () =
+  let rt, _ = runtime_fixture Runtime.greedy in
+  let h = Hypervisor.create rt in
+  let starts_with prefix s =
+    String.length s >= String.length prefix && String.sub s 0 (String.length prefix) = prefix
+  in
+  Obs.reset ();
+  ignore (Hypervisor.handle h "deploy npu-t6");
+  Alcotest.(check bool) "metrics header" true
+    (starts_with "ok counters=" (Hypervisor.handle h "metrics"));
+  let json_resp = Hypervisor.handle h "metrics json" in
+  Alcotest.(check bool) "json prefixed ok" true (starts_with "ok {" json_resp);
+  let payload = String.sub json_resp 3 (String.length json_resp - 3) in
+  Alcotest.(check bool) "valid json" true (Obs.Json.is_valid payload);
+  let trace = Hypervisor.handle h "trace deploy" in
+  Alcotest.(check bool) "trace matches deploy span" true
+    (starts_with "ok matched=" trace && not (starts_with "ok matched=0" trace));
+  Alcotest.(check string) "counters reset" "ok" (Hypervisor.handle h "counters reset");
+  Alcotest.(check string) "trace empty after reset" "ok matched=0"
+    (Hypervisor.handle h "trace deploy")
+
 
 let test_npu_text_roundtrip () =
   (* Full artifact round-trip: generate the NPU, print it to the
@@ -1330,6 +1431,11 @@ let () =
           Alcotest.test_case "hypervisor protocol" `Quick test_hypervisor_protocol;
           Alcotest.test_case "rebalance defragments" `Quick test_runtime_rebalance_defragments;
           Alcotest.test_case "rebalance empty" `Quick test_runtime_rebalance_empty;
+          Alcotest.test_case "rebalance rollback" `Quick test_runtime_rebalance_rollback;
+          Alcotest.test_case "failover frees exactly" `Quick
+            test_runtime_failover_frees_exactly;
+          Alcotest.test_case "hypervisor metrics commands" `Quick
+            test_hypervisor_metrics_commands;
           Alcotest.test_case "node failure failover" `Quick test_runtime_node_failure;
           Alcotest.test_case "failover loses when full" `Quick test_runtime_failover_loses_when_full;
           Alcotest.test_case "hypervisor failover" `Quick test_hypervisor_failover_commands;

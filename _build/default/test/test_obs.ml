@@ -1,0 +1,310 @@
+(* Tests for the observability registry: JSON emitter/validator,
+   counters, log-scale histograms, nested spans and reset
+   semantics. *)
+
+module Obs = Mlv_obs.Obs
+module Json = Obs.Json
+
+(* ---------------- JSON ---------------- *)
+
+let test_json_render () =
+  let v =
+    Json.Obj
+      [
+        ("a", Json.Int 1);
+        ("b", Json.Float 2.5);
+        ("c", Json.String "x\"y\n");
+        ("d", Json.List [ Json.Null; Json.Bool true ]);
+      ]
+  in
+  Alcotest.(check string) "render"
+    {|{"a":1,"b":2.5,"c":"x\"y\n","d":[null,true]}|} (Json.to_string v)
+
+let test_json_non_finite () =
+  Alcotest.(check string) "nan is null" "null" (Json.to_string (Json.Float Float.nan));
+  Alcotest.(check string) "inf is null" "null"
+    (Json.to_string (Json.Float Float.infinity))
+
+let test_json_validator () =
+  List.iter
+    (fun s -> Alcotest.(check bool) ("valid: " ^ s) true (Json.is_valid s))
+    [
+      "null";
+      "true";
+      "-12";
+      "3.25e-2";
+      {|"esc \" \\ A"|};
+      "[1, 2, [3]]";
+      {|{"k": {"n": []}, "m": 0.5}|};
+    ];
+  List.iter
+    (fun s -> Alcotest.(check bool) ("invalid: " ^ s) false (Json.is_valid s))
+    [ ""; "tru"; "[1,]"; "{k:1}"; {|{"k":1|}; "1 2"; "\"unterminated" ]
+
+let test_json_roundtrip () =
+  let v =
+    Json.Obj
+      [
+        ("nested", Json.List [ Json.Obj [ ("x", Json.Float 1e-3) ]; Json.Int (-7) ]);
+        ("s", Json.String "tab\tand\\slash");
+      ]
+  in
+  Alcotest.(check bool) "emitted JSON validates" true (Json.is_valid (Json.to_string v))
+
+(* ---------------- Counters ---------------- *)
+
+let test_counter_basic () =
+  Obs.reset ();
+  let c = Obs.Counter.get "test.counter" in
+  Alcotest.(check int) "starts at zero" 0 (Obs.Counter.value c);
+  Obs.Counter.incr c;
+  Obs.Counter.add c 4;
+  Alcotest.(check int) "incremented" 5 (Obs.Counter.value c);
+  Alcotest.(check string) "name" "test.counter" (Obs.Counter.name c);
+  (* get returns the same counter *)
+  Obs.Counter.incr (Obs.Counter.get "test.counter");
+  Alcotest.(check int) "shared" 6 (Obs.Counter.value c);
+  Alcotest.(check bool) "listed" true (List.mem_assoc "test.counter" (Obs.counters ()))
+
+let test_counter_reset_keeps_handle () =
+  Obs.reset ();
+  let c = Obs.Counter.get "test.reset" in
+  Obs.Counter.add c 10;
+  Obs.reset ();
+  Alcotest.(check int) "zeroed" 0 (Obs.Counter.value c);
+  Obs.Counter.incr c;
+  Alcotest.(check int) "handle still live" 1 (Obs.Counter.value c);
+  Alcotest.(check int) "registry agrees" 1
+    (List.assoc "test.reset" (Obs.counters ()))
+
+(* ---------------- Histograms ---------------- *)
+
+let test_histogram_stats () =
+  Obs.reset ();
+  let h = Obs.Histogram.get "test.hist" in
+  Alcotest.(check int) "empty count" 0 (Obs.Histogram.count h);
+  List.iter (Obs.Histogram.observe h) [ 10.0; 20.0; 30.0; 40.0 ];
+  Alcotest.(check int) "count" 4 (Obs.Histogram.count h);
+  Alcotest.(check (float 1e-9)) "sum" 100.0 (Obs.Histogram.sum h);
+  Alcotest.(check (float 1e-9)) "mean" 25.0 (Obs.Histogram.mean h);
+  Alcotest.(check (float 1e-9)) "min" 10.0 (Obs.Histogram.min h);
+  Alcotest.(check (float 1e-9)) "max" 40.0 (Obs.Histogram.max h)
+
+let test_histogram_percentiles () =
+  Obs.reset ();
+  let h = Obs.Histogram.get "test.pct" in
+  (* 100 samples spanning two decades *)
+  for i = 1 to 100 do
+    Obs.Histogram.observe h (float_of_int i)
+  done;
+  let p50 = Obs.Histogram.percentile h 50.0 in
+  let p90 = Obs.Histogram.percentile h 90.0 in
+  let p99 = Obs.Histogram.percentile h 99.0 in
+  (* log buckets give ~12% relative resolution *)
+  Alcotest.(check bool) "p50 near 50" true (p50 >= 40.0 && p50 <= 60.0);
+  Alcotest.(check bool) "p90 near 90" true (p90 >= 75.0 && p90 <= 100.0);
+  Alcotest.(check bool) "ordered" true (p50 <= p90 && p90 <= p99);
+  Alcotest.(check bool) "clamped to max" true (p99 <= Obs.Histogram.max h);
+  Alcotest.(check (float 1e-9)) "p0 is min" (Obs.Histogram.min h)
+    (Obs.Histogram.percentile h 0.0);
+  Alcotest.(check (float 1e-9)) "p100 is max" (Obs.Histogram.max h)
+    (Obs.Histogram.percentile h 100.0)
+
+let test_histogram_rejects_bad_samples () =
+  Obs.reset ();
+  let h = Obs.Histogram.get "test.bad" in
+  Alcotest.(check bool) "nan rejected" true
+    (try
+       Obs.Histogram.observe h Float.nan;
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "inf rejected" true
+    (try
+       Obs.Histogram.observe h Float.infinity;
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "bad percentile arg" true
+    (try
+       ignore (Obs.Histogram.percentile h 101.0);
+       false
+     with Invalid_argument _ -> true)
+
+let test_histogram_zero_and_negative () =
+  Obs.reset ();
+  let h = Obs.Histogram.get "test.zero" in
+  List.iter (Obs.Histogram.observe h) [ 0.0; 0.0; 5.0 ];
+  Alcotest.(check int) "count includes zeros" 3 (Obs.Histogram.count h);
+  Alcotest.(check (float 1e-9)) "min" 0.0 (Obs.Histogram.min h);
+  Alcotest.(check (float 1e-9)) "p50 with zeros" 0.0 (Obs.Histogram.percentile h 50.0)
+
+(* ---------------- Spans ---------------- *)
+
+let test_span_nesting () =
+  Obs.reset ();
+  Obs.clear_sim_clock ();
+  Obs.Span.with_ "outer" (fun () ->
+      Obs.Span.with_ "inner" (fun () -> ());
+      Obs.Span.with_ "inner2" (fun () -> ()));
+  let spans = Obs.spans () in
+  Alcotest.(check int) "three spans" 3 (List.length spans);
+  (* children complete before the parent: oldest-first order *)
+  let by_name n = List.find (fun (r : Obs.span_record) -> r.name = n) spans in
+  let outer = by_name "outer" and inner = by_name "inner" and inner2 = by_name "inner2" in
+  Alcotest.(check (option int)) "outer is root" None outer.parent;
+  Alcotest.(check int) "outer depth" 0 outer.depth;
+  Alcotest.(check (option int)) "inner nested" (Some outer.id) inner.parent;
+  Alcotest.(check (option int)) "inner2 nested" (Some outer.id) inner2.parent;
+  Alcotest.(check int) "inner depth" 1 inner.depth;
+  Alcotest.(check bool) "durations non-negative" true
+    (List.for_all (fun (r : Obs.span_record) -> r.wall_us >= 0.0) spans);
+  Alcotest.(check bool) "parent at least as long" true
+    (outer.wall_us >= inner.wall_us)
+
+let test_span_exit_idempotent () =
+  Obs.reset ();
+  let s = Obs.Span.enter "once" in
+  Obs.Span.exit s;
+  Obs.Span.exit s;
+  Alcotest.(check int) "recorded once" 1 (List.length (Obs.spans ()))
+
+let test_span_records_on_exception () =
+  Obs.reset ();
+  (try Obs.Span.with_ "boom" (fun () -> failwith "x") with Failure _ -> ());
+  Alcotest.(check int) "span recorded" 1 (List.length (Obs.spans_matching "boom"));
+  (* the span stack unwound: a new span is a root again *)
+  Obs.Span.with_ "after" (fun () -> ());
+  let after = List.hd (Obs.spans_matching "after") in
+  Alcotest.(check (option int)) "stack unwound" None after.Obs.parent
+
+let test_span_feeds_histogram () =
+  Obs.reset ();
+  Obs.Span.with_ "timed" (fun () -> ());
+  let h = Obs.Histogram.get "span.timed.wall_us" in
+  Alcotest.(check int) "histogram fed" 1 (Obs.Histogram.count h)
+
+let test_span_sim_clock () =
+  Obs.reset ();
+  let now = ref 100.0 in
+  Obs.set_sim_clock (fun () -> !now);
+  let s = Obs.Span.enter "simmed" in
+  now := 350.0;
+  Obs.Span.exit s;
+  Obs.clear_sim_clock ();
+  let r = List.hd (Obs.spans_matching "simmed") in
+  Alcotest.(check (float 1e-9)) "start sim time" 100.0 r.Obs.start_sim_us;
+  Alcotest.(check (float 1e-9)) "sim duration" 250.0 r.Obs.sim_us
+
+let test_spans_matching_substring () =
+  Obs.reset ();
+  Obs.Span.with_ "alpha.one" (fun () -> ());
+  Obs.Span.with_ "alpha.two" (fun () -> ());
+  Obs.Span.with_ "beta" (fun () -> ());
+  Alcotest.(check int) "alpha matches" 2 (List.length (Obs.spans_matching "alpha"));
+  Alcotest.(check int) "exact" 1 (List.length (Obs.spans_matching "beta"));
+  Alcotest.(check int) "none" 0 (List.length (Obs.spans_matching "gamma"))
+
+(* ---------------- Export & reset ---------------- *)
+
+let test_export_json_valid () =
+  Obs.reset ();
+  Obs.Counter.add (Obs.Counter.get "exp.counter") 3;
+  Obs.Histogram.observe (Obs.Histogram.get "exp.hist") 42.0;
+  Obs.Span.with_ "exp.span" (fun () -> ());
+  let s = Obs.json_string () in
+  Alcotest.(check bool) "valid json" true (Json.is_valid s);
+  let contains needle hay =
+    let nh = String.length hay and nn = String.length needle in
+    let rec at i = i + nn <= nh && (String.sub hay i nn = needle || at (i + 1)) in
+    at 0
+  in
+  List.iter
+    (fun needle -> Alcotest.(check bool) ("contains " ^ needle) true (contains needle s))
+    [
+      {|"version":1|};
+      {|"exp.counter":3|};
+      {|"exp.hist"|};
+      {|"p99"|};
+      {|"exp.span"|};
+      {|"spans_dropped":0|};
+    ]
+
+let test_write_json_file () =
+  Obs.reset ();
+  Obs.Counter.incr (Obs.Counter.get "file.counter");
+  let path = Filename.temp_file "mlv_obs" ".json" in
+  Obs.write_json path;
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  Sys.remove path;
+  Alcotest.(check bool) "file holds valid json" true (Json.is_valid s)
+
+let test_render_mentions_everything () =
+  Obs.reset ();
+  Obs.Counter.incr (Obs.Counter.get "ren.counter");
+  Obs.Histogram.observe (Obs.Histogram.get "ren.hist") 7.0;
+  Obs.Span.with_ "ren.span" (fun () -> ());
+  let s = Obs.render () in
+  let contains needle =
+    let nh = String.length s and nn = String.length needle in
+    let rec at i = i + nn <= nh && (String.sub s i nn = needle || at (i + 1)) in
+    at 0
+  in
+  List.iter
+    (fun needle -> Alcotest.(check bool) ("mentions " ^ needle) true (contains needle))
+    [ "ren.counter"; "ren.hist"; "ren.span" ]
+
+let test_reset_clears_everything () =
+  Obs.reset ();
+  Obs.Counter.incr (Obs.Counter.get "wipe.c");
+  Obs.Histogram.observe (Obs.Histogram.get "wipe.h") 1.0;
+  Obs.Span.with_ "wipe.s" (fun () -> ());
+  Obs.reset ();
+  Alcotest.(check bool) "counters zero" true
+    (List.for_all (fun (_, v) -> v = 0) (Obs.counters ()));
+  Alcotest.(check bool) "histograms empty" true
+    (List.for_all (fun (_, h) -> Obs.Histogram.count h = 0) (Obs.histograms ()));
+  Alcotest.(check int) "spans gone" 0 (List.length (Obs.spans ()));
+  Alcotest.(check int) "drop count cleared" 0 (Obs.dropped_spans ())
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "json",
+        [
+          Alcotest.test_case "render" `Quick test_json_render;
+          Alcotest.test_case "non-finite" `Quick test_json_non_finite;
+          Alcotest.test_case "validator" `Quick test_json_validator;
+          Alcotest.test_case "roundtrip" `Quick test_json_roundtrip;
+        ] );
+      ( "counter",
+        [
+          Alcotest.test_case "basic" `Quick test_counter_basic;
+          Alcotest.test_case "reset keeps handle" `Quick test_counter_reset_keeps_handle;
+        ] );
+      ( "histogram",
+        [
+          Alcotest.test_case "stats" `Quick test_histogram_stats;
+          Alcotest.test_case "percentiles" `Quick test_histogram_percentiles;
+          Alcotest.test_case "rejects bad samples" `Quick
+            test_histogram_rejects_bad_samples;
+          Alcotest.test_case "zero samples" `Quick test_histogram_zero_and_negative;
+        ] );
+      ( "span",
+        [
+          Alcotest.test_case "nesting" `Quick test_span_nesting;
+          Alcotest.test_case "exit idempotent" `Quick test_span_exit_idempotent;
+          Alcotest.test_case "exception safety" `Quick test_span_records_on_exception;
+          Alcotest.test_case "feeds histogram" `Quick test_span_feeds_histogram;
+          Alcotest.test_case "sim clock" `Quick test_span_sim_clock;
+          Alcotest.test_case "substring match" `Quick test_spans_matching_substring;
+        ] );
+      ( "export",
+        [
+          Alcotest.test_case "json valid" `Quick test_export_json_valid;
+          Alcotest.test_case "write file" `Quick test_write_json_file;
+          Alcotest.test_case "render" `Quick test_render_mentions_everything;
+          Alcotest.test_case "reset" `Quick test_reset_clears_everything;
+        ] );
+    ]

@@ -97,6 +97,10 @@ let test_stats_percentile () =
   Alcotest.(check (float 1e-9)) "p100" 5.0 (Stats.percentile 100.0 xs);
   Alcotest.(check (float 1e-9)) "p25" 2.0 (Stats.percentile 25.0 xs)
 
+let test_stats_percentile_nan () =
+  Alcotest.check_raises "NaN sample" (Invalid_argument "Stats.percentile: NaN sample")
+    (fun () -> ignore (Stats.percentile 50.0 [ 1.0; Float.nan; 3.0 ]))
+
 let test_stats_median_interpolates () =
   Alcotest.(check (float 1e-9)) "even count" 2.5 (Stats.median [ 1.0; 2.0; 3.0; 4.0 ])
 
@@ -167,6 +171,24 @@ let test_pqueue_stress_sorted () =
   drain ();
   Alcotest.(check bool) "monotone" true !ok
 
+(* Regression: [pop] used to leave the popped entry reachable in the
+   backing array, pinning arbitrarily large closures until the slot was
+   overwritten by a later push. *)
+let test_pqueue_pop_releases () =
+  let q = Pqueue.create () in
+  let w = Weak.create 1 in
+  let payload = ref (Array.make 1024 0) in
+  Weak.set w 0 (Some !payload);
+  Pqueue.push q 2.0 !payload;
+  Pqueue.push q 1.0 (Array.make 1 0);
+  payload := [||];
+  ignore (Pqueue.pop q);
+  (* lower-priority element pops second, so its slot is the vacated one *)
+  ignore (Pqueue.pop q);
+  Gc.full_major ();
+  Alcotest.(check bool) "popped payload collected" true (Weak.get w 0 = None);
+  Alcotest.(check bool) "empty" true (Pqueue.is_empty q)
+
 let test_union_find_basic () =
   let uf = Union_find.create 6 in
   ignore (Union_find.union uf 0 1);
@@ -226,6 +248,7 @@ let () =
           Alcotest.test_case "mean" `Quick test_stats_mean;
           Alcotest.test_case "stddev" `Quick test_stats_stddev;
           Alcotest.test_case "percentile" `Quick test_stats_percentile;
+          Alcotest.test_case "percentile rejects NaN" `Quick test_stats_percentile_nan;
           Alcotest.test_case "median interpolation" `Quick test_stats_median_interpolates;
           Alcotest.test_case "geomean" `Quick test_stats_geomean;
           Alcotest.test_case "streaming accumulator" `Quick test_stats_acc;
@@ -236,6 +259,7 @@ let () =
           Alcotest.test_case "FIFO on ties" `Quick test_pqueue_fifo_ties;
           Alcotest.test_case "interleaved ops" `Quick test_pqueue_interleaved;
           Alcotest.test_case "stress sorted" `Quick test_pqueue_stress_sorted;
+          Alcotest.test_case "pop releases payload" `Quick test_pqueue_pop_releases;
         ] );
       ( "union_find",
         [

@@ -151,8 +151,10 @@ let test_metrics_empty () =
 let test_metrics_windows () =
   let completions = [ 0.5; 1.5; 1.7; 3.2 ] in
   let windows = Metrics.throughput_windows ~window:1.0 completions in
+  (* the idle 2.0 window must appear with an explicit zero (regression:
+     gaps used to be silently dropped, skewing window-rate plots) *)
   Alcotest.(check (list (pair (float 1e-9) int))) "buckets"
-    [ (0.0, 1); (1.0, 2); (3.0, 1) ]
+    [ (0.0, 1); (1.0, 2); (2.0, 0); (3.0, 1) ]
     windows;
   Alcotest.(check bool) "bad window" true
     (try

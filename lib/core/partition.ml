@@ -79,7 +79,7 @@ let naive_bisect tree =
     let cut_bits = 64 * min (List.length left) (List.length right) in
     Some (wrap "naive_a" left, wrap "naive_b" right, cut_bits)
 
-let run tree ~iterations =
+let run_untraced tree ~iterations =
   let level0 = [ { piece_id = "p0/0"; level = 0; index = 0; tree; cut_bits = 0 } ] in
   let next level pieces =
     List.concat_map
@@ -103,3 +103,6 @@ let run tree ~iterations =
     end
   in
   go 1 [ level0 ] level0
+
+let run tree ~iterations =
+  Mlv_obs.Obs.Span.with_ "partition" (fun () -> run_untraced tree ~iterations)

@@ -1,4 +1,5 @@
 open Mlv_fpga
+module Obs = Mlv_obs.Obs
 
 type handle = { hid : int; owner : int }
 
@@ -38,31 +39,39 @@ let reconfig_time_us kind ~vbs =
   Board.pcie_transfer_time_us Board.default ~bytes:(vbs * bytes_per_region)
 
 let load t (b : Bitstream.t) =
-  if not (Device.equal_kind b.Bitstream.device t.kind) then
-    Error
-      (Printf.sprintf "bitstream %s targets %s, device is %s" (Bitstream.id b)
-         (Device.kind_name b.Bitstream.device)
-         (Device.kind_name t.kind))
-  else if free_vbs t < b.Bitstream.vbs then
-    Error
-      (Printf.sprintf "device has %d free virtual blocks, bitstream needs %d"
-         (free_vbs t) b.Bitstream.vbs)
-  else begin
-    let indices = ref [] in
-    let needed = ref b.Bitstream.vbs in
-    Array.iteri
-      (fun i occ ->
-        if (not occ) && !needed > 0 then begin
-          t.occupied.(i) <- true;
-          indices := i :: !indices;
-          decr needed
-        end)
-      t.occupied;
-    let hid = t.next_hid in
-    t.next_hid <- t.next_hid + 1;
-    Hashtbl.replace t.table hid { bitstream = b; vb_indices = !indices };
-    Ok ({ hid; owner = t.uid }, reconfig_time_us t.kind ~vbs:b.Bitstream.vbs)
-  end
+  Obs.Span.with_ "reconfig" (fun () ->
+      if not (Device.equal_kind b.Bitstream.device t.kind) then begin
+        Obs.Counter.incr (Obs.Counter.get "vital.load.reject");
+        Error
+          (Printf.sprintf "bitstream %s targets %s, device is %s" (Bitstream.id b)
+             (Device.kind_name b.Bitstream.device)
+             (Device.kind_name t.kind))
+      end
+      else if free_vbs t < b.Bitstream.vbs then begin
+        Obs.Counter.incr (Obs.Counter.get "vital.load.reject");
+        Error
+          (Printf.sprintf "device has %d free virtual blocks, bitstream needs %d"
+             (free_vbs t) b.Bitstream.vbs)
+      end
+      else begin
+        let indices = ref [] in
+        let needed = ref b.Bitstream.vbs in
+        Array.iteri
+          (fun i occ ->
+            if (not occ) && !needed > 0 then begin
+              t.occupied.(i) <- true;
+              indices := i :: !indices;
+              decr needed
+            end)
+          t.occupied;
+        let hid = t.next_hid in
+        t.next_hid <- t.next_hid + 1;
+        Hashtbl.replace t.table hid { bitstream = b; vb_indices = !indices };
+        let time_us = reconfig_time_us t.kind ~vbs:b.Bitstream.vbs in
+        Obs.Counter.incr (Obs.Counter.get "vital.load");
+        Obs.Histogram.observe (Obs.Histogram.get "vital.reconfig_us") time_us;
+        Ok ({ hid; owner = t.uid }, time_us)
+      end)
 
 let unload t (h : handle) =
   if h.owner <> t.uid then invalid_arg "Controller.unload: foreign handle";
@@ -70,7 +79,8 @@ let unload t (h : handle) =
   | None -> ()
   | Some entry ->
     List.iter (fun i -> t.occupied.(i) <- false) entry.vb_indices;
-    Hashtbl.remove t.table h.hid
+    Hashtbl.remove t.table h.hid;
+    Obs.Counter.incr (Obs.Counter.get "vital.unload")
 
 let loaded t =
   Hashtbl.fold (fun _ e acc -> e.bitstream :: acc) t.table []
