@@ -1,6 +1,6 @@
 # Convenience entry points; everything is plain dune underneath.
 
-.PHONY: all build check fmt test bench clean
+.PHONY: all build check fmt test bench bench-place bench-place-smoke clean
 
 all: build
 
@@ -19,13 +19,27 @@ fmt:
 test:
 	dune runtest
 
-# The one-stop pre-commit gate.
-check: build fmt test
+# The one-stop pre-commit gate.  bench-place-smoke keeps the indexed
+# placement engine honest (it must never regress below the naive scan)
+# without the cost of the full 1k-node run.
+check: build fmt test bench-place-smoke
 
 # Regenerates every table/figure and leaves BENCH_obs.json (the
 # observability registry of the run) next to the console output.
 bench:
 	dune exec bench/main.exe
+
+# Placement-churn microbenchmark (paper §2.3 system controller at
+# fleet scale): 1k-node heterogeneous cluster, asserts the indexed
+# engine's deploy throughput is ≥5× the naive snapshot scan.
+bench-place:
+	dune exec bench/place.exe -- --nodes 1000 --ops 4000 --assert-speedup 5
+
+# Small, fast configuration for `make check`: same differential churn,
+# only asserts the index is not slower than the scan.
+bench-place-smoke:
+	dune exec bench/place.exe -- --nodes 64 --ops 400 \
+	  --out BENCH_place_smoke.json --assert-speedup 1
 
 clean:
 	dune clean

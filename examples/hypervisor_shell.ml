@@ -46,6 +46,15 @@ let () =
       "undeploy 3";
       "undeploy 4";
       "status";
+      (* placement-index health and failover round-trip *)
+      "index";
+      "deploy npu-t6";
+      "fail 0";
+      "index";
+      "restore 0";
+      "rebalance";
+      "index";
+      "undeploy 5";
       (* the observability registry accumulated by the session *)
       "metrics";
       "trace deploy";

@@ -13,7 +13,7 @@ let decompose_config =
 
 let accel_name ~tiles = Printf.sprintf "npu-t%d" tiles
 
-let build_npu ?(iterations = 2) ~tiles () =
+let build_npu ?(iterations = 2) ?cost_cache ~tiles () =
   Mlv_obs.Obs.Span.with_ "build_npu" (fun () ->
       let config = Mlv_accel.Config.make ~tiles () in
       let design = Mlv_accel.Rtl_gen.generate config in
@@ -23,7 +23,7 @@ let build_npu ?(iterations = 2) ~tiles () =
       | Error e -> Error (Printf.sprintf "decompose failed: %s" e)
       | Ok decomposed ->
         let mapping =
-          Mapping.compile ~cost_model:Mapping.npu_cost_model ~iterations
+          Mapping.compile ~cost_model:Mapping.npu_cost_model ?cost_cache ~iterations
             ~name:(accel_name ~tiles) ~control:decomposed.Decompose.control
             ~data:decomposed.Decompose.data ()
         in
@@ -31,9 +31,12 @@ let build_npu ?(iterations = 2) ~tiles () =
 
 let npu_registry ?(iterations = 2) ~tile_counts () =
   let registry = Registry.create () in
+  (* One cost cache across every instance: equal unit shapes (the
+     engines, the converters) are priced once per device kind. *)
+  let cost_cache = Mapping.cost_cache () in
   List.iter
     (fun tiles ->
-      match build_npu ~iterations ~tiles () with
+      match build_npu ~iterations ~cost_cache ~tiles () with
       | Ok npu -> Registry.register registry npu.mapping
       | Error e -> failwith (Printf.sprintf "npu_registry: tiles=%d: %s" tiles e))
     tile_counts;

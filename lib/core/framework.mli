@@ -18,9 +18,11 @@ type npu = {
   mapping : Mapping.t;
 }
 
-(** [build_npu ?iterations ~tiles ()] runs the full flow.
-    [iterations] is the partitioning depth (default 2). *)
-val build_npu : ?iterations:int -> tiles:int -> unit -> (npu, string) result
+(** [build_npu ?iterations ?cost_cache ~tiles ()] runs the full flow.
+    [iterations] is the partitioning depth (default 2); [cost_cache]
+    shares memoized per-shape cost-model results across builds. *)
+val build_npu :
+  ?iterations:int -> ?cost_cache:Mapping.cost_cache -> tiles:int -> unit -> (npu, string) result
 
 (** [accel_name ~tiles] is the registry key, e.g. ["npu-t21"]. *)
 val accel_name : tiles:int -> string

@@ -13,7 +13,7 @@ let live_handles t =
 
 let help =
   "ok commands: deploy <accel> | undeploy <id> | status | nodes | list | deployments | \
-   rebalance | fail <node> | restore <node> | metrics [json] | trace <substring> | \
+   rebalance | fail <node> | restore <node> | index | metrics [json] | trace <substring> | \
    counters reset | help"
 
 let do_deploy t accel =
@@ -125,6 +125,10 @@ let handle t line =
     | Some n ->
       Runtime.restore_node t.runtime n;
       "ok")
+  | [ "index" ] ->
+    Printf.sprintf "ok indexed=%b consistent=%b"
+      (Runtime.indexed t.runtime)
+      (Runtime.index_consistent t.runtime)
   | [ "metrics" ] -> do_metrics ()
   | [ "metrics"; "json" ] -> "ok " ^ Obs.json_string ()
   | [ "trace"; sub ] -> do_trace sub

@@ -1,0 +1,73 @@
+open Mlv_fpga
+module Bitstream = Mlv_vital.Bitstream
+
+type piece_plan = {
+  piece : Mapping.compiled_piece;
+  options : (Device.kind * Bitstream.t) list;
+  options_by_kind : (Device.kind * (Device.kind * Bitstream.t) list) list;
+}
+
+type level_plan = { piece_count : int; pieces : piece_plan list }
+
+type plan = {
+  mapping : Mapping.t;
+  fewest_first : level_plan list;
+  most_first : level_plan list;
+  single_fewest : level_plan list;
+  single_most : level_plan list;
+}
+
+let plan_piece (p : Mapping.compiled_piece) =
+  let options = p.Mapping.bitstreams in
+  {
+    piece = p;
+    options;
+    options_by_kind =
+      List.map
+        (fun kind ->
+          (kind, List.filter (fun (k, _) -> Device.equal_kind k kind) options))
+        Device.kinds;
+  }
+
+let plan_level pieces =
+  (* Allocation order: biggest pieces first (stable on ties), the
+     order the allocator used to re-derive per request. *)
+  let sorted =
+    List.sort
+      (fun (a : Mapping.compiled_piece) b -> compare b.Mapping.tiles a.Mapping.tiles)
+      pieces
+  in
+  { piece_count = List.length pieces; pieces = List.map plan_piece sorted }
+
+let make_plan (m : Mapping.t) =
+  let fewest_first = List.map plan_level (Mapping.levels_fewest_first m) in
+  let single_fewest = List.filter (fun lp -> lp.piece_count = 1) fewest_first in
+  {
+    mapping = m;
+    fewest_first;
+    most_first = List.rev fewest_first;
+    single_fewest;
+    single_most = List.rev single_fewest;
+  }
+
+let levels plan ~fewest_first ~whole_device =
+  match (fewest_first, whole_device) with
+  | true, false -> plan.fewest_first
+  | false, false -> plan.most_first
+  | true, true -> plan.single_fewest
+  | false, true -> plan.single_most
+
+let options pp ~kind =
+  match kind with
+  | None -> pp.options
+  | Some k -> ( match List.assoc_opt k pp.options_by_kind with Some l -> l | None -> [])
+
+type t = (string, plan) Hashtbl.t
+
+let create () : t = Hashtbl.create 16
+let register t (m : Mapping.t) = Hashtbl.replace t m.Mapping.accel_name (make_plan m)
+let remove t name = Hashtbl.remove t name
+let find t name = Hashtbl.find_opt t name
+
+let names t =
+  Hashtbl.fold (fun name _ acc -> name :: acc) t [] |> List.sort compare

@@ -1,0 +1,57 @@
+(** The mapping-result database of the system controller (paper
+    §2.3, Fig. 7), in deployment-ready form.
+
+    [Registry] used to store raw {!Mapping.t} values, which forced
+    the runtime to re-sort levels fewest-first, re-sort pieces into
+    allocation order and re-filter device options on {e every}
+    deployment request.  This module precomputes all of that once, at
+    registration time: per accelerator a {!plan} holding, for both
+    search directions and for the whole-device (AS-ISA-only) policy
+    subset, every level's pieces in allocation order with per-kind
+    bitstream lookup tables.  A deployment request then walks plain
+    precomputed lists. *)
+
+open Mlv_fpga
+
+(** One partition piece, deployment-ready. *)
+type piece_plan = {
+  piece : Mapping.compiled_piece;
+  options : (Device.kind * Mlv_vital.Bitstream.t) list;
+      (** feasible device options, mapping order *)
+  options_by_kind : (Device.kind * (Device.kind * Mlv_vital.Bitstream.t) list) list;
+      (** per-kind restriction of [options] (same-type-only search) *)
+}
+
+type level_plan = {
+  piece_count : int;
+  pieces : piece_plan list;  (** allocation order: tiles descending, stable *)
+}
+
+type plan = {
+  mapping : Mapping.t;
+  fewest_first : level_plan list;  (** levels by piece count ascending *)
+  most_first : level_plan list;  (** reversed *)
+  single_fewest : level_plan list;  (** one-piece levels only *)
+  single_most : level_plan list;
+}
+
+(** [levels plan ~fewest_first ~whole_device] is the precomputed
+    level order a policy searches. *)
+val levels : plan -> fewest_first:bool -> whole_device:bool -> level_plan list
+
+(** [options pp ~kind] is the piece's device options, restricted to
+    [kind] when given.  Unknown kinds yield []. *)
+val options :
+  piece_plan -> kind:Device.kind option -> (Device.kind * Mlv_vital.Bitstream.t) list
+
+type t
+
+val create : unit -> t
+
+(** [register t mapping] stores (or replaces) an accelerator's
+    mapping results, precomputing its deployment plan. *)
+val register : t -> Mapping.t -> unit
+
+val remove : t -> string -> unit
+val find : t -> string -> plan option
+val names : t -> string list

@@ -26,6 +26,10 @@ let npu_cost_model ~unit_tree kind =
   if is_engine_unit unit_tree then Virtual_block.engine_mapped_resources kind
   else estimate_cost_model ~unit_tree kind
 
+type cost_cache = (string * Resource.t * Device.kind, Resource.t) Hashtbl.t
+
+let cost_cache () : cost_cache = Hashtbl.create 64
+
 type compiled_piece = {
   piece : Partition.piece;
   includes_control : bool;
@@ -50,22 +54,17 @@ let rec units_of tree =
   | Soft_block.Node { Soft_block.composition = Soft_block.Pipeline; children; _ } ->
     List.concat_map units_of children
 
-(* Group consecutive equal-shape units into replica groups. *)
-let unit_reqs cost_model kind units =
+(* Group equal-shape units into replica groups, first-occurrence
+   order.  One O(units²) pass per piece, shared by the requirement
+   builder and the tile counter (they used to run it separately). *)
+let replica_groups units =
   let rec group = function
     | [] -> []
     | u :: rest ->
       let same, others = List.partition (Soft_block.equal_shape u) rest in
       (u, 1 + List.length same) :: group others
   in
-  List.map
-    (fun (u, n) ->
-      {
-        Compile.unit_name = Soft_block.name u;
-        resources = cost_model ~unit_tree:u kind;
-        replicas = n;
-      })
-    (group units)
+  group units
 
 (* The control block is larger than one virtual-block region (its
    DSP-heavy MFU front-end); ViTAL maps it across three regions. *)
@@ -77,24 +76,13 @@ let control_unit_reqs kind =
   List.init control_splits (fun i ->
       { Compile.unit_name = Printf.sprintf "control/%d" i; resources = share; replicas = 1 })
 
-let tiles_of_units units =
+let tiles_of_groups groups =
   List.fold_left
     (fun acc (u, n) -> if n > 1 || is_engine_unit u then acc + n else acc)
-    0
-    (let rec group = function
-       | [] -> []
-       | u :: rest ->
-         let same, others = List.partition (Soft_block.equal_shape u) rest in
-         (u, 1 + List.length same) :: group others
-     in
-     group units)
+    0 groups
 
-let rec compile ?(cost_model = estimate_cost_model) ?(iterations = 2) ~name ~control
-    ~data () =
-  Mlv_obs.Obs.Span.with_ "mapping.compile" (fun () ->
-      compile_untraced ~cost_model ~iterations ~name ~control ~data ())
-
-and compile_untraced ~cost_model ~iterations ~name ~control ~data () =
+let compile_untraced ~cost_model ~cache ~iterations ~name ~control ~data () =
+  let cache = match cache with Some c -> c | None -> cost_cache () in
   let levels = Partition.run data ~iterations in
   let compiled_levels =
     List.map
@@ -102,14 +90,40 @@ and compile_untraced ~cost_model ~iterations ~name ~control ~data () =
         List.mapi
           (fun idx (piece : Partition.piece) ->
             let includes_control = idx = 0 in
-            let units = units_of piece.Partition.tree in
-            let tiles = tiles_of_units units in
+            let groups = replica_groups (units_of piece.Partition.tree) in
+            let tiles = tiles_of_groups groups in
+            (* Shape key and summed resources identify a group for
+               cost memoization (the built-in cost models are pure
+               functions of shape, summed annotation and device
+               kind); computed once per group, not per device. *)
+            let keyed_groups =
+              List.map
+                (fun (u, n) ->
+                  (u, n, Soft_block.shape_key u, Soft_block.resources u))
+                groups
+            in
+            let priced ~unit_tree ~skey ~res kind =
+              let key = (skey, res, kind) in
+              match Hashtbl.find_opt cache key with
+              | Some r -> r
+              | None ->
+                let r = cost_model ~unit_tree kind in
+                Hashtbl.add cache key r;
+                r
+            in
             let bitstreams =
               List.filter_map
                 (fun kind ->
                   let reqs =
                     (if includes_control then control_unit_reqs kind else [])
-                    @ unit_reqs cost_model kind units
+                    @ List.map
+                        (fun (u, n, skey, res) ->
+                          {
+                            Compile.unit_name = Soft_block.name u;
+                            resources = priced ~unit_tree:u ~skey ~res kind;
+                            replicas = n;
+                          })
+                        keyed_groups
                   in
                   match Compile.compile kind reqs with
                   | Error _ -> None
@@ -126,8 +140,12 @@ and compile_untraced ~cost_model ~iterations ~name ~control ~data () =
           pieces)
       levels
   in
-  ignore control;
   { accel_name = name; control; data; levels = compiled_levels }
+
+let compile ?(cost_model = estimate_cost_model) ?cost_cache:cache ?(iterations = 2)
+    ~name ~control ~data () =
+  Mlv_obs.Obs.Span.with_ "mapping.compile" (fun () ->
+      compile_untraced ~cost_model ~cache ~iterations ~name ~control ~data ())
 
 let levels_fewest_first t =
   List.sort (fun a b -> compare (List.length a) (List.length b)) t.levels

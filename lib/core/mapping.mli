@@ -24,6 +24,16 @@ val estimate_cost_model : cost_model
     calibrated per-engine mapped cost. *)
 val npu_cost_model : cost_model
 
+(** Memoized cost-model results, keyed by (unit shape, summed leaf
+    annotation, device kind).  Pass one cache to several {!compile}
+    calls (as {!Framework.npu_registry} does across its instances) to
+    price each distinct unit shape once per device kind.  Sound for
+    cost models that are pure functions of those three inputs — both
+    built-ins are. *)
+type cost_cache
+
+val cost_cache : unit -> cost_cache
+
 type compiled_piece = {
   piece : Partition.piece;
   includes_control : bool;
@@ -47,6 +57,7 @@ type t = {
     level. *)
 val compile :
   ?cost_model:cost_model ->
+  ?cost_cache:cost_cache ->
   ?iterations:int ->
   name:string ->
   control:Soft_block.t ->

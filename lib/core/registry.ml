@@ -1,14 +1,17 @@
-type t = (string, Mapping.t) Hashtbl.t
+type t = Mapdb.t
 
-let create () = Hashtbl.create 16
-let register t (m : Mapping.t) = Hashtbl.replace t m.Mapping.accel_name m
-let remove t name = Hashtbl.remove t name
-let find t name = Hashtbl.find_opt t name
-
-let names t =
-  Hashtbl.fold (fun name _ acc -> name :: acc) t [] |> List.sort compare
+let create () = Mapdb.create ()
+let register t (m : Mapping.t) = Mapdb.register t m
+let remove t name = Mapdb.remove t name
+let find t name = Option.map (fun (p : Mapdb.plan) -> p.Mapdb.mapping) (Mapdb.find t name)
+let plan t name = Mapdb.find t name
+let names t = Mapdb.names t
 
 let deployment_options t name =
-  match find t name with
+  match Mapdb.find t name with
   | None -> []
-  | Some m -> Mapping.levels_fewest_first m
+  | Some p ->
+    List.map
+      (fun (lp : Mapdb.level_plan) ->
+        List.map (fun (pp : Mapdb.piece_plan) -> pp.Mapdb.piece) lp.Mapdb.pieces)
+      p.Mapdb.fewest_first

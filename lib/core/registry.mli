@@ -1,6 +1,11 @@
 (** The mapping-results database of the system controller
     (paper Fig. 7): per accelerator, the compiled partitioning
-    results for every level and device type. *)
+    results for every level and device type.
+
+    Backed by {!Mapdb}: registration precomputes the deployment plan
+    (level orderings, allocation-ordered pieces, per-kind bitstream
+    tables) so the runtime never re-sorts or re-filters per
+    request. *)
 
 type t
 
@@ -18,6 +23,10 @@ val remove : t -> string -> unit
 
 (** [find t name] looks up an accelerator. *)
 val find : t -> string -> Mapping.t option
+
+(** [plan t name] is the precomputed deployment plan the runtime
+    allocates from. *)
+val plan : t -> string -> Mapdb.plan option
 
 (** [names t] lists registered accelerators alphabetically. *)
 val names : t -> string list

@@ -55,31 +55,47 @@ type t = {
   cluster : Cluster.t;
   registry : Registry.t;
   policy : policy;
+  index : Alloc_index.t option;
   mutable live : deployment list;
   failed : (int, unit) Hashtbl.t;
 }
 
-let create ?(policy = greedy) cluster registry =
-  { cluster; registry; policy; live = []; failed = Hashtbl.create 4 }
+let create ?(policy = greedy) ?(indexed = true) cluster registry =
+  {
+    cluster;
+    registry;
+    policy;
+    index = (if indexed then Some (Alloc_index.build cluster) else None);
+    live = [];
+    failed = Hashtbl.create 4;
+  }
 
 let failed_nodes t = Hashtbl.fold (fun i () acc -> i :: acc) t.failed [] |> List.sort compare
 let policy t = t.policy
 let registry t = t.registry
 let deployments t = t.live
+let indexed t = t.index <> None
 
-(* Tentative assignment of pieces to nodes against a snapshot of free
-   virtual blocks.  Returns (node, bitstream) per piece or None. *)
-let try_assign t ~kind_filter (pieces : Mapping.compiled_piece list) =
+let index_consistent t =
+  match t.index with None -> true | Some ix -> Alloc_index.consistent ix
+
+(* Every real controller load/unload must re-file the node in the
+   capacity index (the index mirrors the controllers). *)
+let sync_node t id =
+  match t.index with Some ix -> Alloc_index.refresh ix id | None -> ()
+
+let unload_placement t p =
+  Controller.unload (Cluster.node t.cluster p.node_id).Node.controller p.handle;
+  sync_node t p.node_id
+
+(* Tentative assignment of pieces (already in allocation order — the
+   plan presorts them biggest-first) to nodes against a snapshot of
+   free virtual blocks: the pre-index O(n)-per-step path, kept behind
+   [~indexed:false] for differential testing. *)
+let try_assign_naive t ~target_kind (pieces : Mapdb.piece_plan list) =
   let n = Cluster.node_count t.cluster in
   let free = Array.init n (fun i -> Node.free_vbs (Cluster.node t.cluster i)) in
   let total = Array.init n (fun i -> Node.total_vbs (Cluster.node t.cluster i)) in
-  (* Pieces with fewer device options first would be smarter; the
-     paper sorts by size, so allocate biggest-first for packing. *)
-  let order =
-    List.sort
-      (fun (a : Mapping.compiled_piece) b -> compare b.Mapping.tiles a.Mapping.tiles)
-      pieces
-  in
   let choose_node (bs : Bitstream.t) =
     let need =
       if t.policy.whole_device then
@@ -107,11 +123,7 @@ let try_assign t ~kind_filter (pieces : Mapping.compiled_piece list) =
   in
   let rec assign acc = function
     | [] -> Some (List.rev acc)
-    | (piece : Mapping.compiled_piece) :: rest -> (
-      (* Try the piece's device options (filtered) in turn. *)
-      let options =
-        List.filter (fun (kind, _) -> kind_filter kind) piece.Mapping.bitstreams
-      in
+    | (pp : Mapdb.piece_plan) :: rest -> (
       let rec try_options = function
         | [] -> None
         | (_, bs) :: more -> (
@@ -128,9 +140,51 @@ let try_assign t ~kind_filter (pieces : Mapping.compiled_piece list) =
               try_options more)
           | None -> try_options more)
       in
-      try_options options)
+      try_options (Mapdb.options pp ~kind:target_kind))
   in
-  assign [] order
+  assign [] pieces
+
+(* Same search over the incremental capacity index: candidate
+   selection is one bucket scan, tentative allocations are
+   transactional so backtracking leaves the index untouched. *)
+let try_assign_indexed t ix ~target_kind (pieces : Mapdb.piece_plan list) =
+  let choose =
+    if t.policy.best_fit then Alloc_index.best_fit else Alloc_index.first_fit
+  in
+  let rec assign acc = function
+    | [] -> Some (List.rev acc)
+    | (pp : Mapdb.piece_plan) :: rest -> (
+      let rec try_options = function
+        | [] -> None
+        | (_, (bs : Bitstream.t)) :: more -> (
+          match
+            choose ix ~kind:bs.Bitstream.device ~whole_device:t.policy.whole_device
+              ~vbs:bs.Bitstream.vbs
+          with
+          | Some node ->
+            let vbs =
+              if t.policy.whole_device then Alloc_index.total ix node
+              else bs.Bitstream.vbs
+            in
+            let tx = Alloc_index.begin_ ix in
+            Alloc_index.reserve tx ~node ~vbs;
+            (match assign ((node, bs) :: acc) rest with
+            | Some _ as ok ->
+              Alloc_index.commit tx;
+              ok
+            | None ->
+              Alloc_index.rollback tx;
+              try_options more)
+          | None -> try_options more)
+      in
+      try_options (Mapdb.options pp ~kind:target_kind))
+  in
+  assign [] pieces
+
+let try_assign t ~target_kind pieces =
+  match t.index with
+  | Some ix -> try_assign_indexed t ix ~target_kind pieces
+  | None -> try_assign_naive t ~target_kind pieces
 
 let perform t accel assignment =
   let reconfig = ref 0.0 in
@@ -146,6 +200,7 @@ let perform t accel assignment =
         match Controller.load node.Node.controller bs_load with
         | Ok (handle, time_us) ->
           reconfig := !reconfig +. time_us;
+          sync_node t node_id;
           { node_id; bitstream = bs_load; handle }
         | Error msg -> failwith ("Runtime.deploy: controller refused: " ^ msg))
       assignment
@@ -155,36 +210,34 @@ let perform t accel assignment =
   d
 
 let deploy_untraced t ~accel =
-  match Registry.find t.registry accel with
+  match Registry.plan t.registry accel with
   | None -> Error (Printf.sprintf "unknown accelerator %s" accel)
-  | Some mapping ->
-    let levels = Mapping.levels_fewest_first mapping in
-    let levels = if t.policy.fewest_first then levels else List.rev levels in
+  | Some plan ->
+    (* Level order (and the whole-device single-piece restriction —
+       AS-ISA-only management has no multi-FPGA support) is
+       precomputed at registration time. *)
     let levels =
-      if t.policy.whole_device then
-        (* AS-ISA-only management has no multi-FPGA support. *)
-        List.filter (fun l -> List.length l = 1) levels
-      else levels
+      Mapdb.levels plan ~fewest_first:t.policy.fewest_first
+        ~whole_device:t.policy.whole_device
     in
-    let kind_filters =
-      if t.policy.same_type_only then
-        List.map (fun k -> fun kind -> Device.equal_kind kind k) Device.kinds
-      else [ (fun _ -> true) ]
+    let target_kinds =
+      if t.policy.same_type_only then List.map Option.some Device.kinds
+      else [ None ]
     in
     let rec try_levels = function
       | [] ->
         Error
           (Printf.sprintf "no feasible allocation for %s under policy %s" accel
              t.policy.policy_name)
-      | pieces :: rest -> (
+      | (lp : Mapdb.level_plan) :: rest -> (
         let rec try_filters = function
           | [] -> try_levels rest
-          | f :: more -> (
-            match try_assign t ~kind_filter:f pieces with
+          | k :: more -> (
+            match try_assign t ~target_kind:k lp.Mapdb.pieces with
             | Some assignment -> Ok (perform t accel assignment)
             | None -> try_filters more)
         in
-        try_filters kind_filters)
+        try_filters target_kinds)
     in
     try_levels levels
 
@@ -228,9 +281,7 @@ let rebalance_untraced (t : t) =
   let snapshot =
     List.map
       (fun d ->
-        List.iter
-          (fun p -> Controller.unload (Cluster.node t.cluster p.node_id).Node.controller p.handle)
-          d.placements;
+        List.iter (unload_placement t) d.placements;
         (d, d.placements))
       live
   in
@@ -265,10 +316,7 @@ let rebalance_untraced (t : t) =
     (* Roll back: free whatever we re-placed, then restore the
        original placements. *)
     List.iter
-      (fun (_, fresh) ->
-        List.iter
-          (fun p -> Controller.unload (Cluster.node t.cluster p.node_id).Node.controller p.handle)
-          fresh.placements)
+      (fun (_, fresh) -> List.iter (unload_placement t) fresh.placements)
       !redeployed;
     List.iter
       (fun (d, placements) ->
@@ -277,7 +325,9 @@ let rebalance_untraced (t : t) =
             (fun p ->
               let node = Cluster.node t.cluster p.node_id in
               match Controller.load node.Node.controller p.bitstream with
-              | Ok (handle, _) -> { p with handle }
+              | Ok (handle, _) ->
+                sync_node t p.node_id;
+                { p with handle }
               | Error msg -> failwith ("Runtime.rebalance: rollback failed: " ^ msg))
             placements
         in
@@ -298,11 +348,7 @@ let rebalance (t : t) =
         e)
 
 let undeploy t d =
-  List.iter
-    (fun p ->
-      let node = Cluster.node t.cluster p.node_id in
-      Controller.unload node.Node.controller p.handle)
-    d.placements;
+  List.iter (unload_placement t) d.placements;
   t.live <- List.filter (fun x -> x != d) t.live;
   Obs.Counter.incr (Obs.Counter.get "runtime.undeploy")
 
@@ -312,19 +358,14 @@ let fail_node_untraced (t : t) node_id =
   if node_id < 0 || node_id >= Cluster.node_count t.cluster then
     invalid_arg (Printf.sprintf "Runtime.fail_node: node %d out of range" node_id);
   Hashtbl.replace t.failed node_id ();
+  (match t.index with Some ix -> Alloc_index.mark_failed ix node_id | None -> ());
   let affected, unaffected =
     List.partition (fun d -> List.mem node_id (nodes_used d)) t.live
   in
   (* Release every placement of the affected deployments (the failed
      node's blocks are gone anyway; surviving nodes' blocks free up),
      then try to place each deployment again on the healthy nodes. *)
-  List.iter
-    (fun d ->
-      List.iter
-        (fun p ->
-          Controller.unload (Cluster.node t.cluster p.node_id).Node.controller p.handle)
-        d.placements)
-    affected;
+  List.iter (fun d -> List.iter (unload_placement t) d.placements) affected;
   t.live <- unaffected;
   let recovered = ref 0 in
   let lost = ref [] in
@@ -349,4 +390,6 @@ let fail_node (t : t) node_id =
       Obs.Counter.add (Obs.Counter.get "runtime.failover.lost") (List.length f.lost);
       f)
 
-let restore_node (t : t) node_id = Hashtbl.remove t.failed node_id
+let restore_node (t : t) node_id =
+  Hashtbl.remove t.failed node_id;
+  match t.index with Some ix -> Alloc_index.restore ix node_id | None -> ()

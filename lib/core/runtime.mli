@@ -49,9 +49,29 @@ val tiles_deployed : deployment -> int
 
 type t
 
-val create : ?policy:policy -> Mlv_cluster.Cluster.t -> Registry.t -> t
+(** [create ?policy ?indexed cluster registry] builds a controller.
+
+    With [indexed] (the default) candidate nodes come from an
+    incremental {!Alloc_index} maintained across deploy / undeploy /
+    rebalance / failover / restore, so a request does no per-node
+    cluster scan.  [~indexed:false] keeps the original
+    snapshot-and-scan allocator; both make byte-identical placement
+    decisions (asserted by the differential tests) — the flag exists
+    for that comparison and for the placement-churn benchmark.
+
+    The index assumes this runtime is the only writer of the
+    cluster's controllers. *)
+val create : ?policy:policy -> ?indexed:bool -> Mlv_cluster.Cluster.t -> Registry.t -> t
 
 val policy : t -> policy
+
+(** [indexed t] tells which allocator the runtime uses. *)
+val indexed : t -> bool
+
+(** [index_consistent t] checks the capacity index against the
+    controllers (always true for a non-indexed runtime); the churn
+    invariant tests call it after every mutation. *)
+val index_consistent : t -> bool
 
 (** [registry t] is the mapping database the controller serves from. *)
 val registry : t -> Registry.t

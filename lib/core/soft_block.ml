@@ -80,6 +80,28 @@ let rec equal_shape a b =
     && List.for_all2 equal_shape na.children nb.children
   | Leaf _, Node _ | Node _, Leaf _ -> false
 
+let shape_key t =
+  let buf = Buffer.create 64 in
+  let rec go = function
+    | Leaf l ->
+      (* length prefix: module names need no escaping to stay injective *)
+      Buffer.add_char buf 'L';
+      Buffer.add_string buf (string_of_int (String.length l.module_name));
+      Buffer.add_char buf ':';
+      Buffer.add_string buf l.module_name
+    | Node n ->
+      Buffer.add_char buf (match n.composition with Data_parallel -> 'D' | Pipeline -> 'P');
+      Buffer.add_char buf '(';
+      List.iter
+        (fun c ->
+          go c;
+          Buffer.add_char buf ',')
+        n.children;
+      Buffer.add_char buf ')'
+  in
+  go t;
+  Buffer.contents buf
+
 let validate t =
   let errors = ref [] in
   let err fmt = Printf.ksprintf (fun s -> errors := s :: !errors) fmt in

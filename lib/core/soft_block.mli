@@ -89,6 +89,11 @@ val leaf_count_of_module : t -> string -> int
     equivalence the partitioner uses to recognize replicas. *)
 val equal_shape : t -> t -> bool
 
+(** [shape_key t] is a canonical serialization of the shape:
+    [shape_key a = shape_key b] iff [equal_shape a b].  The mapping
+    database uses it to memoize per-shape cost-model results. *)
+val shape_key : t -> string
+
 (** [validate t] checks structural invariants: non-empty nodes,
     link_bits arity, data-parallel children of equal shape.  Returns
     human-readable violations. *)

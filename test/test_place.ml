@@ -1,0 +1,227 @@
+(* Placement-engine tests: the indexed allocator must make
+   byte-identical decisions to the naive snapshot-scan path under
+   every policy, and the capacity index must never drift from the
+   controllers across deploy/undeploy/fail/restore/rebalance churn. *)
+
+module Mapping = Mlv_core.Mapping
+module Mapdb = Mlv_core.Mapdb
+module Registry = Mlv_core.Registry
+module Runtime = Mlv_core.Runtime
+module Framework = Mlv_core.Framework
+module SB = Mlv_core.Soft_block
+module Device = Mlv_fpga.Device
+module Resource = Mlv_fpga.Resource
+module Cluster = Mlv_cluster.Cluster
+module Node = Mlv_cluster.Node
+module Bitstream = Mlv_vital.Bitstream
+module Rng = Mlv_util.Rng
+
+let registry =
+  lazy (Framework.npu_registry ~tile_counts:[ 6; 21 ] ())
+
+(* 9 XCVU37P + 3 XCKU115, a mid-size heterogeneous pod. *)
+let pod_kinds =
+  List.init 12 (fun i -> if i mod 4 = 3 then Device.XCKU115 else Device.XCVU37P)
+
+(* ---------------- shape key ---------------- *)
+
+let res l = Resource.make ~luts:l ()
+let mk_leaf ?(m = "m") name = SB.leaf ~name ~module_name:m ~resources:(res 10) ()
+
+let test_shape_key () =
+  let a = SB.pipeline ~name:"a" [ mk_leaf "x"; SB.data_par ~name:"d" [ mk_leaf "y"; mk_leaf "y2" ] ] in
+  let b = SB.pipeline ~name:"b" [ mk_leaf "p"; SB.data_par ~name:"e" [ mk_leaf "q"; mk_leaf "r" ] ] in
+  let c = SB.pipeline ~name:"c" [ mk_leaf ~m:"other" "x"; SB.data_par ~name:"d" [ mk_leaf "y"; mk_leaf "y2" ] ] in
+  Alcotest.(check bool) "equal shapes, equal keys" true
+    (SB.equal_shape a b && SB.shape_key a = SB.shape_key b);
+  Alcotest.(check bool) "different module, different key" true
+    ((not (SB.equal_shape a c)) && SB.shape_key a <> SB.shape_key c);
+  let flat = SB.data_par ~name:"f" [ mk_leaf "x"; mk_leaf "y" ] in
+  let deep = SB.data_par ~name:"g" [ SB.data_par ~name:"h" [ mk_leaf "x"; mk_leaf "y" ] ] in
+  Alcotest.(check bool) "structure in key" true (SB.shape_key flat <> SB.shape_key deep)
+
+(* ---------------- mapdb plans ---------------- *)
+
+let test_mapdb_plan () =
+  let r = Lazy.force registry in
+  match Registry.plan r "npu-t21" with
+  | None -> Alcotest.fail "npu-t21 not registered"
+  | Some plan ->
+    let counts = List.map (fun lp -> lp.Mapdb.piece_count) plan.Mapdb.fewest_first in
+    Alcotest.(check (list int)) "fewest-first ascending" (List.sort compare counts) counts;
+    Alcotest.(check (list int)) "most-first is the reverse"
+      (List.rev counts)
+      (List.map (fun lp -> lp.Mapdb.piece_count) plan.Mapdb.most_first);
+    List.iter
+      (fun lp ->
+        Alcotest.(check int) "piece_count matches" lp.Mapdb.piece_count
+          (List.length lp.Mapdb.pieces);
+        let tiles = List.map (fun pp -> pp.Mapdb.piece.Mapping.tiles) lp.Mapdb.pieces in
+        Alcotest.(check (list int)) "allocation order: tiles descending"
+          (List.sort (fun a b -> compare b a) tiles)
+          tiles;
+        List.iter
+          (fun pp ->
+            List.iter
+              (fun kind ->
+                let restricted = Mapdb.options pp ~kind:(Some kind) in
+                Alcotest.(check bool) "per-kind table is the kind subset" true
+                  (List.for_all (fun (k, _) -> Device.equal_kind k kind) restricted
+                  && List.length restricted
+                     = List.length
+                         (List.filter
+                            (fun (k, _) -> Device.equal_kind k kind)
+                            (Mapdb.options pp ~kind:None))))
+              Device.kinds)
+          lp.Mapdb.pieces)
+      plan.Mapdb.fewest_first;
+    List.iter
+      (fun lp -> Alcotest.(check int) "single levels only" 1 lp.Mapdb.piece_count)
+      plan.Mapdb.single_fewest
+
+(* ---------------- differential: indexed ≡ naive ---------------- *)
+
+type op = Deploy of string | Undeploy of int | Fail of int | Restore of int | Rebalance
+
+let script =
+  [
+    Deploy "npu-t6"; Deploy "npu-t6"; Deploy "npu-t6"; Deploy "npu-t21";
+    Undeploy 1; Deploy "npu-t6"; Fail 2; Deploy "npu-t6"; Restore 2;
+    Deploy "npu-t21"; Rebalance; Deploy "npu-t6"; Deploy "npu-t6";
+    Undeploy 0; Deploy "npu-t21"; Deploy "npu-t6"; Deploy "npu-t6";
+    Deploy "npu-t6"; Fail 7; Deploy "npu-t6"; Deploy "npu-t6";
+    Deploy "npu-t6"; Restore 7; Deploy "npu-t21"; Deploy "npu-t6";
+    Rebalance; Deploy "npu-t6"; Deploy "npu-t6"; Deploy "npu-t21";
+  ]
+
+let placement_sig (d : Runtime.deployment) =
+  List.map
+    (fun (p : Runtime.placement) ->
+      (p.Runtime.node_id, Bitstream.id p.Runtime.bitstream, p.Runtime.bitstream.Bitstream.vbs))
+    d.Runtime.placements
+
+let free_state cluster =
+  List.init (Cluster.node_count cluster) (fun i -> Node.free_vbs (Cluster.node cluster i))
+
+let sig_t = Alcotest.(list (triple int string int))
+
+let run_differential policy =
+  let r = Lazy.force registry in
+  let ca = Cluster.create ~kinds:pod_kinds () in
+  let cb = Cluster.create ~kinds:pod_kinds () in
+  let ra = Runtime.create ~policy ~indexed:true ca r in
+  let rb = Runtime.create ~policy ~indexed:false cb r in
+  Alcotest.(check bool) "a indexed" true (Runtime.indexed ra);
+  Alcotest.(check bool) "b naive" false (Runtime.indexed rb);
+  let live_a = ref [] and live_b = ref [] in
+  List.iteri
+    (fun step op ->
+      let ctx = Printf.sprintf "%s step %d" policy.Runtime.policy_name step in
+      (match op with
+      | Deploy accel -> (
+        match (Runtime.deploy ra ~accel, Runtime.deploy rb ~accel) with
+        | Ok da, Ok db ->
+          Alcotest.check sig_t (ctx ^ ": same placements") (placement_sig db)
+            (placement_sig da);
+          live_a := !live_a @ [ da ];
+          live_b := !live_b @ [ db ]
+        | Error ea, Error eb -> Alcotest.(check string) (ctx ^ ": same error") eb ea
+        | Ok _, Error e -> Alcotest.failf "%s: indexed placed, naive failed: %s" ctx e
+        | Error e, Ok _ -> Alcotest.failf "%s: naive placed, indexed failed: %s" ctx e)
+      | Undeploy i ->
+        if i < List.length !live_a then begin
+          Runtime.undeploy ra (List.nth !live_a i);
+          Runtime.undeploy rb (List.nth !live_b i);
+          live_a := List.filteri (fun j _ -> j <> i) !live_a;
+          live_b := List.filteri (fun j _ -> j <> i) !live_b
+        end
+      | Fail n ->
+        let fa = Runtime.fail_node ra n in
+        let fb = Runtime.fail_node rb n in
+        Alcotest.(check int) (ctx ^ ": same recovered") fb.Runtime.recovered
+          fa.Runtime.recovered;
+        Alcotest.(check int)
+          (ctx ^ ": same lost")
+          (List.length fb.Runtime.lost)
+          (List.length fa.Runtime.lost);
+        live_a := List.filter (fun d -> not (List.memq d fa.Runtime.lost)) !live_a;
+        live_b := List.filter (fun d -> not (List.memq d fb.Runtime.lost)) !live_b
+      | Restore n ->
+        Runtime.restore_node ra n;
+        Runtime.restore_node rb n
+      | Rebalance -> (
+        match (Runtime.rebalance ra, Runtime.rebalance rb) with
+        | Ok ma, Ok mb -> Alcotest.(check int) (ctx ^ ": same moved") mb ma
+        | Error ea, Error eb -> Alcotest.(check string) (ctx ^ ": same error") eb ea
+        | _ -> Alcotest.failf "%s: rebalance outcomes diverged" ctx));
+      Alcotest.(check (list int))
+        (ctx ^ ": same free blocks per node")
+        (free_state cb) (free_state ca);
+      (* every live pair must agree placement-for-placement *)
+      List.iter2
+        (fun da db ->
+          Alcotest.check sig_t (ctx ^ ": live placements agree") (placement_sig db)
+            (placement_sig da))
+        !live_a !live_b;
+      Alcotest.(check bool) (ctx ^ ": index consistent") true (Runtime.index_consistent ra))
+    script
+
+let test_differential_greedy () = run_differential Runtime.greedy
+let test_differential_restricted () = run_differential Runtime.restricted
+let test_differential_baseline () = run_differential Runtime.baseline
+let test_differential_first_fit () = run_differential Runtime.first_fit
+
+(* ---------------- churn invariant ---------------- *)
+
+let test_churn_invariant () =
+  let r = Lazy.force registry in
+  let cluster = Cluster.create ~kinds:pod_kinds () in
+  let total0 = Cluster.total_free_vbs cluster in
+  let rt = Runtime.create ~policy:Runtime.greedy cluster r in
+  let rng = Rng.create 42 in
+  let nodes = Cluster.node_count cluster in
+  for step = 1 to 400 do
+    let roll = Rng.int rng 100 in
+    (if roll < 45 then
+       ignore
+         (Runtime.deploy rt ~accel:(if Rng.bool rng then "npu-t6" else "npu-t21"))
+     else if roll < 75 then (
+       match Runtime.deployments rt with
+       | [] -> ()
+       | l -> Runtime.undeploy rt (Rng.choose rng l))
+     else if roll < 85 then (
+       let n = Rng.int rng nodes in
+       if not (List.mem n (Runtime.failed_nodes rt)) then
+         ignore (Runtime.fail_node rt n))
+     else if roll < 95 then (
+       match Runtime.failed_nodes rt with
+       | [] -> ()
+       | l -> Runtime.restore_node rt (Rng.choose rng l))
+     else ignore (Runtime.rebalance rt));
+    if not (Runtime.index_consistent rt) then
+      Alcotest.failf "index drifted from controllers at step %d" step
+  done;
+  (* drain: everything released, every block accounted for *)
+  List.iter (Runtime.undeploy rt) (Runtime.deployments rt);
+  List.iter (Runtime.restore_node rt) (Runtime.failed_nodes rt);
+  Alcotest.(check bool) "index consistent after drain" true (Runtime.index_consistent rt);
+  Alcotest.(check int) "no leaked virtual blocks" total0 (Cluster.total_free_vbs cluster)
+
+let () =
+  Alcotest.run "place"
+    [
+      ( "mapdb",
+        [
+          Alcotest.test_case "shape key" `Quick test_shape_key;
+          Alcotest.test_case "deployment plan" `Quick test_mapdb_plan;
+        ] );
+      ( "differential",
+        [
+          Alcotest.test_case "greedy" `Quick test_differential_greedy;
+          Alcotest.test_case "restricted" `Quick test_differential_restricted;
+          Alcotest.test_case "baseline" `Quick test_differential_baseline;
+          Alcotest.test_case "first_fit" `Quick test_differential_first_fit;
+        ] );
+      ( "churn",
+        [ Alcotest.test_case "index never drifts" `Quick test_churn_invariant ] );
+    ]
