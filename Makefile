@@ -1,6 +1,7 @@
 # Convenience entry points; everything is plain dune underneath.
 
-.PHONY: all build check fmt test bench bench-place bench-place-smoke clean
+.PHONY: all build check fmt test bench bench-place bench-place-smoke \
+	bench-faults bench-faults-smoke clean
 
 all: build
 
@@ -21,8 +22,9 @@ test:
 
 # The one-stop pre-commit gate.  bench-place-smoke keeps the indexed
 # placement engine honest (it must never regress below the naive scan)
-# without the cost of the full 1k-node run.
-check: build fmt test bench-place-smoke
+# without the cost of the full 1k-node run; bench-faults-smoke asserts
+# zero lost tasks under a single-crash fault plan.
+check: build fmt test bench-place-smoke bench-faults-smoke
 
 # Regenerates every table/figure and leaves BENCH_obs.json (the
 # observability registry of the run) next to the console output.
@@ -40,6 +42,17 @@ bench-place:
 bench-place-smoke:
 	dune exec bench/place.exe -- --nodes 64 --ops 400 \
 	  --out BENCH_place_smoke.json --assert-speedup 1
+
+# Availability sweep under injected node faults; writes
+# BENCH_faults.json (per-scenario completed/retried/rejected/lost and
+# fault-free throughput).
+bench-faults:
+	dune exec bench/main.exe -- faults
+
+# Fast single-crash variant for `make check`: exits non-zero if any
+# task is lost or the availability accounting does not add up.
+bench-faults-smoke:
+	dune exec bench/main.exe -- faults-smoke
 
 clean:
 	dune clean

@@ -8,6 +8,7 @@ open Cmdliner
 module Runtime = Mlv_core.Runtime
 module Genset = Mlv_workload.Genset
 module Sysim = Mlv_sysim.Sysim
+module Fault_plan = Mlv_cluster.Fault_plan
 
 let policy_of_string = function
   | "greedy" -> Ok Runtime.greedy
@@ -21,13 +22,24 @@ let policy_conv =
     ( (fun s -> policy_of_string s),
       fun fmt p -> Format.pp_print_string fmt p.Runtime.policy_name )
 
-let report set composition policy tasks seed (r : Sysim.result) =
+let report ?faults set composition policy tasks seed (r : Sysim.result) =
   Printf.printf "workload set %d (%s), policy %s, %d tasks, seed %d\n" set
     (Genset.composition_name composition)
     policy.Runtime.policy_name tasks seed;
   Printf.printf "  completed:       %d\n" r.Sysim.completed;
   Printf.printf "  makespan:        %.1f ms\n" (r.Sysim.makespan_us /. 1000.0);
   Printf.printf "  throughput:      %.2f tasks/s\n" r.Sysim.throughput_per_s;
+  (match faults with
+  | None -> ()
+  | Some (f : Sysim.fault_config) ->
+    Printf.printf "  fault plan:      %s (max %d retries/task)\n"
+      (Fault_plan.to_string f.Sysim.plan)
+      f.Sysim.max_retries;
+    Printf.printf "  retried:         %d\n" r.Sysim.retried;
+    Printf.printf "  rejected:        %d\n" r.Sysim.rejected;
+    Printf.printf "  lost:            %d\n" r.Sysim.lost;
+    Printf.printf "  downtime:        %.1f ms\n" (r.Sysim.fault_downtime_us /. 1000.0);
+    Printf.printf "  fault-free tput: %.2f tasks/s\n" r.Sysim.fault_free_throughput_per_s);
   Printf.printf "  mean latency:    %.1f ms\n" (r.Sysim.mean_latency_us /. 1000.0);
   Printf.printf "  mean wait:       %.1f ms\n" (r.Sysim.mean_wait_us /. 1000.0);
   Printf.printf "  mean service:    %.1f ms\n" (r.Sysim.mean_service_us /. 1000.0);
@@ -38,28 +50,39 @@ let report set composition policy tasks seed (r : Sysim.result) =
     Format.printf "  latency (ms):    %a@." (Mlv_workload.Metrics.pp_summary ~unit_name:"ms") s
   | None -> ())
 
-let run set policy tasks seed interarrival repeats compare metrics_out =
-  if set < 1 || set > 10 then begin
+let run set policy tasks seed interarrival repeats compare fault_plan max_retries
+    metrics_out =
+  let faults =
+    match fault_plan with
+    | None -> Ok None
+    | Some s -> (
+      match Fault_plan.of_string s with
+      | Ok plan -> Ok (Some { Sysim.plan; max_retries })
+      | Error e -> Error e)
+  in
+  match faults with
+  | Error e ->
+    Printf.eprintf "bad --fault-plan: %s\n" e;
+    1
+  | Ok _ when set < 1 || set > 10 ->
     prerr_endline "workload set must be 1..10";
     1
-  end
-  else begin
+  | Ok faults ->
     Printf.printf "building the mapping database (10 accelerator instances)...\n%!";
     let registry = Sysim.build_registry () in
     let composition = Genset.table1.(set - 1) in
     let run_one policy =
       let cfg =
         {
-          Sysim.policy;
-          composition;
-          tasks;
+          (Sysim.default_config ~policy ~composition) with
+          Sysim.tasks;
           mean_interarrival_us = interarrival;
           seed;
           repeats_per_task = repeats;
-          slo_multiplier = 20.0;
+          faults;
         }
       in
-      report set composition policy tasks seed (Sysim.run ~registry cfg)
+      report ?faults set composition policy tasks seed (Sysim.run ~registry cfg)
     in
     if compare then
       List.iter run_one [ Runtime.baseline; Runtime.restricted; Runtime.greedy ]
@@ -74,7 +97,6 @@ let run set policy tasks seed interarrival repeats compare metrics_out =
       with Sys_error e ->
         Printf.eprintf "cannot write metrics: %s\n" e;
         1))
-  end
 
 let set_arg =
   Arg.(value & opt int 7 & info [ "set" ] ~docv:"N" ~doc:"Table-1 workload set (1-10)")
@@ -104,6 +126,23 @@ let compare_arg =
     value & flag
     & info [ "compare" ] ~doc:"Run baseline, restricted and greedy policies side by side")
 
+let fault_plan_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "fault-plan" ] ~docv:"PLAN"
+        ~doc:
+          "Inject faults during the run: comma-separated \
+           crash@<time_us>:<node>, restore@<time_us>:<node> and \
+           degrade@<time_us>:<added_latency_us> events (e.g. \
+           'crash@8000:1,restore@20000:1')")
+
+let max_retries_arg =
+  Arg.(
+    value & opt int 3
+    & info [ "max-retries" ] ~docv:"N"
+        ~doc:"Crash interruptions a task survives before rejection")
+
 let metrics_out_arg =
   Arg.(
     value
@@ -121,6 +160,7 @@ let () =
   let term =
     Term.(
       const run $ set_arg $ policy_arg $ tasks_arg $ seed_arg $ interarrival_arg
-      $ repeats_arg $ compare_arg $ metrics_out_arg)
+      $ repeats_arg $ compare_arg $ fault_plan_arg $ max_retries_arg
+      $ metrics_out_arg)
   in
   exit (Cmd.eval' (Cmd.v info term))

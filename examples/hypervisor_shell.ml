@@ -55,6 +55,17 @@ let () =
       "rebalance";
       "index";
       "undeploy 5";
+      (* fault injection: a scripted crash/restore plan with a ring
+         degradation, then live migration of a degraded deployment *)
+      "deploy npu-t13";
+      "faults";
+      "inject crash@100:1,degrade@150:0.6,restore@400:1";
+      "faults";
+      "deploy npu-t6";
+      "migrate 7";
+      "inject restore@500:1";
+      "undeploy 6";
+      "undeploy 7";
       (* the observability registry accumulated by the session *)
       "metrics";
       "trace deploy";

@@ -1,4 +1,8 @@
 module Obs = Mlv_obs.Obs
+module Cluster = Mlv_cluster.Cluster
+module Network = Mlv_cluster.Network
+module Sim = Mlv_cluster.Sim
+module Fault_plan = Mlv_cluster.Fault_plan
 
 type t = {
   runtime : Runtime.t;
@@ -13,8 +17,8 @@ let live_handles t =
 
 let help =
   "ok commands: deploy <accel> | undeploy <id> | status | nodes | list | deployments | \
-   rebalance | fail <node> | restore <node> | index | metrics [json] | trace <substring> | \
-   counters reset | help"
+   rebalance | fail <node> | restore <node> | migrate <id> | inject <plan> | faults | \
+   index | metrics [json] | trace <substring> | counters reset | help"
 
 let do_deploy t accel =
   match Runtime.deploy t.runtime ~accel with
@@ -88,6 +92,80 @@ let do_trace sub =
   in
   String.concat "\n" (Printf.sprintf "ok matched=%d" (List.length matched) :: lines)
 
+(* Fail a node with automatic failover, dropping the ids of
+   deployments that could not be re-placed (shared by [fail] and
+   [inject]'s crash events). *)
+let apply_fail t n =
+  let f = Runtime.fail_node t.runtime n in
+  let lost_ids =
+    Hashtbl.fold
+      (fun id d acc -> if List.memq d f.Runtime.lost then id :: acc else acc)
+      t.table []
+  in
+  List.iter (Hashtbl.remove t.table) lost_ids;
+  (f.Runtime.recovered, List.length f.Runtime.lost)
+
+let do_migrate t id_str =
+  match int_of_string_opt id_str with
+  | None -> Printf.sprintf "error bad deployment id %S" id_str
+  | Some id -> (
+    match Hashtbl.find_opt t.table id with
+    | None -> Printf.sprintf "error unknown deployment %d" id
+    | Some d -> (
+      match Runtime.migrate t.runtime d with
+      | Ok moved ->
+        Printf.sprintf "ok moved=%d nodes=%s" moved
+          (String.concat "," (List.map string_of_int (Runtime.nodes_used d)))
+      | Error e -> "error " ^ e))
+
+(* Run a fault plan to completion on the cluster's simulator: crashes
+   fail over (as the [fail] command does), restores return capacity,
+   degrades program the ring delay. *)
+let do_inject t plan_str =
+  match Fault_plan.of_string plan_str with
+  | Error e -> "error " ^ e
+  | Ok plan -> (
+    let cluster = Runtime.cluster t.runtime in
+    match Fault_plan.validate plan ~nodes:(Cluster.node_count cluster) with
+    | Error e -> "error " ^ e
+    | Ok () ->
+      let recovered = ref 0 in
+      let lost = ref 0 in
+      Fault_plan.schedule plan cluster.Cluster.sim
+        ~on_crash:(fun n ->
+          let r, l = apply_fail t n in
+          recovered := !recovered + r;
+          lost := !lost + l)
+        ~on_restore:(fun n -> Runtime.restore_node t.runtime n)
+        ~on_degrade:(fun us ->
+          Network.set_added_latency_us cluster.Cluster.network us);
+      Sim.run cluster.Cluster.sim;
+      Printf.sprintf "ok events=%d recovered=%d lost=%d now=%.1f"
+        (Fault_plan.length plan) !recovered !lost
+        (Sim.now cluster.Cluster.sim))
+
+let do_faults t =
+  let cluster = Runtime.cluster t.runtime in
+  let failed =
+    match Runtime.failed_nodes t.runtime with
+    | [] -> "-"
+    | ns -> String.concat "," (List.map string_of_int ns)
+  in
+  let degraded_ids =
+    Hashtbl.fold
+      (fun id d acc ->
+        if Runtime.deployment_health t.runtime d <> [] then id :: acc else acc)
+      t.table []
+    |> List.sort compare
+  in
+  let degraded =
+    match degraded_ids with
+    | [] -> "-"
+    | ids -> String.concat "," (List.map string_of_int ids)
+  in
+  Printf.sprintf "ok failed=%s degraded=%s added_latency_us=%g" failed degraded
+    (Network.added_latency_us cluster.Cluster.network)
+
 let handle t line =
   let words =
     String.split_on_char ' ' (String.trim line) |> List.filter (fun w -> w <> "")
@@ -107,18 +185,14 @@ let handle t line =
     match int_of_string_opt node with
     | None -> Printf.sprintf "error bad node %S" node
     | Some n -> (
-      match Runtime.fail_node t.runtime n with
-      | f ->
-        (* deployments that could not be re-placed lose their ids *)
-        let lost_ids =
-          Hashtbl.fold
-            (fun id d acc -> if List.memq d f.Runtime.lost then id :: acc else acc)
-            t.table []
-        in
-        List.iter (Hashtbl.remove t.table) lost_ids;
-        Printf.sprintf "ok recovered=%d lost=%d" f.Runtime.recovered
-          (List.length f.Runtime.lost)
+      (* deployments that could not be re-placed lose their ids *)
+      match apply_fail t n with
+      | recovered, lost -> Printf.sprintf "ok recovered=%d lost=%d" recovered lost
       | exception Invalid_argument e -> "error " ^ e))
+  | [ "migrate"; id ] -> do_migrate t id
+  | [ "inject"; plan ] -> do_inject t plan
+  | "inject" :: _ -> "error usage: inject <plan> (e.g. crash@100:1,restore@500:1)"
+  | [ "faults" ] -> do_faults t
   | [ "restore"; node ] -> (
     match int_of_string_opt node with
     | None -> Printf.sprintf "error bad node %S" node

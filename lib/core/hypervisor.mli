@@ -16,6 +16,17 @@
       list                  ->  ok <accel> <accel> ...
       deployments           ->  ok <id>:<accel>:<nodes> ...
       rebalance             ->  ok moved=<n>
+      fail <node>           ->  ok recovered=<n> lost=<m>
+      restore <node>        ->  ok
+      migrate <id>          ->  ok moved=<n> nodes=<i,j>
+                                re-place a degraded deployment off
+                                failed nodes (moved=0 when healthy)
+      inject <plan>         ->  ok events=<n> recovered=<r> lost=<l> now=<t>
+                                run a Fault_plan (crash@t:n,restore@t:n,
+                                degrade@t:us) to completion on the
+                                cluster simulator; crashes fail over
+      faults                ->  ok failed=<nodes|-> degraded=<ids|->
+                                added_latency_us=<v>
       metrics               ->  ok counters=<n> histograms=<m> spans=<k>
                                 followed by the live Obs registry
       metrics json          ->  ok <one-line JSON export>

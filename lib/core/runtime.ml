@@ -1,6 +1,7 @@
 open Mlv_fpga
 module Cluster = Mlv_cluster.Cluster
 module Node = Mlv_cluster.Node
+module Sim = Mlv_cluster.Sim
 module Controller = Mlv_vital.Controller
 module Bitstream = Mlv_vital.Bitstream
 module Obs = Mlv_obs.Obs
@@ -71,6 +72,8 @@ let create ?(policy = greedy) ?(indexed = true) cluster registry =
   }
 
 let failed_nodes t = Hashtbl.fold (fun i () acc -> i :: acc) t.failed [] |> List.sort compare
+let node_failed t id = Hashtbl.mem t.failed id
+let cluster t = t.cluster
 let policy t = t.policy
 let registry t = t.registry
 let deployments t = t.live
@@ -87,6 +90,19 @@ let sync_node t id =
 let unload_placement t p =
   Controller.unload (Cluster.node t.cluster p.node_id).Node.controller p.handle;
   sync_node t p.node_id
+
+(* Reload previously-held placements (rollback paths: a failed
+   rebalance or migration restores the exact prior allocation). *)
+let reload_placements t placements =
+  List.map
+    (fun p ->
+      let node = Cluster.node t.cluster p.node_id in
+      match Controller.load node.Node.controller p.bitstream with
+      | Ok (handle, _) ->
+        sync_node t p.node_id;
+        { p with handle }
+      | Error msg -> failwith ("Runtime: rollback reload failed: " ^ msg))
+    placements
 
 (* Tentative assignment of pieces (already in allocation order — the
    plan presorts them biggest-first) to nodes against a snapshot of
@@ -319,19 +335,7 @@ let rebalance_untraced (t : t) =
       (fun (_, fresh) -> List.iter (unload_placement t) fresh.placements)
       !redeployed;
     List.iter
-      (fun (d, placements) ->
-        let restored =
-          List.map
-            (fun p ->
-              let node = Cluster.node t.cluster p.node_id in
-              match Controller.load node.Node.controller p.bitstream with
-              | Ok (handle, _) ->
-                sync_node t p.node_id;
-                { p with handle }
-              | Error msg -> failwith ("Runtime.rebalance: rollback failed: " ^ msg))
-            placements
-        in
-        d.placements <- restored)
+      (fun (d, placements) -> d.placements <- reload_placements t placements)
       snapshot;
     t.live <- live;
     Error e
@@ -352,13 +356,95 @@ let undeploy t d =
   t.live <- List.filter (fun x -> x != d) t.live;
   Obs.Counter.incr (Obs.Counter.get "runtime.undeploy")
 
+(* ------------------------------------------------------------------ *)
+(* Fault handling: node failure, health, migration, retry              *)
+(* ------------------------------------------------------------------ *)
+
+(* Marking a node failed removes it from the allocators' candidate
+   sets without touching the deployments placed on it; the caller
+   decides whether to fail over ([fail_node]), migrate individual
+   deployments ([migrate]) or re-queue work at a higher layer (the
+   system simulation). *)
+let mark_node_failed (t : t) node_id =
+  if node_id < 0 || node_id >= Cluster.node_count t.cluster then
+    invalid_arg (Printf.sprintf "Runtime.mark_node_failed: node %d out of range" node_id);
+  if not (Hashtbl.mem t.failed node_id) then begin
+    Hashtbl.replace t.failed node_id ();
+    (match t.index with Some ix -> Alloc_index.mark_failed ix node_id | None -> ());
+    Obs.Counter.incr (Obs.Counter.get "runtime.node_failed")
+  end
+
+let deployment_health t d =
+  List.filter (fun id -> Hashtbl.mem t.failed id) (nodes_used d)
+
+let degraded (t : t) = List.filter (fun d -> deployment_health t d <> []) t.live
+
+(* Re-place one live deployment off the nodes marked failed: tear its
+   placements down (freeing the surviving nodes' blocks), then run the
+   normal mapping-database search, which no longer considers failed
+   nodes.  On failure the original placements are reloaded — the
+   deployment stays live but degraded. *)
+let migrate_untraced (t : t) d =
+  if not (List.memq d t.live) then Error "Runtime.migrate: deployment is not live"
+  else if deployment_health t d = [] then Ok 0
+  else begin
+    let original = d.placements in
+    List.iter (unload_placement t) original;
+    t.live <- List.filter (fun x -> x != d) t.live;
+    match deploy t ~accel:d.accel with
+    | Ok fresh ->
+      d.placements <- fresh.placements;
+      d.reconfig_us <- d.reconfig_us +. fresh.reconfig_us;
+      t.live <- d :: List.filter (fun x -> x != fresh) t.live;
+      Ok (List.length fresh.placements)
+    | Error e ->
+      d.placements <- reload_placements t original;
+      t.live <- d :: t.live;
+      Error e
+  end
+
+let migrate t d =
+  Obs.Span.with_ "migrate" (fun () ->
+      match migrate_untraced t d with
+      | Ok _ as ok ->
+        Obs.Counter.incr (Obs.Counter.get "runtime.migrate.ok");
+        ok
+      | Error _ as e ->
+        Obs.Counter.incr (Obs.Counter.get "runtime.migrate.fail");
+        e)
+
+(* Deploy with capped exponential backoff over the cluster's DES
+   clock: a refused request retries after base, 2·base, 4·base, …
+   (capped), so transient capacity loss — a failed node awaiting
+   restore, a full cluster awaiting departures — resolves without the
+   caller polling. *)
+let deploy_with_retry t ~accel ?(max_retries = 3) ?(base_backoff_us = 100.0)
+    ?(max_backoff_us = 10_000.0) k =
+  if max_retries < 0 then invalid_arg "Runtime.deploy_with_retry: negative max_retries";
+  if base_backoff_us <= 0.0 || max_backoff_us <= 0.0 then
+    invalid_arg "Runtime.deploy_with_retry: backoff must be positive";
+  let sim = t.cluster.Cluster.sim in
+  let rec attempt n =
+    match deploy t ~accel with
+    | Ok _ as ok -> k ok
+    | Error _ as e ->
+      if n >= max_retries then k e
+      else begin
+        let backoff =
+          Float.min max_backoff_us (base_backoff_us *. (2.0 ** float_of_int n))
+        in
+        Obs.Counter.incr (Obs.Counter.get "runtime.deploy.retried");
+        Sim.schedule sim ~delay:backoff (fun () -> attempt (n + 1))
+      end
+  in
+  attempt 0
+
 type failover = { recovered : int; lost : deployment list }
 
 let fail_node_untraced (t : t) node_id =
   if node_id < 0 || node_id >= Cluster.node_count t.cluster then
     invalid_arg (Printf.sprintf "Runtime.fail_node: node %d out of range" node_id);
-  Hashtbl.replace t.failed node_id ();
-  (match t.index with Some ix -> Alloc_index.mark_failed ix node_id | None -> ());
+  mark_node_failed t node_id;
   let affected, unaffected =
     List.partition (fun d -> List.mem node_id (nodes_used d)) t.live
   in

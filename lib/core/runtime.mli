@@ -76,9 +76,31 @@ val index_consistent : t -> bool
 (** [registry t] is the mapping database the controller serves from. *)
 val registry : t -> Registry.t
 
+(** [cluster t] is the cluster this controller drives (the fault
+    layers schedule against its simulator and network). *)
+val cluster : t -> Mlv_cluster.Cluster.t
+
 (** [deploy t ~accel] finds and performs a feasible allocation, or
     explains why none exists. *)
 val deploy : t -> accel:string -> (deployment, string) result
+
+(** [deploy_with_retry t ~accel k] deploys with capped exponential
+    backoff over the cluster's simulation clock: a refused request
+    retries after [base_backoff_us], doubling up to [max_backoff_us],
+    at most [max_retries] times (defaults 3 / 100 µs / 10 ms), then
+    [k] receives the final outcome.  Each scheduled retry increments
+    [runtime.deploy.retried].  The continuation runs inside simulator
+    events, so the caller must drive {!Mlv_cluster.Sim.run}.
+    @raise Invalid_argument on a negative retry count or
+    non-positive backoff. *)
+val deploy_with_retry :
+  t ->
+  accel:string ->
+  ?max_retries:int ->
+  ?base_backoff_us:float ->
+  ?max_backoff_us:float ->
+  ((deployment, string) result -> unit) ->
+  unit
 
 (** [undeploy t d] releases every placement. *)
 val undeploy : t -> deployment -> unit
@@ -97,12 +119,40 @@ type failover = {
     @raise Invalid_argument on an out-of-range node. *)
 val fail_node : t -> int -> failover
 
+(** [mark_node_failed t node] removes a node from the allocation
+    candidate sets {e without} failing over its deployments — they
+    stay live but {!deployment_health} reports them degraded.  The
+    caller picks the recovery: {!migrate} each degraded deployment,
+    or re-queue the affected work at a higher layer (what the system
+    simulation's fault layer does).  Idempotent.
+    @raise Invalid_argument on an out-of-range node. *)
+val mark_node_failed : t -> int -> unit
+
 (** [restore_node t node] returns a node to service (existing
     deployments are not moved back; see {!rebalance}). *)
 val restore_node : t -> int -> unit
 
 (** [failed_nodes t] lists nodes currently marked failed. *)
 val failed_nodes : t -> int list
+
+(** [node_failed t node] tells whether the node is marked failed. *)
+val node_failed : t -> int -> bool
+
+(** [deployment_health t d] lists the failed nodes [d] still occupies
+    ([[]] means healthy). *)
+val deployment_health : t -> deployment -> int list
+
+(** [degraded t] lists live deployments with a placement on a failed
+    node. *)
+val degraded : t -> deployment list
+
+(** [migrate t d] re-places a live degraded deployment's pieces off
+    the failed nodes through the normal mapping-database search,
+    returning the new placement count ([Ok 0] when [d] was already
+    healthy — nothing moves).  On [Error] the original placements are
+    restored and the deployment stays live (and degraded).  The
+    deployment value remains a valid handle either way. *)
+val migrate : t -> deployment -> (int, string) result
 
 (** [rebalance t] repacks every live deployment (paper §2.3 closes
     with runtime-policy exploration as future work; this implements

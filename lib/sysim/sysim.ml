@@ -9,9 +9,15 @@ module Device = Mlv_fpga.Device
 module Cluster = Mlv_cluster.Cluster
 module Node = Mlv_cluster.Node
 module Sim = Mlv_cluster.Sim
+module Network = Mlv_cluster.Network
+module Fault_plan = Mlv_cluster.Fault_plan
 module Rng = Mlv_util.Rng
 module Codegen = Mlv_isa.Codegen
 module Obs = Mlv_obs.Obs
+
+type fault_config = { plan : Fault_plan.t; max_retries : int }
+
+let default_faults plan = { plan; max_retries = 3 }
 
 type config = {
   policy : Runtime.policy;
@@ -21,6 +27,8 @@ type config = {
   seed : int;
   repeats_per_task : int;
   slo_multiplier : float;
+  cluster_kinds : Device.kind list;
+  faults : fault_config option;
 }
 
 let default_config ~policy ~composition =
@@ -32,12 +40,19 @@ let default_config ~policy ~composition =
     seed = 42;
     repeats_per_task = 20;
     slo_multiplier = 20.0;
+    cluster_kinds = Cluster.paper_kinds;
+    faults = None;
   }
 
 type result = {
   completed : int;
+  retried : int;
+  rejected : int;
+  lost : int;
   makespan_us : float;
   throughput_per_s : float;
+  fault_downtime_us : float;
+  fault_free_throughput_per_s : float;
   mean_latency_us : float;
   mean_wait_us : float;
   mean_service_us : float;
@@ -64,26 +79,44 @@ let max_single_device_tiles =
     (fun acc kind -> max acc (Mlv_accel.Resource_model.max_tiles (Device.get kind)))
     0 Device.kinds
 
+(* Smallest candidate covering [need] within [cap]; an oversized model
+   falls back to the largest instance within the cap (streaming the
+   overflow from DRAM), and None when the cap admits no instance at
+   all.  [candidates] must be sorted ascending. *)
+let instance_within ~need ~cap candidates =
+  match List.filter (fun t -> t >= need && t <= cap) candidates with
+  | t :: _ -> Some t
+  | [] -> (
+    match List.filter (fun t -> t <= cap) candidates with
+    | [] -> None
+    | within -> Some (List.fold_left max 0 within))
+
 let instance_for ~policy point =
   let need = max 6 (tiles_needed point) in
   let cap =
     if policy.Runtime.whole_device then max_single_device_tiles else max_int
   in
-  let candidates = List.filter (fun t -> t >= need && t <= cap) instance_tile_counts in
-  match candidates with
-  | t :: _ -> t
-  | [] ->
-    (* Oversized model under a single-device policy: take the largest
-       instance and stream the overflow from DRAM. *)
-    List.fold_left min max_int (List.filter (fun t -> t <= cap) instance_tile_counts)
-    |> fun smallest ->
-    List.fold_left (fun acc t -> if t <= cap then max acc t else acc) smallest
-      instance_tile_counts
+  match instance_within ~need ~cap instance_tile_counts with
+  | Some t -> t
+  | None ->
+    invalid_arg
+      (Printf.sprintf "Sysim.instance_for: no instance within %d tiles under policy %s"
+         cap policy.Runtime.policy_name)
+
+(* Scale-out sizing: [parts] must divide [hidden] for the slice
+   layout; fall back to 2 when it does not.  The per-part tile count
+   is derived from the {e clamped} part count — sizing it for the
+   unclamped count modeled every non-divisible scale-out point with
+   undersized per-part configs. *)
+let scale_out_shape ~hidden ~nodes ~tiles =
+  let parts = if hidden mod nodes = 0 then nodes else 2 in
+  (parts, max 1 (tiles / parts))
 
 (* Modeled service time of one deployed inference task. *)
 let service_cache : (string, float) Hashtbl.t = Hashtbl.create 64
 
-let service_latency_us ~policy (point : Deepbench.point) (d : Runtime.deployment) =
+let service_latency_us ~policy ~added_latency_us (point : Deepbench.point)
+    (d : Runtime.deployment) =
   let nodes = Runtime.nodes_used d in
   let tiles = Runtime.tiles_deployed d in
   let kinds =
@@ -105,8 +138,10 @@ let service_latency_us ~policy (point : Deepbench.point) (d : Runtime.deployment
     if slowest = infinity then 1.0 else fastest /. slowest
   in
   let key =
-    Printf.sprintf "%s/%d/%d/%s/%.2f/%b" (Deepbench.name point) tiles (List.length nodes)
-      (Device.kind_name device_kind) partner_slowdown policy.Runtime.whole_device
+    Printf.sprintf "%s/%d/%d/%s/%.2f/%.3f/%b" (Deepbench.name point) tiles
+      (List.length nodes)
+      (Device.kind_name device_kind) partner_slowdown added_latency_us
+      policy.Runtime.whole_device
   in
   match Hashtbl.find_opt service_cache key with
   | Some v -> v
@@ -117,14 +152,13 @@ let service_latency_us ~policy (point : Deepbench.point) (d : Runtime.deployment
       if List.length nodes >= 2 then begin
         (* Scale-out across the allocated nodes with the overlap
            optimization. *)
-        let parts = List.length nodes in
-        let per_part = max 1 (tiles / parts) in
+        let parts, per_part =
+          scale_out_shape ~hidden:point.Deepbench.hidden ~nodes:(List.length nodes)
+            ~tiles
+        in
         let cfg = Config.make ~tiles:per_part ~mem_kind () in
-        (* parts must divide hidden for the slice layout; fall back
-           to 2 when it does not. *)
-        let parts = if point.Deepbench.hidden mod parts = 0 then parts else 2 in
         Scale_out.multi_fpga_latency_us ~partner_slowdown ~parts ~config:cfg ~device
-          ~added_latency_us:0.0 ~reordered:true point.Deepbench.kind
+          ~added_latency_us ~reordered:true point.Deepbench.kind
           ~hidden:point.Deepbench.hidden ~input:point.Deepbench.hidden
           ~timesteps:point.Deepbench.timesteps
       end
@@ -151,13 +185,22 @@ let service_latency_us ~policy (point : Deepbench.point) (d : Runtime.deployment
     Hashtbl.replace service_cache key v;
     v
 
-type pending = { task : Genset.task; accel : string }
+type pending = { task : Genset.task; accel : string; mutable retries : int }
+
+(* An in-service task: enough to interrupt it when its node dies.  The
+   completion event stays queued after an interruption (the simulator
+   has no cancel), so it checks [cancelled] before acting. *)
+type inflight = {
+  pend : pending;
+  depl : Runtime.deployment;
+  mutable cancelled : bool;
+}
 
 let rec run ~registry cfg =
   Obs.Span.with_ "sysim.run" (fun () -> run_untraced ~registry cfg)
 
 and run_untraced ~registry cfg =
-  let cluster = Cluster.create () in
+  let cluster = Cluster.create ~kinds:cfg.cluster_kinds () in
   let runtime = Runtime.create ~policy:cfg.policy cluster registry in
   let sim = cluster.Cluster.sim in
   let rng = Rng.create cfg.seed in
@@ -166,18 +209,41 @@ and run_untraced ~registry cfg =
       ~mean_interarrival_us:cfg.mean_interarrival_us
   in
   let queue : pending Queue.t = Queue.create () in
+  let inflight : inflight list ref = ref [] in
   let completed = ref 0 in
+  let retried = ref 0 in
+  let rejected = ref 0 in
   let latencies = ref [] in
   let waits = ref [] in
   let services = ref [] in
   let peak_queue = ref 0 in
   let slo_misses = ref 0 in
   let makespan = ref 0.0 in
+  (* Fault-window bookkeeping: closed [start, stop] outage intervals
+     (≥ 1 node down), plus completions that landed inside one. *)
+  let down : (int, unit) Hashtbl.t = Hashtbl.create 4 in
+  let outage_start = ref None in
+  let outages = ref [] in
+  let completed_in_outage = ref 0 in
+  let reject (_ : pending) =
+    incr rejected;
+    Obs.Counter.incr (Obs.Counter.get "sysim.tasks.rejected")
+  in
   let rec try_start () =
     if not (Queue.is_empty queue) then begin
       let p = Queue.peek queue in
       match Runtime.deploy runtime ~accel:p.accel with
-      | Error _ -> () (* head blocks; FIFO to avoid starvation *)
+      | Error _ ->
+        (* The head blocks the FIFO queue to avoid starvation — but a
+           head that cannot deploy even on an empty, fully healthy
+           cluster will never start: reject it instead of stalling the
+           queue (and the run's accounting) forever. *)
+        if Runtime.deployments runtime = [] && Runtime.failed_nodes runtime = []
+        then begin
+          ignore (Queue.pop queue);
+          reject p;
+          try_start ()
+        end
       | Ok d ->
         ignore (Queue.pop queue);
         let now = Sim.now sim in
@@ -187,29 +253,100 @@ and run_untraced ~registry cfg =
         let service =
           d.Runtime.reconfig_us
           +. (float_of_int cfg.repeats_per_task
-             *. service_latency_us ~policy:cfg.policy p.task.Genset.point d)
+             *. service_latency_us ~policy:cfg.policy
+                  ~added_latency_us:(Network.added_latency_us cluster.Cluster.network)
+                  p.task.Genset.point d)
         in
         services := service :: !services;
         Obs.Histogram.observe (Obs.Histogram.get "sysim.task_service_us") service;
+        let fl = { pend = p; depl = d; cancelled = false } in
+        inflight := fl :: !inflight;
         Sim.schedule sim ~delay:service (fun () ->
-            Runtime.undeploy runtime d;
-            incr completed;
-            Obs.Counter.incr (Obs.Counter.get "sysim.tasks.completed");
-            let finished = Sim.now sim in
-            let sojourn = finished -. p.task.Genset.arrival_us in
-            latencies := sojourn :: !latencies;
-            Obs.Histogram.observe (Obs.Histogram.get "sysim.task_sojourn_us") sojourn;
-            (* SLO: a task should finish within slo_multiplier x its
-               unqueued service time. *)
-            if sojourn > cfg.slo_multiplier *. service then begin
-              incr slo_misses;
-              Obs.Counter.incr (Obs.Counter.get "sysim.slo_misses")
-            end;
-            makespan := Float.max !makespan finished;
-            try_start ());
+            if not fl.cancelled then begin
+              inflight := List.filter (fun x -> x != fl) !inflight;
+              Runtime.undeploy runtime d;
+              incr completed;
+              if Hashtbl.length down > 0 then incr completed_in_outage;
+              Obs.Counter.incr (Obs.Counter.get "sysim.tasks.completed");
+              let finished = Sim.now sim in
+              let sojourn = finished -. p.task.Genset.arrival_us in
+              latencies := sojourn :: !latencies;
+              Obs.Histogram.observe (Obs.Histogram.get "sysim.task_sojourn_us") sojourn;
+              (* SLO: a task should finish within slo_multiplier x its
+                 unqueued service time. *)
+              if sojourn > cfg.slo_multiplier *. service then begin
+                incr slo_misses;
+                Obs.Counter.incr (Obs.Counter.get "sysim.slo_misses")
+              end;
+              makespan := Float.max !makespan finished;
+              try_start ()
+            end);
         try_start ()
     end
   in
+  (* Move re-queued tasks to the queue's front: they are the oldest
+     work and FIFO order must survive a retry. *)
+  let requeue_front ps =
+    let tmp = Queue.create () in
+    List.iter (fun p -> Queue.add p tmp) ps;
+    Queue.transfer queue tmp;
+    Queue.transfer tmp queue
+  in
+  let max_retries =
+    match cfg.faults with Some f -> f.max_retries | None -> 0
+  in
+  let on_crash node =
+    Runtime.mark_node_failed runtime node;
+    if not (Hashtbl.mem down node) then begin
+      if Hashtbl.length down = 0 then outage_start := Some (Sim.now sim);
+      Hashtbl.replace down node ()
+    end;
+    (* Interrupt every in-service task with a piece on the dead node:
+       its partial progress is gone, its surviving placements free up,
+       and it goes back to the head of the queue — unless it already
+       burnt its retry budget, in which case it is rejected rather
+       than starving the queue. *)
+    let hit, alive =
+      List.partition (fun fl -> List.mem node (Runtime.nodes_used fl.depl)) !inflight
+    in
+    inflight := alive;
+    let hit =
+      List.sort
+        (fun a b -> compare a.pend.task.Genset.task_id b.pend.task.Genset.task_id)
+        hit
+    in
+    List.iter
+      (fun fl ->
+        fl.cancelled <- true;
+        Runtime.undeploy runtime fl.depl)
+      hit;
+    let again, exhausted =
+      List.partition (fun fl -> fl.pend.retries < max_retries) hit
+    in
+    List.iter
+      (fun fl ->
+        fl.pend.retries <- fl.pend.retries + 1;
+        incr retried;
+        Obs.Counter.incr (Obs.Counter.get "sysim.tasks.retried"))
+      again;
+    requeue_front (List.map (fun fl -> fl.pend) again);
+    List.iter (fun fl -> reject fl.pend) exhausted;
+    try_start ()
+  in
+  let on_restore node =
+    Runtime.restore_node runtime node;
+    if Hashtbl.mem down node then begin
+      Hashtbl.remove down node;
+      if Hashtbl.length down = 0 then begin
+        (match !outage_start with
+        | Some t0 -> outages := (t0, Sim.now sim) :: !outages
+        | None -> ());
+        outage_start := None
+      end
+    end;
+    try_start ()
+  in
+  let on_degrade us = Network.set_added_latency_us cluster.Cluster.network us in
   List.iter
     (fun (task : Genset.task) ->
       Sim.schedule_at sim ~at:task.Genset.arrival_us (fun () ->
@@ -218,20 +355,64 @@ and run_untraced ~registry cfg =
             Framework.accel_name
               ~tiles:(instance_for ~policy:cfg.policy task.Genset.point)
           in
-          Queue.add { task; accel } queue;
+          Queue.add { task; accel; retries = 0 } queue;
           peak_queue := max !peak_queue (Queue.length queue);
           try_start ()))
     tasks;
+  (match cfg.faults with
+  | None -> ()
+  | Some f ->
+    (match Fault_plan.validate f.plan ~nodes:(Cluster.node_count cluster) with
+    | Ok () -> ()
+    | Error e -> invalid_arg ("Sysim.run: " ^ e));
+    Fault_plan.schedule f.plan sim ~on_crash ~on_restore ~on_degrade);
   Sim.run sim;
+  (* Tasks still queued when the events drained could not be served
+     (e.g. a crash that was never restored): reject them so every
+     task is accounted for instead of silently starving. *)
+  Queue.iter reject queue;
+  Queue.clear queue;
+  (match !outage_start with
+  | Some t0 ->
+    outages := (t0, Sim.now sim) :: !outages;
+    outage_start := None
+  | None -> ());
+  let lost = cfg.tasks - !completed - !rejected in
+  if lost > 0 then
+    Obs.Counter.add (Obs.Counter.get "sysim.tasks.lost") lost;
   let mean xs = Mlv_util.Stats.mean xs in
   let p95 =
     match !latencies with [] -> 0.0 | xs -> Mlv_util.Stats.percentile 95.0 xs
   in
+  let fault_downtime_us =
+    List.fold_left (fun acc (t0, t1) -> acc +. (t1 -. t0)) 0.0 !outages
+  in
+  (* Throughput outside the fault window: completions that landed
+     while every node was up, over the makespan minus the downtime
+     overlapping it. *)
+  let downtime_in_makespan =
+    List.fold_left
+      (fun acc (t0, t1) -> acc +. Float.max 0.0 (Float.min t1 !makespan -. t0))
+      0.0 !outages
+  in
+  let fault_free_throughput_per_s =
+    let up_time = !makespan -. downtime_in_makespan in
+    if fault_downtime_us = 0.0 then
+      if !makespan > 0.0 then float_of_int !completed /. (!makespan /. 1e6) else 0.0
+    else if up_time > 0.0 then
+      float_of_int (!completed - !completed_in_outage) /. (up_time /. 1e6)
+    else 0.0
+  in
   {
     completed = !completed;
+    retried = !retried;
+    rejected = !rejected;
+    lost;
     makespan_us = !makespan;
     throughput_per_s =
       (if !makespan > 0.0 then float_of_int !completed /. (!makespan /. 1e6) else 0.0);
+    fault_downtime_us;
+    fault_free_throughput_per_s;
     mean_latency_us = mean !latencies;
     mean_wait_us = mean !waits;
     mean_service_us = mean !services;

@@ -1,14 +1,36 @@
 (** System-level simulation: a workload set played against the
     heterogeneous cluster under a runtime policy (paper §4.4,
-    Fig. 12).
+    Fig. 12), optionally under an injected fault plan.
 
     Tasks arrive over time; each selects the smallest accelerator
     instance whose on-chip weight capacity covers its model, asks the
     system controller to deploy it, runs for its modeled inference
     latency, and releases its resources.  Tasks that cannot be placed
-    queue FIFO.  Everything is deterministic given the seed. *)
+    queue FIFO; a head that could never deploy even on an empty,
+    healthy cluster is rejected rather than stalling the queue.
+    Everything is deterministic given the seed.
+
+    With a {!fault_config}, the plan's crash / restore / degrade
+    events fire as simulator events: a crash interrupts every
+    in-service task with a piece on the dead node (partial progress
+    lost, the task re-queues at the front and counts as retried —
+    until its retry budget is spent, after which it is rejected);
+    a restore returns capacity; degrade programs the ring's per-hop
+    delay, which feeds the scale-out service model.  The result's
+    availability fields account for every task:
+    [completed + rejected + lost = tasks], with [lost > 0] only on an
+    accounting bug. *)
 
 open Mlv_workload
+
+type fault_config = {
+  plan : Mlv_cluster.Fault_plan.t;
+  max_retries : int;
+      (** per-task crash-interruption budget before rejection *)
+}
+
+(** [default_faults plan] allows 3 retries per task. *)
+val default_faults : Mlv_cluster.Fault_plan.t -> fault_config
 
 type config = {
   policy : Mlv_core.Runtime.policy;
@@ -22,19 +44,36 @@ type config = {
   slo_multiplier : float;
       (** a task misses its service-level objective when its sojourn
           exceeds this multiple of its unqueued service time *)
+  cluster_kinds : Mlv_fpga.Device.kind list;
+      (** device mix of the simulated cluster *)
+  faults : fault_config option;
+      (** [None] (the default) runs fault-free and is bit-identical to
+          a build without the fault layer *)
 }
 
 (** [default_config ~policy ~composition] gives 120 tasks, 200 µs
-    mean inter-arrival, 20 inferences per deployment, seed 42. *)
+    mean inter-arrival, 20 inferences per deployment, seed 42, the
+    paper's device mix and no faults. *)
 val default_config :
   policy:Mlv_core.Runtime.policy -> composition:Genset.composition -> config
 
 type result = {
   completed : int;
+  retried : int;  (** crash interruptions that re-queued a task *)
+  rejected : int;
+      (** tasks given up on: never-deployable head, retry budget
+          exhausted, or unservable when the run drained *)
+  lost : int;  (** [tasks - completed - rejected]; 0 unless buggy *)
   makespan_us : float;
   throughput_per_s : float;  (** completed tasks / makespan *)
+  fault_downtime_us : float;
+      (** total time with at least one node down *)
+  fault_free_throughput_per_s : float;
+      (** completions outside outage windows over makespan minus
+          overlapping downtime; equals [throughput_per_s] when no
+          outage occurred *)
   mean_latency_us : float;  (** arrival to completion *)
-  mean_wait_us : float;  (** arrival to deployment *)
+  mean_wait_us : float;  (** arrival to deployment, per attempt *)
   mean_service_us : float;
   p95_latency_us : float;
   peak_queue : int;
@@ -50,9 +89,23 @@ val instance_tile_counts : int list
     result across runs). *)
 val build_registry : unit -> Mlv_core.Registry.t
 
+(** [instance_within ~need ~cap candidates] picks the smallest
+    candidate covering [need] within [cap]; an oversized demand falls
+    back to the largest candidate within the cap (overflow streams
+    from DRAM), and [None] when the cap admits nothing.  [candidates]
+    must be sorted ascending. *)
+val instance_within : need:int -> cap:int -> int list -> int option
+
 (** [instance_for ~policy point] selects the registry instance a task
-    of this benchmark point requests. *)
+    of this benchmark point requests.
+    @raise Invalid_argument when no instance fits the policy's cap. *)
 val instance_for : policy:Mlv_core.Runtime.policy -> Deepbench.point -> int
+
+(** [scale_out_shape ~hidden ~nodes ~tiles] is the (parts, per-part
+    tiles) sizing of a scale-out deployment: [parts] is clamped to 2
+    when it does not divide [hidden] (slice layout), and the per-part
+    config is sized for the clamped count. *)
+val scale_out_shape : hidden:int -> nodes:int -> tiles:int -> int * int
 
 (** [run ~registry config] plays the workload to completion. *)
 val run : registry:Mlv_core.Registry.t -> config -> result

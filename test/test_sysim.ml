@@ -84,6 +84,137 @@ let test_greedy_beats_restricted () =
     true
     (g.Sysim.throughput_per_s >= r.Sysim.throughput_per_s)
 
+(* ---------------- service-model regressions ---------------- *)
+
+let test_scale_out_shape () =
+  (* regression: when the hidden size does not divide across the
+     nodes, parts clamps to 2 AND the per-part config is sized for 2
+     parts (it used to be sized for the unclamped count) *)
+  Alcotest.(check (pair int int)) "clamped to 2, per-part for 2" (2, 16)
+    (Sysim.scale_out_shape ~hidden:2560 ~nodes:3 ~tiles:32);
+  Alcotest.(check (pair int int)) "divisible keeps nodes" (4, 8)
+    (Sysim.scale_out_shape ~hidden:2560 ~nodes:4 ~tiles:32);
+  Alcotest.(check (pair int int)) "two nodes" (2, 16)
+    (Sysim.scale_out_shape ~hidden:2560 ~nodes:2 ~tiles:32);
+  (* per-part tiles never drop to zero *)
+  Alcotest.(check (pair int int)) "tiny config floor" (2, 1)
+    (Sysim.scale_out_shape ~hidden:15 ~nodes:2 ~tiles:2)
+
+let test_instance_within () =
+  let cands = [ 6; 8; 21 ] in
+  (* regression: used to always return the largest candidate because
+     the fold result was discarded *)
+  Alcotest.(check (option int)) "smallest that covers" (Some 8)
+    (Sysim.instance_within ~need:7 ~cap:64 cands);
+  Alcotest.(check (option int)) "exact fit" (Some 6)
+    (Sysim.instance_within ~need:6 ~cap:64 cands);
+  Alcotest.(check (option int)) "oversized demand falls back to cap" (Some 21)
+    (Sysim.instance_within ~need:100 ~cap:21 cands);
+  Alcotest.(check (option int)) "cap excludes the cover" (Some 8)
+    (Sysim.instance_within ~need:7 ~cap:8 cands);
+  Alcotest.(check (option int)) "nothing fits the cap" None
+    (Sysim.instance_within ~need:7 ~cap:5 cands)
+
+(* ---------------- fault injection ---------------- *)
+
+module Fault_plan = Mlv_cluster.Fault_plan
+module Device = Mlv_fpga.Device
+
+let plan_of_string s =
+  match Fault_plan.of_string s with
+  | Ok p -> p
+  | Error e -> Alcotest.fail e
+
+(* One long-running task on a one-node cluster: deterministic timing
+   for crash-interruption tests. *)
+let single_node_config ~plan =
+  let cfg =
+    Sysim.default_config ~policy:Runtime.greedy ~composition:{ Genset.s = 1.0; m = 0.0; l = 0.0 }
+  in
+  {
+    cfg with
+    Sysim.tasks = 1;
+    mean_interarrival_us = 1.0;
+    repeats_per_task = 500;
+    cluster_kinds = [ Device.XCVU37P ];
+    faults = Some (Sysim.default_faults plan);
+  }
+
+let test_crash_retries_once () =
+  (* crash mid-service, restore later: the task is retried exactly
+     once and still completes *)
+  let plan = plan_of_string "crash@2000:0,restore@4000:0" in
+  let r = Sysim.run ~registry:(Lazy.force registry) (single_node_config ~plan) in
+  Alcotest.(check int) "completed" 1 r.Sysim.completed;
+  Alcotest.(check int) "retried exactly once" 1 r.Sysim.retried;
+  Alcotest.(check int) "not rejected" 0 r.Sysim.rejected;
+  Alcotest.(check int) "none lost" 0 r.Sysim.lost;
+  Alcotest.(check bool) "downtime recorded" true (r.Sysim.fault_downtime_us > 0.0)
+
+let test_crash_without_capacity_rejects () =
+  (* the only node dies and never comes back: the interrupted task is
+     retried, cannot restart, and is rejected — not hung, not lost *)
+  let plan = plan_of_string "crash@2000:0" in
+  let r = Sysim.run ~registry:(Lazy.force registry) (single_node_config ~plan) in
+  Alcotest.(check int) "nothing completes" 0 r.Sysim.completed;
+  Alcotest.(check int) "retried once" 1 r.Sysim.retried;
+  Alcotest.(check int) "rejected, not hung" 1 r.Sysim.rejected;
+  Alcotest.(check int) "none lost" 0 r.Sysim.lost
+
+let test_undeployable_head_rejected () =
+  (* regression: an all-L workload on a lone KU115 used to stall the
+     queue forever behind a head that could never deploy; now the run
+     terminates with every task accounted for *)
+  let cfg =
+    Sysim.default_config ~policy:Runtime.greedy ~composition:{ Genset.s = 0.0; m = 0.0; l = 1.0 }
+  in
+  let r =
+    Sysim.run ~registry:(Lazy.force registry)
+      { cfg with Sysim.tasks = 5; cluster_kinds = [ Device.XCKU115 ] }
+  in
+  Alcotest.(check bool) "some rejected" true (r.Sysim.rejected > 0);
+  Alcotest.(check int) "all accounted" 5 (r.Sysim.completed + r.Sysim.rejected);
+  Alcotest.(check int) "none lost" 0 r.Sysim.lost
+
+let test_late_crash_does_not_perturb () =
+  (* a fault plan firing after the last completion must not change the
+     modeled numbers at all *)
+  let base = run Runtime.greedy 6 in
+  let cfg = Sysim.default_config ~policy:Runtime.greedy ~composition:Genset.table1.(6) in
+  let plan = plan_of_string "crash@1e9:1" in
+  let faulted =
+    Sysim.run ~registry:(Lazy.force registry)
+      { cfg with Sysim.tasks = 40; faults = Some (Sysim.default_faults plan) }
+  in
+  Alcotest.(check (float 0.0)) "same makespan" base.Sysim.makespan_us
+    faulted.Sysim.makespan_us;
+  Alcotest.(check (float 0.0)) "same throughput" base.Sysim.throughput_per_s
+    faulted.Sysim.throughput_per_s;
+  Alcotest.(check int) "nothing retried" 0 faulted.Sysim.retried
+
+let test_availability_acceptance () =
+  (* the PR's acceptance run: default cluster, mid-run crash of a busy
+     node with a later restore — every task completes (some retried),
+     nothing is lost *)
+  let base = run Runtime.greedy 7 in
+  let plan =
+    Fault_plan.make
+      [
+        { Fault_plan.at = 0.3 *. base.Sysim.makespan_us; action = Fault_plan.Crash 1 };
+        { Fault_plan.at = 0.6 *. base.Sysim.makespan_us; action = Fault_plan.Restore 1 };
+      ]
+  in
+  let cfg = Sysim.default_config ~policy:Runtime.greedy ~composition:Genset.table1.(7) in
+  let r =
+    Sysim.run ~registry:(Lazy.force registry)
+      { cfg with Sysim.tasks = 40; faults = Some (Sysim.default_faults plan) }
+  in
+  Alcotest.(check int) "all tasks complete" 40 r.Sysim.completed;
+  Alcotest.(check bool) "some were retried" true (r.Sysim.retried > 0);
+  Alcotest.(check int) "none lost" 0 r.Sysim.lost;
+  Alcotest.(check bool) "fault-free tput at least the faulted rate" true
+    (r.Sysim.fault_free_throughput_per_s >= r.Sysim.throughput_per_s *. 0.9)
+
 let test_wait_reasonable () =
   let r = run ~tasks:20 Runtime.greedy 0 in
   (* an all-S set at this arrival rate should barely queue *)
@@ -107,5 +238,19 @@ let () =
           Alcotest.test_case "SLO misses grow with load" `Quick test_slo_misses_grow_with_load;
           Alcotest.test_case "greedy vs restricted" `Quick test_greedy_beats_restricted;
           Alcotest.test_case "waits reasonable" `Quick test_wait_reasonable;
+          Alcotest.test_case "scale-out shape" `Quick test_scale_out_shape;
+          Alcotest.test_case "instance within cap" `Quick test_instance_within;
+        ] );
+      ( "faults",
+        [
+          Alcotest.test_case "crash retries once" `Quick test_crash_retries_once;
+          Alcotest.test_case "crash without capacity rejects" `Quick
+            test_crash_without_capacity_rejects;
+          Alcotest.test_case "undeployable head rejected" `Quick
+            test_undeployable_head_rejected;
+          Alcotest.test_case "late crash does not perturb" `Quick
+            test_late_crash_does_not_perturb;
+          Alcotest.test_case "availability acceptance" `Quick
+            test_availability_acceptance;
         ] );
     ]
