@@ -1,7 +1,7 @@
 # Convenience entry points; everything is plain dune underneath.
 
 .PHONY: all build check fmt test bench bench-place bench-place-smoke \
-	bench-faults bench-faults-smoke clean
+	bench-faults bench-faults-smoke bench-trace bench-trace-smoke clean
 
 all: build
 
@@ -23,8 +23,10 @@ test:
 # The one-stop pre-commit gate.  bench-place-smoke keeps the indexed
 # placement engine honest (it must never regress below the naive scan)
 # without the cost of the full 1k-node run; bench-faults-smoke asserts
-# zero lost tasks under a single-crash fault plan.
-check: build fmt test bench-place-smoke bench-faults-smoke
+# zero lost tasks under a single-crash fault plan; bench-trace-smoke
+# asserts the lifecycle-trace export is valid JSON whose event counts
+# close against the run's own accounting.
+check: build fmt test bench-place-smoke bench-faults-smoke bench-trace-smoke
 
 # Regenerates every table/figure and leaves BENCH_obs.json (the
 # observability registry of the run) next to the console output.
@@ -53,6 +55,17 @@ bench-faults:
 # task is lost or the availability accounting does not add up.
 bench-faults-smoke:
 	dune exec bench/main.exe -- faults-smoke
+
+# Faulted run with lifecycle tracing on: writes BENCH_trace.json (a
+# Chrome/Perfetto trace) and asserts tracing does not perturb the
+# simulated results.
+bench-trace:
+	dune exec bench/main.exe -- trace
+
+# Fast variant for `make check`: valid-JSON export + closed lifecycle
+# accounting (arrive/complete/reject/retry deltas match the run).
+bench-trace-smoke:
+	dune exec bench/main.exe -- trace-smoke
 
 clean:
 	dune clean

@@ -2,7 +2,8 @@
    paper's evaluation (Section 4).
 
    Usage:  main.exe [table2|table3|table4|fig11|fig12|faults|
-           faults-smoke|compile|mlp|congestion|isolation|ablate|micro]
+           faults-smoke|trace|trace-smoke|compile|mlp|congestion|
+           isolation|ablate|micro]
    With no argument, every experiment runs in order.  Paper reference
    values are printed alongside so EXPERIMENTS.md can record
    paper-vs-measured.  All randomness is seeded; output is
@@ -392,6 +393,111 @@ let faults_smoke () =
   if r.Sysim.retried = 0 then
     Printf.eprintf "warning: crash interrupted no in-flight task (plan too late?)\n";
   print_endline "ok: no lost tasks; accounting adds up"
+
+(* ------------------------------------------------------------------ *)
+(* Lifecycle-trace export and tracing overhead                         *)
+(* ------------------------------------------------------------------ *)
+
+module Obs = Mlv_obs.Obs
+
+let crash_restore_plan makespan_us =
+  Fault_plan.make
+    [
+      { Fault_plan.at = 0.3 *. makespan_us; action = Fault_plan.Crash 1 };
+      { Fault_plan.at = 0.6 *. makespan_us; action = Fault_plan.Restore 1 };
+    ]
+
+(* Faulted workload-set-7 run with tracing on, exported as a Chrome
+   trace, plus the overhead check: the simulated results must be
+   bit-identical tracing on or off (tracing never perturbs the model),
+   and the wall-clock cost of the off configuration is ~zero. *)
+let trace ?(tasks = 60) () =
+  section "Trace: Perfetto export of a faulted run + tracing overhead";
+  let composition = Genset.table1.(6) in
+  let base = run_availability ~tasks composition Fault_plan.empty in
+  let plan = crash_restore_plan base.Sysim.makespan_us in
+  let timed f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  Obs.Trace.set_enabled false;
+  (* Warm the service-latency cache so the off/on wall clocks compare
+     like for like (the first faulted run pays the cache misses). *)
+  ignore (run_availability ~tasks composition plan);
+  let off, off_s = timed (fun () -> run_availability ~tasks composition plan) in
+  Fun.protect
+    ~finally:(fun () -> Obs.Trace.set_enabled false)
+    (fun () ->
+      Obs.Trace.set_enabled true;
+      let on, on_s = timed (fun () -> run_availability ~tasks composition plan) in
+      if
+        off.Sysim.completed <> on.Sysim.completed
+        || off.Sysim.rejected <> on.Sysim.rejected
+        || off.Sysim.retried <> on.Sysim.retried
+        || off.Sysim.makespan_us <> on.Sysim.makespan_us
+        || off.Sysim.throughput_per_s <> on.Sysim.throughput_per_s
+      then begin
+        Printf.eprintf "FAIL: tracing changed the simulated results\n";
+        exit 1
+      end;
+      Printf.printf
+        "tracing-off throughput %.1f t/s = tracing-on %.1f t/s (simulated \
+         results identical)\n"
+        off.Sysim.throughput_per_s on.Sysim.throughput_per_s;
+      Printf.printf "wall clock: off %.3f s, on %.3f s\n" off_s on_s;
+      let path = "BENCH_trace.json" in
+      Obs.Trace.write_chrome_json path;
+      let doc = Obs.Json.to_string (Obs.Trace.to_chrome_json ()) in
+      if not (Obs.Json.is_valid doc) then begin
+        Printf.eprintf "FAIL: trace export is not valid JSON\n";
+        exit 1
+      end;
+      Printf.printf
+        "trace written to %s (%d events recorded, %d dropped; load in \
+         ui.perfetto.dev)\n"
+        path (Obs.Trace.recorded ()) (Obs.Trace.dropped ()))
+
+(* `make check` smoke: a small faulted run with tracing on must export
+   valid JSON and its lifecycle-event counts must close against the
+   run's own accounting. *)
+let trace_smoke () =
+  section "Trace smoke: lifecycle accounting closes against the run";
+  let tasks = 30 in
+  let composition = Genset.table1.(6) in
+  let base = run_availability ~tasks composition Fault_plan.empty in
+  let plan = crash_restore_plan base.Sysim.makespan_us in
+  let arrive0 = Obs.Trace.count Obs.Trace.Arrive in
+  let complete0 = Obs.Trace.count Obs.Trace.Complete in
+  let reject0 = Obs.Trace.count Obs.Trace.Reject in
+  let retry0 = Obs.Trace.count Obs.Trace.Retry in
+  Fun.protect
+    ~finally:(fun () -> Obs.Trace.set_enabled false)
+    (fun () ->
+      Obs.Trace.set_enabled true;
+      let r = run_availability ~tasks composition plan in
+      let delta c c0 = c - c0 in
+      let arrives = delta (Obs.Trace.count Obs.Trace.Arrive) arrive0 in
+      let completes = delta (Obs.Trace.count Obs.Trace.Complete) complete0 in
+      let rejects = delta (Obs.Trace.count Obs.Trace.Reject) reject0 in
+      let retries = delta (Obs.Trace.count Obs.Trace.Retry) retry0 in
+      Printf.printf
+        "events: arrive=%d complete=%d reject=%d retry=%d (run: completed=%d \
+         rejected=%d retried=%d lost=%d)\n"
+        arrives completes rejects retries r.Sysim.completed r.Sysim.rejected
+        r.Sysim.retried r.Sysim.lost;
+      let fail fmt = Printf.ksprintf (fun s -> Printf.eprintf "FAIL: %s\n" s; exit 1) fmt in
+      if not (Obs.Json.is_valid (Obs.Json.to_string (Obs.Trace.to_chrome_json ())))
+      then fail "trace export is not valid JSON";
+      if arrives <> tasks then fail "arrive events %d <> %d tasks" arrives tasks;
+      if completes <> r.Sysim.completed then
+        fail "complete events %d <> %d completed" completes r.Sysim.completed;
+      if rejects <> r.Sysim.rejected then
+        fail "reject events %d <> %d rejected" rejects r.Sysim.rejected;
+      if retries <> r.Sysim.retried then
+        fail "retry events %d <> %d retried" retries r.Sysim.retried;
+      if r.Sysim.lost <> 0 then fail "%d tasks lost" r.Sysim.lost;
+      print_endline "ok: trace JSON valid; lifecycle accounting closes")
 
 (* ------------------------------------------------------------------ *)
 (* Compilation overhead (Section 4.3)                                  *)
@@ -930,6 +1036,8 @@ let experiments =
     ("fig12", fun () -> fig12 ());
     ("faults", fun () -> faults ());
     ("faults-smoke", faults_smoke);
+    ("trace", fun () -> trace ());
+    ("trace-smoke", trace_smoke);
     ("compile", compile_overhead);
     ("mlp", mlp);
     ("compact", compact);

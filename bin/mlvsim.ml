@@ -51,7 +51,7 @@ let report ?faults set composition policy tasks seed (r : Sysim.result) =
   | None -> ())
 
 let run set policy tasks seed interarrival repeats compare fault_plan max_retries
-    metrics_out =
+    metrics_out trace_out =
   let faults =
     match fault_plan with
     | None -> Ok None
@@ -68,6 +68,7 @@ let run set policy tasks seed interarrival repeats compare fault_plan max_retrie
     prerr_endline "workload set must be 1..10";
     1
   | Ok faults ->
+    if trace_out <> None then Mlv_obs.Obs.Trace.set_enabled true;
     Printf.printf "building the mapping database (10 accelerator instances)...\n%!";
     let registry = Sysim.build_registry () in
     let composition = Genset.table1.(set - 1) in
@@ -87,16 +88,33 @@ let run set policy tasks seed interarrival repeats compare fault_plan max_retrie
     if compare then
       List.iter run_one [ Runtime.baseline; Runtime.restricted; Runtime.greedy ]
     else run_one policy;
-    (match metrics_out with
-    | None -> 0
-    | Some path -> (
-      try
-        Mlv_obs.Obs.write_json path;
-        Printf.printf "metrics written to %s\n" path;
-        0
-      with Sys_error e ->
-        Printf.eprintf "cannot write metrics: %s\n" e;
-        1))
+    let wrote_metrics =
+      match metrics_out with
+      | None -> 0
+      | Some path -> (
+        try
+          Mlv_obs.Obs.write_json path;
+          Printf.printf "metrics written to %s\n" path;
+          0
+        with Sys_error e ->
+          Printf.eprintf "cannot write metrics: %s\n" e;
+          1)
+    in
+    let wrote_trace =
+      match trace_out with
+      | None -> 0
+      | Some path -> (
+        try
+          Mlv_obs.Obs.Trace.write_chrome_json path;
+          Printf.printf "trace written to %s (%d events, %d dropped)\n" path
+            (Mlv_obs.Obs.Trace.recorded ())
+            (Mlv_obs.Obs.Trace.dropped ());
+          0
+        with Sys_error e ->
+          Printf.eprintf "cannot write trace: %s\n" e;
+          1)
+    in
+    max wrote_metrics wrote_trace
 
 let set_arg =
   Arg.(value & opt int 7 & info [ "set" ] ~docv:"N" ~doc:"Table-1 workload set (1-10)")
@@ -152,6 +170,16 @@ let metrics_out_arg =
           "Write the observability registry (counters, histograms, spans) as \
            JSON to $(docv) after the run")
 
+let trace_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-out" ] ~docv:"FILE"
+        ~doc:
+          "Enable per-task lifecycle tracing and write a \
+           Chrome-trace-event JSON to $(docv) after the run (load it \
+           in ui.perfetto.dev or chrome://tracing)")
+
 let () =
   let info =
     Cmd.info "mlvsim" ~version:"1.0.0"
@@ -161,6 +189,6 @@ let () =
     Term.(
       const run $ set_arg $ policy_arg $ tasks_arg $ seed_arg $ interarrival_arg
       $ repeats_arg $ compare_arg $ fault_plan_arg $ max_retries_arg
-      $ metrics_out_arg)
+      $ metrics_out_arg $ trace_out_arg)
   in
   exit (Cmd.eval' (Cmd.v info term))

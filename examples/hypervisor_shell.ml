@@ -69,6 +69,13 @@ let () =
       (* the observability registry accumulated by the session *)
       "metrics";
       "trace deploy";
+      (* per-task lifecycle view: enable tracing so the next fault
+         plan leaves marks, then inspect timeline and per-node top *)
+      "timeline on";
+      "inject crash@600:2,restore@700:2";
+      "timeline";
+      "top";
+      "timeline off";
       "counters reset";
       "trace deploy";
     ]

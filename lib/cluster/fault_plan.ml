@@ -101,12 +101,15 @@ let schedule t sim ~on_crash ~on_restore ~on_degrade =
           match e.action with
           | Crash n ->
             Obs.Counter.incr (Obs.Counter.get "fault.crash");
+            Obs.Trace.mark ~node:n "fault.crash";
             on_crash n
           | Restore n ->
             Obs.Counter.incr (Obs.Counter.get "fault.restore");
+            Obs.Trace.mark ~node:n "fault.restore";
             on_restore n
           | Degrade us ->
             Obs.Counter.incr (Obs.Counter.get "fault.degrade");
+            Obs.Trace.mark (Printf.sprintf "fault.degrade +%gus" us);
             on_degrade us))
     t
 

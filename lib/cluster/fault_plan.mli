@@ -22,7 +22,9 @@
 
     e.g. ["crash@8000:1,restore@20000:1,degrade@12000:0.6"].  Each
     applied event increments the counter [fault.crash] /
-    [fault.restore] / [fault.degrade]. *)
+    [fault.restore] / [fault.degrade] and, when lifecycle tracing is
+    enabled, records an {!Mlv_obs.Obs.Trace.mark} on the affected
+    node's timeline track. *)
 
 type action =
   | Crash of int  (** node id *)

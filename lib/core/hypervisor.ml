@@ -18,7 +18,8 @@ let live_handles t =
 let help =
   "ok commands: deploy <accel> | undeploy <id> | status | nodes | list | deployments | \
    rebalance | fail <node> | restore <node> | migrate <id> | inject <plan> | faults | \
-   index | metrics [json] | trace <substring> | counters reset | help"
+   index | metrics [json] | trace <substring> | timeline [on|off] | top | \
+   counters reset | help"
 
 let do_deploy t accel =
   match Runtime.deploy t.runtime ~accel with
@@ -91,6 +92,77 @@ let do_trace sub =
       matched
   in
   String.concat "\n" (Printf.sprintf "ok matched=%d" (List.length matched) :: lines)
+
+(* Newest ~40 lifecycle-trace events, with the ring's own accounting
+   in the header so a truncated view is visible as such. *)
+let timeline_shown = 40
+
+let do_timeline () =
+  let events = Obs.Trace.events () in
+  let n = List.length events in
+  let shown =
+    if n <= timeline_shown then events
+    else List.filteri (fun i _ -> i >= n - timeline_shown) events
+  in
+  let line (e : Obs.Trace.event) =
+    let opt name = function
+      | None -> ""
+      | Some v -> Printf.sprintf " %s=%d" name v
+    in
+    Printf.sprintf "  %.1fus %s%s%s%s%s%s" e.Obs.Trace.at_sim_us
+      (Obs.Trace.phase_name e.Obs.Trace.phase)
+      (opt "task" e.Obs.Trace.task)
+      (opt "node" e.Obs.Trace.node)
+      (opt "depl" e.Obs.Trace.deployment)
+      (if e.Obs.Trace.retries > 0 then
+         Printf.sprintf " retries=%d" e.Obs.Trace.retries
+       else "")
+      (if e.Obs.Trace.label = "" then "" else " " ^ e.Obs.Trace.label)
+  in
+  String.concat "\n"
+    (Printf.sprintf "ok events=%d shown=%d dropped=%d" (Obs.Trace.recorded ())
+       (List.length shown) (Obs.Trace.dropped ())
+    :: List.map line shown)
+
+(* Per-node occupancy + completions and per-kind latency, read from
+   the labeled sysim series (empty outside a sysim run). *)
+let do_top t =
+  let s = Runtime.stats t.runtime in
+  let completed = Obs.counters_with_base "sysim.tasks.completed" in
+  let completed_on n =
+    let target = [ ("node", string_of_int n) ] in
+    List.fold_left
+      (fun acc (_, labels, v) -> if labels = target then acc + v else acc)
+      0 completed
+  in
+  let node_lines =
+    List.map
+      (fun (i, used, total) ->
+        Printf.sprintf "  node %d: vbs=%d/%d util=%.1f%% completed=%d" i used
+          total
+          (if total > 0 then 100.0 *. float_of_int used /. float_of_int total
+           else 0.0)
+          (completed_on i))
+      s.Runtime.per_node
+  in
+  let kinds =
+    Obs.histograms_with_base "sysim.task_sojourn_us"
+    |> List.filter_map (fun (_, labels, h) ->
+           match labels with [ ("kind", k) ] -> Some (k, h) | _ -> None)
+  in
+  let kind_lines =
+    List.map
+      (fun (k, h) ->
+        Printf.sprintf "  kind %s: tasks=%d mean=%.1fus p95=%.1fus" k
+          (Obs.Histogram.count h) (Obs.Histogram.mean h)
+          (Obs.Histogram.percentile h 95.0))
+      kinds
+  in
+  String.concat "\n"
+    (Printf.sprintf "ok nodes=%d kinds=%d"
+       (List.length s.Runtime.per_node)
+       (List.length kinds)
+    :: (node_lines @ kind_lines))
 
 (* Fail a node with automatic failover, dropping the ids of
    deployments that could not be re-placed (shared by [fail] and
@@ -207,6 +279,15 @@ let handle t line =
   | [ "metrics"; "json" ] -> "ok " ^ Obs.json_string ()
   | [ "trace"; sub ] -> do_trace sub
   | [ "trace" ] -> "error usage: trace <substring>"
+  | [ "timeline" ] -> do_timeline ()
+  | [ "timeline"; "on" ] ->
+    Obs.Trace.set_enabled true;
+    "ok tracing=on"
+  | [ "timeline"; "off" ] ->
+    Obs.Trace.set_enabled false;
+    "ok tracing=off"
+  | "timeline" :: _ -> "error usage: timeline [on|off]"
+  | [ "top" ] -> do_top t
   | [ "counters"; "reset" ] ->
     Obs.reset ();
     "ok"

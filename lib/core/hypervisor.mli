@@ -31,6 +31,17 @@
                                 followed by the live Obs registry
       metrics json          ->  ok <one-line JSON export>
       trace <substring>     ->  ok matched=<n> followed by span lines
+      timeline              ->  ok events=<recorded> shown=<n> dropped=<k>
+                                followed by the newest lifecycle-trace
+                                events (sim time, phase, task/node/
+                                deployment ids, retries, label)
+      timeline on|off       ->  ok tracing=<on|off>
+                                toggles lifecycle tracing (off by
+                                default; see Obs.Trace)
+      top                   ->  ok nodes=<n> kinds=<m> followed by
+                                per-node occupancy/completions and
+                                per-kind sojourn latency, read from
+                                the labeled sysim metric series
       counters reset        ->  ok   (zeroes counters/histograms/spans)
       help                  ->  ok <command list>
     v} *)

@@ -42,6 +42,7 @@ type placement = {
 }
 
 type deployment = {
+  id : int;
   accel : string;
   mutable placements : placement list;
   mutable reconfig_us : float;
@@ -58,6 +59,7 @@ type t = {
   policy : policy;
   index : Alloc_index.t option;
   mutable live : deployment list;
+  mutable next_deploy_id : int;
   failed : (int, unit) Hashtbl.t;
 }
 
@@ -68,6 +70,7 @@ let create ?(policy = greedy) ?(indexed = true) cluster registry =
     policy;
     index = (if indexed then Some (Alloc_index.build cluster) else None);
     live = [];
+    next_deploy_id = 0;
     failed = Hashtbl.create 4;
   }
 
@@ -221,7 +224,9 @@ let perform t accel assignment =
         | Error msg -> failwith ("Runtime.deploy: controller refused: " ^ msg))
       assignment
   in
-  let d = { accel; placements; reconfig_us = !reconfig } in
+  let id = t.next_deploy_id in
+  t.next_deploy_id <- t.next_deploy_id + 1;
+  let d = { id; accel; placements; reconfig_us = !reconfig } in
   t.live <- d :: t.live;
   d
 
@@ -258,9 +263,11 @@ let deploy_untraced t ~accel =
     try_levels levels
 
 let deploy t ~accel =
-  Obs.Span.with_ "deploy" (fun () ->
+  Obs.Span.with_span "deploy" (fun span ->
+      Obs.Span.add_arg span "accel" accel;
       match deploy_untraced t ~accel with
       | Ok d ->
+        Obs.Span.add_arg span "deployment" (string_of_int d.id);
         Obs.Counter.incr (Obs.Counter.get "runtime.deploy.ok");
         Obs.Histogram.observe (Obs.Histogram.get "runtime.reconfig_us") d.reconfig_us;
         Ok d
@@ -404,7 +411,8 @@ let migrate_untraced (t : t) d =
   end
 
 let migrate t d =
-  Obs.Span.with_ "migrate" (fun () ->
+  Obs.Span.with_span "migrate" (fun span ->
+      Obs.Span.add_arg span "deployment" (string_of_int d.id);
       match migrate_untraced t d with
       | Ok _ as ok ->
         Obs.Counter.incr (Obs.Counter.get "runtime.migrate.ok");
@@ -469,8 +477,12 @@ let fail_node_untraced (t : t) node_id =
   { recovered = !recovered; lost = List.rev !lost }
 
 let fail_node (t : t) node_id =
-  Obs.Span.with_ "failover" (fun () ->
+  Obs.Span.with_span "failover" (fun span ->
+      Obs.Span.add_arg span "node" (string_of_int node_id);
       let f = fail_node_untraced t node_id in
+      Obs.Span.add_arg span "recovered" (string_of_int f.recovered);
+      Obs.Span.add_arg span "lost"
+        (String.concat "," (List.map (fun d -> string_of_int d.id) f.lost));
       Obs.Counter.incr (Obs.Counter.get "runtime.fail_node");
       Obs.Counter.add (Obs.Counter.get "runtime.failover.recovered") f.recovered;
       Obs.Counter.add (Obs.Counter.get "runtime.failover.lost") (List.length f.lost);

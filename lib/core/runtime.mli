@@ -37,6 +37,11 @@ type placement = {
 }
 
 type deployment = {
+  id : int;
+      (** stable per-runtime id, assigned at creation; survives
+          migration and failover (which graft fresh placements onto
+          the same value) and labels the deploy/migrate/failover
+          spans and lifecycle-trace events *)
   accel : string;
   mutable placements : placement list;
   mutable reconfig_us : float;  (** summed partial-reconfiguration time *)

@@ -197,6 +197,52 @@ module Json = struct
 end
 
 (* ------------------------------------------------------------------ *)
+(* Labels                                                              *)
+(* ------------------------------------------------------------------ *)
+
+module Labels = struct
+  type t = (string * string) list
+
+  let bad_char c =
+    match c with '{' | '}' | '=' | ',' | '"' | '\n' -> true | _ -> false
+
+  let check_part what s =
+    if String.exists bad_char s then
+      invalid_arg
+        (Printf.sprintf "Obs.Labels: %s %S contains a reserved character" what s)
+
+  let make kvs =
+    List.iter
+      (fun (k, v) ->
+        if k = "" then invalid_arg "Obs.Labels: empty label key";
+        check_part "key" k;
+        check_part "value" v)
+      kvs;
+    let sorted = List.sort (fun (a, _) (b, _) -> compare a b) kvs in
+    let rec dup = function
+      | (a, _) :: ((b, _) :: _ as rest) -> if a = b then Some a else dup rest
+      | _ -> None
+    in
+    (match dup sorted with
+    | Some k -> invalid_arg (Printf.sprintf "Obs.Labels: duplicate key %S" k)
+    | None -> ());
+    sorted
+
+  let render = function
+    | [] -> ""
+    | kvs ->
+      "{"
+      ^ String.concat "," (List.map (fun (k, v) -> k ^ "=" ^ v) kvs)
+      ^ "}"
+
+  (* Canonical series name: base plus the sorted, rendered label set,
+     e.g. [sysim.task_sojourn_us{kind=XCVU37P,node=3}].  The same
+     label set always renders the same key, so registry ordering (and
+     every export) is deterministic. *)
+  let key base kvs = base ^ render (make kvs)
+end
+
+(* ------------------------------------------------------------------ *)
 (* Clocks                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -205,6 +251,13 @@ let wall_us () = Unix.gettimeofday () *. 1e6
 let sim_clock : (unit -> float) option ref = ref None
 let set_sim_clock f = sim_clock := Some f
 let clear_sim_clock () = sim_clock := None
+
+(* Targeted clear for simulator teardown: only removes [f] if it is
+   the registered clock, so a newer simulator's registration survives
+   an older one's release. *)
+let clear_sim_clock_of f =
+  match !sim_clock with Some g when g == f -> sim_clock := None | _ -> ()
+
 let sim_us () = match !sim_clock with Some f -> f () | None -> 0.0
 
 (* ------------------------------------------------------------------ *)
@@ -212,22 +265,35 @@ let sim_us () = match !sim_clock with Some f -> f () | None -> 0.0
 (* ------------------------------------------------------------------ *)
 
 module Counter = struct
-  type t = { cname : string; mutable v : int }
+  type t = {
+    cname : string;  (* full canonical name: base plus rendered labels *)
+    cbase : string;
+    clabels : Labels.t;
+    mutable v : int;
+  }
 
   let registry : (string, t) Hashtbl.t = Hashtbl.create 32
 
-  let get name =
+  let get_full ~base ~labels name =
     match Hashtbl.find_opt registry name with
     | Some c -> c
     | None ->
-      let c = { cname = name; v = 0 } in
+      let c = { cname = name; cbase = base; clabels = labels; v = 0 } in
       Hashtbl.replace registry name c;
       c
+
+  let get name = get_full ~base:name ~labels:[] name
+
+  let get_labeled name kvs =
+    let labels = Labels.make kvs in
+    get_full ~base:name ~labels (name ^ Labels.render labels)
 
   let incr t = t.v <- t.v + 1
   let add t n = t.v <- t.v + n
   let value t = t.v
   let name t = t.cname
+  let base t = t.cbase
+  let labels t = t.clabels
 end
 
 (* ------------------------------------------------------------------ *)
@@ -238,7 +304,9 @@ module Histogram = struct
   (* Ten log buckets per decade: sample v > 0 lands in bucket
      round(10 * log10 v), so bucket k represents 10^(k/10). *)
   type t = {
-    hname : string;
+    hname : string;  (* full canonical name: base plus rendered labels *)
+    hbase : string;
+    hlabels : Labels.t;
     buckets : (int, int) Hashtbl.t;
     mutable zero_count : int;  (* samples <= 0 *)
     mutable acc : Stats.Acc.t;
@@ -246,16 +314,23 @@ module Histogram = struct
 
   let registry : (string, t) Hashtbl.t = Hashtbl.create 32
 
-  let get name =
+  let get_full ~base ~labels name =
     match Hashtbl.find_opt registry name with
     | Some h -> h
     | None ->
       let h =
-        { hname = name; buckets = Hashtbl.create 32; zero_count = 0;
+        { hname = name; hbase = base; hlabels = labels;
+          buckets = Hashtbl.create 32; zero_count = 0;
           acc = Stats.Acc.create () }
       in
       Hashtbl.replace registry name h;
       h
+
+  let get name = get_full ~base:name ~labels:[] name
+
+  let get_labeled name kvs =
+    let labels = Labels.make kvs in
+    get_full ~base:name ~labels (name ^ Labels.render labels)
 
   let observe t v =
     if Float.is_nan v || Float.abs v = infinity then
@@ -274,6 +349,8 @@ module Histogram = struct
   let max t = if count t = 0 then 0.0 else Stats.Acc.max t.acc
   let sum t = Stats.Acc.sum t.acc
   let name t = t.hname
+  let base t = t.hbase
+  let labels t = t.hlabels
 
   let percentile t p =
     if p < 0.0 || p > 100.0 then invalid_arg "Obs.Histogram.percentile: p out of range";
@@ -326,6 +403,7 @@ type span_record = {
   wall_us : float;
   start_sim_us : float;
   sim_us : float;
+  args : (string * string) list;
 }
 
 let span_capacity = 8192
@@ -362,6 +440,7 @@ module Span = struct
     depth : int;
     t0_wall_us : float;
     t0_sim_us : float;
+    mutable sargs : (string * string) list;  (* reverse order *)
     mutable closed : bool;
   }
 
@@ -376,10 +455,14 @@ module Span = struct
     in
     let s =
       { sid = id; sname = name; parent; depth; t0_wall_us = wall_us ();
-        t0_sim_us = sim_us (); closed = false }
+        t0_sim_us = sim_us (); sargs = []; closed = false }
     in
     stack := s :: !stack;
     s
+
+  (* Attach a key=value annotation (e.g. the deployment id a [deploy]
+     span produced); exported with the record and into trace args. *)
+  let add_arg s k v = if not s.closed then s.sargs <- (k, v) :: s.sargs
 
   let exit s =
     if not s.closed then begin
@@ -396,13 +479,280 @@ module Span = struct
       record_completed
         { id = s.sid; parent = s.parent; name = s.sname; depth = s.depth;
           start_wall_us = s.t0_wall_us; wall_us = wall;
-          start_sim_us = s.t0_sim_us; sim_us = sim };
+          start_sim_us = s.t0_sim_us; sim_us = sim; args = List.rev s.sargs };
       Histogram.observe (Histogram.get ("span." ^ s.sname ^ ".wall_us")) wall
     end
 
   let with_ name f =
     let s = enter name in
     Fun.protect ~finally:(fun () -> exit s) f
+
+  let with_span name f =
+    let s = enter name in
+    Fun.protect ~finally:(fun () -> exit s) (fun () -> f s)
+end
+
+(* ------------------------------------------------------------------ *)
+(* Task-lifecycle tracing                                              *)
+(* ------------------------------------------------------------------ *)
+
+module Trace = struct
+  type phase =
+    | Arrive
+    | Queue
+    | Deploy
+    | Service
+    | Complete
+    | Reject
+    | Retry
+    | Crash_interrupt
+    | Mark
+
+  let phases =
+    [ Arrive; Queue; Deploy; Service; Complete; Reject; Retry; Crash_interrupt; Mark ]
+
+  let phase_index = function
+    | Arrive -> 0
+    | Queue -> 1
+    | Deploy -> 2
+    | Service -> 3
+    | Complete -> 4
+    | Reject -> 5
+    | Retry -> 6
+    | Crash_interrupt -> 7
+    | Mark -> 8
+
+  let phase_name = function
+    | Arrive -> "arrive"
+    | Queue -> "queue"
+    | Deploy -> "deploy"
+    | Service -> "service"
+    | Complete -> "complete"
+    | Reject -> "reject"
+    | Retry -> "retry"
+    | Crash_interrupt -> "crash_interrupt"
+    | Mark -> "mark"
+
+  type event = {
+    seq : int;
+    phase : phase;
+    task : int option;
+    label : string;
+    at_sim_us : float;
+    node : int option;
+    deployment : int option;
+    retries : int;
+  }
+
+  (* Tracing is off by default: emission is a single flag test on the
+     simulator hot path, so a tracing-off run pays nothing and stays
+     bit-identical to a build without the tracer. *)
+  let enabled_flag = ref false
+  let set_enabled b = enabled_flag := b
+  let enabled () = !enabled_flag
+
+  let capacity = 65536
+  let ring : event option array = Array.make capacity None
+  let ring_next = ref 0
+  let total = ref 0
+  let counts = Array.make (List.length phases) 0
+
+  let emit ?task ?node ?deployment ?(retries = 0) ?(label = "") phase =
+    if !enabled_flag then begin
+      let e =
+        { seq = !total; phase; task; label; at_sim_us = sim_us (); node;
+          deployment; retries }
+      in
+      ring.(!ring_next) <- Some e;
+      ring_next := (!ring_next + 1) mod capacity;
+      Stdlib.incr total;
+      counts.(phase_index phase) <- counts.(phase_index phase) + 1
+    end
+
+  let task ?node ?deployment ?retries ?label phase id =
+    emit ~task:id ?node ?deployment ?retries ?label phase
+
+  let mark ?node label = emit ?node ~label Mark
+
+  let events () =
+    let n = Stdlib.min !total capacity in
+    let start = if !total <= capacity then 0 else !ring_next in
+    List.init n (fun i ->
+        match ring.((start + i) mod capacity) with
+        | Some e -> e
+        | None -> assert false)
+
+  (* Per-phase totals over the whole run, drops included: the ring may
+     forget old events, the accounting never does.  This is what the
+     closed-accounting checks compare against the task counters. *)
+  let count phase = counts.(phase_index phase)
+  let recorded () = !total
+  let dropped () = Stdlib.max 0 (!total - capacity)
+
+  let reset () =
+    Array.fill ring 0 capacity None;
+    ring_next := 0;
+    total := 0;
+    Array.fill counts 0 (Array.length counts) 0
+
+  (* ---------------- Chrome/Perfetto export ---------------- *)
+
+  (* Track layout: pid 1 carries the nested spans on one thread
+     (wall-clock timeline, normalized to the earliest span); pid 2 has
+     one thread per cluster node plus a cluster-wide thread for events
+     with no node; pid 3 has one thread per deployment.  Lifecycle
+     events are instants on the simulation clock; an event tagged with
+     both a node and a deployment appears on both tracks. *)
+  let span_pid = 1
+  let node_pid = 2
+  let deployment_pid = 3
+  let cluster_tid = 1_000_000
+
+  let args_json kvs =
+    Json.Obj (List.map (fun (k, v) -> (k, Json.String v)) kvs)
+
+  let chrome_metadata ~pid ~tid ~key name =
+    Json.Obj
+      [
+        ("name", Json.String key);
+        ("ph", Json.String "M");
+        ("pid", Json.Int pid);
+        ("tid", Json.Int tid);
+        ("args", Json.Obj [ ("name", Json.String name) ]);
+      ]
+
+  let chrome_span t0 (r : span_record) =
+    Json.Obj
+      [
+        ("name", Json.String r.name);
+        ("ph", Json.String "X");
+        ("pid", Json.Int span_pid);
+        ("tid", Json.Int 1);
+        ("ts", Json.Float (r.start_wall_us -. t0));
+        ("dur", Json.Float r.wall_us);
+        ( "args",
+          args_json
+            (r.args
+            @ [
+                ("span_id", string_of_int r.id);
+                ("start_sim_us", Printf.sprintf "%.3f" r.start_sim_us);
+                ("sim_us", Printf.sprintf "%.3f" r.sim_us);
+              ]) );
+      ]
+
+  let event_name e =
+    let subject =
+      match e.task with
+      | Some id -> Printf.sprintf " task %d" id
+      | None -> if e.label = "" then "" else " " ^ e.label
+    in
+    phase_name e.phase ^ subject
+
+  let chrome_instant ~pid ~tid e =
+    let args =
+      (match e.task with
+      | Some id -> [ ("task", string_of_int id) ]
+      | None -> [])
+      @ (match e.deployment with
+        | Some d -> [ ("deployment", string_of_int d) ]
+        | None -> [])
+      @ (match e.node with Some n -> [ ("node", string_of_int n) ] | None -> [])
+      @ (if e.retries > 0 then [ ("retries", string_of_int e.retries) ] else [])
+      @ if e.label = "" then [] else [ ("label", e.label) ]
+    in
+    Json.Obj
+      [
+        ("name", Json.String (event_name e));
+        ("ph", Json.String "i");
+        ("s", Json.String "t");
+        ("pid", Json.Int pid);
+        ("tid", Json.Int tid);
+        ("ts", Json.Float e.at_sim_us);
+        ("args", args_json args);
+      ]
+
+  let to_chrome_json () =
+    let evs = events () in
+    let sps = spans () in
+    let t0 =
+      List.fold_left
+        (fun acc (r : span_record) -> Float.min acc r.start_wall_us)
+        infinity sps
+    in
+    let t0 = if t0 = infinity then 0.0 else t0 in
+    let node_tids =
+      List.filter_map (fun e -> e.node) evs |> List.sort_uniq compare
+    in
+    let deployment_tids =
+      List.filter_map (fun e -> e.deployment) evs |> List.sort_uniq compare
+    in
+    let needs_cluster_track = List.exists (fun e -> e.node = None) evs in
+    let metadata =
+      [
+        chrome_metadata ~pid:span_pid ~tid:0 ~key:"process_name"
+          "runtime spans (wall clock)";
+        chrome_metadata ~pid:span_pid ~tid:1 ~key:"thread_name" "spans";
+        chrome_metadata ~pid:node_pid ~tid:0 ~key:"process_name"
+          "cluster nodes (sim clock)";
+        chrome_metadata ~pid:deployment_pid ~tid:0 ~key:"process_name"
+          "deployments (sim clock)";
+      ]
+      @ List.map
+          (fun n ->
+            chrome_metadata ~pid:node_pid ~tid:n ~key:"thread_name"
+              (Printf.sprintf "node %d" n))
+          node_tids
+      @ (if needs_cluster_track then
+           [
+             chrome_metadata ~pid:node_pid ~tid:cluster_tid ~key:"thread_name"
+               "cluster";
+           ]
+         else [])
+      @ List.map
+          (fun d ->
+            chrome_metadata ~pid:deployment_pid ~tid:d ~key:"thread_name"
+              (Printf.sprintf "deployment %d" d))
+          deployment_tids
+    in
+    let span_events = List.map (chrome_span t0) sps in
+    let instant_events =
+      List.concat_map
+        (fun e ->
+          let tid = match e.node with Some n -> n | None -> cluster_tid in
+          chrome_instant ~pid:node_pid ~tid e
+          ::
+          (match e.deployment with
+          | Some d -> [ chrome_instant ~pid:deployment_pid ~tid:d e ]
+          | None -> []))
+        evs
+    in
+    Json.Obj
+      [
+        ("traceEvents", Json.List (metadata @ span_events @ instant_events));
+        ("displayTimeUnit", Json.String "ms");
+        ( "otherData",
+          Json.Obj
+            [
+              ("tracing_enabled", Json.Bool !enabled_flag);
+              ("task_events_recorded", Json.Int !total);
+              ("task_events_dropped", Json.Int (dropped ()));
+              ("spans_recorded", Json.Int (List.length sps));
+              ("spans_dropped", Json.Int (dropped_spans ()));
+              ( "phase_counts",
+                Json.Obj
+                  (List.map
+                     (fun p -> (phase_name p, Json.Int (count p)))
+                     phases) );
+            ] );
+      ]
+
+  let write_chrome_json path =
+    let oc = open_out path in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () ->
+        output_string oc (Json.to_string (to_chrome_json ()));
+        output_char oc '\n')
 end
 
 (* ------------------------------------------------------------------ *)
@@ -417,13 +767,32 @@ let histograms () =
   Hashtbl.fold (fun name h acc -> (name, h) :: acc) Histogram.registry []
   |> List.sort (fun (a, _) (b, _) -> compare a b)
 
+(* Every series of one metric family (the base name), labeled or not,
+   sorted by canonical full name — the [top]-style table views group
+   on these. *)
+let counters_with_base base =
+  Hashtbl.fold
+    (fun name (c : Counter.t) acc ->
+      if Counter.base c = base then (name, Counter.labels c, Counter.value c) :: acc
+      else acc)
+    Counter.registry []
+  |> List.sort compare
+
+let histograms_with_base base =
+  Hashtbl.fold
+    (fun name h acc ->
+      if Histogram.base h = base then (name, Histogram.labels h, h) :: acc else acc)
+    Histogram.registry []
+  |> List.sort (fun (a, _, _) (b, _, _) -> compare a b)
+
 let reset () =
   Hashtbl.iter (fun _ (c : Counter.t) -> c.Counter.v <- 0) Counter.registry;
   Hashtbl.iter (fun _ h -> Histogram.clear h) Histogram.registry;
   Array.fill completed 0 span_capacity None;
   completed_next := 0;
   completed_total := 0;
-  Span.stack := []
+  Span.stack := [];
+  Trace.reset ()
 
 (* ------------------------------------------------------------------ *)
 (* Exporters                                                           *)
@@ -453,6 +822,8 @@ let span_json (r : span_record) =
       ("wall_us", Json.Float r.wall_us);
       ("start_sim_us", Json.Float r.start_sim_us);
       ("sim_us", Json.Float r.sim_us);
+      ( "args",
+        Json.Obj (List.map (fun (k, v) -> (k, Json.String v)) r.args) );
     ]
 
 let to_json () =

@@ -34,6 +34,28 @@ module Json : sig
   val is_valid : string -> bool
 end
 
+(** Canonical label sets for dimensioned metrics.  A labeled series is
+    keyed by its base name plus the sorted rendered label set, e.g.
+    [sysim.task_sojourn_us{kind=XCVU37P,node=3}], so the same labels
+    in any order name the same series and every export is
+    deterministic. *)
+module Labels : sig
+  type t = (string * string) list
+
+  (** [make kvs] sorts by key.
+      @raise Invalid_argument on duplicate keys, empty keys, or keys /
+      values containing braces, [=], [,], double quotes or a
+      newline. *)
+  val make : (string * string) list -> t
+
+  (** [render t] is [""] for no labels, else ["{k=v,k2=v2}"].  Apply
+      to {!make}'s output for the canonical form. *)
+  val render : t -> string
+
+  (** [key base kvs] is the canonical full series name. *)
+  val key : string -> (string * string) list -> string
+end
+
 (** Named monotonic counters. *)
 module Counter : sig
   type t
@@ -42,10 +64,21 @@ module Counter : sig
       at zero on first use.  Handles stay valid across {!reset}. *)
   val get : string -> t
 
+  (** [get_labeled name kvs] returns the series of family [name] with
+      the canonicalized label set [kvs] (see {!Labels.make} for the
+      raised errors).  Label order does not matter. *)
+  val get_labeled : string -> (string * string) list -> t
+
   val incr : t -> unit
   val add : t -> int -> unit
   val value : t -> int
+
+  (** [name t] is the full canonical name (base plus rendered
+      labels); [base t] and [labels t] are its components. *)
   val name : t -> string
+
+  val base : t -> string
+  val labels : t -> Labels.t
 end
 
 (** Log-scale histograms: ten buckets per decade (~12% relative
@@ -56,6 +89,10 @@ module Histogram : sig
   (** [get name] returns the process-wide histogram [name], creating
       it empty on first use.  Handles stay valid across {!reset}. *)
   val get : string -> t
+
+  (** [get_labeled name kvs] is the labeled series of family [name];
+      see {!Counter.get_labeled}. *)
+  val get_labeled : string -> (string * string) list -> t
 
   (** [observe t v] records a sample.
       @raise Invalid_argument on NaN or infinite samples. *)
@@ -73,7 +110,12 @@ module Histogram : sig
       @raise Invalid_argument if [p] is outside [0, 100]. *)
   val percentile : t -> float -> float
 
+  (** [name t] is the full canonical name; [base t] / [labels t] its
+      components. *)
   val name : t -> string
+
+  val base : t -> string
+  val labels : t -> Labels.t
 end
 
 (** A completed span, oldest first in {!spans}. *)
@@ -86,6 +128,7 @@ type span_record = {
   wall_us : float;  (** wall-clock duration *)
   start_sim_us : float;  (** registered sim clock at entry (0 if none) *)
   sim_us : float;  (** sim-clock duration (0 if no sim clock) *)
+  args : (string * string) list;  (** annotations added while open *)
 }
 
 (** Nested timing spans.  Entering while another span is open makes
@@ -99,9 +142,93 @@ module Span : sig
   (** [exit t] closes the span (idempotent) and records it. *)
   val exit : t -> unit
 
+  (** [add_arg t k v] annotates a still-open span (e.g. the deployment
+      id a [deploy] span produced); no-op after exit. *)
+  val add_arg : t -> string -> string -> unit
+
   (** [with_ name f] runs [f] inside a span, closing it on any
       exit including exceptions. *)
   val with_ : string -> (unit -> 'a) -> 'a
+
+  (** [with_span name f] is {!with_} but passes the open span to [f]
+      so it can {!add_arg}. *)
+  val with_span : string -> (t -> 'a) -> 'a
+end
+
+(** Per-task lifecycle tracing and the Chrome/Perfetto exporter.
+
+    Every system-simulation task emits an event stream
+    (arrive → queue → deploy → service → complete / reject / retry /
+    crash-interrupt) stamped with the simulation clock, the node,
+    deployment id and retry count; fault injections add cluster-level
+    {!Trace.mark}s.  Events land in a bounded ring; per-phase totals
+    keep counting when the ring overflows, so accounting stays closed
+    against the task counters even when old events are dropped.
+
+    Tracing is {b off by default}: emission behind [set_enabled false]
+    is a single flag test, so hot paths pay nothing ([mlvsim
+    --trace-out] and the bench trace experiments switch it on). *)
+module Trace : sig
+  type phase =
+    | Arrive
+    | Queue
+    | Deploy
+    | Service
+    | Complete
+    | Reject
+    | Retry
+    | Crash_interrupt
+    | Mark  (** cluster-level annotation, e.g. a fault injection *)
+
+  val phase_name : phase -> string
+
+  type event = {
+    seq : int;  (** emission order, monotonically increasing *)
+    phase : phase;
+    task : int option;
+    label : string;  (** accelerator name, fault description, ... *)
+    at_sim_us : float;  (** registered sim clock at emission *)
+    node : int option;
+    deployment : int option;
+    retries : int;
+  }
+
+  val set_enabled : bool -> unit
+  val enabled : unit -> bool
+
+  (** [task phase id] records a lifecycle event for task [id]; no-op
+      while disabled. *)
+  val task :
+    ?node:int -> ?deployment:int -> ?retries:int -> ?label:string -> phase -> int -> unit
+
+  (** [mark label] records a cluster-level instant (fault injections
+      tag themselves with these); no-op while disabled. *)
+  val mark : ?node:int -> string -> unit
+
+  (** [events ()] lists retained events, oldest first (bounded ring;
+      see {!dropped}). *)
+  val events : unit -> event list
+
+  (** [count phase] is the number of events of [phase] ever emitted
+      since the last reset — drops included. *)
+  val count : phase -> int
+
+  val recorded : unit -> int
+
+  (** [dropped ()] counts events the ring has forgotten. *)
+  val dropped : unit -> int
+
+  (** [to_chrome_json ()] renders spans and lifecycle events as a
+      Chrome trace-event document ([{"traceEvents": [...], ...}])
+      loadable in Perfetto / [chrome://tracing]: spans as complete
+      events on a wall-clock track, lifecycle events as instants on
+      one track per node and one per deployment (sim clock).  Drop
+      counts and per-phase totals are reported in ["otherData"] —
+      a truncated timeline is always visible as such. *)
+  val to_chrome_json : unit -> Json.t
+
+  (** [write_chrome_json path] writes {!to_chrome_json} to [path]. *)
+  val write_chrome_json : string -> unit
 end
 
 (** [set_sim_clock f] makes [f] the source of simulation time for
@@ -111,10 +238,23 @@ val set_sim_clock : (unit -> float) -> unit
 
 val clear_sim_clock : unit -> unit
 
+(** [clear_sim_clock_of f] clears the sim clock only if [f] (compared
+    physically) is the registered source — simulator teardown uses
+    this so releasing an old simulator cannot unregister a newer
+    one. *)
+val clear_sim_clock_of : (unit -> float) -> unit
+
 (** Registry inspection (sorted by name). *)
 val counters : unit -> (string * int) list
 
 val histograms : unit -> (string * Histogram.t) list
+
+(** [counters_with_base base] lists every series of the metric family
+    [base] — labeled or not — as (full name, labels, value), sorted
+    by full name.  [histograms_with_base] likewise. *)
+val counters_with_base : string -> (string * Labels.t * int) list
+
+val histograms_with_base : string -> (string * Labels.t * Histogram.t) list
 
 (** [spans ()] lists retained completed spans, oldest first (bounded
     ring; see {!dropped_spans}). *)
@@ -125,8 +265,10 @@ val spans_matching : string -> span_record list
 
 val dropped_spans : unit -> int
 
-(** [reset ()] zeroes every counter, empties every histogram and
-    drops all span records.  Existing handles stay valid. *)
+(** [reset ()] zeroes every counter, empties every histogram, drops
+    all span records (the span drop count returns to 0) and clears
+    the lifecycle-trace ring and its per-phase totals.  Existing
+    handles stay valid; the tracing-enabled flag is not touched. *)
 val reset : unit -> unit
 
 (** [to_json ()] renders the whole registry; schema documented in

@@ -196,8 +196,24 @@ type inflight = {
   mutable cancelled : bool;
 }
 
+(* Deployment dimensions for labeled metrics and lifecycle events:
+   the primary (first) node and the device kind of the first
+   placement. *)
+let deployment_dims (d : Runtime.deployment) =
+  let node = match Runtime.nodes_used d with n :: _ -> Some n | [] -> None in
+  let kind =
+    match d.Runtime.placements with
+    | p :: _ -> Device.kind_name p.Runtime.bitstream.Mlv_vital.Bitstream.device
+    | [] -> "none"
+  in
+  (node, kind)
+
 let rec run ~registry cfg =
-  Obs.Span.with_ "sysim.run" (fun () -> run_untraced ~registry cfg)
+  (* A completed run releases its simulator's span clock — otherwise
+     the closure keeps the whole sim state live and stamps stale sim
+     times onto later, unrelated spans. *)
+  Fun.protect ~finally:Obs.clear_sim_clock (fun () ->
+      Obs.Span.with_ "sysim.run" (fun () -> run_untraced ~registry cfg))
 
 and run_untraced ~registry cfg =
   let cluster = Cluster.create ~kinds:cfg.cluster_kinds () in
@@ -225,9 +241,11 @@ and run_untraced ~registry cfg =
   let outage_start = ref None in
   let outages = ref [] in
   let completed_in_outage = ref 0 in
-  let reject (_ : pending) =
+  let reject (p : pending) =
     incr rejected;
-    Obs.Counter.incr (Obs.Counter.get "sysim.tasks.rejected")
+    Obs.Counter.incr (Obs.Counter.get "sysim.tasks.rejected");
+    Obs.Trace.task Obs.Trace.Reject p.task.Genset.task_id ~retries:p.retries
+      ~label:p.accel
   in
   let rec try_start () =
     if not (Queue.is_empty queue) then begin
@@ -247,6 +265,9 @@ and run_untraced ~registry cfg =
       | Ok d ->
         ignore (Queue.pop queue);
         let now = Sim.now sim in
+        let node, kind = deployment_dims d in
+        Obs.Trace.task Obs.Trace.Deploy p.task.Genset.task_id ?node
+          ~deployment:d.Runtime.id ~retries:p.retries ~label:p.accel;
         let wait = now -. p.task.Genset.arrival_us in
         waits := wait :: !waits;
         Obs.Histogram.observe (Obs.Histogram.get "sysim.task_wait_us") wait;
@@ -259,6 +280,8 @@ and run_untraced ~registry cfg =
         in
         services := service :: !services;
         Obs.Histogram.observe (Obs.Histogram.get "sysim.task_service_us") service;
+        Obs.Trace.task Obs.Trace.Service p.task.Genset.task_id ?node
+          ~deployment:d.Runtime.id ~retries:p.retries ~label:p.accel;
         let fl = { pend = p; depl = d; cancelled = false } in
         inflight := fl :: !inflight;
         Sim.schedule sim ~delay:service (fun () ->
@@ -268,10 +291,29 @@ and run_untraced ~registry cfg =
               incr completed;
               if Hashtbl.length down > 0 then incr completed_in_outage;
               Obs.Counter.incr (Obs.Counter.get "sysim.tasks.completed");
+              (match node with
+              | Some n ->
+                Obs.Counter.incr
+                  (Obs.Counter.get_labeled "sysim.tasks.completed"
+                     [ ("node", string_of_int n) ])
+              | None -> ());
               let finished = Sim.now sim in
               let sojourn = finished -. p.task.Genset.arrival_us in
               latencies := sojourn :: !latencies;
               Obs.Histogram.observe (Obs.Histogram.get "sysim.task_sojourn_us") sojourn;
+              Obs.Histogram.observe
+                (Obs.Histogram.get_labeled "sysim.task_sojourn_us"
+                   [ ("kind", kind) ])
+                sojourn;
+              (match node with
+              | Some n ->
+                Obs.Histogram.observe
+                  (Obs.Histogram.get_labeled "sysim.task_sojourn_us"
+                     [ ("kind", kind); ("node", string_of_int n) ])
+                  sojourn
+              | None -> ());
+              Obs.Trace.task Obs.Trace.Complete p.task.Genset.task_id ?node
+                ~deployment:d.Runtime.id ~retries:p.retries ~label:p.accel;
               (* SLO: a task should finish within slo_multiplier x its
                  unqueued service time. *)
               if sojourn > cfg.slo_multiplier *. service then begin
@@ -318,7 +360,10 @@ and run_untraced ~registry cfg =
     List.iter
       (fun fl ->
         fl.cancelled <- true;
-        Runtime.undeploy runtime fl.depl)
+        Runtime.undeploy runtime fl.depl;
+        Obs.Trace.task Obs.Trace.Crash_interrupt fl.pend.task.Genset.task_id
+          ~node ~deployment:fl.depl.Runtime.id ~retries:fl.pend.retries
+          ~label:fl.pend.accel)
       hit;
     let again, exhausted =
       List.partition (fun fl -> fl.pend.retries < max_retries) hit
@@ -327,7 +372,9 @@ and run_untraced ~registry cfg =
       (fun fl ->
         fl.pend.retries <- fl.pend.retries + 1;
         incr retried;
-        Obs.Counter.incr (Obs.Counter.get "sysim.tasks.retried"))
+        Obs.Counter.incr (Obs.Counter.get "sysim.tasks.retried");
+        Obs.Trace.task Obs.Trace.Retry fl.pend.task.Genset.task_id ~node
+          ~retries:fl.pend.retries ~label:fl.pend.accel)
       again;
     requeue_front (List.map (fun fl -> fl.pend) again);
     List.iter (fun fl -> reject fl.pend) exhausted;
@@ -355,7 +402,9 @@ and run_untraced ~registry cfg =
             Framework.accel_name
               ~tiles:(instance_for ~policy:cfg.policy task.Genset.point)
           in
+          Obs.Trace.task Obs.Trace.Arrive task.Genset.task_id ~label:accel;
           Queue.add { task; accel; retries = 0 } queue;
+          Obs.Trace.task Obs.Trace.Queue task.Genset.task_id ~label:accel;
           peak_queue := max !peak_queue (Queue.length queue);
           try_start ()))
     tasks;

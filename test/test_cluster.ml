@@ -8,6 +8,7 @@ module Cluster = Mlv_cluster.Cluster
 module Trace = Mlv_cluster.Trace
 module Device = Mlv_fpga.Device
 module Board = Mlv_fpga.Board
+module Obs = Mlv_obs.Obs
 
 (* ---------------- Sim ---------------- *)
 
@@ -66,6 +67,34 @@ let test_sim_until_advances_clock () =
   let sim2 = Sim.create () in
   Sim.run ~until:3.0 sim2;
   Alcotest.(check (float 1e-9)) "empty queue clock" 3.0 (Sim.now sim2)
+
+(* Sim.create registers the simulator's clock as the span sim-time
+   source but nothing cleared it: a finished run kept stamping stale
+   times onto later, unrelated spans (and kept the sim state live).
+   Sim.release clears the registration — but only its own, so a
+   superseded simulator cannot clobber a newer one's clock. *)
+let test_sim_release_clears_clock () =
+  Obs.reset ();
+  let sim_now name =
+    Obs.Span.with_ name (fun () -> ());
+    (List.hd (Obs.spans_matching name)).Obs.start_sim_us
+  in
+  let sim = Sim.create () in
+  Sim.schedule sim ~delay:5.0 (fun () -> ());
+  Sim.run sim;
+  Alcotest.(check (float 1e-9)) "clock registered by create" 5.0
+    (sim_now "rel.before");
+  Sim.release sim;
+  Alcotest.(check (float 1e-9)) "released" 0.0 (sim_now "rel.after");
+  let a = Sim.create () in
+  let b = Sim.create () in
+  Sim.schedule b ~delay:3.0 (fun () -> ());
+  Sim.run b;
+  Sim.release a;
+  Alcotest.(check (float 1e-9)) "superseded release is a no-op" 3.0
+    (sim_now "rel.super");
+  Sim.release b;
+  Alcotest.(check (float 1e-9)) "owner release clears" 0.0 (sim_now "rel.end")
 
 let test_sim_negative_delay () =
   let sim = Sim.create () in
@@ -239,6 +268,8 @@ let () =
           Alcotest.test_case "run until" `Quick test_sim_until;
           Alcotest.test_case "run until advances clock" `Quick
             test_sim_until_advances_clock;
+          Alcotest.test_case "release clears sim clock" `Quick
+            test_sim_release_clears_clock;
           Alcotest.test_case "negative delay" `Quick test_sim_negative_delay;
           Alcotest.test_case "counts" `Quick test_sim_counts;
         ] );

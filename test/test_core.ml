@@ -1028,6 +1028,44 @@ let test_hypervisor_metrics_commands () =
   Alcotest.(check string) "trace empty after reset" "ok matched=0"
     (Hypervisor.handle h "trace deploy")
 
+let test_hypervisor_timeline_and_top () =
+  let rt, _ = runtime_fixture Runtime.greedy in
+  let h = Hypervisor.create rt in
+  let starts_with prefix s =
+    String.length s >= String.length prefix && String.sub s 0 (String.length prefix) = prefix
+  in
+  Obs.reset ();
+  Fun.protect
+    ~finally:(fun () -> Obs.Trace.set_enabled false)
+    (fun () ->
+      Alcotest.(check bool) "timeline empty while disabled" true
+        (starts_with "ok events=0 shown=0 dropped=0" (Hypervisor.handle h "timeline"));
+      Alcotest.(check string) "timeline on" "ok tracing=on"
+        (Hypervisor.handle h "timeline on");
+      Obs.Trace.task Obs.Trace.Arrive 1 ~label:"npu-t6";
+      Obs.Trace.mark ~node:0 "fault.crash";
+      Alcotest.(check bool) "timeline shows events" true
+        (starts_with "ok events=2 shown=2 dropped=0" (Hypervisor.handle h "timeline"));
+      Alcotest.(check string) "timeline off" "ok tracing=off"
+        (Hypervisor.handle h "timeline off");
+      Alcotest.(check bool) "timeline usage" true
+        (starts_with "error usage" (Hypervisor.handle h "timeline sideways"));
+      (* top reads the labeled sysim series *)
+      Obs.Counter.incr (Obs.Counter.get_labeled "sysim.tasks.completed" [ ("node", "0") ]);
+      Obs.Histogram.observe
+        (Obs.Histogram.get_labeled "sysim.task_sojourn_us" [ ("kind", "XCVU37P") ])
+        100.0;
+      let top = Hypervisor.handle h "top" in
+      let contains needle hay =
+        let nh = String.length hay and nn = String.length needle in
+        let rec at i = i + nn <= nh && (String.sub hay i nn = needle || at (i + 1)) in
+        at 0
+      in
+      Alcotest.(check bool) "top header" true (starts_with "ok nodes=" top);
+      Alcotest.(check bool) "top names the kind" true (contains "kind XCVU37P" top);
+      Alcotest.(check bool) "top counts node completions" true
+        (contains "completed=1" top))
+
 
 let test_npu_text_roundtrip () =
   (* Full artifact round-trip: generate the NPU, print it to the
@@ -1436,6 +1474,8 @@ let () =
             test_runtime_failover_frees_exactly;
           Alcotest.test_case "hypervisor metrics commands" `Quick
             test_hypervisor_metrics_commands;
+          Alcotest.test_case "hypervisor timeline and top" `Quick
+            test_hypervisor_timeline_and_top;
           Alcotest.test_case "node failure failover" `Quick test_runtime_node_failure;
           Alcotest.test_case "failover loses when full" `Quick test_runtime_failover_loses_when_full;
           Alcotest.test_case "hypervisor failover" `Quick test_hypervisor_failover_commands;

@@ -51,6 +51,62 @@ let test_json_roundtrip () =
   in
   Alcotest.(check bool) "emitted JSON validates" true (Json.is_valid (Json.to_string v))
 
+let test_json_control_chars () =
+  Alcotest.(check string) "u0001" "\"\\u0001\"" (Json.to_string (Json.String "\x01"));
+  Alcotest.(check string) "u001f" "\"\\u001f\"" (Json.to_string (Json.String "\x1f"));
+  List.iter
+    (fun s ->
+      Alcotest.(check bool)
+        (Printf.sprintf "escaped %S validates" s)
+        true
+        (Json.is_valid (Json.to_string (Json.String s))))
+    [ "\x01"; "\x1f"; "literal \\u0041 text"; "mix\x02\t\"quote\"\\"; "\x00" ];
+  Alcotest.(check bool) "validator accepts unicode escape" true
+    (Json.is_valid {|"\u00ff"|});
+  Alcotest.(check bool) "validator rejects bad unicode escape" false
+    (Json.is_valid {|"\u00zz"|});
+  Alcotest.(check bool) "validator rejects short unicode escape" false
+    (Json.is_valid {|"\u0a"|})
+
+let test_json_non_finite_nested () =
+  let s =
+    Json.to_string
+      (Json.Obj
+         [
+           ( "xs",
+             Json.List
+               [ Json.Float Float.nan; Json.Float Float.neg_infinity; Json.Float 1.5 ]
+           );
+         ])
+  in
+  Alcotest.(check string) "non-finite renders null inside structures"
+    {|{"xs":[null,null,1.5]}|} s;
+  Alcotest.(check bool) "still valid" true (Json.is_valid s)
+
+(* ---------------- Labels ---------------- *)
+
+let test_labels_canonical () =
+  let l = Obs.Labels.make [ ("node", "3"); ("kind", "large") ] in
+  Alcotest.(check string) "sorted render" "{kind=large,node=3}" (Obs.Labels.render l);
+  Alcotest.(check string) "empty render" "" (Obs.Labels.render (Obs.Labels.make []));
+  Alcotest.(check string) "key is order-insensitive" "m{a=1,b=2}"
+    (Obs.Labels.key "m" [ ("b", "2"); ("a", "1") ])
+
+let test_labels_rejected () =
+  let bad kvs =
+    try
+      ignore (Obs.Labels.make kvs);
+      false
+    with Invalid_argument _ -> true
+  in
+  Alcotest.(check bool) "duplicate key" true (bad [ ("k", "1"); ("k", "2") ]);
+  Alcotest.(check bool) "empty key" true (bad [ ("", "v") ]);
+  Alcotest.(check bool) "brace in value" true (bad [ ("k", "{") ]);
+  Alcotest.(check bool) "comma in key" true (bad [ ("a,b", "v") ]);
+  Alcotest.(check bool) "equals in value" true (bad [ ("k", "a=b") ]);
+  Alcotest.(check bool) "quote in value" true (bad [ ("k", "\"") ]);
+  Alcotest.(check bool) "newline in value" true (bad [ ("k", "a\nb") ])
+
 (* ---------------- Counters ---------------- *)
 
 let test_counter_basic () =
@@ -76,6 +132,34 @@ let test_counter_reset_keeps_handle () =
   Alcotest.(check int) "handle still live" 1 (Obs.Counter.value c);
   Alcotest.(check int) "registry agrees" 1
     (List.assoc "test.reset" (Obs.counters ()))
+
+let test_labeled_counter_identity () =
+  Obs.reset ();
+  let a = Obs.Counter.get_labeled "lab.c" [ ("node", "1"); ("kind", "x") ] in
+  let b = Obs.Counter.get_labeled "lab.c" [ ("kind", "x"); ("node", "1") ] in
+  Obs.Counter.incr a;
+  Obs.Counter.incr b;
+  Alcotest.(check int) "permuted labels share the series" 2 (Obs.Counter.value a);
+  Alcotest.(check string) "full name" "lab.c{kind=x,node=1}" (Obs.Counter.name a);
+  Alcotest.(check string) "base" "lab.c" (Obs.Counter.base a);
+  Obs.Counter.incr (Obs.Counter.get "lab.c");
+  Alcotest.(check int) "unlabeled member is distinct" 1
+    (Obs.Counter.value (Obs.Counter.get "lab.c"))
+
+let test_labeled_export_deterministic () =
+  Obs.reset ();
+  Obs.Counter.incr (Obs.Counter.get_labeled "det.c" [ ("node", "2") ]);
+  Obs.Counter.incr (Obs.Counter.get_labeled "det.c" [ ("node", "10") ]);
+  Obs.Counter.incr (Obs.Counter.get "det.c");
+  let prefixed n = String.length n >= 5 && String.sub n 0 5 = "det.c" in
+  let names = List.map fst (Obs.counters ()) |> List.filter prefixed in
+  Alcotest.(check (list string)) "export sorted by full name"
+    [ "det.c"; "det.c{node=10}"; "det.c{node=2}" ]
+    names;
+  let family = Obs.counters_with_base "det.c" in
+  Alcotest.(check int) "family view" 3 (List.length family);
+  Alcotest.(check bool) "family labels round-trip" true
+    (List.exists (fun (_, labels, v) -> labels = [ ("node", "2") ] && v = 1) family)
 
 (* ---------------- Histograms ---------------- *)
 
@@ -136,6 +220,21 @@ let test_histogram_zero_and_negative () =
   Alcotest.(check int) "count includes zeros" 3 (Obs.Histogram.count h);
   Alcotest.(check (float 1e-9)) "min" 0.0 (Obs.Histogram.min h);
   Alcotest.(check (float 1e-9)) "p50 with zeros" 0.0 (Obs.Histogram.percentile h 50.0)
+
+let test_labeled_histogram () =
+  Obs.reset ();
+  let h = Obs.Histogram.get_labeled "lab.h" [ ("kind", "a") ] in
+  Obs.Histogram.observe h 5.0;
+  Obs.Histogram.observe (Obs.Histogram.get_labeled "lab.h" [ ("kind", "a") ]) 7.0;
+  Obs.Histogram.observe (Obs.Histogram.get_labeled "lab.h" [ ("kind", "b") ]) 9.0;
+  Alcotest.(check int) "shared series" 2 (Obs.Histogram.count h);
+  Alcotest.(check string) "base" "lab.h" (Obs.Histogram.base h);
+  let family = Obs.histograms_with_base "lab.h" in
+  Alcotest.(check int) "two series" 2 (List.length family);
+  Alcotest.(check bool) "kind=b present" true
+    (List.exists
+       (fun (_, labels, h) -> labels = [ ("kind", "b") ] && Obs.Histogram.count h = 1)
+       family)
 
 (* ---------------- Spans ---------------- *)
 
@@ -202,6 +301,133 @@ let test_spans_matching_substring () =
   Alcotest.(check int) "alpha matches" 2 (List.length (Obs.spans_matching "alpha"));
   Alcotest.(check int) "exact" 1 (List.length (Obs.spans_matching "beta"));
   Alcotest.(check int) "none" 0 (List.length (Obs.spans_matching "gamma"))
+
+let test_span_args () =
+  Obs.reset ();
+  Obs.Span.with_span "argspan" (fun s ->
+      Obs.Span.add_arg s "a" "1";
+      Obs.Span.add_arg s "b" "2");
+  let r = List.hd (Obs.spans_matching "argspan") in
+  Alcotest.(check (list (pair string string))) "args in insertion order"
+    [ ("a", "1"); ("b", "2") ]
+    r.Obs.args
+
+(* ---------------- Lifecycle trace ---------------- *)
+
+let with_tracing f =
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.Trace.set_enabled false;
+      Obs.clear_sim_clock ())
+    (fun () ->
+      Obs.Trace.set_enabled true;
+      f ())
+
+let test_trace_disabled_noop () =
+  Obs.reset ();
+  Alcotest.(check bool) "off by default" false (Obs.Trace.enabled ());
+  Obs.Trace.task Obs.Trace.Arrive 1;
+  Obs.Trace.mark "nothing";
+  Alcotest.(check int) "no events" 0 (Obs.Trace.recorded ());
+  Alcotest.(check int) "no counts" 0 (Obs.Trace.count Obs.Trace.Arrive)
+
+let test_trace_lifecycle () =
+  Obs.reset ();
+  Obs.set_sim_clock (fun () -> 123.0);
+  with_tracing (fun () ->
+      Obs.Trace.task Obs.Trace.Arrive 7 ~label:"npu";
+      Obs.Trace.task Obs.Trace.Deploy 7 ~node:2 ~deployment:5 ~retries:1 ~label:"npu";
+      Obs.Trace.mark ~node:2 "fault.crash";
+      let evs = Obs.Trace.events () in
+      Alcotest.(check int) "three events" 3 (List.length evs);
+      let d = List.nth evs 1 in
+      Alcotest.(check (option int)) "task id" (Some 7) d.Obs.Trace.task;
+      Alcotest.(check (option int)) "node" (Some 2) d.Obs.Trace.node;
+      Alcotest.(check (option int)) "deployment" (Some 5) d.Obs.Trace.deployment;
+      Alcotest.(check int) "retries" 1 d.Obs.Trace.retries;
+      Alcotest.(check (float 1e-9)) "sim stamp" 123.0 d.Obs.Trace.at_sim_us;
+      Alcotest.(check string) "phase name" "deploy"
+        (Obs.Trace.phase_name d.Obs.Trace.phase);
+      let m = List.nth evs 2 in
+      Alcotest.(check (option int)) "mark has no task" None m.Obs.Trace.task;
+      Alcotest.(check string) "mark label" "fault.crash" m.Obs.Trace.label;
+      Alcotest.(check int) "arrive count" 1 (Obs.Trace.count Obs.Trace.Arrive);
+      Alcotest.(check int) "mark count" 1 (Obs.Trace.count Obs.Trace.Mark);
+      Alcotest.(check bool) "seq strictly increasing" true
+        (let rec mono = function
+           | a :: (b :: _ as rest) ->
+             a.Obs.Trace.seq < b.Obs.Trace.seq && mono rest
+           | _ -> true
+         in
+         mono evs))
+
+let test_trace_ring_overflow () =
+  Obs.reset ();
+  with_tracing (fun () ->
+      let capacity = 65536 in
+      let extra = 100 in
+      for i = 0 to capacity + extra - 1 do
+        Obs.Trace.task Obs.Trace.Queue i
+      done;
+      Alcotest.(check int) "ring holds capacity" capacity
+        (List.length (Obs.Trace.events ()));
+      Alcotest.(check int) "recorded counts every emit" (capacity + extra)
+        (Obs.Trace.recorded ());
+      Alcotest.(check int) "dropped = overflow" extra (Obs.Trace.dropped ());
+      Alcotest.(check int) "phase count survives drops" (capacity + extra)
+        (Obs.Trace.count Obs.Trace.Queue);
+      (match Obs.Trace.events () with
+      | e :: _ ->
+        Alcotest.(check (option int)) "oldest events dropped first" (Some extra)
+          e.Obs.Trace.task
+      | [] -> Alcotest.fail "ring empty");
+      Obs.reset ();
+      Alcotest.(check int) "reset clears recorded" 0 (Obs.Trace.recorded ());
+      Alcotest.(check int) "reset clears dropped" 0 (Obs.Trace.dropped ());
+      Alcotest.(check int) "reset clears counts" 0 (Obs.Trace.count Obs.Trace.Queue);
+      Alcotest.(check int) "reset clears ring" 0 (List.length (Obs.Trace.events ())))
+
+let contains needle hay =
+  let nh = String.length hay and nn = String.length needle in
+  let rec at i = i + nn <= nh && (String.sub hay i nn = needle || at (i + 1)) in
+  at 0
+
+let test_trace_chrome_export () =
+  Obs.reset ();
+  Obs.set_sim_clock (fun () -> 50.0);
+  with_tracing (fun () ->
+      Obs.Span.with_span "chrome.span" (fun s -> Obs.Span.add_arg s "key" "val");
+      Obs.Trace.task Obs.Trace.Service 3 ~node:1 ~deployment:4 ~label:"npu";
+      Obs.Trace.mark "fault.degrade";
+      let s = Json.to_string (Obs.Trace.to_chrome_json ()) in
+      Alcotest.(check bool) "valid json" true (Json.is_valid s);
+      List.iter
+        (fun needle ->
+          Alcotest.(check bool) ("contains " ^ needle) true (contains needle s))
+        [
+          {|"traceEvents"|};
+          {|"displayTimeUnit"|};
+          {|"process_name"|};
+          {|"thread_name"|};
+          {|chrome.span|};
+          {|"key":"val"|};
+          {|"task_events_recorded":2|};
+          {|"task_events_dropped":0|};
+          {|"spans_dropped":0|};
+          {|"phase_counts"|};
+          {|"tracing_enabled":true|};
+        ])
+
+let test_trace_chrome_export_reports_drops () =
+  Obs.reset ();
+  with_tracing (fun () ->
+      for i = 0 to 65536 + 9 do
+        Obs.Trace.task Obs.Trace.Queue i
+      done;
+      let s = Json.to_string (Obs.Trace.to_chrome_json ()) in
+      Alcotest.(check bool) "valid json" true (Json.is_valid s);
+      Alcotest.(check bool) "explicit drop count" true
+        (contains {|"task_events_dropped":10|} s))
 
 (* ---------------- Export & reset ---------------- *)
 
@@ -277,11 +503,21 @@ let () =
           Alcotest.test_case "non-finite" `Quick test_json_non_finite;
           Alcotest.test_case "validator" `Quick test_json_validator;
           Alcotest.test_case "roundtrip" `Quick test_json_roundtrip;
+          Alcotest.test_case "control chars" `Quick test_json_control_chars;
+          Alcotest.test_case "non-finite nested" `Quick test_json_non_finite_nested;
+        ] );
+      ( "labels",
+        [
+          Alcotest.test_case "canonical" `Quick test_labels_canonical;
+          Alcotest.test_case "rejected" `Quick test_labels_rejected;
         ] );
       ( "counter",
         [
           Alcotest.test_case "basic" `Quick test_counter_basic;
           Alcotest.test_case "reset keeps handle" `Quick test_counter_reset_keeps_handle;
+          Alcotest.test_case "labeled identity" `Quick test_labeled_counter_identity;
+          Alcotest.test_case "labeled export deterministic" `Quick
+            test_labeled_export_deterministic;
         ] );
       ( "histogram",
         [
@@ -290,6 +526,7 @@ let () =
           Alcotest.test_case "rejects bad samples" `Quick
             test_histogram_rejects_bad_samples;
           Alcotest.test_case "zero samples" `Quick test_histogram_zero_and_negative;
+          Alcotest.test_case "labeled" `Quick test_labeled_histogram;
         ] );
       ( "span",
         [
@@ -299,6 +536,16 @@ let () =
           Alcotest.test_case "feeds histogram" `Quick test_span_feeds_histogram;
           Alcotest.test_case "sim clock" `Quick test_span_sim_clock;
           Alcotest.test_case "substring match" `Quick test_spans_matching_substring;
+          Alcotest.test_case "args" `Quick test_span_args;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "disabled no-op" `Quick test_trace_disabled_noop;
+          Alcotest.test_case "lifecycle" `Quick test_trace_lifecycle;
+          Alcotest.test_case "ring overflow" `Quick test_trace_ring_overflow;
+          Alcotest.test_case "chrome export" `Quick test_trace_chrome_export;
+          Alcotest.test_case "chrome export reports drops" `Quick
+            test_trace_chrome_export_reports_drops;
         ] );
       ( "export",
         [

@@ -215,6 +215,76 @@ let test_availability_acceptance () =
   Alcotest.(check bool) "fault-free tput at least the faulted rate" true
     (r.Sysim.fault_free_throughput_per_s >= r.Sysim.throughput_per_s *. 0.9)
 
+(* ---------------- lifecycle tracing & labeled metrics ---------------- *)
+
+module Obs = Mlv_obs.Obs
+
+let test_trace_closed_accounting () =
+  (* a faulted run with tracing on: every lifecycle count must close
+     against the run's own accounting, crash-requeue path included *)
+  let base = run Runtime.greedy 7 in
+  let plan =
+    Fault_plan.make
+      [
+        { Fault_plan.at = 0.3 *. base.Sysim.makespan_us; action = Fault_plan.Crash 1 };
+        { Fault_plan.at = 0.6 *. base.Sysim.makespan_us; action = Fault_plan.Restore 1 };
+      ]
+  in
+  let cfg = Sysim.default_config ~policy:Runtime.greedy ~composition:Genset.table1.(7) in
+  Obs.reset ();
+  Fun.protect
+    ~finally:(fun () -> Obs.Trace.set_enabled false)
+    (fun () ->
+      Obs.Trace.set_enabled true;
+      let r =
+        Sysim.run ~registry:(Lazy.force registry)
+          { cfg with Sysim.tasks = 40; faults = Some (Sysim.default_faults plan) }
+      in
+      Alcotest.(check int) "arrive events = tasks" 40
+        (Obs.Trace.count Obs.Trace.Arrive);
+      Alcotest.(check int) "queue events = tasks" 40
+        (Obs.Trace.count Obs.Trace.Queue);
+      Alcotest.(check int) "complete events = completed" r.Sysim.completed
+        (Obs.Trace.count Obs.Trace.Complete);
+      Alcotest.(check int) "reject events = rejected" r.Sysim.rejected
+        (Obs.Trace.count Obs.Trace.Reject);
+      Alcotest.(check int) "retry events = retried" r.Sysim.retried
+        (Obs.Trace.count Obs.Trace.Retry);
+      Alcotest.(check bool) "crash interrupted in-flight work" true
+        (Obs.Trace.count Obs.Trace.Crash_interrupt > 0);
+      Alcotest.(check int) "deploy events = service events"
+        (Obs.Trace.count Obs.Trace.Deploy)
+        (Obs.Trace.count Obs.Trace.Service);
+      Alcotest.(check int) "fault marks on the timeline" 2
+        (Obs.Trace.count Obs.Trace.Mark);
+      Alcotest.(check int) "run accounting closes" 40
+        (r.Sysim.completed + r.Sysim.rejected + r.Sysim.lost))
+
+let test_labeled_metrics_deterministic () =
+  (* two identical runs must produce byte-identical sysim counter and
+     histogram series (names, labels, values) — sim-clock-derived
+     metrics cannot depend on wall time *)
+  let snapshot () =
+    Obs.reset ();
+    ignore (run Runtime.greedy 7);
+    let prefixed n = String.length n >= 6 && String.sub n 0 6 = "sysim." in
+    let counters = List.filter (fun (n, _) -> prefixed n) (Obs.counters ()) in
+    let hists =
+      Obs.histograms ()
+      |> List.filter (fun (n, _) -> prefixed n)
+      |> List.map (fun (n, h) -> (n, (Obs.Histogram.count h, Obs.Histogram.sum h)))
+    in
+    (counters, hists)
+  in
+  let ca, ha = snapshot () in
+  let cb, hb = snapshot () in
+  Alcotest.(check (list (pair string int))) "counter series identical" ca cb;
+  Alcotest.(check (list (pair string (pair int (float 1e-6)))))
+    "histogram series identical" ha hb;
+  Alcotest.(check bool) "labeled series present" true
+    (List.exists (fun (n, _) -> String.contains n '{') ca
+    && List.exists (fun (n, _) -> String.contains n '{') ha)
+
 let test_wait_reasonable () =
   let r = run ~tasks:20 Runtime.greedy 0 in
   (* an all-S set at this arrival rate should barely queue *)
@@ -252,5 +322,11 @@ let () =
             test_late_crash_does_not_perturb;
           Alcotest.test_case "availability acceptance" `Quick
             test_availability_acceptance;
+        ] );
+      ( "tracing",
+        [
+          Alcotest.test_case "closed accounting" `Quick test_trace_closed_accounting;
+          Alcotest.test_case "labeled metrics deterministic" `Quick
+            test_labeled_metrics_deterministic;
         ] );
     ]
