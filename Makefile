@@ -1,7 +1,8 @@
 # Convenience entry points; everything is plain dune underneath.
 
 .PHONY: all build check fmt test bench bench-place bench-place-smoke \
-	bench-faults bench-faults-smoke bench-trace bench-trace-smoke clean
+	bench-faults bench-faults-smoke bench-trace bench-trace-smoke \
+	bench-sched bench-sched-smoke clean
 
 all: build
 
@@ -25,8 +26,11 @@ test:
 # without the cost of the full 1k-node run; bench-faults-smoke asserts
 # zero lost tasks under a single-crash fault plan; bench-trace-smoke
 # asserts the lifecycle-trace export is valid JSON whose event counts
-# close against the run's own accounting.
-check: build fmt test bench-place-smoke bench-faults-smoke bench-trace-smoke
+# close against the run's own accounting; bench-sched-smoke asserts the
+# autoscaled serving loop never regresses the static p99 and that every
+# request is accounted for.
+check: build fmt test bench-place-smoke bench-faults-smoke bench-trace-smoke \
+	bench-sched-smoke
 
 # Regenerates every table/figure and leaves BENCH_obs.json (the
 # observability registry of the run) next to the console output.
@@ -66,6 +70,17 @@ bench-trace:
 # accounting (arrive/complete/reject/retry deltas match the run).
 bench-trace-smoke:
 	dune exec bench/main.exe -- trace-smoke
+
+# Elastic serving comparison on a bursty trace: static provisioning vs
+# the closed autoscaler loop; writes BENCH_sched.json (p99 sojourn,
+# goodput, sheds and scaling activity per mode).
+bench-sched:
+	dune exec bench/main.exe -- sched
+
+# Fast variant for `make check`: accounting closes, the run is
+# deterministic, and the autoscaled p99 does not exceed the static p99.
+bench-sched-smoke:
+	dune exec bench/main.exe -- sched-smoke
 
 clean:
 	dune clean

@@ -9,6 +9,51 @@ module Runtime = Mlv_core.Runtime
 module Genset = Mlv_workload.Genset
 module Sysim = Mlv_sysim.Sysim
 module Fault_plan = Mlv_cluster.Fault_plan
+module Slo = Mlv_sched.Slo
+module Batcher = Mlv_sched.Batcher
+module Autoscaler = Mlv_sched.Autoscaler
+
+(* --burst ON:OFF:ON_IA:OFF_IA, all microseconds *)
+let burst_of_string s =
+  match String.split_on_char ':' s |> List.map float_of_string_opt with
+  | [ Some on_us; Some off_us; Some on_mean_us; Some off_mean_us ]
+    when on_us > 0.0 && off_us > 0.0 && on_mean_us > 0.0 && off_mean_us > 0.0 ->
+    Ok (Genset.Bursty { on_us; off_us; on_mean_us; off_mean_us })
+  | _ -> Error "expected ON_US:OFF_US:ON_MEAN_US:OFF_MEAN_US, all positive"
+
+(* --batch N[:LINGER_US] *)
+let batch_of_string s =
+  match String.split_on_char ':' s with
+  | [ n ] -> (
+    match int_of_string_opt n with
+    | Some max_batch when max_batch > 0 -> Ok (Batcher.config ~max_batch ())
+    | _ -> Error "expected N[:LINGER_US] with N > 0")
+  | [ n; linger ] -> (
+    match (int_of_string_opt n, float_of_string_opt linger) with
+    | Some max_batch, Some max_linger_us when max_batch > 0 ->
+      Ok (Batcher.config ~max_batch ~max_linger_us ())
+    | _ -> Error "expected N[:LINGER_US] with N > 0")
+  | _ -> Error "expected N[:LINGER_US]"
+
+(* --slo DEADLINE_US:RATE_PER_S:BURST, applied to every model class
+   with priority by size (small models shed last) *)
+let slo_of_string s =
+  match String.split_on_char ':' s with
+  | [ deadline; rate; burst ] -> (
+    match
+      (float_of_string_opt deadline, float_of_string_opt rate, int_of_string_opt burst)
+    with
+    | Some deadline_us, Some rate_per_s, Some burst -> (
+      try
+        Ok
+          (List.mapi
+             (fun i name ->
+               Slo.class_spec ~priority:(2 - i) ~deadline_us ~rate_per_s ~burst
+                 name)
+             [ "S"; "M"; "L" ])
+      with Invalid_argument e -> Error e)
+    | _ -> Error "expected DEADLINE_US:RATE_PER_S:BURST")
+  | _ -> Error "expected DEADLINE_US:RATE_PER_S:BURST"
 
 let policy_of_string = function
   | "greedy" -> Ok Runtime.greedy
@@ -22,7 +67,7 @@ let policy_conv =
     ( (fun s -> policy_of_string s),
       fun fmt p -> Format.pp_print_string fmt p.Runtime.policy_name )
 
-let report ?faults set composition policy tasks seed (r : Sysim.result) =
+let report ?faults ?serving set composition policy tasks seed (r : Sysim.result) =
   Printf.printf "workload set %d (%s), policy %s, %d tasks, seed %d\n" set
     (Genset.composition_name composition)
     policy.Runtime.policy_name tasks seed;
@@ -40,6 +85,21 @@ let report ?faults set composition policy tasks seed (r : Sysim.result) =
     Printf.printf "  lost:            %d\n" r.Sysim.lost;
     Printf.printf "  downtime:        %.1f ms\n" (r.Sysim.fault_downtime_us /. 1000.0);
     Printf.printf "  fault-free tput: %.2f tasks/s\n" r.Sysim.fault_free_throughput_per_s);
+  (match serving with
+  | None -> ()
+  | Some (s : Sysim.serving) ->
+    Printf.printf "  serving:         batch<=%d linger=%.0fus autoscale=%s\n"
+      s.Sysim.batch.Batcher.max_batch s.Sysim.batch.Batcher.max_linger_us
+      (if s.Sysim.autoscale = None then "off" else "on");
+    Printf.printf "  shed:            %d\n" r.Sysim.shed;
+    Printf.printf "  rejected:        %d\n" r.Sysim.rejected;
+    Printf.printf "  batches:         %d\n" r.Sysim.batches;
+    Printf.printf "  scale up/down:   %d/%d\n" r.Sysim.scale_ups r.Sysim.scale_downs;
+    Printf.printf "  goodput:         %.2f tasks/s\n" r.Sysim.goodput_per_s;
+    Printf.printf "  p50/p95/p99:     %.1f / %.1f / %.1f ms\n"
+      (r.Sysim.p50_latency_us /. 1000.0)
+      (r.Sysim.p95_latency_us /. 1000.0)
+      (r.Sysim.p99_latency_us /. 1000.0));
   Printf.printf "  mean latency:    %.1f ms\n" (r.Sysim.mean_latency_us /. 1000.0);
   Printf.printf "  mean wait:       %.1f ms\n" (r.Sysim.mean_wait_us /. 1000.0);
   Printf.printf "  mean service:    %.1f ms\n" (r.Sysim.mean_service_us /. 1000.0);
@@ -51,23 +111,64 @@ let report ?faults set composition policy tasks seed (r : Sysim.result) =
   | None -> ())
 
 let run set policy tasks seed interarrival repeats compare fault_plan max_retries
-    metrics_out trace_out =
-  let faults =
-    match fault_plan with
-    | None -> Ok None
-    | Some s -> (
-      match Fault_plan.of_string s with
-      | Ok plan -> Ok (Some { Sysim.plan; max_retries })
-      | Error e -> Error e)
+    burst batch autoscale slo metrics_out trace_out =
+  let ( let* ) r f = Result.bind r f in
+  let parsed =
+    let* faults =
+      match fault_plan with
+      | None -> Ok None
+      | Some s -> (
+        match Fault_plan.of_string s with
+        | Ok plan -> Ok (Some { Sysim.plan; max_retries })
+        | Error e -> Error ("bad --fault-plan: " ^ e))
+    in
+    let* arrival =
+      match burst with
+      | None -> Ok None
+      | Some s -> (
+        match burst_of_string s with
+        | Ok a -> Ok (Some a)
+        | Error e -> Error ("bad --burst: " ^ e))
+    in
+    let* batch =
+      match batch with
+      | None -> Ok None
+      | Some s -> (
+        match batch_of_string s with
+        | Ok b -> Ok (Some b)
+        | Error e -> Error ("bad --batch: " ^ e))
+    in
+    let* classes =
+      match slo with
+      | None -> Ok None
+      | Some s -> (
+        match slo_of_string s with
+        | Ok cs -> Ok (Some cs)
+        | Error e -> Error ("bad --slo: " ^ e))
+    in
+    (* any serving knob switches the engine to closed-loop mode *)
+    let serving =
+      if batch = None && classes = None && not autoscale then None
+      else
+        Some
+          {
+            Sysim.classes = Option.value classes ~default:[];
+            batch = Option.value batch ~default:(Batcher.config ());
+            autoscale = (if autoscale then Some Autoscaler.default else None);
+          }
+    in
+    if serving <> None && faults <> None then
+      Error "serving flags (--batch/--slo/--autoscale) do not compose with --fault-plan"
+    else Ok (faults, arrival, serving)
   in
-  match faults with
+  match parsed with
   | Error e ->
-    Printf.eprintf "bad --fault-plan: %s\n" e;
+    prerr_endline e;
     1
   | Ok _ when set < 1 || set > 10 ->
     prerr_endline "workload set must be 1..10";
     1
-  | Ok faults ->
+  | Ok (faults, arrival, serving) ->
     if trace_out <> None then Mlv_obs.Obs.Trace.set_enabled true;
     Printf.printf "building the mapping database (10 accelerator instances)...\n%!";
     let registry = Sysim.build_registry () in
@@ -78,12 +179,15 @@ let run set policy tasks seed interarrival repeats compare fault_plan max_retrie
           (Sysim.default_config ~policy ~composition) with
           Sysim.tasks;
           mean_interarrival_us = interarrival;
+          arrival;
           seed;
           repeats_per_task = repeats;
           faults;
+          serving;
         }
       in
-      report ?faults set composition policy tasks seed (Sysim.run ~registry cfg)
+      report ?faults ?serving set composition policy tasks seed
+        (Sysim.run ~registry cfg)
     in
     if compare then
       List.iter run_one [ Runtime.baseline; Runtime.restricted; Runtime.greedy ]
@@ -161,6 +265,46 @@ let max_retries_arg =
     & info [ "max-retries" ] ~docv:"N"
         ~doc:"Crash interruptions a task survives before rejection")
 
+let burst_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "burst" ] ~docv:"SPEC"
+        ~doc:
+          "Replace the exponential arrival stream with a two-rate bursty \
+           cycle ON_US:OFF_US:ON_MEAN_US:OFF_MEAN_US (e.g. \
+           '2000:8000:50:2000' — 2 ms bursts at 50 µs mean spacing, then \
+           8 ms of 2 ms spacing)")
+
+let batch_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "batch" ] ~docv:"N[:LINGER_US]"
+        ~doc:
+          "Enable closed-loop serving with dynamic batching: coalesce up \
+           to $(docv) same-instance requests, flushing a partial batch \
+           after LINGER_US microseconds (default 300)")
+
+let autoscale_arg =
+  Arg.(
+    value & flag
+    & info [ "autoscale" ]
+        ~doc:
+          "Enable closed-loop serving with the hysteresis autoscaler \
+           (scale replica groups from queue depth and observed p99 \
+           sojourn)")
+
+let slo_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "slo" ] ~docv:"DEADLINE_US:RATE_PER_S:BURST"
+        ~doc:
+          "Enable closed-loop serving with an SLO admission gate: every \
+           model class gets this deadline and token bucket, with \
+           priority by size (small models shed last)")
+
 let metrics_out_arg =
   Arg.(
     value
@@ -189,6 +333,7 @@ let () =
     Term.(
       const run $ set_arg $ policy_arg $ tasks_arg $ seed_arg $ interarrival_arg
       $ repeats_arg $ compare_arg $ fault_plan_arg $ max_retries_arg
+      $ burst_arg $ batch_arg $ autoscale_arg $ slo_arg
       $ metrics_out_arg $ trace_out_arg)
   in
   exit (Cmd.eval' (Cmd.v info term))

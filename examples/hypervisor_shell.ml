@@ -66,6 +66,39 @@ let () =
       "inject restore@500:1";
       "undeploy 6";
       "undeploy 7";
+      (* serving layer: an SLO admission gate, request routing over
+         warm replicas, and an offline autoscaler evaluation *)
+      "slo add S 2 5000 1000 4";
+      "slo add L 0 20000 500 2";
+      "slo";
+      "slo check S";
+      "slo check S";
+      "slo check unknown-class";
+      "slo shed 1";
+      "slo check L";
+      "slo shed off";
+      "deploy npu-t6";
+      "deploy npu-t6";
+      "router";
+      "router dispatch npu-t6";
+      "router dispatch npu-t6";
+      "router dispatch npu-t6";
+      "router";
+      "autoscale eval npu-t6";
+      "autoscale on";
+      "autoscale eval npu-t6";
+      "router done 8";
+      "router done 9";
+      "router done 8";
+      "autoscale eval npu-t6";
+      "autoscale";
+      "autoscale off";
+      (* force-migrate consolidates a healthy deployment (moved=0
+         when it is already optimally placed) *)
+      "migrate 8 force";
+      "undeploy 8";
+      "undeploy 9";
+      "undeploy 10";
       (* the observability registry accumulated by the session *)
       "metrics";
       "trace deploy";

@@ -3,23 +3,53 @@ module Cluster = Mlv_cluster.Cluster
 module Network = Mlv_cluster.Network
 module Sim = Mlv_cluster.Sim
 module Fault_plan = Mlv_cluster.Fault_plan
+module Slo = Mlv_sched.Slo
+module Router = Mlv_sched.Router
+module Autoscaler = Mlv_sched.Autoscaler
 
 type t = {
   runtime : Runtime.t;
   table : (int, Runtime.deployment) Hashtbl.t;
   mutable next_id : int;
+  (* Serving-layer state: deployments double as router replicas
+     (keyed by accel, weighted by tile count); the gate and the
+     autoscaler evaluation share the cluster's sim clock. *)
+  router : Router.t;
+  mutable slo_specs : Slo.class_spec list;
+  mutable gate : Slo.t;
+  mutable autoscale : bool;
+  autoscale_cfg : Autoscaler.config;
 }
 
-let create runtime = { runtime; table = Hashtbl.create 16; next_id = 0 }
+let create runtime =
+  {
+    runtime;
+    table = Hashtbl.create 16;
+    next_id = 0;
+    router = Router.create ();
+    slo_specs = [];
+    gate = Slo.create [];
+    autoscale = false;
+    autoscale_cfg = Autoscaler.default;
+  }
 
 let live_handles t =
   Hashtbl.fold (fun id _ acc -> id :: acc) t.table [] |> List.sort compare
 
 let help =
   "ok commands: deploy <accel> | undeploy <id> | status | nodes | list | deployments | \
-   rebalance | fail <node> | restore <node> | migrate <id> | inject <plan> | faults | \
-   index | metrics [json] | trace <substring> | timeline [on|off] | top | \
-   counters reset | help"
+   rebalance | fail <node> | restore <node> | migrate <id> [force] | inject <plan> | \
+   faults | index | slo [add <class> <prio> <deadline_us> <rate/s> <burst> | \
+   check <class> | shed <prio|off>] | router [dispatch <accel> | done <id>] | \
+   autoscale [on|off | eval <accel>] | metrics [json] | trace <substring> | \
+   timeline [on|off] | top | counters reset | help"
+
+let now_us t = Sim.now (Runtime.cluster t.runtime).Cluster.sim
+
+let router_forget t id =
+  match Hashtbl.find_opt t.table id with
+  | Some d -> Router.remove_replica t.router ~key:d.Runtime.accel ~replica_id:id
+  | None -> ()
 
 let do_deploy t accel =
   match Runtime.deploy t.runtime ~accel with
@@ -28,6 +58,8 @@ let do_deploy t accel =
     let id = t.next_id in
     t.next_id <- t.next_id + 1;
     Hashtbl.replace t.table id d;
+    Router.add_replica t.router ~key:accel ~replica_id:id
+      ~weight:(float_of_int (max 1 (Runtime.tiles_deployed d)));
     let nodes =
       String.concat "," (List.map string_of_int (Runtime.nodes_used d))
     in
@@ -47,6 +79,7 @@ let do_undeploy t id_str =
     match Hashtbl.find_opt t.table id with
     | None -> Printf.sprintf "error unknown deployment %d" id
     | Some d ->
+      router_forget t id;
       Runtime.undeploy t.runtime d;
       Hashtbl.remove t.table id;
       "ok")
@@ -174,21 +207,164 @@ let apply_fail t n =
       (fun id d acc -> if List.memq d f.Runtime.lost then id :: acc else acc)
       t.table []
   in
-  List.iter (Hashtbl.remove t.table) lost_ids;
+  List.iter
+    (fun id ->
+      router_forget t id;
+      Hashtbl.remove t.table id)
+    lost_ids;
   (f.Runtime.recovered, List.length f.Runtime.lost)
 
-let do_migrate t id_str =
+let do_migrate t ?(force = false) id_str =
   match int_of_string_opt id_str with
   | None -> Printf.sprintf "error bad deployment id %S" id_str
   | Some id -> (
     match Hashtbl.find_opt t.table id with
     | None -> Printf.sprintf "error unknown deployment %d" id
     | Some d -> (
-      match Runtime.migrate t.runtime d with
+      match Runtime.migrate ~force t.runtime d with
       | Ok moved ->
         Printf.sprintf "ok moved=%d nodes=%s" moved
           (String.concat "," (List.map string_of_int (Runtime.nodes_used d)))
       | Error e -> "error " ^ e))
+
+(* ------------------------------------------------------------------ *)
+(* Serving layer: admission gate, router, autoscaler evaluation        *)
+(* ------------------------------------------------------------------ *)
+
+let do_slo_show t =
+  let class_line (c : Slo.class_spec) =
+    Printf.sprintf "  %s prio=%d deadline=%.0fus rate=%.0f/s burst=%d \
+                    admitted=%d shed=%d"
+      c.Slo.class_name c.Slo.priority c.Slo.deadline_us c.Slo.rate_per_s
+      c.Slo.burst
+      (Slo.admitted_of t.gate c.Slo.class_name)
+      (Slo.shed_of t.gate c.Slo.class_name)
+  in
+  let shed_below =
+    if Slo.shed_below t.gate = min_int then "off"
+    else string_of_int (Slo.shed_below t.gate)
+  in
+  String.concat "\n"
+    (Printf.sprintf "ok classes=%d shed_below=%s admitted=%d shed=%d"
+       (List.length t.slo_specs) shed_below (Slo.admitted t.gate)
+       (Slo.shed t.gate)
+    :: List.map class_line (Slo.classes t.gate))
+
+(* Rebuilding the gate resets its buckets and counters — the shell
+   trades history for a mutable class list. *)
+let do_slo_add t name prio deadline rate burst =
+  match
+    ( int_of_string_opt prio,
+      float_of_string_opt deadline,
+      float_of_string_opt rate,
+      int_of_string_opt burst )
+  with
+  | Some priority, Some deadline_us, Some rate_per_s, Some burst -> (
+    try
+      let spec =
+        Slo.class_spec ~priority ~deadline_us ~rate_per_s ~burst name
+      in
+      let specs =
+        List.filter (fun (c : Slo.class_spec) -> c.Slo.class_name <> name)
+          t.slo_specs
+        @ [ spec ]
+      in
+      t.slo_specs <- specs;
+      t.gate <- Slo.create specs;
+      Printf.sprintf "ok classes=%d (gate rebuilt, counters reset)"
+        (List.length specs)
+    with Invalid_argument e -> "error " ^ e)
+  | _ -> "error usage: slo add <class> <prio> <deadline_us> <rate/s> <burst>"
+
+let do_slo_check t name =
+  let verdict =
+    match Slo.admit t.gate ~class_name:name ~now_us:(now_us t) with
+    | Slo.Admitted -> "admitted"
+    | Slo.Shed_rate -> "shed-rate"
+    | Slo.Shed_priority -> "shed-priority"
+  in
+  Printf.sprintf "ok class=%s verdict=%s now=%.1f" name verdict (now_us t)
+
+let do_router_show t =
+  let lines =
+    List.map
+      (fun key ->
+        let reps =
+          Router.replicas t.router ~key
+          |> List.map (fun id ->
+                 Printf.sprintf "%d:%d" id
+                   (Router.outstanding t.router ~key ~replica_id:id))
+        in
+        Printf.sprintf "  %s replicas=%s" key (String.concat "," reps))
+      (Router.keys t.router)
+  in
+  String.concat "\n"
+    (Printf.sprintf "ok groups=%d outstanding=%d dispatched=%d"
+       (List.length (Router.keys t.router))
+       (Router.total_outstanding t.router)
+       (Router.dispatched t.router)
+    :: lines)
+
+let do_router_dispatch t accel =
+  match Router.pick t.router ~key:accel with
+  | None -> Printf.sprintf "error no replicas for %S (deploy one first)" accel
+  | Some id ->
+    Router.begin_work t.router ~key:accel ~replica_id:id 1;
+    Printf.sprintf "ok id=%d outstanding=%d" id
+      (Router.outstanding t.router ~key:accel ~replica_id:id)
+
+let do_router_done t id_str =
+  match int_of_string_opt id_str with
+  | None -> Printf.sprintf "error bad deployment id %S" id_str
+  | Some id -> (
+    match Hashtbl.find_opt t.table id with
+    | None -> Printf.sprintf "error unknown deployment %d" id
+    | Some d ->
+      Router.end_work t.router ~key:d.Runtime.accel ~replica_id:id 1;
+      Printf.sprintf "ok id=%d outstanding=%d" id
+        (Router.outstanding t.router ~key:d.Runtime.accel ~replica_id:id))
+
+(* One offline control-loop step for a group: replicas are this
+   accel's deployments, backlog its outstanding routed requests, idle
+   its zero-outstanding replicas.  Reports the decision; actuation
+   stays with the operator ([deploy]/[undeploy]). *)
+let do_autoscale_eval t accel =
+  if not t.autoscale then "error autoscale is off (autoscale on)"
+  else begin
+    let replica_ids = Router.replicas t.router ~key:accel in
+    let replicas = List.length replica_ids in
+    let backlog =
+      List.fold_left
+        (fun acc id -> acc + Router.outstanding t.router ~key:accel ~replica_id:id)
+        0 replica_ids
+    in
+    let idle =
+      List.length
+        (List.filter
+           (fun id -> Router.outstanding t.router ~key:accel ~replica_id:id = 0)
+           replica_ids)
+    in
+    let tracker = Autoscaler.tracker ~name:("hyp." ^ accel) in
+    let decision =
+      Autoscaler.decide t.autoscale_cfg tracker ~now_us:(now_us t) ~backlog
+        ~replicas ~idle ~deadline_us:(Slo.min_deadline_us t.gate)
+    in
+    Printf.sprintf "ok accel=%s decision=%s backlog=%d replicas=%d idle=%d"
+      accel
+      (Autoscaler.decision_to_string decision)
+      backlog replicas idle
+  end
+
+let do_autoscale_show t =
+  let c = t.autoscale_cfg in
+  Printf.sprintf
+    "ok autoscale=%s interval=%.0fus high=%.1f low=%.1f cooldown=%.0fus \
+     idle_timeout=%.0fus replicas=%d..%d"
+    (if t.autoscale then "on" else "off")
+    c.Autoscaler.interval_us c.Autoscaler.high_backlog_per_replica
+    c.Autoscaler.low_backlog_per_replica c.Autoscaler.cooldown_us
+    c.Autoscaler.idle_timeout_us c.Autoscaler.min_replicas
+    c.Autoscaler.max_replicas
 
 (* Run a fault plan to completion on the cluster's simulator: crashes
    fail over (as the [fail] command does), restores return capacity,
@@ -262,6 +438,36 @@ let handle t line =
       | recovered, lost -> Printf.sprintf "ok recovered=%d lost=%d" recovered lost
       | exception Invalid_argument e -> "error " ^ e))
   | [ "migrate"; id ] -> do_migrate t id
+  | [ "migrate"; id; "force" ] -> do_migrate t ~force:true id
+  | [ "slo" ] -> do_slo_show t
+  | [ "slo"; "add"; name; prio; deadline; rate; burst ] ->
+    do_slo_add t name prio deadline rate burst
+  | [ "slo"; "check"; name ] -> do_slo_check t name
+  | [ "slo"; "shed"; "off" ] ->
+    Slo.set_shed_below t.gate min_int;
+    "ok shed_below=off"
+  | [ "slo"; "shed"; prio ] -> (
+    match int_of_string_opt prio with
+    | None -> Printf.sprintf "error bad priority %S" prio
+    | Some p ->
+      Slo.set_shed_below t.gate p;
+      Printf.sprintf "ok shed_below=%d" p)
+  | "slo" :: _ ->
+    "error usage: slo [add <class> <prio> <deadline_us> <rate/s> <burst> | \
+     check <class> | shed <prio|off>]"
+  | [ "router" ] -> do_router_show t
+  | [ "router"; "dispatch"; accel ] -> do_router_dispatch t accel
+  | [ "router"; "done"; id ] -> do_router_done t id
+  | "router" :: _ -> "error usage: router [dispatch <accel> | done <id>]"
+  | [ "autoscale" ] -> do_autoscale_show t
+  | [ "autoscale"; "on" ] ->
+    t.autoscale <- true;
+    "ok autoscale=on"
+  | [ "autoscale"; "off" ] ->
+    t.autoscale <- false;
+    "ok autoscale=off"
+  | [ "autoscale"; "eval"; accel ] -> do_autoscale_eval t accel
+  | "autoscale" :: _ -> "error usage: autoscale [on|off | eval <accel>]"
   | [ "inject"; plan ] -> do_inject t plan
   | "inject" :: _ -> "error usage: inject <plan> (e.g. crash@100:1,restore@500:1)"
   | [ "faults" ] -> do_faults t

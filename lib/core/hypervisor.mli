@@ -18,9 +18,41 @@
       rebalance             ->  ok moved=<n>
       fail <node>           ->  ok recovered=<n> lost=<m>
       restore <node>        ->  ok
-      migrate <id>          ->  ok moved=<n> nodes=<i,j>
+      migrate <id> [force]  ->  ok moved=<n> nodes=<i,j>
                                 re-place a degraded deployment off
-                                failed nodes (moved=0 when healthy)
+                                failed nodes (moved=0 when healthy);
+                                [force] consolidates a healthy
+                                multi-piece deployment too
+      slo                   ->  ok classes=<n> shed_below=<p|off>
+                                admitted=<n> shed=<m> followed by one
+                                line per admission class
+      slo add <class> <prio> <deadline_us> <rate/s> <burst>
+                            ->  ok classes=<n> (rebuilds the gate;
+                                counters reset)
+      slo check <class>     ->  ok class=<c> verdict=<admitted|
+                                shed-rate|shed-priority> now=<t>
+                                spends one token when admitted
+      slo shed <prio|off>   ->  ok shed_below=<p|off>
+                                drop classes below this priority
+      router                ->  ok groups=<n> outstanding=<m>
+                                dispatched=<k> followed by per-accel
+                                replica lists (<id>:<outstanding>)
+      router dispatch <accel>
+                            ->  ok id=<n> outstanding=<m>
+                                route one request to the least-loaded
+                                replica (weighted by tile count)
+      router done <id>      ->  ok id=<n> outstanding=<m>
+                                retire one outstanding request
+      autoscale             ->  ok autoscale=<on|off> followed by the
+                                control-loop configuration
+      autoscale on|off      ->  ok autoscale=<on|off>
+      autoscale eval <accel>
+                            ->  ok accel=<a> decision=<scale-up|
+                                scale-down|hold> backlog=<b>
+                                replicas=<r> idle=<i>
+                                one offline control-loop step over the
+                                live router state; actuation is left
+                                to the operator (deploy/undeploy)
       inject <plan>         ->  ok events=<n> recovered=<r> lost=<l> now=<t>
                                 run a Fault_plan (crash@t:n,restore@t:n,
                                 degrade@t:us) to completion on the

@@ -391,9 +391,9 @@ let degraded (t : t) = List.filter (fun d -> deployment_health t d <> []) t.live
    normal mapping-database search, which no longer considers failed
    nodes.  On failure the original placements are reloaded — the
    deployment stays live but degraded. *)
-let migrate_untraced (t : t) d =
+let migrate_untraced ?(force = false) (t : t) d =
   if not (List.memq d t.live) then Error "Runtime.migrate: deployment is not live"
-  else if deployment_health t d = [] then Ok 0
+  else if deployment_health t d = [] && not force then Ok 0
   else begin
     let original = d.placements in
     List.iter (unload_placement t) original;
@@ -410,10 +410,10 @@ let migrate_untraced (t : t) d =
       Error e
   end
 
-let migrate t d =
+let migrate ?(force = false) t d =
   Obs.Span.with_span "migrate" (fun span ->
       Obs.Span.add_arg span "deployment" (string_of_int d.id);
-      match migrate_untraced t d with
+      match migrate_untraced ~force t d with
       | Ok _ as ok ->
         Obs.Counter.incr (Obs.Counter.get "runtime.migrate.ok");
         ok

@@ -156,8 +156,13 @@ val degraded : t -> deployment list
     returning the new placement count ([Ok 0] when [d] was already
     healthy — nothing moves).  On [Error] the original placements are
     restored and the deployment stays live (and degraded).  The
-    deployment value remains a valid handle either way. *)
-val migrate : t -> deployment -> (int, string) result
+    deployment value remains a valid handle either way.
+
+    [~force:true] re-places even a healthy deployment — the serving
+    layer's consolidation path, which migrates idle replicas into
+    denser packings when load drops.  The rollback guarantee is
+    identical. *)
+val migrate : ?force:bool -> t -> deployment -> (int, string) result
 
 (** [rebalance t] repacks every live deployment (paper §2.3 closes
     with runtime-policy exploration as future work; this implements

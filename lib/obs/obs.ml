@@ -332,6 +332,11 @@ module Histogram = struct
     let labels = Labels.make kvs in
     get_full ~base:name ~labels (name ^ Labels.render labels)
 
+  let detached ?(name = "detached") () =
+    { hname = name; hbase = name; hlabels = [];
+      buckets = Hashtbl.create 32; zero_count = 0;
+      acc = Stats.Acc.create () }
+
   let observe t v =
     if Float.is_nan v || Float.abs v = infinity then
       invalid_arg "Obs.Histogram.observe: sample must be finite";

@@ -94,6 +94,12 @@ module Histogram : sig
       see {!Counter.get_labeled}. *)
   val get_labeled : string -> (string * string) list -> t
 
+  (** [detached ()] is a private histogram outside the process-wide
+      registry: invisible to [dump]/[snapshot], untouched by {!reset},
+      and never shared between callers.  Control loops use these so
+      their decisions depend only on samples from their own run. *)
+  val detached : ?name:string -> unit -> t
+
   (** [observe t v] records a sample.
       @raise Invalid_argument on NaN or infinite samples. *)
   val observe : t -> float -> unit

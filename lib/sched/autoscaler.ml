@@ -1,0 +1,93 @@
+module Obs = Mlv_obs.Obs
+
+type config = {
+  interval_us : float;
+  high_backlog_per_replica : float;
+  low_backlog_per_replica : float;
+  cooldown_us : float;
+  idle_timeout_us : float;
+  min_replicas : int;
+  max_replicas : int;
+}
+
+let default =
+  {
+    interval_us = 1_000.0;
+    high_backlog_per_replica = 3.0;
+    low_backlog_per_replica = 0.5;
+    cooldown_us = 2_000.0;
+    idle_timeout_us = 2_000.0;
+    min_replicas = 0;
+    max_replicas = 8;
+  }
+
+let config ?(interval_us = default.interval_us)
+    ?(high_backlog_per_replica = default.high_backlog_per_replica)
+    ?(low_backlog_per_replica = default.low_backlog_per_replica)
+    ?(cooldown_us = default.cooldown_us)
+    ?(idle_timeout_us = default.idle_timeout_us)
+    ?(min_replicas = default.min_replicas)
+    ?(max_replicas = default.max_replicas) () =
+  if interval_us <= 0.0 then invalid_arg "Autoscaler.config: non-positive interval";
+  if low_backlog_per_replica > high_backlog_per_replica then
+    invalid_arg "Autoscaler.config: low watermark above high watermark";
+  if cooldown_us < 0.0 || idle_timeout_us < 0.0 then
+    invalid_arg "Autoscaler.config: negative cooldown or idle timeout";
+  if min_replicas < 0 || max_replicas < Stdlib.max 1 min_replicas then
+    invalid_arg "Autoscaler.config: bad replica bounds";
+  {
+    interval_us;
+    high_backlog_per_replica;
+    low_backlog_per_replica;
+    cooldown_us;
+    idle_timeout_us;
+    min_replicas;
+    max_replicas;
+  }
+
+type decision = Scale_up | Scale_down | Hold
+
+let decision_to_string = function
+  | Scale_up -> "scale-up"
+  | Scale_down -> "scale-down"
+  | Hold -> "hold"
+
+type tracker = {
+  sojourns : Obs.Histogram.t;  (* detached: this run's samples only *)
+  mutable last_scale_us : float;
+}
+
+let tracker ~name =
+  { sojourns = Obs.Histogram.detached ~name (); last_scale_us = neg_infinity }
+
+let observe_sojourn tr us = Obs.Histogram.observe tr.sojourns us
+let p99_sojourn_us tr = Obs.Histogram.percentile tr.sojourns 99.0
+let sojourn_count tr = Obs.Histogram.count tr.sojourns
+let mark_scaled tr ~now_us = tr.last_scale_us <- now_us
+
+let decide cfg tr ~now_us ~backlog ~replicas ~idle ~deadline_us =
+  if replicas = 0 && backlog > 0 then
+    (* Bootstrap: with no capacity at all, waiting out a cooldown
+       only delays the inevitable first replica. *)
+    if replicas < cfg.max_replicas then Scale_up else Hold
+  else if now_us -. tr.last_scale_us < cfg.cooldown_us then Hold
+  else begin
+    let per_replica =
+      if replicas = 0 then 0.0
+      else float_of_int backlog /. float_of_int replicas
+    in
+    let p99_breach =
+      deadline_us > 0.0
+      && sojourn_count tr > 0
+      && p99_sojourn_us tr > deadline_us
+    in
+    if
+      replicas < cfg.max_replicas
+      && (per_replica > cfg.high_backlog_per_replica || p99_breach)
+    then Scale_up
+    else if
+      replicas > cfg.min_replicas && idle > 0
+      && per_replica <= cfg.low_backlog_per_replica
+    then Scale_down
+    else Hold
+  end

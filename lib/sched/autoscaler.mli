@@ -1,0 +1,92 @@
+(** Scale-out-driven autoscaler for the elastic serving layer.
+
+    A control loop samples each deployment group on the simulation
+    clock and decides between three actions:
+
+    - [Scale_up] when backlog per replica exceeds the high watermark,
+      or the observed p99 sojourn breaches the group's deadline, and
+      the replica count is below [max_replicas];
+    - [Scale_down] when backlog per replica has fallen to the low
+      watermark, at least one replica has sat idle for
+      [idle_timeout_us], and the count is above [min_replicas];
+    - [Hold] otherwise, and always during the post-actuation
+      [cooldown_us] window (hysteresis: a fresh replica must absorb
+      load before the loop reacts again).
+
+    The p99 signal comes from a {!tracker} wrapping a detached
+    observability histogram ({!Mlv_obs.Obs.Histogram.detached}), so
+    decisions depend only on sojourns observed in the tracker's own
+    run — never on state leaked through the global registry.
+
+    Bootstrap exception: a group with zero replicas and positive
+    backlog scales up regardless of cooldown, otherwise the first
+    request of a burst could wait out a full cooldown with no capacity
+    at all. *)
+
+type config = {
+  interval_us : float;  (** control-loop sampling period *)
+  high_backlog_per_replica : float;  (** scale-up watermark *)
+  low_backlog_per_replica : float;  (** scale-down watermark *)
+  cooldown_us : float;  (** hold-off after any actuation *)
+  idle_timeout_us : float;  (** replica idle time before reclaim *)
+  min_replicas : int;
+  max_replicas : int;
+}
+
+(** Defaults: 1 ms interval, watermarks 3.0 / 0.5, 2 ms cooldown, 2 ms
+    idle timeout, 0..8 replicas. *)
+val default : config
+
+(** [config ()] is {!default} with overrides.
+    @raise Invalid_argument on a non-positive interval, inverted
+    watermarks ([low > high]), negative cooldown/idle timeout, or
+    [min_replicas < 0 || max_replicas < max 1 min_replicas]. *)
+val config :
+  ?interval_us:float ->
+  ?high_backlog_per_replica:float ->
+  ?low_backlog_per_replica:float ->
+  ?cooldown_us:float ->
+  ?idle_timeout_us:float ->
+  ?min_replicas:int ->
+  ?max_replicas:int ->
+  unit ->
+  config
+
+type decision = Scale_up | Scale_down | Hold
+
+val decision_to_string : decision -> string
+
+(** Per-group controller state: the sojourn histogram feeding the p99
+    signal plus the time of the last actuation. *)
+type tracker
+
+val tracker : name:string -> tracker
+
+(** [observe_sojourn tr us] feeds one completed request's sojourn. *)
+val observe_sojourn : tracker -> float -> unit
+
+(** [p99_sojourn_us tr] is the current p99 estimate (0 when no samples
+    yet). *)
+val p99_sojourn_us : tracker -> float
+
+val sojourn_count : tracker -> int
+
+(** [mark_scaled tr ~now_us] starts the cooldown window; call after
+    actually actuating a decision. *)
+val mark_scaled : tracker -> now_us:float -> unit
+
+(** [decide cfg tr ~now_us ~backlog ~replicas ~idle ~deadline_us]
+    evaluates one control step.  [backlog] counts queued requests for
+    the group (batcher pending plus undispatched batches), [replicas]
+    its current replica count, [idle] how many replicas have been idle
+    for at least [idle_timeout_us], and [deadline_us] the SLO deadline
+    driving the p99 trigger (0 disables it). *)
+val decide :
+  config ->
+  tracker ->
+  now_us:float ->
+  backlog:int ->
+  replicas:int ->
+  idle:int ->
+  deadline_us:float ->
+  decision

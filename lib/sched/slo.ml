@@ -1,0 +1,100 @@
+type class_spec = {
+  class_name : string;
+  priority : int;
+  deadline_us : float;
+  rate_per_s : float;
+  burst : int;
+}
+
+let class_spec ?(priority = 0) ?(deadline_us = 50_000.0) ?(rate_per_s = 1000.0)
+    ?(burst = 32) name =
+  if rate_per_s <= 0.0 then invalid_arg "Slo.class_spec: rate must be positive";
+  if burst <= 0 then invalid_arg "Slo.class_spec: burst must be positive";
+  if deadline_us <= 0.0 then invalid_arg "Slo.class_spec: deadline must be positive";
+  { class_name = name; priority; deadline_us; rate_per_s; burst }
+
+type bucket = {
+  spec : class_spec;
+  mutable tokens : float;
+  mutable refilled_us : float;
+  mutable b_admitted : int;
+  mutable b_shed : int;
+}
+
+type t = {
+  buckets : (string * bucket) list;  (* declaration order *)
+  mutable threshold : int;  (* shed classes with priority < threshold *)
+  mutable t_admitted : int;
+  mutable t_shed : int;
+}
+
+let create specs =
+  let buckets =
+    List.map
+      (fun spec ->
+        ( spec.class_name,
+          {
+            spec;
+            tokens = float_of_int spec.burst;
+            refilled_us = 0.0;
+            b_admitted = 0;
+            b_shed = 0;
+          } ))
+      specs
+  in
+  let names = List.map fst buckets in
+  if List.length (List.sort_uniq compare names) <> List.length names then
+    invalid_arg "Slo.create: duplicate class names";
+  { buckets; threshold = min_int; t_admitted = 0; t_shed = 0 }
+
+let classes t = List.map (fun (_, b) -> b.spec) t.buckets
+let find t name = List.assoc_opt name t.buckets |> Option.map (fun b -> b.spec)
+
+let min_deadline_us t =
+  List.fold_left
+    (fun acc (_, b) ->
+      if acc = 0.0 then b.spec.deadline_us else Float.min acc b.spec.deadline_us)
+    0.0 t.buckets
+
+type verdict = Admitted | Shed_rate | Shed_priority
+
+let refill b ~now_us =
+  let dt = Float.max 0.0 (now_us -. b.refilled_us) in
+  b.tokens <-
+    Float.min (float_of_int b.spec.burst) (b.tokens +. (dt /. 1e6 *. b.spec.rate_per_s));
+  b.refilled_us <- Float.max b.refilled_us now_us
+
+let admit t ~class_name ~now_us =
+  match List.assoc_opt class_name t.buckets with
+  | None ->
+    t.t_admitted <- t.t_admitted + 1;
+    Admitted
+  | Some b ->
+    refill b ~now_us;
+    if b.spec.priority < t.threshold then begin
+      b.b_shed <- b.b_shed + 1;
+      t.t_shed <- t.t_shed + 1;
+      Shed_priority
+    end
+    else if b.tokens >= 1.0 then begin
+      b.tokens <- b.tokens -. 1.0;
+      b.b_admitted <- b.b_admitted + 1;
+      t.t_admitted <- t.t_admitted + 1;
+      Admitted
+    end
+    else begin
+      b.b_shed <- b.b_shed + 1;
+      t.t_shed <- t.t_shed + 1;
+      Shed_rate
+    end
+
+let set_shed_below t prio = t.threshold <- prio
+let shed_below t = t.threshold
+let admitted t = t.t_admitted
+let shed t = t.t_shed
+
+let admitted_of t name =
+  match List.assoc_opt name t.buckets with Some b -> b.b_admitted | None -> 0
+
+let shed_of t name =
+  match List.assoc_opt name t.buckets with Some b -> b.b_shed | None -> 0

@@ -1,0 +1,78 @@
+(** SLO-aware admission control for the elastic serving layer.
+
+    Each tenant request class carries a service-level objective (a
+    sojourn deadline and a priority) and a token bucket.  The gate
+    admits a request when its class has a token; otherwise the request
+    is {e shed at arrival} — rejected immediately instead of queueing
+    unboundedly and missing its deadline anyway.  Buckets refill
+    continuously on the caller's clock (the simulation clock in
+    [sysim]), so admission is deterministic given the arrival times.
+
+    When the autoscaler is capacity-bound (it wants another replica
+    and the cluster has none to give), it can raise the shed
+    threshold: classes {e below} the threshold priority are shed
+    outright until pressure clears, protecting higher-priority
+    traffic — the closed-loop counterpart of weighted fair queueing's
+    drop policy. *)
+
+type class_spec = {
+  class_name : string;
+  priority : int;  (** higher sheds later under capacity pressure *)
+  deadline_us : float;  (** sojourn SLO target; feeds goodput accounting *)
+  rate_per_s : float;  (** token refill rate *)
+  burst : int;  (** bucket capacity (initial tokens) *)
+}
+
+(** [class_spec name] with defaults: priority 0, 50 ms deadline,
+    1000 req/s, burst 32.
+    @raise Invalid_argument on a non-positive rate, burst or
+    deadline. *)
+val class_spec :
+  ?priority:int ->
+  ?deadline_us:float ->
+  ?rate_per_s:float ->
+  ?burst:int ->
+  string ->
+  class_spec
+
+type t
+
+(** [create specs] builds a gate.  An empty list admits everything
+    (but still counts).
+    @raise Invalid_argument on duplicate class names. *)
+val create : class_spec list -> t
+
+val classes : t -> class_spec list
+
+(** [find t name] is the spec of a known class. *)
+val find : t -> string -> class_spec option
+
+(** [min_deadline_us t] is the tightest configured deadline, or 0 when
+    no class is configured (no SLO). *)
+val min_deadline_us : t -> float
+
+type verdict =
+  | Admitted
+  | Shed_rate  (** class bucket empty *)
+  | Shed_priority  (** class priority below the shed threshold *)
+
+(** [admit t ~class_name ~now_us] refills the class bucket to [now_us]
+    and takes a token.  Unknown classes (and the empty gate) are
+    always admitted.  [now_us] must not go backwards between calls for
+    the same class. *)
+val admit : t -> class_name:string -> now_us:float -> verdict
+
+(** [set_shed_below t prio] sheds every class with [priority < prio]
+    regardless of tokens; [set_shed_below t min_int] (the initial
+    state) sheds none. *)
+val set_shed_below : t -> int -> unit
+
+val shed_below : t -> int
+
+(** Decision counters, total and per class (unknown classes count
+    under the totals only). *)
+val admitted : t -> int
+
+val shed : t -> int
+val admitted_of : t -> string -> int
+val shed_of : t -> string -> int

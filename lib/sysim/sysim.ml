@@ -14,21 +14,36 @@ module Fault_plan = Mlv_cluster.Fault_plan
 module Rng = Mlv_util.Rng
 module Codegen = Mlv_isa.Codegen
 module Obs = Mlv_obs.Obs
+module Slo = Mlv_sched.Slo
+module Batcher = Mlv_sched.Batcher
+module Router = Mlv_sched.Router
+module Autoscaler = Mlv_sched.Autoscaler
 
 type fault_config = { plan : Fault_plan.t; max_retries : int }
 
 let default_faults plan = { plan; max_retries = 3 }
+
+type serving = {
+  classes : Slo.class_spec list;
+  batch : Batcher.config;
+  autoscale : Autoscaler.config option;
+}
+
+let default_serving =
+  { classes = []; batch = Batcher.config (); autoscale = Some Autoscaler.default }
 
 type config = {
   policy : Runtime.policy;
   composition : Genset.composition;
   tasks : int;
   mean_interarrival_us : float;
+  arrival : Genset.arrival option;
   seed : int;
   repeats_per_task : int;
   slo_multiplier : float;
   cluster_kinds : Device.kind list;
   faults : fault_config option;
+  serving : serving option;
 }
 
 let default_config ~policy ~composition =
@@ -37,30 +52,57 @@ let default_config ~policy ~composition =
     composition;
     tasks = 120;
     mean_interarrival_us = 200.0;
+    arrival = None;
     seed = 42;
     repeats_per_task = 20;
     slo_multiplier = 20.0;
     cluster_kinds = Cluster.paper_kinds;
     faults = None;
+    serving = None;
   }
+
+let arrival_of cfg =
+  match cfg.arrival with
+  | Some a -> a
+  | None -> Genset.Exponential { mean_us = cfg.mean_interarrival_us }
 
 type result = {
   completed : int;
   retried : int;
   rejected : int;
+  shed : int;
   lost : int;
   makespan_us : float;
   throughput_per_s : float;
+  goodput_per_s : float;
   fault_downtime_us : float;
   fault_free_throughput_per_s : float;
   mean_latency_us : float;
   mean_wait_us : float;
+  wait_attempts : int;
+  mean_wait_per_attempt_us : float;
   mean_service_us : float;
+  p50_latency_us : float;
   p95_latency_us : float;
+  p99_latency_us : float;
   peak_queue : int;
   latencies_us : float list;
   slo_misses : int;
+  batches : int;
+  scale_ups : int;
+  scale_downs : int;
 }
+
+(* Exact latency percentiles for the result record (the obs
+   histograms track the same series to bucket resolution; tests pin
+   the two views against each other). *)
+let latency_percentiles latencies =
+  match latencies with
+  | [] -> (0.0, 0.0, 0.0)
+  | xs ->
+    ( Mlv_util.Stats.percentile 50.0 xs,
+      Mlv_util.Stats.percentile 95.0 xs,
+      Mlv_util.Stats.percentile 99.0 xs )
 
 (* Ten accelerator instances (paper §4.3); the largest two exceed any
    single device and exist purely as multi-FPGA deployments. *)
@@ -185,7 +227,14 @@ let service_latency_us ~policy ~added_latency_us (point : Deepbench.point)
     Hashtbl.replace service_cache key v;
     v
 
-type pending = { task : Genset.task; accel : string; mutable retries : int }
+type pending = {
+  task : Genset.task;
+  accel : string;
+  mutable retries : int;
+  mutable ready_us : float;
+      (* when this attempt entered the queue: arrival for the first
+         attempt, re-queue time after a crash retry *)
+}
 
 (* An in-service task: enough to interrupt it when its node dies.  The
    completion event stays queued after an interruption (the simulator
@@ -208,12 +257,44 @@ let deployment_dims (d : Runtime.deployment) =
   in
   (node, kind)
 
+(* Closed-loop serving state.  Requests for the same accelerator
+   instance form a group; a group owns replicas (live deployments kept
+   warm across batches) and a backlog of batches that could not be
+   placed yet. *)
+type stask = {
+  s_task : Genset.task;
+  s_deadline_us : float;  (* class SLO deadline; 0 = multiplier rule *)
+}
+
+type replica = {
+  r_id : int;
+  r_depl : Runtime.deployment;
+  r_queue : stask list Queue.t;  (* batches assigned, not yet started *)
+  mutable r_busy : bool;
+  mutable r_fresh : bool;  (* reconfiguration not yet charged *)
+  mutable r_idle_since : float;
+}
+
+type sgroup = {
+  g_accel : string;
+  g_tracker : Autoscaler.tracker;
+  mutable g_replicas : replica list;  (* creation order *)
+  g_backlog : stask list Queue.t;  (* batches with no replica to run on *)
+}
+
 let rec run ~registry cfg =
   (* A completed run releases its simulator's span clock — otherwise
      the closure keeps the whole sim state live and stamps stale sim
      times onto later, unrelated spans. *)
   Fun.protect ~finally:Obs.clear_sim_clock (fun () ->
-      Obs.Span.with_ "sysim.run" (fun () -> run_untraced ~registry cfg))
+      Obs.Span.with_ "sysim.run" (fun () ->
+          match cfg.serving with
+          | Some s ->
+            if cfg.faults <> None then
+              invalid_arg
+                "Sysim.run: serving mode does not compose with fault plans";
+            run_serving ~registry cfg s
+          | None -> run_untraced ~registry cfg))
 
 and run_untraced ~registry cfg =
   let cluster = Cluster.create ~kinds:cfg.cluster_kinds () in
@@ -221,8 +302,8 @@ and run_untraced ~registry cfg =
   let sim = cluster.Cluster.sim in
   let rng = Rng.create cfg.seed in
   let tasks =
-    Genset.generate ~rng ~composition:cfg.composition ~tasks:cfg.tasks
-      ~mean_interarrival_us:cfg.mean_interarrival_us
+    Genset.generate_arrival ~rng ~composition:cfg.composition ~tasks:cfg.tasks
+      ~arrival:(arrival_of cfg)
   in
   let queue : pending Queue.t = Queue.create () in
   let inflight : inflight list ref = ref [] in
@@ -231,6 +312,7 @@ and run_untraced ~registry cfg =
   let rejected = ref 0 in
   let latencies = ref [] in
   let waits = ref [] in
+  let attempt_waits = ref [] in
   let services = ref [] in
   let peak_queue = ref 0 in
   let slo_misses = ref 0 in
@@ -268,9 +350,18 @@ and run_untraced ~registry cfg =
         let node, kind = deployment_dims d in
         Obs.Trace.task Obs.Trace.Deploy p.task.Genset.task_id ?node
           ~deployment:d.Runtime.id ~retries:p.retries ~label:p.accel;
+        (* Two wait views: end-to-end (from the task's original
+           arrival to the deployment that actually completes, so a
+           crash retry accumulates every round of queueing into one
+           entry — recorded below, once the service survives) and per
+           attempt (from when this attempt entered the queue, recorded
+           here).  They differ only for retried tasks. *)
         let wait = now -. p.task.Genset.arrival_us in
-        waits := wait :: !waits;
-        Obs.Histogram.observe (Obs.Histogram.get "sysim.task_wait_us") wait;
+        let attempt_wait = now -. p.ready_us in
+        attempt_waits := attempt_wait :: !attempt_waits;
+        Obs.Histogram.observe
+          (Obs.Histogram.get "sysim.task_wait_attempt_us")
+          attempt_wait;
         let service =
           d.Runtime.reconfig_us
           +. (float_of_int cfg.repeats_per_task
@@ -297,6 +388,8 @@ and run_untraced ~registry cfg =
                   (Obs.Counter.get_labeled "sysim.tasks.completed"
                      [ ("node", string_of_int n) ])
               | None -> ());
+              waits := wait :: !waits;
+              Obs.Histogram.observe (Obs.Histogram.get "sysim.task_wait_us") wait;
               let finished = Sim.now sim in
               let sojourn = finished -. p.task.Genset.arrival_us in
               latencies := sojourn :: !latencies;
@@ -371,6 +464,7 @@ and run_untraced ~registry cfg =
     List.iter
       (fun fl ->
         fl.pend.retries <- fl.pend.retries + 1;
+        fl.pend.ready_us <- Sim.now sim;
         incr retried;
         Obs.Counter.incr (Obs.Counter.get "sysim.tasks.retried");
         Obs.Trace.task Obs.Trace.Retry fl.pend.task.Genset.task_id ~node
@@ -403,7 +497,9 @@ and run_untraced ~registry cfg =
               ~tiles:(instance_for ~policy:cfg.policy task.Genset.point)
           in
           Obs.Trace.task Obs.Trace.Arrive task.Genset.task_id ~label:accel;
-          Queue.add { task; accel; retries = 0 } queue;
+          Queue.add
+            { task; accel; retries = 0; ready_us = task.Genset.arrival_us }
+            queue;
           Obs.Trace.task Obs.Trace.Queue task.Genset.task_id ~label:accel;
           peak_queue := max !peak_queue (Queue.length queue);
           try_start ()))
@@ -430,9 +526,7 @@ and run_untraced ~registry cfg =
   if lost > 0 then
     Obs.Counter.add (Obs.Counter.get "sysim.tasks.lost") lost;
   let mean xs = Mlv_util.Stats.mean xs in
-  let p95 =
-    match !latencies with [] -> 0.0 | xs -> Mlv_util.Stats.percentile 95.0 xs
-  in
+  let p50, p95, p99 = latency_percentiles !latencies in
   let fault_downtime_us =
     List.fold_left (fun acc (t0, t1) -> acc +. (t1 -. t0)) 0.0 !outages
   in
@@ -456,17 +550,481 @@ and run_untraced ~registry cfg =
     completed = !completed;
     retried = !retried;
     rejected = !rejected;
+    shed = 0;
     lost;
     makespan_us = !makespan;
     throughput_per_s =
       (if !makespan > 0.0 then float_of_int !completed /. (!makespan /. 1e6) else 0.0);
+    goodput_per_s =
+      (if !makespan > 0.0 then
+         float_of_int (!completed - !slo_misses) /. (!makespan /. 1e6)
+       else 0.0);
     fault_downtime_us;
     fault_free_throughput_per_s;
     mean_latency_us = mean !latencies;
     mean_wait_us = mean !waits;
+    wait_attempts = List.length !attempt_waits;
+    mean_wait_per_attempt_us = mean !attempt_waits;
     mean_service_us = mean !services;
+    p50_latency_us = p50;
     p95_latency_us = p95;
+    p99_latency_us = p99;
     peak_queue = !peak_queue;
     latencies_us = List.rev !latencies;
     slo_misses = !slo_misses;
+    batches = 0;
+    scale_ups = 0;
+    scale_downs = 0;
+  }
+
+(* Closed-loop serving: admission gate -> batcher -> router ->
+   replicas, with an optional autoscaler control loop on the sim
+   clock.  Fault plans are rejected up front (see [run]); every task
+   ends as completed, shed or rejected. *)
+and run_serving ~registry cfg serving =
+  let cluster = Cluster.create ~kinds:cfg.cluster_kinds () in
+  let runtime = Runtime.create ~policy:cfg.policy cluster registry in
+  let sim = cluster.Cluster.sim in
+  let rng = Rng.create cfg.seed in
+  let tasks =
+    Genset.generate_arrival ~rng ~composition:cfg.composition ~tasks:cfg.tasks
+      ~arrival:(arrival_of cfg)
+  in
+  let gate = Slo.create serving.classes in
+  let batcher : stask Batcher.t = Batcher.create serving.batch in
+  let router = Router.create () in
+  let groups : (string, sgroup) Hashtbl.t = Hashtbl.create 8 in
+  let next_replica_id = ref 0 in
+  let completed = ref 0 in
+  let rejected = ref 0 in
+  let shed = ref 0 in
+  let scale_ups = ref 0 in
+  let scale_downs = ref 0 in
+  let latencies = ref [] in
+  let waits = ref [] in
+  let services = ref [] in
+  let slo_misses = ref 0 in
+  let makespan = ref 0.0 in
+  let queued = ref 0 in
+  let peak_queue = ref 0 in
+  let group_of accel =
+    match Hashtbl.find_opt groups accel with
+    | Some g -> g
+    | None ->
+      let g =
+        {
+          g_accel = accel;
+          g_tracker = Autoscaler.tracker ~name:("sojourn." ^ accel);
+          g_replicas = [];
+          g_backlog = Queue.create ();
+        }
+      in
+      Hashtbl.replace groups accel g;
+      g
+  in
+  (* Decisions iterate groups in sorted-name order, never in Hashtbl
+     order, to stay deterministic. *)
+  let group_keys () =
+    Hashtbl.fold (fun k _ acc -> k :: acc) groups [] |> List.sort compare
+  in
+  let batchq_len q = Queue.fold (fun acc b -> acc + List.length b) 0 q in
+  let reject_stask ~accel (st : stask) =
+    incr rejected;
+    decr queued;
+    Obs.Counter.incr (Obs.Counter.get "sysim.tasks.rejected");
+    Obs.Trace.task Obs.Trace.Reject st.s_task.Genset.task_id ~retries:0
+      ~label:accel
+  in
+  let reject_backlog g =
+    Queue.iter (fun b -> List.iter (reject_stask ~accel:g.g_accel) b) g.g_backlog;
+    Queue.clear g.g_backlog
+  in
+  let any_busy () =
+    Hashtbl.fold
+      (fun _ g acc -> acc || List.exists (fun r -> r.r_busy) g.g_replicas)
+      groups false
+  in
+  let is_idle r = (not r.r_busy) && Queue.is_empty r.r_queue in
+  (* Longest-idle idle replica in any other group (tie: lowest replica
+     id via the sorted iteration order) — the reclaim candidate when a
+     starved group cannot deploy. *)
+  let reclaim_candidate ~excluding =
+    List.fold_left
+      (fun best k ->
+        if k = excluding then best
+        else
+          let g' = Hashtbl.find groups k in
+          List.fold_left
+            (fun best r ->
+              if not (is_idle r) then best
+              else
+                match best with
+                | Some (_, br) when br.r_idle_since <= r.r_idle_since -> best
+                | _ -> Some (g', r))
+            best g'.g_replicas)
+      None (group_keys ())
+  in
+  let remove_replica g r =
+    Router.remove_replica router ~key:g.g_accel ~replica_id:r.r_id;
+    g.g_replicas <- List.filter (fun x -> x != r) g.g_replicas;
+    Runtime.undeploy runtime r.r_depl
+  in
+  let make_replica g d =
+    let id = !next_replica_id in
+    incr next_replica_id;
+    let r =
+      {
+        r_id = id;
+        r_depl = d;
+        r_queue = Queue.create ();
+        r_busy = false;
+        r_fresh = true;
+        r_idle_since = Sim.now sim;
+      }
+    in
+    Router.add_replica router ~key:g.g_accel ~replica_id:id ~weight:1.0;
+    g.g_replicas <- g.g_replicas @ [ r ];
+    incr scale_ups;
+    Obs.Counter.incr (Obs.Counter.get "sysim.serving.scale_up");
+    Autoscaler.mark_scaled g.g_tracker ~now_us:(Sim.now sim);
+    r
+  in
+  (* Add a replica to [g]: deploy, optionally reclaiming idle replicas
+     from other groups until the deploy fits.  [`Dead] means the accel
+     can never deploy: nothing is busy, nothing is left to reclaim,
+     and the mapper still refuses — mirror the open loop and reject
+     rather than wait forever. *)
+  let rec grow g ~allow_reclaim =
+    match Runtime.deploy runtime ~accel:g.g_accel with
+    | Ok d ->
+      ignore (make_replica g d);
+      `Ok
+    | Error _ ->
+      if allow_reclaim then
+        match reclaim_candidate ~excluding:g.g_accel with
+        | Some (g', r) ->
+          Obs.Counter.incr (Obs.Counter.get "sysim.serving.reclaimed");
+          remove_replica g' r;
+          grow g ~allow_reclaim
+        | None -> if any_busy () then `Full else `Dead
+      else if any_busy () || g.g_replicas <> [] then `Full
+      else if reclaim_candidate ~excluding:g.g_accel = None then `Dead
+      else `Full
+  in
+  let rec start_replica g r =
+    if (not r.r_busy) && not (Queue.is_empty r.r_queue) then begin
+      let batch = Queue.pop r.r_queue in
+      r.r_busy <- true;
+      let now = Sim.now sim in
+      let d = r.r_depl in
+      let node, kind = deployment_dims d in
+      let added = Network.added_latency_us cluster.Cluster.network in
+      let reconfig = if r.r_fresh then d.Runtime.reconfig_us else 0.0 in
+      r.r_fresh <- false;
+      let n = List.length batch in
+      let per_task =
+        List.map
+          (fun st ->
+            float_of_int cfg.repeats_per_task
+            *. service_latency_us ~policy:cfg.policy ~added_latency_us:added
+                 st.s_task.Genset.point d)
+          batch
+      in
+      let service = reconfig +. List.fold_left ( +. ) 0.0 per_task in
+      List.iter2
+        (fun st svc ->
+          decr queued;
+          let id = st.s_task.Genset.task_id in
+          Obs.Trace.task Obs.Trace.Deploy id ?node ~deployment:d.Runtime.id
+            ~retries:0 ~label:g.g_accel;
+          (* No retries in serving mode: per-attempt and end-to-end
+             waits coincide. *)
+          let wait = now -. st.s_task.Genset.arrival_us in
+          waits := wait :: !waits;
+          Obs.Histogram.observe (Obs.Histogram.get "sysim.task_wait_us") wait;
+          Obs.Histogram.observe
+            (Obs.Histogram.get "sysim.task_wait_attempt_us")
+            wait;
+          (* Reconfiguration amortizes across the batch. *)
+          let task_service = svc +. (reconfig /. float_of_int n) in
+          services := task_service :: !services;
+          Obs.Histogram.observe
+            (Obs.Histogram.get "sysim.task_service_us")
+            task_service;
+          Obs.Trace.task Obs.Trace.Service id ?node ~deployment:d.Runtime.id
+            ~retries:0 ~label:g.g_accel)
+        batch per_task;
+      Sim.schedule sim ~delay:service (fun () ->
+          let finished = Sim.now sim in
+          r.r_busy <- false;
+          r.r_idle_since <- finished;
+          Router.end_work router ~key:g.g_accel ~replica_id:r.r_id n;
+          List.iter2
+            (fun st svc ->
+              incr completed;
+              Obs.Counter.incr (Obs.Counter.get "sysim.tasks.completed");
+              (match node with
+              | Some nd ->
+                Obs.Counter.incr
+                  (Obs.Counter.get_labeled "sysim.tasks.completed"
+                     [ ("node", string_of_int nd) ])
+              | None -> ());
+              let sojourn = finished -. st.s_task.Genset.arrival_us in
+              latencies := sojourn :: !latencies;
+              Obs.Histogram.observe
+                (Obs.Histogram.get "sysim.task_sojourn_us")
+                sojourn;
+              Obs.Histogram.observe
+                (Obs.Histogram.get_labeled "sysim.task_sojourn_us"
+                   [ ("kind", kind) ])
+                sojourn;
+              Autoscaler.observe_sojourn g.g_tracker sojourn;
+              Obs.Trace.task Obs.Trace.Complete st.s_task.Genset.task_id ?node
+                ~deployment:d.Runtime.id ~retries:0 ~label:g.g_accel;
+              let task_service = svc +. (reconfig /. float_of_int n) in
+              let deadline =
+                if st.s_deadline_us > 0.0 then st.s_deadline_us
+                else cfg.slo_multiplier *. task_service
+              in
+              if sojourn > deadline then begin
+                incr slo_misses;
+                Obs.Counter.incr (Obs.Counter.get "sysim.slo_misses")
+              end)
+            batch per_task;
+          makespan := Float.max !makespan finished;
+          if Queue.is_empty r.r_queue && not (Queue.is_empty g.g_backlog)
+          then begin
+            let b = Queue.pop g.g_backlog in
+            Router.begin_work router ~key:g.g_accel ~replica_id:r.r_id
+              (List.length b);
+            Queue.add b r.r_queue
+          end;
+          start_replica g r;
+          pump_all ())
+    end
+  (* A completion anywhere may unblock a starved group: retry
+     bootstrap deploys for groups whose backlog has no replica. *)
+  and pump_all () =
+    List.iter
+      (fun k ->
+        let g = Hashtbl.find groups k in
+        if not (Queue.is_empty g.g_backlog) then pump_group g)
+      (group_keys ())
+  and pump_group g =
+    if not (Queue.is_empty g.g_backlog) then begin
+      match Router.pick router ~key:g.g_accel with
+      | Some rid ->
+        let r = List.find (fun r -> r.r_id = rid) g.g_replicas in
+        if is_idle r then begin
+          let b = Queue.pop g.g_backlog in
+          Router.begin_work router ~key:g.g_accel ~replica_id:rid
+            (List.length b);
+          Queue.add b r.r_queue;
+          start_replica g r;
+          pump_group g
+        end
+      | None -> (
+        match grow g ~allow_reclaim:false with
+        | `Ok -> pump_group g
+        | `Dead -> reject_backlog g
+        | `Full -> ())
+    end
+  in
+  let rec dispatch g batch =
+    Obs.Counter.incr (Obs.Counter.get "sysim.serving.batches");
+    match Router.pick router ~key:g.g_accel with
+    | Some rid ->
+      Router.begin_work router ~key:g.g_accel ~replica_id:rid
+        (List.length batch);
+      let r = List.find (fun r -> r.r_id = rid) g.g_replicas in
+      Queue.add batch r.r_queue;
+      start_replica g r
+    | None -> (
+      match grow g ~allow_reclaim:(serving.autoscale <> None) with
+      | `Ok -> dispatch g batch
+      | `Full -> Queue.add batch g.g_backlog
+      | `Dead -> List.iter (reject_stask ~accel:g.g_accel) batch)
+  in
+  (* Scale-down takes the group's longest-idle idle replica, then
+     tries to consolidate a surviving idle multi-piece replica into a
+     denser packing (the mapping search sees the freed space). *)
+  let scale_down g ~now =
+    let victim =
+      List.fold_left
+        (fun best r ->
+          if not (is_idle r) then best
+          else
+            match best with
+            | Some (b : replica) when b.r_idle_since <= r.r_idle_since -> best
+            | _ -> Some r)
+        None g.g_replicas
+    in
+    match victim with
+    | None -> ()
+    | Some r ->
+      remove_replica g r;
+      incr scale_downs;
+      Obs.Counter.incr (Obs.Counter.get "sysim.serving.scale_down");
+      Autoscaler.mark_scaled g.g_tracker ~now_us:now;
+      List.iter
+        (fun r' ->
+          if
+            is_idle r'
+            && List.length r'.r_depl.Runtime.placements > 1
+          then
+            match Runtime.migrate ~force:true runtime r'.r_depl with
+            | Ok m when m > 0 ->
+              Obs.Counter.incr (Obs.Counter.get "sysim.serving.consolidated")
+            | Ok _ | Error _ -> ())
+        g.g_replicas
+  in
+  (match serving.autoscale with
+  | None -> ()
+  | Some acfg ->
+    let min_priority () =
+      List.fold_left
+        (fun acc (c : Slo.class_spec) -> min acc c.priority)
+        max_int (Slo.classes gate)
+    in
+    let rec tick () =
+      if !completed + !rejected + !shed < cfg.tasks then begin
+        let now = Sim.now sim in
+        let capacity_bound = ref false in
+        List.iter
+          (fun k ->
+            let g = Hashtbl.find groups k in
+            let backlog =
+              Batcher.pending batcher ~key:k
+              + batchq_len g.g_backlog
+              + List.fold_left
+                  (fun acc r -> acc + batchq_len r.r_queue)
+                  0 g.g_replicas
+            in
+            let replicas = List.length g.g_replicas in
+            let idle =
+              List.length
+                (List.filter
+                   (fun r ->
+                     is_idle r && now -. r.r_idle_since >= acfg.idle_timeout_us)
+                   g.g_replicas)
+            in
+            match
+              Autoscaler.decide acfg g.g_tracker ~now_us:now ~backlog ~replicas
+                ~idle ~deadline_us:(Slo.min_deadline_us gate)
+            with
+            | Autoscaler.Scale_up -> (
+              match grow g ~allow_reclaim:true with
+              | `Ok -> pump_group g
+              | `Full -> capacity_bound := true
+              | `Dead -> reject_backlog g)
+            | Autoscaler.Scale_down -> scale_down g ~now
+            | Autoscaler.Hold -> ())
+          (group_keys ());
+        (* Capacity-bound: shed the lowest-priority class at the gate
+           until a tick passes without an unsatisfied scale-up. *)
+        if !capacity_bound && Slo.classes gate <> [] then
+          Slo.set_shed_below gate (min_priority () + 1)
+        else Slo.set_shed_below gate min_int;
+        Sim.schedule sim ~delay:acfg.interval_us tick
+      end
+    in
+    Sim.schedule sim ~delay:acfg.interval_us tick);
+  List.iter
+    (fun (task : Genset.task) ->
+      Sim.schedule_at sim ~at:task.Genset.arrival_us (fun () ->
+          Obs.Counter.incr (Obs.Counter.get "sysim.tasks.arrived");
+          let accel =
+            Framework.accel_name
+              ~tiles:(instance_for ~policy:cfg.policy task.Genset.point)
+          in
+          Obs.Trace.task Obs.Trace.Arrive task.Genset.task_id ~label:accel;
+          let now = Sim.now sim in
+          let cname = Sizes.name task.Genset.model_class in
+          match Slo.admit gate ~class_name:cname ~now_us:now with
+          | Slo.Shed_rate | Slo.Shed_priority ->
+            incr shed;
+            Obs.Counter.incr (Obs.Counter.get "sysim.serving.shed");
+            Obs.Trace.task Obs.Trace.Reject task.Genset.task_id ~retries:0
+              ~label:accel
+          | Slo.Admitted -> (
+            let st =
+              {
+                s_task = task;
+                s_deadline_us =
+                  (match Slo.find gate cname with
+                  | Some c -> c.Slo.deadline_us
+                  | None -> 0.0);
+              }
+            in
+            incr queued;
+            peak_queue := max !peak_queue !queued;
+            Obs.Trace.task Obs.Trace.Queue task.Genset.task_id ~label:accel;
+            let g = group_of accel in
+            match Batcher.add batcher ~key:accel ~now_us:now st with
+            | Batcher.Dispatch batch -> dispatch g batch
+            | Batcher.Opened deadline ->
+              Sim.schedule_at sim ~at:deadline (fun () ->
+                  match
+                    Batcher.flush_due batcher ~key:accel
+                      ~now_us:(Sim.now sim)
+                  with
+                  | [] -> ()
+                  | batch -> dispatch g batch)
+            | Batcher.Joined -> ())))
+    tasks;
+  Sim.run sim;
+  (* Whatever never reached a replica is rejected, and the warm pool
+     is torn down, so every task and every placement is accounted
+     for. *)
+  List.iter
+    (fun k ->
+      let g = Hashtbl.find groups k in
+      List.iter (reject_stask ~accel:k) (Batcher.drain batcher ~key:k);
+      reject_backlog g;
+      List.iter
+        (fun r ->
+          Queue.iter
+            (fun b -> List.iter (reject_stask ~accel:k) b)
+            r.r_queue;
+          Queue.clear r.r_queue;
+          Runtime.undeploy runtime r.r_depl)
+        g.g_replicas;
+      g.g_replicas <- [])
+    (group_keys ());
+  let lost = cfg.tasks - !completed - !rejected - !shed in
+  if lost > 0 then Obs.Counter.add (Obs.Counter.get "sysim.tasks.lost") lost;
+  let mean xs = Mlv_util.Stats.mean xs in
+  let p50, p95, p99 = latency_percentiles !latencies in
+  let throughput =
+    if !makespan > 0.0 then float_of_int !completed /. (!makespan /. 1e6)
+    else 0.0
+  in
+  {
+    completed = !completed;
+    retried = 0;
+    rejected = !rejected;
+    shed = !shed;
+    lost;
+    makespan_us = !makespan;
+    throughput_per_s = throughput;
+    goodput_per_s =
+      (if !makespan > 0.0 then
+         float_of_int (!completed - !slo_misses) /. (!makespan /. 1e6)
+       else 0.0);
+    fault_downtime_us = 0.0;
+    fault_free_throughput_per_s = throughput;
+    mean_latency_us = mean !latencies;
+    mean_wait_us = mean !waits;
+    wait_attempts = List.length !waits;
+    mean_wait_per_attempt_us = mean !waits;
+    mean_service_us = mean !services;
+    p50_latency_us = p50;
+    p95_latency_us = p95;
+    p99_latency_us = p99;
+    peak_queue = !peak_queue;
+    latencies_us = List.rev !latencies;
+    slo_misses = !slo_misses;
+    batches = Batcher.batches batcher;
+    scale_ups = !scale_ups;
+    scale_downs = !scale_downs;
   }

@@ -18,8 +18,22 @@
     a restore returns capacity; degrade programs the ring's per-hop
     delay, which feeds the scale-out service model.  The result's
     availability fields account for every task:
-    [completed + rejected + lost = tasks], with [lost > 0] only on an
-    accounting bug. *)
+    [completed + rejected + shed + lost = tasks], with [lost > 0] only
+    on an accounting bug.
+
+    With a {!serving} config the engine switches to a closed-loop
+    elastic serving mode: arrivals pass an SLO admission gate
+    (token-bucket per request class; sheds early instead of queueing
+    unboundedly), admitted requests coalesce in a dynamic batcher, a
+    weighted least-outstanding-requests router spreads batches across
+    warm replicas (deployments kept live between batches), and an
+    optional autoscaler control loop grows and shrinks each group's
+    replica set from queue depth and observed p99 sojourn —
+    consolidating idle multi-piece replicas via forced migration when
+    load drops.  [serving = None] (the default) leaves the open-loop
+    engine untouched — results are bit-identical to builds without
+    the serving layer.  Serving mode does not compose with fault
+    plans; {!run} raises [Invalid_argument] when both are set. *)
 
 open Mlv_workload
 
@@ -32,23 +46,44 @@ type fault_config = {
 (** [default_faults plan] allows 3 retries per task. *)
 val default_faults : Mlv_cluster.Fault_plan.t -> fault_config
 
+(** Closed-loop serving knobs; see the module header. *)
+type serving = {
+  classes : Mlv_sched.Slo.class_spec list;
+      (** admission classes, keyed by model class name ("S"/"M"/"L");
+          [[]] admits everything *)
+  batch : Mlv_sched.Batcher.config;
+  autoscale : Mlv_sched.Autoscaler.config option;
+      (** [None] serves statically: one bootstrap replica per group,
+          no control loop *)
+}
+
+(** [default_serving] admits every class, batches up to 4 requests
+    with a 300 µs linger, and runs the default autoscaler. *)
+val default_serving : serving
+
 type config = {
   policy : Mlv_core.Runtime.policy;
   composition : Genset.composition;
   tasks : int;
   mean_interarrival_us : float;
+  arrival : Genset.arrival option;
+      (** overrides [mean_interarrival_us] when set (e.g. a bursty
+          trace); [None] keeps the exponential stream *)
   seed : int;
   repeats_per_task : int;
       (** inferences served per deployment (amortizes reconfiguration,
           as a real serving system would) *)
   slo_multiplier : float;
       (** a task misses its service-level objective when its sojourn
-          exceeds this multiple of its unqueued service time *)
+          exceeds this multiple of its unqueued service time (used
+          when its class declares no deadline) *)
   cluster_kinds : Mlv_fpga.Device.kind list;
       (** device mix of the simulated cluster *)
   faults : fault_config option;
       (** [None] (the default) runs fault-free and is bit-identical to
           a build without the fault layer *)
+  serving : serving option;
+      (** [None] (the default) keeps the open-loop engine *)
 }
 
 (** [default_config ~policy ~composition] gives 120 tasks, 200 µs
@@ -63,9 +98,15 @@ type result = {
   rejected : int;
       (** tasks given up on: never-deployable head, retry budget
           exhausted, or unservable when the run drained *)
-  lost : int;  (** [tasks - completed - rejected]; 0 unless buggy *)
+  shed : int;
+      (** requests the admission gate refused at arrival (serving
+          mode only; 0 in the open loop) *)
+  lost : int;
+      (** [tasks - completed - rejected - shed]; 0 unless buggy *)
   makespan_us : float;
   throughput_per_s : float;  (** completed tasks / makespan *)
+  goodput_per_s : float;
+      (** completions that met their SLO deadline / makespan *)
   fault_downtime_us : float;
       (** total time with at least one node down *)
   fault_free_throughput_per_s : float;
@@ -73,12 +114,27 @@ type result = {
           overlapping downtime; equals [throughput_per_s] when no
           outage occurred *)
   mean_latency_us : float;  (** arrival to completion *)
-  mean_wait_us : float;  (** arrival to deployment, per attempt *)
+  mean_wait_us : float;
+      (** arrival to deployment, {e end to end}: a crash retry
+          accumulates every round of queueing into one wait *)
+  wait_attempts : int;  (** deploy attempts that left the queue *)
+  mean_wait_per_attempt_us : float;
+      (** queue wait of each attempt, measured from when the task
+          (re-)entered the queue; differs from [mean_wait_us] only
+          when crashes forced retries *)
   mean_service_us : float;
+  p50_latency_us : float;
   p95_latency_us : float;
+  p99_latency_us : float;
+      (** sojourn percentiles, exact over [latencies_us]; the obs
+          histogram [sysim.task_sojourn_us] tracks the same series to
+          bucket resolution *)
   peak_queue : int;
   latencies_us : float list;  (** per task, completion order *)
   slo_misses : int;
+  batches : int;  (** serving mode: batches dispatched *)
+  scale_ups : int;  (** serving mode: replicas added (incl. bootstrap) *)
+  scale_downs : int;  (** serving mode: replicas retired by the loop *)
 }
 
 (** The accelerator instances compiled into the mapping database —

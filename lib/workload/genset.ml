@@ -31,8 +31,41 @@ type task = {
   arrival_us : float;
 }
 
-let generate ~rng ~composition ~tasks ~mean_interarrival_us =
+type arrival =
+  | Exponential of { mean_us : float }
+  | Bursty of {
+      on_us : float;
+      off_us : float;
+      on_mean_us : float;
+      off_mean_us : float;
+    }
+
+let arrival_name = function
+  | Exponential { mean_us } -> Printf.sprintf "poisson(%.0fus)" mean_us
+  | Bursty { on_us; off_us; on_mean_us; off_mean_us } ->
+    Printf.sprintf "burst(%.0f/%.0fus @ %.0f/%.0fus)" on_us off_us on_mean_us
+      off_mean_us
+
+let validate_arrival = function
+  | Exponential { mean_us } ->
+    if mean_us <= 0.0 then
+      invalid_arg "Genset: mean interarrival must be positive"
+  | Bursty { on_us; off_us; on_mean_us; off_mean_us } ->
+    if on_us <= 0.0 || off_us < 0.0 then
+      invalid_arg "Genset: burst phases must be positive";
+    if on_mean_us <= 0.0 || off_mean_us <= 0.0 then
+      invalid_arg "Genset: burst interarrival means must be positive"
+
+let interarrival_mean arrival ~now_us =
+  match arrival with
+  | Exponential { mean_us } -> mean_us
+  | Bursty { on_us; off_us; on_mean_us; off_mean_us } ->
+    let cycle = on_us +. off_us in
+    if Float.rem now_us cycle < on_us then on_mean_us else off_mean_us
+
+let generate_arrival ~rng ~composition ~tasks ~arrival =
   if tasks <= 0 then invalid_arg "Genset.generate: tasks must be positive";
+  validate_arrival arrival;
   let total = composition.s +. composition.m +. composition.l in
   if Float.abs (total -. 1.0) > 0.02 then
     invalid_arg "Genset.generate: composition must sum to 1";
@@ -44,10 +77,15 @@ let generate ~rng ~composition ~tasks ~mean_interarrival_us =
   in
   let clock = ref 0.0 in
   List.init tasks (fun task_id ->
-      clock := !clock +. Rng.exponential rng ~mean:mean_interarrival_us;
+      let mean = interarrival_mean arrival ~now_us:!clock in
+      clock := !clock +. Rng.exponential rng ~mean;
       let model_class = sample_class () in
       let point = Rng.choose rng (Sizes.points_of_class model_class) in
       { task_id; point; model_class; arrival_us = !clock })
+
+let generate ~rng ~composition ~tasks ~mean_interarrival_us =
+  generate_arrival ~rng ~composition ~tasks
+    ~arrival:(Exponential { mean_us = mean_interarrival_us })
 
 let class_histogram tasks =
   let count c = List.length (List.filter (fun t -> t.model_class = c) tasks) in

@@ -20,6 +20,38 @@ type task = {
   arrival_us : float;  (** absolute arrival time *)
 }
 
+(** Arrival processes.  [Exponential] is a Poisson stream.  [Bursty]
+    alternates a busy phase of [on_us] (exponential inter-arrivals
+    with mean [on_mean_us]) and a quiet phase of [off_us] (mean
+    [off_mean_us]), cycling from time 0 — the open/closed-loop stress
+    pattern used by the serving-layer experiments.  The phase is
+    chosen by the arrival clock at each draw, so the process stays
+    deterministic for a given seed. *)
+type arrival =
+  | Exponential of { mean_us : float }
+  | Bursty of {
+      on_us : float;  (** busy-phase length *)
+      off_us : float;  (** quiet-phase length *)
+      on_mean_us : float;  (** mean inter-arrival while busy *)
+      off_mean_us : float;  (** mean inter-arrival while quiet *)
+    }
+
+(** [arrival_name a] e.g. ["burst(2000/8000us @ 50/2000us)"]. *)
+val arrival_name : arrival -> string
+
+(** [generate_arrival ~rng ~composition ~tasks ~arrival] draws [tasks]
+    tasks under the given arrival process.  With
+    [Exponential {mean_us}] the draw sequence is identical to
+    {!generate}.
+    @raise Invalid_argument if the composition does not sum to ~1,
+    [tasks <= 0], or the arrival parameters are non-positive. *)
+val generate_arrival :
+  rng:Mlv_util.Rng.t ->
+  composition:composition ->
+  tasks:int ->
+  arrival:arrival ->
+  task list
+
 (** [generate ~rng ~composition ~tasks ~mean_interarrival_us] draws
     [tasks] tasks with exponential inter-arrival times.
     @raise Invalid_argument if the composition does not sum to ~1 or

@@ -1,0 +1,591 @@
+(* Tests for the elastic serving layer: SLO admission, dynamic
+   batching, weighted routing, the autoscaler control law, the
+   closed-loop sysim engine built from them, migrate rollback under
+   the indexed allocator, and per-attempt wait accounting. *)
+
+module Slo = Mlv_sched.Slo
+module Batcher = Mlv_sched.Batcher
+module Router = Mlv_sched.Router
+module Autoscaler = Mlv_sched.Autoscaler
+module Sysim = Mlv_sysim.Sysim
+module Runtime = Mlv_core.Runtime
+module Registry = Mlv_core.Registry
+module Framework = Mlv_core.Framework
+module Cluster = Mlv_cluster.Cluster
+module Fault_plan = Mlv_cluster.Fault_plan
+module Genset = Mlv_workload.Genset
+module Device = Mlv_fpga.Device
+module Obs = Mlv_obs.Obs
+
+(* ---------------- SLO admission ---------------- *)
+
+let verdict =
+  Alcotest.testable
+    (fun fmt v ->
+      Format.pp_print_string fmt
+        (match v with
+        | Slo.Admitted -> "admitted"
+        | Slo.Shed_rate -> "shed-rate"
+        | Slo.Shed_priority -> "shed-priority"))
+    ( = )
+
+let test_slo_bucket_drains_and_refills () =
+  let gate = Slo.create [ Slo.class_spec ~rate_per_s:1000.0 ~burst:2 "S" ] in
+  let admit now = Slo.admit gate ~class_name:"S" ~now_us:now in
+  Alcotest.check verdict "first token" Slo.Admitted (admit 0.0);
+  Alcotest.check verdict "second token" Slo.Admitted (admit 0.0);
+  Alcotest.check verdict "bucket empty" Slo.Shed_rate (admit 0.0);
+  (* 1000/s = one token per 1000 us *)
+  Alcotest.check verdict "not yet refilled" Slo.Shed_rate (admit 500.0);
+  Alcotest.check verdict "refilled" Slo.Admitted (admit 1000.0);
+  Alcotest.check verdict "only one token back" Slo.Shed_rate (admit 1000.0);
+  (* refill caps at burst: a long quiet period grants 2 tokens, not 10 *)
+  Alcotest.check verdict "burst 1/2" Slo.Admitted (admit 1_000_000.0);
+  Alcotest.check verdict "burst 2/2" Slo.Admitted (admit 1_000_000.0);
+  Alcotest.check verdict "capped at burst" Slo.Shed_rate (admit 1_000_000.0);
+  Alcotest.(check int) "admitted counted" 5 (Slo.admitted_of gate "S");
+  Alcotest.(check int) "shed counted" 4 (Slo.shed_of gate "S")
+
+let test_slo_priority_threshold () =
+  let gate =
+    Slo.create [ Slo.class_spec ~priority:2 "S"; Slo.class_spec ~priority:0 "L" ]
+  in
+  Slo.set_shed_below gate 1;
+  Alcotest.check verdict "high priority passes" Slo.Admitted
+    (Slo.admit gate ~class_name:"S" ~now_us:0.0);
+  Alcotest.check verdict "low priority shed" Slo.Shed_priority
+    (Slo.admit gate ~class_name:"L" ~now_us:0.0);
+  Slo.set_shed_below gate min_int;
+  Alcotest.check verdict "threshold cleared" Slo.Admitted
+    (Slo.admit gate ~class_name:"L" ~now_us:0.0)
+
+let test_slo_unknown_and_empty () =
+  let empty = Slo.create [] in
+  Alcotest.check verdict "empty gate admits" Slo.Admitted
+    (Slo.admit empty ~class_name:"anything" ~now_us:0.0);
+  Alcotest.(check (float 0.0)) "no deadline" 0.0 (Slo.min_deadline_us empty);
+  let gate =
+    Slo.create
+      [ Slo.class_spec ~deadline_us:9000.0 "S"; Slo.class_spec ~deadline_us:4000.0 "L" ]
+  in
+  Alcotest.check verdict "unknown class admits" Slo.Admitted
+    (Slo.admit gate ~class_name:"XL" ~now_us:0.0);
+  Alcotest.(check (float 0.0)) "tightest deadline" 4000.0 (Slo.min_deadline_us gate)
+
+let test_slo_validation () =
+  let raises f =
+    match f () with
+    | _ -> Alcotest.fail "expected Invalid_argument"
+    | exception Invalid_argument _ -> ()
+  in
+  raises (fun () -> Slo.class_spec ~rate_per_s:0.0 "S");
+  raises (fun () -> Slo.class_spec ~burst:0 "S");
+  raises (fun () -> Slo.class_spec ~deadline_us:(-1.0) "S");
+  raises (fun () -> Slo.create [ Slo.class_spec "S"; Slo.class_spec "S" ])
+
+(* ---------------- dynamic batching ---------------- *)
+
+let test_batch_dispatch_on_fullness () =
+  let b = Batcher.create (Batcher.config ~max_batch:3 ~max_linger_us:100.0 ()) in
+  (match Batcher.add b ~key:"k" ~now_us:0.0 1 with
+  | Batcher.Opened due -> Alcotest.(check (float 1e-9)) "flush armed" 100.0 due
+  | _ -> Alcotest.fail "first request should open the batch");
+  (match Batcher.add b ~key:"k" ~now_us:10.0 2 with
+  | Batcher.Joined -> ()
+  | _ -> Alcotest.fail "second request should join");
+  (match Batcher.add b ~key:"k" ~now_us:20.0 3 with
+  | Batcher.Dispatch batch ->
+    Alcotest.(check (list int)) "oldest first" [ 1; 2; 3 ] batch
+  | _ -> Alcotest.fail "third request should fill and dispatch");
+  Alcotest.(check int) "nothing pending" 0 (Batcher.total_pending b);
+  Alcotest.(check int) "one batch" 1 (Batcher.batches b)
+
+let test_batch_linger_flush_and_stale_timer () =
+  let b = Batcher.create (Batcher.config ~max_batch:4 ~max_linger_us:100.0 ()) in
+  ignore (Batcher.add b ~key:"k" ~now_us:0.0 1);
+  (* the armed timer fires but the batch already dispatched on
+     fullness — the stale flush must be a no-op *)
+  ignore (Batcher.add b ~key:"k" ~now_us:5.0 2);
+  Alcotest.(check (list int)) "too early" [] (Batcher.flush_due b ~key:"k" ~now_us:50.0);
+  Alcotest.(check (list int)) "due" [ 1; 2 ] (Batcher.flush_due b ~key:"k" ~now_us:100.0);
+  Alcotest.(check (list int)) "stale timer no-op" []
+    (Batcher.flush_due b ~key:"k" ~now_us:100.0);
+  (* a batch opened later must not be released by the old deadline *)
+  ignore (Batcher.add b ~key:"k" ~now_us:150.0 3);
+  Alcotest.(check (list int)) "new batch not due yet" []
+    (Batcher.flush_due b ~key:"k" ~now_us:200.0);
+  Alcotest.(check (list int)) "drain pops unconditionally" [ 3 ]
+    (Batcher.drain b ~key:"k");
+  Alcotest.(check int) "two batches total" 2 (Batcher.batches b)
+
+let test_batch_validation () =
+  (match Batcher.config ~max_batch:0 () with
+  | _ -> Alcotest.fail "max_batch 0 should raise"
+  | exception Invalid_argument _ -> ());
+  match Batcher.config ~max_linger_us:(-1.0) () with
+  | _ -> Alcotest.fail "negative linger should raise"
+  | exception Invalid_argument _ -> ()
+
+(* ---------------- weighted routing ---------------- *)
+
+let test_router_weighted_least_outstanding () =
+  let r = Router.create () in
+  Router.add_replica r ~key:"k" ~replica_id:0 ~weight:1.0;
+  Router.add_replica r ~key:"k" ~replica_id:1 ~weight:2.0;
+  (* tie at zero outstanding: lowest id wins *)
+  Alcotest.(check (option int)) "tie breaks low id" (Some 0) (Router.pick r ~key:"k");
+  Router.begin_work r ~key:"k" ~replica_id:0 1;
+  (* 1/1.0 vs 0/2.0 *)
+  Alcotest.(check (option int)) "least loaded" (Some 1) (Router.pick r ~key:"k");
+  Router.begin_work r ~key:"k" ~replica_id:1 1;
+  (* 1/1.0 = 1.0 vs 1/2.0 = 0.5: the heavy replica absorbs more *)
+  Alcotest.(check (option int)) "weight-normalized" (Some 1) (Router.pick r ~key:"k");
+  Router.end_work r ~key:"k" ~replica_id:0 1;
+  Alcotest.(check (option int)) "back to the tie" (Some 0) (Router.pick r ~key:"k");
+  Alcotest.(check int) "dispatched counts begin_work" 2 (Router.dispatched r);
+  Router.remove_replica r ~key:"k" ~replica_id:0;
+  Router.remove_replica r ~key:"k" ~replica_id:1;
+  Alcotest.(check (option int)) "empty group" None (Router.pick r ~key:"k")
+
+let test_router_validation () =
+  let r = Router.create () in
+  Router.add_replica r ~key:"k" ~replica_id:0 ~weight:1.0;
+  (match Router.add_replica r ~key:"k" ~replica_id:0 ~weight:1.0 with
+  | _ -> Alcotest.fail "duplicate id should raise"
+  | exception Invalid_argument _ -> ());
+  (match Router.add_replica r ~key:"k" ~replica_id:1 ~weight:0.0 with
+  | _ -> Alcotest.fail "zero weight should raise"
+  | exception Invalid_argument _ -> ());
+  (* end_work clamps at zero rather than going negative *)
+  Router.end_work r ~key:"k" ~replica_id:0 5;
+  Alcotest.(check int) "clamped" 0 (Router.outstanding r ~key:"k" ~replica_id:0)
+
+(* ---------------- autoscaler control law ---------------- *)
+
+let decision =
+  Alcotest.testable
+    (fun fmt d -> Format.pp_print_string fmt (Autoscaler.decision_to_string d))
+    ( = )
+
+let acfg = Autoscaler.default
+
+let test_autoscaler_bootstrap_and_cooldown () =
+  let tr = Autoscaler.tracker ~name:"test.boot" in
+  Autoscaler.mark_scaled tr ~now_us:0.0;
+  (* zero replicas + backlog: scales up even inside the cooldown *)
+  Alcotest.check decision "bootstrap beats cooldown" Autoscaler.Scale_up
+    (Autoscaler.decide acfg tr ~now_us:100.0 ~backlog:1 ~replicas:0 ~idle:0
+       ~deadline_us:0.0);
+  (* with a replica present the cooldown holds even under pressure *)
+  Alcotest.check decision "cooldown holds" Autoscaler.Hold
+    (Autoscaler.decide acfg tr ~now_us:100.0 ~backlog:100 ~replicas:1 ~idle:0
+       ~deadline_us:0.0);
+  Alcotest.check decision "cooldown expired" Autoscaler.Scale_up
+    (Autoscaler.decide acfg tr ~now_us:acfg.Autoscaler.cooldown_us ~backlog:100
+       ~replicas:1 ~idle:0 ~deadline_us:0.0)
+
+let test_autoscaler_watermarks () =
+  let tr = Autoscaler.tracker ~name:"test.marks" in
+  (* 4 backlog / 2 replicas = 2.0, between the 0.5 and 3.0 watermarks *)
+  Alcotest.check decision "between watermarks" Autoscaler.Hold
+    (Autoscaler.decide acfg tr ~now_us:0.0 ~backlog:4 ~replicas:2 ~idle:0
+       ~deadline_us:0.0);
+  Alcotest.check decision "above high watermark" Autoscaler.Scale_up
+    (Autoscaler.decide acfg tr ~now_us:0.0 ~backlog:7 ~replicas:2 ~idle:0
+       ~deadline_us:0.0);
+  (* at the max replica count the loop holds instead *)
+  Alcotest.check decision "capped at max" Autoscaler.Hold
+    (Autoscaler.decide acfg tr ~now_us:0.0 ~backlog:100
+       ~replicas:acfg.Autoscaler.max_replicas ~idle:0 ~deadline_us:0.0);
+  (* low backlog alone is not enough: an idle replica is required *)
+  Alcotest.check decision "low but nothing idle" Autoscaler.Hold
+    (Autoscaler.decide acfg tr ~now_us:0.0 ~backlog:1 ~replicas:2 ~idle:0
+       ~deadline_us:0.0);
+  Alcotest.check decision "low and idle" Autoscaler.Scale_down
+    (Autoscaler.decide acfg tr ~now_us:0.0 ~backlog:1 ~replicas:2 ~idle:1
+       ~deadline_us:0.0);
+  (* min_replicas floors the shrink *)
+  let floored = Autoscaler.config ~min_replicas:2 () in
+  Alcotest.check decision "at the floor" Autoscaler.Hold
+    (Autoscaler.decide floored tr ~now_us:0.0 ~backlog:0 ~replicas:2 ~idle:2
+       ~deadline_us:0.0)
+
+let test_autoscaler_p99_trigger () =
+  let tr = Autoscaler.tracker ~name:"test.p99" in
+  for _ = 1 to 100 do
+    Autoscaler.observe_sojourn tr 10_000.0
+  done;
+  Alcotest.(check int) "samples recorded" 100 (Autoscaler.sojourn_count tr);
+  Alcotest.(check bool) "p99 near the samples" true
+    (Autoscaler.p99_sojourn_us tr > 5000.0);
+  (* backlog is calm (1 per replica) but p99 breaches the deadline *)
+  Alcotest.check decision "p99 breach scales up" Autoscaler.Scale_up
+    (Autoscaler.decide acfg tr ~now_us:0.0 ~backlog:2 ~replicas:2 ~idle:0
+       ~deadline_us:5000.0);
+  Alcotest.check decision "deadline 0 disables the trigger" Autoscaler.Hold
+    (Autoscaler.decide acfg tr ~now_us:0.0 ~backlog:2 ~replicas:2 ~idle:0
+       ~deadline_us:0.0);
+  (* a fresh tracker has no evidence: no breach *)
+  let calm = Autoscaler.tracker ~name:"test.calm" in
+  Alcotest.check decision "no samples, no breach" Autoscaler.Hold
+    (Autoscaler.decide acfg calm ~now_us:0.0 ~backlog:2 ~replicas:2 ~idle:0
+       ~deadline_us:5000.0)
+
+let test_autoscaler_validation () =
+  let raises f =
+    match f () with
+    | _ -> Alcotest.fail "expected Invalid_argument"
+    | exception Invalid_argument _ -> ()
+  in
+  raises (fun () -> Autoscaler.config ~interval_us:0.0 ());
+  raises (fun () ->
+      Autoscaler.config ~high_backlog_per_replica:1.0 ~low_backlog_per_replica:2.0 ());
+  raises (fun () -> Autoscaler.config ~cooldown_us:(-1.0) ());
+  raises (fun () -> Autoscaler.config ~min_replicas:(-1) ());
+  raises (fun () -> Autoscaler.config ~min_replicas:4 ~max_replicas:2 ())
+
+(* ---------------- bursty arrival process ---------------- *)
+
+let test_bursty_arrivals_deterministic_and_clustered () =
+  let composition = Genset.table1.(6) in
+  let arrival =
+    Genset.Bursty { on_us = 2000.0; off_us = 8000.0; on_mean_us = 50.0; off_mean_us = 2000.0 }
+  in
+  let draw () =
+    Genset.generate_arrival
+      ~rng:(Mlv_util.Rng.create 7)
+      ~composition ~tasks:60 ~arrival
+  in
+  let a = draw () and b = draw () in
+  Alcotest.(check (list (float 1e-9)))
+    "same seed, same trace"
+    (List.map (fun t -> t.Genset.arrival_us) a)
+    (List.map (fun t -> t.Genset.arrival_us) b);
+  let times = List.map (fun t -> t.Genset.arrival_us) a in
+  Alcotest.(check bool) "sorted" true
+    (List.for_all2 (fun x y -> x <= y) (List.filteri (fun i _ -> i < 59) times)
+       (List.tl times));
+  (* the busy phase (1/5 of the cycle) must hold well more than 1/5 of
+     the arrivals — that is the whole point of the burst *)
+  let in_on =
+    List.length
+      (List.filter (fun t -> Float.rem t.Genset.arrival_us 10_000.0 < 2000.0) a)
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "%d/60 arrivals in the busy phase" in_on)
+    true
+    (in_on > 30);
+  (* exponential arrivals through the new entry point are identical to
+     the legacy generator: the open-loop engine stays bit-identical *)
+  let old_way =
+    Genset.generate
+      ~rng:(Mlv_util.Rng.create 7)
+      ~composition ~tasks:60 ~mean_interarrival_us:200.0
+  in
+  let new_way =
+    Genset.generate_arrival
+      ~rng:(Mlv_util.Rng.create 7)
+      ~composition ~tasks:60
+      ~arrival:(Genset.Exponential { mean_us = 200.0 })
+  in
+  Alcotest.(check (list (float 0.0)))
+    "exponential path unchanged"
+    (List.map (fun t -> t.Genset.arrival_us) old_way)
+    (List.map (fun t -> t.Genset.arrival_us) new_way)
+
+(* ---------------- closed-loop sysim ---------------- *)
+
+let registry = lazy (Sysim.build_registry ())
+
+let serving_config ?(tasks = 30) ?(autoscale = Some Autoscaler.default) () =
+  let cfg =
+    Sysim.default_config ~policy:Runtime.greedy ~composition:Genset.table1.(6)
+  in
+  {
+    cfg with
+    Sysim.tasks;
+    arrival =
+      Some
+        (Genset.Bursty
+           { on_us = 2000.0; off_us = 8000.0; on_mean_us = 50.0; off_mean_us = 2000.0 });
+    serving =
+      Some
+        {
+          Sysim.classes = [];
+          batch = Batcher.config ~max_batch:4 ~max_linger_us:100.0 ();
+          autoscale;
+        };
+  }
+
+let test_serving_accounting_closes () =
+  let r = Sysim.run ~registry:(Lazy.force registry) (serving_config ()) in
+  Alcotest.(check int) "every task accounted" 30
+    (r.Sysim.completed + r.Sysim.rejected + r.Sysim.shed);
+  Alcotest.(check int) "none lost" 0 r.Sysim.lost;
+  Alcotest.(check bool) "some completed" true (r.Sysim.completed > 0);
+  Alcotest.(check bool) "batching happened" true (r.Sysim.batches > 0);
+  Alcotest.(check bool) "autoscaler actuated" true (r.Sysim.scale_ups > 0);
+  Alcotest.(check bool) "percentiles ordered" true
+    (r.Sysim.p50_latency_us <= r.Sysim.p95_latency_us
+    && r.Sysim.p95_latency_us <= r.Sysim.p99_latency_us)
+
+let test_serving_deterministic () =
+  let a = Sysim.run ~registry:(Lazy.force registry) (serving_config ()) in
+  let b = Sysim.run ~registry:(Lazy.force registry) (serving_config ()) in
+  Alcotest.(check (list (float 0.0))) "same latency series" a.Sysim.latencies_us
+    b.Sysim.latencies_us;
+  Alcotest.(check int) "same scale_ups" a.Sysim.scale_ups b.Sysim.scale_ups;
+  Alcotest.(check int) "same sheds" a.Sysim.shed b.Sysim.shed;
+  Alcotest.(check (float 0.0)) "same makespan" a.Sysim.makespan_us b.Sysim.makespan_us
+
+let test_serving_rejects_fault_plans () =
+  let plan =
+    match Fault_plan.of_string "crash@100:1" with Ok p -> p | Error e -> Alcotest.fail e
+  in
+  let cfg =
+    { (serving_config ()) with Sysim.faults = Some (Sysim.default_faults plan) }
+  in
+  match Sysim.run ~registry:(Lazy.force registry) cfg with
+  | _ -> Alcotest.fail "serving + faults should raise"
+  | exception Invalid_argument _ -> ()
+
+let test_open_loop_untouched_by_arrival_field () =
+  (* serving = None and arrival = None must reproduce the exact run
+     the engine produced before the serving layer existed; spelling
+     the default arrival out explicitly must change nothing *)
+  let base =
+    Sysim.default_config ~policy:Runtime.greedy ~composition:Genset.table1.(6)
+  in
+  let base = { base with Sysim.tasks = 30 } in
+  let a = Sysim.run ~registry:(Lazy.force registry) base in
+  let b =
+    Sysim.run ~registry:(Lazy.force registry)
+      { base with Sysim.arrival = Some (Genset.Exponential { mean_us = 200.0 }) }
+  in
+  Alcotest.(check (list (float 0.0))) "same latency series" a.Sysim.latencies_us
+    b.Sysim.latencies_us;
+  Alcotest.(check (float 0.0)) "same makespan" a.Sysim.makespan_us b.Sysim.makespan_us;
+  Alcotest.(check (float 0.0)) "same mean wait" a.Sysim.mean_wait_us b.Sysim.mean_wait_us;
+  (* open-loop runs carry zeroed serving fields *)
+  Alcotest.(check int) "no shed" 0 a.Sysim.shed;
+  Alcotest.(check int) "no batches" 0 a.Sysim.batches;
+  Alcotest.(check int) "no scaling" 0 (a.Sysim.scale_ups + a.Sysim.scale_downs)
+
+let test_percentiles_match_histogram () =
+  Obs.reset ();
+  let r = Sysim.run ~registry:(Lazy.force registry) (serving_config ()) in
+  let h = Obs.Histogram.get "sysim.task_sojourn_us" in
+  Alcotest.(check int) "histogram saw every completion" r.Sysim.completed
+    (Obs.Histogram.count h);
+  (* the registry histogram uses ten log buckets per decade, so its
+     estimate sits within one bucket (~26%) of the exact percentile *)
+  let close p exact =
+    let est = Obs.Histogram.percentile h p in
+    Alcotest.(check bool)
+      (Printf.sprintf "p%.0f exact %.0f vs histogram %.0f" p exact est)
+      true
+      (est >= exact /. 1.35 && est <= exact *. 1.35)
+  in
+  close 50.0 r.Sysim.p50_latency_us;
+  close 99.0 r.Sysim.p99_latency_us
+
+let test_slo_classes_shed_under_pressure () =
+  (* starve the gate: tight buckets on a bursty trace must shed, and
+     per-class accounting must close against the run totals *)
+  let cfg = serving_config ~tasks:40 () in
+  let classes =
+    [
+      Slo.class_spec ~priority:2 ~deadline_us:100_000.0 ~rate_per_s:500.0 ~burst:2 "S";
+      Slo.class_spec ~priority:1 ~deadline_us:100_000.0 ~rate_per_s:500.0 ~burst:2 "M";
+      Slo.class_spec ~priority:0 ~deadline_us:200_000.0 ~rate_per_s:500.0 ~burst:2 "L";
+    ]
+  in
+  let serving = { (Option.get cfg.Sysim.serving) with Sysim.classes } in
+  let r =
+    Sysim.run ~registry:(Lazy.force registry)
+      { cfg with Sysim.serving = Some serving }
+  in
+  Alcotest.(check bool) "tight buckets shed" true (r.Sysim.shed > 0);
+  Alcotest.(check int) "accounting still closes" 40
+    (r.Sysim.completed + r.Sysim.rejected + r.Sysim.shed);
+  Alcotest.(check int) "none lost" 0 r.Sysim.lost
+
+(* ---------------- migrate rollback differential ---------------- *)
+
+(* A small registry the single-device cluster can host a few of. *)
+let toy_registry () =
+  let r = Registry.create () in
+  (match Framework.build_npu ~tiles:6 () with
+  | Ok npu -> Registry.register r npu.Framework.mapping
+  | Error e -> Alcotest.fail e);
+  r
+
+let test_migrate_rollback_differential () =
+  (* Force-migrate with every node marked failed: the deploy inside
+     migrate cannot place anywhere, so the rollback must restore the
+     original placements exactly.  Run the same scenario on an indexed
+     and a naive runtime: every decision must match, and the capacity
+     index must stay consistent after the failed migration. *)
+  let scenario ~indexed =
+    let reg = toy_registry () in
+    let cluster = Cluster.create ~kinds:[ Device.XCVU37P; Device.XCVU37P ] () in
+    let rt = Runtime.create ~policy:Runtime.greedy ~indexed cluster reg in
+    let rec fill acc =
+      match Runtime.deploy rt ~accel:"npu-t6" with
+      | Ok d -> fill (d :: acc)
+      | Error _ -> List.rev acc
+    in
+    let deployed = fill [] in
+    Alcotest.(check bool) "cluster holds several" true (List.length deployed >= 2);
+    let victim = List.hd deployed in
+    let before = Runtime.nodes_used victim in
+    for n = 0 to Cluster.node_count cluster - 1 do
+      Runtime.mark_node_failed rt n
+    done;
+    let outcome = Runtime.migrate ~force:true rt victim in
+    (match outcome with
+    | Ok _ -> Alcotest.fail "migrate with all nodes down should fail"
+    | Error _ ->
+      Alcotest.(check (list int)) "rollback restored placement" before
+        (Runtime.nodes_used victim);
+      Alcotest.(check bool) "still live after rollback" true
+        (List.memq victim (Runtime.deployments rt)));
+    Alcotest.(check bool) "index consistent after failed migrate" true
+      (Runtime.index_consistent rt);
+    for n = 0 to Cluster.node_count cluster - 1 do
+      Runtime.restore_node rt n
+    done;
+    (* with capacity back, the same forced migration goes through and
+       the rollback has left no hidden state behind *)
+    let second = Runtime.migrate ~force:true rt victim in
+    (match second with
+    | Ok moved -> Alcotest.(check bool) "replaced whole" true (moved >= 1)
+    | Error e -> Alcotest.fail e);
+    Alcotest.(check bool) "index consistent after second" true
+      (Runtime.index_consistent rt);
+    List.iter (Runtime.undeploy rt) deployed;
+    Alcotest.(check bool) "index consistent after teardown" true
+      (Runtime.index_consistent rt);
+    let tag = function Ok n -> Printf.sprintf "ok:%d" n | Error _ -> "error" in
+    (List.length deployed, tag outcome, tag second, Runtime.nodes_used victim)
+  in
+  let i = scenario ~indexed:true in
+  let n = scenario ~indexed:false in
+  let pp_outcome fmt (a, b, c, d) =
+    Format.fprintf fmt "(%d, %s, %s, [%s])" a b c
+      (String.concat ";" (List.map string_of_int d))
+  in
+  Alcotest.(check (testable pp_outcome ( = ))) "indexed and naive agree" n i
+
+(* ---------------- per-attempt wait accounting ---------------- *)
+
+let test_wait_accounting_under_crash () =
+  (* one long task interrupted by a crash: its end-to-end wait spans
+     the outage, while each attempt's own queue wait is short — the
+     two series must be kept apart *)
+  let plan =
+    match Fault_plan.of_string "crash@2000:0,restore@50000:0" with
+    | Ok p -> p
+    | Error e -> Alcotest.fail e
+  in
+  let cfg =
+    Sysim.default_config ~policy:Runtime.greedy
+      ~composition:{ Genset.s = 1.0; m = 0.0; l = 0.0 }
+  in
+  let cfg =
+    {
+      cfg with
+      Sysim.tasks = 1;
+      mean_interarrival_us = 1.0;
+      repeats_per_task = 500;
+      cluster_kinds = [ Device.XCVU37P ];
+      faults = Some (Sysim.default_faults plan);
+    }
+  in
+  let r = Sysim.run ~registry:(Lazy.force registry) cfg in
+  Alcotest.(check int) "completed" 1 r.Sysim.completed;
+  Alcotest.(check int) "retried once" 1 r.Sysim.retried;
+  Alcotest.(check int) "two deploy attempts" 2 r.Sysim.wait_attempts;
+  (* the retry re-entered the queue at the crash; its second attempt
+     started only after the restore at t=50000, so the per-attempt
+     mean is large but still below the single end-to-end wait *)
+  Alcotest.(check bool)
+    (Printf.sprintf "per-attempt %.0f <= end-to-end %.0f"
+       r.Sysim.mean_wait_per_attempt_us r.Sysim.mean_wait_us)
+    true
+    (r.Sysim.mean_wait_per_attempt_us <= r.Sysim.mean_wait_us);
+  Alcotest.(check bool) "end-to-end wait spans the outage" true
+    (r.Sysim.mean_wait_us >= 40_000.0)
+
+let test_wait_series_agree_fault_free () =
+  (* without crashes every task queues exactly once, so the two means
+     coincide and attempts equal completions *)
+  let cfg =
+    Sysim.default_config ~policy:Runtime.greedy ~composition:Genset.table1.(6)
+  in
+  let r = Sysim.run ~registry:(Lazy.force registry) { cfg with Sysim.tasks = 30 } in
+  Alcotest.(check int) "one attempt per completion"
+    (r.Sysim.completed + r.Sysim.rejected)
+    r.Sysim.wait_attempts;
+  Alcotest.(check (float 1e-6)) "means coincide" r.Sysim.mean_wait_us
+    r.Sysim.mean_wait_per_attempt_us
+
+let () =
+  Alcotest.run "sched"
+    [
+      ( "slo",
+        [
+          Alcotest.test_case "bucket drains and refills" `Quick
+            test_slo_bucket_drains_and_refills;
+          Alcotest.test_case "priority threshold" `Quick test_slo_priority_threshold;
+          Alcotest.test_case "unknown and empty" `Quick test_slo_unknown_and_empty;
+          Alcotest.test_case "validation" `Quick test_slo_validation;
+        ] );
+      ( "batcher",
+        [
+          Alcotest.test_case "dispatch on fullness" `Quick test_batch_dispatch_on_fullness;
+          Alcotest.test_case "linger flush + stale timer" `Quick
+            test_batch_linger_flush_and_stale_timer;
+          Alcotest.test_case "validation" `Quick test_batch_validation;
+        ] );
+      ( "router",
+        [
+          Alcotest.test_case "weighted least outstanding" `Quick
+            test_router_weighted_least_outstanding;
+          Alcotest.test_case "validation" `Quick test_router_validation;
+        ] );
+      ( "autoscaler",
+        [
+          Alcotest.test_case "bootstrap and cooldown" `Quick
+            test_autoscaler_bootstrap_and_cooldown;
+          Alcotest.test_case "watermarks" `Quick test_autoscaler_watermarks;
+          Alcotest.test_case "p99 trigger" `Quick test_autoscaler_p99_trigger;
+          Alcotest.test_case "validation" `Quick test_autoscaler_validation;
+        ] );
+      ( "workload",
+        [
+          Alcotest.test_case "bursty arrivals" `Quick
+            test_bursty_arrivals_deterministic_and_clustered;
+        ] );
+      ( "serving",
+        [
+          Alcotest.test_case "accounting closes" `Quick test_serving_accounting_closes;
+          Alcotest.test_case "deterministic" `Quick test_serving_deterministic;
+          Alcotest.test_case "rejects fault plans" `Quick test_serving_rejects_fault_plans;
+          Alcotest.test_case "open loop untouched" `Quick
+            test_open_loop_untouched_by_arrival_field;
+          Alcotest.test_case "percentiles match histogram" `Quick
+            test_percentiles_match_histogram;
+          Alcotest.test_case "slo classes shed" `Quick test_slo_classes_shed_under_pressure;
+        ] );
+      ( "migrate",
+        [
+          Alcotest.test_case "rollback differential" `Quick
+            test_migrate_rollback_differential;
+        ] );
+      ( "wait_accounting",
+        [
+          Alcotest.test_case "crash split" `Quick test_wait_accounting_under_crash;
+          Alcotest.test_case "fault-free agreement" `Quick test_wait_series_agree_fault_free;
+        ] );
+    ]
