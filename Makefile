@@ -2,7 +2,7 @@
 
 .PHONY: all build check fmt test bench bench-place bench-place-smoke \
 	bench-faults bench-faults-smoke bench-trace bench-trace-smoke \
-	bench-sched bench-sched-smoke clean
+	bench-sched bench-sched-smoke bench-sim bench-sim-smoke clean
 
 all: build
 
@@ -28,9 +28,10 @@ test:
 # asserts the lifecycle-trace export is valid JSON whose event counts
 # close against the run's own accounting; bench-sched-smoke asserts the
 # autoscaled serving loop never regresses the static p99 and that every
-# request is accounted for.
+# request is accounted for; bench-sim-smoke asserts the timing-wheel
+# engine is bit-identical to the heap oracle and at least as fast.
 check: build fmt test bench-place-smoke bench-faults-smoke bench-trace-smoke \
-	bench-sched-smoke
+	bench-sched-smoke bench-sim-smoke
 
 # Regenerates every table/figure and leaves BENCH_obs.json (the
 # observability registry of the run) next to the console output.
@@ -81,6 +82,20 @@ bench-sched:
 # deterministic, and the autoscaled p99 does not exceed the static p99.
 bench-sched-smoke:
 	dune exec bench/main.exe -- sched-smoke
+
+# Discrete-event engine microbenchmark: 1M events through the heap and
+# timing-wheel engines behind the same Sim interface; asserts the order
+# digests are bit-identical and the wheel is ≥10× faster, and writes
+# BENCH_sim.json (events/s, allocation words/event, gap percentiles).
+bench-sim:
+	dune exec bench/sim.exe -- --assert-speedup 10
+
+# Fast variant for `make check`: same bit-identity assertion, only
+# requires the wheel not be slower than the heap (wall-clock ratios on
+# a shared machine are too noisy for a tight bound at this size).
+bench-sim-smoke:
+	dune exec bench/sim.exe -- --events 100000 --pending 20000 --reps 2 \
+	  --out BENCH_sim_smoke.json --assert-speedup 1
 
 clean:
 	dune clean

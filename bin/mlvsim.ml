@@ -111,7 +111,7 @@ let report ?faults ?serving set composition policy tasks seed (r : Sysim.result)
   | None -> ())
 
 let run set policy tasks seed interarrival repeats compare fault_plan max_retries
-    burst batch autoscale slo metrics_out trace_out =
+    burst batch autoscale slo engine metrics_out trace_out =
   let ( let* ) r f = Result.bind r f in
   let parsed =
     let* faults =
@@ -169,6 +169,7 @@ let run set policy tasks seed interarrival repeats compare fault_plan max_retrie
     prerr_endline "workload set must be 1..10";
     1
   | Ok (faults, arrival, serving) ->
+    Mlv_cluster.Sim.set_default_engine engine;
     if trace_out <> None then Mlv_obs.Obs.Trace.set_enabled true;
     Printf.printf "building the mapping database (10 accelerator instances)...\n%!";
     let registry = Sysim.build_registry () in
@@ -305,6 +306,22 @@ let slo_arg =
            model class gets this deadline and token bucket, with \
            priority by size (small models shed last)")
 
+let engine_conv =
+  Arg.conv
+    ( (fun s ->
+        match Mlv_cluster.Sim.engine_of_string s with
+        | Some e -> Ok e
+        | None -> Error (`Msg (Printf.sprintf "unknown engine %s" s))),
+      fun fmt e -> Format.pp_print_string fmt (Mlv_cluster.Sim.engine_name e) )
+
+let engine_arg =
+  Arg.(
+    value
+    & opt engine_conv (Mlv_cluster.Sim.default_engine ())
+    & info [ "engine" ] ~docv:"ENGINE"
+        ~doc:
+          "Discrete-event queue engine: $(b,wheel) (hierarchical timing            wheel, the default) or $(b,heap) (binary heap, the            differential oracle).  Both produce bit-identical results;            the wheel is faster at scale")
+
 let metrics_out_arg =
   Arg.(
     value
@@ -333,7 +350,7 @@ let () =
     Term.(
       const run $ set_arg $ policy_arg $ tasks_arg $ seed_arg $ interarrival_arg
       $ repeats_arg $ compare_arg $ fault_plan_arg $ max_retries_arg
-      $ burst_arg $ batch_arg $ autoscale_arg $ slo_arg
+      $ burst_arg $ batch_arg $ autoscale_arg $ slo_arg $ engine_arg
       $ metrics_out_arg $ trace_out_arg)
   in
   exit (Cmd.eval' (Cmd.v info term))

@@ -1,9 +1,31 @@
 module Pqueue = Mlv_util.Pqueue
+module Wheel = Mlv_util.Timing_wheel
 module Obs = Mlv_obs.Obs
 
+type engine = Heap | Wheel
+
+let engine_name = function Heap -> "heap" | Wheel -> "wheel"
+
+let engine_of_string = function
+  | "heap" -> Some Heap
+  | "wheel" -> Some Wheel
+  | _ -> None
+
+(* The wheel is the default: the heap is kept as a differential
+   oracle (same discipline as naive-vs-indexed placement) and for the
+   microbenchmark baseline. *)
+let default = ref Wheel
+let set_default_engine e = default := e
+let default_engine () = !default
+
+type queue = Q_heap of (unit -> unit) Pqueue.t | Q_wheel of Wheel.t
+
 type t = {
-  queue : (unit -> unit) Pqueue.t;
-  mutable now : float;
+  queue : queue;
+  now : float ref;
+      (* a float ref is an all-float record, so stores stay unboxed;
+         a [mutable now : float] field in this mixed record would box
+         on every event *)
   mutable processed : int;
   events_counter : Obs.Counter.t;
   scheduled_counter : Obs.Counter.t;
@@ -12,15 +34,20 @@ type t = {
          [release] can unregister exactly this simulator *)
 }
 
-let create () =
-  let rec t =
+let create ?engine () =
+  let engine = match engine with Some e -> e | None -> !default in
+  let now = ref 0.0 in
+  let t =
     {
-      queue = Pqueue.create ();
-      now = 0.0;
+      queue =
+        (match engine with
+        | Heap -> Q_heap (Pqueue.create ())
+        | Wheel -> Q_wheel (Wheel.create ()));
+      now;
       processed = 0;
       events_counter = Obs.Counter.get "sim.events_processed";
       scheduled_counter = Obs.Counter.get "sim.events_scheduled";
-      clock = (fun () -> t.now);
+      clock = (fun () -> !now);
     }
   in
   (* Spans opened while this simulator is live report its clock as
@@ -28,51 +55,95 @@ let create () =
   Obs.set_sim_clock t.clock;
   t
 
+let engine t = match t.queue with Q_heap _ -> Heap | Q_wheel _ -> Wheel
+
 (* Without this, the last simulator's clock closure (and the whole
    sim state it captures) stays registered forever, keeping the state
    live and stamping stale sim times onto spans of later, unrelated
    work.  A release of an already-superseded simulator is a no-op. *)
 let release t = Obs.clear_sim_clock_of t.clock
 
-let now t = t.now
+let now t = !(t.now)
+
+let push t at f =
+  match t.queue with
+  | Q_heap q -> Pqueue.push q at f
+  | Q_wheel w -> Wheel.push w ~at f
 
 let schedule t ~delay f =
   if delay < 0.0 then invalid_arg "Sim.schedule: negative delay";
   Obs.Counter.incr t.scheduled_counter;
-  Pqueue.push t.queue (t.now +. delay) f
+  push t (!(t.now) +. delay) f
 
 let schedule_at t ~at f =
-  if at < t.now then invalid_arg "Sim.schedule_at: time in the past";
+  if at < !(t.now) then invalid_arg "Sim.schedule_at: time in the past";
   Obs.Counter.incr t.scheduled_counter;
-  Pqueue.push t.queue at f
+  push t at f
+
+let fire t time f =
+  t.now := time;
+  t.processed <- t.processed + 1;
+  Obs.Counter.incr t.events_counter;
+  f ()
 
 let step t =
-  match Pqueue.pop t.queue with
-  | None -> false
-  | Some (time, f) ->
-    t.now <- time;
+  match t.queue with
+  | Q_heap q -> (
+    match Pqueue.pop q with
+    | None -> false
+    | Some (time, f) ->
+      fire t time f;
+      true)
+  | Q_wheel w ->
+    if Wheel.is_empty w then false
+    else begin
+      (* [pop_fire] writes the timestamp straight into the [now] ref
+         and hands back the thunk: no option, tuple or float box on
+         the per-event path. *)
+      let f = Wheel.pop_fire w ~into:t.now in
+      t.processed <- t.processed + 1;
+      Obs.Counter.incr t.events_counter;
+      f ();
+      true
+    end
+
+let pending t =
+  match t.queue with Q_heap q -> Pqueue.length q | Q_wheel w -> Wheel.length w
+
+(* Earliest pending timestamp, [infinity] when empty; allocation-free
+   (no option boxing), which matters in the [run] loop. *)
+let next_time t =
+  match t.queue with
+  | Q_heap q -> Pqueue.peek_prio q
+  | Q_wheel w -> Wheel.next_time w
+
+(* Drain the wheel without going through [step]'s queue dispatch: one
+   variant match per run instead of one per event. *)
+let drain_wheel t w =
+  let events = t.events_counter in
+  while not (Wheel.is_empty w) do
+    let f = Wheel.pop_fire w ~into:t.now in
     t.processed <- t.processed + 1;
-    Obs.Counter.incr t.events_counter;
-    f ();
-    true
+    Obs.Counter.incr events;
+    f ()
+  done
 
 let run ?until t =
-  let continue () =
-    match until with
-    | None -> true
-    | Some limit -> (
-      match Pqueue.peek t.queue with
-      | Some (time, _) -> time <= limit
-      | None -> false)
-  in
-  while (not (Pqueue.is_empty t.queue)) && continue () do
-    ignore (step t)
-  done;
+  (match until with
+  | None -> (
+    match t.queue with
+    | Q_wheel w -> drain_wheel t w
+    | Q_heap _ -> while step t do () done)
+  | Some limit ->
+    while pending t > 0 && next_time t <= limit do
+      ignore (step t)
+    done);
   (* The clock always reaches the limit, whether the queue drained or
      the next event lies beyond it; otherwise utilization windows and
      rate computations against [now] are measured over a short
      interval. *)
-  match until with Some limit when t.now < limit -> t.now <- limit | _ -> ()
+  match until with
+  | Some limit when !(t.now) < limit -> t.now := limit
+  | _ -> ()
 
-let pending t = Pqueue.length t.queue
 let events_processed t = t.processed

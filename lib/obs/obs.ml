@@ -302,12 +302,20 @@ end
 
 module Histogram = struct
   (* Ten log buckets per decade: sample v > 0 lands in bucket
-     round(10 * log10 v), so bucket k represents 10^(k/10). *)
+     round(10 * log10 v), so bucket k represents 10^(k/10).  Counts
+     live in a flat array indexed by k + bucket_offset — the observe
+     path is one array store, no hashtable churn, no allocation.
+     k is clamped to [-300, 300] (samples from 1e-30 to 1e30); the
+     clamp is invisible in practice because percentile results are
+     clamped to the exactly-tracked min/max anyway. *)
+  let bucket_offset = 300
+  let bucket_slots = (2 * bucket_offset) + 1
+
   type t = {
     hname : string;  (* full canonical name: base plus rendered labels *)
     hbase : string;
     hlabels : Labels.t;
-    buckets : (int, int) Hashtbl.t;
+    buckets : int array;
     mutable zero_count : int;  (* samples <= 0 *)
     mutable acc : Stats.Acc.t;
   }
@@ -320,7 +328,7 @@ module Histogram = struct
     | None ->
       let h =
         { hname = name; hbase = base; hlabels = labels;
-          buckets = Hashtbl.create 32; zero_count = 0;
+          buckets = Array.make bucket_slots 0; zero_count = 0;
           acc = Stats.Acc.create () }
       in
       Hashtbl.replace registry name h;
@@ -334,7 +342,7 @@ module Histogram = struct
 
   let detached ?(name = "detached") () =
     { hname = name; hbase = name; hlabels = [];
-      buckets = Hashtbl.create 32; zero_count = 0;
+      buckets = Array.make bucket_slots 0; zero_count = 0;
       acc = Stats.Acc.create () }
 
   let observe t v =
@@ -344,8 +352,12 @@ module Histogram = struct
     if v <= 0.0 then t.zero_count <- t.zero_count + 1
     else begin
       let b = int_of_float (Float.round (log10 v *. 10.0)) in
-      let cur = try Hashtbl.find t.buckets b with Not_found -> 0 in
-      Hashtbl.replace t.buckets b (cur + 1)
+      let b =
+        if b < -bucket_offset then 0
+        else if b > bucket_offset then bucket_slots - 1
+        else b + bucket_offset
+      in
+      t.buckets.(b) <- t.buckets.(b) + 1
     end
 
   let count t = Stats.Acc.count t.acc
@@ -368,20 +380,19 @@ module Histogram = struct
       in
       if t.zero_count >= target then Stdlib.min 0.0 (min t)
       else begin
-        let keys =
-          Hashtbl.fold (fun k _ acc -> k :: acc) t.buckets [] |> List.sort compare
-        in
         let cum = ref t.zero_count in
         let result = ref (max t) in
         (try
-           List.iter
-             (fun k ->
-               cum := !cum + Hashtbl.find t.buckets k;
+           for i = 0 to bucket_slots - 1 do
+             let c = t.buckets.(i) in
+             if c > 0 then begin
+               cum := !cum + c;
                if !cum >= target then begin
-                 result := 10.0 ** (float_of_int k /. 10.0);
+                 result := 10.0 ** (float_of_int (i - bucket_offset) /. 10.0);
                  raise Exit
-               end)
-             keys
+               end
+             end
+           done
          with Exit -> ());
         (* The bucket midpoint can overshoot the true extremes; clamp
            to the exactly tracked range. *)
@@ -390,7 +401,7 @@ module Histogram = struct
     end
 
   let clear t =
-    Hashtbl.reset t.buckets;
+    Array.fill t.buckets 0 bucket_slots 0;
     t.zero_count <- 0;
     t.acc <- Stats.Acc.create ()
 end
@@ -430,8 +441,19 @@ let spans () =
       | None -> assert false)
 
 let contains hay needle =
+  (* Character-by-character scan: the obvious [String.sub hay i nn =
+     needle] allocates a fresh substring per candidate position,
+     which [spans_matching]/[timeline] pay per span in the 8192-entry
+     ring on every query. *)
   let nh = String.length hay and nn = String.length needle in
-  let rec at i = i + nn <= nh && (String.sub hay i nn = needle || at (i + 1)) in
+  let matches_at i =
+    let j = ref 0 in
+    while !j < nn && String.unsafe_get hay (i + !j) = String.unsafe_get needle !j do
+      incr j
+    done;
+    !j = nn
+  in
+  let rec at i = i + nn <= nh && (matches_at i || at (i + 1)) in
   nn = 0 || at 0
 
 let spans_matching sub = List.filter (fun r -> contains r.name sub) (spans ())
@@ -797,6 +819,11 @@ let reset () =
   completed_next := 0;
   completed_total := 0;
   Span.stack := [];
+  (* Span ids are exported (metrics JSON, Perfetto [span_id] args);
+     without rewinding the id counter, two otherwise-identical runs
+     separated by a reset export different ids, breaking bit-identity
+     comparison of trace exports within one process. *)
+  Span.next_id := 0;
   Trace.reset ()
 
 (* ------------------------------------------------------------------ *)

@@ -26,6 +26,13 @@ type t = {
   mutable threshold : int;  (* shed classes with priority < threshold *)
   mutable t_admitted : int;
   mutable t_shed : int;
+  mutable t_unknown_admitted : int;
+      (* admissions with no matching bucket: tracked separately so the
+         per-class identity
+         sum admitted_of + sum shed_of + unknown_admitted
+           = admitted + shed
+         holds exactly instead of silently leaking unknown classes
+         into the admitted total *)
 }
 
 let create specs =
@@ -45,7 +52,8 @@ let create specs =
   let names = List.map fst buckets in
   if List.length (List.sort_uniq compare names) <> List.length names then
     invalid_arg "Slo.create: duplicate class names";
-  { buckets; threshold = min_int; t_admitted = 0; t_shed = 0 }
+  { buckets; threshold = min_int; t_admitted = 0; t_shed = 0;
+    t_unknown_admitted = 0 }
 
 let classes t = List.map (fun (_, b) -> b.spec) t.buckets
 let find t name = List.assoc_opt name t.buckets |> Option.map (fun b -> b.spec)
@@ -68,6 +76,7 @@ let admit t ~class_name ~now_us =
   match List.assoc_opt class_name t.buckets with
   | None ->
     t.t_admitted <- t.t_admitted + 1;
+    t.t_unknown_admitted <- t.t_unknown_admitted + 1;
     Admitted
   | Some b ->
     refill b ~now_us;
@@ -98,3 +107,5 @@ let admitted_of t name =
 
 let shed_of t name =
   match List.assoc_opt name t.buckets with Some b -> b.b_shed | None -> 0
+
+let unknown_admitted t = t.t_unknown_admitted

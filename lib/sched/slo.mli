@@ -69,10 +69,17 @@ val set_shed_below : t -> int -> unit
 
 val shed_below : t -> int
 
-(** Decision counters, total and per class (unknown classes count
-    under the totals only). *)
+(** Decision counters, total and per class.  Unknown-class admissions
+    are tracked in {!unknown_admitted}, so the identity
+    [sum admitted_of + sum shed_of + unknown_admitted = admitted + shed]
+    holds exactly. *)
 val admitted : t -> int
 
 val shed : t -> int
 val admitted_of : t -> string -> int
 val shed_of : t -> string -> int
+
+(** [unknown_admitted t] counts admissions whose [class_name] matched
+    no configured class (including every admission through an empty
+    gate). *)
+val unknown_admitted : t -> int

@@ -301,6 +301,18 @@ and run_untraced ~registry cfg =
   let runtime = Runtime.create ~policy:cfg.policy cluster registry in
   let sim = cluster.Cluster.sim in
   let rng = Rng.create cfg.seed in
+  (* Metric handles are interned by name; hoist the string-keyed
+     registry lookups out of the per-event closures so the hot path
+     emits through direct handles. *)
+  let rejected_c = Obs.Counter.get "sysim.tasks.rejected" in
+  let completed_c = Obs.Counter.get "sysim.tasks.completed" in
+  let retried_c = Obs.Counter.get "sysim.tasks.retried" in
+  let arrived_c = Obs.Counter.get "sysim.tasks.arrived" in
+  let slo_miss_c = Obs.Counter.get "sysim.slo_misses" in
+  let wait_attempt_h = Obs.Histogram.get "sysim.task_wait_attempt_us" in
+  let service_h = Obs.Histogram.get "sysim.task_service_us" in
+  let wait_h = Obs.Histogram.get "sysim.task_wait_us" in
+  let sojourn_h = Obs.Histogram.get "sysim.task_sojourn_us" in
   let tasks =
     Genset.generate_arrival ~rng ~composition:cfg.composition ~tasks:cfg.tasks
       ~arrival:(arrival_of cfg)
@@ -325,7 +337,7 @@ and run_untraced ~registry cfg =
   let completed_in_outage = ref 0 in
   let reject (p : pending) =
     incr rejected;
-    Obs.Counter.incr (Obs.Counter.get "sysim.tasks.rejected");
+    Obs.Counter.incr rejected_c;
     Obs.Trace.task Obs.Trace.Reject p.task.Genset.task_id ~retries:p.retries
       ~label:p.accel
   in
@@ -359,9 +371,7 @@ and run_untraced ~registry cfg =
         let wait = now -. p.task.Genset.arrival_us in
         let attempt_wait = now -. p.ready_us in
         attempt_waits := attempt_wait :: !attempt_waits;
-        Obs.Histogram.observe
-          (Obs.Histogram.get "sysim.task_wait_attempt_us")
-          attempt_wait;
+        Obs.Histogram.observe wait_attempt_h attempt_wait;
         let service =
           d.Runtime.reconfig_us
           +. (float_of_int cfg.repeats_per_task
@@ -370,7 +380,7 @@ and run_untraced ~registry cfg =
                   p.task.Genset.point d)
         in
         services := service :: !services;
-        Obs.Histogram.observe (Obs.Histogram.get "sysim.task_service_us") service;
+        Obs.Histogram.observe service_h service;
         Obs.Trace.task Obs.Trace.Service p.task.Genset.task_id ?node
           ~deployment:d.Runtime.id ~retries:p.retries ~label:p.accel;
         let fl = { pend = p; depl = d; cancelled = false } in
@@ -381,7 +391,7 @@ and run_untraced ~registry cfg =
               Runtime.undeploy runtime d;
               incr completed;
               if Hashtbl.length down > 0 then incr completed_in_outage;
-              Obs.Counter.incr (Obs.Counter.get "sysim.tasks.completed");
+              Obs.Counter.incr completed_c;
               (match node with
               | Some n ->
                 Obs.Counter.incr
@@ -389,11 +399,11 @@ and run_untraced ~registry cfg =
                      [ ("node", string_of_int n) ])
               | None -> ());
               waits := wait :: !waits;
-              Obs.Histogram.observe (Obs.Histogram.get "sysim.task_wait_us") wait;
+              Obs.Histogram.observe wait_h wait;
               let finished = Sim.now sim in
               let sojourn = finished -. p.task.Genset.arrival_us in
               latencies := sojourn :: !latencies;
-              Obs.Histogram.observe (Obs.Histogram.get "sysim.task_sojourn_us") sojourn;
+              Obs.Histogram.observe sojourn_h sojourn;
               Obs.Histogram.observe
                 (Obs.Histogram.get_labeled "sysim.task_sojourn_us"
                    [ ("kind", kind) ])
@@ -411,7 +421,7 @@ and run_untraced ~registry cfg =
                  unqueued service time. *)
               if sojourn > cfg.slo_multiplier *. service then begin
                 incr slo_misses;
-                Obs.Counter.incr (Obs.Counter.get "sysim.slo_misses")
+                Obs.Counter.incr slo_miss_c
               end;
               makespan := Float.max !makespan finished;
               try_start ()
@@ -466,7 +476,7 @@ and run_untraced ~registry cfg =
         fl.pend.retries <- fl.pend.retries + 1;
         fl.pend.ready_us <- Sim.now sim;
         incr retried;
-        Obs.Counter.incr (Obs.Counter.get "sysim.tasks.retried");
+        Obs.Counter.incr retried_c;
         Obs.Trace.task Obs.Trace.Retry fl.pend.task.Genset.task_id ~node
           ~retries:fl.pend.retries ~label:fl.pend.accel)
       again;
@@ -491,7 +501,7 @@ and run_untraced ~registry cfg =
   List.iter
     (fun (task : Genset.task) ->
       Sim.schedule_at sim ~at:task.Genset.arrival_us (fun () ->
-          Obs.Counter.incr (Obs.Counter.get "sysim.tasks.arrived");
+          Obs.Counter.incr arrived_c;
           let accel =
             Framework.accel_name
               ~tiles:(instance_for ~policy:cfg.policy task.Genset.point)
@@ -586,6 +596,18 @@ and run_serving ~registry cfg serving =
   let runtime = Runtime.create ~policy:cfg.policy cluster registry in
   let sim = cluster.Cluster.sim in
   let rng = Rng.create cfg.seed in
+  (* Same hoist as [run_untraced]: per-task/per-batch emit sites use
+     direct metric handles instead of string-keyed registry lookups. *)
+  let rejected_c = Obs.Counter.get "sysim.tasks.rejected" in
+  let completed_c = Obs.Counter.get "sysim.tasks.completed" in
+  let arrived_c = Obs.Counter.get "sysim.tasks.arrived" in
+  let slo_miss_c = Obs.Counter.get "sysim.slo_misses" in
+  let batches_c = Obs.Counter.get "sysim.serving.batches" in
+  let shed_c = Obs.Counter.get "sysim.serving.shed" in
+  let wait_attempt_h = Obs.Histogram.get "sysim.task_wait_attempt_us" in
+  let service_h = Obs.Histogram.get "sysim.task_service_us" in
+  let wait_h = Obs.Histogram.get "sysim.task_wait_us" in
+  let sojourn_h = Obs.Histogram.get "sysim.task_sojourn_us" in
   let tasks =
     Genset.generate_arrival ~rng ~composition:cfg.composition ~tasks:cfg.tasks
       ~arrival:(arrival_of cfg)
@@ -631,7 +653,7 @@ and run_serving ~registry cfg serving =
   let reject_stask ~accel (st : stask) =
     incr rejected;
     decr queued;
-    Obs.Counter.incr (Obs.Counter.get "sysim.tasks.rejected");
+    Obs.Counter.incr rejected_c;
     Obs.Trace.task Obs.Trace.Reject st.s_task.Genset.task_id ~retries:0
       ~label:accel
   in
@@ -741,15 +763,13 @@ and run_serving ~registry cfg serving =
              waits coincide. *)
           let wait = now -. st.s_task.Genset.arrival_us in
           waits := wait :: !waits;
-          Obs.Histogram.observe (Obs.Histogram.get "sysim.task_wait_us") wait;
-          Obs.Histogram.observe
-            (Obs.Histogram.get "sysim.task_wait_attempt_us")
+          Obs.Histogram.observe wait_h wait;
+          Obs.Histogram.observe wait_attempt_h
             wait;
           (* Reconfiguration amortizes across the batch. *)
           let task_service = svc +. (reconfig /. float_of_int n) in
           services := task_service :: !services;
-          Obs.Histogram.observe
-            (Obs.Histogram.get "sysim.task_service_us")
+          Obs.Histogram.observe service_h
             task_service;
           Obs.Trace.task Obs.Trace.Service id ?node ~deployment:d.Runtime.id
             ~retries:0 ~label:g.g_accel)
@@ -762,7 +782,7 @@ and run_serving ~registry cfg serving =
           List.iter2
             (fun st svc ->
               incr completed;
-              Obs.Counter.incr (Obs.Counter.get "sysim.tasks.completed");
+              Obs.Counter.incr completed_c;
               (match node with
               | Some nd ->
                 Obs.Counter.incr
@@ -771,8 +791,7 @@ and run_serving ~registry cfg serving =
               | None -> ());
               let sojourn = finished -. st.s_task.Genset.arrival_us in
               latencies := sojourn :: !latencies;
-              Obs.Histogram.observe
-                (Obs.Histogram.get "sysim.task_sojourn_us")
+              Obs.Histogram.observe sojourn_h
                 sojourn;
               Obs.Histogram.observe
                 (Obs.Histogram.get_labeled "sysim.task_sojourn_us"
@@ -788,7 +807,7 @@ and run_serving ~registry cfg serving =
               in
               if sojourn > deadline then begin
                 incr slo_misses;
-                Obs.Counter.incr (Obs.Counter.get "sysim.slo_misses")
+                Obs.Counter.incr slo_miss_c
               end)
             batch per_task;
           makespan := Float.max !makespan finished;
@@ -831,7 +850,7 @@ and run_serving ~registry cfg serving =
     end
   in
   let rec dispatch g batch =
-    Obs.Counter.incr (Obs.Counter.get "sysim.serving.batches");
+    Obs.Counter.incr batches_c;
     match Router.pick router ~key:g.g_accel with
     | Some rid ->
       Router.begin_work router ~key:g.g_accel ~replica_id:rid
@@ -932,7 +951,7 @@ and run_serving ~registry cfg serving =
   List.iter
     (fun (task : Genset.task) ->
       Sim.schedule_at sim ~at:task.Genset.arrival_us (fun () ->
-          Obs.Counter.incr (Obs.Counter.get "sysim.tasks.arrived");
+          Obs.Counter.incr arrived_c;
           let accel =
             Framework.accel_name
               ~tiles:(instance_for ~policy:cfg.policy task.Genset.point)
@@ -943,7 +962,7 @@ and run_serving ~registry cfg serving =
           match Slo.admit gate ~class_name:cname ~now_us:now with
           | Slo.Shed_rate | Slo.Shed_priority ->
             incr shed;
-            Obs.Counter.incr (Obs.Counter.get "sysim.serving.shed");
+            Obs.Counter.incr shed_c;
             Obs.Trace.task Obs.Trace.Reject task.Genset.task_id ~retries:0
               ~label:accel
           | Slo.Admitted -> (

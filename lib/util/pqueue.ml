@@ -1,5 +1,12 @@
 type 'a entry = { prio : float; seq : int; value : 'a }
 
+(* One shared placeholder entry fills vacated and never-used slots so
+   the backing array can outlive drains without pinning popped values.
+   Slots at index >= size are never read, so the unsafe cast is only
+   ever observed as "some entry". *)
+let filler_entry : Obj.t entry = { prio = nan; seq = -1; value = Obj.repr 0 }
+let filler () : 'a entry = Obj.magic filler_entry
+
 type 'a t = {
   mutable heap : 'a entry array;
   mutable size : int;
@@ -18,8 +25,19 @@ let grow t =
   let cap = Array.length t.heap in
   if t.size = cap then begin
     let new_cap = max 16 (2 * cap) in
-    let dummy = t.heap.(0) in
-    let heap = Array.make new_cap dummy in
+    let heap = Array.make new_cap (filler ()) in
+    Array.blit t.heap 0 heap 0 t.size;
+    t.heap <- heap
+  end
+
+(* Bounded shrink: halve the array when occupancy drops to a quarter,
+   never below 16 slots.  A drained queue keeps a small array, so
+   ping-pong schedule/pop cycles stop reallocating from scratch. *)
+let maybe_shrink t =
+  let cap = Array.length t.heap in
+  if cap > 16 && t.size * 4 <= cap then begin
+    let new_cap = max 16 (cap / 2) in
+    let heap = Array.make new_cap (filler ()) in
     Array.blit t.heap 0 heap 0 t.size;
     t.heap <- heap
   end
@@ -50,7 +68,7 @@ let rec sift_down t i =
 let push t prio value =
   let entry = { prio; seq = t.next_seq; value } in
   t.next_seq <- t.next_seq + 1;
-  if Array.length t.heap = 0 then t.heap <- Array.make 16 entry;
+  if Array.length t.heap = 0 then t.heap <- Array.make 16 (filler ());
   grow t;
   t.heap.(t.size) <- entry;
   t.size <- t.size + 1;
@@ -63,23 +81,21 @@ let pop t =
     t.size <- t.size - 1;
     if t.size > 0 then begin
       t.heap.(0) <- t.heap.(t.size);
-      sift_down t 0;
-      (* Overwrite the vacated slot: it still held the last entry,
-         keeping the moved value (and with it e.g. popped simulator
-         closures capturing whole deployments) reachable until the
-         slot was reused.  Aliasing a live entry makes the slot hold
-         nothing extra. *)
-      t.heap.(t.size) <- t.heap.(0)
-    end
-    else
-      (* Shrink on clear: the queue is empty, so drop the backing
-         array rather than pin its entries. *)
-      t.heap <- [||];
+      sift_down t 0
+    end;
+    (* Overwrite the vacated slot: it still held a live entry, keeping
+       the value (e.g. popped simulator closures capturing whole
+       deployments) reachable until the slot was reused. *)
+    t.heap.(t.size) <- filler ();
+    maybe_shrink t;
     Some (top.prio, top.value)
   end
 
 let peek t = if t.size = 0 then None else Some (t.heap.(0).prio, t.heap.(0).value)
+let peek_prio t = if t.size = 0 then infinity else t.heap.(0).prio
+let capacity t = Array.length t.heap
 
 let clear t =
+  Array.fill t.heap 0 t.size (filler ());
   t.size <- 0;
-  t.heap <- [||]
+  maybe_shrink t

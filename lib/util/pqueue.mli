@@ -24,5 +24,18 @@ val pop : 'a t -> (float * 'a) option
 (** [peek t] returns the minimum without removing it. *)
 val peek : 'a t -> (float * 'a) option
 
-(** [clear t] removes every element. *)
+(** [peek_prio t] is the minimum priority, or [infinity] when empty.
+    Does not allocate (unlike [peek], which boxes a tuple). *)
+val peek_prio : 'a t -> float
+
+(** [capacity t] is the current backing-array size.  Exposed so tests
+    and diagnostics can observe the bounded shrink policy: the array is
+    halved when occupancy drops to a quarter and never drops below 16
+    slots once allocated. *)
+val capacity : 'a t -> int
+
+(** [clear t] removes every element.  The backing array is retained
+    under a bounded shrink policy (halved when occupancy drops to a
+    quarter, never below 16 slots), so drain/refill cycles do not
+    reallocate from scratch. *)
 val clear : 'a t -> unit

@@ -46,24 +46,129 @@ let geomean = function
     exp (sum_log /. float_of_int (List.length xs))
 
 module Acc = struct
-  type t = {
-    mutable count : int;
-    mutable sum : float;
-    mutable min : float;
-    mutable max : float;
-  }
+  (* sum/min/max live in a flat float array: a record mixing an int
+     with mutable floats boxes every float store, which costs two
+     words per [add] on the simulator hot path. *)
+  type t = { mutable count : int; cells : float array }
 
-  let create () = { count = 0; sum = 0.0; min = infinity; max = neg_infinity }
+  let create () = { count = 0; cells = [| 0.0; infinity; neg_infinity |] }
 
   let add t x =
     t.count <- t.count + 1;
-    t.sum <- t.sum +. x;
-    if x < t.min then t.min <- x;
-    if x > t.max then t.max <- x
+    let c = t.cells in
+    c.(0) <- c.(0) +. x;
+    if x < c.(1) then c.(1) <- x;
+    if x > c.(2) then c.(2) <- x
 
   let count t = t.count
-  let mean t = if t.count = 0 then 0.0 else t.sum /. float_of_int t.count
-  let min t = t.min
-  let max t = t.max
-  let sum t = t.sum
+  let mean t = if t.count = 0 then 0.0 else t.cells.(0) /. float_of_int t.count
+  let min t = t.cells.(1)
+  let max t = t.cells.(2)
+  let sum t = t.cells.(0)
+end
+
+module P2 = struct
+  (* Jain & Chlamtac's P-squared algorithm: a streaming estimate of a
+     single quantile from five markers, O(1) space and allocation-free
+     per observation.  Marker heights are adjusted toward their ideal
+     positions with a piecewise-parabolic fit. *)
+  type t = {
+    p : float;
+    q : float array; (* marker heights *)
+    n : float array; (* marker positions (1-based ranks) *)
+    np : float array; (* desired positions *)
+    dn : float array; (* desired position increments *)
+    mutable count : int;
+  }
+
+  let create p =
+    if p <= 0.0 || p >= 1.0 then invalid_arg "Stats.P2.create: p outside (0,1)";
+    {
+      p;
+      q = Array.make 5 0.0;
+      n = [| 1.0; 2.0; 3.0; 4.0; 5.0 |];
+      np = [| 1.0; 1.0 +. (2.0 *. p); 1.0 +. (4.0 *. p); 3.0 +. (2.0 *. p); 5.0 |];
+      dn = [| 0.0; p /. 2.0; p; (1.0 +. p) /. 2.0; 1.0 |];
+      count = 0;
+    }
+
+  let parabolic t i d =
+    let q = t.q and n = t.n in
+    q.(i)
+    +. d
+       /. (n.(i + 1) -. n.(i - 1))
+       *. (((n.(i) -. n.(i - 1) +. d) *. (q.(i + 1) -. q.(i)) /. (n.(i + 1) -. n.(i)))
+          +. ((n.(i + 1) -. n.(i) -. d) *. (q.(i) -. q.(i - 1)) /. (n.(i) -. n.(i - 1))))
+
+  let linear t i d =
+    let s = if d > 0.0 then 1 else -1 in
+    let q = t.q and n = t.n in
+    q.(i) +. (d *. (q.(i + s) -. q.(i)) /. (n.(i + s) -. n.(i)))
+
+  (* Insertion sort of the first five observations. *)
+  let seed t x =
+    let q = t.q in
+    let i = ref (t.count - 1) in
+    while !i >= 0 && q.(!i) > x do
+      q.(!i + 1) <- q.(!i);
+      decr i
+    done;
+    q.(!i + 1) <- x
+
+  let add t x =
+    if t.count < 5 then begin
+      seed t x;
+      t.count <- t.count + 1
+    end
+    else begin
+      let q = t.q and n = t.n and np = t.np and dn = t.dn in
+      let k =
+        if x < q.(0) then begin
+          q.(0) <- x;
+          0
+        end
+        else if x < q.(1) then 0
+        else if x < q.(2) then 1
+        else if x < q.(3) then 2
+        else if x <= q.(4) then 3
+        else begin
+          q.(4) <- x;
+          3
+        end
+      in
+      for i = k + 1 to 4 do
+        n.(i) <- n.(i) +. 1.0
+      done;
+      for i = 0 to 4 do
+        np.(i) <- np.(i) +. dn.(i)
+      done;
+      for i = 1 to 3 do
+        let d = np.(i) -. n.(i) in
+        if
+          (d >= 1.0 && n.(i + 1) -. n.(i) > 1.0)
+          || (d <= -1.0 && n.(i - 1) -. n.(i) < -1.0)
+        then begin
+          let d = if d >= 1.0 then 1.0 else -1.0 in
+          let qp = parabolic t i d in
+          let qp = if q.(i - 1) < qp && qp < q.(i + 1) then qp else linear t i d in
+          q.(i) <- qp;
+          n.(i) <- n.(i) +. d
+        end
+      done;
+      t.count <- t.count + 1
+    end
+
+  let count t = t.count
+
+  let quantile t =
+    if t.count = 0 then 0.0
+    else if t.count < 5 then begin
+      (* Fall back to the exact rank over the seeded prefix. *)
+      let rank = t.p *. float_of_int (t.count - 1) in
+      let lo = int_of_float (floor rank) in
+      let hi = Stdlib.min (t.count - 1) (lo + 1) in
+      let w = rank -. float_of_int lo in
+      (t.q.(lo) *. (1.0 -. w)) +. (t.q.(hi) *. w)
+    end
+    else t.q.(2)
 end

@@ -302,6 +302,42 @@ let test_spans_matching_substring () =
   Alcotest.(check int) "exact" 1 (List.length (Obs.spans_matching "beta"));
   Alcotest.(check int) "none" 0 (List.length (Obs.spans_matching "gamma"))
 
+(* Regression: [reset] used to leave [Span.next_id] running, so two
+   otherwise identical runs separated by a reset exported different
+   span ids (and parent references), breaking run-to-run diffing of
+   metrics and trace dumps within one process. *)
+let test_reset_restarts_span_ids () =
+  Obs.clear_sim_clock ();
+  let run () =
+    Obs.reset ();
+    Obs.Span.with_ "rr.outer" (fun () ->
+        Obs.Span.with_ "rr.inner" (fun () -> ()));
+    List.map
+      (fun (r : Obs.span_record) -> (r.id, r.parent, r.name))
+      (Obs.spans ())
+  in
+  let a = run () in
+  let b = run () in
+  Alcotest.(check (list (triple int (option int) string)))
+    "reset-separated runs export identical span ids" a b;
+  Alcotest.(check bool) "ids restart at 0" true
+    (List.exists (fun (id, parent, _) -> id = 0 && parent = None) b)
+
+let test_spans_matching_edges () =
+  (* Edge cases of the allocation-free substring scan behind
+     [spans_matching]: overlapping prefixes must backtrack, a needle
+     longer than the name must not read past it, and the empty needle
+     matches everything. *)
+  Obs.reset ();
+  Obs.Span.with_ "aaab" (fun () -> ());
+  Alcotest.(check int) "overlapping prefix" 1 (List.length (Obs.spans_matching "aab"));
+  Alcotest.(check int) "needle longer than name" 0
+    (List.length (Obs.spans_matching "aaabb"));
+  Alcotest.(check int) "suffix" 1 (List.length (Obs.spans_matching "ab"));
+  Alcotest.(check int) "exact name" 1 (List.length (Obs.spans_matching "aaab"));
+  Alcotest.(check int) "empty needle matches" 1 (List.length (Obs.spans_matching ""));
+  Alcotest.(check int) "no match" 0 (List.length (Obs.spans_matching "abab"))
+
 let test_span_args () =
   Obs.reset ();
   Obs.Span.with_span "argspan" (fun s ->
@@ -536,6 +572,9 @@ let () =
           Alcotest.test_case "feeds histogram" `Quick test_span_feeds_histogram;
           Alcotest.test_case "sim clock" `Quick test_span_sim_clock;
           Alcotest.test_case "substring match" `Quick test_spans_matching_substring;
+          Alcotest.test_case "substring scan edges" `Quick test_spans_matching_edges;
+          Alcotest.test_case "reset restarts span ids" `Quick
+            test_reset_restarts_span_ids;
           Alcotest.test_case "args" `Quick test_span_args;
         ] );
       ( "trace",

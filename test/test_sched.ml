@@ -83,6 +83,41 @@ let test_slo_validation () =
   raises (fun () -> Slo.class_spec ~deadline_us:(-1.0) "S");
   raises (fun () -> Slo.create [ Slo.class_spec "S"; Slo.class_spec "S" ])
 
+(* Regression: admissions whose class name matched no configured class
+   were counted in the [admitted] total but in no per-class counter,
+   so the per-class breakdown no longer summed to the totals.
+   [unknown_admitted] closes the books. *)
+let test_slo_accounting_identity () =
+  let gate =
+    Slo.create
+      [
+        Slo.class_spec ~rate_per_s:1000.0 ~burst:4 "S";
+        Slo.class_spec ~rate_per_s:500.0 ~burst:2 ~priority:1 "L";
+      ]
+  in
+  Slo.set_shed_below gate 1;
+  (* Deterministic mixed traffic: known classes under rate and
+     priority pressure, plus two unknown class names. *)
+  let names = [| "S"; "L"; "XL"; "S"; "mystery"; "L"; "S"; "XL" |] in
+  for i = 0 to 199 do
+    let cls = names.(i mod Array.length names) in
+    ignore (Slo.admit gate ~class_name:cls ~now_us:(float_of_int i *. 250.0))
+  done;
+  let per_class f =
+    List.fold_left
+      (fun acc (c : Slo.class_spec) -> acc + f gate c.Slo.class_name)
+      0 (Slo.classes gate)
+  in
+  let lhs =
+    per_class Slo.admitted_of + per_class Slo.shed_of + Slo.unknown_admitted gate
+  in
+  let rhs = Slo.admitted gate + Slo.shed gate in
+  Alcotest.(check int) "per-class + unknown = totals" rhs lhs;
+  Alcotest.(check bool) "unknown admissions observed" true
+    (Slo.unknown_admitted gate > 0);
+  Alcotest.(check bool) "some traffic shed" true (Slo.shed gate > 0);
+  Alcotest.(check int) "every arrival accounted" 200 rhs
+
 (* ---------------- dynamic batching ---------------- *)
 
 let test_batch_dispatch_on_fullness () =
@@ -540,6 +575,8 @@ let () =
           Alcotest.test_case "priority threshold" `Quick test_slo_priority_threshold;
           Alcotest.test_case "unknown and empty" `Quick test_slo_unknown_and_empty;
           Alcotest.test_case "validation" `Quick test_slo_validation;
+          Alcotest.test_case "accounting identity" `Quick
+            test_slo_accounting_identity;
         ] );
       ( "batcher",
         [

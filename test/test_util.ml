@@ -4,6 +4,7 @@
 module Rng = Mlv_util.Rng
 module Stats = Mlv_util.Stats
 module Pqueue = Mlv_util.Pqueue
+module Wheel = Mlv_util.Timing_wheel
 module Union_find = Mlv_util.Union_find
 module Table = Mlv_util.Table
 
@@ -119,6 +120,37 @@ let test_stats_acc () =
   Alcotest.(check (float 1e-9)) "max" 3.0 (Stats.Acc.max acc);
   Alcotest.(check (float 1e-9)) "sum" 6.0 (Stats.Acc.sum acc)
 
+let test_stats_p2_small_exact () =
+  let q = Stats.P2.create 0.5 in
+  Alcotest.(check (float 1e-9)) "no samples" 0.0 (Stats.P2.quantile q);
+  List.iter (Stats.P2.add q) [ 9.0; 1.0; 5.0 ];
+  Alcotest.(check int) "count" 3 (Stats.P2.count q);
+  (* Exact while fewer than five markers are filled. *)
+  Alcotest.(check (float 1e-9)) "exact small-sample median" 5.0 (Stats.P2.quantile q)
+
+let test_stats_p2_converges () =
+  let rng = Rng.create 29 in
+  let p50 = Stats.P2.create 0.5 and p99 = Stats.P2.create 0.99 in
+  let xs = List.init 50_000 (fun _ -> Rng.float rng 1.0) in
+  List.iter
+    (fun x ->
+      Stats.P2.add p50 x;
+      Stats.P2.add p99 x)
+    xs;
+  let exact_p50 = Stats.percentile 50.0 xs in
+  let exact_p99 = Stats.percentile 99.0 xs in
+  Alcotest.(check int) "count" 50_000 (Stats.P2.count p50);
+  Alcotest.(check bool) "p50 within 0.01 of exact" true
+    (Float.abs (Stats.P2.quantile p50 -. exact_p50) < 0.01);
+  Alcotest.(check bool) "p99 within 0.01 of exact" true
+    (Float.abs (Stats.P2.quantile p99 -. exact_p99) < 0.01)
+
+let test_stats_p2_invalid () =
+  Alcotest.check_raises "p = 0" (Invalid_argument "Stats.P2.create: p outside (0,1)")
+    (fun () -> ignore (Stats.P2.create 0.0));
+  Alcotest.check_raises "p = 1" (Invalid_argument "Stats.P2.create: p outside (0,1)")
+    (fun () -> ignore (Stats.P2.create 1.0))
+
 let test_pqueue_order () =
   let q = Pqueue.create () in
   Pqueue.push q 3.0 "c";
@@ -189,6 +221,73 @@ let test_pqueue_pop_releases () =
   Alcotest.(check bool) "popped payload collected" true (Weak.get w 0 = None);
   Alcotest.(check bool) "empty" true (Pqueue.is_empty q)
 
+let test_pqueue_peek_prio () =
+  let q = Pqueue.create () in
+  Alcotest.(check bool) "empty is infinity" true (Pqueue.peek_prio q = infinity);
+  Pqueue.push q 2.0 "b";
+  Pqueue.push q 1.0 "a";
+  Alcotest.(check (float 0.0)) "min priority" 1.0 (Pqueue.peek_prio q);
+  Alcotest.(check int) "does not remove" 2 (Pqueue.length q)
+
+(* Regression: the queue must neither drop its backing array on drain
+   (forcing every refill to reallocate from scratch) nor pin the
+   peak-sized array forever.  The bounded shrink policy halves the
+   array when occupancy falls to a quarter and keeps a 16-slot floor. *)
+let test_pqueue_shrink_policy () =
+  let q = Pqueue.create () in
+  for i = 1 to 1024 do
+    Pqueue.push q (float_of_int i) ()
+  done;
+  Alcotest.(check int) "peak capacity" 1024 (Pqueue.capacity q);
+  let ok = ref true in
+  while not (Pqueue.is_empty q) do
+    ignore (Pqueue.pop q);
+    (* Post-condition of the shrink policy after every pop: either at
+       the floor, or occupancy is above a quarter of capacity. *)
+    let cap = Pqueue.capacity q in
+    if not (cap = 16 || Pqueue.length q * 4 > cap) then ok := false
+  done;
+  Alcotest.(check bool) "shrink tracks occupancy" true !ok;
+  Alcotest.(check int) "drained queue keeps 16-slot floor" 16 (Pqueue.capacity q);
+  (* [clear] follows the same policy. *)
+  for i = 1 to 1024 do
+    Pqueue.push q (float_of_int i) ()
+  done;
+  Pqueue.clear q;
+  Alcotest.(check bool) "clear is empty" true (Pqueue.is_empty q);
+  Alcotest.(check bool) "clear shrinks" true (Pqueue.capacity q < 1024);
+  Pqueue.push q 1.0 ();
+  Alcotest.(check bool) "usable after clear" true (Pqueue.pop q <> None)
+
+(* Steady-state push/pop cycles must not churn the backing array: once
+   warmed, capacity stays fixed and per-cycle allocation is just the
+   entry records plus [pop]'s option/tuple — an array dropped on drain
+   or reallocated per operation would show up as both a capacity change
+   and a much larger allocation rate. *)
+let test_pqueue_cycle_allocation () =
+  let q = Pqueue.create () in
+  let cycle () =
+    for i = 1 to 64 do
+      Pqueue.push q (float_of_int (i land 7)) 0
+    done;
+    for _ = 1 to 64 do
+      ignore (Pqueue.pop q)
+    done
+  in
+  cycle ();
+  let cap = Pqueue.capacity q in
+  let word_bytes = float_of_int (Sys.word_size / 8) in
+  let w0 = Gc.allocated_bytes () /. word_bytes in
+  for _ = 1 to 100 do
+    cycle ()
+  done;
+  let w1 = Gc.allocated_bytes () /. word_bytes in
+  let words_per_cycle = (w1 -. w0) /. 100.0 in
+  Alcotest.(check int) "capacity steady across cycles" cap (Pqueue.capacity q);
+  (* 64 ops/cycle at ~11 words each (entry + boxed priority + pop's
+     Some tuple) is ~700 words; array churn would add hundreds more. *)
+  Alcotest.(check bool) "no per-cycle array churn" true (words_per_cycle < 1500.0)
+
 let test_union_find_basic () =
   let uf = Union_find.create 6 in
   ignore (Union_find.union uf 0 1);
@@ -204,6 +303,154 @@ let test_union_find_groups () =
   ignore (Union_find.union uf 1 2);
   let groups = Union_find.groups uf |> List.map snd in
   Alcotest.(check (list (list int))) "groups" [ [ 0; 4 ]; [ 1; 2 ]; [ 3 ] ] groups
+
+(* ---------------- timing wheel ---------------- *)
+
+(* Randomized differential against the binary heap over a mix of exact
+   ties, in-wheel times and far-future (level-2 / overflow) jumps, with
+   an interleaved push phase after the clock has advanced. *)
+let test_wheel_differential () =
+  let rng = Rng.create 31 in
+  let w = Wheel.create () and q = Pqueue.create () in
+  let wlog = ref [] and qlog = ref [] in
+  let draw () =
+    let r = Rng.float rng 1.0 in
+    if r < 0.4 then Float.of_int (Rng.int rng 50) (* exact ties *)
+    else if r < 0.8 then Rng.float rng 10_000.0 (* levels 0-1 *)
+    else Rng.float rng 1e10 (* level 2 and overflow *)
+  in
+  let push_both at tag =
+    Wheel.push w ~at (fun () -> wlog := (at, tag) :: !wlog);
+    Pqueue.push q at (fun () -> qlog := (at, tag) :: !qlog)
+  in
+  for i = 0 to 2999 do
+    push_both (draw ()) i
+  done;
+  let now = ref 0.0 in
+  let pop_both () =
+    (match Wheel.pop w with
+    | Some (t, f) ->
+      now := t;
+      f ()
+    | None -> Alcotest.fail "wheel empty early");
+    match Pqueue.pop q with
+    | Some (_, f) -> f ()
+    | None -> Alcotest.fail "heap empty early"
+  in
+  for _ = 1 to 1500 do
+    pop_both ()
+  done;
+  for i = 3000 to 4999 do
+    push_both (!now +. draw ()) i
+  done;
+  while not (Wheel.is_empty w) do
+    pop_both ()
+  done;
+  Alcotest.(check bool) "heap drained too" true (Pqueue.is_empty q);
+  Alcotest.(check (list (pair (float 0.0) int)))
+    "identical pop order" (List.rev !qlog) (List.rev !wlog)
+
+let test_wheel_far_future_rebase () =
+  let w = Wheel.create () in
+  let log = ref [] in
+  let push at tag = Wheel.push w ~at (fun () -> log := tag :: !log) in
+  (* Everything lands beyond the wheel horizon on the overflow list;
+     the first pop must rebase onto the overflow minimum and ordering
+     (including FIFO on the tie) must survive the refill. *)
+  push 1e12 0;
+  push 9.0e11 1;
+  push 1e12 2;
+  Alcotest.(check bool) "next_time sees overflow min" true
+    (Wheel.next_time w = 9.0e11);
+  let order =
+    List.init 3 (fun _ ->
+        match Wheel.pop w with
+        | Some (_, f) ->
+          f ();
+          List.hd !log
+        | None -> Alcotest.fail "empty")
+  in
+  Alcotest.(check (list int)) "overflow pops in order" [ 1; 0; 2 ] order;
+  (* A second far-future round after the clock advanced: rebase again. *)
+  push 2.0e12 3;
+  push 1.5e12 4;
+  (match Wheel.pop w with
+  | Some (t, _) -> Alcotest.(check bool) "second rebase min" true (t = 1.5e12)
+  | None -> Alcotest.fail "empty");
+  Alcotest.(check int) "one left" 1 (Wheel.length w)
+
+let test_wheel_clear_reuse () =
+  let w = Wheel.create () in
+  for i = 1 to 500 do
+    Wheel.push w ~at:(float_of_int (i * 7)) (fun () -> ())
+  done;
+  Alcotest.(check int) "length" 500 (Wheel.length w);
+  Wheel.clear w;
+  Alcotest.(check bool) "empty after clear" true (Wheel.is_empty w);
+  Alcotest.(check bool) "next_time infinity" true (Wheel.next_time w = infinity);
+  Alcotest.(check bool) "pop None" true (Wheel.pop w = None);
+  (* Reuse after clear; all four times share bucket arithmetic but pop
+     in exact time order — granularity never affects ordering. *)
+  let log = ref [] in
+  List.iter
+    (fun (at, tag) -> Wheel.push w ~at (fun () -> log := tag :: !log))
+    [ (5.25, 0); (5.5, 1); (5.125, 2); (0.0, 3) ];
+  while not (Wheel.is_empty w) do
+    match Wheel.pop w with Some (_, f) -> f () | None -> ()
+  done;
+  Alcotest.(check (list int)) "exact sub-bucket order" [ 3; 2; 0; 1 ] (List.rev !log)
+
+let test_wheel_granularity_only_perf () =
+  (* Coarse and fine bucket widths must produce the identical pop
+     sequence: the granularity is a performance knob only. *)
+  let run gran =
+    let w = Wheel.create ~granularity_us:gran () in
+    let rng = Rng.create 37 in
+    let log = ref [] in
+    for i = 0 to 999 do
+      let at = Rng.float rng 5_000.0 in
+      Wheel.push w ~at (fun () -> log := (at, i) :: !log)
+    done;
+    let rec drain () =
+      match Wheel.pop w with
+      | Some (_, f) ->
+        f ();
+        drain ()
+      | None -> ()
+    in
+    drain ();
+    List.rev !log
+  in
+  let fine = run 0.25 and coarse = run 512.0 in
+  Alcotest.(check (list (pair (float 0.0) int))) "granularity never reorders" fine
+    coarse
+
+let test_wheel_pop_fire () =
+  let w = Wheel.create () in
+  let hit = ref 0 in
+  Wheel.push w ~at:3.5 (fun () -> hit := 1);
+  let into = ref 0.0 in
+  let f = Wheel.pop_fire w ~into in
+  Alcotest.(check (float 0.0)) "timestamp stored" 3.5 !into;
+  f ();
+  Alcotest.(check int) "thunk fired" 1 !hit;
+  Alcotest.(check bool) "empty" true (Wheel.is_empty w)
+
+let test_wheel_validation () =
+  let w = Wheel.create () in
+  Alcotest.check_raises "negative time"
+    (Invalid_argument "Timing_wheel.push: time must be non-negative (not NaN)")
+    (fun () -> Wheel.push w ~at:(-1.0) (fun () -> ()));
+  Alcotest.check_raises "NaN time"
+    (Invalid_argument "Timing_wheel.push: time must be non-negative (not NaN)")
+    (fun () -> Wheel.push w ~at:Float.nan (fun () -> ()));
+  Alcotest.check_raises "pop_fire on empty"
+    (Invalid_argument "Timing_wheel.pop_fire: empty wheel") (fun () ->
+      let _f : unit -> unit = Wheel.pop_fire w ~into:(ref 0.0) in
+      ());
+  Alcotest.check_raises "non-positive granularity"
+    (Invalid_argument "Timing_wheel.create: granularity must be positive")
+    (fun () -> ignore (Wheel.create ~granularity_us:0.0 ()))
 
 let test_table_render () =
   let t = Table.create ~title:"T" [ "name"; "value" ] in
@@ -252,6 +499,9 @@ let () =
           Alcotest.test_case "median interpolation" `Quick test_stats_median_interpolates;
           Alcotest.test_case "geomean" `Quick test_stats_geomean;
           Alcotest.test_case "streaming accumulator" `Quick test_stats_acc;
+          Alcotest.test_case "P2 small-sample exact" `Quick test_stats_p2_small_exact;
+          Alcotest.test_case "P2 converges" `Quick test_stats_p2_converges;
+          Alcotest.test_case "P2 rejects bad p" `Quick test_stats_p2_invalid;
         ] );
       ( "pqueue",
         [
@@ -260,6 +510,19 @@ let () =
           Alcotest.test_case "interleaved ops" `Quick test_pqueue_interleaved;
           Alcotest.test_case "stress sorted" `Quick test_pqueue_stress_sorted;
           Alcotest.test_case "pop releases payload" `Quick test_pqueue_pop_releases;
+          Alcotest.test_case "peek_prio" `Quick test_pqueue_peek_prio;
+          Alcotest.test_case "bounded shrink policy" `Quick test_pqueue_shrink_policy;
+          Alcotest.test_case "steady-state cycles" `Quick test_pqueue_cycle_allocation;
+        ] );
+      ( "timing_wheel",
+        [
+          Alcotest.test_case "differential vs heap" `Quick test_wheel_differential;
+          Alcotest.test_case "far-future rebase" `Quick test_wheel_far_future_rebase;
+          Alcotest.test_case "clear and reuse" `Quick test_wheel_clear_reuse;
+          Alcotest.test_case "granularity is perf-only" `Quick
+            test_wheel_granularity_only_perf;
+          Alcotest.test_case "pop_fire" `Quick test_wheel_pop_fire;
+          Alcotest.test_case "validation" `Quick test_wheel_validation;
         ] );
       ( "union_find",
         [
