@@ -2,7 +2,8 @@
 
 .PHONY: all build check fmt test bench bench-place bench-place-smoke \
 	bench-faults bench-faults-smoke bench-trace bench-trace-smoke \
-	bench-sched bench-sched-smoke bench-sim bench-sim-smoke clean
+	bench-sched bench-sched-smoke bench-sim bench-sim-smoke \
+	bench-scale bench-scale-smoke clean
 
 all: build
 
@@ -29,9 +30,14 @@ test:
 # close against the run's own accounting; bench-sched-smoke asserts the
 # autoscaled serving loop never regresses the static p99 and that every
 # request is accounted for; bench-sim-smoke asserts the timing-wheel
-# engine is bit-identical to the heap oracle and at least as fast.
+# engine is bit-identical to the heap oracle and at least as fast;
+# bench-scale-smoke asserts the indexed serving hot paths are
+# bit-identical to the pre-index linear shapes, that the fair-share
+# pool preserves a calm tenant's SLO-met completions under a bursty
+# neighbour, and that the incremental router/batcher counters are
+# allocation-free.
 check: build fmt test bench-place-smoke bench-faults-smoke bench-trace-smoke \
-	bench-sched-smoke bench-sim-smoke
+	bench-sched-smoke bench-sim-smoke bench-scale-smoke
 
 # Regenerates every table/figure and leaves BENCH_obs.json (the
 # observability registry of the run) next to the console output.
@@ -96,6 +102,20 @@ bench-sim:
 bench-sim-smoke:
 	dune exec bench/sim.exe -- --events 100000 --pending 20000 --reps 2 \
 	  --out BENCH_sim_smoke.json --assert-speedup 1
+
+# Datacenter-scale serving benchmark: ~1M tasks from three tenants at
+# 10k nodes under both data shapes (bit-identity + ≥5× serving-loop
+# throughput for the indexed hot paths), an indexed-only 100k-node run
+# (sub-quadratic scaling), and the calm/bursty tenant-isolation pair
+# behind the weighted fair-share pool; writes BENCH_scale.json.
+bench-scale:
+	dune exec bench/scale.exe -- --assert-speedup 5 --out BENCH_scale.json
+
+# Fast variant for `make check`: 1k nodes / 24k tasks; asserts shape
+# bit-identity, the tenant-isolation invariant, and allocation-free
+# counters — no wall-clock floor at this size.
+bench-scale-smoke:
+	dune exec bench/scale.exe -- --smoke --out BENCH_scale_smoke.json
 
 clean:
 	dune clean

@@ -1061,6 +1061,7 @@ let sched_serving ~deadline_us ~autoscale =
     Sysim.classes = sched_classes ~deadline_us;
     batch = Batcher.config ~max_batch:4 ~max_linger_us:100.0 ();
     autoscale;
+    tenant_pool = None;
   }
 
 (* The three serving rows share one deadline, derived from the static
@@ -1144,6 +1145,7 @@ let sched ?(tasks = 120) () =
           ];
         batch = Batcher.config ~max_batch:4 ~max_linger_us:100.0 ();
         autoscale = Some Autoscaler.default;
+        tenant_pool = None;
       }
     in
     let cfg = sched_config ~tasks (Some serving) in

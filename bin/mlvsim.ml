@@ -105,13 +105,21 @@ let report ?faults ?serving set composition policy tasks seed (r : Sysim.result)
   Printf.printf "  mean service:    %.1f ms\n" (r.Sysim.mean_service_us /. 1000.0);
   Printf.printf "  peak queue:      %d\n" r.Sysim.peak_queue;
   Printf.printf "  SLO misses:      %d of %d\n" r.Sysim.slo_misses r.Sysim.completed;
+  List.iter
+    (fun (t : Sysim.tenant_stats) ->
+      Printf.printf
+        "  tenant %-8s arrived %d shed %d completed %d goodput %.2f/s p99 %.1f ms\n"
+        t.Sysim.tn_name t.Sysim.tn_arrived t.Sysim.tn_shed t.Sysim.tn_completed
+        t.Sysim.tn_goodput_per_s
+        (t.Sysim.tn_p99_latency_us /. 1000.0))
+    r.Sysim.per_tenant;
   (match Mlv_workload.Metrics.summarize (List.map (fun l -> l /. 1000.0) r.Sysim.latencies_us) with
   | Some s ->
     Format.printf "  latency (ms):    %a@." (Mlv_workload.Metrics.pp_summary ~unit_name:"ms") s
   | None -> ())
 
 let run set policy tasks seed interarrival repeats compare fault_plan max_retries
-    burst batch autoscale slo engine metrics_out trace_out =
+    burst batch autoscale slo tenants engine metrics_out trace_out =
   let ( let* ) r f = Result.bind r f in
   let parsed =
     let* faults =
@@ -150,15 +158,27 @@ let run set policy tasks seed interarrival repeats compare fault_plan max_retrie
     let serving =
       if batch = None && classes = None && not autoscale then None
       else
+        (* With --tenants, the --slo token bucket also sizes a
+           weighted fair-share pool split equally across the tenants
+           (each tenant refills at rate/N). *)
+        let tenant_pool =
+          match classes with
+          | Some (spec :: _) when tenants > 0 ->
+            Some (spec.Slo.rate_per_s, spec.Slo.burst)
+          | _ -> None
+        in
         Some
           {
             Sysim.classes = Option.value classes ~default:[];
             batch = Option.value batch ~default:(Batcher.config ());
             autoscale = (if autoscale then Some Autoscaler.default else None);
+            tenant_pool;
           }
     in
     if serving <> None && faults <> None then
       Error "serving flags (--batch/--slo/--autoscale) do not compose with --fault-plan"
+    else if tenants < 0 then Error "--tenants must be non-negative"
+    else if tenants > tasks then Error "--tenants cannot exceed --tasks"
     else Ok (faults, arrival, serving)
   in
   match parsed with
@@ -174,6 +194,25 @@ let run set policy tasks seed interarrival repeats compare fault_plan max_retrie
     Printf.printf "building the mapping database (10 accelerator instances)...\n%!";
     let registry = Sysim.build_registry () in
     let composition = Genset.table1.(set - 1) in
+    let tenant_loads =
+      if tenants = 0 then []
+      else
+        (* Each tenant runs the stream the flags describe; with the
+           default exponential process the per-tenant mean is scaled by
+           N so the merged stream keeps the requested rate. *)
+        let tenant_arrival =
+          match arrival with
+          | Some a -> a
+          | None ->
+            Genset.Exponential { mean_us = interarrival *. float_of_int tenants }
+        in
+        List.init tenants (fun i ->
+            let extra = if i < tasks mod tenants then 1 else 0 in
+            Genset.tenant_load
+              ~tasks:((tasks / tenants) + extra)
+              ~arrival:tenant_arrival
+              (Printf.sprintf "t%d" (i + 1)))
+    in
     let run_one policy =
       let cfg =
         {
@@ -185,6 +224,7 @@ let run set policy tasks seed interarrival repeats compare fault_plan max_retrie
           repeats_per_task = repeats;
           faults;
           serving;
+          tenants = tenant_loads;
         }
       in
       report ?faults ?serving set composition policy tasks seed
@@ -306,6 +346,19 @@ let slo_arg =
            model class gets this deadline and token bucket, with \
            priority by size (small models shed last)")
 
+let tenants_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "tenants" ] ~docv:"N"
+        ~doc:
+          "Split the workload across $(docv) equal-weight tenants (t1..tN), \
+           each drawing its own arrival stream from its own seed split; the \
+           report gains per-tenant accounting lines.  Combined with \
+           $(b,--slo), the admission gate also enforces a weighted \
+           fair-share pool sized by the SLO's rate and burst (each tenant \
+           entitled to 1/N of it).  0 (the default) keeps the \
+           single-tenant stream")
+
 let engine_conv =
   Arg.conv
     ( (fun s ->
@@ -350,7 +403,7 @@ let () =
     Term.(
       const run $ set_arg $ policy_arg $ tasks_arg $ seed_arg $ interarrival_arg
       $ repeats_arg $ compare_arg $ fault_plan_arg $ max_retries_arg
-      $ burst_arg $ batch_arg $ autoscale_arg $ slo_arg $ engine_arg
-      $ metrics_out_arg $ trace_out_arg)
+      $ burst_arg $ batch_arg $ autoscale_arg $ slo_arg $ tenants_arg
+      $ engine_arg $ metrics_out_arg $ trace_out_arg)
   in
   exit (Cmd.eval' (Cmd.v info term))

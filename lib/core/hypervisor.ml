@@ -282,6 +282,7 @@ let do_slo_check t name =
     | Slo.Admitted -> "admitted"
     | Slo.Shed_rate -> "shed-rate"
     | Slo.Shed_priority -> "shed-priority"
+    | Slo.Shed_tenant -> "shed-tenant"
   in
   Printf.sprintf "ok class=%s verdict=%s now=%.1f" name verdict (now_us t)
 

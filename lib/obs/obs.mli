@@ -124,6 +124,11 @@ module Histogram : sig
   val labels : t -> Labels.t
 end
 
+(** [wall_us ()] is the wall clock in µs since the Unix epoch — the
+    clock spans are stamped with, exposed so engine code can time its
+    own phases consistently with the span timeline. *)
+val wall_us : unit -> float
+
 (** A completed span, oldest first in {!spans}. *)
 type span_record = {
   id : int;

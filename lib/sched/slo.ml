@@ -21,6 +21,28 @@ type bucket = {
   mutable b_shed : int;
 }
 
+type tenant_spec = { tenant_name : string; tenant_weight : float }
+
+let tenant_spec ?(weight = 1.0) name =
+  if weight <= 0.0 then invalid_arg "Slo.tenant_spec: weight must be positive";
+  { tenant_name = name; tenant_weight = weight }
+
+(* A tenant's weighted fair share of the admission pool: its bucket
+   refills at [weight / sum weights] of the pool rate, so a bursty
+   tenant saturates its own bucket and is shed at the gate without
+   touching its neighbours' shares. *)
+type tbucket = {
+  tspec : tenant_spec;
+  t_rate_per_s : float;
+  t_burst : float;
+  mutable t_tokens : float;
+  mutable t_refilled_us : float;
+  mutable tb_admitted : int;
+  mutable tb_shed : int;
+      (* every shed of this tenant's requests: fair-share sheds here
+         plus class-level rate/priority sheds downstream *)
+}
+
 type t = {
   buckets : (string * bucket) list;  (* declaration order *)
   mutable threshold : int;  (* shed classes with priority < threshold *)
@@ -33,6 +55,14 @@ type t = {
            = admitted + shed
          holds exactly instead of silently leaking unknown classes
          into the admitted total *)
+  mutable tenant_buckets : (string * tbucket) list;  (* declaration order *)
+  mutable t_shed_tenant : int;  (* Shed_tenant verdicts (fair-share gate) *)
+  mutable t_tenant_unknown : int;
+      (* decisions with no matching tenant bucket — including every
+         call without a tenant — so the per-tenant identity
+         sum (admitted_of_tenant + shed_of_tenant) + tenant_unknown
+           = admitted + shed
+         closes exactly, mirroring the per-class identity *)
 }
 
 let create specs =
@@ -53,7 +83,44 @@ let create specs =
   if List.length (List.sort_uniq compare names) <> List.length names then
     invalid_arg "Slo.create: duplicate class names";
   { buckets; threshold = min_int; t_admitted = 0; t_shed = 0;
-    t_unknown_admitted = 0 }
+    t_unknown_admitted = 0; tenant_buckets = []; t_shed_tenant = 0;
+    t_tenant_unknown = 0 }
+
+(* Install (or replace) the tenant fair-share pool: [rate_per_s] and
+   [burst] describe the whole pool; each tenant's bucket gets its
+   weight share of both (burst floored at one token so every tenant
+   can always eventually admit). *)
+let set_tenant_pool t ~rate_per_s ~burst specs =
+  if rate_per_s <= 0.0 then
+    invalid_arg "Slo.set_tenant_pool: rate must be positive";
+  if burst < 1 then invalid_arg "Slo.set_tenant_pool: burst must be >= 1";
+  let names = List.map (fun s -> s.tenant_name) specs in
+  if List.length (List.sort_uniq compare names) <> List.length names then
+    invalid_arg "Slo.set_tenant_pool: duplicate tenant names";
+  let total_w = List.fold_left (fun a s -> a +. s.tenant_weight) 0.0 specs in
+  t.tenant_buckets <-
+    List.map
+      (fun s ->
+        let share = s.tenant_weight /. total_w in
+        let b = Float.max 1.0 (float_of_int burst *. share) in
+        ( s.tenant_name,
+          {
+            tspec = s;
+            t_rate_per_s = rate_per_s *. share;
+            t_burst = b;
+            t_tokens = b;
+            t_refilled_us = 0.0;
+            tb_admitted = 0;
+            tb_shed = 0;
+          } ))
+      specs
+
+let tenants t = List.map (fun (_, b) -> b.tspec) t.tenant_buckets
+
+let tenant_rate_of t name =
+  match List.assoc_opt name t.tenant_buckets with
+  | Some b -> b.t_rate_per_s
+  | None -> 0.0
 
 let classes t = List.map (fun (_, b) -> b.spec) t.buckets
 let find t name = List.assoc_opt name t.buckets |> Option.map (fun b -> b.spec)
@@ -64,7 +131,7 @@ let min_deadline_us t =
       if acc = 0.0 then b.spec.deadline_us else Float.min acc b.spec.deadline_us)
     0.0 t.buckets
 
-type verdict = Admitted | Shed_rate | Shed_priority
+type verdict = Admitted | Shed_rate | Shed_priority | Shed_tenant
 
 let refill b ~now_us =
   let dt = Float.max 0.0 (now_us -. b.refilled_us) in
@@ -72,7 +139,12 @@ let refill b ~now_us =
     Float.min (float_of_int b.spec.burst) (b.tokens +. (dt /. 1e6 *. b.spec.rate_per_s));
   b.refilled_us <- Float.max b.refilled_us now_us
 
-let admit t ~class_name ~now_us =
+let refill_tenant b ~now_us =
+  let dt = Float.max 0.0 (now_us -. b.t_refilled_us) in
+  b.t_tokens <- Float.min b.t_burst (b.t_tokens +. (dt /. 1e6 *. b.t_rate_per_s));
+  b.t_refilled_us <- Float.max b.t_refilled_us now_us
+
+let admit_class t ~class_name ~now_us =
   match List.assoc_opt class_name t.buckets with
   | None ->
     t.t_admitted <- t.t_admitted + 1;
@@ -97,6 +169,40 @@ let admit t ~class_name ~now_us =
       Shed_rate
     end
 
+(* The tenant fair-share gate sits in front of the class gate.  A
+   tenant token is only consumed when the request is finally admitted,
+   so a class-level shed does not burn the tenant's share; either way
+   the decision lands in exactly one tenant counter (or
+   [tenant_unknown]), keeping the per-tenant identity closed. *)
+let admit ?tenant t ~class_name ~now_us =
+  let tb =
+    match tenant with
+    | None -> None
+    | Some tn -> List.assoc_opt tn t.tenant_buckets
+  in
+  match tb with
+  | None ->
+    t.t_tenant_unknown <- t.t_tenant_unknown + 1;
+    admit_class t ~class_name ~now_us
+  | Some tb ->
+    refill_tenant tb ~now_us;
+    if tb.t_tokens < 1.0 then begin
+      tb.tb_shed <- tb.tb_shed + 1;
+      t.t_shed <- t.t_shed + 1;
+      t.t_shed_tenant <- t.t_shed_tenant + 1;
+      Shed_tenant
+    end
+    else begin
+      match admit_class t ~class_name ~now_us with
+      | Admitted ->
+        tb.t_tokens <- tb.t_tokens -. 1.0;
+        tb.tb_admitted <- tb.tb_admitted + 1;
+        Admitted
+      | v ->
+        tb.tb_shed <- tb.tb_shed + 1;
+        v
+    end
+
 let set_shed_below t prio = t.threshold <- prio
 let shed_below t = t.threshold
 let admitted t = t.t_admitted
@@ -109,3 +215,16 @@ let shed_of t name =
   match List.assoc_opt name t.buckets with Some b -> b.b_shed | None -> 0
 
 let unknown_admitted t = t.t_unknown_admitted
+
+let admitted_of_tenant t name =
+  match List.assoc_opt name t.tenant_buckets with
+  | Some b -> b.tb_admitted
+  | None -> 0
+
+let shed_of_tenant t name =
+  match List.assoc_opt name t.tenant_buckets with
+  | Some b -> b.tb_shed
+  | None -> 0
+
+let shed_tenant t = t.t_shed_tenant
+let tenant_unknown t = t.t_tenant_unknown

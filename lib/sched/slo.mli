@@ -35,12 +35,41 @@ val class_spec :
   string ->
   class_spec
 
+(** A tenant of the serving system, entitled to a weighted share of
+    the admission pool. *)
+type tenant_spec = {
+  tenant_name : string;
+  tenant_weight : float;  (** share of the pool; must be positive *)
+}
+
+(** [tenant_spec name] with weight 1.
+    @raise Invalid_argument on a non-positive weight. *)
+val tenant_spec : ?weight:float -> string -> tenant_spec
+
 type t
 
 (** [create specs] builds a gate.  An empty list admits everything
     (but still counts).
     @raise Invalid_argument on duplicate class names. *)
 val create : class_spec list -> t
+
+(** [set_tenant_pool t ~rate_per_s ~burst specs] installs per-tenant
+    weighted fair-share buckets in front of the class gate: each
+    tenant refills at [weight / sum weights] of the pool rate with the
+    same share of the burst (floored at one token).  A request whose
+    tenant bucket is empty is {!Shed_tenant} before the class gate
+    sees it; the token is only consumed on final admission, so a
+    class-level shed does not burn the tenant's share.
+    @raise Invalid_argument on a non-positive rate, burst < 1 or
+    duplicate tenant names. *)
+val set_tenant_pool :
+  t -> rate_per_s:float -> burst:int -> tenant_spec list -> unit
+
+val tenants : t -> tenant_spec list
+
+(** [tenant_rate_of t name] is the tenant's fair-share refill rate
+    (requests/s), 0 for unknown tenants. *)
+val tenant_rate_of : t -> string -> float
 
 val classes : t -> class_spec list
 
@@ -55,12 +84,16 @@ type verdict =
   | Admitted
   | Shed_rate  (** class bucket empty *)
   | Shed_priority  (** class priority below the shed threshold *)
+  | Shed_tenant  (** tenant fair-share bucket empty *)
 
 (** [admit t ~class_name ~now_us] refills the class bucket to [now_us]
     and takes a token.  Unknown classes (and the empty gate) are
     always admitted.  [now_us] must not go backwards between calls for
-    the same class. *)
-val admit : t -> class_name:string -> now_us:float -> verdict
+    the same class.  [~tenant] routes the request through that
+    tenant's fair-share bucket first (see {!set_tenant_pool});
+    omitted or unknown tenants bypass the fair-share gate and count
+    toward {!tenant_unknown}. *)
+val admit : ?tenant:string -> t -> class_name:string -> now_us:float -> verdict
 
 (** [set_shed_below t prio] sheds every class with [priority < prio]
     regardless of tokens; [set_shed_below t min_int] (the initial
@@ -83,3 +116,20 @@ val shed_of : t -> string -> int
     no configured class (including every admission through an empty
     gate). *)
 val unknown_admitted : t -> int
+
+(** Per-tenant decision counters.  [shed_of_tenant] counts every shed
+    of the tenant's requests — fair-share sheds and downstream class
+    sheds alike — so the identity
+    [sum (admitted_of_tenant + shed_of_tenant) + tenant_unknown
+     = admitted + shed] holds exactly. *)
+val admitted_of_tenant : t -> string -> int
+
+val shed_of_tenant : t -> string -> int
+
+(** [shed_tenant t] counts {!Shed_tenant} verdicts (fair-share gate
+    only). *)
+val shed_tenant : t -> int
+
+(** [tenant_unknown t] counts decisions that bypassed the fair-share
+    gate: no [~tenant] given, or the tenant matched no bucket. *)
+val tenant_unknown : t -> int

@@ -27,10 +27,18 @@ type serving = {
   classes : Slo.class_spec list;
   batch : Batcher.config;
   autoscale : Autoscaler.config option;
+  tenant_pool : (float * int) option;
+      (* (rate_per_s, burst) of the tenant fair-share admission pool;
+         requires config.tenants *)
 }
 
 let default_serving =
-  { classes = []; batch = Batcher.config (); autoscale = Some Autoscaler.default }
+  {
+    classes = [];
+    batch = Batcher.config ();
+    autoscale = Some Autoscaler.default;
+    tenant_pool = None;
+  }
 
 type config = {
   policy : Runtime.policy;
@@ -44,6 +52,13 @@ type config = {
   cluster_kinds : Device.kind list;
   faults : fault_config option;
   serving : serving option;
+  tenants : Genset.tenant_load list;
+      (* non-empty: the workload is the merged multi-tenant stream and
+         [tasks] is ignored in favour of the per-tenant counts *)
+  indexed : bool;
+      (* false selects the pre-PR7 linear data shapes (list flight
+         table, fold-per-pick router, per-completion group scans) as
+         the differential oracle for bench/scale.ml *)
 }
 
 let default_config ~policy ~composition =
@@ -59,12 +74,41 @@ let default_config ~policy ~composition =
     cluster_kinds = Cluster.paper_kinds;
     faults = None;
     serving = None;
+    tenants = [];
+    indexed = true;
   }
 
 let arrival_of cfg =
   match cfg.arrival with
   | Some a -> a
   | None -> Genset.Exponential { mean_us = cfg.mean_interarrival_us }
+
+(* Multi-tenant runs play the merged stream; [cfg.tasks] only drives
+   the single-tenant generators. *)
+let task_count cfg =
+  match cfg.tenants with
+  | [] -> cfg.tasks
+  | loads -> List.fold_left (fun a l -> a + l.Genset.tl_tasks) 0 loads
+
+let generate_tasks ~rng cfg =
+  match cfg.tenants with
+  | [] ->
+    Genset.generate_arrival ~rng ~composition:cfg.composition ~tasks:cfg.tasks
+      ~arrival:(arrival_of cfg)
+  | loads -> Genset.generate_tenants ~seed:cfg.seed ~composition:cfg.composition loads
+
+(* Per-tenant slice of a multi-tenant run's accounting. *)
+type tenant_stats = {
+  tn_name : string;
+  tn_arrived : int;
+  tn_admitted : int;
+  tn_shed : int;
+  tn_completed : int;
+  tn_rejected : int;
+  tn_slo_misses : int;
+  tn_goodput_per_s : float;
+  tn_p99_latency_us : float;
+}
 
 type result = {
   completed : int;
@@ -91,18 +135,85 @@ type result = {
   batches : int;
   scale_ups : int;
   scale_downs : int;
+  per_tenant : tenant_stats list;  (* [] unless config.tenants *)
+  loop_wall_s : float;
+      (* wall-clock seconds inside the event loop proper (excludes
+         cluster build, workload generation and post-processing);
+         nondeterministic — exclude it from bit-identity checks *)
 }
 
 (* Exact latency percentiles for the result record (the obs
    histograms track the same series to bucket resolution; tests pin
-   the two views against each other). *)
+   the two views against each other).  One sort serves all three
+   ranks — at a million samples the per-rank sorts dominated the
+   post-processing. *)
 let latency_percentiles latencies =
   match latencies with
   | [] -> (0.0, 0.0, 0.0)
-  | xs ->
-    ( Mlv_util.Stats.percentile 50.0 xs,
-      Mlv_util.Stats.percentile 95.0 xs,
-      Mlv_util.Stats.percentile 99.0 xs )
+  | xs -> (
+    match Mlv_util.Stats.percentile_many [ 50.0; 95.0; 99.0 ] xs with
+    | [ p50; p95; p99 ] -> (p50, p95, p99)
+    | _ -> assert false)
+
+(* Per-tenant running tallies; finalized into [tenant_stats] once the
+   makespan is known. *)
+type ttally = {
+  tt_name : string;
+  mutable tt_arrived : int;
+  mutable tt_admitted : int;
+  mutable tt_shed : int;
+  mutable tt_completed : int;
+  mutable tt_rejected : int;
+  mutable tt_slo_misses : int;
+  mutable tt_latencies : float list;
+  tt_completed_c : Obs.Counter.t;
+  tt_shed_c : Obs.Counter.t;
+}
+
+(* Tallies in declaration order; the handles for the per-tenant
+   labeled series are hoisted here so the per-event paths never build
+   a label list. *)
+let make_tallies cfg =
+  List.map
+    (fun (l : Genset.tenant_load) ->
+      let labels = [ ("tenant", l.Genset.tl_name) ] in
+      ( l.Genset.tl_name,
+        {
+          tt_name = l.Genset.tl_name;
+          tt_arrived = 0;
+          tt_admitted = 0;
+          tt_shed = 0;
+          tt_completed = 0;
+          tt_rejected = 0;
+          tt_slo_misses = 0;
+          tt_latencies = [];
+          tt_completed_c = Obs.Counter.get_labeled "sysim.tenant.completed" labels;
+          tt_shed_c = Obs.Counter.get_labeled "sysim.tenant.shed" labels;
+        } ))
+    cfg.tenants
+
+let tenant_stats_of ~makespan_us tallies =
+  List.map
+    (fun (_, t) ->
+      {
+        tn_name = t.tt_name;
+        tn_arrived = t.tt_arrived;
+        tn_admitted = t.tt_admitted;
+        tn_shed = t.tt_shed;
+        tn_completed = t.tt_completed;
+        tn_rejected = t.tt_rejected;
+        tn_slo_misses = t.tt_slo_misses;
+        tn_goodput_per_s =
+          (if makespan_us > 0.0 then
+             float_of_int (t.tt_completed - t.tt_slo_misses)
+             /. (makespan_us /. 1e6)
+           else 0.0);
+        tn_p99_latency_us =
+          (match t.tt_latencies with
+          | [] -> 0.0
+          | xs -> Mlv_util.Stats.percentile 99.0 xs);
+      })
+    tallies
 
 (* Ten accelerator instances (paper §4.3); the largest two exceed any
    single device and exist purely as multi-FPGA deployments. *)
@@ -126,12 +237,17 @@ let max_single_device_tiles =
    overflow from DRAM), and None when the cap admits no instance at
    all.  [candidates] must be sorted ascending. *)
 let instance_within ~need ~cap candidates =
-  match List.filter (fun t -> t >= need && t <= cap) candidates with
-  | t :: _ -> Some t
-  | [] -> (
-    match List.filter (fun t -> t <= cap) candidates with
-    | [] -> None
-    | within -> Some (List.fold_left max 0 within))
+  (* Single ascending pass, no intermediate lists: the first candidate
+     in [need, cap] is the smallest cover; past the cap everything
+     later is larger too, so the best seen under the cap is final. *)
+  let rec pick best_large = function
+    | [] -> best_large
+    | t :: rest ->
+      if t > cap then best_large
+      else if t >= need then Some t
+      else pick (Some t) rest
+  in
+  pick None candidates
 
 let instance_for ~policy point =
   let need = max 6 (tiles_needed point) in
@@ -154,8 +270,12 @@ let scale_out_shape ~hidden ~nodes ~tiles =
   let parts = if hidden mod nodes = 0 then nodes else 2 in
   (parts, max 1 (tiles / parts))
 
-(* Modeled service time of one deployed inference task. *)
-let service_cache : (string, float) Hashtbl.t = Hashtbl.create 64
+(* Modeled service time of one deployed inference task.  Keyed by the
+   model inputs directly — the sprintf key this replaces burned an
+   allocation and a format pass per lookup on the serving hot path. *)
+let service_cache :
+    (string * int * int * string * float * float * bool, float) Hashtbl.t =
+  Hashtbl.create 64
 
 let service_latency_us ~policy ~added_latency_us (point : Deepbench.point)
     (d : Runtime.deployment) =
@@ -180,10 +300,13 @@ let service_latency_us ~policy ~added_latency_us (point : Deepbench.point)
     if slowest = infinity then 1.0 else fastest /. slowest
   in
   let key =
-    Printf.sprintf "%s/%d/%d/%s/%.2f/%.3f/%b" (Deepbench.name point) tiles
-      (List.length nodes)
-      (Device.kind_name device_kind) partner_slowdown added_latency_us
-      policy.Runtime.whole_device
+    ( Deepbench.name point,
+      tiles,
+      List.length nodes,
+      Device.kind_name device_kind,
+      partner_slowdown,
+      added_latency_us,
+      policy.Runtime.whole_device )
   in
   match Hashtbl.find_opt service_cache key with
   | Some v -> v
@@ -273,13 +396,23 @@ type replica = {
   mutable r_busy : bool;
   mutable r_fresh : bool;  (* reconfiguration not yet charged *)
   mutable r_idle_since : float;
+  (* Labeled metric handles cached against the deployment dims they
+     were built for; refreshed only when consolidation migrates the
+     deployment (so completions stop allocating label lists). *)
+  mutable r_node : int option;
+  mutable r_kind : string;
+  mutable r_completed_c : Obs.Counter.t option;
+  mutable r_sojourn_h : Obs.Histogram.t option;
 }
 
 type sgroup = {
   g_accel : string;
   g_tracker : Autoscaler.tracker;
   mutable g_replicas : replica list;  (* creation order *)
+  g_by_id : (int, replica) Hashtbl.t;  (* secondary index (indexed shape) *)
   g_backlog : stask list Queue.t;  (* batches with no replica to run on *)
+  mutable g_backlog_tasks : int;  (* Σ batch sizes across g_backlog *)
+  mutable g_assigned_tasks : int;  (* Σ batch sizes across replica queues *)
 }
 
 let rec run ~registry cfg =
@@ -313,12 +446,64 @@ and run_untraced ~registry cfg =
   let service_h = Obs.Histogram.get "sysim.task_service_us" in
   let wait_h = Obs.Histogram.get "sysim.task_wait_us" in
   let sojourn_h = Obs.Histogram.get "sysim.task_sojourn_us" in
-  let tasks =
-    Genset.generate_arrival ~rng ~composition:cfg.composition ~tasks:cfg.tasks
-      ~arrival:(arrival_of cfg)
+  (* Labeled series are interned by (name, labels); cache the handles
+     per dimension value so completions stop allocating label lists. *)
+  let completed_node_cs : (int, Obs.Counter.t) Hashtbl.t = Hashtbl.create 32 in
+  let completed_node n =
+    match Hashtbl.find_opt completed_node_cs n with
+    | Some c -> c
+    | None ->
+      let c =
+        Obs.Counter.get_labeled "sysim.tasks.completed"
+          [ ("node", string_of_int n) ]
+      in
+      Hashtbl.replace completed_node_cs n c;
+      c
   in
+  let sojourn_kind_hs : (string, Obs.Histogram.t) Hashtbl.t = Hashtbl.create 8 in
+  let sojourn_kind kind =
+    match Hashtbl.find_opt sojourn_kind_hs kind with
+    | Some h -> h
+    | None ->
+      let h = Obs.Histogram.get_labeled "sysim.task_sojourn_us" [ ("kind", kind) ] in
+      Hashtbl.replace sojourn_kind_hs kind h;
+      h
+  in
+  let sojourn_kind_node_hs : (string * int, Obs.Histogram.t) Hashtbl.t =
+    Hashtbl.create 32
+  in
+  let sojourn_kind_node kind n =
+    match Hashtbl.find_opt sojourn_kind_node_hs (kind, n) with
+    | Some h -> h
+    | None ->
+      let h =
+        Obs.Histogram.get_labeled "sysim.task_sojourn_us"
+          [ ("kind", kind); ("node", string_of_int n) ]
+      in
+      Hashtbl.replace sojourn_kind_node_hs (kind, n) h;
+      h
+  in
+  (* The accelerator name is a pure function of the instance size;
+     computing it per arrival cost a sprintf per task. *)
+  let accel_names : (int, string) Hashtbl.t = Hashtbl.create 16 in
+  let accel_of_point point =
+    let tiles = instance_for ~policy:cfg.policy point in
+    match Hashtbl.find_opt accel_names tiles with
+    | Some s -> s
+    | None ->
+      let s = Framework.accel_name ~tiles in
+      Hashtbl.replace accel_names tiles s;
+      s
+  in
+  let tasks = generate_tasks ~rng cfg in
+  let ntasks = task_count cfg in
+  let multi = cfg.tenants <> [] in
+  let tallies = make_tallies cfg in
+  let tally_of tenant = if multi then List.assoc_opt tenant tallies else None in
   let queue : pending Queue.t = Queue.create () in
-  let inflight : inflight list ref = ref [] in
+  let inflight : inflight Flight_table.t =
+    Flight_table.create ~indexed:cfg.indexed ()
+  in
   let completed = ref 0 in
   let retried = ref 0 in
   let rejected = ref 0 in
@@ -338,13 +523,17 @@ and run_untraced ~registry cfg =
   let reject (p : pending) =
     incr rejected;
     Obs.Counter.incr rejected_c;
+    (match tally_of p.task.Genset.tenant with
+    | Some t -> t.tt_rejected <- t.tt_rejected + 1
+    | None -> ());
     Obs.Trace.task Obs.Trace.Reject p.task.Genset.task_id ~retries:p.retries
       ~label:p.accel
   in
   let rec try_start () =
     if not (Queue.is_empty queue) then begin
       let p = Queue.peek queue in
-      match Runtime.deploy runtime ~accel:p.accel with
+      let tenant = if multi then Some p.task.Genset.tenant else None in
+      match Runtime.deploy ?tenant runtime ~accel:p.accel with
       | Error _ ->
         (* The head blocks the FIFO queue to avoid starvation — but a
            head that cannot deploy even on an empty, fully healthy
@@ -384,19 +573,16 @@ and run_untraced ~registry cfg =
         Obs.Trace.task Obs.Trace.Service p.task.Genset.task_id ?node
           ~deployment:d.Runtime.id ~retries:p.retries ~label:p.accel;
         let fl = { pend = p; depl = d; cancelled = false } in
-        inflight := fl :: !inflight;
+        let fe = Flight_table.add inflight fl ~nodes:(Runtime.nodes_used d) in
         Sim.schedule sim ~delay:service (fun () ->
             if not fl.cancelled then begin
-              inflight := List.filter (fun x -> x != fl) !inflight;
+              Flight_table.remove inflight fe;
               Runtime.undeploy runtime d;
               incr completed;
               if Hashtbl.length down > 0 then incr completed_in_outage;
               Obs.Counter.incr completed_c;
               (match node with
-              | Some n ->
-                Obs.Counter.incr
-                  (Obs.Counter.get_labeled "sysim.tasks.completed"
-                     [ ("node", string_of_int n) ])
+              | Some n -> Obs.Counter.incr (completed_node n)
               | None -> ());
               waits := wait :: !waits;
               Obs.Histogram.observe wait_h wait;
@@ -404,25 +590,26 @@ and run_untraced ~registry cfg =
               let sojourn = finished -. p.task.Genset.arrival_us in
               latencies := sojourn :: !latencies;
               Obs.Histogram.observe sojourn_h sojourn;
-              Obs.Histogram.observe
-                (Obs.Histogram.get_labeled "sysim.task_sojourn_us"
-                   [ ("kind", kind) ])
-                sojourn;
+              Obs.Histogram.observe (sojourn_kind kind) sojourn;
               (match node with
-              | Some n ->
-                Obs.Histogram.observe
-                  (Obs.Histogram.get_labeled "sysim.task_sojourn_us"
-                     [ ("kind", kind); ("node", string_of_int n) ])
-                  sojourn
+              | Some n -> Obs.Histogram.observe (sojourn_kind_node kind n) sojourn
               | None -> ());
               Obs.Trace.task Obs.Trace.Complete p.task.Genset.task_id ?node
                 ~deployment:d.Runtime.id ~retries:p.retries ~label:p.accel;
               (* SLO: a task should finish within slo_multiplier x its
                  unqueued service time. *)
-              if sojourn > cfg.slo_multiplier *. service then begin
+              let missed = sojourn > cfg.slo_multiplier *. service in
+              if missed then begin
                 incr slo_misses;
                 Obs.Counter.incr slo_miss_c
               end;
+              (match tally_of p.task.Genset.tenant with
+              | Some t ->
+                t.tt_completed <- t.tt_completed + 1;
+                t.tt_latencies <- sojourn :: t.tt_latencies;
+                if missed then t.tt_slo_misses <- t.tt_slo_misses + 1;
+                Obs.Counter.incr t.tt_completed_c
+              | None -> ());
               makespan := Float.max !makespan finished;
               try_start ()
             end);
@@ -451,14 +638,10 @@ and run_untraced ~registry cfg =
        and it goes back to the head of the queue — unless it already
        burnt its retry budget, in which case it is rejected rather
        than starving the queue. *)
-    let hit, alive =
-      List.partition (fun fl -> List.mem node (Runtime.nodes_used fl.depl)) !inflight
-    in
-    inflight := alive;
     let hit =
-      List.sort
-        (fun a b -> compare a.pend.task.Genset.task_id b.pend.task.Genset.task_id)
-        hit
+      List.map Flight_table.value (Flight_table.take_node inflight node)
+      |> List.sort (fun a b ->
+             compare a.pend.task.Genset.task_id b.pend.task.Genset.task_id)
     in
     List.iter
       (fun fl ->
@@ -502,10 +685,10 @@ and run_untraced ~registry cfg =
     (fun (task : Genset.task) ->
       Sim.schedule_at sim ~at:task.Genset.arrival_us (fun () ->
           Obs.Counter.incr arrived_c;
-          let accel =
-            Framework.accel_name
-              ~tiles:(instance_for ~policy:cfg.policy task.Genset.point)
-          in
+          (match tally_of task.Genset.tenant with
+          | Some t -> t.tt_arrived <- t.tt_arrived + 1
+          | None -> ());
+          let accel = accel_of_point task.Genset.point in
           Obs.Trace.task Obs.Trace.Arrive task.Genset.task_id ~label:accel;
           Queue.add
             { task; accel; retries = 0; ready_us = task.Genset.arrival_us }
@@ -521,7 +704,9 @@ and run_untraced ~registry cfg =
     | Ok () -> ()
     | Error e -> invalid_arg ("Sysim.run: " ^ e));
     Fault_plan.schedule f.plan sim ~on_crash ~on_restore ~on_degrade);
+  let loop_t0 = Obs.wall_us () in
   Sim.run sim;
+  let loop_wall_s = (Obs.wall_us () -. loop_t0) /. 1e6 in
   (* Tasks still queued when the events drained could not be served
      (e.g. a crash that was never restored): reject them so every
      task is accounted for instead of silently starving. *)
@@ -532,7 +717,7 @@ and run_untraced ~registry cfg =
     outages := (t0, Sim.now sim) :: !outages;
     outage_start := None
   | None -> ());
-  let lost = cfg.tasks - !completed - !rejected in
+  let lost = ntasks - !completed - !rejected in
   if lost > 0 then
     Obs.Counter.add (Obs.Counter.get "sysim.tasks.lost") lost;
   let mean xs = Mlv_util.Stats.mean xs in
@@ -585,6 +770,8 @@ and run_untraced ~registry cfg =
     batches = 0;
     scale_ups = 0;
     scale_downs = 0;
+    per_tenant = tenant_stats_of ~makespan_us:!makespan tallies;
+    loop_wall_s;
   }
 
 (* Closed-loop serving: admission gate -> batcher -> router ->
@@ -608,14 +795,56 @@ and run_serving ~registry cfg serving =
   let service_h = Obs.Histogram.get "sysim.task_service_us" in
   let wait_h = Obs.Histogram.get "sysim.task_wait_us" in
   let sojourn_h = Obs.Histogram.get "sysim.task_sojourn_us" in
-  let tasks =
-    Genset.generate_arrival ~rng ~composition:cfg.composition ~tasks:cfg.tasks
-      ~arrival:(arrival_of cfg)
+  (* Accelerator names are a pure function of the instance size; see
+     the identical cache in [run_untraced]. *)
+  let accel_names : (int, string) Hashtbl.t = Hashtbl.create 16 in
+  let accel_of_point point =
+    let tiles = instance_for ~policy:cfg.policy point in
+    match Hashtbl.find_opt accel_names tiles with
+    | Some s -> s
+    | None ->
+      let s = Framework.accel_name ~tiles in
+      Hashtbl.replace accel_names tiles s;
+      s
   in
+  let tasks = generate_tasks ~rng cfg in
+  let ntasks = task_count cfg in
+  let multi = cfg.tenants <> [] in
+  let tallies = make_tallies cfg in
+  let tally_of tenant = if multi then List.assoc_opt tenant tallies else None in
   let gate = Slo.create serving.classes in
-  let batcher : stask Batcher.t = Batcher.create serving.batch in
-  let router = Router.create () in
+  (match serving.tenant_pool with
+  | None -> ()
+  | Some (rate_per_s, burst) ->
+    if not multi then
+      invalid_arg "Sysim.run: serving.tenant_pool requires config.tenants";
+    Slo.set_tenant_pool gate ~rate_per_s ~burst
+      (List.map
+         (fun (l : Genset.tenant_load) ->
+           Slo.tenant_spec ~weight:l.Genset.tl_weight l.Genset.tl_name)
+         cfg.tenants));
+  let batcher : stask Batcher.t =
+    Batcher.create
+      ?tenant_of:(if multi then Some (fun st -> st.s_task.Genset.tenant) else None)
+      serving.batch
+  in
+  let router = Router.create ~indexed:cfg.indexed () in
   let groups : (string, sgroup) Hashtbl.t = Hashtbl.create 8 in
+  (* Group names ascending, maintained on creation (groups are never
+     destroyed) — the indexed shape's replacement for the
+     fold-and-sort over the hashtable. *)
+  let sorted_keys = ref [] in
+  let insert_key k =
+    let rec ins = function
+      | [] -> [ k ]
+      | x :: rest as l -> if k < x then k :: l else x :: ins rest
+    in
+    sorted_keys := ins !sorted_keys
+  in
+  (* Groups whose backlog is non-empty: the per-completion pump only
+     looks at these instead of sweeping every group. *)
+  let starved : (string, unit) Hashtbl.t = Hashtbl.create 8 in
+  let busy_count = ref 0 in
   let next_replica_id = ref 0 in
   let completed = ref 0 in
   let rejected = ref 0 in
@@ -638,33 +867,62 @@ and run_serving ~registry cfg serving =
           g_accel = accel;
           g_tracker = Autoscaler.tracker ~name:("sojourn." ^ accel);
           g_replicas = [];
+          g_by_id = Hashtbl.create 8;
           g_backlog = Queue.create ();
+          g_backlog_tasks = 0;
+          g_assigned_tasks = 0;
         }
       in
       Hashtbl.replace groups accel g;
+      insert_key accel;
       g
   in
   (* Decisions iterate groups in sorted-name order, never in Hashtbl
-     order, to stay deterministic. *)
+     order, to stay deterministic.  The linear shape re-derives the
+     order per call (the pre-index cost profile); the indexed shape
+     reads the maintained list. *)
   let group_keys () =
-    Hashtbl.fold (fun k _ acc -> k :: acc) groups [] |> List.sort compare
+    if cfg.indexed then !sorted_keys
+    else Hashtbl.fold (fun k _ acc -> k :: acc) groups [] |> List.sort compare
   in
   let batchq_len q = Queue.fold (fun acc b -> acc + List.length b) 0 q in
+  let find_replica g rid =
+    if cfg.indexed then Hashtbl.find g.g_by_id rid
+    else List.find (fun r -> r.r_id = rid) g.g_replicas
+  in
+  let backlog_push g batch =
+    Queue.add batch g.g_backlog;
+    g.g_backlog_tasks <- g.g_backlog_tasks + List.length batch;
+    Hashtbl.replace starved g.g_accel ()
+  in
+  let backlog_pop g =
+    let b = Queue.pop g.g_backlog in
+    g.g_backlog_tasks <- g.g_backlog_tasks - List.length b;
+    if Queue.is_empty g.g_backlog then Hashtbl.remove starved g.g_accel;
+    b
+  in
   let reject_stask ~accel (st : stask) =
     incr rejected;
     decr queued;
     Obs.Counter.incr rejected_c;
+    (match tally_of st.s_task.Genset.tenant with
+    | Some t -> t.tt_rejected <- t.tt_rejected + 1
+    | None -> ());
     Obs.Trace.task Obs.Trace.Reject st.s_task.Genset.task_id ~retries:0
       ~label:accel
   in
   let reject_backlog g =
     Queue.iter (fun b -> List.iter (reject_stask ~accel:g.g_accel) b) g.g_backlog;
-    Queue.clear g.g_backlog
+    Queue.clear g.g_backlog;
+    g.g_backlog_tasks <- 0;
+    Hashtbl.remove starved g.g_accel
   in
   let any_busy () =
-    Hashtbl.fold
-      (fun _ g acc -> acc || List.exists (fun r -> r.r_busy) g.g_replicas)
-      groups false
+    if cfg.indexed then !busy_count > 0
+    else
+      Hashtbl.fold
+        (fun _ g acc -> acc || List.exists (fun r -> r.r_busy) g.g_replicas)
+        groups false
   in
   let is_idle r = (not r.r_busy) && Queue.is_empty r.r_queue in
   (* Longest-idle idle replica in any other group (tie: lowest replica
@@ -689,6 +947,7 @@ and run_serving ~registry cfg serving =
   let remove_replica g r =
     Router.remove_replica router ~key:g.g_accel ~replica_id:r.r_id;
     g.g_replicas <- List.filter (fun x -> x != r) g.g_replicas;
+    Hashtbl.remove g.g_by_id r.r_id;
     Runtime.undeploy runtime r.r_depl
   in
   let make_replica g d =
@@ -702,10 +961,15 @@ and run_serving ~registry cfg serving =
         r_busy = false;
         r_fresh = true;
         r_idle_since = Sim.now sim;
+        r_node = None;
+        r_kind = "";
+        r_completed_c = None;
+        r_sojourn_h = None;
       }
     in
     Router.add_replica router ~key:g.g_accel ~replica_id:id ~weight:1.0;
     g.g_replicas <- g.g_replicas @ [ r ];
+    Hashtbl.replace g.g_by_id id r;
     incr scale_ups;
     Obs.Counter.incr (Obs.Counter.get "sysim.serving.scale_up");
     Autoscaler.mark_scaled g.g_tracker ~now_us:(Sim.now sim);
@@ -733,10 +997,44 @@ and run_serving ~registry cfg serving =
       else if reclaim_candidate ~excluding:g.g_accel = None then `Dead
       else `Full
   in
+  (* Route a batch onto a replica: router bookkeeping (plus per-tenant
+     attribution) and the queue append, with the group's assigned-task
+     counter kept in step. *)
+  let assign g r batch =
+    let n = List.length batch in
+    Router.begin_work router ~key:g.g_accel ~replica_id:r.r_id n;
+    if multi then
+      List.iter
+        (fun st -> Router.note_routed router ~tenant:st.s_task.Genset.tenant 1)
+        batch;
+    g.g_assigned_tasks <- g.g_assigned_tasks + n;
+    Queue.add batch r.r_queue
+  in
+  (* Refresh the replica's cached labeled handles when the deployment
+     dims changed (consolidation migrates idle replicas); the counter
+     is created before the histogram to keep registry creation order
+     identical to the per-completion lookups this replaces. *)
+  let replica_handles r node kind =
+    if r.r_sojourn_h = None || r.r_node <> node || r.r_kind <> kind then begin
+      r.r_node <- node;
+      r.r_kind <- kind;
+      r.r_completed_c <-
+        (match node with
+        | Some n ->
+          Some
+            (Obs.Counter.get_labeled "sysim.tasks.completed"
+               [ ("node", string_of_int n) ])
+        | None -> None);
+      r.r_sojourn_h <-
+        Some (Obs.Histogram.get_labeled "sysim.task_sojourn_us" [ ("kind", kind) ])
+    end
+  in
   let rec start_replica g r =
     if (not r.r_busy) && not (Queue.is_empty r.r_queue) then begin
       let batch = Queue.pop r.r_queue in
+      g.g_assigned_tasks <- g.g_assigned_tasks - List.length batch;
       r.r_busy <- true;
+      incr busy_count;
       let now = Sim.now sim in
       let d = r.r_depl in
       let node, kind = deployment_dims d in
@@ -777,26 +1075,25 @@ and run_serving ~registry cfg serving =
       Sim.schedule sim ~delay:service (fun () ->
           let finished = Sim.now sim in
           r.r_busy <- false;
+          decr busy_count;
           r.r_idle_since <- finished;
           Router.end_work router ~key:g.g_accel ~replica_id:r.r_id n;
+          replica_handles r node kind;
+          let sojourn_kind_h =
+            match r.r_sojourn_h with Some h -> h | None -> assert false
+          in
           List.iter2
             (fun st svc ->
               incr completed;
               Obs.Counter.incr completed_c;
-              (match node with
-              | Some nd ->
-                Obs.Counter.incr
-                  (Obs.Counter.get_labeled "sysim.tasks.completed"
-                     [ ("node", string_of_int nd) ])
+              (match r.r_completed_c with
+              | Some c -> Obs.Counter.incr c
               | None -> ());
               let sojourn = finished -. st.s_task.Genset.arrival_us in
               latencies := sojourn :: !latencies;
               Obs.Histogram.observe sojourn_h
                 sojourn;
-              Obs.Histogram.observe
-                (Obs.Histogram.get_labeled "sysim.task_sojourn_us"
-                   [ ("kind", kind) ])
-                sojourn;
+              Obs.Histogram.observe sojourn_kind_h sojourn;
               Autoscaler.observe_sojourn g.g_tracker sojourn;
               Obs.Trace.task Obs.Trace.Complete st.s_task.Genset.task_id ?node
                 ~deployment:d.Runtime.id ~retries:0 ~label:g.g_accel;
@@ -805,40 +1102,50 @@ and run_serving ~registry cfg serving =
                 if st.s_deadline_us > 0.0 then st.s_deadline_us
                 else cfg.slo_multiplier *. task_service
               in
-              if sojourn > deadline then begin
+              let missed = sojourn > deadline in
+              if missed then begin
                 incr slo_misses;
                 Obs.Counter.incr slo_miss_c
-              end)
+              end;
+              match tally_of st.s_task.Genset.tenant with
+              | Some t ->
+                t.tt_completed <- t.tt_completed + 1;
+                t.tt_latencies <- sojourn :: t.tt_latencies;
+                if missed then t.tt_slo_misses <- t.tt_slo_misses + 1;
+                Obs.Counter.incr t.tt_completed_c
+              | None -> ())
             batch per_task;
           makespan := Float.max !makespan finished;
           if Queue.is_empty r.r_queue && not (Queue.is_empty g.g_backlog)
-          then begin
-            let b = Queue.pop g.g_backlog in
-            Router.begin_work router ~key:g.g_accel ~replica_id:r.r_id
-              (List.length b);
-            Queue.add b r.r_queue
-          end;
+          then assign g r (backlog_pop g);
           start_replica g r;
           pump_all ())
     end
   (* A completion anywhere may unblock a starved group: retry
-     bootstrap deploys for groups whose backlog has no replica. *)
+     bootstrap deploys for groups whose backlog has no replica.  The
+     indexed shape consults the maintained starved set — O(1) when
+     nothing is starved, O(starved log starved) otherwise — instead of
+     sweeping every group per completion. *)
   and pump_all () =
-    List.iter
-      (fun k ->
-        let g = Hashtbl.find groups k in
-        if not (Queue.is_empty g.g_backlog) then pump_group g)
-      (group_keys ())
+    if cfg.indexed then begin
+      if Hashtbl.length starved > 0 then
+        Hashtbl.fold (fun k () acc -> k :: acc) starved []
+        |> List.sort compare
+        |> List.iter (fun k -> pump_group (Hashtbl.find groups k))
+    end
+    else
+      List.iter
+        (fun k ->
+          let g = Hashtbl.find groups k in
+          if not (Queue.is_empty g.g_backlog) then pump_group g)
+        (group_keys ())
   and pump_group g =
     if not (Queue.is_empty g.g_backlog) then begin
       match Router.pick router ~key:g.g_accel with
       | Some rid ->
-        let r = List.find (fun r -> r.r_id = rid) g.g_replicas in
+        let r = find_replica g rid in
         if is_idle r then begin
-          let b = Queue.pop g.g_backlog in
-          Router.begin_work router ~key:g.g_accel ~replica_id:rid
-            (List.length b);
-          Queue.add b r.r_queue;
+          assign g r (backlog_pop g);
           start_replica g r;
           pump_group g
         end
@@ -853,15 +1160,13 @@ and run_serving ~registry cfg serving =
     Obs.Counter.incr batches_c;
     match Router.pick router ~key:g.g_accel with
     | Some rid ->
-      Router.begin_work router ~key:g.g_accel ~replica_id:rid
-        (List.length batch);
-      let r = List.find (fun r -> r.r_id = rid) g.g_replicas in
-      Queue.add batch r.r_queue;
+      let r = find_replica g rid in
+      assign g r batch;
       start_replica g r
     | None -> (
       match grow g ~allow_reclaim:(serving.autoscale <> None) with
       | `Ok -> dispatch g batch
-      | `Full -> Queue.add batch g.g_backlog
+      | `Full -> backlog_push g batch
       | `Dead -> List.iter (reject_stask ~accel:g.g_accel) batch)
   in
   (* Scale-down takes the group's longest-idle idle replica, then
@@ -906,18 +1211,22 @@ and run_serving ~registry cfg serving =
         max_int (Slo.classes gate)
     in
     let rec tick () =
-      if !completed + !rejected + !shed < cfg.tasks then begin
+      if !completed + !rejected + !shed < ntasks then begin
         let now = Sim.now sim in
         let capacity_bound = ref false in
         List.iter
           (fun k ->
             let g = Hashtbl.find groups k in
             let backlog =
-              Batcher.pending batcher ~key:k
-              + batchq_len g.g_backlog
-              + List.fold_left
-                  (fun acc r -> acc + batchq_len r.r_queue)
-                  0 g.g_replicas
+              if cfg.indexed then
+                Batcher.pending batcher ~key:k + g.g_backlog_tasks
+                + g.g_assigned_tasks
+              else
+                Batcher.pending batcher ~key:k
+                + batchq_len g.g_backlog
+                + List.fold_left
+                    (fun acc r -> acc + batchq_len r.r_queue)
+                    0 g.g_replicas
             in
             let replicas = List.length g.g_replicas in
             let idle =
@@ -952,20 +1261,35 @@ and run_serving ~registry cfg serving =
     (fun (task : Genset.task) ->
       Sim.schedule_at sim ~at:task.Genset.arrival_us (fun () ->
           Obs.Counter.incr arrived_c;
-          let accel =
-            Framework.accel_name
-              ~tiles:(instance_for ~policy:cfg.policy task.Genset.point)
-          in
+          let tally = tally_of task.Genset.tenant in
+          (match tally with
+          | Some t -> t.tt_arrived <- t.tt_arrived + 1
+          | None -> ());
+          let accel = accel_of_point task.Genset.point in
           Obs.Trace.task Obs.Trace.Arrive task.Genset.task_id ~label:accel;
           let now = Sim.now sim in
           let cname = Sizes.name task.Genset.model_class in
-          match Slo.admit gate ~class_name:cname ~now_us:now with
-          | Slo.Shed_rate | Slo.Shed_priority ->
+          let verdict =
+            if multi then
+              Slo.admit ~tenant:task.Genset.tenant gate ~class_name:cname
+                ~now_us:now
+            else Slo.admit gate ~class_name:cname ~now_us:now
+          in
+          match verdict with
+          | Slo.Shed_rate | Slo.Shed_priority | Slo.Shed_tenant ->
             incr shed;
             Obs.Counter.incr shed_c;
+            (match tally with
+            | Some t ->
+              t.tt_shed <- t.tt_shed + 1;
+              Obs.Counter.incr t.tt_shed_c
+            | None -> ());
             Obs.Trace.task Obs.Trace.Reject task.Genset.task_id ~retries:0
               ~label:accel
           | Slo.Admitted -> (
+            (match tally with
+            | Some t -> t.tt_admitted <- t.tt_admitted + 1
+            | None -> ());
             let st =
               {
                 s_task = task;
@@ -991,7 +1315,9 @@ and run_serving ~registry cfg serving =
                   | batch -> dispatch g batch)
             | Batcher.Joined -> ())))
     tasks;
+  let loop_t0 = Obs.wall_us () in
   Sim.run sim;
+  let loop_wall_s = (Obs.wall_us () -. loop_t0) /. 1e6 in
   (* Whatever never reached a replica is rejected, and the warm pool
      is torn down, so every task and every placement is accounted
      for. *)
@@ -1010,7 +1336,7 @@ and run_serving ~registry cfg serving =
         g.g_replicas;
       g.g_replicas <- [])
     (group_keys ());
-  let lost = cfg.tasks - !completed - !rejected - !shed in
+  let lost = ntasks - !completed - !rejected - !shed in
   if lost > 0 then Obs.Counter.add (Obs.Counter.get "sysim.tasks.lost") lost;
   let mean xs = Mlv_util.Stats.mean xs in
   let p50, p95, p99 = latency_percentiles !latencies in
@@ -1046,4 +1372,6 @@ and run_serving ~registry cfg serving =
     batches = Batcher.batches batcher;
     scale_ups = !scale_ups;
     scale_downs = !scale_downs;
+    per_tenant = tenant_stats_of ~makespan_us:!makespan tallies;
+    loop_wall_s;
   }

@@ -55,6 +55,11 @@ type serving = {
   autoscale : Mlv_sched.Autoscaler.config option;
       (** [None] serves statically: one bootstrap replica per group,
           no control loop *)
+  tenant_pool : (float * int) option;
+      (** [(rate_per_s, burst)] of a weighted fair-share admission pool
+          split across [config.tenants] (see
+          {!Mlv_sched.Slo.set_tenant_pool}); requires a multi-tenant
+          workload.  [None] admits without per-tenant gating. *)
 }
 
 (** [default_serving] admits every class, batches up to 4 requests
@@ -84,6 +89,17 @@ type config = {
           a build without the fault layer *)
   serving : serving option;
       (** [None] (the default) keeps the open-loop engine *)
+  tenants : Genset.tenant_load list;
+      (** non-empty: the workload is the merged multi-tenant stream of
+          {!Genset.generate_tenants} and [tasks] is ignored in favour
+          of the per-tenant counts; [[]] (the default) keeps the
+          single-stream generators *)
+  indexed : bool;
+      (** [false] selects the pre-index linear data shapes — list
+          flight table, fold-per-pick router, per-completion group
+          sweeps — as the differential oracle for bench/scale.ml.
+          Both shapes produce bit-identical results; the default
+          [true] is the O(1)/O(log n) per-event hot path. *)
 }
 
 (** [default_config ~policy ~composition] gives 120 tasks, 200 µs
@@ -91,6 +107,22 @@ type config = {
     paper's device mix and no faults. *)
 val default_config :
   policy:Mlv_core.Runtime.policy -> composition:Genset.composition -> config
+
+(** One tenant's slice of a multi-tenant run's accounting.  The
+    identity [tn_arrived = tn_completed + tn_shed + tn_rejected]
+    holds per tenant exactly as the global identity does. *)
+type tenant_stats = {
+  tn_name : string;
+  tn_arrived : int;
+  tn_admitted : int;  (** passed the admission gate (serving mode) *)
+  tn_shed : int;
+  tn_completed : int;
+  tn_rejected : int;
+  tn_slo_misses : int;
+  tn_goodput_per_s : float;
+      (** SLO-meeting completions / the run's makespan *)
+  tn_p99_latency_us : float;
+}
 
 type result = {
   completed : int;
@@ -135,6 +167,15 @@ type result = {
   batches : int;  (** serving mode: batches dispatched *)
   scale_ups : int;  (** serving mode: replicas added (incl. bootstrap) *)
   scale_downs : int;  (** serving mode: replicas retired by the loop *)
+  per_tenant : tenant_stats list;
+      (** one entry per [config.tenants] element, declaration order;
+          [[]] on single-tenant runs *)
+  loop_wall_s : float;
+      (** wall-clock seconds spent inside the event loop proper —
+          excludes cluster construction, workload generation and
+          result post-processing.  The serving-loop throughput metric
+          of bench/scale.ml.  Nondeterministic: exclude it from
+          bit-identity comparisons. *)
 }
 
 (** The accelerator instances compiled into the mapping database —

@@ -16,6 +16,11 @@ val percentile : float -> float list -> float
 (** [median xs] is [percentile 50. xs]. *)
 val median : float list -> float
 
+(** [percentile_many ps xs] is [List.map (fun p -> percentile p xs) ps]
+    computed with a single sort of [xs] — bit-identical results.
+    @raise Invalid_argument as {!percentile}. *)
+val percentile_many : float list -> float list -> float list
+
 (** [geomean xs] is the geometric mean of strictly positive samples.
     @raise Invalid_argument if any sample is non-positive or the list
     is empty. *)

@@ -24,11 +24,16 @@ let composition_name c =
   add c.s "S";
   String.concat "+" !parts
 
+(* Tasks from the single-stream generators carry the default tenant;
+   only [generate_tenants] produces a real mix. *)
+let default_tenant = "-"
+
 type task = {
   task_id : int;
   point : Deepbench.point;
   model_class : Sizes.model_class;
   arrival_us : float;
+  tenant : string;
 }
 
 type arrival =
@@ -81,11 +86,59 @@ let generate_arrival ~rng ~composition ~tasks ~arrival =
       clock := !clock +. Rng.exponential rng ~mean;
       let model_class = sample_class () in
       let point = Rng.choose rng (Sizes.points_of_class model_class) in
-      { task_id; point; model_class; arrival_us = !clock })
+      { task_id; point; model_class; arrival_us = !clock; tenant = default_tenant })
 
 let generate ~rng ~composition ~tasks ~mean_interarrival_us =
   generate_arrival ~rng ~composition ~tasks
     ~arrival:(Exponential { mean_us = mean_interarrival_us })
+
+(* A tenant's slice of a multi-tenant workload: its own task count,
+   arrival process and fair-share weight. *)
+type tenant_load = {
+  tl_name : string;
+  tl_weight : float;
+  tl_tasks : int;
+  tl_arrival : arrival;
+}
+
+let tenant_load ?(weight = 1.0) ~tasks ~arrival name =
+  if weight <= 0.0 then invalid_arg "Genset.tenant_load: weight must be positive";
+  if tasks <= 0 then invalid_arg "Genset.tenant_load: tasks must be positive";
+  validate_arrival arrival;
+  { tl_name = name; tl_weight = weight; tl_tasks = tasks; tl_arrival = arrival }
+
+(* Each tenant draws its stream from its own generator (split off the
+   seed in declaration order), so one tenant's parameters never
+   perturb another's arrivals — the property the isolation bench
+   leans on.  Streams merge by arrival time (ties by tenant name,
+   then original id: all deterministic) and task ids are reassigned
+   in merged order so they stay unique and arrival-ordered. *)
+let generate_tenants ~seed ~composition loads =
+  if loads = [] then invalid_arg "Genset.generate_tenants: no tenants";
+  let names = List.map (fun l -> l.tl_name) loads in
+  if List.length (List.sort_uniq compare names) <> List.length names then
+    invalid_arg "Genset.generate_tenants: duplicate tenant names";
+  let parent = Rng.create seed in
+  let streams =
+    List.map
+      (fun l ->
+        let rng = Rng.split parent in
+        List.map
+          (fun t -> { t with tenant = l.tl_name })
+          (generate_arrival ~rng ~composition ~tasks:l.tl_tasks
+             ~arrival:l.tl_arrival))
+      loads
+  in
+  let cmp a b =
+    match Float.compare a.arrival_us b.arrival_us with
+    | 0 -> (
+      match compare a.tenant b.tenant with
+      | 0 -> compare a.task_id b.task_id
+      | c -> c)
+    | c -> c
+  in
+  let merged = List.fold_left (fun acc s -> List.merge cmp acc s) [] streams in
+  List.mapi (fun i t -> { t with task_id = i }) merged
 
 let class_histogram tasks =
   let count c = List.length (List.filter (fun t -> t.model_class = c) tasks) in

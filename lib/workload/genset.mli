@@ -13,11 +13,16 @@ val table1 : composition array
 (** [composition_name c] e.g. ["50%S+50%L"]. *)
 val composition_name : composition -> string
 
+(** The tenant of tasks from the single-stream generators (["-"]);
+    {!generate_tenants} stamps real tenant names. *)
+val default_tenant : string
+
 type task = {
   task_id : int;
   point : Deepbench.point;
   model_class : Sizes.model_class;
   arrival_us : float;  (** absolute arrival time *)
+  tenant : string;  (** {!default_tenant} unless multi-tenant *)
 }
 
 (** Arrival processes.  [Exponential] is a Poisson stream.  [Bursty]
@@ -62,6 +67,29 @@ val generate :
   tasks:int ->
   mean_interarrival_us:float ->
   task list
+
+(** One tenant's slice of a multi-tenant workload. *)
+type tenant_load = {
+  tl_name : string;
+  tl_weight : float;  (** fair-share weight (feeds the SLO pool) *)
+  tl_tasks : int;
+  tl_arrival : arrival;
+}
+
+(** [tenant_load name ~tasks ~arrival] with weight 1.
+    @raise Invalid_argument on non-positive weight/tasks or bad
+    arrival parameters. *)
+val tenant_load :
+  ?weight:float -> tasks:int -> arrival:arrival -> string -> tenant_load
+
+(** [generate_tenants ~seed ~composition loads] draws each tenant's
+    stream from its own split of [seed] (one tenant's parameters never
+    perturb another's arrivals), merges them by arrival time and
+    renumbers task ids in merged order.
+    @raise Invalid_argument on an empty or duplicate-name tenant
+    list. *)
+val generate_tenants :
+  seed:int -> composition:composition -> tenant_load list -> task list
 
 (** [class_histogram tasks] counts tasks per class. *)
 val class_histogram : task list -> (Sizes.model_class * int) list

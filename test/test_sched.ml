@@ -26,7 +26,8 @@ let verdict =
         (match v with
         | Slo.Admitted -> "admitted"
         | Slo.Shed_rate -> "shed-rate"
-        | Slo.Shed_priority -> "shed-priority"))
+        | Slo.Shed_priority -> "shed-priority"
+        | Slo.Shed_tenant -> "shed-tenant"))
     ( = )
 
 let test_slo_bucket_drains_and_refills () =
@@ -118,6 +119,40 @@ let test_slo_accounting_identity () =
   Alcotest.(check bool) "some traffic shed" true (Slo.shed gate > 0);
   Alcotest.(check int) "every arrival accounted" 200 rhs
 
+(* The same closure property for the tenant fair-share layer: over a
+   mixed 3-tenant stream — plus decisions with no tenant or an
+   unknown one, which bypass the pool — the per-tenant admitted/shed
+   counters and [tenant_unknown] must cover every decision the gate
+   made. *)
+let test_slo_tenant_pool_identity () =
+  let gate = Slo.create [ Slo.class_spec ~rate_per_s:1000.0 ~burst:4 "S" ] in
+  Slo.set_tenant_pool gate ~rate_per_s:3000.0 ~burst:8
+    [ Slo.tenant_spec "a"; Slo.tenant_spec ~weight:2.0 "b"; Slo.tenant_spec "c" ];
+  let tenants = [| Some "a"; Some "b"; Some "c"; None; Some "mystery" |] in
+  for i = 0 to 199 do
+    let now_us = float_of_int i *. 97.0 in
+    match tenants.(i mod Array.length tenants) with
+    | Some tenant -> ignore (Slo.admit ~tenant gate ~class_name:"S" ~now_us)
+    | None -> ignore (Slo.admit gate ~class_name:"S" ~now_us)
+  done;
+  let known = [ "a"; "b"; "c" ] in
+  let sum f = List.fold_left (fun acc t -> acc + f gate t) 0 known in
+  Alcotest.(check int) "per-tenant + unknown = totals"
+    (Slo.admitted gate + Slo.shed gate)
+    (sum Slo.admitted_of_tenant + sum Slo.shed_of_tenant
+    + Slo.tenant_unknown gate);
+  Alcotest.(check int) "every arrival accounted" 200
+    (Slo.admitted gate + Slo.shed gate);
+  Alcotest.(check bool) "fair-share sheds occurred" true
+    (Slo.shed_tenant gate > 0);
+  Alcotest.(check bool) "pool bypass observed" true
+    (Slo.tenant_unknown gate > 0);
+  (* weight 2 of 4 entitles b to half the pool rate *)
+  Alcotest.(check (float 1e-9)) "weighted refill rate" 1500.0
+    (Slo.tenant_rate_of gate "b");
+  Alcotest.(check bool) "weighted tenant admits at least an equal peer" true
+    (Slo.admitted_of_tenant gate "b" >= Slo.admitted_of_tenant gate "a")
+
 (* ---------------- dynamic batching ---------------- *)
 
 let test_batch_dispatch_on_fullness () =
@@ -161,6 +196,45 @@ let test_batch_validation () =
   | _ -> Alcotest.fail "negative linger should raise"
   | exception Invalid_argument _ -> ()
 
+(* The O(1) counters must track a from-scratch recount through every
+   transition: open, join, dispatch on fullness, linger flush and
+   drain. *)
+let test_batch_incremental_counters () =
+  let b =
+    Batcher.create
+      ~tenant_of:(fun (t, _) -> t)
+      (Batcher.config ~max_batch:3 ~max_linger_us:100.0 ())
+  in
+  let recount () =
+    let keys = Batcher.keys b in
+    let total =
+      List.fold_left (fun acc k -> acc + Batcher.pending b ~key:k) 0 keys
+    in
+    Alcotest.(check int) "total_pending matches recount" total
+      (Batcher.total_pending b);
+    Alcotest.(check int) "nonempty_kinds matches keys" (List.length keys)
+      (Batcher.nonempty_kinds b)
+  in
+  ignore (Batcher.add b ~key:"x" ~now_us:0.0 ("a", 1));
+  recount ();
+  ignore (Batcher.add b ~key:"x" ~now_us:1.0 ("b", 2));
+  ignore (Batcher.add b ~key:"y" ~now_us:2.0 ("a", 3));
+  recount ();
+  Alcotest.(check (list string)) "keys sorted" [ "x"; "y" ] (Batcher.keys b);
+  Alcotest.(check int) "per-tenant pending" 2 (Batcher.pending_of_tenant b "a");
+  (match Batcher.add b ~key:"x" ~now_us:3.0 ("c", 4) with
+  | Batcher.Dispatch batch -> Alcotest.(check int) "full batch" 3 (List.length batch)
+  | _ -> Alcotest.fail "third request should fill and dispatch");
+  recount ();
+  Alcotest.(check (list string)) "x empty after dispatch" [ "y" ] (Batcher.keys b);
+  Alcotest.(check int) "flush pops y" 1
+    (List.length (Batcher.flush_due b ~key:"y" ~now_us:500.0));
+  recount ();
+  Alcotest.(check int) "all drained" 0 (Batcher.total_pending b);
+  Alcotest.(check int) "no nonempty kinds" 0 (Batcher.nonempty_kinds b);
+  Alcotest.(check int) "tenant accounting drained" 0
+    (Batcher.pending_of_tenant b "a")
+
 (* ---------------- weighted routing ---------------- *)
 
 let test_router_weighted_least_outstanding () =
@@ -194,6 +268,72 @@ let test_router_validation () =
   (* end_work clamps at zero rather than going negative *)
   Router.end_work r ~key:"k" ~replica_id:0 5;
   Alcotest.(check int) "clamped" 0 (Router.outstanding r ~key:"k" ~replica_id:0)
+
+(* Differential: the min-heap shape must agree with the pre-index
+   linear-scan shape on every pick, count and listing over a random
+   add/remove/work sequence. *)
+let test_router_shapes_differential () =
+  let rng = Mlv_util.Rng.create 23 in
+  let idx = Router.create ~indexed:true () in
+  let lin = Router.create ~indexed:false () in
+  let keys = [| "a"; "b"; "c" |] in
+  let next_id = ref 0 in
+  let live = ref [] in
+  for _ = 0 to 799 do
+    let r = Mlv_util.Rng.float rng 1.0 in
+    if r < 0.3 || !live = [] then begin
+      let key = keys.(Mlv_util.Rng.int rng 3) in
+      let id = !next_id in
+      incr next_id;
+      let weight = 1.0 +. float_of_int (Mlv_util.Rng.int rng 3) in
+      Router.add_replica idx ~key ~replica_id:id ~weight;
+      Router.add_replica lin ~key ~replica_id:id ~weight;
+      live := (key, id) :: !live
+    end
+    else if r < 0.42 then begin
+      let n = Mlv_util.Rng.int rng (List.length !live) in
+      let key, id = List.nth !live n in
+      Router.remove_replica idx ~key ~replica_id:id;
+      Router.remove_replica lin ~key ~replica_id:id;
+      live := List.filteri (fun j _ -> j <> n) !live
+    end
+    else begin
+      let key = keys.(Mlv_util.Rng.int rng 3) in
+      let pi = Router.pick idx ~key in
+      Alcotest.(check (option int)) "pick agrees" (Router.pick lin ~key) pi;
+      match pi with
+      | None -> ()
+      | Some id ->
+        let n = 1 + Mlv_util.Rng.int rng 4 in
+        if Mlv_util.Rng.float rng 1.0 < 0.7 then begin
+          Router.begin_work idx ~key ~replica_id:id n;
+          Router.begin_work lin ~key ~replica_id:id n
+        end
+        else begin
+          Router.end_work idx ~key ~replica_id:id n;
+          Router.end_work lin ~key ~replica_id:id n
+        end
+    end;
+    Alcotest.(check int) "total outstanding agrees"
+      (Router.total_outstanding lin)
+      (Router.total_outstanding idx);
+    Alcotest.(check (list string)) "keys agree" (Router.keys lin)
+      (Router.keys idx)
+  done;
+  Alcotest.(check int) "dispatched agrees" (Router.dispatched lin)
+    (Router.dispatched idx);
+  Array.iter
+    (fun key ->
+      Alcotest.(check (list int)) ("replicas of " ^ key)
+        (Router.replicas lin ~key) (Router.replicas idx ~key);
+      List.iter
+        (fun id ->
+          Alcotest.(check int)
+            (Printf.sprintf "outstanding %s/%d" key id)
+            (Router.outstanding lin ~key ~replica_id:id)
+            (Router.outstanding idx ~key ~replica_id:id))
+        (Router.replicas idx ~key))
+    keys
 
 (* ---------------- autoscaler control law ---------------- *)
 
@@ -349,6 +489,7 @@ let serving_config ?(tasks = 30) ?(autoscale = Some Autoscaler.default) () =
           Sysim.classes = [];
           batch = Batcher.config ~max_batch:4 ~max_linger_us:100.0 ();
           autoscale;
+          tenant_pool = None;
         };
   }
 
@@ -577,6 +718,8 @@ let () =
           Alcotest.test_case "validation" `Quick test_slo_validation;
           Alcotest.test_case "accounting identity" `Quick
             test_slo_accounting_identity;
+          Alcotest.test_case "tenant pool identity" `Quick
+            test_slo_tenant_pool_identity;
         ] );
       ( "batcher",
         [
@@ -584,12 +727,16 @@ let () =
           Alcotest.test_case "linger flush + stale timer" `Quick
             test_batch_linger_flush_and_stale_timer;
           Alcotest.test_case "validation" `Quick test_batch_validation;
+          Alcotest.test_case "incremental counters" `Quick
+            test_batch_incremental_counters;
         ] );
       ( "router",
         [
           Alcotest.test_case "weighted least outstanding" `Quick
             test_router_weighted_least_outstanding;
           Alcotest.test_case "validation" `Quick test_router_validation;
+          Alcotest.test_case "shapes differential" `Quick
+            test_router_shapes_differential;
         ] );
       ( "autoscaler",
         [

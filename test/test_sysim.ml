@@ -113,7 +113,157 @@ let test_instance_within () =
   Alcotest.(check (option int)) "cap excludes the cover" (Some 8)
     (Sysim.instance_within ~need:7 ~cap:8 cands);
   Alcotest.(check (option int)) "nothing fits the cap" None
-    (Sysim.instance_within ~need:7 ~cap:5 cands)
+    (Sysim.instance_within ~need:7 ~cap:5 cands);
+  (* boundary cases for the single-pass rewrite *)
+  Alcotest.(check (option int)) "empty candidates" None
+    (Sysim.instance_within ~need:1 ~cap:64 []);
+  Alcotest.(check (option int)) "need = cap exact" (Some 21)
+    (Sysim.instance_within ~need:21 ~cap:21 cands);
+  Alcotest.(check (option int)) "cap between candidates, oversized need"
+    (Some 8)
+    (Sysim.instance_within ~need:100 ~cap:20 cands);
+  Alcotest.(check (option int)) "cap below smallest" None
+    (Sysim.instance_within ~need:100 ~cap:5 cands);
+  Alcotest.(check (option int)) "need below smallest" (Some 6)
+    (Sysim.instance_within ~need:1 ~cap:64 cands)
+
+(* ---------------- flight table ---------------- *)
+
+module Flight_table = Mlv_sysim.Flight_table
+module Rng = Mlv_util.Rng
+
+let test_flight_table_basics () =
+  let t : int Flight_table.t = Flight_table.create () in
+  let a = Flight_table.add t 1 ~nodes:[ 0; 1 ] in
+  let b = Flight_table.add t 2 ~nodes:[ 1 ] in
+  let c = Flight_table.add t 3 ~nodes:[ 2 ] in
+  Alcotest.(check int) "size" 3 (Flight_table.size t);
+  Alcotest.(check (list int)) "newest first" [ 3; 2; 1 ]
+    (List.map Flight_table.value (Flight_table.to_list t));
+  Flight_table.remove t b;
+  Flight_table.remove t b;
+  (* idempotent *)
+  Alcotest.(check int) "size after double remove" 2 (Flight_table.size t);
+  Alcotest.(check bool) "removed entry dead" false (Flight_table.live b);
+  Alcotest.(check bool) "other entry live" true (Flight_table.live a);
+  let hits = Flight_table.take_node t 1 in
+  Alcotest.(check (list int)) "crash on node 1 hits the survivor" [ 1 ]
+    (List.map Flight_table.value hits);
+  Alcotest.(check bool) "taken entries dead" true
+    (List.for_all (fun e -> not (Flight_table.live e)) hits);
+  Alcotest.(check int) "only the untouched flight remains" 1
+    (Flight_table.size t);
+  Alcotest.(check (list int)) "node 2 still occupied" [ 3 ]
+    (List.map Flight_table.value (Flight_table.take_node t 2));
+  Alcotest.(check int) "empty" 0 (Flight_table.size t);
+  ignore c
+
+let test_flight_table_differential () =
+  (* random add/remove/crash sequence: the indexed table and the
+     linear oracle must expose identical contents at every step *)
+  let rng = Rng.create 17 in
+  let idx : int Flight_table.t = Flight_table.create ~indexed:true () in
+  let lin : int Flight_table.t = Flight_table.create ~indexed:false () in
+  let entries = ref [] in
+  let values t = List.map Flight_table.value (Flight_table.to_list t) in
+  for i = 0 to 499 do
+    let r = Rng.float rng 1.0 in
+    if r < 0.55 || !entries = [] then begin
+      let nodes = [ Rng.int rng 8; Rng.int rng 8 ] in
+      let ei = Flight_table.add idx i ~nodes in
+      let el = Flight_table.add lin i ~nodes in
+      entries := (ei, el) :: !entries
+    end
+    else if r < 0.8 then begin
+      let n = Rng.int rng (List.length !entries) in
+      let ei, el = List.nth !entries n in
+      Flight_table.remove idx ei;
+      Flight_table.remove lin el;
+      entries := List.filteri (fun j _ -> j <> n) !entries
+    end
+    else begin
+      let node = Rng.int rng 8 in
+      let sorted es = List.map Flight_table.value es |> List.sort compare in
+      Alcotest.(check (list int))
+        "crash hits agree"
+        (sorted (Flight_table.take_node lin node))
+        (sorted (Flight_table.take_node idx node));
+      entries := List.filter (fun (ei, _) -> Flight_table.live ei) !entries
+    end;
+    Alcotest.(check int) "sizes agree" (Flight_table.size lin)
+      (Flight_table.size idx);
+    Alcotest.(check (list int)) "contents agree" (values lin) (values idx)
+  done
+
+(* ---------------- multi-tenant differential ---------------- *)
+
+let scrub r = { r with Sysim.loop_wall_s = 0.0 }
+
+let tenant_cfg ~indexed ~serving =
+  let cfg =
+    Sysim.default_config ~policy:Runtime.greedy ~composition:Genset.table1.(6)
+  in
+  {
+    cfg with
+    Sysim.seed = 5;
+    tenants =
+      [
+        Genset.tenant_load ~tasks:15
+          ~arrival:(Genset.Exponential { mean_us = 300.0 })
+          "a";
+        Genset.tenant_load ~weight:2.0 ~tasks:15
+          ~arrival:
+            (Genset.Bursty
+               {
+                 on_us = 2000.0;
+                 off_us = 6000.0;
+                 on_mean_us = 100.0;
+                 off_mean_us = 2000.0;
+               })
+          "b";
+        Genset.tenant_load ~tasks:10
+          ~arrival:(Genset.Exponential { mean_us = 500.0 })
+          "c";
+      ];
+    indexed;
+    serving;
+  }
+
+let check_tenant_accounting (r : Sysim.result) =
+  Alcotest.(check int) "three tenants" 3 (List.length r.Sysim.per_tenant);
+  List.iter
+    (fun (t : Sysim.tenant_stats) ->
+      Alcotest.(check int)
+        (t.Sysim.tn_name ^ " accounting closes")
+        t.Sysim.tn_arrived
+        (t.Sysim.tn_completed + t.Sysim.tn_shed + t.Sysim.tn_rejected))
+    r.Sysim.per_tenant;
+  let sum f = List.fold_left (fun acc t -> acc + f t) 0 r.Sysim.per_tenant in
+  Alcotest.(check int) "tenant completions sum to the run's" r.Sysim.completed
+    (sum (fun t -> t.Sysim.tn_completed));
+  Alcotest.(check int) "tenant sheds sum to the run's" r.Sysim.shed
+    (sum (fun t -> t.Sysim.tn_shed));
+  Alcotest.(check int) "tenant rejects sum to the run's" r.Sysim.rejected
+    (sum (fun t -> t.Sysim.tn_rejected))
+
+let test_multi_tenant_open_loop_shapes_identical () =
+  let go indexed =
+    Sysim.run ~registry:(Lazy.force registry) (tenant_cfg ~indexed ~serving:None)
+  in
+  let i = go true and l = go false in
+  Alcotest.(check bool) "indexed = linear, bit for bit" true (scrub i = scrub l);
+  check_tenant_accounting i
+
+let test_multi_tenant_serving_shapes_identical () =
+  let serving =
+    Some { Sysim.default_serving with Sysim.tenant_pool = Some (20_000.0, 12) }
+  in
+  let go indexed =
+    Sysim.run ~registry:(Lazy.force registry) (tenant_cfg ~indexed ~serving)
+  in
+  let i = go true and l = go false in
+  Alcotest.(check bool) "indexed = linear, bit for bit" true (scrub i = scrub l);
+  check_tenant_accounting i
 
 (* ---------------- fault injection ---------------- *)
 
@@ -310,6 +460,19 @@ let () =
           Alcotest.test_case "waits reasonable" `Quick test_wait_reasonable;
           Alcotest.test_case "scale-out shape" `Quick test_scale_out_shape;
           Alcotest.test_case "instance within cap" `Quick test_instance_within;
+        ] );
+      ( "flight_table",
+        [
+          Alcotest.test_case "basics" `Quick test_flight_table_basics;
+          Alcotest.test_case "shapes differential" `Quick
+            test_flight_table_differential;
+        ] );
+      ( "tenants",
+        [
+          Alcotest.test_case "open-loop shapes identical" `Quick
+            test_multi_tenant_open_loop_shapes_identical;
+          Alcotest.test_case "serving shapes identical" `Quick
+            test_multi_tenant_serving_shapes_identical;
         ] );
       ( "faults",
         [
