@@ -3,7 +3,7 @@
 .PHONY: all build check fmt test bench bench-place bench-place-smoke \
 	bench-faults bench-faults-smoke bench-trace bench-trace-smoke \
 	bench-sched bench-sched-smoke bench-sim bench-sim-smoke \
-	bench-scale bench-scale-smoke clean
+	bench-scale bench-scale-smoke bench-defrag bench-defrag-smoke clean
 
 all: build
 
@@ -35,9 +35,12 @@ test:
 # bit-identical to the pre-index linear shapes, that the fair-share
 # pool preserves a calm tenant's SLO-met completions under a bursty
 # neighbour, and that the incremental router/batcher counters are
-# allocation-free.
+# allocation-free; bench-defrag-smoke asserts the defragmenter lowers
+# the fragmentation index and raises large-deployment admission on a
+# churn trace, that the bitstream cache hits, and that priority
+# preemption does not lower the priority tenant's goodput.
 check: build fmt test bench-place-smoke bench-faults-smoke bench-trace-smoke \
-	bench-sched-smoke bench-sim-smoke bench-scale-smoke
+	bench-sched-smoke bench-sim-smoke bench-scale-smoke bench-defrag-smoke
 
 # Regenerates every table/figure and leaves BENCH_obs.json (the
 # observability registry of the run) next to the console output.
@@ -116,6 +119,20 @@ bench-scale:
 # counters — no wall-clock floor at this size.
 bench-scale-smoke:
 	dune exec bench/scale.exe -- --smoke --out BENCH_scale_smoke.json
+
+# Defragmentation / preemption / bitstream-cache benchmark: a one-week
+# deploy/undeploy churn trace with and without the background
+# defragmenter (fragmentation index + whole-device admission rate +
+# cache hit rate), plus a contended serving trace comparing priority
+# preemption against shed-only; writes BENCH_defrag.json.  All
+# acceptance inequalities are asserted, plus a determinism re-run.
+bench-defrag:
+	dune exec bench/defrag.exe -- --out BENCH_defrag.json
+
+# Fast variant for `make check`: 2k churn steps / 30 tasks per tenant,
+# same assertions.
+bench-defrag-smoke:
+	dune exec bench/defrag.exe -- --smoke --out BENCH_defrag_smoke.json
 
 clean:
 	dune clean

@@ -1,0 +1,368 @@
+(* Defragmentation / preemption / bitstream-cache benchmark.
+
+   Part 1 drives a week-long deploy/undeploy churn trace against the
+   heterogeneous cluster at the runtime level, twice from the same
+   seed: once bare, once with the background defragmenter enabled.
+   Each simulated half-minute is one churn step; every probe interval
+   the trace measures the fragmentation index and tries to admit a
+   whole-device-class accelerator (the paper's large-model case that
+   external fragmentation starves).  The defragmented run must show a
+   strictly lower mean fragmentation index and a strictly higher
+   large-deployment admission rate.  Both runs carry a bitstream
+   staging cache; the repeated churn must produce a positive hit rate.
+
+   Part 2 replays a contended serving trace — one priority tenant
+   against a best-effort tenant hogging a single device — with the
+   serving loop's preemption policy off (shed/backlog only) and on.
+   The priority tenant's SLO-met completions with preemption must be
+   at least the shed-only count.
+
+   A determinism check reruns the defragmented churn and asserts the
+   identical outcome.
+
+   Usage: defrag.exe [--steps N] [--seed S] [--out FILE] [--smoke]
+   `make bench-defrag-smoke` runs the short trace as part of `make
+   check`; `make bench-defrag` writes BENCH_defrag.json. *)
+
+module Sysim = Mlv_sysim.Sysim
+module Runtime = Mlv_core.Runtime
+module Defrag = Mlv_core.Defrag
+module Registry = Mlv_core.Registry
+module Cluster = Mlv_cluster.Cluster
+module Device = Mlv_fpga.Device
+module Bitstream = Mlv_vital.Bitstream
+module Genset = Mlv_workload.Genset
+module Batcher = Mlv_sched.Batcher
+module Rng = Mlv_util.Rng
+module Obs = Mlv_obs.Obs
+
+(* ---------------- part 1: churn trace ---------------- *)
+
+(* Small and mid-size instances churn in and out; the probe asks for
+   the largest instance in the registry — the one that needs the kind
+   of contiguous free capacity only a whole (or nearly whole) device
+   provides. *)
+let churn_accels = [| "npu-t4"; "npu-t6"; "npu-t8"; "npu-t10" |]
+let probe_accel = "npu-t21"
+
+(* 9:3 XCVU37P:XCKU115 — a pool small enough that fragmentation
+   actually bites and big enough to leave the defragmenter room to
+   compact. *)
+let churn_kinds =
+  List.init 12 (fun i -> if i land 3 = 3 then Device.XCKU115 else Device.XCVU37P)
+
+type churn_outcome = {
+  steps : int;
+  probes : int;
+  admitted : int;  (** large-probe deployments that found a home *)
+  frag_sum : float;
+  frag_final : float;
+  deploys : int;
+  deploy_failures : int;
+  moves : int;
+  move_passes : int;
+  hits : int;
+  misses : int;
+}
+
+let admission_rate o =
+  if o.probes = 0 then 0.0 else float_of_int o.admitted /. float_of_int o.probes
+
+let mean_frag o =
+  if o.probes = 0 then 0.0 else o.frag_sum /. float_of_int o.probes
+
+let hit_rate o =
+  let total = o.hits + o.misses in
+  if total = 0 then 0.0 else float_of_int o.hits /. float_of_int total
+
+(* One churn run.  The op-intent stream depends only on the seed, so
+   the bare and defragmented runs face the same demand; their live
+   sets drift apart exactly where compaction changes what fits. *)
+let run_churn ~registry ~seed ~steps ~defrag =
+  let cluster = Cluster.create ~kinds:churn_kinds () in
+  let cache = Bitstream.Cache.create ~capacity:64 () in
+  let runtime = Runtime.create ~policy:Runtime.greedy ~cache cluster registry in
+  let rng = Rng.create seed in
+  let live = ref [] in
+  let nlive = ref 0 in
+  let deploys = ref 0 in
+  let deploy_failures = ref 0 in
+  let probes = ref 0 in
+  let admitted = ref 0 in
+  let frag_sum = ref 0.0 in
+  let moves = ref 0 in
+  let move_passes = ref 0 in
+  let probe_every = 20 in
+  (* Keep roughly 24 live deployments: below that always arrive,
+     above it always depart, in between draw — sustained mid
+     utilization with constant turnover, the fragmenting regime. *)
+  let target = 18 in
+  for step = 1 to steps do
+    let arrive =
+      if !nlive < target / 2 then true
+      else if !nlive > target * 3 / 2 then false
+      else Rng.int rng 2 = 0
+    in
+    if arrive then begin
+      let accel = churn_accels.(Rng.int rng (Array.length churn_accels)) in
+      incr deploys;
+      match Runtime.deploy runtime ~accel with
+      | Ok d ->
+        live := d :: !live;
+        incr nlive
+      | Error _ -> incr deploy_failures
+    end
+    else begin
+      match !live with
+      | [] -> ()
+      | l ->
+        let i = Rng.int rng !nlive in
+        let d = List.nth l i in
+        Runtime.undeploy runtime d;
+        live := List.filteri (fun j _ -> j <> i) l;
+        decr nlive
+    end;
+    if step mod probe_every = 0 then begin
+      (match defrag with
+      | None -> ()
+      | Some dcfg ->
+        if Defrag.should_run dcfg runtime then begin
+          let pass = Defrag.run_pass dcfg runtime in
+          moves := !moves + pass.Defrag.moved;
+          incr move_passes
+        end);
+      incr probes;
+      frag_sum := !frag_sum +. Runtime.fragmentation runtime;
+      match Runtime.deploy runtime ~accel:probe_accel with
+      | Ok d ->
+        incr admitted;
+        Runtime.undeploy runtime d
+      | Error _ -> ()
+    end
+  done;
+  {
+    steps;
+    probes = !probes;
+    admitted = !admitted;
+    frag_sum = !frag_sum;
+    frag_final = Runtime.fragmentation runtime;
+    deploys = !deploys;
+    deploy_failures = !deploy_failures;
+    moves = !moves;
+    move_passes = !move_passes;
+    hits = Bitstream.Cache.hits cache;
+    misses = Bitstream.Cache.misses cache;
+  }
+
+let churn_json label o =
+  Obs.Json.Obj
+    [
+      ("label", Obs.Json.String label);
+      ("steps", Obs.Json.Int o.steps);
+      ("probes", Obs.Json.Int o.probes);
+      ("large_admitted", Obs.Json.Int o.admitted);
+      ("admission_rate", Obs.Json.Float (admission_rate o));
+      ("mean_frag", Obs.Json.Float (mean_frag o));
+      ("final_frag", Obs.Json.Float o.frag_final);
+      ("deploys", Obs.Json.Int o.deploys);
+      ("deploy_failures", Obs.Json.Int o.deploy_failures);
+      ("defrag_moves", Obs.Json.Int o.moves);
+      ("defrag_passes", Obs.Json.Int o.move_passes);
+      ("cache_hits", Obs.Json.Int o.hits);
+      ("cache_misses", Obs.Json.Int o.misses);
+      ("cache_hit_rate", Obs.Json.Float (hit_rate o));
+    ]
+
+(* ---------------- part 2: preemption vs shed-only ---------------- *)
+
+(* Two XCVU37P: enough fabric that the priority tenant's large models
+   (which span both devices) are feasible on an empty cluster, and
+   little enough that the best-effort stream's replicas own it before
+   the priority tenant's first batch forms — admitting the priority
+   tenant requires evicting someone (preempt on) or leaving it
+   backlogged until the fabric frees up, if ever (preempt off). *)
+let serving_config ~registry:_ ~seed ~tasks_per_tenant ~preempt =
+  let base =
+    Sysim.default_config ~policy:Runtime.greedy ~composition:Genset.table1.(2)
+  in
+  {
+    base with
+    Sysim.seed;
+    cluster_kinds = [ Device.XCVU37P; Device.XCVU37P ];
+    tenants =
+      [
+        Genset.tenant_load ~priority:1 ~tasks:tasks_per_tenant
+          ~arrival:(Genset.Exponential { mean_us = 400.0 })
+          "gold";
+        Genset.tenant_load ~tasks:tasks_per_tenant
+          ~composition:Genset.table1.(1)
+          ~arrival:(Genset.Exponential { mean_us = 20.0 })
+          "bulk";
+      ];
+    serving =
+      Some
+        {
+          Sysim.classes = [];
+          batch = Batcher.config ~max_batch:4 ~max_linger_us:100.0 ();
+          autoscale = None;
+          tenant_pool = None;
+          preempt;
+          defrag = None;
+        };
+    bitstream_cache = Some 32;
+  }
+
+let tenant_of (r : Sysim.result) name =
+  List.find_opt
+    (fun (t : Sysim.tenant_stats) -> t.Sysim.tn_name = name)
+    r.Sysim.per_tenant
+
+(* SLO-meeting completion count: arrivals are identical across the
+   pair, so counts compare directly (rates would be skewed by the two
+   runs' different makespans). *)
+let good_of r name =
+  match tenant_of r name with
+  | Some t -> t.Sysim.tn_completed - t.Sysim.tn_slo_misses
+  | None -> 0
+
+let serving_json label (r : Sysim.result) =
+  Obs.Json.Obj
+    [
+      ("label", Obs.Json.String label);
+      ("completed", Obs.Json.Int r.Sysim.completed);
+      ("rejected", Obs.Json.Int r.Sysim.rejected);
+      ("shed", Obs.Json.Int r.Sysim.shed);
+      ("preempted", Obs.Json.Int r.Sysim.preempted);
+      ("preemptions", Obs.Json.Int r.Sysim.preemptions);
+      ("cache_hits", Obs.Json.Int r.Sysim.cache_hits);
+      ("cache_misses", Obs.Json.Int r.Sysim.cache_misses);
+      ("gold_slo_met", Obs.Json.Int (good_of r "gold"));
+      ("bulk_slo_met", Obs.Json.Int (good_of r "bulk"));
+      ("goodput_per_s", Obs.Json.Float r.Sysim.goodput_per_s);
+      ("makespan_us", Obs.Json.Float r.Sysim.makespan_us);
+    ]
+
+(* ---------------- driver ---------------- *)
+
+let fail fmt = Printf.ksprintf (fun s -> prerr_endline ("FAIL: " ^ s); exit 1) fmt
+
+let () =
+  (* 20,160 half-minute churn steps = one simulated week. *)
+  let steps = ref 20_160
+  and seed = ref 11
+  and tasks_per_tenant = ref 60
+  and out = ref "BENCH_defrag.json"
+  and smoke = ref false in
+  Arg.parse
+    [
+      ("--steps", Arg.Set_int steps, "churn steps (default 20160: one week)");
+      ("--seed", Arg.Set_int seed, "base seed (default 11)");
+      ( "--tasks",
+        Arg.Set_int tasks_per_tenant,
+        "serving tasks per tenant (default 60)" );
+      ("--out", Arg.Set_string out, "output JSON path (default BENCH_defrag.json)");
+      ( "--smoke",
+        Arg.Set smoke,
+        "short configuration: 2k churn steps, 30 tasks per tenant" );
+    ]
+    (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
+    "defragmentation / preemption / bitstream-cache benchmark";
+  if !smoke then begin
+    steps := 2_000;
+    tasks_per_tenant := 30
+  end;
+  if !steps <= 0 || !tasks_per_tenant <= 0 then begin
+    prerr_endline "steps and tasks must be positive";
+    exit 1
+  end;
+  let registry = Sysim.build_registry () in
+  Printf.printf "churn: %d steps over %d nodes, seed %d\n%!" !steps
+    (List.length churn_kinds) !seed;
+  let dcfg = Defrag.config ~frag_threshold:0.15 () in
+  let bare = run_churn ~registry ~seed:!seed ~steps:!steps ~defrag:None in
+  let compacted =
+    run_churn ~registry ~seed:!seed ~steps:!steps ~defrag:(Some dcfg)
+  in
+  Printf.printf
+    "  bare:      frag %.3f  large admission %3d/%d (%.0f%%)\n%!"
+    (mean_frag bare) bare.admitted bare.probes
+    (100.0 *. admission_rate bare);
+  Printf.printf
+    "  defragged: frag %.3f  large admission %3d/%d (%.0f%%)  %d moves in %d passes\n%!"
+    (mean_frag compacted) compacted.admitted compacted.probes
+    (100.0 *. admission_rate compacted)
+    compacted.moves compacted.move_passes;
+  Printf.printf "  cache: %d hits / %d misses (%.0f%% hit rate)\n%!"
+    compacted.hits compacted.misses
+    (100.0 *. hit_rate compacted);
+  if mean_frag compacted >= mean_frag bare then
+    fail "defrag did not lower the fragmentation index (%.3f vs %.3f)"
+      (mean_frag compacted) (mean_frag bare);
+  if admission_rate compacted <= admission_rate bare then
+    fail "defrag did not raise large-deployment admission (%.3f vs %.3f)"
+      (admission_rate compacted) (admission_rate bare);
+  if compacted.hits = 0 then fail "bitstream cache never hit under churn";
+  (* Determinism: the same seed must reproduce the exact outcome. *)
+  let again = run_churn ~registry ~seed:!seed ~steps:!steps ~defrag:(Some dcfg) in
+  let deterministic = again = compacted in
+  if not deterministic then fail "defragmented churn is not deterministic";
+  (* Part 2. *)
+  let run cfg = Sysim.run ~registry cfg in
+  let shed_only =
+    run
+      (serving_config ~registry ~seed:!seed ~tasks_per_tenant:!tasks_per_tenant
+         ~preempt:false)
+  in
+  let preempting =
+    run
+      (serving_config ~registry ~seed:!seed ~tasks_per_tenant:!tasks_per_tenant
+         ~preempt:true)
+  in
+  Printf.printf
+    "serving: gold SLO-met %d (shed-only) vs %d (preempt, %d evictions)\n%!"
+    (good_of shed_only "gold")
+    (good_of preempting "gold")
+    preempting.Sysim.preemptions;
+  if preempting.Sysim.preemptions = 0 then
+    fail "preemption policy never fired on the contended trace";
+  if good_of preempting "gold" < good_of shed_only "gold" then
+    fail "preemption lowered the priority tenant's goodput (%d vs %d)"
+      (good_of preempting "gold")
+      (good_of shed_only "gold");
+  let identity (r : Sysim.result) label =
+    let total = 2 * !tasks_per_tenant in
+    if
+      r.Sysim.completed + r.Sysim.rejected + r.Sysim.shed + r.Sysim.preempted
+      <> total
+      || r.Sysim.lost <> 0
+    then fail "%s: accounting identity violated" label
+  in
+  identity shed_only "shed-only";
+  identity preempting "preempting";
+  let json =
+    Obs.Json.Obj
+      [
+        ("benchmark", Obs.Json.String "defrag");
+        ("steps", Obs.Json.Int !steps);
+        ("seed", Obs.Json.Int !seed);
+        ("nodes", Obs.Json.Int (List.length churn_kinds));
+        ("tasks_per_tenant", Obs.Json.Int !tasks_per_tenant);
+        ("churn_bare", churn_json "bare" bare);
+        ("churn_defrag", churn_json "defrag" compacted);
+        ( "frag_reduction",
+          Obs.Json.Float (mean_frag bare -. mean_frag compacted) );
+        ( "admission_gain",
+          Obs.Json.Float (admission_rate compacted -. admission_rate bare) );
+        ("cache_hit_rate", Obs.Json.Float (hit_rate compacted));
+        ("deterministic", Obs.Json.Bool deterministic);
+        ("serving_shed_only", serving_json "shed-only" shed_only);
+        ("serving_preempt", serving_json "preempt" preempting);
+        ("gold_slo_met_shed_only", Obs.Json.Int (good_of shed_only "gold"));
+        ("gold_slo_met_preempt", Obs.Json.Int (good_of preempting "gold"));
+      ]
+  in
+  let oc = open_out !out in
+  output_string oc (Obs.Json.to_string json);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "wrote %s\n%!" !out

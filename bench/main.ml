@@ -1062,6 +1062,8 @@ let sched_serving ~deadline_us ~autoscale =
     batch = Batcher.config ~max_batch:4 ~max_linger_us:100.0 ();
     autoscale;
     tenant_pool = None;
+    preempt = false;
+    defrag = None;
   }
 
 (* The three serving rows share one deadline, derived from the static
@@ -1146,6 +1148,8 @@ let sched ?(tasks = 120) () =
         batch = Batcher.config ~max_batch:4 ~max_linger_us:100.0 ();
         autoscale = Some Autoscaler.default;
         tenant_pool = None;
+        preempt = false;
+        defrag = None;
       }
     in
     let cfg = sched_config ~tasks (Some serving) in

@@ -95,6 +95,12 @@ let report ?faults ?serving set composition policy tasks seed (r : Sysim.result)
     Printf.printf "  rejected:        %d\n" r.Sysim.rejected;
     Printf.printf "  batches:         %d\n" r.Sysim.batches;
     Printf.printf "  scale up/down:   %d/%d\n" r.Sysim.scale_ups r.Sysim.scale_downs;
+    if s.Sysim.preempt then
+      Printf.printf "  preempted:       %d tasks (%d evictions)\n"
+        r.Sysim.preempted r.Sysim.preemptions;
+    (match s.Sysim.defrag with
+    | Some _ -> Printf.printf "  defrag moves:    %d\n" r.Sysim.defrag_moves
+    | None -> ());
     Printf.printf "  goodput:         %.2f tasks/s\n" r.Sysim.goodput_per_s;
     Printf.printf "  p50/p95/p99:     %.1f / %.1f / %.1f ms\n"
       (r.Sysim.p50_latency_us /. 1000.0)
@@ -113,13 +119,20 @@ let report ?faults ?serving set composition policy tasks seed (r : Sysim.result)
         t.Sysim.tn_goodput_per_s
         (t.Sysim.tn_p99_latency_us /. 1000.0))
     r.Sysim.per_tenant;
+  if r.Sysim.cache_hits + r.Sysim.cache_misses > 0 then
+    Printf.printf "  bitstream cache: %d hits / %d misses (%.0f%% hit rate)\n"
+      r.Sysim.cache_hits r.Sysim.cache_misses
+      (100.0
+      *. float_of_int r.Sysim.cache_hits
+      /. float_of_int (r.Sysim.cache_hits + r.Sysim.cache_misses));
   (match Mlv_workload.Metrics.summarize (List.map (fun l -> l /. 1000.0) r.Sysim.latencies_us) with
   | Some s ->
     Format.printf "  latency (ms):    %a@." (Mlv_workload.Metrics.pp_summary ~unit_name:"ms") s
   | None -> ())
 
 let run set policy tasks seed interarrival repeats compare fault_plan max_retries
-    burst batch autoscale slo tenants engine metrics_out trace_out =
+    burst batch autoscale slo tenants preempt defrag bitstream_cache engine
+    metrics_out trace_out =
   let ( let* ) r f = Result.bind r f in
   let parsed =
     let* faults =
@@ -156,7 +169,9 @@ let run set policy tasks seed interarrival repeats compare fault_plan max_retrie
     in
     (* any serving knob switches the engine to closed-loop mode *)
     let serving =
-      if batch = None && classes = None && not autoscale then None
+      if batch = None && classes = None && (not autoscale) && (not preempt)
+         && not defrag
+      then None
       else
         (* With --tenants, the --slo token bucket also sizes a
            weighted fair-share pool split equally across the tenants
@@ -173,12 +188,20 @@ let run set policy tasks seed interarrival repeats compare fault_plan max_retrie
             batch = Option.value batch ~default:(Batcher.config ());
             autoscale = (if autoscale then Some Autoscaler.default else None);
             tenant_pool;
+            preempt;
+            defrag = (if defrag then Some Mlv_core.Defrag.default else None);
           }
     in
     if serving <> None && faults <> None then
-      Error "serving flags (--batch/--slo/--autoscale) do not compose with --fault-plan"
+      Error
+        "serving flags (--batch/--slo/--autoscale/--preempt/--defrag) do not \
+         compose with --fault-plan"
     else if tenants < 0 then Error "--tenants must be non-negative"
     else if tenants > tasks then Error "--tenants cannot exceed --tasks"
+    else if preempt && tenants < 2 then
+      Error "--preempt needs --tenants >= 2 (the first tenant gets priority)"
+    else if bitstream_cache < 0 then
+      Error "--bitstream-cache must be non-negative"
     else Ok (faults, arrival, serving)
   in
   match parsed with
@@ -208,9 +231,12 @@ let run set policy tasks seed interarrival repeats compare fault_plan max_retrie
         in
         List.init tenants (fun i ->
             let extra = if i < tasks mod tenants then 1 else 0 in
+            (* With --preempt the first tenant is the SLO-class one:
+               its batches may evict the others' replicas. *)
+            let priority = if preempt && i = 0 then 1 else 0 in
             Genset.tenant_load
               ~tasks:((tasks / tenants) + extra)
-              ~arrival:tenant_arrival
+              ~arrival:tenant_arrival ~priority
               (Printf.sprintf "t%d" (i + 1)))
     in
     let run_one policy =
@@ -225,6 +251,8 @@ let run set policy tasks seed interarrival repeats compare fault_plan max_retrie
           faults;
           serving;
           tenants = tenant_loads;
+          bitstream_cache =
+            (if bitstream_cache > 0 then Some bitstream_cache else None);
         }
       in
       report ?faults ?serving set composition policy tasks seed
@@ -359,6 +387,37 @@ let tenants_arg =
            entitled to 1/N of it).  0 (the default) keeps the \
            single-tenant stream")
 
+let preempt_arg =
+  Arg.(
+    value & flag
+    & info [ "preempt" ]
+        ~doc:
+          "Enable closed-loop serving with priority preemption: the first \
+           tenant becomes the SLO-class tenant (priority 1) and, when its \
+           batches cannot be placed, evicts a best-effort tenant's replica \
+           (migrate-or-undeploy) instead of backlogging.  Requires \
+           $(b,--tenants) >= 2")
+
+let defrag_arg =
+  Arg.(
+    value & flag
+    & info [ "defrag" ]
+        ~doc:
+          "Enable closed-loop serving with background defragmentation: \
+           when no group has backlog and the fragmentation index crosses \
+           the threshold, idle replicas are force-migrated into denser \
+           packings so whole devices free up for large accelerators")
+
+let bitstream_cache_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "bitstream-cache" ] ~docv:"N"
+        ~doc:
+          "Install a bitstream staging cache of capacity $(docv) on the \
+           runtime: repeat deployments of a cached (accelerator, partition, \
+           device-kind) bitstream pay a tenth of the reconfiguration cost.  \
+           0 (the default) disables caching")
+
 let engine_conv =
   Arg.conv
     ( (fun s ->
@@ -404,6 +463,7 @@ let () =
       const run $ set_arg $ policy_arg $ tasks_arg $ seed_arg $ interarrival_arg
       $ repeats_arg $ compare_arg $ fault_plan_arg $ max_retries_arg
       $ burst_arg $ batch_arg $ autoscale_arg $ slo_arg $ tenants_arg
-      $ engine_arg $ metrics_out_arg $ trace_out_arg)
+      $ preempt_arg $ defrag_arg $ bitstream_cache_arg $ engine_arg
+      $ metrics_out_arg $ trace_out_arg)
   in
   exit (Cmd.eval' (Cmd.v info term))

@@ -21,6 +21,12 @@ type t = {
   failed : bool array;
   node_kind : Device.kind array;
   kinds : (Device.kind * kind_idx) list;
+  (* Incremental fragmentation counters over healthy nodes only;
+     maintained by attach/detach so the defragmenter reads them in
+     O(1) instead of rescanning the fleet. *)
+  mutable free_total : int; (* Σ free over healthy nodes *)
+  mutable free_whole : int; (* Σ free over healthy whole-free nodes *)
+  mutable whole_free_nodes : int;
 }
 
 let kind_idx t kind =
@@ -32,14 +38,26 @@ let attach t i =
     let ki = kind_idx t t.node_kind.(i) in
     let f = t.free.(i) in
     ki.by_free.(f) <- ISet.add i ki.by_free.(f);
-    if f = t.total.(i) then ki.empty_by_free.(f) <- ISet.add i ki.empty_by_free.(f)
+    t.free_total <- t.free_total + f;
+    if f = t.total.(i) then begin
+      ki.empty_by_free.(f) <- ISet.add i ki.empty_by_free.(f);
+      t.free_whole <- t.free_whole + f;
+      t.whole_free_nodes <- t.whole_free_nodes + 1
+    end
   end
 
 let detach t i =
   let ki = kind_idx t t.node_kind.(i) in
   let f = t.free.(i) in
   ki.by_free.(f) <- ISet.remove i ki.by_free.(f);
-  ki.empty_by_free.(f) <- ISet.remove i ki.empty_by_free.(f)
+  ki.empty_by_free.(f) <- ISet.remove i ki.empty_by_free.(f);
+  if not t.failed.(i) then begin
+    t.free_total <- t.free_total - f;
+    if f = t.total.(i) then begin
+      t.free_whole <- t.free_whole - f;
+      t.whole_free_nodes <- t.whole_free_nodes - 1
+    end
+  end
 
 let build cluster =
   let n = Cluster.node_count cluster in
@@ -69,6 +87,9 @@ let build cluster =
       failed = Array.make n false;
       node_kind;
       kinds;
+      free_total = 0;
+      free_whole = 0;
+      whole_free_nodes = 0;
     }
   in
   for i = 0 to n - 1 do
@@ -90,11 +111,27 @@ let mark_failed t i =
   end
 
 let restore t i =
-  t.failed.(i) <- false;
-  refresh t i
+  if t.failed.(i) then begin
+    (* Re-read the controller while still detached (the node sits in
+       no bucket and no counter), then re-file as healthy. *)
+    t.free.(i) <- Node.free_vbs (Cluster.node t.cluster i);
+    t.failed.(i) <- false;
+    attach t i
+  end
+  else refresh t i
 
 let free t i = t.free.(i)
 let total t i = t.total.(i)
+
+let free_vbs_total t = t.free_total
+let free_vbs_whole t = t.free_whole
+let whole_free_nodes t = t.whole_free_nodes
+
+(* Fraction of free virtual blocks stranded on partially-occupied
+   devices — free capacity a whole-device request cannot use. *)
+let fragmentation t =
+  if t.free_total = 0 then 0.0
+  else float_of_int (t.free_total - t.free_whole) /. float_of_int t.free_total
 
 (* Smallest bucket ≥ vbs with a member, lowest id inside: exactly the
    naive scan's (min free, then min id) choice. *)
@@ -146,6 +183,18 @@ let commit txn = txn.log <- []
 let consistent t =
   let n = Array.length t.free in
   let ok = ref true in
+  let ft = ref 0 and fw = ref 0 and wn = ref 0 in
+  for i = 0 to n - 1 do
+    if not t.failed.(i) then begin
+      ft := !ft + t.free.(i);
+      if t.free.(i) = t.total.(i) then begin
+        fw := !fw + t.free.(i);
+        incr wn
+      end
+    end
+  done;
+  if !ft <> t.free_total || !fw <> t.free_whole || !wn <> t.whole_free_nodes then
+    ok := false;
   for i = 0 to n - 1 do
     let ki = kind_idx t t.node_kind.(i) in
     let ctrl_free = Node.free_vbs (Cluster.node t.cluster i) in

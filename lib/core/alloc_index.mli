@@ -51,6 +51,24 @@ val free : t -> int -> int
 
 val total : t -> int -> int
 
+(** Incrementally maintained fleet-wide capacity counters over the
+    {e healthy} nodes (failed nodes drop out until {!restore}); each
+    is O(1) to read.  [free_vbs_whole] counts only the free blocks of
+    completely-free devices — capacity a whole-device request can
+    actually use. *)
+val free_vbs_total : t -> int
+
+val free_vbs_whole : t -> int
+
+(** [whole_free_nodes t] counts healthy nodes with every block free. *)
+val whole_free_nodes : t -> int
+
+(** [fragmentation t] is the fraction of free virtual blocks stranded
+    on partially-occupied devices:
+    [(free_total - free_whole) / free_total], or [0.] when nothing is
+    free.  The defragmenter's score. *)
+val fragmentation : t -> float
+
 (** [best_fit t ~kind ~whole_device ~vbs] is the candidate node the
     greedy policy picks: fewest free blocks ≥ [vbs], lowest id on
     ties.  With [whole_device], only completely-free nodes qualify

@@ -1,0 +1,110 @@
+module Obs = Mlv_obs.Obs
+
+type config = {
+  frag_threshold : float;
+  min_node_fill : float;
+  max_moves : int;
+  interval_us : float;
+}
+
+let default =
+  {
+    frag_threshold = 0.25;
+    min_node_fill = 0.5;
+    max_moves = 8;
+    interval_us = 5_000.0;
+  }
+
+let config ?(frag_threshold = default.frag_threshold)
+    ?(min_node_fill = default.min_node_fill) ?(max_moves = default.max_moves)
+    ?(interval_us = default.interval_us) () =
+  if frag_threshold < 0.0 || frag_threshold > 1.0 then
+    invalid_arg "Defrag.config: frag_threshold outside [0,1]";
+  if min_node_fill <= 0.0 || min_node_fill > 1.0 then
+    invalid_arg "Defrag.config: min_node_fill outside (0,1]";
+  if max_moves < 1 then invalid_arg "Defrag.config: max_moves must be >= 1";
+  if interval_us <= 0.0 then
+    invalid_arg "Defrag.config: interval_us must be positive";
+  { frag_threshold; min_node_fill; max_moves; interval_us }
+
+type pass = {
+  attempted : int;
+  moved : int;
+  moved_vbs : int;
+  frag_before : float;
+  frag_after : float;
+  whole_free_before : int;
+  whole_free_after : int;
+}
+
+let should_run cfg rt = Runtime.fragmentation rt >= cfg.frag_threshold
+
+(* One compaction pass.  Sparsely-occupied nodes are vacated first:
+   their deployments are force-migrated through the normal mapping
+   search, and best-fit placement naturally re-packs each one onto
+   the fullest device that still fits it — draining stragglers off
+   nearly-empty devices until whole devices free up.  Everything is
+   budgeted ([max_moves]) and deterministic: candidate nodes in
+   (occupancy, id) order, deployments in id order. *)
+let run_pass ?(eligible = fun (_ : Runtime.deployment) -> true) cfg rt =
+  let frag_before = Runtime.fragmentation rt in
+  let whole_free_before = Runtime.whole_free_nodes rt in
+  let attempted = ref 0 and moved = ref 0 and moved_vbs = ref 0 in
+  if frag_before >= cfg.frag_threshold then begin
+    let stats = Runtime.stats rt in
+    let candidates =
+      List.filter
+        (fun (id, used, total) ->
+          used > 0 && used < total
+          && (not (Runtime.node_failed rt id))
+          && float_of_int used /. float_of_int total <= cfg.min_node_fill)
+        stats.Runtime.per_node
+      |> List.sort (fun (ia, ua, _) (ib, ub, _) -> compare (ua, ia) (ub, ib))
+    in
+    let touched = Hashtbl.create 16 in
+    (* Vacating a node moves whole deployments, so one deployment
+       spanning two candidate nodes must only migrate once. *)
+    let deployments_on node =
+      List.filter
+        (fun (d : Runtime.deployment) ->
+          (not (Hashtbl.mem touched d.Runtime.id))
+          && eligible d
+          && List.mem node (Runtime.nodes_used d))
+        (Runtime.deployments rt)
+      |> List.sort (fun (a : Runtime.deployment) b ->
+             compare a.Runtime.id b.Runtime.id)
+    in
+    List.iter
+      (fun (node, _, _) ->
+        if !attempted < cfg.max_moves then
+          List.iter
+            (fun (d : Runtime.deployment) ->
+              if !attempted < cfg.max_moves then begin
+                Hashtbl.replace touched d.Runtime.id ();
+                let before = Runtime.nodes_used d in
+                incr attempted;
+                match Runtime.migrate ~force:true rt d with
+                | Ok _ ->
+                  if Runtime.nodes_used d <> before then begin
+                    incr moved;
+                    moved_vbs := !moved_vbs + Runtime.deployment_vbs d
+                  end
+                | Error _ -> ()
+              end)
+            (deployments_on node))
+      candidates
+  end;
+  let pass =
+    {
+      attempted = !attempted;
+      moved = !moved;
+      moved_vbs = !moved_vbs;
+      frag_before;
+      frag_after = Runtime.fragmentation rt;
+      whole_free_before;
+      whole_free_after = Runtime.whole_free_nodes rt;
+    }
+  in
+  Obs.Counter.incr (Obs.Counter.get "defrag.passes");
+  Obs.Counter.add (Obs.Counter.get "defrag.moved") pass.moved;
+  pass

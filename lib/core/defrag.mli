@@ -1,0 +1,73 @@
+(** Background defragmentation: turning the migration {e mechanism}
+    ({!Runtime.migrate}) into a placement {e policy}.
+
+    Arrivals and departures strand free virtual blocks on
+    partially-occupied devices.  A whole-device (or device-sized)
+    request then finds no home even though the fleet has plenty of
+    free capacity in aggregate — the classic external-fragmentation
+    failure the paper's multi-layer virtualization exists to avoid.
+    The defragmenter scores that state with the capacity index's
+    fragmentation index (the fraction of free virtual blocks not on a
+    completely-free device) and, when it exceeds a threshold, runs a
+    budgeted compaction pass during low load: soft-block deployments
+    on sparsely-occupied nodes are force-migrated through the normal
+    mapping search, whose best-fit placement re-packs each one onto
+    the fullest device that still fits — draining stragglers until
+    whole devices free up for large accelerators.
+
+    Every pass is deterministic (candidate nodes in ascending
+    (occupancy, id) order, deployments in id order) and bounded by
+    [max_moves]; each move pays real reconfiguration time through the
+    runtime (amortized by the bitstream cache when one is
+    installed). *)
+
+type config = {
+  frag_threshold : float;
+      (** run a pass only when {!Runtime.fragmentation} is at least
+          this (in [\[0,1\]]) *)
+  min_node_fill : float;
+      (** vacate only nodes whose used fraction is at most this — the
+          nearly-empty stragglers; fuller nodes are compaction
+          {e targets}, not sources *)
+  max_moves : int;  (** migration attempts per pass *)
+  interval_us : float;
+      (** how often a periodic driver (the serving loop's defrag tick)
+          re-checks the threshold *)
+}
+
+(** Defaults: threshold 0.25, vacate nodes at most half full, 8 moves
+    per pass, re-checked every 5 ms of simulated time. *)
+val default : config
+
+(** [config ()] is {!default} with overrides.
+    @raise Invalid_argument on out-of-range fields. *)
+val config :
+  ?frag_threshold:float ->
+  ?min_node_fill:float ->
+  ?max_moves:int ->
+  ?interval_us:float ->
+  unit ->
+  config
+
+(** What one pass did. *)
+type pass = {
+  attempted : int;  (** force-migrations tried (bounded by budget) *)
+  moved : int;  (** deployments whose node set actually changed *)
+  moved_vbs : int;  (** virtual blocks of the moved deployments *)
+  frag_before : float;
+  frag_after : float;
+  whole_free_before : int;  (** completely-free healthy nodes *)
+  whole_free_after : int;
+}
+
+(** [should_run cfg rt] tells whether fragmentation currently meets
+    the threshold (the cheap O(1) gate a periodic tick calls). *)
+val should_run : config -> Runtime.t -> bool
+
+(** [run_pass cfg rt] runs one budgeted compaction pass (a no-op
+    below the threshold).  [~eligible] restricts which deployments
+    may move — the serving layer passes the idle-replica filter so an
+    in-flight batch is never yanked; default: every live
+    deployment. *)
+val run_pass :
+  ?eligible:(Runtime.deployment -> bool) -> config -> Runtime.t -> pass

@@ -58,6 +58,11 @@ type t = {
   registry : Registry.t;
   policy : policy;
   index : Alloc_index.t option;
+  cache : Bitstream.Cache.t option;
+      (* bitstream staging cache: when present, every controller load
+         is re-priced through it (hit = amortized reconfiguration);
+         [None] keeps deployment times bit-identical to cacheless
+         builds *)
   mutable live : deployment list;
   mutable next_deploy_id : int;
   failed : (int, unit) Hashtbl.t;
@@ -68,12 +73,13 @@ type t = {
          leak or skew the accounting *)
 }
 
-let create ?(policy = greedy) ?(indexed = true) cluster registry =
+let create ?(policy = greedy) ?(indexed = true) ?cache cluster registry =
   {
     cluster;
     registry;
     policy;
     index = (if indexed then Some (Alloc_index.build cluster) else None);
+    cache;
     live = [];
     next_deploy_id = 0;
     failed = Hashtbl.create 4;
@@ -87,6 +93,7 @@ let policy t = t.policy
 let registry t = t.registry
 let deployments t = t.live
 let indexed t = t.index <> None
+let bitstream_cache t = t.cache
 
 let index_consistent t =
   match t.index with None -> true | Some ix -> Alloc_index.consistent ix
@@ -224,6 +231,11 @@ let perform t accel assignment =
         in
         match Controller.load node.Node.controller bs_load with
         | Ok (handle, time_us) ->
+          let time_us =
+            match t.cache with
+            | Some c -> Bitstream.Cache.charge c bs_load ~base_us:time_us
+            | None -> time_us
+          in
           reconfig := !reconfig +. time_us;
           sync_node t node_id;
           { node_id; bitstream = bs_load; handle }
@@ -533,3 +545,38 @@ let fail_node (t : t) node_id =
 let restore_node (t : t) node_id =
   Hashtbl.remove t.failed node_id;
   match t.index with Some ix -> Alloc_index.restore ix node_id | None -> ()
+
+(* Fleet fragmentation: fraction of free virtual blocks stranded on
+   partially-occupied healthy devices.  O(1) off the capacity index;
+   the naive runtime computes the identical value by scanning, so the
+   two allocator shapes report the same score. *)
+let frag_counts_naive (t : t) =
+  let n = Cluster.node_count t.cluster in
+  let free_total = ref 0 and free_whole = ref 0 and whole_nodes = ref 0 in
+  for i = 0 to n - 1 do
+    if not (Hashtbl.mem t.failed i) then begin
+      let node = Cluster.node t.cluster i in
+      let free = Node.free_vbs node in
+      free_total := !free_total + free;
+      if free = Node.total_vbs node then begin
+        free_whole := !free_whole + free;
+        incr whole_nodes
+      end
+    end
+  done;
+  (!free_total, !free_whole, !whole_nodes)
+
+let fragmentation (t : t) =
+  match t.index with
+  | Some ix -> Alloc_index.fragmentation ix
+  | None ->
+    let free_total, free_whole, _ = frag_counts_naive t in
+    if free_total = 0 then 0.0
+    else float_of_int (free_total - free_whole) /. float_of_int free_total
+
+let whole_free_nodes (t : t) =
+  match t.index with
+  | Some ix -> Alloc_index.whole_free_nodes ix
+  | None ->
+    let _, _, whole_nodes = frag_counts_naive t in
+    whole_nodes

@@ -65,13 +65,30 @@ type t
     for that comparison and for the placement-churn benchmark.
 
     The index assumes this runtime is the only writer of the
-    cluster's controllers. *)
-val create : ?policy:policy -> ?indexed:bool -> Mlv_cluster.Cluster.t -> Registry.t -> t
+    cluster's controllers.
+
+    [~cache] installs a bitstream staging cache
+    ({!Mlv_vital.Bitstream.Cache}): every controller load's
+    reconfiguration time is re-priced through it, so repeat
+    deployments of a cached (accelerator, partition, device-kind)
+    bitstream pay the amortized hit cost instead of the full PCIe
+    transfer.  Without it (the default) deployment times are
+    bit-identical to cacheless builds. *)
+val create :
+  ?policy:policy ->
+  ?indexed:bool ->
+  ?cache:Mlv_vital.Bitstream.Cache.t ->
+  Mlv_cluster.Cluster.t ->
+  Registry.t ->
+  t
 
 val policy : t -> policy
 
 (** [indexed t] tells which allocator the runtime uses. *)
 val indexed : t -> bool
+
+(** [bitstream_cache t] is the staging cache, if one was installed. *)
+val bitstream_cache : t -> Mlv_vital.Bitstream.Cache.t option
 
 (** [index_consistent t] checks the capacity index against the
     controllers (always true for a non-indexed runtime); the churn
@@ -213,3 +230,15 @@ val stats : t -> stats
 
 (** [cluster_utilization t] is used / total virtual blocks. *)
 val cluster_utilization : t -> float
+
+(** [fragmentation t] is the fraction of free virtual blocks stranded
+    on partially-occupied healthy devices — free capacity no
+    whole-device (or device-sized) request can use; 0 when nothing is
+    free.  O(1) on an indexed runtime (incremental counters in the
+    capacity index), an O(nodes) scan with the identical formula on a
+    naive one. *)
+val fragmentation : t -> float
+
+(** [whole_free_nodes t] counts healthy nodes with every virtual
+    block free — the candidate pool for device-sized placements. *)
+val whole_free_nodes : t -> int

@@ -8,6 +8,7 @@ type config = {
   idle_timeout_us : float;
   min_replicas : int;
   max_replicas : int;
+  p99_window_us : float;
 }
 
 let default =
@@ -19,6 +20,7 @@ let default =
     idle_timeout_us = 2_000.0;
     min_replicas = 0;
     max_replicas = 8;
+    p99_window_us = 10_000.0;
   }
 
 let config ?(interval_us = default.interval_us)
@@ -27,7 +29,8 @@ let config ?(interval_us = default.interval_us)
     ?(cooldown_us = default.cooldown_us)
     ?(idle_timeout_us = default.idle_timeout_us)
     ?(min_replicas = default.min_replicas)
-    ?(max_replicas = default.max_replicas) () =
+    ?(max_replicas = default.max_replicas)
+    ?(p99_window_us = default.p99_window_us) () =
   if interval_us <= 0.0 then invalid_arg "Autoscaler.config: non-positive interval";
   if low_backlog_per_replica > high_backlog_per_replica then
     invalid_arg "Autoscaler.config: low watermark above high watermark";
@@ -35,6 +38,8 @@ let config ?(interval_us = default.interval_us)
     invalid_arg "Autoscaler.config: negative cooldown or idle timeout";
   if min_replicas < 0 || max_replicas < Stdlib.max 1 min_replicas then
     invalid_arg "Autoscaler.config: bad replica bounds";
+  if p99_window_us <= 0.0 then
+    invalid_arg "Autoscaler.config: non-positive p99 window";
   {
     interval_us;
     high_backlog_per_replica;
@@ -43,6 +48,7 @@ let config ?(interval_us = default.interval_us)
     idle_timeout_us;
     min_replicas;
     max_replicas;
+    p99_window_us;
   }
 
 type decision = Scale_up | Scale_down | Hold
@@ -52,20 +58,57 @@ let decision_to_string = function
   | Scale_down -> "scale-down"
   | Hold -> "hold"
 
+(* Two-epoch windowed sojourn tracker.  The p99 signal reads the
+   current and previous window only, so one early burst ages out of
+   the estimate after at most two windows — a cumulative histogram
+   latched [p99_breach] for the rest of the run and pinned replicas
+   at max long after sojourns recovered.  Actuating a decision clears
+   both windows outright: the retired samples describe the {e old}
+   replica count and say nothing about the new one. *)
 type tracker = {
-  sojourns : Obs.Histogram.t;  (* detached: this run's samples only *)
+  tr_name : string;
+  mutable cur : Obs.Histogram.t;  (* detached: this window's samples *)
+  mutable prev : Obs.Histogram.t;  (* previous window *)
+  mutable rotated_us : float;
   mutable last_scale_us : float;
 }
 
 let tracker ~name =
-  { sojourns = Obs.Histogram.detached ~name (); last_scale_us = neg_infinity }
+  {
+    tr_name = name;
+    cur = Obs.Histogram.detached ~name ();
+    prev = Obs.Histogram.detached ~name ();
+    rotated_us = 0.0;
+    last_scale_us = neg_infinity;
+  }
 
-let observe_sojourn tr us = Obs.Histogram.observe tr.sojourns us
-let p99_sojourn_us tr = Obs.Histogram.percentile tr.sojourns 99.0
-let sojourn_count tr = Obs.Histogram.count tr.sojourns
-let mark_scaled tr ~now_us = tr.last_scale_us <- now_us
+let observe_sojourn tr us = Obs.Histogram.observe tr.cur us
+
+let p99_sojourn_us tr =
+  let p h =
+    if Obs.Histogram.count h = 0 then 0.0 else Obs.Histogram.percentile h 99.0
+  in
+  Float.max (p tr.cur) (p tr.prev)
+
+let sojourn_count tr =
+  Obs.Histogram.count tr.cur + Obs.Histogram.count tr.prev
+
+let mark_scaled tr ~now_us =
+  tr.last_scale_us <- now_us;
+  tr.cur <- Obs.Histogram.detached ~name:tr.tr_name ();
+  tr.prev <- Obs.Histogram.detached ~name:tr.tr_name ();
+  tr.rotated_us <- now_us
+
+let rotate_window cfg tr ~now_us =
+  if now_us -. tr.rotated_us >= cfg.p99_window_us then begin
+    tr.prev <- tr.cur;
+    tr.cur <- Obs.Histogram.detached ~name:tr.tr_name ();
+    tr.rotated_us <- now_us
+  end
 
 let decide cfg tr ~now_us ~backlog ~replicas ~idle ~deadline_us =
+  (* Rotate even while held in cooldown so stale samples age out. *)
+  rotate_window cfg tr ~now_us;
   if replicas = 0 && backlog > 0 then
     (* Bootstrap: with no capacity at all, waiting out a cooldown
        only delays the inevitable first replica. *)

@@ -13,10 +13,15 @@
       [cooldown_us] window (hysteresis: a fresh replica must absorb
       load before the loop reacts again).
 
-    The p99 signal comes from a {!tracker} wrapping a detached
-    observability histogram ({!Mlv_obs.Obs.Histogram.detached}), so
+    The p99 signal comes from a {!tracker} wrapping detached
+    observability histograms ({!Mlv_obs.Obs.Histogram.detached}), so
     decisions depend only on sojourns observed in the tracker's own
-    run — never on state leaked through the global registry.
+    run — never on state leaked through the global registry.  The
+    tracker is {e windowed} (two epochs of [p99_window_us], rotated
+    inside {!decide}; both cleared on {!mark_scaled}), so the
+    estimate reflects recent sojourns only: a cumulative histogram
+    would latch a single early burst into a permanent p99 breach and
+    pin the group at [max_replicas] for the rest of the run.
 
     Bootstrap exception: a group with zero replicas and positive
     backlog scales up regardless of cooldown, otherwise the first
@@ -31,10 +36,13 @@ type config = {
   idle_timeout_us : float;  (** replica idle time before reclaim *)
   min_replicas : int;
   max_replicas : int;
+  p99_window_us : float;
+      (** width of each p99 observation epoch; the breach signal sees
+          at most the last two epochs *)
 }
 
 (** Defaults: 1 ms interval, watermarks 3.0 / 0.5, 2 ms cooldown, 2 ms
-    idle timeout, 0..8 replicas. *)
+    idle timeout, 0..8 replicas, 10 ms p99 window. *)
 val default : config
 
 (** [config ()] is {!default} with overrides.
@@ -49,6 +57,7 @@ val config :
   ?idle_timeout_us:float ->
   ?min_replicas:int ->
   ?max_replicas:int ->
+  ?p99_window_us:float ->
   unit ->
   config
 
@@ -65,14 +74,16 @@ val tracker : name:string -> tracker
 (** [observe_sojourn tr us] feeds one completed request's sojourn. *)
 val observe_sojourn : tracker -> float -> unit
 
-(** [p99_sojourn_us tr] is the current p99 estimate (0 when no samples
-    yet). *)
+(** [p99_sojourn_us tr] is the current p99 estimate — the worse of
+    the two live epochs (0 when no samples yet). *)
 val p99_sojourn_us : tracker -> float
 
+(** [sojourn_count tr] counts samples across the two live epochs. *)
 val sojourn_count : tracker -> int
 
-(** [mark_scaled tr ~now_us] starts the cooldown window; call after
-    actually actuating a decision. *)
+(** [mark_scaled tr ~now_us] starts the cooldown window and clears
+    both observation epochs (their samples describe the old replica
+    count); call after actually actuating a decision. *)
 val mark_scaled : tracker -> now_us:float -> unit
 
 (** [decide cfg tr ~now_us ~backlog ~replicas ~idle ~deadline_us]

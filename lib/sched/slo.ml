@@ -21,11 +21,15 @@ type bucket = {
   mutable b_shed : int;
 }
 
-type tenant_spec = { tenant_name : string; tenant_weight : float }
+type tenant_spec = {
+  tenant_name : string;
+  tenant_weight : float;
+  tenant_priority : int;
+}
 
-let tenant_spec ?(weight = 1.0) name =
+let tenant_spec ?(weight = 1.0) ?(priority = 0) name =
   if weight <= 0.0 then invalid_arg "Slo.tenant_spec: weight must be positive";
-  { tenant_name = name; tenant_weight = weight }
+  { tenant_name = name; tenant_weight = weight; tenant_priority = priority }
 
 (* A tenant's weighted fair share of the admission pool: its bucket
    refills at [weight / sum weights] of the pool rate, so a bursty
@@ -88,8 +92,18 @@ let create specs =
 
 (* Install (or replace) the tenant fair-share pool: [rate_per_s] and
    [burst] describe the whole pool; each tenant's bucket gets its
-   weight share of both (burst floored at one token so every tenant
-   can always eventually admit). *)
+   weight share of both, with burst floored at one token so every
+   tenant can always eventually admit.
+
+   The floor is water-filled, not minted: a tenant whose weighted
+   share of the burst falls below one token gets exactly 1.0, and the
+   remaining burst is re-split by weight among the unfloored tenants,
+   iterating until no tenant drops below the floor.  The per-tenant
+   bursts therefore sum to exactly [max burst (#tenants)] — the old
+   unconditional [max 1.0 share] let a crowd of low-weight tenants
+   sum to far more burst than the declared pool, quietly weakening
+   the isolation guarantee.  When no tenant hits the floor the shares
+   (and their floating-point bits) are unchanged. *)
 let set_tenant_pool t ~rate_per_s ~burst specs =
   if rate_per_s <= 0.0 then
     invalid_arg "Slo.set_tenant_pool: rate must be positive";
@@ -98,11 +112,30 @@ let set_tenant_pool t ~rate_per_s ~burst specs =
   if List.length (List.sort_uniq compare names) <> List.length names then
     invalid_arg "Slo.set_tenant_pool: duplicate tenant names";
   let total_w = List.fold_left (fun a s -> a +. s.tenant_weight) 0.0 specs in
+  let bursts = Hashtbl.create (List.length specs) in
+  let share ~remaining ~active_w s = remaining *. (s.tenant_weight /. active_w) in
+  let rec settle active ~active_w ~remaining =
+    let floored, kept =
+      List.partition (fun s -> share ~remaining ~active_w s < 1.0) active
+    in
+    List.iter (fun s -> Hashtbl.replace bursts s.tenant_name 1.0) floored;
+    if kept = [] then ()
+    else if floored = [] then
+      List.iter
+        (fun s ->
+          Hashtbl.replace bursts s.tenant_name (share ~remaining ~active_w s))
+        kept
+    else
+      settle kept
+        ~active_w:(List.fold_left (fun a s -> a +. s.tenant_weight) 0.0 kept)
+        ~remaining:(remaining -. float_of_int (List.length floored))
+  in
+  settle specs ~active_w:total_w ~remaining:(float_of_int burst);
   t.tenant_buckets <-
     List.map
       (fun s ->
         let share = s.tenant_weight /. total_w in
-        let b = Float.max 1.0 (float_of_int burst *. share) in
+        let b = Hashtbl.find bursts s.tenant_name in
         ( s.tenant_name,
           {
             tspec = s;
@@ -121,6 +154,16 @@ let tenant_rate_of t name =
   match List.assoc_opt name t.tenant_buckets with
   | Some b -> b.t_rate_per_s
   | None -> 0.0
+
+let tenant_burst_of t name =
+  match List.assoc_opt name t.tenant_buckets with
+  | Some b -> b.t_burst
+  | None -> 0.0
+
+let tenant_priority_of t name =
+  match List.assoc_opt name t.tenant_buckets with
+  | Some b -> b.tspec.tenant_priority
+  | None -> 0
 
 let classes t = List.map (fun (_, b) -> b.spec) t.buckets
 let find t name = List.assoc_opt name t.buckets |> Option.map (fun b -> b.spec)

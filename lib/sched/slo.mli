@@ -40,11 +40,15 @@ val class_spec :
 type tenant_spec = {
   tenant_name : string;
   tenant_weight : float;  (** share of the pool; must be positive *)
+  tenant_priority : int;
+      (** scheduling priority; the serving loop's preemption policy
+          lets higher-priority tenants evict lower-priority replicas
+          (0 = best effort) *)
 }
 
-(** [tenant_spec name] with weight 1.
+(** [tenant_spec name] with weight 1 and priority 0.
     @raise Invalid_argument on a non-positive weight. *)
-val tenant_spec : ?weight:float -> string -> tenant_spec
+val tenant_spec : ?weight:float -> ?priority:int -> string -> tenant_spec
 
 type t
 
@@ -56,10 +60,15 @@ val create : class_spec list -> t
 (** [set_tenant_pool t ~rate_per_s ~burst specs] installs per-tenant
     weighted fair-share buckets in front of the class gate: each
     tenant refills at [weight / sum weights] of the pool rate with the
-    same share of the burst (floored at one token).  A request whose
-    tenant bucket is empty is {!Shed_tenant} before the class gate
-    sees it; the token is only consumed on final admission, so a
-    class-level shed does not burn the tenant's share.
+    same share of the burst, floored at one token.  The floor is
+    water-filled: floored tenants take exactly one token and the rest
+    of the burst is re-split by weight among the others, so the
+    per-tenant bursts sum to exactly [max burst (#tenants)] — a crowd
+    of low-weight tenants can no longer accumulate more burst than
+    the declared pool.  A request whose tenant bucket is empty is
+    {!Shed_tenant} before the class gate sees it; the token is only
+    consumed on final admission, so a class-level shed does not burn
+    the tenant's share.
     @raise Invalid_argument on a non-positive rate, burst < 1 or
     duplicate tenant names. *)
 val set_tenant_pool :
@@ -70,6 +79,14 @@ val tenants : t -> tenant_spec list
 (** [tenant_rate_of t name] is the tenant's fair-share refill rate
     (requests/s), 0 for unknown tenants. *)
 val tenant_rate_of : t -> string -> float
+
+(** [tenant_burst_of t name] is the tenant's water-filled bucket
+    capacity (tokens), 0 for unknown tenants. *)
+val tenant_burst_of : t -> string -> float
+
+(** [tenant_priority_of t name] is the tenant's declared priority, 0
+    for unknown tenants. *)
+val tenant_priority_of : t -> string -> int
 
 val classes : t -> class_spec list
 

@@ -3,6 +3,8 @@ module Runtime = Mlv_core.Runtime
 module Registry = Mlv_core.Registry
 module Framework = Mlv_core.Framework
 module Scale_out = Mlv_core.Scale_out
+module Defrag = Mlv_core.Defrag
+module Bitstream = Mlv_vital.Bitstream
 module Config = Mlv_accel.Config
 module Perf = Mlv_accel.Perf
 module Device = Mlv_fpga.Device
@@ -30,6 +32,12 @@ type serving = {
   tenant_pool : (float * int) option;
       (* (rate_per_s, burst) of the tenant fair-share admission pool;
          requires config.tenants *)
+  preempt : bool;
+      (* higher-priority tenants may evict lower-priority tenants'
+         replicas (migrate-or-undeploy) instead of backlogging; a
+         no-op unless some tenant declares a positive tl_priority *)
+  defrag : Defrag.config option;
+      (* background compaction of idle replicas during low load *)
 }
 
 let default_serving =
@@ -38,6 +46,8 @@ let default_serving =
     batch = Batcher.config ();
     autoscale = Some Autoscaler.default;
     tenant_pool = None;
+    preempt = false;
+    defrag = None;
   }
 
 type config = {
@@ -59,6 +69,10 @@ type config = {
       (* false selects the pre-PR7 linear data shapes (list flight
          table, fold-per-pick router, per-completion group scans) as
          the differential oracle for bench/scale.ml *)
+  bitstream_cache : int option;
+      (* capacity of the runtime's bitstream staging cache; None (the
+         default) keeps reconfiguration costs bit-identical to
+         cacheless builds *)
 }
 
 let default_config ~policy ~composition =
@@ -76,6 +90,7 @@ let default_config ~policy ~composition =
     serving = None;
     tenants = [];
     indexed = true;
+    bitstream_cache = None;
   }
 
 let arrival_of cfg =
@@ -105,6 +120,7 @@ type tenant_stats = {
   tn_shed : int;
   tn_completed : int;
   tn_rejected : int;
+  tn_preempted_lost : int;
   tn_slo_misses : int;
   tn_goodput_per_s : float;
   tn_p99_latency_us : float;
@@ -135,6 +151,14 @@ type result = {
   batches : int;
   scale_ups : int;
   scale_downs : int;
+  preempted : int;
+      (* tasks whose in-flight batch was cancelled by a priority
+         preemption — they never complete and count separately from
+         shed / rejected *)
+  preemptions : int;  (* replica evictions by the preemption policy *)
+  defrag_moves : int;  (* deployments moved by the background defragmenter *)
+  cache_hits : int;  (* bitstream staging-cache hits (0 without a cache) *)
+  cache_misses : int;
   per_tenant : tenant_stats list;  (* [] unless config.tenants *)
   loop_wall_s : float;
       (* wall-clock seconds inside the event loop proper (excludes
@@ -164,6 +188,7 @@ type ttally = {
   mutable tt_shed : int;
   mutable tt_completed : int;
   mutable tt_rejected : int;
+  mutable tt_preempted : int;
   mutable tt_slo_misses : int;
   mutable tt_latencies : float list;
   tt_completed_c : Obs.Counter.t;
@@ -185,6 +210,7 @@ let make_tallies cfg =
           tt_shed = 0;
           tt_completed = 0;
           tt_rejected = 0;
+          tt_preempted = 0;
           tt_slo_misses = 0;
           tt_latencies = [];
           tt_completed_c = Obs.Counter.get_labeled "sysim.tenant.completed" labels;
@@ -202,6 +228,7 @@ let tenant_stats_of ~makespan_us tallies =
         tn_shed = t.tt_shed;
         tn_completed = t.tt_completed;
         tn_rejected = t.tt_rejected;
+        tn_preempted_lost = t.tt_preempted;
         tn_slo_misses = t.tt_slo_misses;
         tn_goodput_per_s =
           (if makespan_us > 0.0 then
@@ -221,6 +248,11 @@ let instance_tile_counts = [ 4; 6; 8; 10; 13; 16; 18; 21; 32; 42 ]
 
 let build_registry () =
   Framework.npu_registry ~iterations:2 ~tile_counts:instance_tile_counts ()
+
+let cache_stats runtime =
+  match Runtime.bitstream_cache runtime with
+  | Some c -> (Bitstream.Cache.hits c, Bitstream.Cache.misses c)
+  | None -> (0, 0)
 
 let tiles_needed point =
   let words = Deepbench.weight_words point in
@@ -396,6 +428,10 @@ type replica = {
   mutable r_busy : bool;
   mutable r_fresh : bool;  (* reconfiguration not yet charged *)
   mutable r_idle_since : float;
+  mutable r_epoch : int;
+      (* bumped when a preemption cancels the in-flight batch, so the
+         already-scheduled completion event recognizes it is void *)
+  mutable r_inflight : stask list;  (* the batch currently in service *)
   (* Labeled metric handles cached against the deployment dims they
      were built for; refreshed only when consolidation migrates the
      deployment (so completions stop allocating label lists). *)
@@ -413,6 +449,9 @@ type sgroup = {
   g_backlog : stask list Queue.t;  (* batches with no replica to run on *)
   mutable g_backlog_tasks : int;  (* Σ batch sizes across g_backlog *)
   mutable g_assigned_tasks : int;  (* Σ batch sizes across replica queues *)
+  mutable g_priority : int;
+      (* highest tl_priority among tenants that routed work here — the
+         conservative "work priority" the preemption policy compares *)
 }
 
 let rec run ~registry cfg =
@@ -431,7 +470,10 @@ let rec run ~registry cfg =
 
 and run_untraced ~registry cfg =
   let cluster = Cluster.create ~kinds:cfg.cluster_kinds () in
-  let runtime = Runtime.create ~policy:cfg.policy cluster registry in
+  let cache =
+    Option.map (fun capacity -> Bitstream.Cache.create ~capacity ()) cfg.bitstream_cache
+  in
+  let runtime = Runtime.create ~policy:cfg.policy ?cache cluster registry in
   let sim = cluster.Cluster.sim in
   let rng = Rng.create cfg.seed in
   (* Metric handles are interned by name; hoist the string-keyed
@@ -770,6 +812,11 @@ and run_untraced ~registry cfg =
     batches = 0;
     scale_ups = 0;
     scale_downs = 0;
+    preempted = 0;
+    preemptions = 0;
+    defrag_moves = 0;
+    cache_hits = fst (cache_stats runtime);
+    cache_misses = snd (cache_stats runtime);
     per_tenant = tenant_stats_of ~makespan_us:!makespan tallies;
     loop_wall_s;
   }
@@ -780,7 +827,10 @@ and run_untraced ~registry cfg =
    ends as completed, shed or rejected. *)
 and run_serving ~registry cfg serving =
   let cluster = Cluster.create ~kinds:cfg.cluster_kinds () in
-  let runtime = Runtime.create ~policy:cfg.policy cluster registry in
+  let cache =
+    Option.map (fun capacity -> Bitstream.Cache.create ~capacity ()) cfg.bitstream_cache
+  in
+  let runtime = Runtime.create ~policy:cfg.policy ?cache cluster registry in
   let sim = cluster.Cluster.sim in
   let rng = Rng.create cfg.seed in
   (* Same hoist as [run_untraced]: per-task/per-batch emit sites use
@@ -821,8 +871,26 @@ and run_serving ~registry cfg serving =
     Slo.set_tenant_pool gate ~rate_per_s ~burst
       (List.map
          (fun (l : Genset.tenant_load) ->
-           Slo.tenant_spec ~weight:l.Genset.tl_weight l.Genset.tl_name)
+           Slo.tenant_spec ~weight:l.Genset.tl_weight
+             ~priority:l.Genset.tl_priority l.Genset.tl_name)
          cfg.tenants));
+  (* Tenant priorities drive the preemption policy; a run without
+     positive priorities (every single-tenant run) never preempts. *)
+  let tenant_prio : (string, int) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun (l : Genset.tenant_load) ->
+      Hashtbl.replace tenant_prio l.Genset.tl_name l.Genset.tl_priority)
+    cfg.tenants;
+  let prio_of tenant =
+    match Hashtbl.find_opt tenant_prio tenant with Some p -> p | None -> 0
+  in
+  let batch_priority batch =
+    List.fold_left (fun a st -> max a (prio_of st.s_task.Genset.tenant)) 0 batch
+  in
+  (* Interned lazily: a run that never preempts registers no
+     preemption metrics. *)
+  let preempted_task_c = lazy (Obs.Counter.get "sysim.serving.preempted") in
+  let preemption_c = lazy (Obs.Counter.get "sysim.serving.preemptions") in
   let batcher : stask Batcher.t =
     Batcher.create
       ?tenant_of:(if multi then Some (fun st -> st.s_task.Genset.tenant) else None)
@@ -849,6 +917,10 @@ and run_serving ~registry cfg serving =
   let completed = ref 0 in
   let rejected = ref 0 in
   let shed = ref 0 in
+  let preempted = ref 0 in
+  let preemptions = ref 0 in
+  let defrag_moves = ref 0 in
+  let arrivals_in = ref 0 in
   let scale_ups = ref 0 in
   let scale_downs = ref 0 in
   let latencies = ref [] in
@@ -871,6 +943,7 @@ and run_serving ~registry cfg serving =
           g_backlog = Queue.create ();
           g_backlog_tasks = 0;
           g_assigned_tasks = 0;
+          g_priority = 0;
         }
       in
       Hashtbl.replace groups accel g;
@@ -961,6 +1034,8 @@ and run_serving ~registry cfg serving =
         r_busy = false;
         r_fresh = true;
         r_idle_since = Sim.now sim;
+        r_epoch = 0;
+        r_inflight = [];
         r_node = None;
         r_kind = "";
         r_completed_c = None;
@@ -996,6 +1071,127 @@ and run_serving ~registry cfg serving =
       else if any_busy () || g.g_replicas <> [] then `Full
       else if reclaim_candidate ~excluding:g.g_accel = None then `Dead
       else `Full
+  in
+  (* Push batches at the FRONT of the backlog: a preempted victim's
+     queued work is its oldest, and FIFO order must survive the
+     eviction. *)
+  let backlog_push_front g batches =
+    if batches <> [] then begin
+      let tmp = Queue.create () in
+      List.iter
+        (fun b ->
+          Queue.add b tmp;
+          g.g_backlog_tasks <- g.g_backlog_tasks + List.length b)
+        batches;
+      Queue.transfer g.g_backlog tmp;
+      Queue.transfer tmp g.g_backlog;
+      Hashtbl.replace starved g.g_accel ()
+    end
+  in
+  (* Victim for a priority preemption: any replica of a group whose
+     work priority is below the demanding batch's — lowest priority
+     first, idle before queued before busy, then lowest replica id
+     (the deterministic tie-break). *)
+  let preempt_candidate ~excluding ~prio =
+    List.fold_left
+      (fun best k ->
+        if k = excluding then best
+        else
+          let g' = Hashtbl.find groups k in
+          if g'.g_priority >= prio then best
+          else
+            List.fold_left
+              (fun best r ->
+                let rank =
+                  if is_idle r then 0 else if not r.r_busy then 1 else 2
+                in
+                let key = (g'.g_priority, rank, r.r_id) in
+                match best with
+                | Some (bkey, _, _) when bkey <= key -> best
+                | _ -> Some (key, g', r))
+              best g'.g_replicas)
+      None (group_keys ())
+  in
+  (* Evict a victim replica: cancel its in-flight batch (those tasks
+     are preempted losses, closing the per-tenant identity
+     arrived = completed + shed + rejected + preempted), requeue its
+     untouched batches at the front of its own group's backlog, and
+     undeploy. *)
+  let preempt_replica g' r ~now =
+    if r.r_busy then begin
+      r.r_epoch <- r.r_epoch + 1 (* orphan the scheduled completion *);
+      r.r_busy <- false;
+      decr busy_count;
+      List.iter
+        (fun (st : stask) ->
+          incr preempted;
+          Obs.Counter.incr (Lazy.force preempted_task_c);
+          match tally_of st.s_task.Genset.tenant with
+          | Some t -> t.tt_preempted <- t.tt_preempted + 1
+          | None -> ())
+        r.r_inflight;
+      r.r_inflight <- []
+    end;
+    let qbatches = List.rev (Queue.fold (fun acc b -> b :: acc) [] r.r_queue) in
+    Queue.clear r.r_queue;
+    List.iter
+      (fun b -> g'.g_assigned_tasks <- g'.g_assigned_tasks - List.length b)
+      qbatches;
+    backlog_push_front g' qbatches;
+    remove_replica g' r;
+    incr preemptions;
+    Obs.Counter.incr (Lazy.force preemption_c);
+    Autoscaler.mark_scaled g'.g_tracker ~now_us:now
+  in
+  (* An accelerator that cannot deploy even on an empty, fully
+     healthy cluster must never trigger an eviction — the freed space
+     could not satisfy it anyway.  Probed once per accelerator on a
+     scratch clone of the configured cluster and memoized. *)
+  let feasible_cache : (string, bool) Hashtbl.t = Hashtbl.create 8 in
+  let feasible accel =
+    match Hashtbl.find_opt feasible_cache accel with
+    | Some b -> b
+    | None ->
+      let scratch =
+        Runtime.create ~policy:cfg.policy
+          (Cluster.create ~kinds:cfg.cluster_kinds ())
+          registry
+      in
+      let b =
+        match Runtime.deploy scratch ~accel with Ok _ -> true | Error _ -> false
+      in
+      Hashtbl.replace feasible_cache accel b;
+      b
+  in
+  (* Admission with preemption: when the mapper refuses and the
+     demanding batch carries tenant priority, evict lower-priority
+     work.  An idle victim is first relocated (force-migrate; the
+     rollback guarantee keeps it live on failure) in case a denser
+     packing alone frees the needed device; a victim that stays in
+     the way is undeployed.  [tried] lists replicas already relocated
+     so none relocates twice — every step then either grows [tried]
+     (bounded by the replica count) or evicts a replica, so the loop
+     terminates. *)
+  let rec grow_preempting g ~prio ~tried =
+    match grow g ~allow_reclaim:(serving.autoscale <> None) with
+    | (`Ok | `Dead) as outcome -> outcome
+    | `Full when not (feasible g.g_accel) -> `Dead
+    | `Full -> (
+      match preempt_candidate ~excluding:g.g_accel ~prio with
+      | None -> `Full
+      | Some (_, g', r) ->
+        if
+          (not (List.mem r.r_id tried))
+          && is_idle r
+          &&
+          match Runtime.migrate ~force:true runtime r.r_depl with
+          | Ok m -> m > 0
+          | Error _ -> false
+        then grow_preempting g ~prio ~tried:(r.r_id :: tried)
+        else begin
+          preempt_replica g' r ~now:(Sim.now sim);
+          grow_preempting g ~prio ~tried
+        end)
   in
   (* Route a batch onto a replica: router bookkeeping (plus per-tenant
      attribution) and the queue append, with the group's assigned-task
@@ -1035,6 +1231,8 @@ and run_serving ~registry cfg serving =
       g.g_assigned_tasks <- g.g_assigned_tasks - List.length batch;
       r.r_busy <- true;
       incr busy_count;
+      r.r_inflight <- batch;
+      let epoch = r.r_epoch in
       let now = Sim.now sim in
       let d = r.r_depl in
       let node, kind = deployment_dims d in
@@ -1073,9 +1271,14 @@ and run_serving ~registry cfg serving =
             ~retries:0 ~label:g.g_accel)
         batch per_task;
       Sim.schedule sim ~delay:service (fun () ->
+          (* A preemption during service bumped the epoch: the replica
+             is gone and its batch was already counted as preempted —
+             this completion is void. *)
+          if r.r_epoch = epoch then begin
           let finished = Sim.now sim in
           r.r_busy <- false;
           decr busy_count;
+          r.r_inflight <- [];
           r.r_idle_since <- finished;
           Router.end_work router ~key:g.g_accel ~replica_id:r.r_id n;
           replica_handles r node kind;
@@ -1119,7 +1322,8 @@ and run_serving ~registry cfg serving =
           if Queue.is_empty r.r_queue && not (Queue.is_empty g.g_backlog)
           then assign g r (backlog_pop g);
           start_replica g r;
-          pump_all ())
+          pump_all ()
+          end)
     end
   (* A completion anywhere may unblock a starved group: retry
      bootstrap deploys for groups whose backlog has no replica.  The
@@ -1164,7 +1368,12 @@ and run_serving ~registry cfg serving =
       assign g r batch;
       start_replica g r
     | None -> (
-      match grow g ~allow_reclaim:(serving.autoscale <> None) with
+      let prio = if serving.preempt then batch_priority batch else 0 in
+      let outcome =
+        if prio > 0 then grow_preempting g ~prio ~tried:[]
+        else grow g ~allow_reclaim:(serving.autoscale <> None)
+      in
+      match outcome with
       | `Ok -> dispatch g batch
       | `Full -> backlog_push g batch
       | `Dead -> List.iter (reject_stask ~accel:g.g_accel) batch)
@@ -1211,7 +1420,7 @@ and run_serving ~registry cfg serving =
         max_int (Slo.classes gate)
     in
     let rec tick () =
-      if !completed + !rejected + !shed < ntasks then begin
+      if !completed + !rejected + !shed + !preempted < ntasks then begin
         let now = Sim.now sim in
         let capacity_bound = ref false in
         List.iter
@@ -1257,9 +1466,63 @@ and run_serving ~registry cfg serving =
       end
     in
     Sim.schedule sim ~delay:acfg.interval_us tick);
+  (* Background defragmentation: a periodic tick that compacts idle
+     replicas when the fleet is quiet (no backlog anywhere) and the
+     fragmentation index crosses the policy threshold.  In-flight
+     batches are never moved — only deployments of idle replicas are
+     eligible. *)
+  (match serving.defrag with
+  | None -> ()
+  | Some dcfg ->
+    let idle_deployments () =
+      let ids = Hashtbl.create 16 in
+      List.iter
+        (fun k ->
+          List.iter
+            (fun r ->
+              if is_idle r then Hashtbl.replace ids r.r_depl.Runtime.id ())
+            (Hashtbl.find groups k).g_replicas)
+        (group_keys ());
+      ids
+    in
+    let quiet () =
+      List.for_all
+        (fun k -> Queue.is_empty (Hashtbl.find groups k).g_backlog)
+        (group_keys ())
+    in
+    (* The tick must not keep the event queue alive once no progress
+       is possible — when every arrival has fired, nothing is in
+       flight and no batch is lingering, the remaining backlog is
+       permanently starved (e.g. its replica was preempted and the
+       fabric never frees up) and the run must drain so the leftovers
+       can be rejected. *)
+    let stalled () =
+      !arrivals_in >= ntasks && !busy_count = 0
+      && List.for_all
+           (fun k -> Batcher.pending batcher ~key:k = 0)
+           (group_keys ())
+    in
+    let rec dtick () =
+      if !completed + !rejected + !shed + !preempted < ntasks && not (stalled ())
+      then begin
+        if quiet () && Defrag.should_run dcfg runtime then begin
+          let ids = idle_deployments () in
+          let pass =
+            Defrag.run_pass
+              ~eligible:(fun (d : Runtime.deployment) ->
+                Hashtbl.mem ids d.Runtime.id)
+              dcfg runtime
+          in
+          defrag_moves := !defrag_moves + pass.Defrag.moved
+        end;
+        Sim.schedule sim ~delay:dcfg.Defrag.interval_us dtick
+      end
+    in
+    Sim.schedule sim ~delay:dcfg.Defrag.interval_us dtick);
   List.iter
     (fun (task : Genset.task) ->
       Sim.schedule_at sim ~at:task.Genset.arrival_us (fun () ->
+          incr arrivals_in;
           Obs.Counter.incr arrived_c;
           let tally = tally_of task.Genset.tenant in
           (match tally with
@@ -1303,6 +1566,8 @@ and run_serving ~registry cfg serving =
             peak_queue := max !peak_queue !queued;
             Obs.Trace.task Obs.Trace.Queue task.Genset.task_id ~label:accel;
             let g = group_of accel in
+            (let p = prio_of task.Genset.tenant in
+             if p > g.g_priority then g.g_priority <- p);
             match Batcher.add batcher ~key:accel ~now_us:now st with
             | Batcher.Dispatch batch -> dispatch g batch
             | Batcher.Opened deadline ->
@@ -1336,7 +1601,7 @@ and run_serving ~registry cfg serving =
         g.g_replicas;
       g.g_replicas <- [])
     (group_keys ());
-  let lost = ntasks - !completed - !rejected - !shed in
+  let lost = ntasks - !completed - !rejected - !shed - !preempted in
   if lost > 0 then Obs.Counter.add (Obs.Counter.get "sysim.tasks.lost") lost;
   let mean xs = Mlv_util.Stats.mean xs in
   let p50, p95, p99 = latency_percentiles !latencies in
@@ -1372,6 +1637,11 @@ and run_serving ~registry cfg serving =
     batches = Batcher.batches batcher;
     scale_ups = !scale_ups;
     scale_downs = !scale_downs;
+    preempted = !preempted;
+    preemptions = !preemptions;
+    defrag_moves = !defrag_moves;
+    cache_hits = fst (cache_stats runtime);
+    cache_misses = snd (cache_stats runtime);
     per_tenant = tenant_stats_of ~makespan_us:!makespan tallies;
     loop_wall_s;
   }

@@ -60,10 +60,30 @@ type serving = {
           split across [config.tenants] (see
           {!Mlv_sched.Slo.set_tenant_pool}); requires a multi-tenant
           workload.  [None] admits without per-tenant gating. *)
+  preempt : bool;
+      (** when a batch from a tenant with positive
+          {!Genset.tenant_load.tl_priority} cannot be admitted to the
+          fabric, evict a lower-priority tenant's replica instead of
+          backlogging: an idle victim is first force-migrated (denser
+          packing may free the needed device; rollback keeps it live),
+          otherwise it is undeployed and its in-flight batch counts as
+          preempted losses.  A demand that could not deploy even on an
+          empty, healthy cluster never evicts anyone — it is rejected
+          outright.  [false] (the default), or a workload with no
+          positive priorities, never preempts — results are
+          bit-identical to a build without the policy. *)
+  defrag : Mlv_core.Defrag.config option;
+      (** background defragmentation: every
+          {!Mlv_core.Defrag.config.interval_us} of simulated time,
+          when no group has backlog and the fragmentation index
+          crosses the threshold, run a compaction pass over idle
+          replicas' deployments.  [None] (the default) never moves
+          anything. *)
 }
 
 (** [default_serving] admits every class, batches up to 4 requests
-    with a 300 µs linger, and runs the default autoscaler. *)
+    with a 300 µs linger, runs the default autoscaler, and enables
+    neither preemption nor defragmentation. *)
 val default_serving : serving
 
 type config = {
@@ -100,6 +120,12 @@ type config = {
           sweeps — as the differential oracle for bench/scale.ml.
           Both shapes produce bit-identical results; the default
           [true] is the O(1)/O(log n) per-event hot path. *)
+  bitstream_cache : int option;
+      (** capacity of a {!Mlv_vital.Bitstream.Cache} installed on the
+          runtime: repeat deployments of a cached (accelerator,
+          partition, device-kind) bitstream pay the amortized hit cost
+          instead of the full transfer.  [None] (the default) keeps
+          reconfiguration times bit-identical to cacheless builds. *)
 }
 
 (** [default_config ~policy ~composition] gives 120 tasks, 200 µs
@@ -109,7 +135,8 @@ val default_config :
   policy:Mlv_core.Runtime.policy -> composition:Genset.composition -> config
 
 (** One tenant's slice of a multi-tenant run's accounting.  The
-    identity [tn_arrived = tn_completed + tn_shed + tn_rejected]
+    identity
+    [tn_arrived = tn_completed + tn_shed + tn_rejected + tn_preempted_lost]
     holds per tenant exactly as the global identity does. *)
 type tenant_stats = {
   tn_name : string;
@@ -118,6 +145,9 @@ type tenant_stats = {
   tn_shed : int;
   tn_completed : int;
   tn_rejected : int;
+  tn_preempted_lost : int;
+      (** tasks lost mid-service when a higher-priority tenant
+          preempted the replica serving them *)
   tn_slo_misses : int;
   tn_goodput_per_s : float;
       (** SLO-meeting completions / the run's makespan *)
@@ -167,6 +197,19 @@ type result = {
   batches : int;  (** serving mode: batches dispatched *)
   scale_ups : int;  (** serving mode: replicas added (incl. bootstrap) *)
   scale_downs : int;  (** serving mode: replicas retired by the loop *)
+  preempted : int;
+      (** serving mode: tasks lost mid-service to priority preemption
+          (their batch was cancelled; they never complete).  The
+          global identity becomes
+          [tasks = completed + rejected + shed + preempted + lost]. *)
+  preemptions : int;  (** serving mode: replicas evicted by preemption *)
+  defrag_moves : int;
+      (** serving mode: deployments moved by the background
+          defragmenter *)
+  cache_hits : int;
+      (** bitstream staging-cache hits across the run (0 without
+          [config.bitstream_cache]) *)
+  cache_misses : int;
   per_tenant : tenant_stats list;
       (** one entry per [config.tenants] element, declaration order;
           [[]] on single-tenant runs *)

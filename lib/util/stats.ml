@@ -1,13 +1,32 @@
+(* Single pass: accumulate (sum, count) together.  The fold adds the
+   samples in the same left-to-right order as the old sum-then-length
+   version, so results are bit-identical — [mean] feeds the system
+   simulation's deterministic digests. *)
 let mean = function
   | [] -> 0.0
-  | xs -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+  | xs ->
+    let sum = ref 0.0 and n = ref 0 in
+    List.iter
+      (fun x ->
+        sum := !sum +. x;
+        incr n)
+      xs;
+    !sum /. float_of_int !n
 
+(* Welford's online algorithm: one pass, no intermediate mean pass,
+   and numerically stabler than the naive sum-of-squares shortcut. *)
 let stddev = function
   | [] | [ _ ] -> 0.0
   | xs ->
-    let m = mean xs in
-    let sq = List.fold_left (fun acc x -> acc +. ((x -. m) ** 2.0)) 0.0 xs in
-    sqrt (sq /. float_of_int (List.length xs))
+    let n = ref 0 and m = ref 0.0 and m2 = ref 0.0 in
+    List.iter
+      (fun x ->
+        incr n;
+        let d = x -. !m in
+        m := !m +. (d /. float_of_int !n);
+        m2 := !m2 +. (d *. (x -. !m)))
+      xs;
+    sqrt (!m2 /. float_of_int !n)
 
 let percentile p = function
   | [] -> invalid_arg "Stats.percentile: empty list"

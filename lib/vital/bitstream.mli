@@ -32,3 +32,48 @@ val make :
 val id : t -> string
 
 val pp : Format.formatter -> t -> unit
+
+(** LRU bitstream cache modeling card-DRAM bitstream staging.
+    Reconfiguration cost is dominated by moving the partial bitstream
+    over PCIe; a cloud runtime keeps recently used bitstreams staged
+    in the card's DRAM so a repeat deployment reprograms from on-card
+    memory.  The cache is keyed by {!id} — (accelerator, partition,
+    device kind) — with a bounded capacity and least-recently-used
+    eviction.  {!Cache.charge} folds the model into one call: a miss
+    pays the full transfer cost and stages the bitstream (evicting
+    the LRU entry when full); a hit pays
+    [base_us *. hit_cost_factor] and refreshes recency.
+
+    A runtime created without a cache never calls [charge], so
+    deployment times are bit-identical to builds without this
+    module. *)
+module Cache : sig
+  type bitstream = t
+
+  type t
+
+  (** [create ()] holds up to [capacity] bitstreams (default 64) and
+      charges [hit_cost_factor] (default 0.1, in [\[0,1\]]) of the
+      base reconfiguration cost on a hit.
+      @raise Invalid_argument on a non-positive capacity or an
+      out-of-range factor. *)
+  val create : ?capacity:int -> ?hit_cost_factor:float -> unit -> t
+
+  (** [charge t bs ~base_us] is the modeled reconfiguration time for
+      loading [bs] given a full-transfer cost of [base_us], updating
+      the cache (hit promotes; miss inserts, evicting if full). *)
+  val charge : t -> bitstream -> base_us:float -> float
+
+  (** [mem t bs] tells whether [bs] is currently staged (no recency
+      update). *)
+  val mem : t -> bitstream -> bool
+
+  val capacity : t -> int
+  val length : t -> int
+  val hits : t -> int
+  val misses : t -> int
+  val evictions : t -> int
+
+  (** [hit_rate t] is [hits / (hits + misses)]; 0 before any charge. *)
+  val hit_rate : t -> float
+end

@@ -44,18 +44,28 @@ type arrival =
       on_mean_us : float;
       off_mean_us : float;
     }
+  | Bursty_phased of {
+      on_us : float;
+      off_us : float;
+      on_mean_us : float;
+      off_mean_us : float;
+    }
 
 let arrival_name = function
   | Exponential { mean_us } -> Printf.sprintf "poisson(%.0fus)" mean_us
   | Bursty { on_us; off_us; on_mean_us; off_mean_us } ->
     Printf.sprintf "burst(%.0f/%.0fus @ %.0f/%.0fus)" on_us off_us on_mean_us
       off_mean_us
+  | Bursty_phased { on_us; off_us; on_mean_us; off_mean_us } ->
+    Printf.sprintf "burst-phased(%.0f/%.0fus @ %.0f/%.0fus)" on_us off_us
+      on_mean_us off_mean_us
 
 let validate_arrival = function
   | Exponential { mean_us } ->
     if mean_us <= 0.0 then
       invalid_arg "Genset: mean interarrival must be positive"
-  | Bursty { on_us; off_us; on_mean_us; off_mean_us } ->
+  | Bursty { on_us; off_us; on_mean_us; off_mean_us }
+  | Bursty_phased { on_us; off_us; on_mean_us; off_mean_us } ->
     if on_us <= 0.0 || off_us < 0.0 then
       invalid_arg "Genset: burst phases must be positive";
     if on_mean_us <= 0.0 || off_mean_us <= 0.0 then
@@ -64,9 +74,39 @@ let validate_arrival = function
 let interarrival_mean arrival ~now_us =
   match arrival with
   | Exponential { mean_us } -> mean_us
-  | Bursty { on_us; off_us; on_mean_us; off_mean_us } ->
+  | Bursty { on_us; off_us; on_mean_us; off_mean_us }
+  | Bursty_phased { on_us; off_us; on_mean_us; off_mean_us } ->
     let cycle = on_us +. off_us in
     if Float.rem now_us cycle < on_us then on_mean_us else off_mean_us
+
+(* Advance the arrival clock by one inter-arrival draw.
+
+   [Bursty] keeps the legacy semantics: the phase is read once at the
+   current clock and a single exponential draw follows, so a quiet-
+   phase draw with [off_mean_us] larger than the cycle can leap whole
+   busy windows (the rate silently collapses).  Benches that pinned
+   their digests to that stream keep it.
+
+   [Bursty_phased] clamps every draw at the next phase boundary: a
+   draw that would cross the boundary is discarded and re-drawn from
+   the boundary with the {e new} phase's mean — the memorylessness of
+   the exponential makes this the exact inhomogeneous-Poisson
+   construction, and busy windows always see the busy rate. *)
+let next_arrival_us arrival ~rng ~now_us =
+  match arrival with
+  | Exponential _ | Bursty _ ->
+    now_us +. Rng.exponential rng ~mean:(interarrival_mean arrival ~now_us)
+  | Bursty_phased { on_us; off_us; on_mean_us; off_mean_us } ->
+    let cycle = on_us +. off_us in
+    let rec step t =
+      let pos = Float.rem t cycle in
+      let in_on = pos < on_us in
+      let mean = if in_on then on_mean_us else off_mean_us in
+      let boundary = t -. pos +. (if in_on then on_us else cycle) in
+      let d = Rng.exponential rng ~mean in
+      if t +. d <= boundary then t +. d else step boundary
+    in
+    step now_us
 
 let generate_arrival ~rng ~composition ~tasks ~arrival =
   if tasks <= 0 then invalid_arg "Genset.generate: tasks must be positive";
@@ -82,8 +122,7 @@ let generate_arrival ~rng ~composition ~tasks ~arrival =
   in
   let clock = ref 0.0 in
   List.init tasks (fun task_id ->
-      let mean = interarrival_mean arrival ~now_us:!clock in
-      clock := !clock +. Rng.exponential rng ~mean;
+      clock := next_arrival_us arrival ~rng ~now_us:!clock;
       let model_class = sample_class () in
       let point = Rng.choose rng (Sizes.points_of_class model_class) in
       { task_id; point; model_class; arrival_us = !clock; tenant = default_tenant })
@@ -93,19 +132,30 @@ let generate ~rng ~composition ~tasks ~mean_interarrival_us =
     ~arrival:(Exponential { mean_us = mean_interarrival_us })
 
 (* A tenant's slice of a multi-tenant workload: its own task count,
-   arrival process and fair-share weight. *)
+   arrival process, fair-share weight, scheduling priority and
+   (optionally) its own S/M/L composition. *)
 type tenant_load = {
   tl_name : string;
   tl_weight : float;
   tl_tasks : int;
   tl_arrival : arrival;
+  tl_priority : int;
+  tl_composition : composition option;
 }
 
-let tenant_load ?(weight = 1.0) ~tasks ~arrival name =
+let tenant_load ?(weight = 1.0) ?(priority = 0) ?composition ~tasks ~arrival name
+    =
   if weight <= 0.0 then invalid_arg "Genset.tenant_load: weight must be positive";
   if tasks <= 0 then invalid_arg "Genset.tenant_load: tasks must be positive";
   validate_arrival arrival;
-  { tl_name = name; tl_weight = weight; tl_tasks = tasks; tl_arrival = arrival }
+  {
+    tl_name = name;
+    tl_weight = weight;
+    tl_tasks = tasks;
+    tl_arrival = arrival;
+    tl_priority = priority;
+    tl_composition = composition;
+  }
 
 (* Each tenant draws its stream from its own generator (split off the
    seed in declaration order), so one tenant's parameters never
@@ -123,6 +173,7 @@ let generate_tenants ~seed ~composition loads =
     List.map
       (fun l ->
         let rng = Rng.split parent in
+        let composition = Option.value l.tl_composition ~default:composition in
         List.map
           (fun t -> { t with tenant = l.tl_name })
           (generate_arrival ~rng ~composition ~tasks:l.tl_tasks
@@ -140,6 +191,14 @@ let generate_tenants ~seed ~composition loads =
   let merged = List.fold_left (fun acc s -> List.merge cmp acc s) [] streams in
   List.mapi (fun i t -> { t with task_id = i }) merged
 
+(* One pass over the task list instead of a filter+length per class. *)
 let class_histogram tasks =
-  let count c = List.length (List.filter (fun t -> t.model_class = c) tasks) in
-  [ (Sizes.S, count Sizes.S); (Sizes.M, count Sizes.M); (Sizes.L, count Sizes.L) ]
+  let s = ref 0 and m = ref 0 and l = ref 0 in
+  List.iter
+    (fun t ->
+      match t.model_class with
+      | Sizes.S -> incr s
+      | Sizes.M -> incr m
+      | Sizes.L -> incr l)
+    tasks;
+  [ (Sizes.S, !s); (Sizes.M, !m); (Sizes.L, !l) ]

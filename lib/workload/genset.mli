@@ -31,7 +31,16 @@ type task = {
     [off_mean_us]), cycling from time 0 — the open/closed-loop stress
     pattern used by the serving-layer experiments.  The phase is
     chosen by the arrival clock at each draw, so the process stays
-    deterministic for a given seed. *)
+    deterministic for a given seed.
+
+    [Bursty] reads the phase once per draw, so a single quiet-phase
+    draw with [off_mean_us] larger than the cycle can leap across
+    entire busy windows and the busy rate silently collapses; it is
+    kept draw-identical for the benches pinned to its stream.
+    [Bursty_phased] takes the same parameters but clamps every draw
+    at the next phase boundary and re-draws from the boundary with
+    the new phase's mean (the exact piecewise-Poisson construction)
+    — prefer it for new traces. *)
 type arrival =
   | Exponential of { mean_us : float }
   | Bursty of {
@@ -39,6 +48,12 @@ type arrival =
       off_us : float;  (** quiet-phase length *)
       on_mean_us : float;  (** mean inter-arrival while busy *)
       off_mean_us : float;  (** mean inter-arrival while quiet *)
+    }
+  | Bursty_phased of {
+      on_us : float;
+      off_us : float;
+      on_mean_us : float;
+      off_mean_us : float;
     }
 
 (** [arrival_name a] e.g. ["burst(2000/8000us @ 50/2000us)"]. *)
@@ -74,13 +89,28 @@ type tenant_load = {
   tl_weight : float;  (** fair-share weight (feeds the SLO pool) *)
   tl_tasks : int;
   tl_arrival : arrival;
+  tl_priority : int;
+      (** scheduling priority; higher preempts lower (0 = best
+          effort).  Only consulted when the serving loop enables
+          preemption. *)
+  tl_composition : composition option;
+      (** overrides the run's composition for this tenant's stream;
+          [None] (the default) inherits it, leaving the draw sequence
+          bit-identical to the pre-override generator *)
 }
 
-(** [tenant_load name ~tasks ~arrival] with weight 1.
+(** [tenant_load name ~tasks ~arrival] with weight 1, priority 0 and
+    the inherited composition.
     @raise Invalid_argument on non-positive weight/tasks or bad
     arrival parameters. *)
 val tenant_load :
-  ?weight:float -> tasks:int -> arrival:arrival -> string -> tenant_load
+  ?weight:float ->
+  ?priority:int ->
+  ?composition:composition ->
+  tasks:int ->
+  arrival:arrival ->
+  string ->
+  tenant_load
 
 (** [generate_tenants ~seed ~composition loads] draws each tenant's
     stream from its own split of [seed] (one tenant's parameters never

@@ -10,6 +10,7 @@ module Mapping = Mlv_core.Mapping
 module Registry = Mlv_core.Registry
 module Runtime = Mlv_core.Runtime
 module Scale_out = Mlv_core.Scale_out
+module Defrag = Mlv_core.Defrag
 module Framework = Mlv_core.Framework
 module Hypervisor = Mlv_core.Hypervisor
 module Top_down = Mlv_core.Top_down
@@ -1340,6 +1341,115 @@ let prop_runtime_conservation =
       List.iter (Runtime.undeploy rt) !live;
       Cluster.total_free_vbs cluster = 55 && Runtime.deployments rt = [])
 
+(* ---------------- Fragmentation index & defrag ---------------- *)
+
+let test_fragmentation_shapes_agree () =
+  let npu = Lazy.force npu_result in
+  let mk indexed =
+    let registry = Registry.create () in
+    Registry.register registry npu.Framework.mapping;
+    Runtime.create ~policy:Runtime.greedy ~indexed (Cluster.create ()) registry
+  in
+  let rt_i = mk true and rt_n = mk false in
+  let agree label =
+    Alcotest.(check (float 1e-12))
+      (label ^ ": fragmentation agrees")
+      (Runtime.fragmentation rt_n) (Runtime.fragmentation rt_i);
+    Alcotest.(check int)
+      (label ^ ": whole-free agrees")
+      (Runtime.whole_free_nodes rt_n)
+      (Runtime.whole_free_nodes rt_i);
+    Alcotest.(check bool) (label ^ ": index consistent") true
+      (Runtime.index_consistent rt_i)
+  in
+  agree "empty";
+  Alcotest.(check (float 1e-12)) "empty cluster has no stranding" 0.0
+    (Runtime.fragmentation rt_i);
+  let deploy rt =
+    match Runtime.deploy rt ~accel:"npu-t6" with
+    | Ok d -> d
+    | Error e -> Alcotest.fail e
+  in
+  let di = List.init 5 (fun _ -> deploy rt_i) in
+  let dn = List.init 5 (fun _ -> deploy rt_n) in
+  agree "loaded";
+  List.iteri (fun i d -> if i mod 2 = 0 then Runtime.undeploy rt_i d) di;
+  List.iteri (fun i d -> if i mod 2 = 0 then Runtime.undeploy rt_n d) dn;
+  agree "after churn";
+  Runtime.mark_node_failed rt_i 0;
+  Runtime.mark_node_failed rt_n 0;
+  agree "node failed";
+  Runtime.restore_node rt_i 0;
+  Runtime.restore_node rt_n 0;
+  agree "restored"
+
+(* One stranded 6-VB deployment per device: plenty of free blocks in
+   aggregate, yet no whole device free.  A compaction pass must drain
+   stragglers until at least one frees up. *)
+let fragment_fixture () =
+  let npu = Lazy.force npu_result in
+  let registry = Registry.create () in
+  Registry.register registry npu.Framework.mapping;
+  let rt = Runtime.create ~policy:Runtime.greedy (Cluster.create ()) registry in
+  let ds =
+    List.init 7 (fun _ ->
+        match Runtime.deploy rt ~accel:"npu-t6" with
+        | Ok d -> d
+        | Error e -> Alcotest.fail e)
+  in
+  let seen = Hashtbl.create 4 in
+  List.iter
+    (fun d ->
+      match Runtime.nodes_used d with
+      | [ n ] when not (Hashtbl.mem seen n) -> Hashtbl.replace seen n ()
+      | _ -> Runtime.undeploy rt d)
+    ds;
+  rt
+
+let test_defrag_compacts () =
+  let rt = fragment_fixture () in
+  Alcotest.(check int) "no whole device free" 0 (Runtime.whole_free_nodes rt);
+  Alcotest.(check (float 1e-12)) "every free block stranded" 1.0
+    (Runtime.fragmentation rt);
+  let cfg = Defrag.config ~frag_threshold:0.25 ~min_node_fill:0.5 ~max_moves:8 () in
+  Alcotest.(check bool) "should run" true (Defrag.should_run cfg rt);
+  let pass = Defrag.run_pass cfg rt in
+  Alcotest.(check bool) "within budget" true (pass.Defrag.attempted <= 8);
+  Alcotest.(check bool) "moved something" true (pass.Defrag.moved > 0);
+  Alcotest.(check bool)
+    (Printf.sprintf "fragmentation fell (%.3f -> %.3f)" pass.Defrag.frag_before
+       pass.Defrag.frag_after)
+    true
+    (pass.Defrag.frag_after < pass.Defrag.frag_before);
+  Alcotest.(check bool) "a whole device freed" true
+    (pass.Defrag.whole_free_after > pass.Defrag.whole_free_before);
+  Alcotest.(check bool) "index consistent" true (Runtime.index_consistent rt)
+
+let test_defrag_gates () =
+  (* below the threshold a pass is a no-op *)
+  let npu = Lazy.force npu_result in
+  let registry = Registry.create () in
+  Registry.register registry npu.Framework.mapping;
+  let empty = Runtime.create ~policy:Runtime.greedy (Cluster.create ()) registry in
+  let cfg = Defrag.config () in
+  Alcotest.(check bool) "empty cluster below threshold" false
+    (Defrag.should_run cfg empty);
+  let pass = Defrag.run_pass cfg empty in
+  Alcotest.(check int) "no-op attempts nothing" 0 pass.Defrag.attempted;
+  (* the eligibility filter pins everything in place *)
+  let rt = fragment_fixture () in
+  let pass = Defrag.run_pass ~eligible:(fun _ -> false) cfg rt in
+  Alcotest.(check int) "nothing eligible, nothing attempted" 0
+    pass.Defrag.attempted;
+  Alcotest.(check (float 1e-12)) "fragmentation untouched"
+    pass.Defrag.frag_before pass.Defrag.frag_after;
+  (* a budget of one move attempts exactly one migration *)
+  let pass = Defrag.run_pass (Defrag.config ~max_moves:1 ()) rt in
+  Alcotest.(check int) "budget of one" 1 pass.Defrag.attempted;
+  Alcotest.check_raises "validation"
+    (Invalid_argument "Defrag.config: frag_threshold outside [0,1]") (fun () ->
+      ignore (Defrag.config ~frag_threshold:1.5 ()))
+
 
 let test_custom_accel_end_to_end () =
   (* A non-NPU accelerator through the whole flow: parse, decompose,
@@ -1480,6 +1590,13 @@ let () =
           Alcotest.test_case "failover loses when full" `Quick test_runtime_failover_loses_when_full;
           Alcotest.test_case "hypervisor failover" `Quick test_hypervisor_failover_commands;
           QCheck_alcotest.to_alcotest prop_runtime_conservation;
+        ] );
+      ( "defrag",
+        [
+          Alcotest.test_case "fragmentation shapes agree" `Quick
+            test_fragmentation_shapes_agree;
+          Alcotest.test_case "pass compacts" `Quick test_defrag_compacts;
+          Alcotest.test_case "gates and budget" `Quick test_defrag_gates;
         ] );
       ( "scale_out",
         [

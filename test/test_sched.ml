@@ -9,6 +9,7 @@ module Router = Mlv_sched.Router
 module Autoscaler = Mlv_sched.Autoscaler
 module Sysim = Mlv_sysim.Sysim
 module Runtime = Mlv_core.Runtime
+module Defrag = Mlv_core.Defrag
 module Registry = Mlv_core.Registry
 module Framework = Mlv_core.Framework
 module Cluster = Mlv_cluster.Cluster
@@ -152,6 +153,36 @@ let test_slo_tenant_pool_identity () =
     (Slo.tenant_rate_of gate "b");
   Alcotest.(check bool) "weighted tenant admits at least an equal peer" true
     (Slo.admitted_of_tenant gate "b" >= Slo.admitted_of_tenant gate "a")
+
+let test_slo_tenant_pool_burst_bound () =
+  (* Regression: flooring every tenant's burst at one token without
+     renormalizing minted capacity out of thin air — 100 tiny tenants
+     floored from 0.75 to 1.0 each overshot the pool by 25 tokens.
+     Water-filling pins floored tenants at exactly the floor and
+     re-splits the remainder by weight among the rest. *)
+  let heavy = Slo.tenant_spec ~weight:1.0 "heavy" in
+  let lights =
+    List.init 100 (fun i -> Slo.tenant_spec ~weight:0.01 (Printf.sprintf "t%02d" i))
+  in
+  let gate = Slo.create [] in
+  Slo.set_tenant_pool gate ~rate_per_s:1000.0 ~burst:150 (heavy :: lights);
+  Alcotest.(check (float 1e-9)) "light tenant pinned at the floor" 1.0
+    (Slo.tenant_burst_of gate "t00");
+  Alcotest.(check (float 1e-9)) "heavy absorbs the remainder" 50.0
+    (Slo.tenant_burst_of gate "heavy");
+  let total =
+    List.fold_left
+      (fun acc s -> acc +. Slo.tenant_burst_of gate s.Slo.tenant_name)
+      0.0 (heavy :: lights)
+  in
+  Alcotest.(check (float 1e-6)) "bursts sum to the pool" 150.0 total;
+  (* with nobody under the floor the split is the plain weighted one,
+     bit-identical to the pre-fix expression *)
+  let plain = Slo.create [] in
+  Slo.set_tenant_pool plain ~rate_per_s:100.0 ~burst:10
+    [ Slo.tenant_spec "a"; Slo.tenant_spec "b" ];
+  Alcotest.(check (float 1e-9)) "no-floor split unchanged" 5.0
+    (Slo.tenant_burst_of plain "a")
 
 (* ---------------- dynamic batching ---------------- *)
 
@@ -406,6 +437,37 @@ let test_autoscaler_p99_trigger () =
     (Autoscaler.decide acfg calm ~now_us:0.0 ~backlog:2 ~replicas:2 ~idle:0
        ~deadline_us:5000.0)
 
+let test_autoscaler_p99_window () =
+  (* Regression: the p99 tracker used to accumulate sojourns forever,
+     so one burst latched the breach trigger for the rest of the run
+     and the loop never scaled back down.  The windowed tracker ages a
+     burst out after two [p99_window_us] rotations. *)
+  let cfg =
+    Autoscaler.config ~cooldown_us:0.0 ~low_backlog_per_replica:1.0
+      ~p99_window_us:1_000.0 ()
+  in
+  let tr = Autoscaler.tracker ~name:"test.p99window" in
+  for _ = 1 to 100 do
+    Autoscaler.observe_sojourn tr 50_000.0
+  done;
+  Alcotest.check decision "burst breaches the deadline" Autoscaler.Scale_up
+    (Autoscaler.decide cfg tr ~now_us:10.0 ~backlog:2 ~replicas:2 ~idle:0
+       ~deadline_us:10_000.0);
+  (* first rotation: the burst moves to the previous epoch (still
+     visible — a breach must not vanish the instant the window turns) *)
+  ignore
+    (Autoscaler.decide cfg tr ~now_us:1_500.0 ~backlog:0 ~replicas:2 ~idle:1
+       ~deadline_us:10_000.0);
+  (* second rotation: the burst has aged out entirely; with a calm
+     queue and an idle replica the loop scales down (the pre-fix
+     cumulative tracker returned Scale_up here forever) *)
+  Alcotest.check decision "calm after the burst scales down"
+    Autoscaler.Scale_down
+    (Autoscaler.decide cfg tr ~now_us:3_000.0 ~backlog:0 ~replicas:2 ~idle:1
+       ~deadline_us:10_000.0);
+  Alcotest.(check (float 0.0)) "old samples aged out" 0.0
+    (Autoscaler.p99_sojourn_us tr)
+
 let test_autoscaler_validation () =
   let raises f =
     match f () with
@@ -490,6 +552,8 @@ let serving_config ?(tasks = 30) ?(autoscale = Some Autoscaler.default) () =
           batch = Batcher.config ~max_batch:4 ~max_linger_us:100.0 ();
           autoscale;
           tenant_pool = None;
+          preempt = false;
+          defrag = None;
         };
   }
 
@@ -585,6 +649,95 @@ let test_slo_classes_shed_under_pressure () =
   Alcotest.(check int) "accounting still closes" 40
     (r.Sysim.completed + r.Sysim.rejected + r.Sysim.shed);
   Alcotest.(check int) "none lost" 0 r.Sysim.lost
+
+(* ---------------- priority preemption ---------------- *)
+
+(* Two XCVU37P nodes, a best-effort tenant whose replicas hog the
+   fabric from t=0, and a priority tenant whose stream starts later
+   (slower arrivals) on a different composition so the two never share
+   a replica group: the priority tenant's bootstrap finds the fabric
+   full and must evict.  (Two nodes, not one: the priority tenant's
+   large models span devices, and a demand that cannot fit even an
+   empty cluster never evicts anyone.) *)
+let preempt_config ?(preempt = true) ?defrag ?bitstream_cache seed =
+  let base =
+    Sysim.default_config ~policy:Runtime.greedy ~composition:Genset.table1.(2)
+  in
+  {
+    base with
+    Sysim.seed;
+    cluster_kinds = [ Device.XCVU37P; Device.XCVU37P ];
+    tenants =
+      [
+        Genset.tenant_load ~priority:1 ~tasks:30
+          ~arrival:(Genset.Exponential { mean_us = 400.0 })
+          "gold";
+        Genset.tenant_load ~tasks:30
+          ~composition:Genset.table1.(1) (* 100% M: disjoint groups *)
+          ~arrival:(Genset.Exponential { mean_us = 20.0 })
+          "bulk";
+      ];
+    serving =
+      Some
+        {
+          Sysim.classes = [];
+          batch = Batcher.config ~max_batch:4 ~max_linger_us:100.0 ();
+          autoscale = None;
+          tenant_pool = None;
+          preempt;
+          defrag;
+        };
+    bitstream_cache;
+  }
+
+let check_preempt_identities ~label (r : Sysim.result) =
+  Alcotest.(check int) (label ^ ": global identity") 60
+    (r.Sysim.completed + r.Sysim.rejected + r.Sysim.shed + r.Sysim.preempted);
+  Alcotest.(check int) (label ^ ": none lost") 0 r.Sysim.lost;
+  List.iter
+    (fun (t : Sysim.tenant_stats) ->
+      Alcotest.(check int)
+        (Printf.sprintf "%s: tenant %s identity" label t.Sysim.tn_name)
+        t.Sysim.tn_arrived
+        (t.Sysim.tn_completed + t.Sysim.tn_shed + t.Sysim.tn_rejected
+       + t.Sysim.tn_preempted_lost))
+    r.Sysim.per_tenant
+
+let test_serving_preemption_accounting () =
+  (* property over seeds: under preemption pressure every task is
+     still accounted for, globally and per tenant *)
+  let total = ref 0 in
+  List.iter
+    (fun seed ->
+      let r = Sysim.run ~registry:(Lazy.force registry) (preempt_config seed) in
+      total := !total + r.Sysim.preemptions;
+      check_preempt_identities ~label:(Printf.sprintf "seed %d" seed) r;
+      if r.Sysim.preemptions > 0 then
+        Alcotest.(check bool)
+          (Printf.sprintf "seed %d: evictions lose in-flight work" seed)
+          true
+          (r.Sysim.preempted >= 0))
+    [ 1; 2; 3; 4; 5 ];
+  Alcotest.(check bool) "preemption exercised across seeds" true (!total > 0)
+
+let test_serving_preempt_defrag_cache_mix () =
+  (* all three features at once: identities still close, repeat
+     deployments consult the bitstream cache *)
+  let r =
+    Sysim.run ~registry:(Lazy.force registry)
+      (preempt_config
+         ~defrag:(Defrag.config ~frag_threshold:0.05 ~interval_us:500.0 ())
+         ~bitstream_cache:32 3)
+  in
+  check_preempt_identities ~label:"mix" r;
+  Alcotest.(check bool) "cache consulted" true
+    (r.Sysim.cache_hits + r.Sysim.cache_misses > 0);
+  (* preempt off on the same workload: no preemption-side effects *)
+  let off =
+    Sysim.run ~registry:(Lazy.force registry) (preempt_config ~preempt:false 3)
+  in
+  Alcotest.(check int) "preempt off: no evictions" 0 off.Sysim.preemptions;
+  Alcotest.(check int) "preempt off: nothing preempted" 0 off.Sysim.preempted
 
 (* ---------------- migrate rollback differential ---------------- *)
 
@@ -718,6 +871,8 @@ let () =
           Alcotest.test_case "validation" `Quick test_slo_validation;
           Alcotest.test_case "accounting identity" `Quick
             test_slo_accounting_identity;
+          Alcotest.test_case "tenant pool burst bound" `Quick
+            test_slo_tenant_pool_burst_bound;
           Alcotest.test_case "tenant pool identity" `Quick
             test_slo_tenant_pool_identity;
         ] );
@@ -744,6 +899,8 @@ let () =
             test_autoscaler_bootstrap_and_cooldown;
           Alcotest.test_case "watermarks" `Quick test_autoscaler_watermarks;
           Alcotest.test_case "p99 trigger" `Quick test_autoscaler_p99_trigger;
+          Alcotest.test_case "p99 window ages out" `Quick
+            test_autoscaler_p99_window;
           Alcotest.test_case "validation" `Quick test_autoscaler_validation;
         ] );
       ( "workload",
@@ -761,6 +918,10 @@ let () =
           Alcotest.test_case "percentiles match histogram" `Quick
             test_percentiles_match_histogram;
           Alcotest.test_case "slo classes shed" `Quick test_slo_classes_shed_under_pressure;
+          Alcotest.test_case "preemption accounting" `Quick
+            test_serving_preemption_accounting;
+          Alcotest.test_case "preempt+defrag+cache mix" `Quick
+            test_serving_preempt_defrag_cache_mix;
         ] );
       ( "migrate",
         [

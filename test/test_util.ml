@@ -91,6 +91,29 @@ let test_stats_stddev () =
   (* population stddev: variance = (4 + 0 + 4) / 3 *)
   Alcotest.(check (float 1e-6)) "known" (sqrt (8.0 /. 3.0)) (Stats.stddev [ 1.0; 3.0; 5.0 ])
 
+(* Regression for the single-pass rewrites: [mean] must stay
+   bit-identical to the old sum-then-length fold (it feeds the system
+   simulation's deterministic digests), and Welford's [stddev] must
+   match a two-pass reference within rounding on an order-sensitive
+   sample mixing magnitudes. *)
+let test_stats_single_pass_exact () =
+  let xs = [ 1e12; 3.25; -7.5; 1e-3; 42.0; -1e12; 0.125; 9.75 ] in
+  let two_pass_mean l =
+    List.fold_left ( +. ) 0.0 l /. float_of_int (List.length l)
+  in
+  (* exact equality, not a tolerance: same adds in the same order *)
+  Alcotest.(check bool) "mean bit-identical to fold" true
+    (Stats.mean xs = two_pass_mean xs);
+  let two_pass_stddev l =
+    let m = two_pass_mean l in
+    let ss = List.fold_left (fun a x -> a +. ((x -. m) *. (x -. m))) 0.0 l in
+    sqrt (ss /. float_of_int (List.length l))
+  in
+  let ys = [ 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 ] in
+  Alcotest.(check (float 1e-9)) "welford known case" 2.0 (Stats.stddev ys);
+  Alcotest.(check (float 1e-6)) "welford matches two-pass"
+    (two_pass_stddev ys) (Stats.stddev ys)
+
 let test_stats_percentile () =
   let xs = [ 1.0; 2.0; 3.0; 4.0; 5.0 ] in
   Alcotest.(check (float 1e-9)) "p0" 1.0 (Stats.percentile 0.0 xs);
@@ -494,6 +517,8 @@ let () =
         [
           Alcotest.test_case "mean" `Quick test_stats_mean;
           Alcotest.test_case "stddev" `Quick test_stats_stddev;
+          Alcotest.test_case "single-pass exactness" `Quick
+            test_stats_single_pass_exact;
           Alcotest.test_case "percentile" `Quick test_stats_percentile;
           Alcotest.test_case "percentile rejects NaN" `Quick test_stats_percentile_nan;
           Alcotest.test_case "median interpolation" `Quick test_stats_median_interpolates;

@@ -118,6 +118,52 @@ let bs ?(vbs = 3) ?(device = Device.XCVU37P) () =
 let test_bitstream_id () =
   Alcotest.(check string) "id" "npu-t21/p1/0@XCVU37P" (Bitstream.id (bs ()))
 
+(* ---------------- Bitstream cache ---------------- *)
+
+let part i =
+  Bitstream.make ~accel_name:"npu-t21"
+    ~partition_id:(Printf.sprintf "p%d/0" i)
+    ~device:Device.XCVU37P ~vbs:3 ~crossings:1 ~freq_mhz:400.0 ~tiles:11
+
+let test_cache_hit_pricing () =
+  let c = Bitstream.Cache.create ~capacity:4 ~hit_cost_factor:0.1 () in
+  Alcotest.(check (float 1e-9)) "miss pays full" 100.0
+    (Bitstream.Cache.charge c (part 0) ~base_us:100.0);
+  Alcotest.(check (float 1e-9)) "hit pays the factor" 10.0
+    (Bitstream.Cache.charge c (part 0) ~base_us:100.0);
+  Alcotest.(check int) "one hit" 1 (Bitstream.Cache.hits c);
+  Alcotest.(check int) "one miss" 1 (Bitstream.Cache.misses c);
+  Alcotest.(check (float 1e-9)) "hit rate" 0.5 (Bitstream.Cache.hit_rate c);
+  (* the same partition on a different device kind is a different key *)
+  let other =
+    Bitstream.make ~accel_name:"npu-t21" ~partition_id:"p0/0"
+      ~device:Device.XCKU115 ~vbs:3 ~crossings:1 ~freq_mhz:400.0 ~tiles:11
+  in
+  Alcotest.(check (float 1e-9)) "kind is part of the key" 100.0
+    (Bitstream.Cache.charge c other ~base_us:100.0)
+
+let test_cache_lru_eviction () =
+  let c = Bitstream.Cache.create ~capacity:2 () in
+  ignore (Bitstream.Cache.charge c (part 0) ~base_us:1.0);
+  ignore (Bitstream.Cache.charge c (part 1) ~base_us:1.0);
+  (* touch p0 so p1 becomes the LRU entry *)
+  ignore (Bitstream.Cache.charge c (part 0) ~base_us:1.0);
+  ignore (Bitstream.Cache.charge c (part 2) ~base_us:1.0);
+  Alcotest.(check int) "capacity held" 2 (Bitstream.Cache.length c);
+  Alcotest.(check int) "one eviction" 1 (Bitstream.Cache.evictions c);
+  Alcotest.(check bool) "recently-used survives" true
+    (Bitstream.Cache.mem c (part 0));
+  Alcotest.(check bool) "LRU evicted" false (Bitstream.Cache.mem c (part 1));
+  Alcotest.(check bool) "newcomer cached" true (Bitstream.Cache.mem c (part 2))
+
+let test_cache_validation () =
+  Alcotest.check_raises "zero capacity"
+    (Invalid_argument "Bitstream.Cache.create: capacity <= 0")
+    (fun () -> ignore (Bitstream.Cache.create ~capacity:0 ()));
+  Alcotest.check_raises "bad factor"
+    (Invalid_argument "Bitstream.Cache.create: hit_cost_factor outside [0,1]")
+    (fun () -> ignore (Bitstream.Cache.create ~hit_cost_factor:1.5 ()))
+
 (* ---------------- Controller ---------------- *)
 
 let test_controller_load_unload () =
@@ -272,7 +318,13 @@ let () =
           Alcotest.test_case "bfd errors" `Quick test_compile_bfd_errors;
           QCheck_alcotest.to_alcotest prop_packing_capacity;
         ] );
-      ("bitstream", [ Alcotest.test_case "id" `Quick test_bitstream_id ]);
+      ( "bitstream",
+        [
+          Alcotest.test_case "id" `Quick test_bitstream_id;
+          Alcotest.test_case "cache hit pricing" `Quick test_cache_hit_pricing;
+          Alcotest.test_case "cache LRU eviction" `Quick test_cache_lru_eviction;
+          Alcotest.test_case "cache validation" `Quick test_cache_validation;
+        ] );
       ( "controller",
         [
           Alcotest.test_case "load/unload" `Quick test_controller_load_unload;

@@ -116,6 +116,53 @@ let test_generate_validation () =
        false
      with Invalid_argument _ -> true)
 
+(* Regression: the legacy [Bursty] process reads the phase once per
+   draw, so a long busy-phase draw can overshoot into the quiet window
+   and land an arrival where the trace says the source is silent.
+   [Bursty_phased] clamps each draw at phase boundaries (restarting
+   the memoryless draw at the boundary rate), so with an essentially
+   silent quiet phase no arrival may fall inside it. *)
+let test_bursty_phase_overshoot () =
+  let on_us = 2_000.0 and off_us = 8_000.0 in
+  let on_mean_us = 50.0 and off_mean_us = 1e9 in
+  let in_off t = Float.rem t (on_us +. off_us) >= on_us in
+  let arrivals arrival =
+    Genset.generate_arrival ~rng:(Rng.create 11) ~composition:Genset.table1.(0)
+      ~tasks:300 ~arrival
+    |> List.map (fun t -> t.Genset.arrival_us)
+  in
+  let legacy =
+    arrivals (Genset.Bursty { on_us; off_us; on_mean_us; off_mean_us })
+  in
+  let phased =
+    arrivals (Genset.Bursty_phased { on_us; off_us; on_mean_us; off_mean_us })
+  in
+  let off_count xs = List.length (List.filter in_off xs) in
+  (* the legacy process demonstrably overshoots (this is the bug) ... *)
+  Alcotest.(check bool) "legacy overshoots into quiet phase" true
+    (off_count legacy > 0);
+  (* ... and the phased process never does *)
+  Alcotest.(check int) "phased stays inside busy phases" 0 (off_count phased)
+
+(* Regression for the single-pass [class_histogram]: it must count
+   exactly what per-class filters count, with every class present. *)
+let test_class_histogram_single_pass () =
+  let tasks =
+    Genset.generate ~rng:(Rng.create 7) ~composition:Genset.table1.(6)
+      ~tasks:500 ~mean_interarrival_us:10.0
+  in
+  let hist = Genset.class_histogram tasks in
+  Alcotest.(check int) "three buckets" 3 (List.length hist);
+  List.iter
+    (fun c ->
+      let naive =
+        List.length (List.filter (fun t -> t.Genset.model_class = c) tasks)
+      in
+      Alcotest.(check int) (Sizes.name c) naive (List.assoc c hist))
+    [ Sizes.S; Sizes.M; Sizes.L ];
+  Alcotest.(check int) "buckets sum to tasks" 500
+    (List.fold_left (fun a (_, n) -> a + n) 0 hist)
+
 (* Property: generated points always belong to their class. *)
 let prop_class_consistent =
   QCheck.Test.make ~name:"task class matches point" ~count:30 QCheck.(int_range 0 9)
@@ -184,6 +231,10 @@ let () =
           Alcotest.test_case "arrivals sorted" `Quick test_generate_arrivals_sorted;
           Alcotest.test_case "composition respected" `Quick test_generate_composition_respected;
           Alcotest.test_case "validation" `Quick test_generate_validation;
+          Alcotest.test_case "bursty phase overshoot" `Quick
+            test_bursty_phase_overshoot;
+          Alcotest.test_case "class histogram single pass" `Quick
+            test_class_histogram_single_pass;
           QCheck_alcotest.to_alcotest prop_class_consistent;
         ] );
       ( "metrics",
