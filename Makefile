@@ -3,7 +3,8 @@
 .PHONY: all build check fmt test bench bench-place bench-place-smoke \
 	bench-faults bench-faults-smoke bench-trace bench-trace-smoke \
 	bench-sched bench-sched-smoke bench-sim bench-sim-smoke \
-	bench-scale bench-scale-smoke bench-defrag bench-defrag-smoke clean
+	bench-scale bench-scale-smoke bench-defrag bench-defrag-smoke \
+	bench-watch bench-watch-smoke bench-diff clean
 
 all: build
 
@@ -38,9 +39,14 @@ test:
 # allocation-free; bench-defrag-smoke asserts the defragmenter lowers
 # the fragmentation index and raises large-deployment admission on a
 # churn trace, that the bitstream cache hits, and that priority
-# preemption does not lower the priority tenant's goodput.
+# preemption does not lower the priority tenant's goodput;
+# bench-watch-smoke asserts telemetry leaves every simulated result
+# bit-identical, detects each injected outage within two scrape
+# intervals with zero false positives on the fault-free run, and that
+# a burn-rate rule fires on a tenant burning its SLO budget.
 check: build fmt test bench-place-smoke bench-faults-smoke bench-trace-smoke \
-	bench-sched-smoke bench-sim-smoke bench-scale-smoke bench-defrag-smoke
+	bench-sched-smoke bench-sim-smoke bench-scale-smoke bench-defrag-smoke \
+	bench-watch-smoke
 
 # Regenerates every table/figure and leaves BENCH_obs.json (the
 # observability registry of the run) next to the console output.
@@ -133,6 +139,41 @@ bench-defrag:
 # same assertions.
 bench-defrag-smoke:
 	dune exec bench/defrag.exe -- --smoke --out BENCH_defrag_smoke.json
+
+# Streaming-telemetry benchmark: alert detection latency on injected
+# outage windows, false positives on a fault-free trace, burn-rate
+# firing on an overloaded tenant, and the scrape loop's wall overhead
+# on a dense serving workload (asserted ≤5%, median of paired off/on
+# runs); writes BENCH_watch.json.
+bench-watch:
+	dune exec bench/watch.exe -- --out BENCH_watch.json
+
+# Fast variant for `make check`: same bit-identity, detection-latency
+# and false-positive assertions; reports overhead without asserting it
+# (short runs are wall-clock noise).
+bench-watch-smoke:
+	dune exec bench/watch.exe -- --smoke --out BENCH_watch_smoke.json
+
+# Regression guard: regenerate the cheap smoke artifacts under /tmp
+# and compare their throughput-like keys against the committed ones.
+# The 50% budget is deliberately loose — these are wall-clock numbers
+# from a shared machine; the guard is for order-of-magnitude cliffs
+# (an accidentally quadratic path), not percent-level noise.
+bench-diff: build
+	dune exec bench/place.exe -- --nodes 64 --ops 400 \
+	  --out /tmp/BENCH_place_smoke.json --assert-speedup 1
+	dune exec bench/sim.exe -- --events 100000 --pending 20000 --reps 2 \
+	  --out /tmp/BENCH_sim_smoke.json --assert-speedup 1
+	dune exec bench/scale.exe -- --smoke --out /tmp/BENCH_scale_smoke.json
+	dune exec bench/benchdiff.exe -- --ref BENCH_place_smoke.json \
+	  --new /tmp/BENCH_place_smoke.json --key indexed.deploys_per_s \
+	  --max-regress 50
+	dune exec bench/benchdiff.exe -- --ref BENCH_sim_smoke.json \
+	  --new /tmp/BENCH_sim_smoke.json --key wheel.events_per_s \
+	  --max-regress 50
+	dune exec bench/benchdiff.exe -- --ref BENCH_scale_smoke.json \
+	  --new /tmp/BENCH_scale_smoke.json --key indexed.tasks_per_s \
+	  --max-regress 50
 
 clean:
 	dune clean

@@ -1,0 +1,96 @@
+(* Benchmark regression guard: compare a freshly generated BENCH JSON
+   against a committed reference and fail when a higher-is-better
+   metric regressed by more than the allowed percentage.
+
+   Keys are dotted paths into the JSON object tree
+   (e.g. serving_preempt.goodput_per_s); list elements are addressed
+   by index (e.g. detection_latencies_us.0).  Each --key is checked
+   with the same --max-regress budget; a key missing from either file
+   is an error, as is a non-numeric value.
+
+   Usage:
+     benchdiff.exe --ref BENCH_x.json --new /tmp/BENCH_x.json \
+       --key goodput_per_s [--key ...] [--max-regress PCT]
+
+   `make bench-diff` regenerates the smoke artifacts under /tmp and
+   diffs their throughput-like keys against the committed ones. *)
+
+module Obs = Mlv_obs.Obs
+
+let fail fmt = Printf.ksprintf (fun s -> prerr_endline ("FAIL: " ^ s); exit 1) fmt
+
+let read_json path =
+  let ic =
+    try open_in path with Sys_error e -> fail "cannot open %s: %s" path e
+  in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  match Obs.Json.parse s with
+  | Some j -> j
+  | None -> fail "%s is not valid JSON" path
+
+(* Walk one dotted-path step: object field, or list index when the
+   step is all digits. *)
+let step json field =
+  match json with
+  | Obs.Json.Obj kvs -> List.assoc_opt field kvs
+  | Obs.Json.List l -> (
+    match int_of_string_opt field with
+    | Some i -> List.nth_opt l i
+    | None -> None)
+  | _ -> None
+
+let lookup path json =
+  let fields = String.split_on_char '.' path in
+  List.fold_left
+    (fun acc field ->
+      match acc with None -> None | Some j -> step j field)
+    (Some json) fields
+
+let number path file = function
+  | Some (Obs.Json.Int i) -> float_of_int i
+  | Some (Obs.Json.Float f) -> f
+  | Some _ -> fail "%s: %s is not a number" file path
+  | None -> fail "%s: no value at %s" file path
+
+let () =
+  let ref_file = ref ""
+  and new_file = ref ""
+  and keys = ref []
+  and max_regress = ref 10.0 in
+  Arg.parse
+    [
+      ("--ref", Arg.Set_string ref_file, "committed reference JSON");
+      ("--new", Arg.Set_string new_file, "freshly generated JSON");
+      ( "--key",
+        Arg.String (fun k -> keys := k :: !keys),
+        "dotted path to a higher-is-better metric (repeatable)" );
+      ( "--max-regress",
+        Arg.Set_float max_regress,
+        "allowed regression in percent (default 10)" );
+    ]
+    (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
+    "benchmark regression guard";
+  if !ref_file = "" || !new_file = "" then fail "--ref and --new are required";
+  if !keys = [] then fail "at least one --key is required";
+  if !max_regress < 0.0 then fail "--max-regress must be non-negative";
+  let reference = read_json !ref_file and fresh = read_json !new_file in
+  let regressed = ref 0 in
+  List.iter
+    (fun key ->
+      let r = number key !ref_file (lookup key reference) in
+      let n = number key !new_file (lookup key fresh) in
+      let floor = r *. (1.0 -. (!max_regress /. 100.0)) in
+      let delta_pct = if r <> 0.0 then (n -. r) /. r *. 100.0 else 0.0 in
+      let ok = n >= floor in
+      Printf.printf "%-40s ref %14.4f  new %14.4f  %+6.1f%%  %s\n%!" key r n
+        delta_pct
+        (if ok then "ok" else "REGRESSED");
+      if not ok then incr regressed)
+    (List.rev !keys);
+  if !regressed > 0 then
+    fail "%d of %d key(s) regressed more than %.1f%%" !regressed
+      (List.length !keys) !max_regress;
+  Printf.printf "all %d key(s) within %.1f%% of %s\n%!" (List.length !keys)
+    !max_regress !ref_file

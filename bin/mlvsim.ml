@@ -125,6 +125,17 @@ let report ?faults ?serving set composition policy tasks seed (r : Sysim.result)
       (100.0
       *. float_of_int r.Sysim.cache_hits
       /. float_of_int (r.Sysim.cache_hits + r.Sysim.cache_misses));
+  if r.Sysim.scrapes > 0 then begin
+    Printf.printf "  scrapes:         %d\n" r.Sysim.scrapes;
+    Printf.printf "  alert events:    %d\n" (List.length r.Sysim.alert_transitions);
+    List.iter
+      (fun (tr : Mlv_obs.Alert.transition) ->
+        Printf.printf "    %12.1f us  %-20s %-8s value=%.4f\n"
+          tr.Mlv_obs.Alert.at_us tr.Mlv_obs.Alert.rule_name
+          (Mlv_obs.Alert.event_name tr.Mlv_obs.Alert.event)
+          tr.Mlv_obs.Alert.value)
+      r.Sysim.alert_transitions
+  end;
   (match Mlv_workload.Metrics.summarize (List.map (fun l -> l /. 1000.0) r.Sysim.latencies_us) with
   | Some s ->
     Format.printf "  latency (ms):    %a@." (Mlv_workload.Metrics.pp_summary ~unit_name:"ms") s
@@ -132,7 +143,7 @@ let report ?faults ?serving set composition policy tasks seed (r : Sysim.result)
 
 let run set policy tasks seed interarrival repeats compare fault_plan max_retries
     burst batch autoscale slo tenants preempt defrag bitstream_cache engine
-    metrics_out trace_out =
+    metrics_out trace_out scrape_interval alerts series_out prom_out =
   let ( let* ) r f = Result.bind r f in
   let parsed =
     let* faults =
@@ -192,6 +203,32 @@ let run set policy tasks seed interarrival repeats compare fault_plan max_retrie
             defrag = (if defrag then Some Mlv_core.Defrag.default else None);
           }
     in
+    let* rules =
+      match alerts with
+      | None -> Ok []
+      | Some s -> (
+        match Mlv_obs.Alert.of_string s with
+        | Ok rs -> Ok rs
+        | Error e -> Error ("bad --alerts: " ^ e))
+    in
+    (* --alerts alone enables telemetry at the default cadence;
+       --scrape-interval alone publishes series with no rules. *)
+    let* telemetry =
+      match (scrape_interval, rules) with
+      | None, [] -> Ok None
+      | Some iv, _ when not (iv > 0.0) ->
+        Error "--scrape-interval must be positive"
+      | iv, rules ->
+        Ok
+          (Some
+             {
+               Sysim.default_telemetry with
+               Sysim.rules;
+               scrape_interval_us =
+                 Option.value iv
+                   ~default:Sysim.default_telemetry.Sysim.scrape_interval_us;
+             })
+    in
     if serving <> None && faults <> None then
       Error
         "serving flags (--batch/--slo/--autoscale/--preempt/--defrag) do not \
@@ -202,7 +239,7 @@ let run set policy tasks seed interarrival repeats compare fault_plan max_retrie
       Error "--preempt needs --tenants >= 2 (the first tenant gets priority)"
     else if bitstream_cache < 0 then
       Error "--bitstream-cache must be non-negative"
-    else Ok (faults, arrival, serving)
+    else Ok (faults, arrival, serving, telemetry)
   in
   match parsed with
   | Error e ->
@@ -211,7 +248,7 @@ let run set policy tasks seed interarrival repeats compare fault_plan max_retrie
   | Ok _ when set < 1 || set > 10 ->
     prerr_endline "workload set must be 1..10";
     1
-  | Ok (faults, arrival, serving) ->
+  | Ok (faults, arrival, serving, telemetry) ->
     Mlv_cluster.Sim.set_default_engine engine;
     if trace_out <> None then Mlv_obs.Obs.Trace.set_enabled true;
     Printf.printf "building the mapping database (10 accelerator instances)...\n%!";
@@ -253,6 +290,7 @@ let run set policy tasks seed interarrival repeats compare fault_plan max_retrie
           tenants = tenant_loads;
           bitstream_cache =
             (if bitstream_cache > 0 then Some bitstream_cache else None);
+          telemetry;
         }
       in
       report ?faults ?serving set composition policy tasks seed
@@ -287,7 +325,37 @@ let run set policy tasks seed interarrival repeats compare fault_plan max_retrie
           Printf.eprintf "cannot write trace: %s\n" e;
           1)
     in
-    max wrote_metrics wrote_trace
+    let wrote_series =
+      match series_out with
+      | None -> 0
+      | Some path -> (
+        try
+          let oc = open_out path in
+          Fun.protect
+            ~finally:(fun () -> close_out oc)
+            (fun () ->
+              output_string oc
+                (Mlv_obs.Obs.Json.to_string (Mlv_obs.Series.registry_json ()));
+              output_char oc '\n');
+          Printf.printf "series written to %s\n" path;
+          0
+        with Sys_error e ->
+          Printf.eprintf "cannot write series: %s\n" e;
+          1)
+    in
+    let wrote_prom =
+      match prom_out with
+      | None -> 0
+      | Some path -> (
+        try
+          Mlv_obs.Prometheus.write path;
+          Printf.printf "prometheus exposition written to %s\n" path;
+          0
+        with Sys_error e ->
+          Printf.eprintf "cannot write prometheus exposition: %s\n" e;
+          1)
+    in
+    max (max wrote_metrics wrote_trace) (max wrote_series wrote_prom)
 
 let set_arg =
   Arg.(value & opt int 7 & info [ "set" ] ~docv:"N" ~doc:"Table-1 workload set (1-10)")
@@ -453,6 +521,51 @@ let trace_out_arg =
            Chrome-trace-event JSON to $(docv) after the run (load it \
            in ui.perfetto.dev or chrome://tracing)")
 
+let scrape_interval_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "scrape-interval" ] ~docv:"US"
+        ~doc:
+          "Enable streaming telemetry: every $(docv) microseconds of \
+           simulated time a scrape tick samples throughput, queue depth, \
+           node health and windowed p99 sojourn into time-series rings \
+           and evaluates any $(b,--alerts) rules.  Unset (the default), \
+           no ticks are scheduled and results are bit-identical to \
+           telemetry-free builds")
+
+let alerts_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "alerts" ] ~docv:"RULES"
+        ~doc:
+          "Alert rules evaluated at each scrape tick, ';'-separated: \
+           'NAME gt|lt SERIES THRESHOLD WINDOW FOR COOLDOWN' or 'NAME \
+           burn BAD TOTAL OBJECTIVE FACTOR LONG SHORT FOR COOLDOWN' \
+           (e.g. 'outage gt sysim.nodes_down 0 1 1 0').  Implies \
+           telemetry at the default cadence when $(b,--scrape-interval) \
+           is unset")
+
+let series_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "series-out" ] ~docv:"FILE"
+        ~doc:
+          "Write every telemetry time-series (ring contents and totals) \
+           as JSON to $(docv) after the run")
+
+let prom_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "prom-out" ] ~docv:"FILE"
+        ~doc:
+          "Write a Prometheus/OpenMetrics text exposition (counters, \
+           histogram summaries, latest series values) to $(docv) after \
+           the run")
+
 let () =
   let info =
     Cmd.info "mlvsim" ~version:"1.0.0"
@@ -464,6 +577,7 @@ let () =
       $ repeats_arg $ compare_arg $ fault_plan_arg $ max_retries_arg
       $ burst_arg $ batch_arg $ autoscale_arg $ slo_arg $ tenants_arg
       $ preempt_arg $ defrag_arg $ bitstream_cache_arg $ engine_arg
-      $ metrics_out_arg $ trace_out_arg)
+      $ metrics_out_arg $ trace_out_arg $ scrape_interval_arg $ alerts_arg
+      $ series_out_arg $ prom_out_arg)
   in
   exit (Cmd.eval' (Cmd.v info term))

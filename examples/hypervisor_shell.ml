@@ -109,6 +109,12 @@ let () =
       "timeline";
       "top";
       "timeline off";
+      (* streaming telemetry: install an alert rule over a live
+         series, evaluate it against the session clock, inspect *)
+      "alert add outage gt sysim.nodes_down 0 1 1 0";
+      "alerts";
+      "alerts eval";
+      "series";
       "counters reset";
       "trace deploy";
     ]

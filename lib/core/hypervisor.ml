@@ -1,4 +1,6 @@
 module Obs = Mlv_obs.Obs
+module Series = Mlv_obs.Series
+module Alert = Mlv_obs.Alert
 module Cluster = Mlv_cluster.Cluster
 module Network = Mlv_cluster.Network
 module Sim = Mlv_cluster.Sim
@@ -19,6 +21,9 @@ type t = {
   mutable gate : Slo.t;
   mutable autoscale : bool;
   autoscale_cfg : Autoscaler.config;
+  alert_engine : Alert.t;
+      (* rules added via [alert add], evaluated on demand by [alerts
+         eval] against the live series registry *)
 }
 
 let create runtime =
@@ -31,6 +36,7 @@ let create runtime =
     gate = Slo.create [];
     autoscale = false;
     autoscale_cfg = Autoscaler.default;
+    alert_engine = Alert.create [];
   }
 
 let live_handles t =
@@ -42,7 +48,8 @@ let help =
    faults | index | slo [add <class> <prio> <deadline_us> <rate/s> <burst> | \
    check <class> | shed <prio|off>] | router [dispatch <accel> | done <id>] | \
    autoscale [on|off | eval <accel>] | metrics [json] | trace <substring> | \
-   timeline [on|off] | top | counters reset | help"
+   timeline [on|off] | top | series [<name>] | alerts [eval] | \
+   alert add <rule-spec> | counters reset | help"
 
 let now_us t = Sim.now (Runtime.cluster t.runtime).Cluster.sim
 
@@ -367,6 +374,50 @@ let do_autoscale_show t =
     c.Autoscaler.idle_timeout_us c.Autoscaler.min_replicas
     c.Autoscaler.max_replicas
 
+(* ------------------------------------------------------------------ *)
+(* Telemetry: windowed series and alert rules                          *)
+(* ------------------------------------------------------------------ *)
+
+let do_series_list () =
+  Printf.sprintf "ok series=%d\n%s"
+    (List.length (Series.all ()))
+    (Series.render ())
+
+let do_series_show name =
+  match Series.find name with
+  | None -> Printf.sprintf "error unknown series %S (try series)" name
+  | Some s ->
+    let pts = Series.points s in
+    String.concat "\n"
+      (Printf.sprintf "ok kind=%s interval=%gus live=%d total=%d"
+         (Series.kind_name (Series.kind s))
+         (Series.interval_us s) (List.length pts) (Series.total_count s)
+      :: List.map
+           (fun (t0, n, v) -> Printf.sprintf "  %.1fus n=%d v=%.4f" t0 n v)
+           pts)
+
+let do_alerts t =
+  Printf.sprintf "ok rules=%d firing=%d\n%s"
+    (List.length (Alert.rules t.alert_engine))
+    (List.length (Alert.firing t.alert_engine))
+    (Alert.render t.alert_engine)
+
+let do_alerts_eval t =
+  Alert.eval t.alert_engine ~now_us:(now_us t);
+  Printf.sprintf "ok evaluated rules=%d firing=%d now=%.1f"
+    (List.length (Alert.rules t.alert_engine))
+    (List.length (Alert.firing t.alert_engine))
+    (now_us t)
+
+let do_alert_add t spec =
+  match Alert.of_string spec with
+  | Error e -> "error " ^ e
+  | Ok rules -> (
+    try
+      List.iter (Alert.add_rule t.alert_engine) rules;
+      Printf.sprintf "ok rules=%d" (List.length (Alert.rules t.alert_engine))
+    with Invalid_argument e -> "error " ^ e)
+
 (* Run a fault plan to completion on the cluster's simulator: crashes
    fail over (as the [fail] command does), restores return capacity,
    degrades program the ring delay. *)
@@ -495,6 +546,14 @@ let handle t line =
     "ok tracing=off"
   | "timeline" :: _ -> "error usage: timeline [on|off]"
   | [ "top" ] -> do_top t
+  | [ "series" ] -> do_series_list ()
+  | [ "series"; name ] -> do_series_show name
+  | "series" :: _ -> "error usage: series [<name>]"
+  | [ "alerts" ] -> do_alerts t
+  | [ "alerts"; "eval" ] -> do_alerts_eval t
+  | "alerts" :: _ -> "error usage: alerts [eval]"
+  | "alert" :: "add" :: (_ :: _ as spec) -> do_alert_add t (String.concat " " spec)
+  | "alert" :: _ -> "error usage: alert add <rule-spec>"
   | [ "counters"; "reset" ] ->
     Obs.reset ();
     "ok"

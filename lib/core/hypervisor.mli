@@ -74,6 +74,21 @@
                                 per-node occupancy/completions and
                                 per-kind sojourn latency, read from
                                 the labeled sysim metric series
+      series                ->  ok series=<n> followed by one line per
+                                registered telemetry time-series
+                                (kind, interval, live buckets, totals)
+      series <name>         ->  ok kind=<k> interval=<us> live=<n>
+                                total=<m> followed by the live ring's
+                                buckets (start time, count, value)
+      alerts                ->  ok rules=<n> firing=<m> followed by
+                                per-rule state and the transition log
+      alerts eval           ->  ok evaluated rules=<n> firing=<m>
+                                now=<t>   evaluate every rule once at
+                                the cluster's current sim time
+      alert add <rule-spec> ->  ok rules=<n>
+                                add ';'-separated Alert rules (grammar
+                                in Mlv_obs.Alert: threshold and
+                                burn-rate forms)
       counters reset        ->  ok   (zeroes counters/histograms/spans)
       help                  ->  ok <command list>
     v} *)

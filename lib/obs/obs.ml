@@ -194,6 +194,195 @@ module Json = struct
     with
     | complete -> complete
     | exception Exit -> false
+
+  (* Recursive-descent parser for one complete JSON value; [None] on
+     malformed input.  bench/benchdiff.ml reads committed BENCH_*.json
+     artifacts back through this, so it accepts what [to_string] emits
+     (and standard JSON generally).  Numbers without a fraction or
+     exponent that fit in [int] parse as [Int]; everything else as
+     [Float]. *)
+  let parse s =
+    let n = String.length s in
+    let pos = ref 0 in
+    let peek () = if !pos < n then Some s.[!pos] else None in
+    let advance () = incr pos in
+    let skip_ws () =
+      while
+        !pos < n && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+      do
+        advance ()
+      done
+    in
+    let fail () = raise Exit in
+    let expect c = match peek () with Some x when x = c -> advance () | _ -> fail () in
+    let literal word v =
+      let l = String.length word in
+      if !pos + l <= n && String.sub s !pos l = word then begin
+        pos := !pos + l;
+        v
+      end
+      else fail ()
+    in
+    (* Encode a \uXXXX escape as UTF-8 (no surrogate-pair pairing —
+       our own emitter only escapes control characters). *)
+    let add_code_point buf cp =
+      if cp < 0x80 then Buffer.add_char buf (Char.chr cp)
+      else if cp < 0x800 then begin
+        Buffer.add_char buf (Char.chr (0xc0 lor (cp lsr 6)));
+        Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3f)))
+      end
+      else begin
+        Buffer.add_char buf (Char.chr (0xe0 lor (cp lsr 12)));
+        Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3f)));
+        Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3f)))
+      end
+    in
+    let rec value () =
+      skip_ws ();
+      match peek () with
+      | None -> fail ()
+      | Some '{' -> obj ()
+      | Some '[' -> arr ()
+      | Some '"' -> String (string_lit ())
+      | Some 't' -> literal "true" (Bool true)
+      | Some 'f' -> literal "false" (Bool false)
+      | Some 'n' -> literal "null" Null
+      | Some ('-' | '0' .. '9') -> number ()
+      | Some _ -> fail ()
+    and obj () =
+      expect '{';
+      skip_ws ();
+      if peek () = Some '}' then begin
+        advance ();
+        Obj []
+      end
+      else begin
+        let rec members acc =
+          skip_ws ();
+          let k = string_lit () in
+          skip_ws ();
+          expect ':';
+          let v = value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            members ((k, v) :: acc)
+          | Some '}' ->
+            advance ();
+            List.rev ((k, v) :: acc)
+          | _ -> fail ()
+        in
+        Obj (members [])
+      end
+    and arr () =
+      expect '[';
+      skip_ws ();
+      if peek () = Some ']' then begin
+        advance ();
+        List []
+      end
+      else begin
+        let rec elements acc =
+          let v = value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            elements (v :: acc)
+          | Some ']' ->
+            advance ();
+            List.rev (v :: acc)
+          | _ -> fail ()
+        in
+        List (elements [])
+      end
+    and string_lit () =
+      expect '"';
+      let buf = Buffer.create 16 in
+      let rec chars () =
+        match peek () with
+        | None -> fail ()
+        | Some '"' -> advance ()
+        | Some '\\' ->
+          advance ();
+          (match peek () with
+          | Some '"' -> advance (); Buffer.add_char buf '"'; chars ()
+          | Some '\\' -> advance (); Buffer.add_char buf '\\'; chars ()
+          | Some '/' -> advance (); Buffer.add_char buf '/'; chars ()
+          | Some 'b' -> advance (); Buffer.add_char buf '\b'; chars ()
+          | Some 'f' -> advance (); Buffer.add_char buf '\012'; chars ()
+          | Some 'n' -> advance (); Buffer.add_char buf '\n'; chars ()
+          | Some 'r' -> advance (); Buffer.add_char buf '\r'; chars ()
+          | Some 't' -> advance (); Buffer.add_char buf '\t'; chars ()
+          | Some 'u' ->
+            advance ();
+            let cp = ref 0 in
+            for _ = 1 to 4 do
+              match peek () with
+              | Some ('0' .. '9' as c) ->
+                cp := (!cp * 16) + (Char.code c - Char.code '0');
+                advance ()
+              | Some ('a' .. 'f' as c) ->
+                cp := (!cp * 16) + (Char.code c - Char.code 'a' + 10);
+                advance ()
+              | Some ('A' .. 'F' as c) ->
+                cp := (!cp * 16) + (Char.code c - Char.code 'A' + 10);
+                advance ()
+              | _ -> fail ()
+            done;
+            add_code_point buf !cp;
+            chars ()
+          | _ -> fail ())
+        | Some c ->
+          advance ();
+          Buffer.add_char buf c;
+          chars ()
+      in
+      chars ();
+      Buffer.contents buf
+    and number () =
+      let start = !pos in
+      if peek () = Some '-' then advance ();
+      let digits () =
+        let saw = ref false in
+        while (match peek () with Some '0' .. '9' -> true | _ -> false) do
+          saw := true;
+          advance ()
+        done;
+        if not !saw then fail ()
+      in
+      digits ();
+      let fractional = ref false in
+      if peek () = Some '.' then begin
+        fractional := true;
+        advance ();
+        digits ()
+      end;
+      (match peek () with
+      | Some ('e' | 'E') ->
+        fractional := true;
+        advance ();
+        (match peek () with Some ('+' | '-') -> advance () | _ -> ());
+        digits ()
+      | _ -> ());
+      let text = String.sub s start (!pos - start) in
+      if !fractional then
+        match float_of_string_opt text with Some f -> Float f | None -> fail ()
+      else begin
+        match int_of_string_opt text with
+        | Some i -> Int i
+        | None -> (
+          match float_of_string_opt text with Some f -> Float f | None -> fail ())
+      end
+    in
+    match
+      let v = value () in
+      skip_ws ();
+      if !pos = n then Some v else None
+    with
+    | r -> r
+    | exception Exit -> None
 end
 
 (* ------------------------------------------------------------------ *)
@@ -370,7 +559,11 @@ module Histogram = struct
   let labels t = t.hlabels
 
   let percentile t p =
-    if p < 0.0 || p > 100.0 then invalid_arg "Obs.Histogram.percentile: p out of range";
+    (* [not (p >= 0 && p <= 100)] also rejects NaN, which the naive
+       range test lets through (every comparison on NaN is false) and
+       which would otherwise corrupt the target-rank arithmetic. *)
+    if not (p >= 0.0 && p <= 100.0) then
+      invalid_arg "Obs.Histogram.percentile: p out of range";
     let total = count t in
     if total = 0 then 0.0
     else begin
@@ -790,6 +983,12 @@ let counters () =
   Hashtbl.fold (fun name c acc -> (name, Counter.value c) :: acc) Counter.registry []
   |> List.sort compare
 
+(* Exposition formats need base and labels separately, not the
+   rendered full name, so they get the handles. *)
+let counter_handles () =
+  Hashtbl.fold (fun name c acc -> (name, c) :: acc) Counter.registry []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
 let histograms () =
   Hashtbl.fold (fun name h acc -> (name, h) :: acc) Histogram.registry []
   |> List.sort (fun (a, _) (b, _) -> compare a b)
@@ -812,6 +1011,12 @@ let histograms_with_base base =
     Histogram.registry []
   |> List.sort (fun (a, _, _) (b, _, _) -> compare a b)
 
+(* Layered metric stores (e.g. the windowed time-series registry in
+   series.ml) register a hook so [reset] clears them too — obs.ml
+   cannot call into them directly without a dependency cycle. *)
+let reset_hooks : (unit -> unit) list ref = ref []
+let on_reset f = reset_hooks := f :: !reset_hooks
+
 let reset () =
   Hashtbl.iter (fun _ (c : Counter.t) -> c.Counter.v <- 0) Counter.registry;
   Hashtbl.iter (fun _ h -> Histogram.clear h) Histogram.registry;
@@ -824,7 +1029,8 @@ let reset () =
      separated by a reset export different ids, breaking bit-identity
      comparison of trace exports within one process. *)
   Span.next_id := 0;
-  Trace.reset ()
+  Trace.reset ();
+  List.iter (fun f -> f ()) !reset_hooks
 
 (* ------------------------------------------------------------------ *)
 (* Exporters                                                           *)

@@ -32,6 +32,13 @@ module Json : sig
 
   (** [is_valid s] is true when [s] is one complete JSON value. *)
   val is_valid : string -> bool
+
+  (** [parse s] reads one complete JSON value back; [None] on
+      malformed input.  Numbers without a fraction or exponent that
+      fit in [int] parse as [Int], everything else as [Float] — the
+      regression-diff harness reads committed BENCH_*.json artifacts
+      through this. *)
+  val parse : string -> t option
 end
 
 (** Canonical label sets for dimensioned metrics.  A labeled series is
@@ -112,8 +119,9 @@ module Histogram : sig
 
   (** [percentile t p] estimates the [p]-th percentile from the log
       buckets (exact to bucket resolution, clamped to the observed
-      min/max); 0 when empty.
-      @raise Invalid_argument if [p] is outside [0, 100]. *)
+      min/max); 0 when empty, the sample itself on a single-sample
+      histogram.
+      @raise Invalid_argument if [p] is NaN or outside [0, 100]. *)
   val percentile : t -> float -> float
 
   (** [name t] is the full canonical name; [base t] / [labels t] its
@@ -258,6 +266,10 @@ val clear_sim_clock_of : (unit -> float) -> unit
 (** Registry inspection (sorted by name). *)
 val counters : unit -> (string * int) list
 
+(** [counter_handles ()] lists counter handles (the exposition
+    renderer needs base and labels separately). *)
+val counter_handles : unit -> (string * Counter.t) list
+
 val histograms : unit -> (string * Histogram.t) list
 
 (** [counters_with_base base] lists every series of the metric family
@@ -281,6 +293,13 @@ val dropped_spans : unit -> int
     the lifecycle-trace ring and its per-phase totals.  Existing
     handles stay valid; the tracing-enabled flag is not touched. *)
 val reset : unit -> unit
+
+(** [on_reset f] registers [f] to run at the end of every {!reset}.
+    Layered metric stores (the windowed time-series registry in
+    {!Series}) clear themselves through this without creating a
+    dependency cycle.  Hooks cannot be unregistered; register once
+    per store, at module initialization. *)
+val on_reset : (unit -> unit) -> unit
 
 (** [to_json ()] renders the whole registry; schema documented in
     DESIGN.md §Observability. *)

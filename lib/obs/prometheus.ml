@@ -1,0 +1,131 @@
+(* Prometheus text exposition (format 0.0.4) over the cumulative
+   registry and the windowed series rings.  Rendering is pure
+   formatting — nothing here mutates metric state, so exposition can
+   run mid-simulation without perturbing results. *)
+
+let metric_name s =
+  let ok c =
+    (c >= 'a' && c <= 'z')
+    || (c >= 'A' && c <= 'Z')
+    || (c >= '0' && c <= '9')
+    || c = '_' || c = ':'
+  in
+  let sanitized = String.map (fun c -> if ok c then c else '_') s in
+  if sanitized = "" then "_"
+  else if sanitized.[0] >= '0' && sanitized.[0] <= '9' then "_" ^ sanitized
+  else sanitized
+
+let escape_label_value s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let render_labels = function
+  | [] -> ""
+  | kvs ->
+    "{"
+    ^ String.concat ","
+        (List.map
+           (fun (k, v) ->
+             Printf.sprintf "%s=\"%s\"" (metric_name k) (escape_label_value v))
+           kvs)
+    ^ "}"
+
+(* Exposition floats: the spec wants Go-style literals, with NaN and
+   signed Inf spelled out. *)
+let number v =
+  if Float.is_nan v then "NaN"
+  else if v = infinity then "+Inf"
+  else if v = neg_infinity then "-Inf"
+  else Printf.sprintf "%.12g" v
+
+(* One [# TYPE] header per metric family, samples grouped under it —
+   the plain registry sort interleaves families ("a.bc" sorts between
+   "a.b" and "a.b{...}"), so group by base explicitly. *)
+let group_by_base items base_of name_of =
+  List.sort
+    (fun a b -> compare (base_of a, name_of a) (base_of b, name_of b))
+    items
+
+let add_family buf last base typ =
+  if base <> !last then begin
+    Buffer.add_string buf (Printf.sprintf "# TYPE %s %s\n" base typ);
+    last := base
+  end
+
+let series_suffix s =
+  match Series.kind s with
+  | Series.Rate -> ":rate"
+  | Series.Gauge -> ":gauge"
+  | Series.Quantile q -> metric_name (Printf.sprintf ":p%g" (q *. 100.0))
+
+let render () =
+  let buf = Buffer.create 4096 in
+  let last = ref "" in
+  (* counters *)
+  List.iter
+    (fun (_, c) ->
+      let base = metric_name (Obs.Counter.base c) in
+      add_family buf last base "counter";
+      Buffer.add_string buf
+        (Printf.sprintf "%s%s %d\n" base
+           (render_labels (Obs.Counter.labels c))
+           (Obs.Counter.value c)))
+    (group_by_base (Obs.counter_handles ())
+       (fun (_, c) -> Obs.Counter.base c)
+       (fun (n, _) -> n));
+  (* histograms as summaries *)
+  last := "";
+  List.iter
+    (fun (_, h) ->
+      let base = metric_name (Obs.Histogram.base h) in
+      add_family buf last base "summary";
+      let labels = Obs.Histogram.labels h in
+      List.iter
+        (fun (q, p) ->
+          Buffer.add_string buf
+            (Printf.sprintf "%s%s %s\n" base
+               (render_labels (labels @ [ ("quantile", q) ]))
+               (number (Obs.Histogram.percentile h p))))
+        [ ("0.5", 50.0); ("0.9", 90.0); ("0.99", 99.0) ];
+      Buffer.add_string buf
+        (Printf.sprintf "%s_sum%s %s\n" base (render_labels labels)
+           (number (Obs.Histogram.sum h)));
+      Buffer.add_string buf
+        (Printf.sprintf "%s_count%s %d\n" base (render_labels labels)
+           (Obs.Histogram.count h)))
+    (group_by_base (Obs.histograms ())
+       (fun (_, h) -> Obs.Histogram.base h)
+       (fun (n, _) -> n));
+  (* series latest values as gauges *)
+  last := "";
+  List.iter
+    (fun (_, s) ->
+      let base = metric_name (Series.base s) ^ series_suffix s in
+      add_family buf last base "gauge";
+      let latest =
+        match List.rev (Series.points s) with
+        | (_, _, v) :: _ -> v
+        | [] -> 0.0
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "%s%s %s\n" base
+           (render_labels (Series.labels s))
+           (number latest)))
+    (group_by_base (Series.all ())
+       (fun (_, s) -> metric_name (Series.base s) ^ series_suffix s)
+       (fun (n, _) -> n));
+  Buffer.contents buf
+
+let write path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (render ()))

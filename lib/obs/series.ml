@@ -1,0 +1,300 @@
+module Stats = Mlv_util.Stats
+
+(* Fixed-interval bucketed time-series rings on the simulation clock.
+   A sample at time [t] lands in bucket epoch [floor (t / interval)];
+   the ring keeps the most recent [cap] epochs.  Advancing the ring
+   reuses the per-bucket accumulators in place (counts, sums, last
+   values and the P² estimators are allocated once at creation), so
+   the steady-state record path never allocates — the same discipline
+   as the counter/histogram hot paths in obs.ml. *)
+
+type kind = Rate | Gauge | Quantile of float
+
+let kind_name = function
+  | Rate -> "rate"
+  | Gauge -> "gauge"
+  | Quantile q -> Printf.sprintf "quantile(%g)" q
+
+type t = {
+  sname : string;  (* full canonical name: base plus rendered labels *)
+  sbase : string;
+  slabels : Obs.Labels.t;
+  skind : kind;
+  interval_us : float;
+  cap : int;
+  counts : int array;  (* per-slot sample count *)
+  sums : float array;  (* per-slot value sum (Rate: weight sum) *)
+  lasts : float array;  (* per-slot last value (Gauge) *)
+  p2s : Stats.P2.t array;  (* per-slot estimator; [||] unless Quantile *)
+  mutable started : bool;
+  mutable first_epoch : int;  (* epoch of the first sample ever *)
+  mutable cur : int;  (* epoch of the newest live bucket *)
+  mutable total_count : int;  (* lifetime, survives ring eviction *)
+  mutable total_sum : float;
+}
+
+let registry : (string, t) Hashtbl.t = Hashtbl.create 16
+
+let default_buckets = 512
+
+let make ~buckets ~kind ~interval_us ~base ~labels name =
+  if not (interval_us > 0.0) || Float.is_nan interval_us || interval_us = infinity
+  then invalid_arg "Obs.Series.create: interval_us must be positive and finite";
+  if buckets < 2 then invalid_arg "Obs.Series.create: buckets must be >= 2";
+  (match kind with
+  | Quantile q when not (q > 0.0 && q < 1.0) ->
+    invalid_arg "Obs.Series.create: quantile outside (0, 1)"
+  | _ -> ());
+  {
+    sname = name;
+    sbase = base;
+    slabels = labels;
+    skind = kind;
+    interval_us;
+    cap = buckets;
+    counts = Array.make buckets 0;
+    sums = Array.make buckets 0.0;
+    lasts = Array.make buckets 0.0;
+    p2s =
+      (match kind with
+      | Quantile q -> Array.init buckets (fun _ -> Stats.P2.create q)
+      | Rate | Gauge -> [||]);
+    started = false;
+    first_epoch = 0;
+    cur = 0;
+    total_count = 0;
+    total_sum = 0.0;
+  }
+
+let get_full ~buckets ~kind ~interval_us ~base ~labels name =
+  match Hashtbl.find_opt registry name with
+  | Some s ->
+    if s.skind <> kind || s.interval_us <> interval_us || s.cap <> buckets then
+      invalid_arg
+        (Printf.sprintf
+           "Obs.Series.create: %S already registered with different parameters"
+           name);
+    s
+  | None ->
+    let s = make ~buckets ~kind ~interval_us ~base ~labels name in
+    Hashtbl.replace registry name s;
+    s
+
+let create ?(buckets = default_buckets) ~kind ~interval_us name =
+  get_full ~buckets ~kind ~interval_us ~base:name ~labels:[] name
+
+let create_labeled ?(buckets = default_buckets) ~kind ~interval_us name kvs =
+  let labels = Obs.Labels.make kvs in
+  get_full ~buckets ~kind ~interval_us ~base:name ~labels
+    (name ^ Obs.Labels.render labels)
+
+let find name = Hashtbl.find_opt registry name
+
+let all () =
+  Hashtbl.fold (fun name s acc -> (name, s) :: acc) registry []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let name t = t.sname
+let base t = t.sbase
+let labels t = t.slabels
+let kind t = t.skind
+let interval_us t = t.interval_us
+let capacity t = t.cap
+
+let slot t epoch = epoch mod t.cap
+
+let clear_slot t i =
+  t.counts.(i) <- 0;
+  t.sums.(i) <- 0.0;
+  t.lasts.(i) <- 0.0;
+  if t.p2s <> [||] then Stats.P2.reset t.p2s.(i)
+
+let epoch_of t now_us = int_of_float (now_us /. t.interval_us)
+
+(* Retire buckets between the current epoch and the one covering
+   [now_us].  A gap longer than the ring only clears [cap] slots —
+   the intermediate epochs were never observable anyway. *)
+let advance_to t e =
+  if not t.started then begin
+    t.started <- true;
+    t.first_epoch <- e;
+    t.cur <- e;
+    clear_slot t (slot t e)
+  end
+  else if e > t.cur then begin
+    let steps = min (e - t.cur) t.cap in
+    for k = e - steps + 1 to e do
+      clear_slot t (slot t k)
+    done;
+    t.cur <- e
+  end
+
+let advance t ~now_us =
+  if now_us < 0.0 || Float.is_nan now_us then
+    invalid_arg "Obs.Series.advance: negative or NaN time";
+  advance_to t (epoch_of t now_us)
+
+let observe t ~now_us v =
+  if Float.is_nan v || Float.abs v = infinity then
+    invalid_arg "Obs.Series.observe: sample must be finite";
+  if now_us < 0.0 || Float.is_nan now_us then
+    invalid_arg "Obs.Series.observe: negative or NaN time";
+  advance_to t (epoch_of t now_us);
+  (* Simulation time is non-decreasing; a same-instant tie that lands
+     fractionally behind the current bucket clamps into it. *)
+  let i = slot t t.cur in
+  t.counts.(i) <- t.counts.(i) + 1;
+  t.sums.(i) <- t.sums.(i) +. v;
+  t.lasts.(i) <- v;
+  if t.p2s <> [||] then Stats.P2.add t.p2s.(i) v;
+  t.total_count <- t.total_count + 1;
+  t.total_sum <- t.total_sum +. v
+
+let total_count t = t.total_count
+let total_sum t = t.total_sum
+
+(* Oldest live epoch: bounded by both the ring capacity and the first
+   sample ever (younger series have fewer live buckets). *)
+let oldest_live t = max t.first_epoch (t.cur - t.cap + 1)
+
+let window_start t ~buckets =
+  let w = min (max 1 buckets) t.cap in
+  max (oldest_live t) (t.cur - w + 1)
+
+let window_count t ~now_us ~buckets =
+  advance t ~now_us;
+  if not t.started then 0
+  else begin
+    let acc = ref 0 in
+    for k = window_start t ~buckets to t.cur do
+      acc := !acc + t.counts.(slot t k)
+    done;
+    !acc
+  end
+
+let window_sum t ~now_us ~buckets =
+  advance t ~now_us;
+  if not t.started then 0.0
+  else begin
+    let acc = ref 0.0 in
+    for k = window_start t ~buckets to t.cur do
+      acc := !acc +. t.sums.(slot t k)
+    done;
+    !acc
+  end
+
+let window_rate_per_s t ~now_us ~buckets =
+  let w = min (max 1 buckets) t.cap in
+  let span_s = float_of_int w *. t.interval_us /. 1e6 in
+  window_sum t ~now_us ~buckets /. span_s
+
+let window_value t ~now_us ~buckets =
+  advance t ~now_us;
+  match t.skind with
+  | Rate -> window_rate_per_s t ~now_us ~buckets
+  | Gauge ->
+    if not t.started then 0.0
+    else begin
+      (* Most recent non-empty bucket in the window. *)
+      let rec back k =
+        if k < window_start t ~buckets then 0.0
+        else begin
+          let i = slot t k in
+          if t.counts.(i) > 0 then t.lasts.(i) else back (k - 1)
+        end
+      in
+      back t.cur
+    end
+  | Quantile _ ->
+    if not t.started then 0.0
+    else begin
+      (* P² states cannot be merged; the window aggregate is the worst
+         (largest) per-bucket estimate — conservative for latency
+         alerting. *)
+      let acc = ref 0.0 in
+      for k = window_start t ~buckets to t.cur do
+        let i = slot t k in
+        if t.counts.(i) > 0 then
+          acc := Float.max !acc (Stats.P2.quantile t.p2s.(i))
+      done;
+      !acc
+    end
+
+let bucket_value t i =
+  match t.skind with
+  | Rate -> t.sums.(i) /. (t.interval_us /. 1e6)
+  | Gauge -> t.lasts.(i)
+  | Quantile _ -> if t.counts.(i) > 0 then Stats.P2.quantile t.p2s.(i) else 0.0
+
+let points t =
+  if not t.started then []
+  else
+    List.init
+      (t.cur - oldest_live t + 1)
+      (fun j ->
+        let k = oldest_live t + j in
+        let i = slot t k in
+        (float_of_int k *. t.interval_us, t.counts.(i), bucket_value t i))
+
+let to_json t =
+  Obs.Json.Obj
+    [
+      ("kind", Obs.Json.String (kind_name t.skind));
+      ("interval_us", Obs.Json.Float t.interval_us);
+      ("buckets", Obs.Json.Int t.cap);
+      ("total_count", Obs.Json.Int t.total_count);
+      ("total_sum", Obs.Json.Float t.total_sum);
+      ( "points",
+        Obs.Json.List
+          (List.map
+             (fun (ts, n, v) ->
+               Obs.Json.Obj
+                 [
+                   ("t", Obs.Json.Float ts);
+                   ("n", Obs.Json.Int n);
+                   ("v", Obs.Json.Float v);
+                 ])
+             (points t)) );
+    ]
+
+let registry_json () =
+  Obs.Json.Obj
+    [
+      ("version", Obs.Json.Int 1);
+      ("series", Obs.Json.Obj (List.map (fun (n, s) -> (n, to_json s)) (all ())));
+    ]
+
+let render () =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "series:\n";
+  List.iter
+    (fun (n, s) ->
+      let live = points s in
+      let latest =
+        match List.rev live with (_, _, v) :: _ -> v | [] -> 0.0
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "  %-44s %-14s iv=%gus live=%d n=%d latest=%.3f\n" n
+           (kind_name s.skind) s.interval_us (List.length live) s.total_count
+           latest))
+    (all ());
+  Buffer.contents buf
+
+let clear t =
+  Array.fill t.counts 0 t.cap 0;
+  Array.fill t.sums 0 t.cap 0.0;
+  Array.fill t.lasts 0 t.cap 0.0;
+  Array.iter Stats.P2.reset t.p2s;
+  t.started <- false;
+  t.first_epoch <- 0;
+  t.cur <- 0;
+  t.total_count <- 0;
+  t.total_sum <- 0.0
+
+let clear_all () = Hashtbl.iter (fun _ s -> clear s) registry
+let remove name = Hashtbl.remove registry name
+let remove_all () = Hashtbl.reset registry
+
+(* Series data participates in [Obs.reset] like counters and
+   histograms do: data clears, registrations (and handles) stay. *)
+let () = Obs.on_reset clear_all

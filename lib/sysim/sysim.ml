@@ -16,6 +16,8 @@ module Fault_plan = Mlv_cluster.Fault_plan
 module Rng = Mlv_util.Rng
 module Codegen = Mlv_isa.Codegen
 module Obs = Mlv_obs.Obs
+module Series = Mlv_obs.Series
+module Alert = Mlv_obs.Alert
 module Slo = Mlv_sched.Slo
 module Batcher = Mlv_sched.Batcher
 module Router = Mlv_sched.Router
@@ -50,6 +52,15 @@ let default_serving =
     defrag = None;
   }
 
+type telemetry = {
+  scrape_interval_us : float;
+  rules : Alert.rule list;
+  series_buckets : int;
+}
+
+let default_telemetry =
+  { scrape_interval_us = 10_000.0; rules = []; series_buckets = 512 }
+
 type config = {
   policy : Runtime.policy;
   composition : Genset.composition;
@@ -73,6 +84,12 @@ type config = {
       (* capacity of the runtime's bitstream staging cache; None (the
          default) keeps reconfiguration costs bit-identical to
          cacheless builds *)
+  telemetry : telemetry option;
+      (* None (the default) schedules no scrape ticks and registers no
+         series: runs are bit-identical to pre-telemetry builds.  The
+         scrape loop itself only reads run state, so even with it on,
+         sim results stay bit-identical (bench/watch.ml asserts both
+         directions). *)
 }
 
 let default_config ~policy ~composition =
@@ -91,6 +108,7 @@ let default_config ~policy ~composition =
     tenants = [];
     indexed = true;
     bitstream_cache = None;
+    telemetry = None;
   }
 
 let arrival_of cfg =
@@ -160,6 +178,9 @@ type result = {
   cache_hits : int;  (* bitstream staging-cache hits (0 without a cache) *)
   cache_misses : int;
   per_tenant : tenant_stats list;  (* [] unless config.tenants *)
+  scrapes : int;  (* telemetry scrape ticks executed (0 when off) *)
+  alert_transitions : Alert.transition list;
+      (* every alert state transition, oldest first ([] when off) *)
   loop_wall_s : float;
       (* wall-clock seconds inside the event loop proper (excludes
          cluster build, workload generation and post-processing);
@@ -454,6 +475,29 @@ type sgroup = {
          conservative "work priority" the preemption policy compares *)
 }
 
+(* Telemetry scrape loop, shared by both engines.  Ticks ride the
+   event queue at absolute times k*interval so series bucket epochs
+   align exactly with scrape boundaries.  A tick reschedules only
+   while other work remains queued (at execution time the tick itself
+   is already off the queue), so a drained run terminates instead of
+   the loop keeping itself alive forever. *)
+let start_scrape_loop sim ~interval_us f =
+  let rec tick k () =
+    f ~now_us:(Sim.now sim);
+    if Sim.pending sim > 0 then
+      Sim.schedule_at sim
+        ~at:(float_of_int (k + 1) *. interval_us)
+        (tick (k + 1))
+  in
+  Sim.schedule_at sim ~at:interval_us (tick 1)
+
+(* One scrape's worth of a monotonically growing tally: the delta
+   since the previous scrape. *)
+let scrape_delta r last =
+  let v = !r - !last in
+  last := !r;
+  float_of_int v
+
 let rec run ~registry cfg =
   (* A completed run releases its simulator's span clock — otherwise
      the closure keeps the whole sim state live and stamps stale sim
@@ -562,6 +606,67 @@ and run_untraced ~registry cfg =
   let outage_start = ref None in
   let outages = ref [] in
   let completed_in_outage = ref 0 in
+  (* Optional scrape loop: sample windowed series from the run tallies
+     each interval, then evaluate the alert rules.  Sampling only
+     reads state, so results are identical with telemetry on or off;
+     series are cleared at setup so back-to-back runs in one process
+     stay independent. *)
+  let scrapes = ref 0 in
+  let sojourn_s = ref None in
+  let alerts =
+    Option.map
+      (fun tel ->
+        let engine = Alert.create tel.rules in
+        let iv = tel.scrape_interval_us in
+        (* Own the name: a previous run in this process may have
+           registered it with a different interval or capacity. *)
+        let mk kind name =
+          Series.remove name;
+          Series.create ~buckets:tel.series_buckets ~kind ~interval_us:iv name
+        in
+        let completed_s = mk Series.Rate "sysim.completed.rate" in
+        let rejected_s = mk Series.Rate "sysim.rejected.rate" in
+        let retried_s = mk Series.Rate "sysim.retried.rate" in
+        let slo_s = mk Series.Rate "sysim.slo_missed.rate" in
+        let queue_s = mk Series.Gauge "sysim.queue_depth" in
+        let down_s = mk Series.Gauge "sysim.nodes_down" in
+        sojourn_s := Some (mk (Series.Quantile 0.99) "sysim.sojourn_us.p99");
+        let tenant_series =
+          List.map
+            (fun (_, t) ->
+              let lbl = [ ("tenant", t.tt_name) ] in
+              let mk_l kind name =
+                Series.remove (Obs.Labels.key name lbl);
+                Series.create_labeled ~buckets:tel.series_buckets ~kind
+                  ~interval_us:iv name lbl
+              in
+              ( t,
+                mk_l Series.Rate "sysim.tenant.completed.rate",
+                ref 0,
+                mk_l Series.Rate "sysim.tenant.slo_missed.rate",
+                ref 0 ))
+            tallies
+        in
+        let lc = ref 0 and lr = ref 0 and lt = ref 0 and ls = ref 0 in
+        start_scrape_loop sim ~interval_us:iv (fun ~now_us ->
+            incr scrapes;
+            Series.observe completed_s ~now_us (scrape_delta completed lc);
+            Series.observe rejected_s ~now_us (scrape_delta rejected lr);
+            Series.observe retried_s ~now_us (scrape_delta retried lt);
+            Series.observe slo_s ~now_us (scrape_delta slo_misses ls);
+            Series.observe queue_s ~now_us (float_of_int (Queue.length queue));
+            Series.observe down_s ~now_us (float_of_int (Hashtbl.length down));
+            List.iter
+              (fun (t, cs, lc', ss, ls') ->
+                Series.observe cs ~now_us (float_of_int (t.tt_completed - !lc'));
+                lc' := t.tt_completed;
+                Series.observe ss ~now_us (float_of_int (t.tt_slo_misses - !ls'));
+                ls' := t.tt_slo_misses)
+              tenant_series;
+            Alert.eval engine ~now_us);
+        engine)
+      cfg.telemetry
+  in
   let reject (p : pending) =
     incr rejected;
     Obs.Counter.incr rejected_c;
@@ -632,6 +737,9 @@ and run_untraced ~registry cfg =
               let sojourn = finished -. p.task.Genset.arrival_us in
               latencies := sojourn :: !latencies;
               Obs.Histogram.observe sojourn_h sojourn;
+              (match !sojourn_s with
+              | Some s -> Series.observe s ~now_us:finished sojourn
+              | None -> ());
               Obs.Histogram.observe (sojourn_kind kind) sojourn;
               (match node with
               | Some n -> Obs.Histogram.observe (sojourn_kind_node kind n) sojourn
@@ -818,6 +926,9 @@ and run_untraced ~registry cfg =
     cache_hits = fst (cache_stats runtime);
     cache_misses = snd (cache_stats runtime);
     per_tenant = tenant_stats_of ~makespan_us:!makespan tallies;
+    scrapes = !scrapes;
+    alert_transitions =
+      (match alerts with Some e -> Alert.transitions e | None -> []);
     loop_wall_s;
   }
 
@@ -959,6 +1070,72 @@ and run_serving ~registry cfg serving =
     else Hashtbl.fold (fun k _ acc -> k :: acc) groups [] |> List.sort compare
   in
   let batchq_len q = Queue.fold (fun acc b -> acc + List.length b) 0 q in
+  (* Optional scrape loop; the serving twin of the open-loop setup.
+     The autoscaler tick additionally samples its observed backlog
+     into [sysim.autoscale.backlog] (see the tick below). *)
+  let scrapes = ref 0 in
+  let sojourn_s = ref None in
+  let autoscale_backlog_s = ref None in
+  let alerts =
+    Option.map
+      (fun tel ->
+        let engine = Alert.create tel.rules in
+        let iv = tel.scrape_interval_us in
+        (* Own the name: a previous run in this process may have
+           registered it with a different interval or capacity. *)
+        let mk kind name =
+          Series.remove name;
+          Series.create ~buckets:tel.series_buckets ~kind ~interval_us:iv name
+        in
+        let completed_s = mk Series.Rate "sysim.completed.rate" in
+        let rejected_s = mk Series.Rate "sysim.rejected.rate" in
+        let shed_s = mk Series.Rate "sysim.shed.rate" in
+        let slo_s = mk Series.Rate "sysim.slo_missed.rate" in
+        let queue_s = mk Series.Gauge "sysim.queue_depth" in
+        let replicas_s = mk Series.Gauge "sysim.replicas" in
+        sojourn_s := Some (mk (Series.Quantile 0.99) "sysim.sojourn_us.p99");
+        autoscale_backlog_s := Some (mk Series.Gauge "sysim.autoscale.backlog");
+        let tenant_series =
+          List.map
+            (fun (_, t) ->
+              let lbl = [ ("tenant", t.tt_name) ] in
+              let mk_l kind name =
+                Series.remove (Obs.Labels.key name lbl);
+                Series.create_labeled ~buckets:tel.series_buckets ~kind
+                  ~interval_us:iv name lbl
+              in
+              ( t,
+                mk_l Series.Rate "sysim.tenant.completed.rate",
+                ref 0,
+                mk_l Series.Rate "sysim.tenant.slo_missed.rate",
+                ref 0 ))
+            tallies
+        in
+        let lc = ref 0 and lr = ref 0 and lsh = ref 0 and ls = ref 0 in
+        start_scrape_loop sim ~interval_us:iv (fun ~now_us ->
+            incr scrapes;
+            Series.observe completed_s ~now_us (scrape_delta completed lc);
+            Series.observe rejected_s ~now_us (scrape_delta rejected lr);
+            Series.observe shed_s ~now_us (scrape_delta shed lsh);
+            Series.observe slo_s ~now_us (scrape_delta slo_misses ls);
+            Series.observe queue_s ~now_us (float_of_int !queued);
+            Series.observe replicas_s ~now_us
+              (float_of_int
+                 (List.fold_left
+                    (fun acc k ->
+                      acc + List.length (Hashtbl.find groups k).g_replicas)
+                    0 (group_keys ())));
+            List.iter
+              (fun (t, cs, lc', ss, ls') ->
+                Series.observe cs ~now_us (float_of_int (t.tt_completed - !lc'));
+                lc' := t.tt_completed;
+                Series.observe ss ~now_us (float_of_int (t.tt_slo_misses - !ls'));
+                ls' := t.tt_slo_misses)
+              tenant_series;
+            Alert.eval engine ~now_us);
+        engine)
+      cfg.telemetry
+  in
   let find_replica g rid =
     if cfg.indexed then Hashtbl.find g.g_by_id rid
     else List.find (fun r -> r.r_id = rid) g.g_replicas
@@ -1296,6 +1473,9 @@ and run_serving ~registry cfg serving =
               latencies := sojourn :: !latencies;
               Obs.Histogram.observe sojourn_h
                 sojourn;
+              (match !sojourn_s with
+              | Some s -> Series.observe s ~now_us:finished sojourn
+              | None -> ());
               Obs.Histogram.observe sojourn_kind_h sojourn;
               Autoscaler.observe_sojourn g.g_tracker sojourn;
               Obs.Trace.task Obs.Trace.Complete st.s_task.Genset.task_id ?node
@@ -1423,6 +1603,7 @@ and run_serving ~registry cfg serving =
       if !completed + !rejected + !shed + !preempted < ntasks then begin
         let now = Sim.now sim in
         let capacity_bound = ref false in
+        let total_backlog = ref 0 in
         List.iter
           (fun k ->
             let g = Hashtbl.find groups k in
@@ -1437,6 +1618,7 @@ and run_serving ~registry cfg serving =
                     (fun acc r -> acc + batchq_len r.r_queue)
                     0 g.g_replicas
             in
+            total_backlog := !total_backlog + backlog;
             let replicas = List.length g.g_replicas in
             let idle =
               List.length
@@ -1462,6 +1644,9 @@ and run_serving ~registry cfg serving =
         if !capacity_bound && Slo.classes gate <> [] then
           Slo.set_shed_below gate (min_priority () + 1)
         else Slo.set_shed_below gate min_int;
+        (match !autoscale_backlog_s with
+        | Some s -> Series.observe s ~now_us:now (float_of_int !total_backlog)
+        | None -> ());
         Sim.schedule sim ~delay:acfg.interval_us tick
       end
     in
@@ -1643,5 +1828,8 @@ and run_serving ~registry cfg serving =
     cache_hits = fst (cache_stats runtime);
     cache_misses = snd (cache_stats runtime);
     per_tenant = tenant_stats_of ~makespan_us:!makespan tallies;
+    scrapes = !scrapes;
+    alert_transitions =
+      (match alerts with Some e -> Alert.transitions e | None -> []);
     loop_wall_s;
   }

@@ -86,6 +86,30 @@ type serving = {
     neither preemption nor defragmentation. *)
 val default_serving : serving
 
+(** Streaming telemetry: an optional scrape loop that samples run
+    state into {!Mlv_obs.Series} rings every [scrape_interval_us] of
+    simulated time and evaluates the alert [rules] against them.
+
+    Both engines publish [sysim.completed.rate], [sysim.rejected.rate],
+    [sysim.slo_missed.rate], [sysim.queue_depth] and
+    [sysim.sojourn_us.p99]; the open loop adds [sysim.retried.rate]
+    and [sysim.nodes_down], serving mode adds [sysim.shed.rate],
+    [sysim.replicas] and the autoscaler-sampled
+    [sysim.autoscale.backlog]; multi-tenant runs add
+    [sysim.tenant.completed.rate{tenant=..}] and
+    [sysim.tenant.slo_missed.rate{tenant=..}] (the burn-rate rule
+    inputs).  Scrape ticks only read state, so simulation results are
+    bit-identical with telemetry on or off. *)
+type telemetry = {
+  scrape_interval_us : float;  (** simulated µs between scrapes, > 0 *)
+  rules : Mlv_obs.Alert.rule list;
+  series_buckets : int;  (** ring capacity of each published series *)
+}
+
+(** [default_telemetry] scrapes every 10 ms of simulated time into
+    512-bucket rings with no alert rules. *)
+val default_telemetry : telemetry
+
 type config = {
   policy : Mlv_core.Runtime.policy;
   composition : Genset.composition;
@@ -126,6 +150,10 @@ type config = {
           partition, device-kind) bitstream pay the amortized hit cost
           instead of the full transfer.  [None] (the default) keeps
           reconfiguration times bit-identical to cacheless builds. *)
+  telemetry : telemetry option;
+      (** [None] (the default) schedules no scrape ticks and registers
+          no series — runs are bit-identical to pre-telemetry
+          builds *)
 }
 
 (** [default_config ~policy ~composition] gives 120 tasks, 200 µs
@@ -213,6 +241,12 @@ type result = {
   per_tenant : tenant_stats list;
       (** one entry per [config.tenants] element, declaration order;
           [[]] on single-tenant runs *)
+  scrapes : int;
+      (** telemetry scrape ticks executed; 0 without
+          [config.telemetry] *)
+  alert_transitions : Mlv_obs.Alert.transition list;
+      (** every alert state transition, oldest first; [[]] without
+          [config.telemetry] *)
   loop_wall_s : float;
       (** wall-clock seconds spent inside the event loop proper —
           excludes cluster construction, workload generation and

@@ -209,6 +209,25 @@ module P2 = struct
 
   let count t = t.count
 
+  (* Rewind to the freshly-created state without reallocating the
+     marker arrays — windowed telemetry buckets reuse one estimator
+     per ring slot, so the steady-state advance path must not
+     allocate. *)
+  let reset t =
+    let p = t.p in
+    Array.fill t.q 0 5 0.0;
+    t.n.(0) <- 1.0;
+    t.n.(1) <- 2.0;
+    t.n.(2) <- 3.0;
+    t.n.(3) <- 4.0;
+    t.n.(4) <- 5.0;
+    t.np.(0) <- 1.0;
+    t.np.(1) <- 1.0 +. (2.0 *. p);
+    t.np.(2) <- 1.0 +. (4.0 *. p);
+    t.np.(3) <- 3.0 +. (2.0 *. p);
+    t.np.(4) <- 5.0;
+    t.count <- 0
+
   let quantile t =
     if t.count = 0 then 0.0
     else if t.count < 5 then begin

@@ -56,6 +56,11 @@ module P2 : sig
 
   val count : t -> int
 
+  (** [reset t] rewinds the estimator to its freshly-created state
+      without allocating — ring-buffer telemetry buckets reuse one
+      estimator per slot. *)
+  val reset : t -> unit
+
   (** [quantile t] is the current estimate; exact for the first five
       samples, 0 when no sample has been added. *)
   val quantile : t -> float

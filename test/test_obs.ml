@@ -530,6 +530,63 @@ let test_reset_clears_everything () =
   Alcotest.(check int) "spans gone" 0 (List.length (Obs.spans ()));
   Alcotest.(check int) "drop count cleared" 0 (Obs.dropped_spans ())
 
+(* ---- hardening: JSON pinning for degenerate histograms ---- *)
+
+let contains hay needle =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+(* An empty histogram (registered but never observed) must export
+   clean zeros: valid JSON, no null/NaN/inf tokens anywhere in the
+   registry dump. *)
+let test_empty_histogram_json () =
+  Obs.reset ();
+  let h = Obs.Histogram.get "hard.empty" in
+  Alcotest.(check int) "count" 0 (Obs.Histogram.count h);
+  Alcotest.(check (float 0.0)) "mean" 0.0 (Obs.Histogram.mean h);
+  Alcotest.(check (float 0.0)) "min" 0.0 (Obs.Histogram.min h);
+  Alcotest.(check (float 0.0)) "max" 0.0 (Obs.Histogram.max h);
+  Alcotest.(check (float 0.0)) "p50" 0.0 (Obs.Histogram.percentile h 50.0);
+  Alcotest.(check (float 0.0)) "p99" 0.0 (Obs.Histogram.percentile h 99.0);
+  let s = Obs.json_string () in
+  Alcotest.(check bool) "parses back" true (Json.parse s <> None);
+  List.iter
+    (fun tok ->
+      Alcotest.(check bool) ("no " ^ tok) false (contains s tok))
+    [ "null"; "nan"; "NaN"; "inf" ]
+
+let test_single_sample_histogram_json () =
+  Obs.reset ();
+  let h = Obs.Histogram.get "hard.one" in
+  Obs.Histogram.observe h 42.0;
+  Alcotest.(check int) "count" 1 (Obs.Histogram.count h);
+  Alcotest.(check (float 0.0)) "mean exact" 42.0 (Obs.Histogram.mean h);
+  Alcotest.(check (float 0.0)) "min" 42.0 (Obs.Histogram.min h);
+  Alcotest.(check (float 0.0)) "max" 42.0 (Obs.Histogram.max h);
+  (* log-bucketed: percentiles are only exact to bucket resolution *)
+  let p50 = Obs.Histogram.percentile h 50.0 in
+  Alcotest.(check bool) "p50 within bucket resolution" true
+    (Float.abs (p50 -. 42.0) /. 42.0 < 0.15);
+  let s = Obs.json_string () in
+  Alcotest.(check bool) "parses back" true (Json.parse s <> None);
+  Alcotest.(check bool) "no null" false (contains s "null")
+
+let test_percentile_rejects_bad_p () =
+  Obs.reset ();
+  let h = Obs.Histogram.get "hard.p" in
+  Obs.Histogram.observe h 1.0;
+  List.iter
+    (fun p ->
+      Alcotest.(check bool)
+        (Printf.sprintf "p=%f rejected" p)
+        true
+        (try
+           ignore (Obs.Histogram.percentile h p);
+           false
+         with Invalid_argument _ -> true))
+    [ Float.nan; -1.0; 100.5; Float.infinity ]
+
 let () =
   Alcotest.run "obs"
     [
@@ -563,6 +620,11 @@ let () =
             test_histogram_rejects_bad_samples;
           Alcotest.test_case "zero samples" `Quick test_histogram_zero_and_negative;
           Alcotest.test_case "labeled" `Quick test_labeled_histogram;
+          Alcotest.test_case "empty json pins" `Quick test_empty_histogram_json;
+          Alcotest.test_case "single sample json" `Quick
+            test_single_sample_histogram_json;
+          Alcotest.test_case "percentile rejects bad p" `Quick
+            test_percentile_rejects_bad_p;
         ] );
       ( "span",
         [
