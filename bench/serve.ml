@@ -1,0 +1,349 @@
+(* Serving front-door benchmark: trace record/replay fidelity,
+   mapping-cache economics, session accounting, and reactive vs
+   predictive autoscaling on the same replayed flash-crowd trace.
+
+   Scenario A records the diurnal workload a config would generate,
+   round-trips it through the textual trace format, and asserts the
+   parse is structurally exact and that replaying it produces a
+   bit-identical simulation result.
+
+   Scenario B asserts a neutral front door (all three features off)
+   and a zero-cost mapping cache (compile_us = 0) leave the serving
+   result bit-identical to a front-door-free run, and that the cache
+   hit rate on the repeat-heavy trace clears 90%.
+
+   Scenario C prices the cache: a warm cache (capacity covering every
+   live shape) against a thrashing one-entry cache on the same trace;
+   the warm run must hit more, miss less, and deliver no worse mean
+   latency.
+
+   Scenario D runs client sessions with a short idle timeout: every
+   request must be accounted for, the single-tenant session must
+   cycle through expiry and reopening, and sticky routing must land
+   repeat hits.
+
+   Scenario E replays one recorded flash-crowd trace into a reactive
+   and a predictive autoscaler; after a one-season warmup the
+   Holt-Winters forecast must pre-provision the recurring flash and
+   deliver at least the reactive goodput, deterministically.
+
+   Usage: serve.exe [--tasks N] [--seed S] [--out FILE] [--smoke]
+   `make bench-serve-smoke` runs as part of `make check`;
+   `make bench-serve` writes BENCH_serve.json. *)
+
+module Sysim = Mlv_sysim.Sysim
+module Runtime = Mlv_core.Runtime
+module Genset = Mlv_workload.Genset
+module Batcher = Mlv_sched.Batcher
+module Autoscaler = Mlv_sched.Autoscaler
+module Session = Mlv_serve.Session
+module Trace_file = Mlv_serve.Trace_file
+module Obs = Mlv_obs.Obs
+
+let fail fmt = Printf.ksprintf (fun s -> prerr_endline ("FAIL: " ^ s); exit 1) fmt
+
+(* Everything in a result except the wall clock must match across a
+   front-door-neutral pair. *)
+let fingerprint (r : Sysim.result) = { r with Sysim.loop_wall_s = 0.0 }
+
+(* Like [fingerprint], but also blind to the front-door counters —
+   for comparing a run that uses the cache against one that does not
+   have it at all. *)
+let core_fingerprint (r : Sysim.result) =
+  {
+    (fingerprint r) with
+    Sysim.sessions_opened = 0;
+    sessions_expired = 0;
+    sticky_hits = 0;
+    sticky_misses = 0;
+    held_results = 0;
+    mapcache_hits = 0;
+    mapcache_misses = 0;
+    mapcache_evictions = 0;
+  }
+
+(* Small models only: a handful of live shapes keeps the trace
+   repeat-heavy (the mapping cache's home turf) and concentrates the
+   arrival stream on few replica groups so the per-group forecaster
+   sees a dense rate signal. *)
+let composition = { Genset.s = 1.0; m = 0.0; l = 0.0 }
+
+(* One 32 ms day-night cycle with a recurring 4 ms flash crowd at a
+   fixed phase — exactly the shape a seasonal forecaster can learn.
+   The period matches the predictive autoscaler's season
+   (32 ticks x 1 ms control interval). *)
+let flash_arrival =
+  Genset.Diurnal
+    {
+      period_us = 32_000.0;
+      trough_mean_us = 4_000.0;
+      peak_mean_us = 1_000.0;
+      flash_start_us = 8_000.0;
+      flash_us = 6_000.0;
+      flash_mean_us = 300.0;
+    }
+
+(* Single-inference tasks: the flash must be absorbable by a fully
+   scaled group, otherwise both control laws pin every group at
+   max_replicas and the comparison measures only reclaim thrash. *)
+let base_config ~seed ~tasks =
+  let base = Sysim.default_config ~policy:Runtime.greedy ~composition in
+  {
+    base with
+    Sysim.seed;
+    tasks;
+    repeats_per_task = 1;
+    arrival = Some flash_arrival;
+    slo_multiplier = 4.0;
+    serving = Some { Sysim.default_serving with Sysim.autoscale = None };
+  }
+
+let with_frontend cfg fe = { cfg with Sysim.frontend = Some fe }
+
+let with_cache cfg ~capacity ~compile_us =
+  with_frontend cfg
+    { Sysim.default_frontend with Sysim.mapping_cache = Some (capacity, compile_us) }
+
+let hit_rate (r : Sysim.result) =
+  let l = r.Sysim.mapcache_hits + r.Sysim.mapcache_misses in
+  if l = 0 then 0.0 else float_of_int r.Sysim.mapcache_hits /. float_of_int l
+
+let () =
+  let tasks = ref 800
+  and seed = ref 42
+  and out = ref "BENCH_serve.json"
+  and smoke = ref false in
+  Arg.parse
+    [
+      ("--tasks", Arg.Set_int tasks, "tasks per run (default 800)");
+      ("--seed", Arg.Set_int seed, "base seed (default 42)");
+      ("--out", Arg.Set_string out, "output JSON path (default BENCH_serve.json)");
+      ("--smoke", Arg.Set smoke, "short configuration, same assertions");
+    ]
+    (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
+    "serving front-door benchmark";
+  if !smoke then tasks := 400;
+  if !tasks <= 0 then begin
+    prerr_endline "--tasks must be positive";
+    exit 1
+  end;
+  let registry = Sysim.build_registry () in
+  let run cfg = Sysim.run ~registry cfg in
+  let cfg0 = base_config ~seed:!seed ~tasks:!tasks in
+
+  (* A: record -> parse -> replay round trip. *)
+  let trace = Sysim.workload cfg0 in
+  let roundtrip =
+    match Trace_file.of_string (Trace_file.to_string trace) with
+    | Error e -> fail "trace round-trip failed to parse: %s" e
+    | Ok parsed -> parsed
+  in
+  let roundtrip_exact = roundtrip = trace in
+  if not roundtrip_exact then
+    fail "trace round-trip is not bit-exact (%d tasks)" (List.length trace);
+  let r_gen = run cfg0 in
+  let r_rep = run { cfg0 with Sysim.replay = Some roundtrip } in
+  let replay_identical = fingerprint r_gen = fingerprint r_rep in
+  Printf.printf
+    "replay: %d tasks round-tripped, bit-identical to generation=%b\n%!"
+    (List.length trace) replay_identical;
+  if not replay_identical then
+    fail "replaying the recorded trace changed the simulation result";
+
+  (* B: a do-nothing front door and a free cache must be invisible. *)
+  let r_neutral = run (with_frontend cfg0 Sysim.default_frontend) in
+  let neutral_identical = fingerprint r_gen = fingerprint r_neutral in
+  if not neutral_identical then
+    fail "an all-off frontend changed the simulation result";
+  let r_mc_free = run (with_cache cfg0 ~capacity:64 ~compile_us:0.0) in
+  let free_cache_identical = core_fingerprint r_gen = core_fingerprint r_mc_free in
+  if not free_cache_identical then
+    fail "a zero-cost mapping cache changed the simulation result";
+  let free_rate = hit_rate r_mc_free in
+  Printf.printf
+    "mapping cache: %d hits / %d misses (%.1f%% hit rate), neutral=%b free=%b\n%!"
+    r_mc_free.Sysim.mapcache_hits r_mc_free.Sysim.mapcache_misses
+    (100.0 *. free_rate) neutral_identical free_cache_identical;
+  if free_rate < 0.9 then
+    fail "mapping-cache hit rate %.1f%% below the 90%% bar on a repeat-heavy trace"
+      (100.0 *. free_rate);
+
+  (* C: warm capacity vs a thrashing single entry, same compile bill. *)
+  let compile_us = 800.0 in
+  let r_warm = run (with_cache cfg0 ~capacity:64 ~compile_us) in
+  let r_cold = run (with_cache cfg0 ~capacity:1 ~compile_us) in
+  Printf.printf
+    "warm cache: %d/%d hit, mean %.1f ms; cold cache: %d/%d hit, mean %.1f ms\n%!"
+    r_warm.Sysim.mapcache_hits
+    (r_warm.Sysim.mapcache_hits + r_warm.Sysim.mapcache_misses)
+    (r_warm.Sysim.mean_latency_us /. 1000.0)
+    r_cold.Sysim.mapcache_hits
+    (r_cold.Sysim.mapcache_hits + r_cold.Sysim.mapcache_misses)
+    (r_cold.Sysim.mean_latency_us /. 1000.0);
+  if r_warm.Sysim.mapcache_hits <= r_cold.Sysim.mapcache_hits then
+    fail "warm cache did not out-hit the thrashing cache";
+  if r_warm.Sysim.mapcache_misses >= r_cold.Sysim.mapcache_misses then
+    fail "warm cache did not out-miss the thrashing cache";
+  if r_warm.Sysim.mean_latency_us > r_cold.Sysim.mean_latency_us then
+    fail "warm cache mean latency %.1f us exceeds cold %.1f us"
+      r_warm.Sysim.mean_latency_us r_cold.Sysim.mean_latency_us;
+  if r_cold.Sysim.mapcache_evictions = 0 then
+    fail "a one-entry cache over several shapes never evicted";
+
+  (* D: sessions.  On the busy trace sticky routing must land repeat
+     hits, out-of-order completions must exercise the in-order hold
+     buffer, and every request must be delivered, shed or rejected —
+     never lost held.  Expiry needs quiet gaps with nothing
+     outstanding, which the flash trace never offers (a backlogged
+     session may not be reaped), so it is asserted on a calm sparse
+     stream whose idle timeout undercuts the arrival spacing. *)
+  let r_sess =
+    run
+      (with_frontend cfg0
+         {
+           Sysim.default_frontend with
+           Sysim.sessions = Some (Session.config ~idle_timeout_us:2_000.0 ());
+         })
+  in
+  let accounted =
+    r_sess.Sysim.completed + r_sess.Sysim.shed + r_sess.Sysim.rejected
+  in
+  Printf.printf
+    "sessions: %d opened, %d expired, sticky %d/%d, %d held, %d/%d accounted\n%!"
+    r_sess.Sysim.sessions_opened r_sess.Sysim.sessions_expired
+    r_sess.Sysim.sticky_hits r_sess.Sysim.sticky_misses
+    r_sess.Sysim.held_results accounted !tasks;
+  if accounted <> !tasks then
+    fail "session run accounts for %d of %d requests" accounted !tasks;
+  if r_sess.Sysim.sticky_hits = 0 then
+    fail "sticky routing never landed a repeat hit";
+  if r_sess.Sysim.held_results = 0 then
+    fail "no completion was ever held for in-order delivery";
+  let calm_tasks = max 40 (!tasks / 10) in
+  let r_calm =
+    run
+      {
+        cfg0 with
+        Sysim.tasks = calm_tasks;
+        arrival = Some (Genset.Exponential { mean_us = 50_000.0 });
+        frontend =
+          Some
+            {
+              Sysim.default_frontend with
+              Sysim.sessions = Some (Session.config ~idle_timeout_us:5_000.0 ());
+            };
+      }
+  in
+  Printf.printf "calm sessions: %d opened, %d expired over %d sparse requests\n%!"
+    r_calm.Sysim.sessions_opened r_calm.Sysim.sessions_expired calm_tasks;
+  if r_calm.Sysim.sessions_expired < 1 || r_calm.Sysim.sessions_opened < 2 then
+    fail "session never expired and reopened across the calm gaps";
+
+  (* E: reactive vs predictive autoscaling on one replayed trace,
+     both behind the same priced mapping cache (the production
+     shape, and it puts the cache's hit rate in the comparison). *)
+  let scaled =
+    {
+      cfg0 with
+      Sysim.replay = Some trace;
+      serving =
+        Some
+          {
+            Sysim.default_serving with
+            Sysim.autoscale = Some Autoscaler.default;
+          };
+    }
+  in
+  let r_reactive =
+    run
+      (with_frontend scaled
+         { Sysim.default_frontend with Sysim.mapping_cache = Some (64, 500.0) })
+  in
+  let predictive =
+    with_frontend scaled
+      {
+        Sysim.default_frontend with
+        Sysim.mapping_cache = Some (64, 500.0);
+        predict = Some Autoscaler.default_predict;
+      }
+  in
+  let r_predictive = run predictive in
+  Printf.printf
+    "reactive:   goodput %.2f/s  p99 %.1f ms  scale %d up / %d down  cache %.1f%%\n%!"
+    r_reactive.Sysim.goodput_per_s
+    (r_reactive.Sysim.p99_latency_us /. 1000.0)
+    r_reactive.Sysim.scale_ups r_reactive.Sysim.scale_downs
+    (100.0 *. hit_rate r_reactive);
+  Printf.printf
+    "predictive: goodput %.2f/s  p99 %.1f ms  scale %d up / %d down  cache %.1f%%\n%!"
+    r_predictive.Sysim.goodput_per_s
+    (r_predictive.Sysim.p99_latency_us /. 1000.0)
+    r_predictive.Sysim.scale_ups r_predictive.Sysim.scale_downs
+    (100.0 *. hit_rate r_predictive);
+  if hit_rate r_predictive < 0.9 then
+    fail "mapping-cache hit rate %.1f%% below 90%% on the replayed comparison"
+      (100.0 *. hit_rate r_predictive);
+  if r_predictive.Sysim.goodput_per_s < r_reactive.Sysim.goodput_per_s then
+    fail "predictive goodput %.2f/s below reactive %.2f/s on the same trace"
+      r_predictive.Sysim.goodput_per_s r_reactive.Sysim.goodput_per_s;
+  let r_again = run predictive in
+  let deterministic = fingerprint r_again = fingerprint r_predictive in
+  if not deterministic then fail "predictive replay run is not deterministic";
+
+  let json =
+    Obs.Json.Obj
+      [
+        ("benchmark", Obs.Json.String "serve");
+        ("tasks", Obs.Json.Int !tasks);
+        ("seed", Obs.Json.Int !seed);
+        ("roundtrip_exact", Obs.Json.Bool roundtrip_exact);
+        ("replay_bit_identical", Obs.Json.Bool replay_identical);
+        ("neutral_bit_identical", Obs.Json.Bool neutral_identical);
+        ("free_cache_bit_identical", Obs.Json.Bool free_cache_identical);
+        ( "mapcache",
+          Obs.Json.Obj
+            [
+              ("hits", Obs.Json.Int r_mc_free.Sysim.mapcache_hits);
+              ("misses", Obs.Json.Int r_mc_free.Sysim.mapcache_misses);
+              ("hit_rate", Obs.Json.Float free_rate);
+              ("warm_mean_latency_us", Obs.Json.Float r_warm.Sysim.mean_latency_us);
+              ("cold_mean_latency_us", Obs.Json.Float r_cold.Sysim.mean_latency_us);
+              ("cold_evictions", Obs.Json.Int r_cold.Sysim.mapcache_evictions);
+            ] );
+        ( "sessions",
+          Obs.Json.Obj
+            [
+              ("opened", Obs.Json.Int r_sess.Sysim.sessions_opened);
+              ("expired", Obs.Json.Int r_sess.Sysim.sessions_expired);
+              ("sticky_hits", Obs.Json.Int r_sess.Sysim.sticky_hits);
+              ("sticky_misses", Obs.Json.Int r_sess.Sysim.sticky_misses);
+              ("held_results", Obs.Json.Int r_sess.Sysim.held_results);
+              ("calm_opened", Obs.Json.Int r_calm.Sysim.sessions_opened);
+              ("calm_expired", Obs.Json.Int r_calm.Sysim.sessions_expired);
+            ] );
+        ( "reactive",
+          Obs.Json.Obj
+            [
+              ("goodput_per_s", Obs.Json.Float r_reactive.Sysim.goodput_per_s);
+              ("p99_latency_us", Obs.Json.Float r_reactive.Sysim.p99_latency_us);
+              ("scale_ups", Obs.Json.Int r_reactive.Sysim.scale_ups);
+              ("scale_downs", Obs.Json.Int r_reactive.Sysim.scale_downs);
+              ("mapcache_hit_rate", Obs.Json.Float (hit_rate r_reactive));
+            ] );
+        ( "predictive",
+          Obs.Json.Obj
+            [
+              ("goodput_per_s", Obs.Json.Float r_predictive.Sysim.goodput_per_s);
+              ("p99_latency_us", Obs.Json.Float r_predictive.Sysim.p99_latency_us);
+              ("scale_ups", Obs.Json.Int r_predictive.Sysim.scale_ups);
+              ("scale_downs", Obs.Json.Int r_predictive.Sysim.scale_downs);
+              ("mapcache_hit_rate", Obs.Json.Float (hit_rate r_predictive));
+            ] );
+        ("deterministic", Obs.Json.Bool deterministic);
+      ]
+  in
+  let oc = open_out !out in
+  output_string oc (Obs.Json.to_string json);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "wrote %s\n%!" !out

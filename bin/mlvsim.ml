@@ -21,6 +21,63 @@ let burst_of_string s =
     Ok (Genset.Bursty { on_us; off_us; on_mean_us; off_mean_us })
   | _ -> Error "expected ON_US:OFF_US:ON_MEAN_US:OFF_MEAN_US, all positive"
 
+(* --diurnal PERIOD:TROUGH:PEAK[:FSTART:FLEN:FMEAN], all microseconds *)
+let diurnal_of_string s =
+  let fields = String.split_on_char ':' s |> List.map float_of_string_opt in
+  match fields with
+  | [ Some period_us; Some trough_mean_us; Some peak_mean_us ]
+    when period_us > 0.0 && peak_mean_us > 0.0 && trough_mean_us >= peak_mean_us
+    ->
+    Ok
+      (Genset.Diurnal
+         {
+           period_us;
+           trough_mean_us;
+           peak_mean_us;
+           flash_start_us = 0.0;
+           flash_us = 0.0;
+           flash_mean_us = 0.0;
+         })
+  | [ Some period_us;
+      Some trough_mean_us;
+      Some peak_mean_us;
+      Some flash_start_us;
+      Some flash_us;
+      Some flash_mean_us;
+    ]
+    when period_us > 0.0 && peak_mean_us > 0.0
+         && trough_mean_us >= peak_mean_us
+         && flash_start_us >= 0.0 && flash_us > 0.0 && flash_mean_us > 0.0
+         && flash_start_us +. flash_us <= period_us ->
+    Ok
+      (Genset.Diurnal
+         {
+           period_us;
+           trough_mean_us;
+           peak_mean_us;
+           flash_start_us;
+           flash_us;
+           flash_mean_us;
+         })
+  | _ ->
+    Error
+      "expected PERIOD:TROUGH:PEAK[:FSTART:FLEN:FMEAN] with PERIOD > 0, \
+       TROUGH >= PEAK > 0, and the flash window inside the period"
+
+(* --mapping-cache N[:COMPILE_US] *)
+let mapcache_of_string s =
+  match String.split_on_char ':' s with
+  | [ n ] -> (
+    match int_of_string_opt n with
+    | Some capacity when capacity > 0 -> Ok (capacity, 500.0)
+    | _ -> Error "expected N[:COMPILE_US] with N > 0")
+  | [ n; cost ] -> (
+    match (int_of_string_opt n, float_of_string_opt cost) with
+    | Some capacity, Some compile_us when capacity > 0 && compile_us >= 0.0 ->
+      Ok (capacity, compile_us)
+    | _ -> Error "expected N[:COMPILE_US] with N > 0 and COMPILE_US >= 0")
+  | _ -> Error "expected N[:COMPILE_US]"
+
 (* --batch N[:LINGER_US] *)
 let batch_of_string s =
   match String.split_on_char ':' s with
@@ -67,7 +124,8 @@ let policy_conv =
     ( (fun s -> policy_of_string s),
       fun fmt p -> Format.pp_print_string fmt p.Runtime.policy_name )
 
-let report ?faults ?serving set composition policy tasks seed (r : Sysim.result) =
+let report ?faults ?serving ?frontend set composition policy tasks seed
+    (r : Sysim.result) =
   Printf.printf "workload set %d (%s), policy %s, %d tasks, seed %d\n" set
     (Genset.composition_name composition)
     policy.Runtime.policy_name tasks seed;
@@ -101,6 +159,29 @@ let report ?faults ?serving set composition policy tasks seed (r : Sysim.result)
     (match s.Sysim.defrag with
     | Some _ -> Printf.printf "  defrag moves:    %d\n" r.Sysim.defrag_moves
     | None -> ());
+    (match frontend with
+    | None -> ()
+    | Some (f : Sysim.frontend) ->
+      (match f.Sysim.sessions with
+      | None -> ()
+      | Some _ ->
+        Printf.printf
+          "  sessions:        %d opened, %d expired, sticky %d/%d, held %d\n"
+          r.Sysim.sessions_opened r.Sysim.sessions_expired r.Sysim.sticky_hits
+          r.Sysim.sticky_misses r.Sysim.held_results);
+      (match f.Sysim.mapping_cache with
+      | None -> ()
+      | Some _ ->
+        let lookups = r.Sysim.mapcache_hits + r.Sysim.mapcache_misses in
+        Printf.printf
+          "  mapping cache:   %d hits / %d misses (%.0f%% hit rate), %d \
+           evictions\n"
+          r.Sysim.mapcache_hits r.Sysim.mapcache_misses
+          (if lookups = 0 then 0.0
+           else 100.0 *. float_of_int r.Sysim.mapcache_hits /. float_of_int lookups)
+          r.Sysim.mapcache_evictions);
+      if f.Sysim.predict <> None then
+        Printf.printf "  autoscaler:      predictive (Holt-Winters forecast)\n");
     Printf.printf "  goodput:         %.2f tasks/s\n" r.Sysim.goodput_per_s;
     Printf.printf "  p50/p95/p99:     %.1f / %.1f / %.1f ms\n"
       (r.Sysim.p50_latency_us /. 1000.0)
@@ -142,8 +223,9 @@ let report ?faults ?serving set composition policy tasks seed (r : Sysim.result)
   | None -> ())
 
 let run set policy tasks seed interarrival repeats compare fault_plan max_retries
-    burst batch autoscale slo tenants preempt defrag bitstream_cache engine
-    metrics_out trace_out scrape_interval alerts series_out prom_out =
+    burst diurnal batch autoscale slo tenants preempt defrag sessions
+    mapping_cache predict replay record bitstream_cache engine metrics_out
+    trace_out scrape_interval alerts series_out prom_out =
   let ( let* ) r f = Result.bind r f in
   let parsed =
     let* faults =
@@ -155,12 +237,17 @@ let run set policy tasks seed interarrival repeats compare fault_plan max_retrie
         | Error e -> Error ("bad --fault-plan: " ^ e))
     in
     let* arrival =
-      match burst with
-      | None -> Ok None
-      | Some s -> (
+      match (burst, diurnal) with
+      | Some _, Some _ -> Error "--burst and --diurnal are mutually exclusive"
+      | Some s, None -> (
         match burst_of_string s with
         | Ok a -> Ok (Some a)
         | Error e -> Error ("bad --burst: " ^ e))
+      | None, Some s -> (
+        match diurnal_of_string s with
+        | Ok a -> Ok (Some a)
+        | Error e -> Error ("bad --diurnal: " ^ e))
+      | None, None -> Ok None
     in
     let* batch =
       match batch with
@@ -178,10 +265,41 @@ let run set policy tasks seed interarrival repeats compare fault_plan max_retrie
         | Ok cs -> Ok (Some cs)
         | Error e -> Error ("bad --slo: " ^ e))
     in
+    let* frontend_sessions =
+      match sessions with
+      | None -> Ok None
+      | Some us when us > 0.0 ->
+        Ok (Some (Mlv_serve.Session.config ~idle_timeout_us:us ()))
+      | Some _ -> Error "--sessions idle timeout must be positive"
+    in
+    let* frontend_cache =
+      match mapping_cache with
+      | None -> Ok None
+      | Some s -> (
+        match mapcache_of_string s with
+        | Ok mc -> Ok (Some mc)
+        | Error e -> Error ("bad --mapping-cache: " ^ e))
+    in
+    let* () =
+      if predict && not autoscale then
+        Error "--predict requires --autoscale (it replaces its control law)"
+      else Ok ()
+    in
+    let frontend =
+      if frontend_sessions = None && frontend_cache = None && not predict then
+        None
+      else
+        Some
+          {
+            Sysim.sessions = frontend_sessions;
+            mapping_cache = frontend_cache;
+            predict = (if predict then Some Autoscaler.default_predict else None);
+          }
+    in
     (* any serving knob switches the engine to closed-loop mode *)
     let serving =
       if batch = None && classes = None && (not autoscale) && (not preempt)
-         && not defrag
+         && not defrag && frontend = None
       then None
       else
         (* With --tenants, the --slo token bucket also sizes a
@@ -239,7 +357,17 @@ let run set policy tasks seed interarrival repeats compare fault_plan max_retrie
       Error "--preempt needs --tenants >= 2 (the first tenant gets priority)"
     else if bitstream_cache < 0 then
       Error "--bitstream-cache must be non-negative"
-    else Ok (faults, arrival, serving, telemetry)
+    else if replay <> None && record <> None then
+      Error "--replay and --record are mutually exclusive"
+    else if replay <> None && tenants > 0 then
+      Error
+        "--replay carries its own tenant names; it does not compose with \
+         --tenants"
+    else if frontend <> None && faults <> None then
+      Error
+        "front-door flags (--sessions/--mapping-cache/--predict) do not \
+         compose with --fault-plan"
+    else Ok (faults, arrival, serving, telemetry, frontend)
   in
   match parsed with
   | Error e ->
@@ -248,7 +376,7 @@ let run set policy tasks seed interarrival repeats compare fault_plan max_retrie
   | Ok _ when set < 1 || set > 10 ->
     prerr_endline "workload set must be 1..10";
     1
-  | Ok (faults, arrival, serving, telemetry) ->
+  | Ok (faults, arrival, serving, telemetry, frontend) ->
     Mlv_cluster.Sim.set_default_engine engine;
     if trace_out <> None then Mlv_obs.Obs.Trace.set_enabled true;
     Printf.printf "building the mapping database (10 accelerator instances)...\n%!";
@@ -276,25 +404,54 @@ let run set policy tasks seed interarrival repeats compare fault_plan max_retrie
               ~arrival:tenant_arrival ~priority
               (Printf.sprintf "t%d" (i + 1)))
     in
+    let mk_cfg policy replay_tasks =
+      {
+        (Sysim.default_config ~policy ~composition) with
+        Sysim.tasks;
+        mean_interarrival_us = interarrival;
+        arrival;
+        seed;
+        repeats_per_task = repeats;
+        faults;
+        serving;
+        tenants = tenant_loads;
+        bitstream_cache =
+          (if bitstream_cache > 0 then Some bitstream_cache else None);
+        telemetry;
+        frontend;
+        replay = replay_tasks;
+      }
+    in
+    (* --replay drives the run from a recorded trace; --record captures
+       the stream this config would generate, then replays it so the
+       run exercises the very trace it wrote. *)
+    let replayed =
+      match (replay, record) with
+      | Some path, _ -> (
+        match Mlv_serve.Trace_file.read path with
+        | Ok ts -> Ok (Some ts)
+        | Error e -> Error (Printf.sprintf "cannot replay %s: %s" path e))
+      | None, Some path -> (
+        let ts = Sysim.workload (mk_cfg policy None) in
+        try
+          Mlv_serve.Trace_file.write path ts;
+          Printf.printf "trace recorded to %s (%d tasks)\n" path
+            (List.length ts);
+          Ok (Some ts)
+        with Sys_error e -> Error ("cannot record trace: " ^ e))
+      | None, None -> Ok None
+    in
+    (match replayed with
+    | Error e ->
+      prerr_endline e;
+      1
+    | Ok replay_tasks ->
+    let shown_tasks =
+      match replay_tasks with Some ts -> List.length ts | None -> tasks
+    in
     let run_one policy =
-      let cfg =
-        {
-          (Sysim.default_config ~policy ~composition) with
-          Sysim.tasks;
-          mean_interarrival_us = interarrival;
-          arrival;
-          seed;
-          repeats_per_task = repeats;
-          faults;
-          serving;
-          tenants = tenant_loads;
-          bitstream_cache =
-            (if bitstream_cache > 0 then Some bitstream_cache else None);
-          telemetry;
-        }
-      in
-      report ?faults ?serving set composition policy tasks seed
-        (Sysim.run ~registry cfg)
+      report ?faults ?serving ?frontend set composition policy shown_tasks seed
+        (Sysim.run ~registry (mk_cfg policy replay_tasks))
     in
     if compare then
       List.iter run_one [ Runtime.baseline; Runtime.restricted; Runtime.greedy ]
@@ -355,7 +512,7 @@ let run set policy tasks seed interarrival repeats compare fault_plan max_retrie
           Printf.eprintf "cannot write prometheus exposition: %s\n" e;
           1)
     in
-    max (max wrote_metrics wrote_trace) (max wrote_series wrote_prom)
+    max (max wrote_metrics wrote_trace) (max wrote_series wrote_prom))
 
 let set_arg =
   Arg.(value & opt int 7 & info [ "set" ] ~docv:"N" ~doc:"Table-1 workload set (1-10)")
@@ -412,6 +569,18 @@ let burst_arg =
            cycle ON_US:OFF_US:ON_MEAN_US:OFF_MEAN_US (e.g. \
            '2000:8000:50:2000' — 2 ms bursts at 50 µs mean spacing, then \
            8 ms of 2 ms spacing)")
+
+let diurnal_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "diurnal" ] ~docv:"SPEC"
+        ~doc:
+          "Replace the exponential arrival stream with a day-night load \
+           curve PERIOD_US:TROUGH_MEAN_US:PEAK_MEAN_US, optionally with a \
+           flash-crowd window :FSTART_US:FLEN_US:FMEAN_US at a fixed phase \
+           of every cycle (e.g. '32000:2000:200:8000:2000:20').  Mutually \
+           exclusive with $(b,--burst)")
 
 let batch_arg =
   Arg.(
@@ -475,6 +644,57 @@ let defrag_arg =
            when no group has backlog and the fragmentation index crosses \
            the threshold, idle replicas are force-migrated into denser \
            packings so whole devices free up for large accelerators")
+
+let sessions_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "sessions" ] ~docv:"IDLE_US"
+        ~doc:
+          "Enable front-door client sessions (one per tenant): sticky \
+           replica routing, in-order result delivery, and idle expiry \
+           after $(docv) microseconds without a request")
+
+let mapping_cache_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "mapping-cache" ] ~docv:"N[:COMPILE_US]"
+        ~doc:
+          "Enable the compiled-mapping LRU cache: $(docv) entries keyed by \
+           accelerator shape signature; a miss pays COMPILE_US microseconds \
+           (default 500) of mapping-compilation latency amortized across \
+           its batch, a hit pays nothing")
+
+let predict_arg =
+  Arg.(
+    value & flag
+    & info [ "predict" ]
+        ~doc:
+          "Replace the reactive autoscaler control law with the predictive \
+           one: a Holt-Winters forecast of the admitted arrival rate sizes \
+           the replica group ahead of recurring load swings.  Requires \
+           $(b,--autoscale)")
+
+let replay_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "replay" ] ~docv:"FILE"
+        ~doc:
+          "Drive the run from a recorded #mlv-trace file instead of \
+           generating arrivals; replay is bit-exact (arrival instants are \
+           stored as hex floats)")
+
+let record_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "record" ] ~docv:"FILE"
+        ~doc:
+          "Write the workload this configuration generates as a #mlv-trace \
+           file to $(docv), then run by replaying it (so the run and the \
+           recording cannot disagree)")
 
 let bitstream_cache_arg =
   Arg.(
@@ -575,8 +795,10 @@ let () =
     Term.(
       const run $ set_arg $ policy_arg $ tasks_arg $ seed_arg $ interarrival_arg
       $ repeats_arg $ compare_arg $ fault_plan_arg $ max_retries_arg
-      $ burst_arg $ batch_arg $ autoscale_arg $ slo_arg $ tenants_arg
-      $ preempt_arg $ defrag_arg $ bitstream_cache_arg $ engine_arg
+      $ burst_arg $ diurnal_arg $ batch_arg $ autoscale_arg $ slo_arg
+      $ tenants_arg $ preempt_arg $ defrag_arg $ sessions_arg
+      $ mapping_cache_arg $ predict_arg $ replay_arg $ record_arg
+      $ bitstream_cache_arg $ engine_arg
       $ metrics_out_arg $ trace_out_arg $ scrape_interval_arg $ alerts_arg
       $ series_out_arg $ prom_out_arg)
   in

@@ -8,6 +8,8 @@ module Fault_plan = Mlv_cluster.Fault_plan
 module Slo = Mlv_sched.Slo
 module Router = Mlv_sched.Router
 module Autoscaler = Mlv_sched.Autoscaler
+module Session = Mlv_serve.Session
+module Mapcache = Mlv_serve.Mapcache
 
 type t = {
   runtime : Runtime.t;
@@ -24,6 +26,11 @@ type t = {
   alert_engine : Alert.t;
       (* rules added via [alert add], evaluated on demand by [alerts
          eval] against the live series registry *)
+  sessions : Session.t;
+      (* front-door client sessions, on the cluster's sim clock *)
+  mutable mapcache : string Mapcache.t option;
+      (* compiled-mapping LRU keyed by shape signature (value: the
+         accel that filled the entry); None until [mapcache <cap>] *)
 }
 
 let create runtime =
@@ -37,6 +44,8 @@ let create runtime =
     autoscale = false;
     autoscale_cfg = Autoscaler.default;
     alert_engine = Alert.create [];
+    sessions = Session.create (Session.config ());
+    mapcache = None;
   }
 
 let live_handles t =
@@ -47,7 +56,10 @@ let help =
    rebalance | fail <node> | restore <node> | migrate <id> [force] | inject <plan> | \
    faults | index | slo [add <class> <prio> <deadline_us> <rate/s> <burst> | \
    check <class> | shed <prio|off>] | router [dispatch <accel> | done <id>] | \
-   autoscale [on|off | eval <accel>] | metrics [json] | trace <substring> | \
+   autoscale [on|off | eval <accel>] | sessions | \
+   session [touch <key> | expire] | \
+   mapcache [<capacity> | off | lookup <accel>] | \
+   metrics [json] | trace <substring> | \
    timeline [on|off] | top | series [<name>] | alerts [eval] | \
    alert add <rule-spec> | counters reset | help"
 
@@ -466,6 +478,75 @@ let do_faults t =
   Printf.sprintf "ok failed=%s degraded=%s added_latency_us=%g" failed degraded
     (Network.added_latency_us cluster.Cluster.network)
 
+(* ------------------------------------------------------------------ *)
+(* Front door: client sessions and the compiled-mapping cache          *)
+(* ------------------------------------------------------------------ *)
+
+let do_sessions t =
+  let s = t.sessions in
+  let lines =
+    List.filter_map
+      (fun k ->
+        Option.map
+          (fun sess ->
+            Printf.sprintf "%s last_active=%.0f outstanding=%d" k
+              (Session.last_active_us sess)
+              (Session.outstanding sess))
+          (Session.find s k))
+      (Session.keys s)
+  in
+  Printf.sprintf "ok sessions=%d opened=%d expired=%d sticky=%d/%d held=%d%s"
+    (Session.active s) (Session.opened s) (Session.expired s)
+    (Session.sticky_hits s) (Session.sticky_misses s) (Session.held s)
+    (match lines with [] -> "" | _ -> "\n" ^ String.concat "\n" lines)
+
+let do_session_touch t key =
+  let sess = Session.touch t.sessions ~now_us:(now_us t) key in
+  Printf.sprintf "ok key=%s outstanding=%d last_active=%.0f" key
+    (Session.outstanding sess)
+    (Session.last_active_us sess)
+
+let do_session_expire t =
+  let reaped = Session.expire t.sessions ~now_us:(now_us t) in
+  Printf.sprintf "ok expired=%d%s" (List.length reaped)
+    (match reaped with [] -> "" | ks -> " " ^ String.concat "," ks)
+
+let do_mapcache_show t =
+  match t.mapcache with
+  | None -> "ok mapcache=off"
+  | Some mc ->
+    Printf.sprintf
+      "ok mapcache=on capacity=%d entries=%d hits=%d misses=%d evictions=%d \
+       hit_rate=%.2f%s"
+      (Mapcache.capacity mc) (Mapcache.length mc) (Mapcache.hits mc)
+      (Mapcache.misses mc) (Mapcache.evictions mc) (Mapcache.hit_rate mc)
+      (match Mapcache.keys mc with
+      | [] -> ""
+      | ks -> "\n" ^ String.concat "\n" ks)
+
+let do_mapcache_install t cap_str =
+  match int_of_string_opt cap_str with
+  | None -> Printf.sprintf "error bad capacity %S (try mapcache <capacity>)" cap_str
+  | Some c when c < 1 -> "error capacity must be >= 1"
+  | Some c ->
+    t.mapcache <- Some (Mapcache.create ~capacity:c ());
+    Printf.sprintf "ok mapcache=on capacity=%d" c
+
+let do_mapcache_lookup t accel =
+  match t.mapcache with
+  | None -> "error mapcache is off (try mapcache <capacity>)"
+  | Some mc -> (
+    match Registry.plan (Runtime.registry t.runtime) accel with
+    | None -> Printf.sprintf "error unknown accelerator %S" accel
+    | Some plan -> (
+      let key = Mapdb.shape_signature plan in
+      match Mapcache.find mc key with
+      | Some owner ->
+        Printf.sprintf "ok hit accel=%s compiled_as=%s key=%s" accel owner key
+      | None ->
+        Mapcache.put mc key accel;
+        Printf.sprintf "ok miss accel=%s key=%s" accel key))
+
 let handle t line =
   let words =
     String.split_on_char ' ' (String.trim line) |> List.filter (fun w -> w <> "")
@@ -520,6 +601,17 @@ let handle t line =
     "ok autoscale=off"
   | [ "autoscale"; "eval"; accel ] -> do_autoscale_eval t accel
   | "autoscale" :: _ -> "error usage: autoscale [on|off | eval <accel>]"
+  | [ "sessions" ] -> do_sessions t
+  | [ "session"; ("open" | "touch"); key ] -> do_session_touch t key
+  | [ "session"; "expire" ] -> do_session_expire t
+  | "session" :: _ -> "error usage: session [touch <key> | expire]"
+  | [ "mapcache" ] -> do_mapcache_show t
+  | [ "mapcache"; "off" ] ->
+    t.mapcache <- None;
+    "ok mapcache=off"
+  | [ "mapcache"; "lookup"; accel ] -> do_mapcache_lookup t accel
+  | [ "mapcache"; cap ] -> do_mapcache_install t cap
+  | "mapcache" :: _ -> "error usage: mapcache [<capacity> | off | lookup <accel>]"
   | [ "inject"; plan ] -> do_inject t plan
   | "inject" :: _ -> "error usage: inject <plan> (e.g. crash@100:1,restore@500:1)"
   | [ "faults" ] -> do_faults t

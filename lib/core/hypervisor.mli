@@ -53,6 +53,28 @@
                                 one offline control-loop step over the
                                 live router state; actuation is left
                                 to the operator (deploy/undeploy)
+      sessions              ->  ok sessions=<n> opened=<o> expired=<e>
+                                sticky=<h>/<m> held=<k> followed by
+                                one line per live front-door session
+      session touch <key>   ->  ok key=<k> outstanding=<n> ...
+                                open (or refresh) a client session at
+                                the cluster's current sim time;
+                                [session open] is an alias
+      session expire        ->  ok expired=<n> [keys]
+                                reap sessions idle past the timeout
+                                (outstanding requests keep a session
+                                alive)
+      mapcache <capacity>   ->  ok mapcache=on capacity=<c>
+                                install the compiled-mapping LRU
+      mapcache off          ->  ok mapcache=off
+      mapcache              ->  ok mapcache=... hit/miss/eviction
+                                stats plus cached keys, MRU first
+      mapcache lookup <accel>
+                            ->  ok hit|miss accel=<a> key=<sig>
+                                probe (and on miss fill) the cache
+                                with the accelerator's canonical
+                                shape signature — a hit names the
+                                accel whose compilation it reuses
       inject <plan>         ->  ok events=<n> recovered=<r> lost=<l> now=<t>
                                 run a Fault_plan (crash@t:n,restore@t:n,
                                 degrade@t:us) to completion on the

@@ -62,6 +62,18 @@ let options pp ~kind =
   | None -> pp.options
   | Some k -> ( match List.assoc_opt k pp.options_by_kind with Some l -> l | None -> [])
 
+(* Canonical cache key for a compiled plan: the shape keys of the
+   control and data trees ({!Soft_block.shape_key} is injective up to
+   [equal_shape]) plus the level count.  Two plans compiled from
+   shape-equal trees under the same partitioning depth produce the
+   same placements, so a front-door cache keyed by this signature can
+   reuse one plan's compilation for the other. *)
+let shape_signature plan =
+  Printf.sprintf "l%d;%s;%s"
+    (List.length plan.fewest_first)
+    (Soft_block.shape_key plan.mapping.Mapping.control)
+    (Soft_block.shape_key plan.mapping.Mapping.data)
+
 type t = (string, plan) Hashtbl.t
 
 let create () : t = Hashtbl.create 16

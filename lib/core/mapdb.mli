@@ -44,6 +44,14 @@ val levels : plan -> fewest_first:bool -> whole_device:bool -> level_plan list
 val options :
   piece_plan -> kind:Device.kind option -> (Device.kind * Mlv_vital.Bitstream.t) list
 
+(** [shape_signature plan] is a canonical cache key for the compiled
+    plan: equal signatures iff the control and data trees are
+    shape-equal ({!Soft_block.shape_key}) and the partitioning depth
+    matches.  The serving front door keys its compiled-mapping cache
+    by this, so repeat requests for an already-compiled shape skip
+    the decompose/partition/mapping pipeline. *)
+val shape_signature : plan -> string
+
 type t
 
 val create : unit -> t

@@ -106,6 +106,89 @@ let rotate_window cfg tr ~now_us =
     tr.rotated_us <- now_us
   end
 
+(* ---------------- predictive mode ---------------- *)
+
+(* Forecast-driven scaling: instead of reacting to backlog watermarks
+   and p99 breaches, fit a Holt-Winters model to the per-tick arrival
+   rate (the same number the telemetry Series reports) and size the
+   fleet for the rate [horizon] ticks ahead:
+
+     target = ceil(predicted_rate * mean_service / headroom)
+
+   i.e. enough replicas to serve the predicted offered load at
+   [headroom] utilization.  Scale-up is exempt from the cooldown —
+   acting ahead of a predicted ramp is the entire point — while
+   scale-down keeps the cooldown and the idle-replica requirement so
+   a noisy forecast cannot thrash the warm pool. *)
+type predict = {
+  horizon : int;  (* forecast this many ticks ahead *)
+  season_ticks : int;  (* seasonal period, in control ticks *)
+  alpha : float;
+  beta : float;
+  gamma : float;
+  headroom : float;  (* target utilization in (0, 1] *)
+  warmup : int;  (* rate samples before the forecast is trusted *)
+}
+
+let default_predict =
+  {
+    horizon = 2;
+    season_ticks = 32;
+    alpha = 0.5;
+    beta = 0.1;
+    gamma = 0.3;
+    headroom = 0.7;
+    warmup = 32;
+  }
+
+let predict ?(horizon = default_predict.horizon)
+    ?(season_ticks = default_predict.season_ticks)
+    ?(alpha = default_predict.alpha) ?(beta = default_predict.beta)
+    ?(gamma = default_predict.gamma) ?(headroom = default_predict.headroom)
+    ?warmup () =
+  if horizon < 1 then invalid_arg "Autoscaler.predict: horizon must be >= 1";
+  if season_ticks < 1 then
+    invalid_arg "Autoscaler.predict: season must be >= 1 tick";
+  if not (headroom > 0.0 && headroom <= 1.0) then
+    invalid_arg "Autoscaler.predict: headroom must be in (0, 1]";
+  let warmup = Option.value warmup ~default:season_ticks in
+  if warmup < 1 then invalid_arg "Autoscaler.predict: warmup must be >= 1";
+  ignore (Forecast.create ~alpha ~beta ~gamma ~period:season_ticks ());
+  { horizon; season_ticks; alpha; beta; gamma; headroom; warmup }
+
+(* Per-group predictive state: the rate model plus an EWMA of
+   observed per-task service time (the capacity side of the sizing
+   formula). *)
+type ptracker = {
+  pt_forecast : Forecast.t;
+  mutable pt_service_ewma_us : float;
+  mutable pt_service_n : int;
+}
+
+let ptracker (p : predict) =
+  {
+    pt_forecast =
+      Forecast.create ~alpha:p.alpha ~beta:p.beta ~gamma:p.gamma
+        ~period:p.season_ticks ();
+    pt_service_ewma_us = 0.0;
+    pt_service_n = 0;
+  }
+
+let observe_rate pt rate_per_s = Forecast.observe pt.pt_forecast rate_per_s
+
+let observe_service pt us =
+  if us > 0.0 then begin
+    if pt.pt_service_n = 0 then pt.pt_service_ewma_us <- us
+    else pt.pt_service_ewma_us <- (0.1 *. us) +. (0.9 *. pt.pt_service_ewma_us);
+    pt.pt_service_n <- pt.pt_service_n + 1
+  end
+
+let predicted_rate_per_s (p : predict) pt =
+  Float.max 0.0 (Forecast.forecast pt.pt_forecast ~ahead:p.horizon)
+
+let rate_samples pt = Forecast.observations pt.pt_forecast
+let service_ewma_us pt = pt.pt_service_ewma_us
+
 let decide cfg tr ~now_us ~backlog ~replicas ~idle ~deadline_us =
   (* Rotate even while held in cooldown so stale samples age out. *)
   rotate_window cfg tr ~now_us;
@@ -133,4 +216,39 @@ let decide cfg tr ~now_us ~backlog ~replicas ~idle ~deadline_us =
       && per_replica <= cfg.low_backlog_per_replica
     then Scale_down
     else Hold
+  end
+
+(* One predictive control step.  Returns the decision plus the target
+   replica count the caller should grow toward (the reactive loop only
+   ever moves by one; a predicted flash crowd wants the whole gap
+   closed in one tick).  Falls back to the reactive {!decide} while
+   the model is cold — fewer than [warmup] rate samples, or no
+   completed task has calibrated the service EWMA yet. *)
+let decide_predictive cfg (p : predict) tr pt ~now_us ~backlog ~replicas ~idle
+    ~deadline_us =
+  if rate_samples pt < p.warmup || pt.pt_service_n = 0 then begin
+    let d = decide cfg tr ~now_us ~backlog ~replicas ~idle ~deadline_us in
+    let target =
+      match d with
+      | Scale_up -> min (replicas + 1) cfg.max_replicas
+      | Scale_down -> max (replicas - 1) cfg.min_replicas
+      | Hold -> replicas
+    in
+    (d, target)
+  end
+  else begin
+    rotate_window cfg tr ~now_us;
+    let rate = predicted_rate_per_s p pt in
+    let per_replica_per_s = 1e6 /. pt.pt_service_ewma_us in
+    let demand = rate /. (per_replica_per_s *. p.headroom) in
+    let target = int_of_float (Float.ceil demand) in
+    (* Predicted-quiet with work already queued still needs capacity. *)
+    let target = if backlog > 0 then Stdlib.max target 1 else target in
+    let target = min (Stdlib.max target cfg.min_replicas) cfg.max_replicas in
+    if target > replicas then (Scale_up, target)
+    else if
+      target < replicas && idle > 0
+      && now_us -. tr.last_scale_us >= cfg.cooldown_us
+    then (Scale_down, target)
+    else (Hold, target)
   end

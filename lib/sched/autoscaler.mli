@@ -101,3 +101,86 @@ val decide :
   idle:int ->
   deadline_us:float ->
   decision
+
+(** {1 Predictive mode}
+
+    Forecast-driven scaling: a {!Forecast} Holt-Winters model over
+    the per-tick arrival rate (the number the telemetry series
+    publishes) sizes the fleet for the rate [horizon] ticks ahead —
+    [target = ceil(rate * mean_service / headroom)] — instead of
+    reacting to backlog watermarks after the queue has already built.
+    Scale-up is exempt from the cooldown (acting ahead of a predicted
+    ramp is the point); scale-down keeps the cooldown and the
+    idle-replica requirement so forecast noise cannot thrash the warm
+    pool. *)
+
+type predict = {
+  horizon : int;  (** forecast this many control ticks ahead, >= 1 *)
+  season_ticks : int;  (** seasonal period in control ticks, >= 1 *)
+  alpha : float;  (** level smoothing, in [0, 1] *)
+  beta : float;  (** trend smoothing; 0 = seasonal EWMA *)
+  gamma : float;  (** season smoothing *)
+  headroom : float;  (** target utilization in (0, 1] *)
+  warmup : int;
+      (** rate samples before the forecast is trusted; the reactive
+          {!decide} rules apply until then *)
+}
+
+(** Horizon 2, season 32 ticks, smoothing 0.5/0.1/0.3, 70%
+    utilization target, warmup of one season. *)
+val default_predict : predict
+
+(** [predict ()] is {!default_predict} with overrides; [warmup]
+    defaults to [season_ticks].
+    @raise Invalid_argument on a non-positive horizon/season/warmup,
+    smoothing outside [0, 1], or headroom outside (0, 1]. *)
+val predict :
+  ?horizon:int ->
+  ?season_ticks:int ->
+  ?alpha:float ->
+  ?beta:float ->
+  ?gamma:float ->
+  ?headroom:float ->
+  ?warmup:int ->
+  unit ->
+  predict
+
+(** Per-group predictive state: the rate forecaster plus an EWMA of
+    observed per-task service time. *)
+type ptracker
+
+val ptracker : predict -> ptracker
+
+(** [observe_rate pt r] feeds one control tick's arrival rate in
+    events per second (exactly one sample per tick, in order). *)
+val observe_rate : ptracker -> float -> unit
+
+(** [observe_service pt us] feeds one completed task's unqueued
+    service time into the capacity EWMA; non-positive samples are
+    ignored. *)
+val observe_service : ptracker -> float -> unit
+
+(** The model's current [horizon]-ahead rate estimate, clamped at
+    0. *)
+val predicted_rate_per_s : predict -> ptracker -> float
+
+val rate_samples : ptracker -> int
+val service_ewma_us : ptracker -> float
+
+(** [decide_predictive cfg p tr pt ...] is one predictive control
+    step: the decision plus the target replica count to grow toward
+    (a predicted flash crowd closes the whole gap in one tick, where
+    the reactive loop moves by one replica).  Falls back to the
+    reactive {!decide} while the model is cold (fewer than [warmup]
+    rate samples, or no service-time sample yet). *)
+val decide_predictive :
+  config ->
+  predict ->
+  tracker ->
+  ptracker ->
+  now_us:float ->
+  backlog:int ->
+  replicas:int ->
+  idle:int ->
+  deadline_us:float ->
+  decision * int

@@ -131,21 +131,45 @@ let set_tenant_pool t ~rate_per_s ~burst specs =
         ~remaining:(remaining -. float_of_int (List.length floored))
   in
   settle specs ~active_w:total_w ~remaining:(float_of_int burst);
+  (* Re-setting the pool mid-run (session churn adds and removes
+     tenants) renormalizes every share but must not mint tokens: a
+     surviving tenant keeps its consumed state — tokens scaled by the
+     burst ratio (so "half a bucket left" stays half a bucket), refill
+     clock and admission counters intact.  Only genuinely new tenants
+     start with a full bucket. *)
+  let old = t.tenant_buckets in
   t.tenant_buckets <-
     List.map
       (fun s ->
         let share = s.tenant_weight /. total_w in
         let b = Hashtbl.find bursts s.tenant_name in
-        ( s.tenant_name,
-          {
-            tspec = s;
-            t_rate_per_s = rate_per_s *. share;
-            t_burst = b;
-            t_tokens = b;
-            t_refilled_us = 0.0;
-            tb_admitted = 0;
-            tb_shed = 0;
-          } ))
+        let tb =
+          match List.assoc_opt s.tenant_name old with
+          | Some prev ->
+            {
+              tspec = s;
+              t_rate_per_s = rate_per_s *. share;
+              t_burst = b;
+              t_tokens =
+                Float.min b
+                  (if prev.t_burst > 0.0 then prev.t_tokens *. (b /. prev.t_burst)
+                   else b);
+              t_refilled_us = prev.t_refilled_us;
+              tb_admitted = prev.tb_admitted;
+              tb_shed = prev.tb_shed;
+            }
+          | None ->
+            {
+              tspec = s;
+              t_rate_per_s = rate_per_s *. share;
+              t_burst = b;
+              t_tokens = b;
+              t_refilled_us = 0.0;
+              tb_admitted = 0;
+              tb_shed = 0;
+            }
+        in
+        (s.tenant_name, tb))
       specs
 
 let tenants t = List.map (fun (_, b) -> b.tspec) t.tenant_buckets

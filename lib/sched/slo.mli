@@ -69,6 +69,14 @@ val create : class_spec list -> t
     {!Shed_tenant} before the class gate sees it; the token is only
     consumed on final admission, so a class-level shed does not burn
     the tenant's share.
+
+    Re-setting the pool mid-run renormalizes every share against the
+    new membership without minting tokens: a tenant present in both
+    the old and new pool keeps its refill clock and admission
+    counters, and its token balance is scaled by the ratio of new to
+    old burst (then clamped to the new burst), so consumed capacity
+    stays consumed.  Tenants new to the pool start with a full
+    bucket.
     @raise Invalid_argument on a non-positive rate, burst < 1 or
     duplicate tenant names. *)
 val set_tenant_pool :

@@ -1,0 +1,43 @@
+(** Compiled-mapping / result cache for the serving front door.
+
+    An LRU keyed by canonical shape signatures
+    ({!Mlv_core.Mapdb.shape_signature} in practice — the key space
+    where equal keys mean equal compiled shapes), so repeat requests
+    for an already-compiled accelerator skip the
+    decompose/partition/mapping pipeline and pay only queue and
+    service time.
+
+    Hits are O(1); the LRU scan runs only when a miss evicts from a
+    full cache.  Hit / miss / eviction counts are mirrored into the
+    {!Mlv_obs.Obs} registry under [serve.mapcache.*], where the
+    telemetry scrape loop picks them up. *)
+
+type 'a t
+
+(** @raise Invalid_argument when [capacity < 1]. *)
+val create : capacity:int -> unit -> 'a t
+
+val capacity : 'a t -> int
+val length : 'a t -> int
+
+(** [mem t key] probes without touching recency or counters. *)
+val mem : 'a t -> string -> bool
+
+(** [find t key] returns the cached value and refreshes its recency;
+    counts a hit or a miss. *)
+val find : 'a t -> string -> 'a option
+
+(** [put t key v] inserts or overwrites; inserting into a full cache
+    evicts the least-recently-used entry (oldest stamp, ties by
+    smaller key — deterministic). *)
+val put : 'a t -> string -> 'a -> unit
+
+val hits : 'a t -> int
+val misses : 'a t -> int
+val evictions : 'a t -> int
+
+(** Hits over probes, 0 before any probe. *)
+val hit_rate : 'a t -> float
+
+(** Keys most-recently-used first. *)
+val keys : 'a t -> string list

@@ -1,0 +1,168 @@
+module Obs = Mlv_obs.Obs
+
+type config = { idle_timeout_us : float }
+
+let config ?(idle_timeout_us = 50_000.0) () =
+  if idle_timeout_us <= 0.0 then
+    invalid_arg "Session.config: idle timeout must be positive";
+  { idle_timeout_us }
+
+(* One client's long-lived state: sticky per-accelerator replica
+   affinity, plus the in-order delivery stream.  Requests take a
+   sequence number at admission ([submit]); completions out of
+   sequence are held until every earlier number has completed or been
+   skipped, so the client observes responses in request order. *)
+type session = {
+  sn_key : string;
+  mutable sn_last_active_us : float;
+  sn_affinity : (string, int) Hashtbl.t;  (* accel -> replica id *)
+  mutable sn_next_seq : int;  (* next number to hand out *)
+  mutable sn_next_deliver : int;  (* next number to release *)
+  sn_pending : (int, (now_us:float -> unit) option) Hashtbl.t;
+      (* completed-but-undeliverable actions; [None] marks a skipped
+         (shed / rejected / preempted) number that must not block the
+         stream *)
+  mutable sn_outstanding : int;  (* submitted, not yet delivered/skipped *)
+}
+
+type t = {
+  cfg : config;
+  sessions : (string, session) Hashtbl.t;
+  mutable st_opened : int;
+  mutable st_expired : int;
+  mutable st_sticky_hits : int;
+  mutable st_sticky_misses : int;
+  mutable st_held : int;  (* completions buffered for reordering *)
+  c_opened : Obs.Counter.t;
+  c_expired : Obs.Counter.t;
+  c_sticky_hit : Obs.Counter.t;
+  c_sticky_miss : Obs.Counter.t;
+  c_held : Obs.Counter.t;
+}
+
+let create cfg =
+  {
+    cfg;
+    sessions = Hashtbl.create 16;
+    st_opened = 0;
+    st_expired = 0;
+    st_sticky_hits = 0;
+    st_sticky_misses = 0;
+    st_held = 0;
+    c_opened = Obs.Counter.get "serve.sessions.opened";
+    c_expired = Obs.Counter.get "serve.sessions.expired";
+    c_sticky_hit = Obs.Counter.get "serve.sessions.sticky_hit";
+    c_sticky_miss = Obs.Counter.get "serve.sessions.sticky_miss";
+    c_held = Obs.Counter.get "serve.sessions.held";
+  }
+
+let idle_timeout_us t = t.cfg.idle_timeout_us
+let find t key = Hashtbl.find_opt t.sessions key
+let active t = Hashtbl.length t.sessions
+let key s = s.sn_key
+let last_active_us s = s.sn_last_active_us
+let outstanding s = s.sn_outstanding
+
+let touch t ~now_us key =
+  match Hashtbl.find_opt t.sessions key with
+  | Some s ->
+    s.sn_last_active_us <- Float.max s.sn_last_active_us now_us;
+    s
+  | None ->
+    let s =
+      {
+        sn_key = key;
+        sn_last_active_us = now_us;
+        sn_affinity = Hashtbl.create 4;
+        sn_next_seq = 0;
+        sn_next_deliver = 0;
+        sn_pending = Hashtbl.create 8;
+        sn_outstanding = 0;
+      }
+    in
+    Hashtbl.replace t.sessions key s;
+    t.st_opened <- t.st_opened + 1;
+    Obs.Counter.incr t.c_opened;
+    s
+
+let affinity s ~accel = Hashtbl.find_opt s.sn_affinity accel
+let set_affinity s ~accel ~replica = Hashtbl.replace s.sn_affinity accel replica
+let clear_affinity s ~accel = Hashtbl.remove s.sn_affinity accel
+
+let note_sticky t hit =
+  if hit then begin
+    t.st_sticky_hits <- t.st_sticky_hits + 1;
+    Obs.Counter.incr t.c_sticky_hit
+  end
+  else begin
+    t.st_sticky_misses <- t.st_sticky_misses + 1;
+    Obs.Counter.incr t.c_sticky_miss
+  end
+
+let submit s =
+  let seq = s.sn_next_seq in
+  s.sn_next_seq <- seq + 1;
+  s.sn_outstanding <- s.sn_outstanding + 1;
+  seq
+
+(* Release every consecutive resolved number from the front of the
+   stream.  Delivery time is the unblocking event's simulation time:
+   a held response reaches the client the moment its predecessor
+   does. *)
+let drain s ~now_us =
+  let continue = ref true in
+  while !continue do
+    match Hashtbl.find_opt s.sn_pending s.sn_next_deliver with
+    | None -> continue := false
+    | Some action ->
+      Hashtbl.remove s.sn_pending s.sn_next_deliver;
+      s.sn_next_deliver <- s.sn_next_deliver + 1;
+      s.sn_outstanding <- s.sn_outstanding - 1;
+      (match action with Some f -> f ~now_us | None -> ())
+  done
+
+let resolve t s ~seq ~now_us action =
+  if seq < s.sn_next_deliver || Hashtbl.mem s.sn_pending seq then
+    invalid_arg "Session: sequence number resolved twice";
+  s.sn_last_active_us <- Float.max s.sn_last_active_us now_us;
+  Hashtbl.replace s.sn_pending seq action;
+  if seq > s.sn_next_deliver && action <> None then begin
+    t.st_held <- t.st_held + 1;
+    Obs.Counter.incr t.c_held
+  end;
+  drain s ~now_us
+
+let complete t s ~seq ~now_us f = resolve t s ~seq ~now_us (Some f)
+let skip t s ~seq ~now_us = resolve t s ~seq ~now_us None
+
+(* Reap sessions idle past the timeout.  A session with outstanding
+   requests is never reaped — expiring it would drop held responses
+   and break the delivery order it exists to guarantee. *)
+let expire t ~now_us =
+  let victims =
+    Hashtbl.fold
+      (fun key s acc ->
+        if
+          s.sn_outstanding = 0
+          && now_us -. s.sn_last_active_us >= t.cfg.idle_timeout_us
+        then key :: acc
+        else acc)
+      t.sessions []
+    |> List.sort compare
+  in
+  List.iter
+    (fun key ->
+      Hashtbl.remove t.sessions key;
+      t.st_expired <- t.st_expired + 1;
+      Obs.Counter.incr t.c_expired)
+    victims;
+  victims
+
+let opened t = t.st_opened
+let expired t = t.st_expired
+let sticky_hits t = t.st_sticky_hits
+let sticky_misses t = t.st_sticky_misses
+let held t = t.st_held
+
+let keys t =
+  Hashtbl.fold (fun k _ acc -> k :: acc) t.sessions [] |> List.sort compare

@@ -1,0 +1,86 @@
+(** Long-lived client sessions for the serving front door.
+
+    A session is one client's sticky state across requests: a
+    per-accelerator replica affinity (the router prefers the replica
+    that served the client last — warm weights, warm cache), and an
+    in-order delivery stream (each admitted request takes a sequence
+    number; a completion that overtakes an earlier request is held
+    and released the moment its predecessor resolves, so the client
+    observes responses in request order).
+
+    The table lives on the simulation clock: {!touch} refreshes a
+    session's idle timer, {!expire} reaps sessions idle past the
+    configured timeout — except sessions with outstanding requests,
+    which would otherwise drop held responses.  Everything is
+    deterministic; counters are mirrored into the {!Mlv_obs.Obs}
+    registry under [serve.sessions.*]. *)
+
+type config = { idle_timeout_us : float }
+
+(** [config ()] defaults to a 50 ms idle timeout.
+    @raise Invalid_argument on a non-positive timeout. *)
+val config : ?idle_timeout_us:float -> unit -> config
+
+type session
+type t
+
+val create : config -> t
+val idle_timeout_us : t -> float
+
+(** [touch t ~now_us key] returns the live session for [key],
+    opening one (and counting it) on first use; refreshes the idle
+    timer either way. *)
+val touch : t -> now_us:float -> string -> session
+
+val find : t -> string -> session option
+
+(** Live sessions. *)
+val active : t -> int
+
+val key : session -> string
+val last_active_us : session -> float
+
+(** Requests submitted but not yet delivered or skipped. *)
+val outstanding : session -> int
+
+(** Sticky routing state: the replica that last served this session
+    on [accel], if it is still worth trying. *)
+val affinity : session -> accel:string -> int option
+
+val set_affinity : session -> accel:string -> replica:int -> unit
+val clear_affinity : session -> accel:string -> unit
+
+(** [note_sticky t hit] counts one sticky-routing outcome. *)
+val note_sticky : t -> bool -> unit
+
+(** [submit s] allocates the next sequence number (and counts it
+    outstanding). *)
+val submit : session -> int
+
+(** [complete t s ~seq ~now_us f] resolves [seq] with delivery action
+    [f].  If [seq] is next in line, [f] runs now and every
+    consecutive held successor follows (each receiving the releasing
+    event's [now_us] as its delivery time); otherwise [f] is held.
+    @raise Invalid_argument when [seq] resolves twice. *)
+val complete : t -> session -> seq:int -> now_us:float -> (now_us:float -> unit) -> unit
+
+(** [skip t s ~seq ~now_us] resolves [seq] with no delivery (the
+    request was shed, rejected or preempted) so it never blocks the
+    stream. *)
+val skip : t -> session -> seq:int -> now_us:float -> unit
+
+(** [expire t ~now_us] reaps idle sessions (sorted keys returned);
+    sessions with outstanding requests survive regardless of idle
+    time. *)
+val expire : t -> now_us:float -> string list
+
+val opened : t -> int
+val expired : t -> int
+val sticky_hits : t -> int
+val sticky_misses : t -> int
+
+(** Completions that were buffered for in-order release. *)
+val held : t -> int
+
+(** Live session keys, sorted. *)
+val keys : t -> string list

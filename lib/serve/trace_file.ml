@@ -1,0 +1,124 @@
+module Genset = Mlv_workload.Genset
+module Deepbench = Mlv_workload.Deepbench
+module Sizes = Mlv_workload.Sizes
+module Codegen = Mlv_isa.Codegen
+
+(* Textual workload traces: one request per line, recorded once and
+   replayed bit-identically into any engine configuration.
+
+     #mlv-trace v1
+     # arrival_us tenant kind hidden timesteps
+     0x1.f4p+9 gold gru 1024 375
+
+   Arrival times are printed as hexadecimal floats, so the replayed
+   floats are the recorded floats to the last bit — the property the
+   reactive-vs-predictive comparison rests on (both runs must see the
+   exact same arrival instants).  The model class is not stored; it
+   is re-derived from the point, so a trace cannot disagree with its
+   own workload. *)
+
+let magic = "#mlv-trace v1"
+
+let kind_to_string = function Codegen.Lstm -> "lstm" | Codegen.Gru -> "gru"
+
+let kind_of_string = function
+  | "lstm" -> Some Codegen.Lstm
+  | "gru" -> Some Codegen.Gru
+  | _ -> None
+
+let task_line (t : Genset.task) =
+  Printf.sprintf "%h %s %s %d %d" t.Genset.arrival_us t.Genset.tenant
+    (kind_to_string t.Genset.point.Deepbench.kind)
+    t.Genset.point.Deepbench.hidden t.Genset.point.Deepbench.timesteps
+
+let to_string tasks =
+  List.iter
+    (fun (t : Genset.task) ->
+      if
+        t.Genset.tenant = ""
+        || String.exists (fun c -> c = ' ' || c = '\t' || c = '\n') t.Genset.tenant
+      then invalid_arg "Trace_file.to_string: tenant names must be non-empty words")
+    tasks;
+  let b = Buffer.create (64 * (List.length tasks + 2)) in
+  Buffer.add_string b magic;
+  Buffer.add_char b '\n';
+  Buffer.add_string b "# arrival_us tenant kind hidden timesteps\n";
+  List.iter
+    (fun t ->
+      Buffer.add_string b (task_line t);
+      Buffer.add_char b '\n')
+    tasks;
+  Buffer.contents b
+
+let ( let* ) = Result.bind
+
+let parse_line ~lineno ~task_id ~prev_arrival line =
+  let err fmt = Printf.ksprintf (fun s -> Error (Printf.sprintf "line %d: %s" lineno s)) fmt in
+  match String.split_on_char ' ' line |> List.filter (fun s -> s <> "") with
+  | [ arrival; tenant; kind; hidden; timesteps ] -> (
+    match
+      ( float_of_string_opt arrival,
+        kind_of_string (String.lowercase_ascii kind),
+        int_of_string_opt hidden,
+        int_of_string_opt timesteps )
+    with
+    | None, _, _, _ -> err "bad arrival time %S" arrival
+    | _, None, _, _ -> err "unknown kind %S (lstm or gru)" kind
+    | _, _, None, _ -> err "bad hidden size %S" hidden
+    | _, _, _, None -> err "bad timestep count %S" timesteps
+    | Some arrival_us, Some k, Some hidden, Some timesteps ->
+      if not (Float.is_finite arrival_us) || arrival_us < 0.0 then
+        err "arrival time must be finite and non-negative"
+      else if arrival_us < prev_arrival then
+        err "arrival times must be non-decreasing (%h after %h)" arrival_us
+          prev_arrival
+      else if hidden <= 0 || timesteps <= 0 then
+        err "hidden and timesteps must be positive"
+      else
+        let point = { Deepbench.kind = k; hidden; timesteps } in
+        Ok
+          {
+            Genset.task_id;
+            point;
+            model_class = Sizes.classify_point point;
+            arrival_us;
+            tenant;
+          })
+  | _ -> err "expected: arrival_us tenant kind hidden timesteps"
+
+let of_string s =
+  let lines = String.split_on_char '\n' s in
+  match lines with
+  | [] -> Error "empty trace"
+  | header :: rest ->
+    let* () =
+      if String.trim header = magic then Ok ()
+      else Error (Printf.sprintf "missing %S header" magic)
+    in
+    let rec go lineno task_id prev_arrival acc = function
+      | [] -> Ok (List.rev acc)
+      | line :: rest ->
+        let trimmed = String.trim line in
+        if trimmed = "" || trimmed.[0] = '#' then
+          go (lineno + 1) task_id prev_arrival acc rest
+        else
+          let* t = parse_line ~lineno ~task_id ~prev_arrival trimmed in
+          go (lineno + 1) (task_id + 1) t.Genset.arrival_us (t :: acc) rest
+    in
+    go 2 0 0.0 [] rest
+
+let write path tasks =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string tasks))
+
+let read path =
+  match open_in path with
+  | exception Sys_error e -> Error e
+  | ic ->
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () ->
+        let n = in_channel_length ic in
+        of_string (really_input_string ic n))

@@ -1,0 +1,35 @@
+(** Textual workload traces: record a generated task stream once,
+    replay it bit-identically into any engine configuration.
+
+    Format (one request per line):
+    {v
+    #mlv-trace v1
+    # arrival_us tenant kind hidden timesteps
+    0x1.f4p+9 gold gru 1024 375
+    v}
+
+    Arrival times are written as hexadecimal float literals, so
+    parsing a printed trace reproduces every arrival instant to the
+    last bit — the foundation of the reactive-vs-predictive bench,
+    which must drive both runs with the exact same trace.  The model
+    class is not stored: it is re-derived from the benchmark point on
+    parse, so a trace cannot disagree with its own workload.  Task
+    ids are assigned in line order. *)
+
+(** [to_string tasks] renders a trace.
+    @raise Invalid_argument when a tenant name is empty or contains
+    whitespace (the format is space-separated). *)
+val to_string : Mlv_workload.Genset.task list -> string
+
+(** [of_string s] parses a trace; [Error] carries a line-numbered
+    message.  Rejects missing headers, malformed fields, negative or
+    decreasing arrival times and non-positive model dimensions;
+    blank lines and [#] comments are skipped. *)
+val of_string : string -> (Mlv_workload.Genset.task list, string) result
+
+(** [write path tasks] writes [to_string tasks] to [path]. *)
+val write : string -> Mlv_workload.Genset.task list -> unit
+
+(** [read path] parses the trace at [path]; I/O errors land in
+    [Error]. *)
+val read : string -> (Mlv_workload.Genset.task list, string) result

@@ -22,6 +22,9 @@ module Slo = Mlv_sched.Slo
 module Batcher = Mlv_sched.Batcher
 module Router = Mlv_sched.Router
 module Autoscaler = Mlv_sched.Autoscaler
+module Session = Mlv_serve.Session
+module Mapcache = Mlv_serve.Mapcache
+module Mapdb = Mlv_core.Mapdb
 
 type fault_config = { plan : Fault_plan.t; max_retries : int }
 
@@ -61,6 +64,28 @@ type telemetry = {
 let default_telemetry =
   { scrape_interval_us = 10_000.0; rules = []; series_buckets = 512 }
 
+(* The serving front door: client sessions with sticky routing and
+   in-order delivery, a compiled-mapping cache, and forecast-driven
+   autoscaling.  Each pillar is independently optional; all-None is
+   bit-identical to a build without the front door. *)
+type frontend = {
+  sessions : Session.config option;
+      (* long-lived client sessions keyed by tenant: per-accelerator
+         replica affinity (sticky routing) and per-session in-order
+         delivery of results, with idle expiry on the sim clock *)
+  mapping_cache : (int * float) option;
+      (* (capacity, compile_us): an LRU of compiled-mapping results
+         keyed by Mapdb.shape_signature.  A request whose shape misses
+         pays [compile_us] of decompose/partition/mapping work on top
+         of its service time; a hit pays nothing extra *)
+  predict : Autoscaler.predict option;
+      (* forecast-driven autoscaling (Holt-Winters over the per-tick
+         arrival rate) instead of the reactive backlog rules; requires
+         serving.autoscale *)
+}
+
+let default_frontend = { sessions = None; mapping_cache = None; predict = None }
+
 type config = {
   policy : Runtime.policy;
   composition : Genset.composition;
@@ -90,6 +115,15 @@ type config = {
          scrape loop itself only reads run state, so even with it on,
          sim results stay bit-identical (bench/watch.ml asserts both
          directions). *)
+  frontend : frontend option;
+      (* the serving front door (sessions / mapping cache /
+         predictive autoscaling); requires serving mode.  None (the
+         default) — and Some default_frontend — are bit-identical to
+         pre-front-door builds. *)
+  replay : Genset.task list option;
+      (* play this exact recorded task stream (see
+         Mlv_serve.Trace_file) instead of generating one; overrides
+         composition / tasks / arrival / tenants task generation *)
 }
 
 let default_config ~policy ~composition =
@@ -109,6 +143,8 @@ let default_config ~policy ~composition =
     indexed = true;
     bitstream_cache = None;
     telemetry = None;
+    frontend = None;
+    replay = None;
   }
 
 let arrival_of cfg =
@@ -117,18 +153,32 @@ let arrival_of cfg =
   | None -> Genset.Exponential { mean_us = cfg.mean_interarrival_us }
 
 (* Multi-tenant runs play the merged stream; [cfg.tasks] only drives
-   the single-tenant generators. *)
+   the single-tenant generators.  A replay overrides both: the
+   recorded trace IS the workload. *)
 let task_count cfg =
-  match cfg.tenants with
-  | [] -> cfg.tasks
-  | loads -> List.fold_left (fun a l -> a + l.Genset.tl_tasks) 0 loads
+  match cfg.replay with
+  | Some ts -> List.length ts
+  | None -> (
+    match cfg.tenants with
+    | [] -> cfg.tasks
+    | loads -> List.fold_left (fun a l -> a + l.Genset.tl_tasks) 0 loads)
 
 let generate_tasks ~rng cfg =
-  match cfg.tenants with
-  | [] ->
-    Genset.generate_arrival ~rng ~composition:cfg.composition ~tasks:cfg.tasks
-      ~arrival:(arrival_of cfg)
-  | loads -> Genset.generate_tenants ~seed:cfg.seed ~composition:cfg.composition loads
+  match cfg.replay with
+  | Some ts -> ts
+  | None -> (
+    match cfg.tenants with
+    | [] ->
+      Genset.generate_arrival ~rng ~composition:cfg.composition ~tasks:cfg.tasks
+        ~arrival:(arrival_of cfg)
+    | loads ->
+      Genset.generate_tenants ~seed:cfg.seed ~composition:cfg.composition loads)
+
+(* The exact task stream [run] will play for this config: both engines
+   generate from a fresh seed-derived stream before consuming any
+   other randomness, so recording this workload and replaying it is
+   bit-identical to letting [run] generate it. *)
+let workload cfg = generate_tasks ~rng:(Rng.create cfg.seed) cfg
 
 (* Per-tenant slice of a multi-tenant run's accounting. *)
 type tenant_stats = {
@@ -177,6 +227,15 @@ type result = {
   defrag_moves : int;  (* deployments moved by the background defragmenter *)
   cache_hits : int;  (* bitstream staging-cache hits (0 without a cache) *)
   cache_misses : int;
+  sessions_opened : int;  (* front door: sessions opened (0 when off) *)
+  sessions_expired : int;  (* front door: sessions reaped by idle expiry *)
+  sticky_hits : int;  (* batches routed to a session's sticky replica *)
+  sticky_misses : int;  (* sticky route dead; fell back to the router *)
+  held_results : int;
+      (* completions buffered for per-session in-order release *)
+  mapcache_hits : int;  (* compiled-mapping cache hits (0 without a cache) *)
+  mapcache_misses : int;
+  mapcache_evictions : int;
   per_tenant : tenant_stats list;  (* [] unless config.tenants *)
   scrapes : int;  (* telemetry scrape ticks executed (0 when off) *)
   alert_transitions : Alert.transition list;
@@ -440,6 +499,13 @@ let deployment_dims (d : Runtime.deployment) =
 type stask = {
   s_task : Genset.task;
   s_deadline_us : float;  (* class SLO deadline; 0 = multiplier rule *)
+  s_session : Session.session option;
+      (* front-door session (sticky routing, in-order delivery);
+         None when sessions are off *)
+  s_seq : int;  (* in-session sequence number; 0 when sessions are off *)
+  s_compile_us : float;
+      (* mapping-compilation time this request pays (cache miss);
+         0 on a hit or without a mapping cache *)
 }
 
 type replica = {
@@ -473,6 +539,15 @@ type sgroup = {
   mutable g_priority : int;
       (* highest tl_priority among tenants that routed work here — the
          conservative "work priority" the preemption policy compares *)
+  mutable g_arrivals : int;
+      (* admitted requests routed here — the predictive demand signal;
+         a pure counter, no effect outside predictive mode *)
+  mutable g_last_arrivals : int;  (* g_arrivals at the previous control tick *)
+  g_pt : Autoscaler.ptracker option;
+      (* per-group rate forecaster (predictive mode only) *)
+  g_rate_s : Series.t option;
+      (* serve.arrivals.rate{accel=..}: the per-tick admitted-arrival
+         rate the forecaster consumes (predictive mode only) *)
 }
 
 (* Telemetry scrape loop, shared by both engines.  Ticks ride the
@@ -509,8 +584,16 @@ let rec run ~registry cfg =
             if cfg.faults <> None then
               invalid_arg
                 "Sysim.run: serving mode does not compose with fault plans";
+            (match cfg.frontend with
+            | Some f when f.predict <> None && s.autoscale = None ->
+              invalid_arg
+                "Sysim.run: frontend.predict requires serving.autoscale"
+            | _ -> ());
             run_serving ~registry cfg s
-          | None -> run_untraced ~registry cfg))
+          | None ->
+            if cfg.frontend <> None then
+              invalid_arg "Sysim.run: config.frontend requires serving mode";
+            run_untraced ~registry cfg))
 
 and run_untraced ~registry cfg =
   let cluster = Cluster.create ~kinds:cfg.cluster_kinds () in
@@ -925,6 +1008,14 @@ and run_untraced ~registry cfg =
     defrag_moves = 0;
     cache_hits = fst (cache_stats runtime);
     cache_misses = snd (cache_stats runtime);
+    sessions_opened = 0;
+    sessions_expired = 0;
+    sticky_hits = 0;
+    sticky_misses = 0;
+    held_results = 0;
+    mapcache_hits = 0;
+    mapcache_misses = 0;
+    mapcache_evictions = 0;
     per_tenant = tenant_stats_of ~makespan_us:!makespan tallies;
     scrapes = !scrapes;
     alert_transitions =
@@ -998,6 +1089,30 @@ and run_serving ~registry cfg serving =
   let batch_priority batch =
     List.fold_left (fun a st -> max a (prio_of st.s_task.Genset.tenant)) 0 batch
   in
+  (* The serving front door: all-None (the default) takes none of the
+     branches below and is bit-identical to a build without it. *)
+  let fe = match cfg.frontend with Some f -> f | None -> default_frontend in
+  let sessions = Option.map Session.create fe.sessions in
+  let mapcache =
+    Option.map
+      (fun (capacity, compile_us) -> (Mapcache.create ~capacity (), compile_us))
+      fe.mapping_cache
+  in
+  (* Shape signatures are a pure function of the registered plan;
+     memoized so the admission path pays one hash lookup. *)
+  let shape_sigs : (string, string) Hashtbl.t = Hashtbl.create 16 in
+  let shape_sig_of accel =
+    match Hashtbl.find_opt shape_sigs accel with
+    | Some s -> s
+    | None ->
+      let s =
+        match Registry.plan registry accel with
+        | Some p -> Mapdb.shape_signature p
+        | None -> accel
+      in
+      Hashtbl.replace shape_sigs accel s;
+      s
+  in
   (* Interned lazily: a run that never preempts registers no
      preemption metrics. *)
   let preempted_task_c = lazy (Obs.Counter.get "sysim.serving.preempted") in
@@ -1055,6 +1170,20 @@ and run_serving ~registry cfg serving =
           g_backlog_tasks = 0;
           g_assigned_tasks = 0;
           g_priority = 0;
+          g_arrivals = 0;
+          g_last_arrivals = 0;
+          g_pt = Option.map Autoscaler.ptracker fe.predict;
+          g_rate_s =
+            (match (fe.predict, serving.autoscale) with
+            | Some _, Some acfg ->
+              let lbl = [ ("accel", accel) ] in
+              (* Own the name: a previous run in this process may have
+                 registered it with a different interval. *)
+              Series.remove (Obs.Labels.key "serve.arrivals.rate" lbl);
+              Some
+                (Series.create_labeled ~buckets:512 ~kind:Series.Gauge
+                   ~interval_us:acfg.interval_us "serve.arrivals.rate" lbl)
+            | _ -> None);
         }
       in
       Hashtbl.replace groups accel g;
@@ -1158,6 +1287,11 @@ and run_serving ~registry cfg serving =
     (match tally_of st.s_task.Genset.tenant with
     | Some t -> t.tt_rejected <- t.tt_rejected + 1
     | None -> ());
+    (* A rejected seq must not block its session's in-order stream. *)
+    (match (sessions, st.s_session) with
+    | Some stbl, Some sess ->
+      Session.skip stbl sess ~seq:st.s_seq ~now_us:(Sim.now sim)
+    | _ -> ());
     Obs.Trace.task Obs.Trace.Reject st.s_task.Genset.task_id ~retries:0
       ~label:accel
   in
@@ -1303,6 +1437,10 @@ and run_serving ~registry cfg serving =
         (fun (st : stask) ->
           incr preempted;
           Obs.Counter.incr (Lazy.force preempted_task_c);
+          (match (sessions, st.s_session) with
+          | Some stbl, Some sess ->
+            Session.skip stbl sess ~seq:st.s_seq ~now_us:now
+          | _ -> ());
           match tally_of st.s_task.Genset.tenant with
           | Some t -> t.tt_preempted <- t.tt_preempted + 1
           | None -> ())
@@ -1425,7 +1563,11 @@ and run_serving ~registry cfg serving =
                  st.s_task.Genset.point d)
           batch
       in
-      let service = reconfig +. List.fold_left ( +. ) 0.0 per_task in
+      (* Mapping-cache misses pay their compilation on the batch, like
+         reconfiguration does; all-hit (or cacheless) batches add an
+         exact 0.0, keeping service times bit-identical. *)
+      let compile = List.fold_left (fun a st -> a +. st.s_compile_us) 0.0 batch in
+      let service = reconfig +. compile +. List.fold_left ( +. ) 0.0 per_task in
       List.iter2
         (fun st svc ->
           decr queued;
@@ -1439,11 +1581,15 @@ and run_serving ~registry cfg serving =
           Obs.Histogram.observe wait_h wait;
           Obs.Histogram.observe wait_attempt_h
             wait;
-          (* Reconfiguration amortizes across the batch. *)
-          let task_service = svc +. (reconfig /. float_of_int n) in
+          (* Reconfiguration (and compilation) amortizes across the
+             batch. *)
+          let task_service = svc +. ((reconfig +. compile) /. float_of_int n) in
           services := task_service :: !services;
           Obs.Histogram.observe service_h
             task_service;
+          (match g.g_pt with
+          | Some pt -> Autoscaler.observe_service pt task_service
+          | None -> ());
           Obs.Trace.task Obs.Trace.Service id ?node ~deployment:d.Runtime.id
             ~retries:0 ~label:g.g_accel)
         batch per_task;
@@ -1462,42 +1608,58 @@ and run_serving ~registry cfg serving =
           let sojourn_kind_h =
             match r.r_sojourn_h with Some h -> h | None -> assert false
           in
-          List.iter2
-            (fun st svc ->
-              incr completed;
-              Obs.Counter.incr completed_c;
-              (match r.r_completed_c with
-              | Some c -> Obs.Counter.incr c
-              | None -> ());
-              let sojourn = finished -. st.s_task.Genset.arrival_us in
-              latencies := sojourn :: !latencies;
-              Obs.Histogram.observe sojourn_h
-                sojourn;
-              (match !sojourn_s with
-              | Some s -> Series.observe s ~now_us:finished sojourn
-              | None -> ());
-              Obs.Histogram.observe sojourn_kind_h sojourn;
-              Autoscaler.observe_sojourn g.g_tracker sojourn;
-              Obs.Trace.task Obs.Trace.Complete st.s_task.Genset.task_id ?node
-                ~deployment:d.Runtime.id ~retries:0 ~label:g.g_accel;
-              let task_service = svc +. (reconfig /. float_of_int n) in
-              let deadline =
-                if st.s_deadline_us > 0.0 then st.s_deadline_us
-                else cfg.slo_multiplier *. task_service
-              in
-              let missed = sojourn > deadline in
-              if missed then begin
-                incr slo_misses;
-                Obs.Counter.incr slo_miss_c
-              end;
-              match tally_of st.s_task.Genset.tenant with
-              | Some t ->
-                t.tt_completed <- t.tt_completed + 1;
-                t.tt_latencies <- sojourn :: t.tt_latencies;
-                if missed then t.tt_slo_misses <- t.tt_slo_misses + 1;
-                Obs.Counter.incr t.tt_completed_c
-              | None -> ())
-            batch per_task;
+          (* One task's result delivery.  Without sessions it runs
+             inline at [finished]; with sessions it routes through the
+             in-order stream, so a held result is delivered (and
+             timed) at the releasing event's clock. *)
+          let record (st : stask) svc ~finished =
+            incr completed;
+            Obs.Counter.incr completed_c;
+            (match r.r_completed_c with
+            | Some c -> Obs.Counter.incr c
+            | None -> ());
+            let sojourn = finished -. st.s_task.Genset.arrival_us in
+            latencies := sojourn :: !latencies;
+            Obs.Histogram.observe sojourn_h
+              sojourn;
+            (match !sojourn_s with
+            | Some s -> Series.observe s ~now_us:finished sojourn
+            | None -> ());
+            Obs.Histogram.observe sojourn_kind_h sojourn;
+            Autoscaler.observe_sojourn g.g_tracker sojourn;
+            Obs.Trace.task Obs.Trace.Complete st.s_task.Genset.task_id ?node
+              ~deployment:d.Runtime.id ~retries:0 ~label:g.g_accel;
+            let task_service = svc +. ((reconfig +. compile) /. float_of_int n) in
+            let deadline =
+              if st.s_deadline_us > 0.0 then st.s_deadline_us
+              else cfg.slo_multiplier *. task_service
+            in
+            let missed = sojourn > deadline in
+            if missed then begin
+              incr slo_misses;
+              Obs.Counter.incr slo_miss_c
+            end;
+            makespan := Float.max !makespan finished;
+            match tally_of st.s_task.Genset.tenant with
+            | Some t ->
+              t.tt_completed <- t.tt_completed + 1;
+              t.tt_latencies <- sojourn :: t.tt_latencies;
+              if missed then t.tt_slo_misses <- t.tt_slo_misses + 1;
+              Obs.Counter.incr t.tt_completed_c
+            | None -> ()
+          in
+          (match sessions with
+          | None ->
+            List.iter2 (fun st svc -> record st svc ~finished) batch per_task
+          | Some stbl ->
+            List.iter2
+              (fun st svc ->
+                match st.s_session with
+                | Some sess ->
+                  Session.complete stbl sess ~seq:st.s_seq ~now_us:finished
+                    (fun ~now_us -> record st svc ~finished:now_us)
+                | None -> record st svc ~finished)
+              batch per_task);
           makespan := Float.max !makespan finished;
           if Queue.is_empty r.r_queue && not (Queue.is_empty g.g_backlog)
           then assign g r (backlog_pop g);
@@ -1540,9 +1702,37 @@ and run_serving ~registry cfg serving =
         | `Full -> ())
     end
   in
+  let replica_alive g rid =
+    if cfg.indexed then Hashtbl.mem g.g_by_id rid
+    else List.exists (fun r -> r.r_id = rid) g.g_replicas
+  in
+  (* Sticky routing: a batch whose head belongs to a session goes back
+     to the replica that served that session last (warm weights, warm
+     cache) when it is still alive; otherwise the router picks and the
+     choice becomes the session's new affinity.  Without sessions this
+     is exactly [Router.pick]. *)
+  let sticky_pick g batch =
+    match sessions with
+    | None -> Router.pick router ~key:g.g_accel
+    | Some stbl -> (
+      match batch with
+      | { s_session = Some sess; _ } :: _ -> (
+        match Session.affinity sess ~accel:g.g_accel with
+        | Some rid when replica_alive g rid ->
+          Session.note_sticky stbl true;
+          Some rid
+        | _ -> (
+          match Router.pick router ~key:g.g_accel with
+          | Some rid ->
+            Session.note_sticky stbl false;
+            Session.set_affinity sess ~accel:g.g_accel ~replica:rid;
+            Some rid
+          | None -> None))
+      | _ -> Router.pick router ~key:g.g_accel)
+  in
   let rec dispatch g batch =
     Obs.Counter.incr batches_c;
-    match Router.pick router ~key:g.g_accel with
+    match sticky_pick g batch with
     | Some rid ->
       let r = find_replica g rid in
       assign g r batch;
@@ -1627,15 +1817,41 @@ and run_serving ~registry cfg serving =
                      is_idle r && now -. r.r_idle_since >= acfg.idle_timeout_us)
                    g.g_replicas)
             in
-            match
-              Autoscaler.decide acfg g.g_tracker ~now_us:now ~backlog ~replicas
-                ~idle ~deadline_us:(Slo.min_deadline_us gate)
-            with
-            | Autoscaler.Scale_up -> (
-              match grow g ~allow_reclaim:true with
-              | `Ok -> pump_group g
-              | `Full -> capacity_bound := true
-              | `Dead -> reject_backlog g)
+            (* Predictive mode feeds the tick's admitted-arrival rate
+               to the forecaster and grows toward its target in one
+               tick; reactive mode keeps the one-step watermark rules
+               (its target is the current size, so the growth loop
+               below runs exactly once — the pre-front-door shape). *)
+            let decision, target =
+              match (g.g_pt, fe.predict) with
+              | Some pt, Some p ->
+                let delta = g.g_arrivals - g.g_last_arrivals in
+                g.g_last_arrivals <- g.g_arrivals;
+                let rate = float_of_int delta /. (acfg.interval_us /. 1e6) in
+                (match g.g_rate_s with
+                | Some s -> Series.observe s ~now_us:now rate
+                | None -> ());
+                Autoscaler.observe_rate pt rate;
+                Autoscaler.decide_predictive acfg p g.g_tracker pt ~now_us:now
+                  ~backlog ~replicas ~idle
+                  ~deadline_us:(Slo.min_deadline_us gate)
+              | _ ->
+                ( Autoscaler.decide acfg g.g_tracker ~now_us:now ~backlog
+                    ~replicas ~idle ~deadline_us:(Slo.min_deadline_us gate),
+                  replicas )
+            in
+            match decision with
+            | Autoscaler.Scale_up ->
+              let rec grow_n k =
+                if k > 0 then
+                  match grow g ~allow_reclaim:true with
+                  | `Ok ->
+                    pump_group g;
+                    grow_n (k - 1)
+                  | `Full -> capacity_bound := true
+                  | `Dead -> reject_backlog g
+              in
+              grow_n (max 1 (target - replicas))
             | Autoscaler.Scale_down -> scale_down g ~now
             | Autoscaler.Hold -> ())
           (group_keys ());
@@ -1704,6 +1920,30 @@ and run_serving ~registry cfg serving =
       end
     in
     Sim.schedule sim ~delay:dcfg.Defrag.interval_us dtick);
+  (* Session idle expiry rides its own tick at the configured timeout
+     period.  The guard mirrors the autoscale / defrag ticks so a
+     drained (or permanently starved) run terminates instead of the
+     tick keeping the event queue alive. *)
+  (match (sessions, fe.sessions) with
+  | Some stbl, Some scfg ->
+    let iv = scfg.Session.idle_timeout_us in
+    let stalled () =
+      !arrivals_in >= ntasks && !busy_count = 0
+      && List.for_all
+           (fun k -> Batcher.pending batcher ~key:k = 0)
+           (group_keys ())
+    in
+    let rec etick () =
+      if
+        !completed + !rejected + !shed + !preempted < ntasks
+        && not (stalled ())
+      then begin
+        ignore (Session.expire stbl ~now_us:(Sim.now sim));
+        Sim.schedule sim ~delay:iv etick
+      end
+    in
+    Sim.schedule sim ~delay:iv etick
+  | _ -> ());
   List.iter
     (fun (task : Genset.task) ->
       Sim.schedule_at sim ~at:task.Genset.arrival_us (fun () ->
@@ -1738,6 +1978,26 @@ and run_serving ~registry cfg serving =
             (match tally with
             | Some t -> t.tt_admitted <- t.tt_admitted + 1
             | None -> ());
+            (* Front door: the request joins its client's session
+               stream (one session per tenant) and probes the
+               compiled-mapping cache — a miss pays [compile_us] of
+               mapping work on top of service, a hit pays nothing. *)
+            let sess =
+              Option.map
+                (fun stbl -> Session.touch stbl ~now_us:now task.Genset.tenant)
+                sessions
+            in
+            let seq = match sess with Some s -> Session.submit s | None -> 0 in
+            let compile_us =
+              match mapcache with
+              | None -> 0.0
+              | Some (mc, cost) -> (
+                match Mapcache.find mc (shape_sig_of accel) with
+                | Some () -> 0.0
+                | None ->
+                  Mapcache.put mc (shape_sig_of accel) ();
+                  cost)
+            in
             let st =
               {
                 s_task = task;
@@ -1745,12 +2005,16 @@ and run_serving ~registry cfg serving =
                   (match Slo.find gate cname with
                   | Some c -> c.Slo.deadline_us
                   | None -> 0.0);
+                s_session = sess;
+                s_seq = seq;
+                s_compile_us = compile_us;
               }
             in
             incr queued;
             peak_queue := max !peak_queue !queued;
             Obs.Trace.task Obs.Trace.Queue task.Genset.task_id ~label:accel;
             let g = group_of accel in
+            g.g_arrivals <- g.g_arrivals + 1;
             (let p = prio_of task.Genset.tenant in
              if p > g.g_priority then g.g_priority <- p);
             match Batcher.add batcher ~key:accel ~now_us:now st with
@@ -1827,6 +2091,21 @@ and run_serving ~registry cfg serving =
     defrag_moves = !defrag_moves;
     cache_hits = fst (cache_stats runtime);
     cache_misses = snd (cache_stats runtime);
+    sessions_opened =
+      (match sessions with Some s -> Session.opened s | None -> 0);
+    sessions_expired =
+      (match sessions with Some s -> Session.expired s | None -> 0);
+    sticky_hits =
+      (match sessions with Some s -> Session.sticky_hits s | None -> 0);
+    sticky_misses =
+      (match sessions with Some s -> Session.sticky_misses s | None -> 0);
+    held_results = (match sessions with Some s -> Session.held s | None -> 0);
+    mapcache_hits =
+      (match mapcache with Some (mc, _) -> Mapcache.hits mc | None -> 0);
+    mapcache_misses =
+      (match mapcache with Some (mc, _) -> Mapcache.misses mc | None -> 0);
+    mapcache_evictions =
+      (match mapcache with Some (mc, _) -> Mapcache.evictions mc | None -> 0);
     per_tenant = tenant_stats_of ~makespan_us:!makespan tallies;
     scrapes = !scrapes;
     alert_transitions =

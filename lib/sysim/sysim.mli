@@ -110,6 +110,41 @@ type telemetry = {
     512-bucket rings with no alert rules. *)
 val default_telemetry : telemetry
 
+(** The serving front door (requires [config.serving]).  Three
+    independently optional pillars:
+
+    - [sessions]: long-lived client sessions keyed by tenant.  Each
+      admitted request takes a per-session sequence number and its
+      result is delivered in request order (a completion that
+      overtakes an earlier request is held and released — and timed —
+      when its predecessor resolves).  Batches whose head belongs to a
+      session route back to the replica that served the session last
+      (sticky routing: warm weights, warm cache) while it is alive.
+      Sessions idle past [idle_timeout_us] are reaped on the sim
+      clock; sessions with outstanding requests never expire.
+    - [mapping_cache]: [(capacity, compile_us)] — an LRU of compiled
+      mapping results keyed by {!Mlv_core.Mapdb.shape_signature}.  A
+      request whose accelerator shape misses pays [compile_us] of
+      decompose/partition/mapping work (amortized across its batch,
+      exactly like reconfiguration); a hit skips the pipeline and pays
+      only queue and service time.
+    - [predict]: forecast-driven autoscaling — a per-group
+      Holt-Winters model over the admitted-arrival rate (published as
+      [serve.arrivals.rate{accel=..}]) sizes the fleet ahead of
+      predicted ramps instead of reacting to backlog watermarks;
+      requires [serving.autoscale].
+
+    [config.frontend = None] (and every pillar [None]) is
+    bit-identical to a build without the front door. *)
+type frontend = {
+  sessions : Mlv_serve.Session.config option;
+  mapping_cache : (int * float) option;
+  predict : Mlv_sched.Autoscaler.predict option;
+}
+
+(** Every pillar off. *)
+val default_frontend : frontend
+
 type config = {
   policy : Mlv_core.Runtime.policy;
   composition : Genset.composition;
@@ -154,6 +189,14 @@ type config = {
       (** [None] (the default) schedules no scrape ticks and registers
           no series — runs are bit-identical to pre-telemetry
           builds *)
+  frontend : frontend option;
+      (** the serving front door; requires [serving].  [None] (the
+          default) is bit-identical to pre-front-door builds *)
+  replay : Genset.task list option;
+      (** play this exact recorded task stream (see
+          {!Mlv_serve.Trace_file}) instead of generating one;
+          overrides [composition] / [tasks] / [arrival] / [tenants]
+          task generation.  Both engines accept a replay *)
 }
 
 (** [default_config ~policy ~composition] gives 120 tasks, 200 µs
@@ -238,6 +281,20 @@ type result = {
       (** bitstream staging-cache hits across the run (0 without
           [config.bitstream_cache]) *)
   cache_misses : int;
+  sessions_opened : int;
+      (** front door: sessions opened (0 without [frontend.sessions]) *)
+  sessions_expired : int;  (** sessions reaped by idle expiry *)
+  sticky_hits : int;
+      (** batches routed to a session's still-live sticky replica *)
+  sticky_misses : int;
+      (** sticky route absent or dead; the router picked instead *)
+  held_results : int;
+      (** completions buffered for per-session in-order release *)
+  mapcache_hits : int;
+      (** compiled-mapping cache hits (0 without
+          [frontend.mapping_cache]) *)
+  mapcache_misses : int;
+  mapcache_evictions : int;
   per_tenant : tenant_stats list;
       (** one entry per [config.tenants] element, declaration order;
           [[]] on single-tenant runs *)
@@ -280,6 +337,13 @@ val instance_for : policy:Mlv_core.Runtime.policy -> Deepbench.point -> int
     when it does not divide [hidden] (slice layout), and the per-part
     config is sized for the clamped count. *)
 val scale_out_shape : hidden:int -> nodes:int -> tiles:int -> int * int
+
+(** [workload config] is the exact task stream {!run} will play for
+    this config (the replay, the merged multi-tenant stream, or the
+    single-stream generation).  Recording it with
+    {!Mlv_serve.Trace_file} and replaying via [config.replay] is
+    bit-identical to letting {!run} generate it. *)
+val workload : config -> Genset.task list
 
 (** [run ~registry config] plays the workload to completion. *)
 val run : registry:Mlv_core.Registry.t -> config -> result

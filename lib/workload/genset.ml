@@ -50,6 +50,20 @@ type arrival =
       on_mean_us : float;
       off_mean_us : float;
     }
+  | Diurnal of {
+      period_us : float;
+      trough_mean_us : float;
+      peak_mean_us : float;
+      flash_start_us : float;
+      flash_us : float;
+      flash_mean_us : float;
+    }
+
+(* The diurnal rate curve is sampled piecewise-constant over this many
+   slots per period; every draw clamps at the enclosing segment's
+   boundary (the Bursty_phased construction), so within a slot the
+   process is exactly Poisson at the slot's rate. *)
+let diurnal_slots = 32
 
 let arrival_name = function
   | Exponential { mean_us } -> Printf.sprintf "poisson(%.0fus)" mean_us
@@ -59,6 +73,14 @@ let arrival_name = function
   | Bursty_phased { on_us; off_us; on_mean_us; off_mean_us } ->
     Printf.sprintf "burst-phased(%.0f/%.0fus @ %.0f/%.0fus)" on_us off_us
       on_mean_us off_mean_us
+  | Diurnal { period_us; trough_mean_us; peak_mean_us; flash_start_us; flash_us; flash_mean_us } ->
+    if flash_us > 0.0 then
+      Printf.sprintf "diurnal(%.0fus @ %.0f..%.0fus, flash %.0f+%.0fus @ %.0fus)"
+        period_us trough_mean_us peak_mean_us flash_start_us flash_us
+        flash_mean_us
+    else
+      Printf.sprintf "diurnal(%.0fus @ %.0f..%.0fus)" period_us trough_mean_us
+        peak_mean_us
 
 let validate_arrival = function
   | Exponential { mean_us } ->
@@ -70,6 +92,41 @@ let validate_arrival = function
       invalid_arg "Genset: burst phases must be positive";
     if on_mean_us <= 0.0 || off_mean_us <= 0.0 then
       invalid_arg "Genset: burst interarrival means must be positive"
+  | Diurnal { period_us; trough_mean_us; peak_mean_us; flash_start_us; flash_us; flash_mean_us } ->
+    if period_us <= 0.0 then invalid_arg "Genset: diurnal period must be positive";
+    if peak_mean_us <= 0.0 || trough_mean_us < peak_mean_us then
+      invalid_arg
+        "Genset: diurnal means must satisfy trough_mean >= peak_mean > 0";
+    if flash_us < 0.0 then invalid_arg "Genset: negative flash window";
+    if flash_us > 0.0 then begin
+      if flash_mean_us <= 0.0 then
+        invalid_arg "Genset: flash interarrival mean must be positive";
+      if flash_start_us < 0.0 || flash_start_us +. flash_us > period_us then
+        invalid_arg "Genset: flash window must lie within one period"
+    end
+
+(* Mean inter-arrival at phase position [pos] in [0, period): the
+   flash window's mean inside the window, otherwise the sinusoidal
+   rate (trough at phase 0, peak at half period) sampled at the start
+   of the enclosing slot — piecewise-constant so the clamped-draw
+   construction is exact. *)
+let diurnal_mean_at ~period_us ~trough_mean_us ~peak_mean_us ~flash_start_us
+    ~flash_us ~flash_mean_us pos =
+  if flash_us > 0.0 && pos >= flash_start_us && pos < flash_start_us +. flash_us
+  then flash_mean_us
+  else begin
+    let slot_w = period_us /. float_of_int diurnal_slots in
+    let slot = min (diurnal_slots - 1) (int_of_float (pos /. slot_w)) in
+    let start = float_of_int slot *. slot_w in
+    let lam_min = 1.0 /. trough_mean_us and lam_max = 1.0 /. peak_mean_us in
+    let lam =
+      lam_min
+      +. (lam_max -. lam_min)
+         *. 0.5
+         *. (1.0 -. cos (2.0 *. Float.pi *. (start /. period_us)))
+    in
+    1.0 /. lam
+  end
 
 let interarrival_mean arrival ~now_us =
   match arrival with
@@ -78,6 +135,10 @@ let interarrival_mean arrival ~now_us =
   | Bursty_phased { on_us; off_us; on_mean_us; off_mean_us } ->
     let cycle = on_us +. off_us in
     if Float.rem now_us cycle < on_us then on_mean_us else off_mean_us
+  | Diurnal { period_us; trough_mean_us; peak_mean_us; flash_start_us; flash_us; flash_mean_us } ->
+    diurnal_mean_at ~period_us ~trough_mean_us ~peak_mean_us ~flash_start_us
+      ~flash_us ~flash_mean_us
+      (Float.rem now_us period_us)
 
 (* Advance the arrival clock by one inter-arrival draw.
 
@@ -103,6 +164,33 @@ let next_arrival_us arrival ~rng ~now_us =
       let in_on = pos < on_us in
       let mean = if in_on then on_mean_us else off_mean_us in
       let boundary = t -. pos +. (if in_on then on_us else cycle) in
+      let d = Rng.exponential rng ~mean in
+      if t +. d <= boundary then t +. d else step boundary
+    in
+    step now_us
+  | Diurnal
+      { period_us; trough_mean_us; peak_mean_us; flash_start_us; flash_us; flash_mean_us }
+    ->
+    (* Same boundary-clamped construction as Bursty_phased, over the
+       diurnal segments: slot edges plus the flash window's edges. *)
+    let slot_w = period_us /. float_of_int diurnal_slots in
+    let next_boundary pos =
+      let slot = min (diurnal_slots - 1) (int_of_float (pos /. slot_w)) in
+      let b = ref (float_of_int (slot + 1) *. slot_w) in
+      if flash_us > 0.0 then begin
+        if pos < flash_start_us && flash_start_us < !b then b := flash_start_us;
+        let fend = flash_start_us +. flash_us in
+        if pos < fend && fend < !b then b := fend
+      end;
+      Float.min period_us !b
+    in
+    let rec step t =
+      let pos = Float.rem t period_us in
+      let mean =
+        diurnal_mean_at ~period_us ~trough_mean_us ~peak_mean_us
+          ~flash_start_us ~flash_us ~flash_mean_us pos
+      in
+      let boundary = t -. pos +. next_boundary pos in
       let d = Rng.exponential rng ~mean in
       if t +. d <= boundary then t +. d else step boundary
     in

@@ -40,7 +40,19 @@ type task = {
     [Bursty_phased] takes the same parameters but clamps every draw
     at the next phase boundary and re-draws from the boundary with
     the new phase's mean (the exact piecewise-Poisson construction)
-    — prefer it for new traces. *)
+    — prefer it for new traces.
+
+    [Diurnal] models a day-night load curve with an optional
+    recurring flash crowd: the arrival rate follows a sinusoid from
+    [1/trough_mean_us] (phase 0) up to [1/peak_mean_us] (half
+    period) and back, sampled piecewise-constant over 32 slots per
+    period; when [flash_us > 0], the window
+    [[flash_start_us, flash_start_us + flash_us)] of every period
+    overrides the sinusoid with the (typically much hotter)
+    [flash_mean_us] stream.  Draws use the same boundary-clamped
+    construction as [Bursty_phased], so each segment is exactly
+    Poisson at its own rate — the trace generator behind the
+    predictive-autoscaling bench. *)
 type arrival =
   | Exponential of { mean_us : float }
   | Bursty of {
@@ -54,6 +66,14 @@ type arrival =
       off_us : float;
       on_mean_us : float;
       off_mean_us : float;
+    }
+  | Diurnal of {
+      period_us : float;  (** full day-night cycle length *)
+      trough_mean_us : float;  (** mean inter-arrival at the quietest point *)
+      peak_mean_us : float;  (** mean inter-arrival at the busiest point *)
+      flash_start_us : float;  (** flash-window phase offset *)
+      flash_us : float;  (** flash-window length; 0 disables it *)
+      flash_mean_us : float;  (** mean inter-arrival inside the window *)
     }
 
 (** [arrival_name a] e.g. ["burst(2000/8000us @ 50/2000us)"]. *)

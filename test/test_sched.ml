@@ -481,6 +481,112 @@ let test_autoscaler_validation () =
   raises (fun () -> Autoscaler.config ~min_replicas:(-1) ());
   raises (fun () -> Autoscaler.config ~min_replicas:4 ~max_replicas:2 ())
 
+(* ---------------- tenant-pool re-set ---------------- *)
+
+(* Session churn re-sets the pool mid-run; the renormalization must
+   re-split shares against the new membership without minting tokens
+   for surviving tenants or dropping their counters. *)
+let test_slo_tenant_pool_reset_renormalizes () =
+  let gate = Slo.create [] in
+  Slo.set_tenant_pool gate ~rate_per_s:1000.0 ~burst:4
+    [ Slo.tenant_spec "a"; Slo.tenant_spec "b" ];
+  (* a drains its 2-token bucket; everything at t=0 so nothing refills *)
+  Alcotest.(check bool) "a admits 1" true
+    (Slo.admit ~tenant:"a" gate ~class_name:"S" ~now_us:0.0 = Slo.Admitted);
+  Alcotest.(check bool) "a admits 2" true
+    (Slo.admit ~tenant:"a" gate ~class_name:"S" ~now_us:0.0 = Slo.Admitted);
+  Alcotest.(check bool) "a bucket empty" true
+    (Slo.admit ~tenant:"a" gate ~class_name:"S" ~now_us:0.0 = Slo.Shed_tenant);
+  (* c joins: shares renormalize 2 -> 4/3, still summing to the pool *)
+  Slo.set_tenant_pool gate ~rate_per_s:1000.0 ~burst:4
+    [ Slo.tenant_spec "a"; Slo.tenant_spec "b"; Slo.tenant_spec "c" ];
+  let total =
+    List.fold_left
+      (fun acc n -> acc +. Slo.tenant_burst_of gate n)
+      0.0 [ "a"; "b"; "c" ]
+  in
+  Alcotest.(check (float 1e-9)) "bursts still sum to the pool" 4.0 total;
+  (* a consumed everything before the re-set: scaling 0 tokens by the
+     burst ratio must not conjure admission capacity *)
+  Alcotest.(check bool) "a stays drained across the re-set" true
+    (Slo.admit ~tenant:"a" gate ~class_name:"S" ~now_us:0.0 = Slo.Shed_tenant);
+  (* b kept its full 2 tokens, scaled to the new 4/3 burst: one
+     admission left, not two *)
+  Alcotest.(check bool) "b keeps its scaled balance" true
+    (Slo.admit ~tenant:"b" gate ~class_name:"S" ~now_us:0.0 = Slo.Admitted);
+  Alcotest.(check bool) "b has no second token" true
+    (Slo.admit ~tenant:"b" gate ~class_name:"S" ~now_us:0.0 = Slo.Shed_tenant);
+  (* the newcomer starts with a full (4/3-token) bucket *)
+  Alcotest.(check bool) "c starts full" true
+    (Slo.admit ~tenant:"c" gate ~class_name:"S" ~now_us:0.0 = Slo.Admitted);
+  (* admission counters survive the re-set *)
+  Alcotest.(check int) "a's counters preserved" 2 (Slo.admitted_of_tenant gate "a");
+  Alcotest.(check bool) "a's sheds preserved" true (Slo.shed_of_tenant gate "a" >= 1)
+
+(* ---------------- predictive autoscaling ---------------- *)
+
+let test_forecast_learns_season () =
+  let f = Mlv_sched.Forecast.create ~period:4 () in
+  (* three cycles of a spiky season: slot 0 carries the load *)
+  for _ = 1 to 3 do
+    List.iter (Mlv_sched.Forecast.observe f) [ 1000.0; 10.0; 10.0; 10.0 ]
+  done;
+  (* last sample was slot 3; one tick ahead is the peak slot *)
+  let peak = Mlv_sched.Forecast.forecast f ~ahead:1 in
+  let trough = Mlv_sched.Forecast.forecast f ~ahead:2 in
+  Alcotest.(check bool)
+    (Printf.sprintf "peak forecast %.0f well above trough %.0f" peak trough)
+    true
+    (peak > 4.0 *. trough && peak > 300.0);
+  Alcotest.(check int) "observation count" 12 (Mlv_sched.Forecast.observations f)
+
+let test_predictive_cold_falls_back () =
+  let cfg = Autoscaler.config ~cooldown_us:0.0 () in
+  let p = Autoscaler.predict ~season_ticks:4 ~warmup:4 () in
+  let tr = Autoscaler.tracker ~name:"predict-cold" in
+  let pt = Autoscaler.ptracker p in
+  (* no rate samples yet: the reactive watermark rules decide, and
+     the target moves by one replica as the reactive loop does *)
+  let d, target =
+    Autoscaler.decide_predictive cfg p tr pt ~now_us:0.0 ~backlog:10 ~replicas:1
+      ~idle:0 ~deadline_us:0.0
+  in
+  Alcotest.(check bool) "cold model scales reactively" true (d = Autoscaler.Scale_up);
+  Alcotest.(check int) "cold target is one step" 2 target
+
+let test_predictive_preprovisions_peak () =
+  let cfg = Autoscaler.config ~cooldown_us:0.0 ~max_replicas:8 () in
+  let p = Autoscaler.predict ~horizon:1 ~season_ticks:4 ~warmup:8 () in
+  let tr = Autoscaler.tracker ~name:"predict-peak" in
+  let pt = Autoscaler.ptracker p in
+  (* 10 ms per task: one replica serves ~100/s *)
+  Autoscaler.observe_service pt 10_000.0;
+  for _ = 1 to 3 do
+    List.iter (Autoscaler.observe_rate pt) [ 1000.0; 10.0; 10.0; 10.0 ]
+  done;
+  (* the next tick is the seasonal peak: the forecast must open the
+     whole gap at once, not one replica *)
+  let d, target =
+    Autoscaler.decide_predictive cfg p tr pt ~now_us:0.0 ~backlog:0 ~replicas:2
+      ~idle:0 ~deadline_us:0.0
+  in
+  Alcotest.(check bool) "peak predicted: scale up" true (d = Autoscaler.Scale_up);
+  Alcotest.(check bool)
+    (Printf.sprintf "target %d jumps well past 3" target)
+    true (target >= 6);
+  (* one more peak sample: the look-ahead slot is now the trough, and
+     with an idle replica the fleet shrinks toward the forecast *)
+  Autoscaler.observe_rate pt 1000.0;
+  let d2, target2 =
+    Autoscaler.decide_predictive cfg p tr pt ~now_us:10_000.0 ~backlog:0
+      ~replicas:8 ~idle:2 ~deadline_us:0.0
+  in
+  Alcotest.(check bool) "trough predicted: scale down" true
+    (d2 = Autoscaler.Scale_down);
+  Alcotest.(check bool)
+    (Printf.sprintf "trough target %d below the fleet" target2)
+    true (target2 < 8)
+
 (* ---------------- bursty arrival process ---------------- *)
 
 let test_bursty_arrivals_deterministic_and_clustered () =
@@ -902,6 +1008,14 @@ let () =
           Alcotest.test_case "p99 window ages out" `Quick
             test_autoscaler_p99_window;
           Alcotest.test_case "validation" `Quick test_autoscaler_validation;
+          Alcotest.test_case "tenant pool re-set renormalizes" `Quick
+            test_slo_tenant_pool_reset_renormalizes;
+          Alcotest.test_case "forecast learns season" `Quick
+            test_forecast_learns_season;
+          Alcotest.test_case "predictive cold fallback" `Quick
+            test_predictive_cold_falls_back;
+          Alcotest.test_case "predictive pre-provisions peak" `Quick
+            test_predictive_preprovisions_peak;
         ] );
       ( "workload",
         [

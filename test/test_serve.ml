@@ -1,0 +1,447 @@
+(* Tests for the serving front door (lib/serve): client sessions with
+   sticky affinity and in-order delivery, the compiled-mapping LRU,
+   the textual trace format, the diurnal arrival model, and the
+   sysim integration invariants — a disabled front door must be
+   bit-invisible, and the shape-signature key space must separate
+   every distinct compiled shape in the benchmark registry. *)
+
+module Session = Mlv_serve.Session
+module Mapcache = Mlv_serve.Mapcache
+module Trace_file = Mlv_serve.Trace_file
+module Genset = Mlv_workload.Genset
+module Mapdb = Mlv_core.Mapdb
+module Registry = Mlv_core.Registry
+module Runtime = Mlv_core.Runtime
+module Sysim = Mlv_sysim.Sysim
+module Autoscaler = Mlv_sched.Autoscaler
+module Rng = Mlv_util.Rng
+
+let raises_invalid f =
+  match f () with
+  | _ -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument _ -> ()
+
+(* ---------------- sessions ---------------- *)
+
+let test_session_touch_and_expiry () =
+  let t = Session.create (Session.config ~idle_timeout_us:1_000.0 ()) in
+  let a = Session.touch t ~now_us:0.0 "alice" in
+  let a' = Session.touch t ~now_us:400.0 "alice" in
+  Alcotest.(check bool) "same session on repeat touch" true (a == a');
+  let _b = Session.touch t ~now_us:500.0 "bob" in
+  Alcotest.(check int) "two live sessions" 2 (Session.active t);
+  Alcotest.(check int) "two opened" 2 (Session.opened t);
+  (* alice last touched at 400, bob at 500: at 1450 only alice idles out *)
+  Alcotest.(check (list string)) "alice expires first" [ "alice" ]
+    (Session.expire t ~now_us:1_450.0);
+  Alcotest.(check int) "one survivor" 1 (Session.active t);
+  Alcotest.(check (list string)) "bob expires later" [ "bob" ]
+    (Session.expire t ~now_us:2_000.0);
+  Alcotest.(check int) "expired counter" 2 (Session.expired t);
+  (* touching an expired key reopens *)
+  let a2 = Session.touch t ~now_us:3_000.0 "alice" in
+  Alcotest.(check bool) "reopened, not resurrected" true (not (a == a2));
+  Alcotest.(check int) "reopen counts" 3 (Session.opened t)
+
+let test_session_outstanding_blocks_expiry () =
+  let t = Session.create (Session.config ~idle_timeout_us:1_000.0 ()) in
+  let s = Session.touch t ~now_us:0.0 "k" in
+  let seq = Session.submit s in
+  Alcotest.(check int) "one outstanding" 1 (Session.outstanding s);
+  Alcotest.(check (list string)) "outstanding request pins the session" []
+    (Session.expire t ~now_us:10_000.0);
+  Session.skip t s ~seq ~now_us:10_500.0;
+  Alcotest.(check int) "skip resolves it" 0 (Session.outstanding s);
+  Alcotest.(check (list string)) "now reapable" [ "k" ]
+    (Session.expire t ~now_us:12_000.0)
+
+let test_session_in_order_delivery () =
+  let t = Session.create (Session.config ()) in
+  let s = Session.touch t ~now_us:0.0 "k" in
+  let s0 = Session.submit s
+  and s1 = Session.submit s
+  and s2 = Session.submit s in
+  let log = ref [] in
+  let deliver tag ~now_us = log := (tag, now_us) :: !log in
+  (* seq 2 finishes first: held, nothing delivered *)
+  Session.complete t s ~seq:s2 ~now_us:30.0 (deliver 2);
+  Alcotest.(check (list (pair int (float 1e-9)))) "overtaker held" [] (List.rev !log);
+  Alcotest.(check int) "one held" 1 (Session.held t);
+  (* seq 0 releases itself only *)
+  Session.complete t s ~seq:s0 ~now_us:40.0 (deliver 0);
+  Alcotest.(check (list (pair int (float 1e-9)))) "head released" [ (0, 40.0) ]
+    (List.rev !log);
+  (* seq 1 releases itself and the held seq 2, both stamped with the
+     releasing event's clock *)
+  Session.complete t s ~seq:s1 ~now_us:55.0 (deliver 1);
+  Alcotest.(check (list (pair int (float 1e-9)))) "order restored"
+    [ (0, 40.0); (1, 55.0); (2, 55.0) ]
+    (List.rev !log);
+  Alcotest.(check int) "stream drained" 0 (Session.outstanding s);
+  raises_invalid (fun () ->
+      Session.complete t s ~seq:s0 ~now_us:60.0 (deliver 99))
+
+let test_session_skip_unblocks_stream () =
+  let t = Session.create (Session.config ()) in
+  let s = Session.touch t ~now_us:0.0 "k" in
+  let s0 = Session.submit s
+  and s1 = Session.submit s in
+  let log = ref [] in
+  Session.complete t s ~seq:s1 ~now_us:10.0 (fun ~now_us ->
+      log := now_us :: !log);
+  Alcotest.(check (list (float 1e-9))) "held behind the shed head" [] !log;
+  (* the head was shed: skipping it must flush the held successor *)
+  Session.skip t s ~seq:s0 ~now_us:25.0;
+  Alcotest.(check (list (float 1e-9))) "released at the skip instant" [ 25.0 ]
+    !log
+
+let test_session_affinity () =
+  let t = Session.create (Session.config ()) in
+  let s = Session.touch t ~now_us:0.0 "k" in
+  Alcotest.(check (option int)) "no affinity yet" None
+    (Session.affinity s ~accel:"lstm");
+  Session.set_affinity s ~accel:"lstm" ~replica:7;
+  Session.set_affinity s ~accel:"gru" ~replica:3;
+  Alcotest.(check (option int)) "per-accel affinity" (Some 7)
+    (Session.affinity s ~accel:"lstm");
+  Session.clear_affinity s ~accel:"lstm";
+  Alcotest.(check (option int)) "cleared" None (Session.affinity s ~accel:"lstm");
+  Alcotest.(check (option int)) "other accel untouched" (Some 3)
+    (Session.affinity s ~accel:"gru");
+  Session.note_sticky t true;
+  Session.note_sticky t false;
+  Session.note_sticky t true;
+  Alcotest.(check (pair int int)) "sticky tallies" (2, 1)
+    (Session.sticky_hits t, Session.sticky_misses t)
+
+let test_session_config_validation () =
+  raises_invalid (fun () -> Session.config ~idle_timeout_us:0.0 ());
+  raises_invalid (fun () -> Session.config ~idle_timeout_us:(-5.0) ())
+
+(* ---------------- mapping cache ---------------- *)
+
+let test_mapcache_lru () =
+  let c = Mapcache.create ~capacity:2 () in
+  Alcotest.(check (option string)) "cold miss" None (Mapcache.find c "a");
+  Mapcache.put c "a" "A";
+  Mapcache.put c "b" "B";
+  Alcotest.(check (option string)) "hit a" (Some "A") (Mapcache.find c "a");
+  (* b is now least recently used; inserting c evicts it *)
+  Mapcache.put c "c" "C";
+  Alcotest.(check bool) "b evicted" false (Mapcache.mem c "b");
+  Alcotest.(check bool) "a survived (recency refreshed by the hit)" true
+    (Mapcache.mem c "a");
+  Alcotest.(check int) "one eviction" 1 (Mapcache.evictions c);
+  Alcotest.(check (list string)) "keys MRU first" [ "c"; "a" ] (Mapcache.keys c);
+  Alcotest.(check int) "length tracks live entries" 2 (Mapcache.length c);
+  ignore (Mapcache.find c "b");
+  Alcotest.(check (pair int int)) "hit/miss tallies" (1, 2)
+    (Mapcache.hits c, Mapcache.misses c);
+  Alcotest.(check (float 1e-9)) "hit rate" (1.0 /. 3.0) (Mapcache.hit_rate c);
+  raises_invalid (fun () -> Mapcache.create ~capacity:0 ())
+
+let test_mapcache_overwrite_no_evict () =
+  let c = Mapcache.create ~capacity:1 () in
+  Mapcache.put c "k" 1;
+  Mapcache.put c "k" 2;
+  Alcotest.(check (option int)) "overwrite keeps one entry" (Some 2)
+    (Mapcache.find c "k");
+  Alcotest.(check int) "no eviction on overwrite" 0 (Mapcache.evictions c)
+
+(* ---------------- trace format ---------------- *)
+
+let diurnal =
+  Genset.Diurnal
+    {
+      period_us = 32_000.0;
+      trough_mean_us = 4_000.0;
+      peak_mean_us = 1_000.0;
+      flash_start_us = 8_000.0;
+      flash_us = 6_000.0;
+      flash_mean_us = 300.0;
+    }
+
+let test_trace_roundtrip_bit_exact () =
+  let tasks =
+    Genset.generate_arrival ~rng:(Rng.create 11) ~composition:Genset.table1.(6)
+      ~tasks:200 ~arrival:diurnal
+  in
+  match Trace_file.of_string (Trace_file.to_string tasks) with
+  | Error e -> Alcotest.failf "round-trip parse failed: %s" e
+  | Ok parsed ->
+    Alcotest.(check bool) "structurally bit-exact" true (parsed = tasks);
+    (* hex floats: arrival instants survive to the last bit *)
+    List.iter2
+      (fun a b ->
+        if a.Genset.arrival_us <> b.Genset.arrival_us then
+          Alcotest.failf "arrival drifted: %h vs %h" a.Genset.arrival_us
+            b.Genset.arrival_us)
+      tasks parsed
+
+let test_trace_rejects_malformed () =
+  let bad s =
+    match Trace_file.of_string s with
+    | Ok _ -> Alcotest.failf "parsed malformed trace %S" s
+    | Error _ -> ()
+  in
+  bad "";
+  bad "0x1p+1 t lstm 64 10\n";
+  (* header required *)
+  bad "#mlv-trace v2\n";
+  bad "#mlv-trace v1\n0x1p+1 t lstm 64\n";
+  (* missing field *)
+  bad "#mlv-trace v1\n0x1p+1 t lstm 0 10\n";
+  (* non-positive dimension *)
+  bad "#mlv-trace v1\n0x1p+3 t lstm 64 10\n0x1p+1 t lstm 64 10\n";
+  (* decreasing arrivals *)
+  match Trace_file.of_string "#mlv-trace v1\n# comment\n\n0x1p+1 t lstm 64 10\n" with
+  | Ok [ t ] ->
+    Alcotest.(check (float 1e-9)) "comments and blanks skipped" 2.0 t.Genset.arrival_us
+  | Ok _ -> Alcotest.fail "expected one task"
+  | Error e -> Alcotest.failf "valid trace rejected: %s" e
+
+(* ---------------- diurnal arrivals ---------------- *)
+
+let test_diurnal_validation () =
+  let gen arrival () =
+    Genset.generate_arrival ~rng:(Rng.create 1) ~composition:Genset.table1.(6)
+      ~tasks:10 ~arrival
+  in
+  let d ~period ~trough ~peak ~fs ~fl ~fm =
+    Genset.Diurnal
+      {
+        period_us = period;
+        trough_mean_us = trough;
+        peak_mean_us = peak;
+        flash_start_us = fs;
+        flash_us = fl;
+        flash_mean_us = fm;
+      }
+  in
+  raises_invalid (gen (d ~period:0.0 ~trough:100.0 ~peak:10.0 ~fs:0.0 ~fl:0.0 ~fm:0.0));
+  (* trough must be the slow end *)
+  raises_invalid (gen (d ~period:1e4 ~trough:10.0 ~peak:100.0 ~fs:0.0 ~fl:0.0 ~fm:0.0));
+  (* flash window must fit inside the period *)
+  raises_invalid (gen (d ~period:1e4 ~trough:100.0 ~peak:10.0 ~fs:9e3 ~fl:2e3 ~fm:5.0));
+  (* flash needs a positive mean when enabled *)
+  raises_invalid (gen (d ~period:1e4 ~trough:100.0 ~peak:10.0 ~fs:0.0 ~fl:1e3 ~fm:0.0))
+
+let test_diurnal_deterministic_and_flash_dense () =
+  let gen seed =
+    Genset.generate_arrival ~rng:(Rng.create seed)
+      ~composition:Genset.table1.(6) ~tasks:400 ~arrival:diurnal
+  in
+  let a = gen 7 and b = gen 7 in
+  Alcotest.(check bool) "same seed, same trace" true (a = b);
+  (* arrivals must cluster inside the recurring flash window: its
+     rate (300 us mean) dwarfs even the diurnal peak (1 ms mean) *)
+  let in_flash, elsewhere =
+    List.partition
+      (fun t ->
+        let phase = Float.rem t.Genset.arrival_us 32_000.0 in
+        phase >= 8_000.0 && phase < 14_000.0)
+      a
+  in
+  let flash_density = float_of_int (List.length in_flash) /. 6_000.0 in
+  let other_density = float_of_int (List.length elsewhere) /. 26_000.0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "flash density %.4f > 2x background %.4f" flash_density
+       other_density)
+    true
+    (flash_density > 2.0 *. other_density)
+
+(* ---------------- shape signatures ---------------- *)
+
+let test_shape_signature_separates_registry () =
+  let registry = Sysim.build_registry () in
+  let names = Registry.names registry in
+  let sigs =
+    List.filter_map
+      (fun n -> Option.map (fun p -> (n, Mapdb.shape_signature p)) (Registry.plan registry n))
+      names
+  in
+  Alcotest.(check bool) "registry exposes plans" true (List.length sigs >= 10);
+  (* distinct compiled shapes must never share a cache key; accels
+     whose control/data shapes coincide may (that is the cache's
+     point), so compare signatures against the shapes they encode *)
+  List.iter
+    (fun (n1, s1) ->
+      List.iter
+        (fun (n2, s2) ->
+          if n1 < n2 && s1 = s2 then
+            match (Registry.plan registry n1, Registry.plan registry n2) with
+            | Some p1, Some p2 ->
+              let shape (p : Mapdb.plan) =
+                ( List.length p.Mapdb.fewest_first,
+                  Mlv_core.Soft_block.shape_key
+                    p.Mapdb.mapping.Mlv_core.Mapping.control,
+                  Mlv_core.Soft_block.shape_key
+                    p.Mapdb.mapping.Mlv_core.Mapping.data )
+              in
+              if shape p1 <> shape p2 then
+                Alcotest.failf "distinct shapes %s and %s collide on %s" n1 n2 s1
+            | _ -> ())
+        sigs)
+    sigs;
+  (* the DeepBench registry actually exercises the key space: more
+     than one distinct signature, and every signature non-empty *)
+  let distinct = List.sort_uniq compare (List.map snd sigs) in
+  Alcotest.(check bool) "multiple distinct shapes" true (List.length distinct > 1);
+  List.iter (fun s -> Alcotest.(check bool) "non-empty key" true (s <> "")) distinct
+
+(* ---------------- sysim integration ---------------- *)
+
+let base_cfg ~tasks =
+  let base =
+    Sysim.default_config ~policy:Runtime.greedy ~composition:Genset.table1.(2)
+  in
+  {
+    base with
+    Sysim.seed = 5;
+    tasks;
+    repeats_per_task = 2;
+    arrival = Some diurnal;
+    serving = Some { Sysim.default_serving with Sysim.autoscale = None };
+  }
+
+let test_frontend_none_bit_identical () =
+  let registry = Sysim.build_registry () in
+  let strip r = { r with Sysim.loop_wall_s = 0.0 } in
+  let cfg = base_cfg ~tasks:80 in
+  let bare = Sysim.run ~registry cfg in
+  let neutral =
+    Sysim.run ~registry { cfg with Sysim.frontend = Some Sysim.default_frontend }
+  in
+  Alcotest.(check bool) "all-off frontend is invisible" true
+    (strip bare = strip neutral);
+  (* and a zero-cost cache only adds counters, never behavior *)
+  let free =
+    Sysim.run ~registry
+      {
+        cfg with
+        Sysim.frontend =
+          Some { Sysim.default_frontend with Sysim.mapping_cache = Some (32, 0.0) };
+      }
+  in
+  let blind r =
+    { (strip r) with Sysim.mapcache_hits = 0; mapcache_misses = 0; mapcache_evictions = 0 }
+  in
+  Alcotest.(check bool) "zero-cost cache is invisible" true
+    (blind bare = blind free);
+  Alcotest.(check bool) "but the cache did run" true
+    (free.Sysim.mapcache_hits + free.Sysim.mapcache_misses > 0)
+
+let test_mapping_cache_cost_differential () =
+  let registry = Sysim.build_registry () in
+  let with_cache compile_us =
+    Sysim.run ~registry
+      {
+        (base_cfg ~tasks:80) with
+        Sysim.frontend =
+          Some
+            {
+              Sysim.default_frontend with
+              Sysim.mapping_cache = Some (32, compile_us);
+            };
+      }
+  in
+  let free = with_cache 0.0 and costly = with_cache 2_000.0 in
+  (* same shapes arrive either way: identical hit pattern *)
+  Alcotest.(check (pair int int)) "hit pattern independent of price"
+    (free.Sysim.mapcache_hits, free.Sysim.mapcache_misses)
+    (costly.Sysim.mapcache_hits, costly.Sysim.mapcache_misses);
+  (* only misses pay: pricing compilation must slow the run down *)
+  Alcotest.(check bool) "compile cost shows up in latency" true
+    (costly.Sysim.mean_latency_us > free.Sysim.mean_latency_us);
+  Alcotest.(check bool) "and in the makespan" true
+    (costly.Sysim.makespan_us >= free.Sysim.makespan_us)
+
+let test_frontend_requires_serving () =
+  let registry = Sysim.build_registry () in
+  let base =
+    Sysim.default_config ~policy:Runtime.greedy ~composition:Genset.table1.(2)
+  in
+  raises_invalid (fun () ->
+      Sysim.run ~registry
+        { base with Sysim.tasks = 4; frontend = Some Sysim.default_frontend });
+  (* predictive mode replaces the autoscaler's control law, so it
+     needs one *)
+  raises_invalid (fun () ->
+      Sysim.run ~registry
+        {
+          base with
+          Sysim.tasks = 4;
+          serving = Some { Sysim.default_serving with Sysim.autoscale = None };
+          frontend =
+            Some
+              {
+                Sysim.default_frontend with
+                Sysim.predict = Some Autoscaler.default_predict;
+              };
+        })
+
+let test_replay_matches_generation () =
+  let registry = Sysim.build_registry () in
+  let cfg = base_cfg ~tasks:80 in
+  let strip r = { r with Sysim.loop_wall_s = 0.0 } in
+  let generated = Sysim.run ~registry cfg in
+  let trace = Sysim.workload cfg in
+  let replayed = Sysim.run ~registry { cfg with Sysim.replay = Some trace } in
+  Alcotest.(check bool) "replayed trace is bit-identical" true
+    (strip generated = strip replayed);
+  (* replay also bypasses generation entirely: a different seed with
+     the same replayed trace gives the same result *)
+  let reseeded =
+    Sysim.run ~registry { cfg with Sysim.seed = 999; replay = Some trace }
+  in
+  Alcotest.(check bool) "replay wins over the seed" true
+    (strip replayed = strip reseeded)
+
+let () =
+  Alcotest.run "serve"
+    [
+      ( "session",
+        [
+          Alcotest.test_case "touch and expiry" `Quick test_session_touch_and_expiry;
+          Alcotest.test_case "outstanding blocks expiry" `Quick
+            test_session_outstanding_blocks_expiry;
+          Alcotest.test_case "in-order delivery" `Quick test_session_in_order_delivery;
+          Alcotest.test_case "skip unblocks stream" `Quick
+            test_session_skip_unblocks_stream;
+          Alcotest.test_case "sticky affinity" `Quick test_session_affinity;
+          Alcotest.test_case "config validation" `Quick test_session_config_validation;
+        ] );
+      ( "mapcache",
+        [
+          Alcotest.test_case "lru semantics" `Quick test_mapcache_lru;
+          Alcotest.test_case "overwrite" `Quick test_mapcache_overwrite_no_evict;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "round-trip bit-exact" `Quick
+            test_trace_roundtrip_bit_exact;
+          Alcotest.test_case "rejects malformed" `Quick test_trace_rejects_malformed;
+        ] );
+      ( "diurnal",
+        [
+          Alcotest.test_case "validation" `Quick test_diurnal_validation;
+          Alcotest.test_case "deterministic, flash-dense" `Quick
+            test_diurnal_deterministic_and_flash_dense;
+        ] );
+      ( "shape_signature",
+        [
+          Alcotest.test_case "separates the registry" `Quick
+            test_shape_signature_separates_registry;
+        ] );
+      ( "sysim",
+        [
+          Alcotest.test_case "frontend=None bit-identical" `Quick
+            test_frontend_none_bit_identical;
+          Alcotest.test_case "cache cost differential" `Quick
+            test_mapping_cache_cost_differential;
+          Alcotest.test_case "frontend requires serving" `Quick
+            test_frontend_requires_serving;
+          Alcotest.test_case "replay matches generation" `Quick
+            test_replay_matches_generation;
+        ] );
+    ]
